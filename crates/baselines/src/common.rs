@@ -1,0 +1,254 @@
+//! Shared infrastructure for the baseline detectors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::layers::{Activation, Mlp};
+use tinynn::loss::cross_entropy;
+use tinynn::optim::{Adam, Optimizer};
+use tinynn::{Graph, ParamStore, Tensor};
+use videosynth::image::Image;
+use videosynth::video::{StressLabel, VideoSample};
+
+/// A fitted video-level stress detector.
+pub trait StressDetector {
+    /// Method name as it appears in Table I.
+    fn name(&self) -> &'static str;
+
+    /// Predict the stress label of a video.
+    fn predict(&self, video: &VideoSample) -> StressLabel;
+}
+
+/// Frame indices used when a baseline samples frames from a clip: start,
+/// apex and end, plus evenly spaced extras up to `n`.
+pub fn sampled_frames(video: &VideoSample, n: usize) -> Vec<usize> {
+    assert!(n >= 1);
+    let len = video.num_frames();
+    let apex = video.most_expressive_frame();
+    let mut out = vec![0, apex, len - 1];
+    let mut k = 1;
+    while out.len() < n {
+        out.push((k * len / (n + 1)).min(len - 1));
+        k += 1;
+    }
+    out.truncate(n.max(3).min(len));
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Downsampled (48×48) pixel vector of one frame — the generic CNN input.
+pub fn frame_pixels_48(img: &Image) -> Vec<f32> {
+    img.downsample(2).pixels().to_vec()
+}
+
+/// A generic softmax classifier head trained with Adam + cross-entropy.
+///
+/// Several baselines share this: they differ in *which features* they feed
+/// it, which is where their real differences lie.
+#[derive(Clone, Debug)]
+pub struct MlpClassifier {
+    store: ParamStore,
+    mlp: Mlp,
+}
+
+impl MlpClassifier {
+    /// Fit on `(feature, class)` pairs; `dims` = `[in, hidden.., 2]`.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        dims: &[usize],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "no training data");
+        assert_eq!(*dims.last().expect("dims"), 2, "binary head");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "clf", dims, Activation::Relu, &mut rng);
+        let mut opt = Adam::new(lr);
+
+        let n = features.len();
+        let d = dims[0];
+        let batch = 16usize;
+        for epoch in 0..epochs {
+            // Simple deterministic rotation instead of reshuffling: the
+            // corpora are already label-shuffled.
+            let offset = (epoch * 7) % n;
+            for start in (0..n).step_by(batch) {
+                let mut g = Graph::new();
+                let idx: Vec<usize> = (start..(start + batch).min(n))
+                    .map(|i| (i + offset) % n)
+                    .collect();
+                let mut x = Vec::with_capacity(idx.len() * d);
+                let mut t = Vec::with_capacity(idx.len());
+                for &i in &idx {
+                    assert_eq!(features[i].len(), d, "feature width mismatch");
+                    x.extend_from_slice(&features[i]);
+                    t.push(labels[i]);
+                }
+                let xv = g.leaf(Tensor::from_vec(x, vec![idx.len(), d]));
+                let logits = mlp.forward(&mut g, &store, xv);
+                let loss = cross_entropy(&mut g, logits, &t);
+                g.backward(loss);
+                g.accumulate_grads(&mut store);
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+                store.zero_grads();
+            }
+        }
+        MlpClassifier { store, mlp }
+    }
+
+    /// Class scores (logits) for one feature vector.
+    pub fn logits(&self, feature: &[f32]) -> Vec<f32> {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(feature.to_vec(), vec![1, feature.len()]));
+        let out = self.mlp.forward(&mut g, &self.store, x);
+        g.value(out).row(0).to_vec()
+    }
+
+    /// Predicted class index.
+    pub fn predict_class(&self, feature: &[f32]) -> usize {
+        tinynn::tensor::argmax(&self.logits(feature))
+    }
+}
+
+/// A small convolutional trunk shared by the CNN-based baselines: the
+/// ResNet/VGG stand-in at 48×48 input.
+///
+/// The input has **two channels**: the frame itself and the frame minus the
+/// clip's least-expressive frame.  Production face pipelines normalise away
+/// identity (alignment, identity-invariant embeddings); without the
+/// baseline-subtraction channel every pixel CNN collapses to the majority
+/// class under per-subject appearance variation.
+///
+/// `conv(2→c1, k5, s2) → relu → pool2 → conv(c1→c2, k3, s1) → relu → pool2`
+/// then flatten: output feature width `c2 × 4 × 4`.
+#[derive(Clone, Debug)]
+pub struct CnnTrunk {
+    conv1: tinynn::layers::Conv2dLayer,
+    conv2: tinynn::layers::Conv2dLayer,
+    /// Output feature width.
+    pub out_dim: usize,
+}
+
+impl CnnTrunk {
+    /// Register the trunk with channel widths `(c1, c2)`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        c1: usize,
+        c2: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        CnnTrunk {
+            conv1: tinynn::layers::Conv2dLayer::new(store, &format!("{name}.c1"), 2, c1, 5, 2, rng),
+            conv2: tinynn::layers::Conv2dLayer::new(store, &format!("{name}.c2"), c1, c2, 3, 1, rng),
+            out_dim: c2 * 4 * 4,
+        }
+    }
+
+    /// Encode a 48×48 two-channel leaf (`[2, 48, 48]`) into `[1, out_dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, img: tinynn::graph::Var) -> tinynn::graph::Var {
+        let h = self.conv1.forward(g, store, img); // [c1, 22, 22]
+        let h = g.relu(h);
+        let h = g.max_pool2d(h, 2); // [c1, 11, 11]
+        let h = self.conv2.forward(g, store, h); // [c2, 9, 9]
+        let h = g.relu(h);
+        let h = g.max_pool2d(h, 2); // [c2, 4, 4]
+        g.reshape(h, vec![1, self.out_dim])
+    }
+
+    /// Leaf for one frame of a video: `[2, 48, 48]` — the frame and its
+    /// difference from the clip's least-expressive (near-neutral) frame.
+    pub fn frame_leaf(g: &mut Graph, video: &VideoSample, t: usize) -> tinynn::graph::Var {
+        let frame = video.render_frame(t);
+        let baseline = video.render_frame(video.least_expressive_frame());
+        Self::pair_leaf(g, &frame, &baseline)
+    }
+
+    /// Leaf from explicit frame + baseline images.  Channels are normalised
+    /// (centred / amplified) — the input-standardisation every production
+    /// vision pipeline applies; without it the sub-0.1 pixel contrasts give
+    /// gradients too small for the small trunks to escape the majority
+    /// classifier.
+    pub fn pair_leaf(g: &mut Graph, frame: &Image, baseline: &Image) -> tinynn::graph::Var {
+        let a = frame_pixels_48(frame);
+        let b = frame_pixels_48(baseline);
+        let mut px = Vec::with_capacity(a.len() * 2);
+        px.extend(a.iter().map(|x| (x - 0.5) * 2.0));
+        px.extend(a.iter().zip(&b).map(|(x, y)| (x - y) * 4.0));
+        g.leaf(Tensor::from_vec(px, vec![2, 48, 48]))
+    }
+
+    /// First convolution only (for deeper variants that extend the trunk).
+    pub fn conv1_forward(&self, g: &mut Graph, store: &ParamStore, x: tinynn::graph::Var) -> tinynn::graph::Var {
+        self.conv1.forward(g, store, x)
+    }
+
+    /// Second convolution only.
+    pub fn conv2_forward(&self, g: &mut Graph, store: &ParamStore, x: tinynn::graph::Var) -> tinynn::graph::Var {
+        self.conv2.forward(g, store, x)
+    }
+}
+
+/// Convert label ↔ class index (stressed = 1).
+pub fn class_of(label: StressLabel) -> usize {
+    label.as_index()
+}
+
+/// Inverse of [`class_of`].
+pub fn label_of(class: usize) -> StressLabel {
+    StressLabel::from_index(class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn sampled_frames_are_valid_and_sorted() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 1);
+        let v = &ds.samples[0];
+        let f = sampled_frames(v, 6);
+        assert!(f.len() >= 3);
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+        assert!(f.iter().all(|&t| t < v.num_frames()));
+    }
+
+    #[test]
+    fn mlp_classifier_learns_a_linear_rule() {
+        // Class = 1 iff x0 > x1.
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let a = (i % 10) as f32 / 10.0;
+            let b = ((i * 7) % 10) as f32 / 10.0;
+            feats.push(vec![a, b]);
+            labels.push(usize::from(a > b));
+        }
+        let clf = MlpClassifier::fit(&feats, &labels, &[2, 8, 2], 40, 0.01, 0);
+        let correct = feats
+            .iter()
+            .zip(&labels)
+            .filter(|(f, &l)| clf.predict_class(f) == l)
+            .count();
+        assert!(correct >= 55, "{correct}/60");
+    }
+
+    #[test]
+    fn frame_pixels_48_size() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 2);
+        let img = ds.samples[0].render_frame(0);
+        assert_eq!(frame_pixels_48(&img).len(), 48 * 48);
+    }
+
+    #[test]
+    fn class_round_trip() {
+        assert_eq!(label_of(class_of(StressLabel::Stressed)), StressLabel::Stressed);
+        assert_eq!(label_of(class_of(StressLabel::Unstressed)), StressLabel::Unstressed);
+    }
+}

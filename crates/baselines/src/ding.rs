@@ -1,0 +1,90 @@
+//! Ding, Dai, Wang, Feng, Cao & Zhang (ACM MM 2024): exploit a large
+//! foundation model's world knowledge to *describe* facial actions, then
+//! detect stress from the descriptions together with the visual input —
+//! the strongest supervised baseline of Table I and the direct precursor of
+//! the paper's method (same authors).
+//!
+//! Here: a pretrained (but not stress-tuned) [`lfm`] proxy generates the
+//! facial-action description of each video; a classifier is trained on the
+//! concatenation of the description's AU indicator vector and pixel region
+//! features.  Unlike the paper's method there is no reasoning chain, no
+//! description tuning on expert AU data, and no self-refinement.
+
+use facs::au::NUM_AUS;
+use lfm::grammar::generate_description;
+use lfm::instructions::describe_prompt;
+use lfm::pretrain::{pretrain, CapabilityProfile};
+use lfm::{Lfm, ModelConfig};
+use videosynth::features::region_features;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, label_of, MlpClassifier, StressDetector};
+
+/// Feature width: 12 AU indicators + 6 region means (f_e) + 6 (f_l).
+const FEAT: usize = NUM_AUS + 12;
+
+/// The fitted detector.
+#[derive(Clone, Debug)]
+pub struct Ding {
+    describer: Lfm,
+    clf: MlpClassifier,
+}
+
+impl Ding {
+    /// Pretrain the description model, generate descriptions for the
+    /// training videos, and fit the fusion classifier.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut describer = Lfm::new(ModelConfig::small(), seed ^ 0xD1);
+        // Ding et al. lean on a GPT-4-class model's facial world knowledge
+        // for the descriptions; use the strongest capability profile with
+        // extra describe-heavy pretraining volume.
+        let mut profile = CapabilityProfile::gpt4o();
+        profile.corpus_size = (profile.corpus_size as f32 * 1.5) as usize;
+        profile.describe_noise = 0.06;
+        pretrain(&mut describer, &profile, seed ^ 0xD2);
+        let feats: Vec<Vec<f32>> = train.iter().map(|v| Self::features(&describer, v)).collect();
+        let labels: Vec<usize> = train.iter().map(|v| class_of(v.label)).collect();
+        let clf = MlpClassifier::fit(&feats, &labels, &[FEAT, 24, 2], 30, 5e-3, seed);
+        Ding { describer, clf }
+    }
+
+    fn features(describer: &Lfm, video: &VideoSample) -> Vec<f32> {
+        let p = describe_prompt(describer, video);
+        let desc = generate_description(describer, &p, 0.0, video.id as u64);
+        let mut out = Vec::with_capacity(FEAT);
+        out.extend_from_slice(&desc.to_dense());
+        let (fe, fl) = video.expressive_pair();
+        out.extend(region_features(&fe));
+        out.extend(region_features(&fl));
+        out
+    }
+}
+
+impl StressDetector for Ding {
+    fn name(&self) -> &'static str {
+        "Ding et al."
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        label_of(self.clf.predict_class(&Self::features(&self.describer, video)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 13);
+        let (train_i, test_i) = ds.train_test_split(0.8, 7);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Ding::fit(&train, 8);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+}

@@ -1,0 +1,80 @@
+//! FDASSNN (Gavrilescu & Vizireanu, Sensors 2019): an Active Appearance
+//! Model estimates per-AU intensities; a multi-layer perceptron maps the
+//! intensities to the stress decision.
+//!
+//! The AAM is a solved upstream component we simulate as a noisy AU
+//! intensity observation ([`videosynth::features::observed_au_intensities`]);
+//! the MLP is trained for real.
+
+use facs::au::NUM_AUS;
+use videosynth::features::observed_au_intensities;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, label_of, MlpClassifier, StressDetector};
+
+/// Observation noise of the simulated AAM (σ of the AU intensity error).
+/// Classical AAM-based AU intensity estimation is the weakest link of the
+/// original system (Table I puts FDASSNN near the zero-shot LFMs), so the
+/// simulated detector is correspondingly coarse.
+const AAM_NOISE: f32 = 0.42;
+
+/// The fitted detector.
+#[derive(Clone, Debug)]
+pub struct Fdassnn {
+    clf: MlpClassifier,
+    seed: u64,
+}
+
+impl Fdassnn {
+    /// Fit the MLP on AAM-observed AU intensities at the apex frame.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let feats: Vec<Vec<f32>> = train.iter().map(|v| Self::features(v, seed)).collect();
+        let labels: Vec<usize> = train.iter().map(|v| class_of(v.label)).collect();
+        let clf = MlpClassifier::fit(&feats, &labels, &[NUM_AUS, 24, 2], 30, 5e-3, seed);
+        Fdassnn { clf, seed }
+    }
+
+    fn features(video: &VideoSample, seed: u64) -> Vec<f32> {
+        observed_au_intensities(video, video.most_expressive_frame(), AAM_NOISE, seed).to_vec()
+    }
+}
+
+impl StressDetector for Fdassnn {
+    fn name(&self) -> &'static str {
+        "FDASSNN"
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        label_of(self.clf.predict_class(&Self::features(video, self.seed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 1);
+        let (train, test) = ds.train_test_split(0.8, 3);
+        let train: Vec<VideoSample> = train.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Fdassnn::fit(&train, 7);
+        let correct = test
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(
+            correct * 10 >= test.len() * 6,
+            "accuracy too low: {correct}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_predictions() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 2);
+        let model = Fdassnn::fit(&ds.samples[..20], 1);
+        assert_eq!(model.predict(&ds.samples[21]), model.predict(&ds.samples[21]));
+    }
+}

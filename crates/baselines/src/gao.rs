@@ -1,0 +1,143 @@
+//! Gao, Yüce & Thiran (ICIP 2014): 49 facial feature points per frame, an
+//! SVM classifies each frame as showing negative emotion, and the video is
+//! stressed when the negative-frame ratio exceeds a threshold.
+//!
+//! The landmark tracker is simulated
+//! ([`videosynth::features::observed_landmarks`]); the linear SVM (hinge
+//! loss) and the threshold sweep are trained for real.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::layers::Linear;
+use tinynn::loss::hinge;
+use tinynn::optim::{Optimizer, Sgd};
+use tinynn::{Graph, ParamStore, Tensor};
+use videosynth::features::{landmark_feature_vector, observed_landmarks};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{sampled_frames, StressDetector};
+
+/// Landmark tracker jitter in pixels.
+const TRACKER_NOISE: f32 = 1.1;
+/// Frames sampled per video.
+const FRAMES: usize = 6;
+
+/// The fitted detector.
+#[derive(Debug)]
+pub struct Gao {
+    store: ParamStore,
+    svm: Linear,
+    threshold: f32,
+    seed: u64,
+}
+
+impl Gao {
+    /// Fit: frame-level linear SVM with the video label as weak frame
+    /// label, then sweep the negative-ratio threshold on the training set.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let svm = Linear::new(&mut store, "svm", 98, 1, &mut rng);
+        let mut opt = Sgd::new(0.05, 0.9);
+
+        // Assemble frame-level dataset.
+        let mut xs: Vec<Vec<f32>> = Vec::new();
+        let mut ys: Vec<f32> = Vec::new();
+        for v in train {
+            for t in sampled_frames(v, FRAMES) {
+                xs.push(landmark_feature_vector(&observed_landmarks(v, t, TRACKER_NOISE, seed)));
+                ys.push(if v.label == StressLabel::Stressed { 1.0 } else { -1.0 });
+            }
+        }
+        for _ in 0..20 {
+            for chunk in (0..xs.len()).collect::<Vec<_>>().chunks(32) {
+                let mut g = Graph::new();
+                let mut flat = Vec::with_capacity(chunk.len() * 98);
+                let mut lbl = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    flat.extend_from_slice(&xs[i]);
+                    lbl.push(ys[i]);
+                }
+                let x = g.leaf(Tensor::from_vec(flat, vec![chunk.len(), 98]));
+                let scores = svm.forward(&mut g, &store, x);
+                let loss = hinge(&mut g, scores, &lbl);
+                g.backward(loss);
+                g.accumulate_grads(&mut store);
+                opt.step(&mut store);
+                store.zero_grads();
+            }
+        }
+
+        // Threshold sweep.
+        let mut model = Gao { store, svm, threshold: 0.5, seed };
+        let mut best = (0usize, 0.5f32);
+        for k in 1..10 {
+            let th = k as f32 / 10.0;
+            model.threshold = th;
+            let correct = train.iter().filter(|v| model.predict(v) == v.label).count();
+            if correct > best.0 {
+                best = (correct, th);
+            }
+        }
+        model.threshold = best.1;
+        model
+    }
+
+    /// Fraction of sampled frames classified as negative emotion.
+    pub fn negative_ratio(&self, video: &VideoSample) -> f32 {
+        let frames = sampled_frames(video, FRAMES);
+        let mut neg = 0usize;
+        for &t in &frames {
+            let f = landmark_feature_vector(&observed_landmarks(video, t, TRACKER_NOISE, self.seed));
+            let mut g = Graph::new();
+            let x = g.leaf(Tensor::from_vec(f, vec![1, 98]));
+            let s = self.svm.forward(&mut g, &self.store, x);
+            if g.value(s).item() > 0.0 {
+                neg += 1;
+            }
+        }
+        neg as f32 / frames.len() as f32
+    }
+}
+
+impl StressDetector for Gao {
+    fn name(&self) -> &'static str {
+        "Gao et al."
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        if self.negative_ratio(video) >= self.threshold {
+            StressLabel::Stressed
+        } else {
+            StressLabel::Unstressed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 4);
+        let (train_i, test_i) = ds.train_test_split(0.8, 1);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Gao::fit(&train, 5);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+
+    #[test]
+    fn threshold_is_in_unit_interval() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 5);
+        let model = Gao::fit(&ds.samples[..24], 2);
+        assert!((0.0..=1.0).contains(&model.threshold));
+        let r = model.negative_ratio(&ds.samples[0]);
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

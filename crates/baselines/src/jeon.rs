@@ -1,0 +1,134 @@
+//! Jeon, Bae, Lee, Jang & Lee (Sensors 2021): frame-level features from a
+//! ResNet-18-style image encoder are fused with a Facial Landmark Feature
+//! Network, and a temporal-attention module pools the frame representations
+//! into the video-level stress decision.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::layers::{Activation, Linear, Mlp};
+use tinynn::loss::cross_entropy;
+use tinynn::optim::{Adam, Optimizer};
+use tinynn::{Graph, ParamStore, Tensor};
+use videosynth::features::{landmark_feature_vector, observed_landmarks};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, label_of, sampled_frames, CnnTrunk, StressDetector};
+
+/// Landmark tracker jitter in pixels.
+const TRACKER_NOISE: f32 = 0.8;
+/// Frames per video.
+const FRAMES: usize = 5;
+/// Fused frame-representation width.
+const FRAME_DIM: usize = 24;
+
+/// The fitted detector.
+#[derive(Clone, Debug)]
+pub struct Jeon {
+    store: ParamStore,
+    trunk: CnnTrunk,
+    lmk_net: Mlp,
+    fuse: Linear,
+    attn_query: Linear,
+    head: Linear,
+    seed: u64,
+}
+
+impl Jeon {
+    /// Fit end-to-end: CNN + landmark net → fused frame features →
+    /// temporal attention → classifier.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let trunk = CnnTrunk::new(&mut store, "jeon.cnn", 4, 8, &mut rng);
+        let lmk_net = Mlp::new(&mut store, "jeon.lmk", &[98, 32, 16], Activation::Relu, &mut rng);
+        let fuse = Linear::new(&mut store, "jeon.fuse", trunk.out_dim + 16, FRAME_DIM, &mut rng);
+        let attn_query = Linear::new(&mut store, "jeon.attnq", FRAME_DIM, 1, &mut rng);
+        let head = Linear::new(&mut store, "jeon.head", FRAME_DIM, 2, &mut rng);
+        let mut model = Jeon { store, trunk, lmk_net, fuse, attn_query, head, seed };
+        let mut opt = Adam::new(2e-3);
+
+        for _ in 0..3 {
+            for v in train {
+                let mut g = Graph::new();
+                let logits = model.video_logits(&mut g, v);
+                let loss = cross_entropy(&mut g, logits, &[class_of(v.label)]);
+                g.backward(loss);
+                g.accumulate_grads(&mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+                model.store.zero_grads();
+            }
+        }
+        model
+    }
+
+    /// Build the video-level logits graph: per-frame fused features, a
+    /// learned attention weight per frame, attention-pooled representation,
+    /// classification head.
+    fn video_logits(&self, g: &mut Graph, video: &VideoSample) -> tinynn::graph::Var {
+        let frames = sampled_frames(video, FRAMES);
+        let mut reps = Vec::with_capacity(frames.len());
+        for &t in &frames {
+            let x = CnnTrunk::frame_leaf(g, video, t);
+            let cnn_feat = self.trunk.forward(g, &self.store, x);
+            let lmk = landmark_feature_vector(&observed_landmarks(video, t, TRACKER_NOISE, self.seed));
+            let lv = g.leaf(Tensor::from_vec(lmk, vec![1, 98]));
+            let lmk_feat = self.lmk_net.forward(g, &self.store, lv);
+            let cat = g.concat_cols(&[cnn_feat, lmk_feat]);
+            let fused = self.fuse.forward(g, &self.store, cat);
+            reps.push(g.tanh(fused));
+        }
+        // Stack frame reps into [T, FRAME_DIM].
+        let mut stack = reps[0];
+        for r in &reps[1..] {
+            stack = g.concat_rows(stack, *r);
+        }
+        // Temporal attention: scores [T, 1] → softmax over frames → pooled.
+        let scores = self.attn_query.forward(g, &self.store, stack);
+        let scores_t = g.reshape(scores, vec![1, frames.len()]);
+        let attn = g.softmax(scores_t); // [1, T]
+        let pooled = g.matmul(attn, stack); // [1, FRAME_DIM]
+        self.head.forward(g, &self.store, pooled)
+    }
+}
+
+impl StressDetector for Jeon {
+    fn name(&self) -> &'static str {
+        "Jeon et al."
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        let mut g = Graph::new();
+        let logits = self.video_logits(&mut g, video);
+        label_of(tinynn::tensor::argmax(g.value(logits).row(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 7);
+        let (train_i, test_i) = ds.train_test_split(0.8, 3);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Jeon::fit(&train, 4);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+
+    #[test]
+    fn attention_weights_are_normalised() {
+        // Indirectly: the pooled representation is a convex combination, so
+        // predictions are stable (deterministic) across calls.
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 8);
+        let model = Jeon::fit(&ds.samples[..16], 1);
+        let v = &ds.samples[17];
+        assert_eq!(model.predict(v), model.predict(v));
+    }
+}

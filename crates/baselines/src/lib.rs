@@ -1,0 +1,28 @@
+//! `baselines` — the competitive methods of Table I, §IV-B.
+//!
+//! Every published baseline is rebuilt as an *architectural sketch*: the
+//! mechanism the original paper credits for its performance is kept (AU
+//! intensities for FDASSNN, per-frame emotion + ratio rules for Gao/Zhang,
+//! temporal attention for Jeon, two streams for TSDNet, masked-autoencoder
+//! pretraining for MARLIN, a deep CNN for Singh, foundation-model
+//! descriptions for Ding), trained for real on the synthetic corpora with
+//! `tinynn`.  Where the original depended on an off-the-shelf component we
+//! cannot run (an AAM, a landmark tracker), the simulated detectors of
+//! [`videosynth::features`] stand in.
+//!
+//! The three off-the-shelf foundation models (GPT-4o / Claude-3.5 /
+//! Gemini-1.5) are zero-shot [`lfm`] proxies pretrained with per-model
+//! capability profiles ([`offtheshelf`]).
+
+pub mod common;
+pub mod ding;
+pub mod fdassnn;
+pub mod gao;
+pub mod jeon;
+pub mod marlin;
+pub mod offtheshelf;
+pub mod singh;
+pub mod tsdnet;
+pub mod zhang;
+
+pub use common::StressDetector;

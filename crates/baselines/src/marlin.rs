@@ -1,0 +1,200 @@
+//! MARLIN (Cai et al., CVPR 2023): self-supervised facial representation
+//! learning with a masked autoencoder over face regions, followed by a
+//! linear probe for the downstream task.
+//!
+//! The MAE here is real: 8×8 patches of the 48×48 expressive frame are
+//! masked at a 50% ratio, an encoder MLP embeds the visible patches, a
+//! decoder MLP reconstructs the masked ones, trained with MSE on *all*
+//! training frames (no labels).  The frozen encoder's mean-pooled embedding
+//! then feeds a supervised linear probe.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinynn::layers::{Activation, Mlp};
+use tinynn::loss::mse;
+use tinynn::optim::{Adam, Optimizer};
+use tinynn::{Graph, ParamStore, Tensor};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, frame_pixels_48, label_of, MlpClassifier, StressDetector};
+
+/// Patch side on the 48×48 input (→ 36 patches of 64 px).
+const PATCH: usize = 8;
+/// Number of patches.
+const NUM_PATCHES: usize = (48 / PATCH) * (48 / PATCH);
+/// Patch feature width: frame channel + baseline-difference channel.
+const PATCH_PIXELS: usize = PATCH * PATCH * 2;
+/// Masking ratio.
+const MASK_RATIO: f32 = 0.5;
+/// Encoder embedding width.
+const EMBED: usize = 16;
+
+/// The fitted detector: frozen MAE encoder + linear probe.
+#[derive(Clone, Debug)]
+pub struct Marlin {
+    store: ParamStore,
+    encoder: Mlp,
+    probe: MlpClassifier,
+}
+
+impl Marlin {
+    /// Pretrain the MAE on unlabeled frames, then fit the probe.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let encoder = Mlp::new(&mut store, "mae.enc", &[PATCH_PIXELS, 32, EMBED], Activation::Gelu, &mut rng);
+        let decoder = Mlp::new(&mut store, "mae.dec", &[EMBED, 32, PATCH_PIXELS], Activation::Gelu, &mut rng);
+        let mut opt = Adam::new(2e-3);
+
+        // --- Self-supervised stage: reconstruct masked patches. ---
+        for _ in 0..3 {
+            for v in train {
+                let patches = patchify_video(v);
+                let mut g = Graph::new();
+                // Pick masked patch indices.
+                let masked: Vec<usize> = (0..NUM_PATCHES)
+                    .filter(|_| rng.random::<f32>() < MASK_RATIO)
+                    .collect();
+                if masked.is_empty() {
+                    continue;
+                }
+                // Mean of visible embeddings is the context; the decoder
+                // reconstructs each masked patch from it.
+                let visible: Vec<usize> =
+                    (0..NUM_PATCHES).filter(|i| !masked.contains(i)).collect();
+                if visible.is_empty() {
+                    continue;
+                }
+                let mut vis_flat = Vec::with_capacity(visible.len() * PATCH_PIXELS);
+                for &i in &visible {
+                    vis_flat.extend_from_slice(&patches[i]);
+                }
+                let vx = g.leaf(Tensor::from_vec(vis_flat, vec![visible.len(), PATCH_PIXELS]));
+                let emb = encoder.forward(&mut g, &store, vx);
+                let ctx = g.row_mean(emb); // [1, EMBED]
+                let recon = decoder.forward(&mut g, &store, ctx); // [1, PATCH_PIXELS]
+                // Target: the mean of the masked patches (context-level MAE).
+                let mut target = vec![0.0f32; PATCH_PIXELS];
+                for &i in &masked {
+                    for (t, &p) in target.iter_mut().zip(&patches[i]) {
+                        *t += p;
+                    }
+                }
+                target.iter_mut().for_each(|t| *t /= masked.len() as f32);
+                let tv = g.leaf(Tensor::from_vec(target, vec![1, PATCH_PIXELS]));
+                let loss = mse(&mut g, recon, tv);
+                g.backward(loss);
+                g.accumulate_grads(&mut store);
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+                store.zero_grads();
+            }
+        }
+
+        // --- Supervised probe on the frozen encoder. ---
+        let embed_of = |v: &VideoSample, enc: &Mlp, st: &ParamStore| -> Vec<f32> {
+            let patches = patchify_video(v);
+            let mut flat = Vec::with_capacity(NUM_PATCHES * PATCH_PIXELS);
+            for p in &patches {
+                flat.extend_from_slice(p);
+            }
+            let mut g = Graph::new();
+            let x = g.leaf(Tensor::from_vec(flat, vec![NUM_PATCHES, PATCH_PIXELS]));
+            let emb = enc.forward(&mut g, st, x);
+            let pooled = g.row_mean(emb);
+            g.value(pooled).row(0).to_vec()
+        };
+        let feats: Vec<Vec<f32>> = train
+            .iter()
+            .map(|v| embed_of(v, &encoder, &store))
+            .collect();
+        let labels: Vec<usize> = train.iter().map(|v| class_of(v.label)).collect();
+        let probe = MlpClassifier::fit(&feats, &labels, &[EMBED, 16, 2], 40, 5e-3, seed ^ 1);
+
+        Marlin { store, encoder, probe }
+    }
+
+    fn embed(&self, video: &VideoSample) -> Vec<f32> {
+        let patches = patchify_video(video);
+        let mut flat = Vec::with_capacity(NUM_PATCHES * PATCH_PIXELS);
+        for p in &patches {
+            flat.extend_from_slice(p);
+        }
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(flat, vec![NUM_PATCHES, PATCH_PIXELS]));
+        let emb = self.encoder.forward(&mut g, &self.store, x);
+        let pooled = g.row_mean(emb);
+        g.value(pooled).row(0).to_vec()
+    }
+}
+
+/// Split the expressive frame + baseline difference into two-channel 8×8
+/// patches, row-major.
+fn patchify_video(video: &VideoSample) -> Vec<Vec<f32>> {
+    let frame = video.render_frame(video.most_expressive_frame());
+    let baseline = video.render_frame(video.least_expressive_frame());
+    let a = frame_pixels_48(&frame);
+    let b = frame_pixels_48(&baseline);
+    let side = 48 / PATCH;
+    let mut out = Vec::with_capacity(NUM_PATCHES);
+    for py in 0..side {
+        for px_i in 0..side {
+            let mut patch = Vec::with_capacity(PATCH_PIXELS);
+            for y in 0..PATCH {
+                for x in 0..PATCH {
+                    patch.push(a[(py * PATCH + y) * 48 + px_i * PATCH + x]);
+                }
+            }
+            for y in 0..PATCH {
+                for x in 0..PATCH {
+                    let i = (py * PATCH + y) * 48 + px_i * PATCH + x;
+                    patch.push(a[i] - b[i]);
+                }
+            }
+            out.push(patch);
+        }
+    }
+    out
+}
+
+impl StressDetector for Marlin {
+    fn name(&self) -> &'static str {
+        "MARLIN"
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        label_of(self.probe.predict_class(&self.embed(video)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn patchify_covers_both_channels() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 11);
+        let v = &ds.samples[0];
+        let patches = patchify_video(v);
+        assert_eq!(patches.len(), NUM_PATCHES);
+        assert!(patches.iter().all(|p| p.len() == PATCH_PIXELS));
+        // Channel 0 sums to the frame's pixel sum.
+        let total: f32 = patches.iter().flat_map(|p| &p[..PATCH * PATCH]).sum();
+        let direct: f32 = frame_pixels_48(&v.render_frame(v.most_expressive_frame())).iter().sum();
+        assert!((total - direct).abs() / direct.abs().max(1.0) < 1e-3);
+    }
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 12);
+        let (train_i, test_i) = ds.train_test_split(0.8, 6);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Marlin::fit(&train, 7);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+}

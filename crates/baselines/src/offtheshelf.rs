@@ -1,0 +1,103 @@
+//! The three off-the-shelf large foundation models of Table I, used
+//! zero-shot: GPT-4o, Claude-3.5 Sonnet and Gemini-1.5 Pro.
+//!
+//! Each proxy is an [`lfm`] model pretrained with that provider's
+//! capability profile ([`lfm::pretrain::CapabilityProfile`]) and *never*
+//! fine-tuned on the stress corpora — exactly the API-only usage of the
+//! paper ("we only use API to let them perform stress detection without
+//! training").
+
+use lfm::instructions::{assess_direct_prompt, label_tokens};
+use lfm::pretrain::{pretrain, CapabilityProfile};
+use lfm::{Lfm, ModelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::StressDetector;
+
+/// A frozen, zero-shot foundation-model detector.
+#[derive(Clone, Debug)]
+pub struct OffTheShelf {
+    model: Lfm,
+    name: &'static str,
+}
+
+impl OffTheShelf {
+    /// Instantiate a proxy from its capability profile.  `seed` fixes the
+    /// pretraining draw; the stress corpora are never seen.
+    pub fn build(profile: CapabilityProfile, seed: u64) -> Self {
+        let mut model = Lfm::new(ModelConfig::small(), seed);
+        pretrain(&mut model, &profile, seed ^ 0x0FF);
+        OffTheShelf { model, name: profile.name }
+    }
+
+    /// The GPT-4o proxy.
+    pub fn gpt4o(seed: u64) -> Self {
+        Self::build(CapabilityProfile::gpt4o(), seed)
+    }
+
+    /// The Claude-3.5 proxy.
+    pub fn claude(seed: u64) -> Self {
+        Self::build(CapabilityProfile::claude(), seed)
+    }
+
+    /// The Gemini-1.5 proxy.
+    pub fn gemini(seed: u64) -> Self {
+        Self::build(CapabilityProfile::gemini(), seed)
+    }
+
+    /// Borrow the underlying frozen model (used by the §IV-G test-time
+    /// refinement experiment).
+    pub fn model(&self) -> &Lfm {
+        &self.model
+    }
+
+    /// Consume into the underlying model.
+    pub fn into_model(self) -> Lfm {
+        self.model
+    }
+}
+
+impl StressDetector for OffTheShelf {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        let p = assess_direct_prompt(&self.model, video);
+        let [st, un] = label_tokens(&self.model.vocab);
+        let mut rng = StdRng::seed_from_u64(video.id as u64);
+        if self.model.choose(&p, &[st, un], 0.0, &mut rng) == st {
+            StressLabel::Stressed
+        } else {
+            StressLabel::Unstressed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn proxies_have_their_table_names() {
+        // Use a minuscule pretraining corpus: this test only checks wiring.
+        let p = OffTheShelf::build(CapabilityProfile::gpt4o().scaled(0.05), 1);
+        assert_eq!(p.name(), "GPT-4o");
+    }
+
+    #[test]
+    fn zero_shot_predicts_something_reasonable() {
+        let proxy = OffTheShelf::build(CapabilityProfile::gpt4o().scaled(0.3), 2);
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 14);
+        let correct = ds
+            .samples
+            .iter()
+            .filter(|v| proxy.predict(v) == v.label)
+            .count();
+        // Better than always-wrong; not required to be great.
+        assert!(correct * 10 >= ds.len() * 4, "{correct}/{}", ds.len());
+    }
+}

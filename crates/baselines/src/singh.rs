@@ -1,0 +1,96 @@
+//! Singh et al. (Microprocessors & Microsystems 2022): stress detection
+//! from surveillance video with a ResNet-101 backbone — here, the deepest
+//! pure-pixel CNN in the suite, applied to the expressive frame.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::layers::{Conv2dLayer, Linear};
+use tinynn::loss::cross_entropy;
+use tinynn::optim::{Adam, Optimizer};
+use tinynn::{Graph, ParamStore};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, label_of, CnnTrunk, StressDetector};
+
+/// The fitted detector.
+#[derive(Clone, Debug)]
+pub struct Singh {
+    store: ParamStore,
+    trunk: CnnTrunk,
+    conv3: Conv2dLayer,
+    head: Linear,
+}
+
+impl Singh {
+    /// Fit the deep CNN on the expressive frames.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        // Wider trunk + an extra conv stage = the "deep" backbone stand-in.
+        let trunk = CnnTrunk::new(&mut store, "singh", 6, 12, &mut rng);
+        let conv3 = Conv2dLayer::new(&mut store, "singh.c3", 12, 16, 3, 1, &mut rng);
+        let head = Linear::new(&mut store, "singh.head", 16 * 2 * 2, 2, &mut rng);
+        let mut model = Singh { store, trunk, conv3, head };
+        let mut opt = Adam::new(2e-3);
+
+        for _ in 0..4 {
+            for v in train {
+                let mut g = Graph::new();
+                let logits = model.logits(&mut g, v);
+                let loss = cross_entropy(&mut g, logits, &[class_of(v.label)]);
+                g.backward(loss);
+                g.accumulate_grads(&mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+                model.store.zero_grads();
+            }
+        }
+        model
+    }
+
+    fn logits(&self, g: &mut Graph, video: &VideoSample) -> tinynn::graph::Var {
+        let x = CnnTrunk::frame_leaf(g, video, video.most_expressive_frame());
+        // Trunk up to its second pool, then the extra stage.
+        let h = self.trunk.conv1_forward(g, &self.store, x); // [6, 22, 22]
+        let h = g.relu(h);
+        let h = g.max_pool2d(h, 2); // [6, 11, 11]
+        let h = self.trunk.conv2_forward(g, &self.store, h); // [12, 9, 9]
+        let h = g.relu(h);
+        let h = g.max_pool2d(h, 2); // [12, 4, 4]
+        let h = self.conv3.forward(g, &self.store, h); // [16, 2, 2]
+        let h = g.relu(h);
+        let h = g.reshape(h, vec![1, 16 * 2 * 2]);
+        self.head.forward(g, &self.store, h)
+    }
+}
+
+impl StressDetector for Singh {
+    fn name(&self) -> &'static str {
+        "Singh et al."
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        let mut g = Graph::new();
+        let logits = self.logits(&mut g, video);
+        label_of(tinynn::tensor::argmax(g.value(logits).row(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 10);
+        let (train_i, test_i) = ds.train_test_split(0.8, 5);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Singh::fit(&train, 6);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+}

@@ -1,0 +1,131 @@
+//! TSDNet (Zhang, Feng, Li, Jin & Cao, Sensors 2020): a two-level network
+//! with a face-level stream (the most/least expressive frame pair) and an
+//! action-level stream (facial movement dynamics), fused by a
+//! stream-weighted integrator with attention.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::layers::{Activation, Linear, Mlp};
+use tinynn::loss::cross_entropy;
+use tinynn::optim::{Adam, Optimizer};
+use tinynn::{Graph, ParamStore, Tensor};
+use videosynth::features::{landmark_feature_vector, observed_landmarks};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, label_of, CnnTrunk, StressDetector};
+
+/// Landmark tracker jitter.
+const TRACKER_NOISE: f32 = 0.8;
+/// Width of each stream representation.
+const STREAM_DIM: usize = 24;
+
+/// The fitted detector.
+#[derive(Clone, Debug)]
+pub struct Tsdnet {
+    store: ParamStore,
+    face_trunk: CnnTrunk,
+    face_proj: Linear,
+    action_net: Mlp,
+    gate: Linear,
+    head: Linear,
+    seed: u64,
+}
+
+impl Tsdnet {
+    /// Fit end-to-end.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let face_trunk = CnnTrunk::new(&mut store, "tsd.face", 4, 8, &mut rng);
+        let face_proj = Linear::new(&mut store, "tsd.fproj", 128, STREAM_DIM, &mut rng);
+        let action_net = Mlp::new(&mut store, "tsd.action", &[196, 48, STREAM_DIM], Activation::Relu, &mut rng);
+        let gate = Linear::new(&mut store, "tsd.gate", 2 * STREAM_DIM, 2, &mut rng);
+        let head = Linear::new(&mut store, "tsd.head", STREAM_DIM, 2, &mut rng);
+        let mut model = Tsdnet { store, face_trunk, face_proj, action_net, gate, head, seed };
+        let mut opt = Adam::new(2e-3);
+
+        for _ in 0..3 {
+            for v in train {
+                let mut g = Graph::new();
+                let logits = model.video_logits(&mut g, v);
+                let loss = cross_entropy(&mut g, logits, &[class_of(v.label)]);
+                g.backward(loss);
+                g.accumulate_grads(&mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+                model.store.zero_grads();
+            }
+        }
+        model
+    }
+
+    fn video_logits(&self, g: &mut Graph, video: &VideoSample) -> tinynn::graph::Var {
+        // Face-level stream: the (f_e, f_e − f_l) pair through the CNN.
+        let (fe, fl) = video.expressive_pair();
+        let xe = CnnTrunk::pair_leaf(g, &fe, &fl);
+        let fe_feat = self.face_trunk.forward(g, &self.store, xe);
+        let face = self.face_proj.forward(g, &self.store, fe_feat);
+        let face = g.tanh(face);
+
+        // Action-level stream: landmark displacement between the least and
+        // most expressive frames (the facial movement signature).
+        let le = observed_landmarks(video, video.most_expressive_frame(), TRACKER_NOISE, self.seed);
+        let ll = observed_landmarks(video, video.least_expressive_frame(), TRACKER_NOISE, self.seed);
+        let ve = landmark_feature_vector(&le);
+        let vl = landmark_feature_vector(&ll);
+        let mut motion = Vec::with_capacity(196);
+        motion.extend(ve.iter().zip(&vl).map(|(a, b)| a - b));
+        motion.extend_from_slice(&ve);
+        let mv = g.leaf(Tensor::from_vec(motion, vec![1, 196]));
+        let action = self.action_net.forward(g, &self.store, mv);
+        let action = g.tanh(action);
+
+        // Stream-weighted integrator: softmax gate over the two streams.
+        let both = g.concat_cols(&[face, action]);
+        let gate_logits = self.gate.forward(g, &self.store, both);
+        let weights = g.softmax(gate_logits); // [1, 2]
+        let wf = g.slice_cols(weights, 0, 1);
+        let wa = g.slice_cols(weights, 1, 1);
+        // Broadcast scalar weights over the stream vectors.
+        let ones = g.leaf(Tensor::from_vec(vec![1.0; STREAM_DIM], vec![1, STREAM_DIM]));
+        // Broadcast the scalar gate weights across the stream width:
+        // [1,1] × [1,D] → [1,D].
+        let wf_b = g.matmul(wf, ones);
+        let wa_b = g.matmul(wa, ones);
+        let face_w = g.mul(face, wf_b);
+        let action_w = g.mul(action, wa_b);
+        let fused = g.add(face_w, action_w);
+        self.head.forward(g, &self.store, fused)
+    }
+}
+
+impl StressDetector for Tsdnet {
+    fn name(&self) -> &'static str {
+        "TSDNet"
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        let mut g = Graph::new();
+        let logits = self.video_logits(&mut g, video);
+        label_of(tinynn::tensor::argmax(g.value(logits).row(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 9);
+        let (train_i, test_i) = ds.train_test_split(0.8, 4);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Tsdnet::fit(&train, 5);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+}

@@ -1,0 +1,105 @@
+//! Zhang, Mei, Liu, Yuan & Qian (ICSIP 2019): a CNN detects the emotion of
+//! every frame; the video is flagged stressed when at least two thirds of
+//! its frames show a negative emotion.
+//!
+//! The per-frame CNN is trained for real (weak frame labels from the video
+//! label, as in the original's emotion-pretraining + rule design); the
+//! ⅔-majority rule is kept verbatim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::layers::Linear;
+use tinynn::loss::cross_entropy;
+use tinynn::optim::{Adam, Optimizer};
+use tinynn::{Graph, ParamStore};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::common::{class_of, sampled_frames, CnnTrunk, StressDetector};
+
+/// Frames sampled per video for the rule.
+const FRAMES: usize = 6;
+/// The paper's decision rule: stressed iff ≥ 2/3 of frames are negative.
+const RULE_FRACTION: f32 = 2.0 / 3.0;
+
+/// The fitted detector.
+#[derive(Clone, Debug)]
+pub struct Zhang {
+    store: ParamStore,
+    trunk: CnnTrunk,
+    head: Linear,
+}
+
+impl Zhang {
+    /// Fit the frame-level emotion CNN.
+    pub fn fit(train: &[VideoSample], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let trunk = CnnTrunk::new(&mut store, "zhang", 4, 8, &mut rng);
+        let head = Linear::new(&mut store, "zhang.head", trunk.out_dim, 2, &mut rng);
+        let mut opt = Adam::new(2e-3);
+
+        for epoch in 0..3 {
+            for v in train {
+                // Train on a subset of frames each epoch to bound cost.
+                for &t in sampled_frames(v, 3).iter().skip(epoch % 2) {
+                    let mut g = Graph::new();
+                    let x = CnnTrunk::frame_leaf(&mut g, v, t);
+                    let feat = trunk.forward(&mut g, &store, x);
+                    let logits = head.forward(&mut g, &store, feat);
+                    let loss = cross_entropy(&mut g, logits, &[class_of(v.label)]);
+                    g.backward(loss);
+                    g.accumulate_grads(&mut store);
+                    store.clip_grad_norm(5.0);
+                    opt.step(&mut store);
+                    store.zero_grads();
+                }
+            }
+        }
+        Zhang { store, trunk, head }
+    }
+
+    /// Whether one frame is classified as a negative emotion.
+    fn frame_negative(&self, video: &VideoSample, t: usize) -> bool {
+        let mut g = Graph::new();
+        let x = CnnTrunk::frame_leaf(&mut g, video, t);
+        let feat = self.trunk.forward(&mut g, &self.store, x);
+        let logits = self.head.forward(&mut g, &self.store, feat);
+        let row = g.value(logits).row(0).to_vec();
+        tinynn::tensor::argmax(&row) == 1
+    }
+}
+
+impl StressDetector for Zhang {
+    fn name(&self) -> &'static str {
+        "Zhang et al."
+    }
+
+    fn predict(&self, video: &VideoSample) -> StressLabel {
+        let frames = sampled_frames(video, FRAMES);
+        let negative = frames.iter().filter(|&&t| self.frame_negative(video, t)).count();
+        if (negative as f32) >= RULE_FRACTION * frames.len() as f32 {
+            StressLabel::Stressed
+        } else {
+            StressLabel::Unstressed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 6);
+        let (train_i, test_i) = ds.train_test_split(0.8, 2);
+        let train: Vec<VideoSample> = train_i.iter().map(|&i| ds.samples[i].clone()).collect();
+        let model = Zhang::fit(&train, 3);
+        let correct = test_i
+            .iter()
+            .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
+            .count();
+        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the per-component costs that Figure 6's
+//! latency comparison is built from: one model forward/generation, one
+//! masked evaluation for the perturbation explainers, SLIC segmentation,
+//! and one training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chain_reason::{PipelineConfig, StressPipeline};
+use lfm::instructions::{assess_prompt, describe_prompt};
+use lfm::{Lfm, ModelConfig};
+use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+use videosynth::perturb::mask_segments;
+use videosynth::slic::slic;
+
+fn setup() -> (StressPipeline, Dataset) {
+    let model = Lfm::new(ModelConfig::small(), 7);
+    let pl = StressPipeline::new(model, PipelineConfig::default_experiment());
+    let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 5);
+    (pl, ds)
+}
+
+fn bench_components(c: &mut Criterion) {
+    let (pl, ds) = setup();
+    let v = &ds.samples[0];
+    let fe = v.render_frame(v.most_expressive_frame());
+    let seg = slic(&fe, 64, 0.1, 5);
+
+    c.bench_function("render_frame", |b| {
+        b.iter(|| black_box(v.render_frame(black_box(3))))
+    });
+
+    c.bench_function("slic_64_segments", |b| {
+        b.iter(|| black_box(slic(black_box(&fe), 64, 0.1, 5)))
+    });
+
+    c.bench_function("assess_forward", |b| {
+        let p = assess_prompt(&pl.model, v, v.apex_aus());
+        b.iter(|| black_box(pl.model.next_token_distribution(black_box(&p))))
+    });
+
+    c.bench_function("describe_generation", |b| {
+        let p = describe_prompt(&pl.model, v);
+        b.iter(|| black_box(lfm::grammar::generate_description(&pl.model, black_box(&p), 0.0, 1)))
+    });
+
+    c.bench_function("masked_eval_unit", |b| {
+        // One perturbation-explainer evaluation: mask + assess forward.
+        let p_desc = v.apex_aus();
+        b.iter(|| {
+            let masked = mask_segments(&fe, &seg, &[0, 5, 9], 0.5);
+            let (_, fl) = v.expressive_pair();
+            let p = lfm::instructions::assess_prompt_from_images(&pl.model, &masked, &fl, p_desc);
+            black_box(pl.model.next_token_distribution(&p))
+        })
+    });
+
+    c.bench_function("full_chain_predict", |b| {
+        b.iter(|| black_box(pl.predict(black_box(v), 1)))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    use lfm::train::{sft, SftExample, TrainConfig};
+    let (pl, ds) = setup();
+    let v = &ds.samples[0];
+    c.bench_function("sft_step_one_example", |b| {
+        let data = vec![SftExample {
+            prompt: describe_prompt(&pl.model, v),
+            answer: lfm::instructions::description_answer(&pl.model.vocab, v.apex_aus()),
+        }];
+        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        b.iter_batched(
+            || pl.model.clone(),
+            |mut m| black_box(sft(&mut m, &data, &cfg)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_components, bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Minimal CLI parsing shared by the table binaries.
+
+use videosynth::dataset::Scale;
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct CliArgs {
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Cap on evaluated test samples for the expensive protocols
+    /// (faithfulness / explainers); `None` = scale default.
+    pub samples: Option<usize>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs { scale: Scale::Default, seed: 7, samples: None }
+    }
+}
+
+impl CliArgs {
+    /// Parse from an iterator of arguments (without the program name).
+    /// Unknown flags abort with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = CliArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    out.scale = Scale::parse(&v).ok_or_else(|| format!("bad scale {v:?} (smoke|default|full)"))?;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                }
+                "--samples" => {
+                    let v = it.next().ok_or("--samples needs a value")?;
+                    out.samples = Some(v.parse().map_err(|_| format!("bad sample cap {v:?}"))?);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: --scale smoke|default|full --seed N [--samples N]".into())
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with the message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The faithfulness-protocol sample cap for the chosen scale.
+    pub fn faithfulness_samples(&self) -> usize {
+        self.samples.unwrap_or(match self.scale {
+            Scale::Smoke => 10,
+            Scale::Default => 24,
+            Scale::Full => 80,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse(v.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Default);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.samples, None);
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = parse(&["--scale", "smoke", "--seed", "42", "--samples", "5"]).unwrap();
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.samples, Some(5));
+        assert_eq!(a.faithfulness_samples(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale", "huge"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+    }
+
+    #[test]
+    fn scale_dependent_caps() {
+        let a = parse(&["--scale", "smoke"]).unwrap();
+        assert_eq!(a.faithfulness_samples(), 10);
+        let b = parse(&["--scale", "full"]).unwrap();
+        assert_eq!(b.faithfulness_samples(), 80);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tables III & V (ablation detection) and IV & VI (ablation faithfulness).
+
+use chain_reason::localize::rationale_segment_ranking;
+use chain_reason::{StressPipeline, Variant};
+use evalkit::faithfulness::{topk_accuracy_drops, ExplainedClassifier, TopKDrops};
+use evalkit::metrics::{Confusion, Metrics};
+use evalkit::table::Table;
+use lfm::instructions::{
+    assess_direct_prompt_from_images, assess_prompt_from_images, describe_prompt_from_images,
+    label_tokens,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use videosynth::image::Image;
+use videosynth::slic::Segmentation;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::context::{Context, Corpus};
+
+/// One ablation result: detection metrics and Top-k drops.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    pub variant: Variant,
+    pub metrics: Metrics,
+    pub drops: TopKDrops,
+}
+
+/// The paper's ablation accuracy numbers (Tables III & V).
+pub fn paper_ablation_accuracy(corpus: Corpus, variant: Variant) -> f64 {
+    match (corpus, variant) {
+        (Corpus::Uvsd, Variant::Full) => 95.81,
+        (Corpus::Uvsd, Variant::WithoutChain) => 91.74,
+        (Corpus::Uvsd, Variant::WithoutLearnDescribe) => 93.75,
+        (Corpus::Uvsd, Variant::WithoutRefine) => 93.56,
+        (Corpus::Uvsd, Variant::WithoutReflection) => 94.99,
+        (Corpus::Rsl, Variant::Full) => 90.94,
+        (Corpus::Rsl, Variant::WithoutChain) => 86.98,
+        (Corpus::Rsl, Variant::WithoutLearnDescribe) => 88.43,
+        (Corpus::Rsl, Variant::WithoutRefine) => 88.79,
+        (Corpus::Rsl, Variant::WithoutReflection) => 89.71,
+    }
+}
+
+/// The paper's ablation Top-1 drops (Tables IV & VI).
+pub fn paper_ablation_top1(corpus: Corpus, variant: Variant) -> f64 {
+    match (corpus, variant) {
+        (Corpus::Uvsd, Variant::Full) => 11.96,
+        (Corpus::Uvsd, Variant::WithoutChain) => 6.29,
+        (Corpus::Uvsd, Variant::WithoutLearnDescribe) => 10.92,
+        (Corpus::Uvsd, Variant::WithoutRefine) => 8.89,
+        (Corpus::Uvsd, Variant::WithoutReflection) => 11.14,
+        (Corpus::Rsl, Variant::Full) => 14.70,
+        (Corpus::Rsl, Variant::WithoutChain) => 7.16,
+        (Corpus::Rsl, Variant::WithoutLearnDescribe) => 12.47,
+        (Corpus::Rsl, Variant::WithoutRefine) => 11.81,
+        (Corpus::Rsl, Variant::WithoutReflection) => 13.85,
+    }
+}
+
+/// A trained pipeline wrapped for the Top-k disturb protocol.  The chain
+/// re-runs end to end on the (possibly disturbed) frames; the rationale of
+/// the *clean* prediction provides the segment ranking.
+pub struct ChainClassifier<'a> {
+    pub pipeline: &'a StressPipeline,
+    pub variant: Variant,
+}
+
+impl ChainClassifier<'_> {
+    fn predict_from(&self, fe: &Image, fl: &Image) -> StressLabel {
+        let m = &self.pipeline.model;
+        let [st, un] = label_tokens(&m.vocab);
+        let prompt = if self.variant.uses_chain() {
+            let dp = describe_prompt_from_images(m, fe, fl);
+            let desc = lfm::grammar::generate_description(m, &dp, 0.0, 0);
+            assess_prompt_from_images(m, fe, fl, desc)
+        } else {
+            assess_direct_prompt_from_images(m, fe, fl)
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        if m.choose(&prompt, &[st, un], 0.0, &mut rng) == st {
+            StressLabel::Stressed
+        } else {
+            StressLabel::Unstressed
+        }
+    }
+}
+
+impl ExplainedClassifier for ChainClassifier<'_> {
+    fn predict_images(&self, fe: &Image, fl: &Image, _video: &VideoSample) -> StressLabel {
+        self.predict_from(fe, fl)
+    }
+
+    fn rank_segments(&self, video: &VideoSample, _fe: &Image, seg: &Segmentation) -> Vec<usize> {
+        // Highlight on the clean input; the "w/o Chain" variant highlights
+        // over the full AU space (§IV-E).
+        let out = if self.variant.uses_chain() {
+            self.pipeline.predict(video, video.id as u64)
+        } else {
+            let assessment = self.pipeline.assess_direct(video, 0.0, video.id as u64);
+            let rationale = self.pipeline.highlight(
+                video,
+                facs::au::AuSet::FULL,
+                assessment,
+                0.0,
+                video.id as u64,
+            );
+            chain_reason::ChainOutput { description: facs::au::AuSet::FULL, assessment, rationale }
+        };
+        rationale_segment_ranking(out.rationale, seg)
+    }
+}
+
+/// Train and evaluate one variant: detection metrics on the full test set,
+/// Top-k drops on `faith_samples` test samples.
+pub fn run_variant(ctx: &Context, variant: Variant, faith_samples: usize) -> AblationRow {
+    let (pl, _) = ctx.train_variant(variant);
+    let pairs: Vec<_> = ctx
+        .test
+        .iter()
+        .map(|v| {
+            (
+                v.label,
+                chain_reason::trainer::predict_for_variant(&pl, variant, v),
+            )
+        })
+        .collect();
+    let metrics = Confusion::from_pairs(&pairs).metrics();
+    let subset: Vec<VideoSample> = ctx.test.iter().take(faith_samples).cloned().collect();
+    let clf = ChainClassifier { pipeline: &pl, variant };
+    let drops = topk_accuracy_drops(&clf, &subset, ctx.seed ^ 0xD15);
+    AblationRow { variant, metrics, drops }
+}
+
+/// Render the detection side (Tables III / V).
+pub fn render_detection(title: &str, corpus: Corpus, rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(title, &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc."]);
+    for r in rows {
+        let c = r.metrics.row_cells();
+        t.row(vec![
+            r.variant.label().to_owned(),
+            c[0].clone(),
+            c[1].clone(),
+            c[2].clone(),
+            c[3].clone(),
+            format!("{:.2}%", paper_ablation_accuracy(corpus, r.variant)),
+        ]);
+    }
+    t
+}
+
+/// Render the faithfulness side (Tables IV / VI).
+pub fn render_faithfulness(title: &str, corpus: Corpus, rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Method", "Top-1", "Top-2", "Top-3", "paper Top-1"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.variant.label().to_owned(),
+            format!("{:.2}%", r.drops.drops[0] * 100.0),
+            format!("{:.2}%", r.drops.drops[1] * 100.0),
+            format!("{:.2}%", r.drops.drops[2] * 100.0),
+            format!("{:.2}%", paper_ablation_top1(corpus, r.variant)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_internally_ordered() {
+        for c in [Corpus::Uvsd, Corpus::Rsl] {
+            let full = paper_ablation_accuracy(c, Variant::Full);
+            for v in [
+                Variant::WithoutChain,
+                Variant::WithoutLearnDescribe,
+                Variant::WithoutRefine,
+                Variant::WithoutReflection,
+            ] {
+                assert!(full > paper_ablation_accuracy(c, v));
+                assert!(paper_ablation_top1(c, Variant::Full) > paper_ablation_top1(c, v));
+            }
+        }
+    }
+}

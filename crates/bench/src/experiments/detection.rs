@@ -1,0 +1,177 @@
+//! Table I — stress-detection performance of every method on both corpora.
+
+use baselines::common::StressDetector;
+use baselines::offtheshelf::OffTheShelf;
+use chain_reason::Variant;
+use evalkit::metrics::{Confusion, Metrics};
+use evalkit::table::Table;
+use lfm::pretrain::CapabilityProfile;
+use videosynth::dataset::Scale;
+use videosynth::video::VideoSample;
+
+use crate::context::{Context, Corpus};
+
+/// One Table I row: method name, measured metrics, the paper's reported
+/// numbers `(acc, prec, rec, f1)` in percent.
+#[derive(Clone, Debug)]
+pub struct DetectionRow {
+    pub method: &'static str,
+    pub metrics: Metrics,
+    pub paper: [f64; 4],
+}
+
+/// The paper's Table I numbers (UVSD, RSL) per method.
+pub fn paper_numbers(corpus: Corpus, method: &str) -> [f64; 4] {
+    match (corpus, method) {
+        (Corpus::Uvsd, "GPT-4o") => [75.95, 77.42, 76.93, 76.70],
+        (Corpus::Uvsd, "Claude-3.5") => [73.29, 74.11, 73.04, 73.18],
+        (Corpus::Uvsd, "Gemini-1.5") => [70.19, 69.91, 72.50, 70.76],
+        (Corpus::Uvsd, "FDASSNN") => [74.11, 73.71, 74.00, 74.06],
+        (Corpus::Uvsd, "Gao et al.") => [78.38, 65.00, 63.83, 64.40],
+        (Corpus::Uvsd, "Zhang et al.") => [81.58, 67.38, 77.30, 72.00],
+        (Corpus::Uvsd, "Jeon et al.") => [82.71, 69.61, 77.30, 73.26],
+        (Corpus::Uvsd, "TSDNet") => [85.42, 85.28, 85.32, 85.53],
+        (Corpus::Uvsd, "MARLIN") => [86.56, 86.56, 87.33, 86.49],
+        (Corpus::Uvsd, "Singh et al.") => [81.56, 81.87, 80.30, 80.76],
+        (Corpus::Uvsd, "Ding et al.") => [91.25, 92.18, 90.24, 90.89],
+        (Corpus::Uvsd, "Ours") => [95.81, 96.05, 92.82, 94.22],
+        (Corpus::Rsl, "GPT-4o") => [66.89, 66.01, 68.93, 65.45],
+        (Corpus::Rsl, "Claude-3.5") => [60.76, 61.35, 63.88, 63.42],
+        (Corpus::Rsl, "Gemini-1.5") => [66.53, 65.83, 64.31, 62.07],
+        (Corpus::Rsl, "FDASSNN") => [67.42, 62.26, 63.26, 62.75],
+        (Corpus::Rsl, "Gao et al.") => [63.30, 52.81, 62.42, 52.61],
+        (Corpus::Rsl, "Zhang et al.") => [65.49, 56.77, 56.21, 56.49],
+        (Corpus::Rsl, "Jeon et al.") => [79.53, 74.54, 64.72, 66.78],
+        (Corpus::Rsl, "TSDNet") => [81.76, 80.37, 72.77, 74.99],
+        (Corpus::Rsl, "MARLIN") => [82.50, 84.76, 76.64, 78.64],
+        (Corpus::Rsl, "Singh et al.") => [78.12, 73.22, 69.22, 70.58],
+        (Corpus::Rsl, "Ding et al.") => [86.50, 84.81, 78.40, 80.79],
+        (Corpus::Rsl, "Ours") => [90.94, 90.13, 85.13, 85.94],
+        _ => [0.0; 4],
+    }
+}
+
+/// Evaluate one fitted detector on a test set.
+pub fn evaluate_detector<D: StressDetector + ?Sized>(det: &D, test: &[VideoSample]) -> Metrics {
+    let pairs: Vec<_> = test.iter().map(|v| (v.label, det.predict(v))).collect();
+    Confusion::from_pairs(&pairs).metrics()
+}
+
+/// Run every Table I method on one corpus, in the paper's row order.
+///
+/// `include_ours` lets cheap callers skip the (expensive) full pipeline.
+pub fn run_corpus(ctx: &Context, include_ours: bool) -> Vec<DetectionRow> {
+    let mut rows = Vec::new();
+    let scale_factor = if ctx.scale == Scale::Smoke { 0.25 } else { 1.0 };
+
+    // Off-the-shelf foundation models (zero shot).
+    for profile in [
+        CapabilityProfile::gpt4o(),
+        CapabilityProfile::claude(),
+        CapabilityProfile::gemini(),
+    ] {
+        let proxy = OffTheShelf::build(profile.scaled(scale_factor), ctx.seed ^ 0x0F5);
+        let name = proxy.name();
+        rows.push(DetectionRow {
+            method: name,
+            metrics: evaluate_detector(&proxy, &ctx.test),
+            paper: paper_numbers(ctx.corpus, name),
+        });
+    }
+
+    // Supervised baselines.
+    let supervised: Vec<Box<dyn StressDetector>> = vec![
+        Box::new(baselines::fdassnn::Fdassnn::fit(&ctx.train, ctx.seed ^ 1)),
+        Box::new(baselines::gao::Gao::fit(&ctx.train, ctx.seed ^ 2)),
+        Box::new(baselines::zhang::Zhang::fit(&ctx.train, ctx.seed ^ 3)),
+        Box::new(baselines::jeon::Jeon::fit(&ctx.train, ctx.seed ^ 4)),
+        Box::new(baselines::tsdnet::Tsdnet::fit(&ctx.train, ctx.seed ^ 5)),
+        Box::new(baselines::marlin::Marlin::fit(&ctx.train, ctx.seed ^ 6)),
+        Box::new(baselines::singh::Singh::fit(&ctx.train, ctx.seed ^ 7)),
+        Box::new(baselines::ding::Ding::fit(&ctx.train, ctx.seed ^ 8)),
+    ];
+    for det in &supervised {
+        rows.push(DetectionRow {
+            method: detector_static_name(det.name()),
+            metrics: evaluate_detector(det.as_ref(), &ctx.test),
+            paper: paper_numbers(ctx.corpus, det.name()),
+        });
+    }
+
+    // Ours.
+    if include_ours {
+        let (pl, _) = ctx.train_variant(Variant::Full);
+        let pairs: Vec<_> = ctx.test.iter().map(|v| (v.label, pl.predict_label(v))).collect();
+        rows.push(DetectionRow {
+            method: "Ours",
+            metrics: Confusion::from_pairs(&pairs).metrics(),
+            paper: paper_numbers(ctx.corpus, "Ours"),
+        });
+    }
+    rows
+}
+
+fn detector_static_name(name: &str) -> &'static str {
+    match name {
+        "FDASSNN" => "FDASSNN",
+        "Gao et al." => "Gao et al.",
+        "Zhang et al." => "Zhang et al.",
+        "Jeon et al." => "Jeon et al.",
+        "TSDNet" => "TSDNet",
+        "MARLIN" => "MARLIN",
+        "Singh et al." => "Singh et al.",
+        "Ding et al." => "Ding et al.",
+        _ => "unknown",
+    }
+}
+
+/// Render rows (for one or both corpora) as a Table I-style text table.
+pub fn render(title: &str, sections: &[(&str, &[DetectionRow])]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc.", "paper F1."],
+    );
+    for (label, rows) in sections {
+        t.section(label);
+        for r in *rows {
+            let c = r.metrics.row_cells();
+            t.row(vec![
+                r.method.to_owned(),
+                c[0].clone(),
+                c[1].clone(),
+                c[2].clone(),
+                c[3].clone(),
+                format!("{:.2}%", r.paper[0]),
+                format!("{:.2}%", r.paper[3]),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_cover_all_methods() {
+        for m in [
+            "GPT-4o", "Claude-3.5", "Gemini-1.5", "FDASSNN", "Gao et al.", "Zhang et al.",
+            "Jeon et al.", "TSDNet", "MARLIN", "Singh et al.", "Ding et al.", "Ours",
+        ] {
+            assert!(paper_numbers(Corpus::Uvsd, m)[0] > 0.0, "{m} uvsd missing");
+            assert!(paper_numbers(Corpus::Rsl, m)[0] > 0.0, "{m} rsl missing");
+        }
+        assert_eq!(paper_numbers(Corpus::Uvsd, "nope"), [0.0; 4]);
+    }
+
+    #[test]
+    fn paper_ours_is_best_on_both() {
+        for c in [Corpus::Uvsd, Corpus::Rsl] {
+            let ours = paper_numbers(c, "Ours")[0];
+            for m in ["GPT-4o", "TSDNet", "Ding et al."] {
+                assert!(ours > paper_numbers(c, m)[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Table VII (in-context retrieval), Figure 7 (similarity separation) and
+//! Figure 8 (pool-size sweep).
+
+use chain_reason::{StressPipeline, Variant};
+use evalkit::metrics::{Confusion, Metrics};
+use evalkit::table::Table;
+use facs::au::AuSet;
+use lfm::instructions::IclExample;
+use retrieval::analysis::Separation;
+use retrieval::{RetrievalStrategy, Retriever};
+use videosynth::video::VideoSample;
+
+use crate::context::{Context, Corpus};
+
+/// Paper Table VII accuracies.
+pub fn paper_icl_accuracy(corpus: Corpus, strategy: RetrievalStrategy) -> f64 {
+    match (corpus, strategy) {
+        (Corpus::Uvsd, RetrievalStrategy::None) => 95.81,
+        (Corpus::Uvsd, RetrievalStrategy::Random) => 95.43,
+        (Corpus::Uvsd, RetrievalStrategy::ByVision) => 96.25,
+        (Corpus::Uvsd, RetrievalStrategy::ByDescription) => 96.79,
+        (Corpus::Rsl, RetrievalStrategy::None) => 90.94,
+        (Corpus::Rsl, RetrievalStrategy::Random) => 90.69,
+        (Corpus::Rsl, RetrievalStrategy::ByVision) => 92.71,
+        (Corpus::Rsl, RetrievalStrategy::ByDescription) => 94.05,
+    }
+}
+
+/// Build a retrieval index over the training pool using the trained
+/// pipeline's own descriptions (the pool "supports knowledge sharing").
+pub fn build_retriever(pl: &StressPipeline, pool: &[VideoSample], seed: u64) -> Retriever {
+    let descs: Vec<AuSet> = pool
+        .iter()
+        .map(|v| pl.describe(v, 0.0, v.id as u64))
+        .collect();
+    Retriever::build(pool, &descs, seed)
+}
+
+/// Predict one test sample under a retrieval strategy.
+pub fn predict_with_strategy(
+    pl: &StressPipeline,
+    retriever: &Retriever,
+    pool: &[VideoSample],
+    strategy: RetrievalStrategy,
+    video: &VideoSample,
+    seed: u64,
+) -> videosynth::video::StressLabel {
+    let desc = pl.describe(video, 0.0, video.id as u64);
+    match retriever.select(strategy, video, desc, seed) {
+        None => pl.assess(video, desc, 0.0, video.id as u64),
+        Some(idx) => {
+            let ex = IclExample {
+                video: &pool[idx],
+                description: retriever.pool_descriptions[idx],
+                label: pool[idx].label,
+            };
+            pl.assess_with_examples(video, desc, &[ex], 0.0, video.id as u64)
+        }
+    }
+}
+
+/// Table VII: one trained pipeline, four retrieval strategies.
+pub fn run_table7(ctx: &Context) -> (StressPipeline, Vec<(RetrievalStrategy, Metrics)>) {
+    let (pl, _) = ctx.train_variant(Variant::Full);
+    let retriever = build_retriever(&pl, &ctx.train, ctx.seed ^ 0x1C1);
+    let rows = [
+        RetrievalStrategy::None,
+        RetrievalStrategy::Random,
+        RetrievalStrategy::ByVision,
+        RetrievalStrategy::ByDescription,
+    ]
+    .into_iter()
+    .map(|s| {
+        let pairs: Vec<_> = ctx
+            .test
+            .iter()
+            .map(|v| {
+                (
+                    v.label,
+                    predict_with_strategy(&pl, &retriever, &ctx.train, s, v, ctx.seed ^ 0x1C2),
+                )
+            })
+            .collect();
+        (s, Confusion::from_pairs(&pairs).metrics())
+    })
+    .collect();
+    (pl, rows)
+}
+
+/// Render Table VII.
+pub fn render_table7(title: &str, corpus: Corpus, rows: &[(RetrievalStrategy, Metrics)]) -> Table {
+    let mut t = Table::new(title, &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc."]);
+    for (s, m) in rows {
+        let c = m.row_cells();
+        t.row(vec![
+            s.label().to_owned(),
+            c[0].clone(),
+            c[1].clone(),
+            c[2].clone(),
+            c[3].clone(),
+            format!("{:.2}%", paper_icl_accuracy(corpus, *s)),
+        ]);
+    }
+    t
+}
+
+/// Figure 7: helpful-vs-unhelpful similarity separation under the visual
+/// and the description embeddings.  A training sample is *helpful* for a
+/// test sample when using it as the in-context example yields the correct
+/// prediction.
+pub fn run_fig7(
+    ctx: &Context,
+    pl: &StressPipeline,
+    test_samples: usize,
+    pool_per_test: usize,
+) -> (Separation, Separation) {
+    let retriever = build_retriever(pl, &ctx.train, ctx.seed ^ 0x1C1);
+    let mut vision_pairs = Vec::new();
+    let mut desc_pairs = Vec::new();
+
+    for v in ctx.test.iter().take(test_samples) {
+        let q_desc = pl.describe(v, 0.0, v.id as u64);
+        let vis_sims = retriever.visual_similarities(v);
+        let desc_sims = retriever.description_similarities(q_desc);
+        for (j, ex) in ctx.train.iter().enumerate().take(pool_per_test) {
+            let example = IclExample {
+                video: ex,
+                description: retriever.pool_descriptions[j],
+                label: ex.label,
+            };
+            let pred = pl.assess_with_examples(v, q_desc, &[example], 0.0, ctx.seed ^ (j as u64));
+            let helpful = pred == v.label;
+            vision_pairs.push((vis_sims[j], helpful));
+            desc_pairs.push((desc_sims[j], helpful));
+        }
+    }
+    (
+        Separation::from_pairs(&vision_pairs),
+        Separation::from_pairs(&desc_pairs),
+    )
+}
+
+/// Figure 8: accuracy of each retrieval strategy as the pool shrinks.
+/// Returns `(fraction, strategy, accuracy)` triples.
+pub fn run_fig8(
+    ctx: &Context,
+    pl: &StressPipeline,
+    fractions: &[f32],
+) -> Vec<(f32, RetrievalStrategy, f64)> {
+    let mut out = Vec::new();
+    for &frac in fractions {
+        let n = ((ctx.train.len() as f32 * frac) as usize).max(4);
+        let pool: Vec<VideoSample> = ctx.train.iter().take(n).cloned().collect();
+        let retriever = build_retriever(pl, &pool, ctx.seed ^ 0x1C8);
+        for s in [
+            RetrievalStrategy::Random,
+            RetrievalStrategy::ByVision,
+            RetrievalStrategy::ByDescription,
+        ] {
+            let correct = ctx
+                .test
+                .iter()
+                .filter(|v| {
+                    predict_with_strategy(pl, &retriever, &pool, s, v, ctx.seed ^ 0x1C9) == v.label
+                })
+                .count();
+            out.push((frac, s, correct as f64 / ctx.test.len() as f64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_by_description_wins_both() {
+        for c in [Corpus::Uvsd, Corpus::Rsl] {
+            let d = paper_icl_accuracy(c, RetrievalStrategy::ByDescription);
+            for s in [RetrievalStrategy::None, RetrievalStrategy::Random, RetrievalStrategy::ByVision] {
+                assert!(d > paper_icl_accuracy(c, s));
+            }
+        }
+    }
+}

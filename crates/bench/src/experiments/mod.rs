@@ -1,0 +1,11 @@
+//! Library runners for every table and figure of the paper's evaluation.
+//!
+//! Each module exposes a `run(...)` returning structured results plus a
+//! rendered [`evalkit::Table`]; binaries print it, integration tests assert
+//! on it.
+
+pub mod ablation;
+pub mod detection;
+pub mod explainer;
+pub mod icl;
+pub mod testtime;

@@ -1,0 +1,118 @@
+//! Table VIII — applying the method's chain + test-time self-refinement to
+//! frozen off-the-shelf foundation models (§IV-G).
+
+use baselines::offtheshelf::OffTheShelf;
+use chain_reason::test_time::predict_with_test_time_refinement;
+use chain_reason::{PipelineConfig, StressPipeline};
+use evalkit::metrics::{Confusion, Metrics};
+use evalkit::table::Table;
+use lfm::pretrain::CapabilityProfile;
+use videosynth::dataset::Scale;
+
+use crate::context::{Context, Corpus};
+
+/// One Table VIII block: a proxy's zero-shot ("Original") and test-time
+/// refined ("New") metrics.
+#[derive(Clone, Debug)]
+pub struct TestTimeRow {
+    pub model: &'static str,
+    pub original: Metrics,
+    pub refined: Metrics,
+}
+
+/// Paper Table VIII accuracies `(original, new)`.
+pub fn paper_testtime(corpus: Corpus, model: &str) -> (f64, f64) {
+    match (corpus, model) {
+        (Corpus::Uvsd, "GPT-4o") => (75.95, 81.49),
+        (Corpus::Uvsd, "Claude-3.5") => (73.29, 75.89),
+        (Corpus::Uvsd, "Gemini-1.5") => (70.19, 73.43),
+        (Corpus::Rsl, "GPT-4o") => (66.89, 74.06),
+        (Corpus::Rsl, "Claude-3.5") => (60.76, 63.50),
+        (Corpus::Rsl, "Gemini-1.5") => (66.53, 70.34),
+        _ => (0.0, 0.0),
+    }
+}
+
+/// Run all three proxies with and without test-time refinement.
+pub fn run_table8(ctx: &Context) -> Vec<TestTimeRow> {
+    let scale_factor = if ctx.scale == Scale::Smoke { 0.25 } else { 1.0 };
+    [
+        CapabilityProfile::gpt4o(),
+        CapabilityProfile::claude(),
+        CapabilityProfile::gemini(),
+    ]
+    .into_iter()
+    .map(|profile| {
+        let name = profile.name;
+        let proxy = OffTheShelf::build(profile.scaled(scale_factor), ctx.seed ^ 0x0F5);
+        // Original: zero-shot direct assessment (as in Table I).
+        let orig_pairs: Vec<_> = ctx
+            .test
+            .iter()
+            .map(|v| (v.label, baselines::common::StressDetector::predict(&proxy, v)))
+            .collect();
+        let original = Confusion::from_pairs(&orig_pairs).metrics();
+
+        // New: chain + test-time self-refinement, parameters frozen.
+        let mut cfg = match ctx.scale {
+            Scale::Smoke => PipelineConfig::smoke(),
+            _ => PipelineConfig::default_experiment(),
+        };
+        cfg.model = proxy.model().cfg.clone();
+        let pl = StressPipeline::new(proxy.into_model(), cfg);
+        let new_pairs: Vec<_> = ctx
+            .test
+            .iter()
+            .map(|v| {
+                let out = predict_with_test_time_refinement(&pl, v, &ctx.train, ctx.seed ^ v.id as u64);
+                (v.label, out.assessment)
+            })
+            .collect();
+        let refined = Confusion::from_pairs(&new_pairs).metrics();
+        TestTimeRow { model: name, original, refined }
+    })
+    .collect()
+}
+
+/// Render Table VIII.
+pub fn render_table8(title: &str, corpus: Corpus, rows: &[TestTimeRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Model", "variant", "Acc.", "F1.", "paper Acc."],
+    );
+    for r in rows {
+        let (po, pn) = paper_testtime(corpus, r.model);
+        let co = r.original.row_cells();
+        let cn = r.refined.row_cells();
+        t.row(vec![
+            r.model.to_owned(),
+            "Original".into(),
+            co[0].clone(),
+            co[3].clone(),
+            format!("{po:.2}%"),
+        ]);
+        t.row(vec![
+            r.model.to_owned(),
+            "New".into(),
+            cn[0].clone(),
+            cn[3].clone(),
+            format!("{pn:.2}%"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_new_beats_original_everywhere() {
+        for c in [Corpus::Uvsd, Corpus::Rsl] {
+            for m in ["GPT-4o", "Claude-3.5", "Gemini-1.5"] {
+                let (o, n) = paper_testtime(c, m);
+                assert!(n > o, "{m} on {c:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! `bench-suite` — the experiment harness.
+//!
+//! One binary per paper table/figure (`src/bin/table1.rs` …), each a thin
+//! wrapper over a library runner in [`experiments`] so integration tests
+//! can drive the same code at smoke scale.  Criterion micro-benchmarks for
+//! the component costs live in `benches/`.
+//!
+//! Every binary accepts `--scale smoke|default|full` (default `default`),
+//! `--seed N` and, where relevant, `--samples N` caps; each prints the
+//! measured numbers next to the paper's reported values.
+
+pub mod args;
+pub mod context;
+pub mod experiments;
+
+pub use args::CliArgs;

@@ -1,0 +1,85 @@
+//! Ablation variants of §IV-E.
+
+/// Which parts of the method a trained pipeline uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The full method.
+    Full,
+    /// "w/o Chain": the model is trained and queried to detect stress
+    /// directly from the video ("Is the subject in this video stressed?"),
+    /// and highlights over the full AU space.
+    WithoutChain,
+    /// "w/o learn des.": the reasoning chain is kept but the Eq. 2
+    /// describe tuning on expert AU annotations is skipped.
+    WithoutLearnDescribe,
+    /// "w/o Refine": the entire self-refine learning scheme (both DPO
+    /// phases) is removed.
+    WithoutRefine,
+    /// "w/o Reflection": refinement runs, but candidate descriptions and
+    /// rationales come from plain resampling instead of reflection prompts.
+    WithoutReflection,
+}
+
+impl Variant {
+    /// Whether the Describe→Assess→Highlight chain is used at all.
+    pub fn uses_chain(self) -> bool {
+        !matches!(self, Variant::WithoutChain)
+    }
+
+    /// Whether Eq. 2 describe tuning runs.
+    pub fn learns_describe(self) -> bool {
+        matches!(self, Variant::Full | Variant::WithoutRefine | Variant::WithoutReflection)
+    }
+
+    /// Whether the self-refine DPO phases run.
+    pub fn uses_refinement(self) -> bool {
+        matches!(self, Variant::Full | Variant::WithoutReflection | Variant::WithoutLearnDescribe)
+    }
+
+    /// Whether refinement candidates come from reflection prompts.
+    pub fn uses_reflection(self) -> bool {
+        matches!(self, Variant::Full | Variant::WithoutLearnDescribe)
+    }
+
+    /// Row label used in the ablation tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Full => "Ours",
+            Variant::WithoutChain => "w/o Chain",
+            Variant::WithoutLearnDescribe => "w/o learn des.",
+            Variant::WithoutRefine => "w/o Refine",
+            Variant::WithoutReflection => "w/o Reflection",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_uses_everything() {
+        let v = Variant::Full;
+        assert!(v.uses_chain() && v.learns_describe() && v.uses_refinement() && v.uses_reflection());
+    }
+
+    #[test]
+    fn ablations_drop_exactly_their_component() {
+        assert!(!Variant::WithoutChain.uses_chain());
+        assert!(!Variant::WithoutLearnDescribe.learns_describe());
+        assert!(Variant::WithoutLearnDescribe.uses_chain());
+        assert!(!Variant::WithoutRefine.uses_refinement());
+        assert!(Variant::WithoutRefine.learns_describe());
+        assert!(!Variant::WithoutReflection.uses_reflection());
+        assert!(Variant::WithoutReflection.uses_refinement());
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Variant::Full.label(), "Ours");
+        assert_eq!(Variant::WithoutChain.label(), "w/o Chain");
+        assert_eq!(Variant::WithoutLearnDescribe.label(), "w/o learn des.");
+        assert_eq!(Variant::WithoutRefine.label(), "w/o Refine");
+        assert_eq!(Variant::WithoutReflection.label(), "w/o Reflection");
+    }
+}

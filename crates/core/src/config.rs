@@ -1,0 +1,94 @@
+//! Pipeline hyper-parameters (§IV-H plus the self-refinement knobs).
+
+use lfm::ModelConfig;
+
+/// Everything Algorithm 1 needs besides the data.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Architecture of the underlying foundation model.
+    pub model: ModelConfig,
+    /// K — repeats used for the helpfulness and faithfulness scores
+    /// (§III-C prompts the model K times with different random seeds).
+    pub k_repeats: usize,
+    /// Maximum self-reflection rounds per description (the paper's
+    /// do-while loop, bounded for termination).
+    pub max_reflection_rounds: usize,
+    /// n — number of reflected rationales to score (§III-D).
+    pub n_rationales: usize,
+    /// DPO β (0.1 in §IV-H).
+    pub dpo_beta: f32,
+    /// Sampling temperature for generation during refinement.
+    pub temperature: f32,
+    /// Epochs for the describe instruction tuning (Eq. 2).
+    pub describe_epochs: usize,
+    /// Epochs for the assess tuning (Eq. 4).
+    pub assess_epochs: usize,
+    /// Epochs for each DPO phase (Eq. 3 / Eq. 5).
+    pub dpo_epochs: usize,
+    /// Learning rate for the SFT phases.
+    pub sft_lr: f32,
+    /// Learning rate for the DPO phases.
+    pub dpo_lr: f32,
+    /// Base RNG seed for the whole training run.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// Experiment defaults (mirrors §IV-H where applicable; the iteration
+    /// counts are scaled to the miniature model).
+    pub fn default_experiment() -> Self {
+        PipelineConfig {
+            model: ModelConfig::small(),
+            k_repeats: 3,
+            max_reflection_rounds: 2,
+            n_rationales: 3,
+            dpo_beta: 0.1,
+            temperature: 0.8,
+            describe_epochs: 4,
+            assess_epochs: 4,
+            dpo_epochs: 2,
+            sft_lr: 2e-3,
+            dpo_lr: 5e-4,
+            seed: 0,
+        }
+    }
+
+    /// Small/fast settings for tests.
+    pub fn smoke() -> Self {
+        PipelineConfig {
+            model: ModelConfig::tiny(),
+            k_repeats: 2,
+            max_reflection_rounds: 1,
+            n_rationales: 2,
+            dpo_beta: 0.1,
+            temperature: 0.8,
+            describe_epochs: 6,
+            assess_epochs: 8,
+            dpo_epochs: 1,
+            sft_lr: 5e-3,
+            dpo_lr: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = PipelineConfig::default_experiment();
+        assert_eq!(c.dpo_beta, 0.1, "β = 0.1 per §IV-H");
+        assert!(c.k_repeats >= 2);
+        assert!(c.n_rationales >= 2);
+    }
+
+    #[test]
+    fn smoke_uses_the_tiny_model() {
+        let c = PipelineConfig::smoke();
+        let d = PipelineConfig::default_experiment();
+        assert!(c.model.d_model <= d.model.d_model);
+        assert!(c.k_repeats <= d.k_repeats);
+    }
+}

@@ -1,0 +1,38 @@
+//! `chain-reason` — the paper's contribution: interpretable video-based
+//! stress detection with a self-refining `Describe → Assess → Highlight`
+//! reasoning chain.
+//!
+//! The pipeline (§III) decomposes end-to-end stress detection into the
+//! expert-like steps of Eq. 1:
+//!
+//! 1. **Describe** (I₁): recognise the facial actions in the video —
+//!    learned from expert AU annotations (Eq. 2);
+//! 2. **Assess** (I₂): judge the stress state from the video *and* the
+//!    description (Eq. 4);
+//! 3. **Highlight** (I₃): name the critical facial actions as the
+//!    rationale.
+//!
+//! Two self-refinement loops make the chain accurate and faithful:
+//! descriptions are *reflected on* and kept only if they improve both
+//! K-repeat assessment accuracy (helpfulness) and 4-way self-verification
+//! (faithfulness), then locked in with DPO (Eq. 3, Fig. 3/4); rationales
+//! are reflected `n` ways, scored by how few region removals flip the
+//! decision, and the best/worst pair is optimised with DPO (Eq. 5, Fig. 5).
+//!
+//! [`trainer::train_pipeline`] is Algorithm 1; [`ablation`] exposes the
+//! "w/o Chain" / "w/o learn des." / "w/o Refine" / "w/o Reflection"
+//! variants of §IV-E; [`test_time`] is the training-free variant applied to
+//! frozen off-the-shelf models in §IV-G.
+
+pub mod ablation;
+pub mod config;
+pub mod localize;
+pub mod pipeline;
+pub mod refine;
+pub mod test_time;
+pub mod trainer;
+
+pub use ablation::Variant;
+pub use config::PipelineConfig;
+pub use pipeline::{ChainOutput, StressPipeline};
+pub use trainer::{train_pipeline, TrainReport};

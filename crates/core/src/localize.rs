@@ -1,0 +1,106 @@
+//! Rationale → SLIC-segment localisation (§IV-H).
+//!
+//! "For our framework, after generating highlighted rationale R, we locate
+//! the segment of each single facial action using the corresponding facial
+//! landmark."  Each highlighted AU names a facial region; the Table II
+//! protocol needs a *segment ranking*, so segments are ordered by their
+//! overlap with the rationale's regions, rationale order first.
+
+use facs::au::AuSet;
+use videosynth::slic::Segmentation;
+
+/// Rank SLIC segments by the rationale: for each highlighted AU in
+/// rationale order, the segments overlapping its facial region (by
+/// decreasing overlap); remaining segments follow in stable index order.
+///
+/// Always returns every segment exactly once, so the Top-k protocol can
+/// take any prefix.
+pub fn rationale_segment_ranking(rationale: AuSet, seg: &Segmentation) -> Vec<usize> {
+    let n = seg.num_segments();
+    let mut picked = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+
+    for au in rationale.iter() {
+        // Overlap of every segment with this AU's region rectangles.
+        let mut overlap = vec![0usize; n];
+        for rect in au.region().rects() {
+            for (x, y) in rect.pixels() {
+                overlap[seg.segment_of(x, y)] += 1;
+            }
+        }
+        let mut idx: Vec<usize> = (0..n).filter(|&s| overlap[s] > 0 && !picked[s]).collect();
+        idx.sort_by_key(|&s| std::cmp::Reverse(overlap[s]));
+        for s in idx {
+            picked[s] = true;
+            out.push(s);
+        }
+    }
+    for (s, taken) in picked.iter().enumerate() {
+        if !taken {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::ActionUnit;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+    use videosynth::slic::slic;
+
+    fn segmentation() -> Segmentation {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 3);
+        let img = ds.samples[0].render_frame(0);
+        slic(&img, 64, 0.1, 5)
+    }
+
+    #[test]
+    fn ranking_is_a_permutation() {
+        let seg = segmentation();
+        let r = rationale_segment_ranking(
+            AuSet::from_aus([ActionUnit::BrowLowerer, ActionUnit::JawDrop]),
+            &seg,
+        );
+        assert_eq!(r.len(), seg.num_segments());
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seg.num_segments());
+    }
+
+    #[test]
+    fn first_segment_overlaps_first_rationale_region() {
+        let seg = segmentation();
+        let rationale = AuSet::from_aus([ActionUnit::BrowLowerer]);
+        let ranking = rationale_segment_ranking(rationale, &seg);
+        let rect = facs::region::FacialRegion::Eyebrow.rect();
+        // The top segment must intersect the brow rect.
+        let top = ranking[0];
+        let hit = rect.pixels().any(|(x, y)| seg.segment_of(x, y) == top);
+        assert!(hit, "top segment does not touch the rationale region");
+    }
+
+    #[test]
+    fn empty_rationale_gives_index_order() {
+        let seg = segmentation();
+        let r = rationale_segment_ranking(AuSet::EMPTY, &seg);
+        let expect: Vec<usize> = (0..seg.num_segments()).collect();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn rationale_order_takes_precedence() {
+        let seg = segmentation();
+        // AU17 (jaw) listed via a rationale whose first AU is in the brow.
+        let r1 = rationale_segment_ranking(
+            AuSet::from_aus([ActionUnit::InnerBrowRaiser, ActionUnit::ChinRaiser]),
+            &seg,
+        );
+        // The first segments should be brow segments, not jaw.
+        let brow = facs::region::FacialRegion::Eyebrow.rect();
+        let hit = brow.pixels().any(|(x, y)| seg.segment_of(x, y) == r1[0]);
+        assert!(hit);
+    }
+}

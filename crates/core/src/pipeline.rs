@@ -1,0 +1,166 @@
+//! The `Describe → Assess → Highlight` inference pipeline (Eq. 1).
+
+use facs::au::AuSet;
+use lfm::grammar::{generate_description, generate_description_within};
+use lfm::instructions::{
+    assess_direct_prompt, assess_prompt, assess_prompt_with_examples, describe_prompt,
+    highlight_prompt, label_tokens, IclExample,
+};
+use lfm::Lfm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::config::PipelineConfig;
+
+/// One full chain-of-thought output for a video.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainOutput {
+    /// The generated facial-action description `E`.
+    pub description: AuSet,
+    /// The stress assessment `A`.
+    pub assessment: StressLabel,
+    /// The highlighted rationale `R ⊆ E`.
+    pub rationale: AuSet,
+}
+
+/// A trained (or in-training) stress-detection pipeline: the foundation
+/// model plus the chain configuration.
+#[derive(Clone, Debug)]
+pub struct StressPipeline {
+    /// The underlying foundation model `F`.
+    pub model: Lfm,
+    /// Chain hyper-parameters.
+    pub cfg: PipelineConfig,
+}
+
+impl StressPipeline {
+    /// Wrap an existing model.
+    pub fn new(model: Lfm, cfg: PipelineConfig) -> Self {
+        StressPipeline { model, cfg }
+    }
+
+    /// **Describe** (I₁): generate a facial-action description of the video.
+    pub fn describe(&self, video: &VideoSample, temperature: f32, seed: u64) -> AuSet {
+        let p = describe_prompt(&self.model, video);
+        generate_description(&self.model, &p, temperature, seed)
+    }
+
+    /// **Assess** (I₂): judge the stress state given video and description.
+    pub fn assess(
+        &self,
+        video: &VideoSample,
+        description: AuSet,
+        temperature: f32,
+        seed: u64,
+    ) -> StressLabel {
+        let p = assess_prompt(&self.model, video, description);
+        self.forced_label(&p, temperature, seed)
+    }
+
+    /// Assess with in-context examples prepended (§IV-F).
+    pub fn assess_with_examples(
+        &self,
+        video: &VideoSample,
+        description: AuSet,
+        examples: &[IclExample<'_>],
+        temperature: f32,
+        seed: u64,
+    ) -> StressLabel {
+        let p = assess_prompt_with_examples(&self.model, video, description, examples);
+        self.forced_label(&p, temperature, seed)
+    }
+
+    /// Direct pixel→label assessment (the "w/o Chain" query).
+    pub fn assess_direct(&self, video: &VideoSample, temperature: f32, seed: u64) -> StressLabel {
+        let p = assess_direct_prompt(&self.model, video);
+        self.forced_label(&p, temperature, seed)
+    }
+
+    /// **Highlight** (I₃): name the critical facial actions.  The rationale
+    /// is constrained to the AUs the description mentioned.
+    pub fn highlight(
+        &self,
+        video: &VideoSample,
+        description: AuSet,
+        assessment: StressLabel,
+        temperature: f32,
+        seed: u64,
+    ) -> AuSet {
+        let p = highlight_prompt(&self.model, video, description, assessment);
+        generate_description_within(&self.model, &p, description, temperature, seed)
+    }
+
+    /// Run the whole chain greedily (deployment mode: `seed` only matters
+    /// at non-zero temperature).
+    pub fn predict(&self, video: &VideoSample, seed: u64) -> ChainOutput {
+        let description = self.describe(video, 0.0, seed);
+        let assessment = self.assess(video, description, 0.0, seed);
+        let rationale = self.highlight(video, description, assessment, 0.0, seed);
+        ChainOutput { description, assessment, rationale }
+    }
+
+    /// Greedy label prediction only (for accuracy evaluation).
+    pub fn predict_label(&self, video: &VideoSample) -> StressLabel {
+        let description = self.describe(video, 0.0, video.id as u64);
+        self.assess(video, description, 0.0, video.id as u64)
+    }
+
+    fn forced_label(&self, p: &lfm::Prompt, temperature: f32, seed: u64) -> StressLabel {
+        let [st, un] = label_tokens(&self.model.vocab);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = self.model.choose(p, &[st, un], temperature, &mut rng);
+        if c == st {
+            StressLabel::Stressed
+        } else {
+            StressLabel::Unstressed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm::ModelConfig;
+    use videosynth::world::{sample_video, Subject, WorldConfig};
+
+    fn pipeline() -> StressPipeline {
+        StressPipeline::new(Lfm::new(ModelConfig::tiny(), 3), PipelineConfig::smoke())
+    }
+
+    fn video(id: usize, label: StressLabel) -> VideoSample {
+        let mut rng = StdRng::seed_from_u64(id as u64);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        sample_video(&WorldConfig::uvsd_like(), &s, label, id, 5)
+    }
+
+    #[test]
+    fn predict_produces_consistent_chain() {
+        let p = pipeline();
+        let v = video(1, StressLabel::Stressed);
+        let out = p.predict(&v, 0);
+        // The rationale must be a subset of the description.
+        assert!(out.rationale.difference(out.description).is_empty());
+        // Greedy predict is deterministic.
+        assert_eq!(p.predict(&v, 0), p.predict(&v, 99));
+    }
+
+    #[test]
+    fn sampled_assess_varies_with_seed_for_untrained_model() {
+        let p = pipeline();
+        let v = video(2, StressLabel::Unstressed);
+        let desc = AuSet::EMPTY;
+        let labels: Vec<StressLabel> =
+            (0..20).map(|s| p.assess(&v, desc, 2.0, s)).collect();
+        let stressed = labels.iter().filter(|&&l| l == StressLabel::Stressed).count();
+        assert!(stressed > 0 && stressed < 20, "hot sampling should vary: {stressed}/20");
+    }
+
+    #[test]
+    fn predict_label_matches_chain_prefix() {
+        let p = pipeline();
+        let v = video(3, StressLabel::Stressed);
+        let full = p.predict(&v, v.id as u64);
+        assert_eq!(p.predict_label(&v), full.assessment);
+    }
+}

@@ -1,0 +1,120 @@
+//! Test-time self-refinement for frozen models (§IV-G).
+//!
+//! Off-the-shelf foundation models cannot be fine-tuned, so the paper
+//! applies the chain + refinement *at inference*: describe with I₁, reflect
+//! for an alternative description, keep whichever set of descriptions is
+//! more faithful under self-verification (run in a fresh session), and only
+//! then assess with I₂.  No parameter ever changes.
+
+use facs::au::AuSet;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::pipeline::StressPipeline;
+use crate::refine::{reflect_description, verification_faithfulness};
+
+/// Outcome of one test-time refined prediction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestTimeOutput {
+    /// The description actually used for assessment.
+    pub description: AuSet,
+    /// Whether the reflected description replaced the original.
+    pub replaced: bool,
+    /// The final assessment.
+    pub assessment: StressLabel,
+}
+
+/// Chain + test-time self-refinement on a frozen model.
+///
+/// Note the asymmetry with training-time refinement: no ground-truth label
+/// exists at test time, so only the *faithfulness* filter applies (the
+/// paper: "We only compare the faithfulness of each set of descriptions").
+/// The label hint fed to the reflection prompt is the model's own
+/// preliminary assessment.
+pub fn predict_with_test_time_refinement(
+    pl: &StressPipeline,
+    video: &VideoSample,
+    pool: &[VideoSample],
+    seed: u64,
+) -> TestTimeOutput {
+    let original = pl.describe(video, pl.cfg.temperature, seed);
+    let preliminary = pl.assess(video, original, 0.0, seed);
+    let reflected = reflect_description(pl, video, original, preliminary, seed ^ 0x7E57);
+
+    let (description, replaced) = if reflected != original {
+        let f_orig = verification_faithfulness(pl, video, original, pool, seed ^ 0x0F);
+        let f_new = verification_faithfulness(pl, video, reflected, pool, seed ^ 0x1F);
+        if f_new > f_orig {
+            (reflected, true)
+        } else {
+            (original, false)
+        }
+    } else {
+        (original, false)
+    };
+
+    // Re-assess only when the description changed (§IV-G: "prompted to
+    // reassess the stress level only if it cannot produce a more faithful
+    // set of descriptions" — i.e. the final assessment always uses the
+    // retained description).
+    let assessment = if replaced {
+        pl.assess(video, description, 0.0, seed ^ 0x2F)
+    } else {
+        preliminary
+    };
+
+    TestTimeOutput { description, replaced, assessment }
+}
+
+/// Plain zero-shot chain prediction on a frozen model (the "Original" rows
+/// of Table VIII use direct assessment; this helper gives both).
+pub fn predict_zero_shot_direct(pl: &StressPipeline, video: &VideoSample) -> StressLabel {
+    pl.assess_direct(video, 0.0, video.id as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use lfm::pretrain::{pretrain, CapabilityProfile};
+    use lfm::{Lfm, ModelConfig};
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    fn frozen_proxy() -> StressPipeline {
+        let mut m = Lfm::new(ModelConfig::tiny(), 12);
+        pretrain(&mut m, &CapabilityProfile::gpt4o().scaled(0.1), 3);
+        StressPipeline::new(m, PipelineConfig::smoke())
+    }
+
+    #[test]
+    fn test_time_refinement_runs_without_training() {
+        let pl = frozen_proxy();
+        let ds = Dataset::generate(DatasetProfile::rsl(Scale::Smoke), 5);
+        let before = pl.model.store.snapshot();
+        let out = predict_with_test_time_refinement(&pl, &ds.samples[0], &ds.samples, 1);
+        // The model must be byte-identical afterwards — no training happened.
+        for id in pl.model.store.ids() {
+            assert_eq!(pl.model.store.value(id).data, before.value(id).data);
+        }
+        assert!(matches!(out.assessment, StressLabel::Stressed | StressLabel::Unstressed));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pl = frozen_proxy();
+        let ds = Dataset::generate(DatasetProfile::rsl(Scale::Smoke), 5);
+        let a = predict_with_test_time_refinement(&pl, &ds.samples[1], &ds.samples, 42);
+        let b = predict_with_test_time_refinement(&pl, &ds.samples[1], &ds.samples, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unreplaced_keeps_preliminary_assessment() {
+        let pl = frozen_proxy();
+        let ds = Dataset::generate(DatasetProfile::rsl(Scale::Smoke), 5);
+        let out = predict_with_test_time_refinement(&pl, &ds.samples[2], &ds.samples, 7);
+        if !out.replaced {
+            let orig = pl.describe(&ds.samples[2], pl.cfg.temperature, 7);
+            assert_eq!(out.description, orig);
+        }
+    }
+}

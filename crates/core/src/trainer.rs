@@ -1,0 +1,425 @@
+//! Algorithm 1: the full learning process of model `F`.
+//!
+//! The paper interleaves per-sample refinement with per-sample DPO updates;
+//! for throughput we run the same computation in phases — Eq. 2 SFT, then
+//! refinement + Eq. 3 DPO over the whole training set, then Eq. 4 SFT, then
+//! rationale refinement + Eq. 5 DPO — which optimises identical losses on
+//! identical preference pairs (the standard "offline DPO" schedule).
+
+use lfm::instructions::{
+    assess_direct_prompt, assess_prompt, choice_answer, describe_prompt, description_answer,
+    highlight_prompt, label_answer, verify_prompt,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use lfm::{dpo, sft, DpoPair, Lfm, SftExample, TrainConfig};
+use videosynth::video::VideoSample;
+
+use crate::ablation::Variant;
+use crate::config::PipelineConfig;
+use crate::pipeline::StressPipeline;
+use crate::refine::{refine_description, refine_rationale};
+
+/// What happened during training (for logging / EXPERIMENTS.md).
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Final loss of the describe SFT phase (Eq. 2), if it ran.
+    pub describe_loss: Option<f32>,
+    /// Number of description preference pairs found (Eq. 3).
+    pub desc_pairs: usize,
+    /// Final loss of the description DPO phase.
+    pub desc_dpo_loss: Option<f32>,
+    /// Final loss of the assess SFT phase (Eq. 4).
+    pub assess_loss: Option<f32>,
+    /// Number of rationale preference pairs found (Eq. 5).
+    pub rationale_pairs: usize,
+    /// Final loss of the rationale DPO phase.
+    pub rationale_dpo_loss: Option<f32>,
+}
+
+/// Train a pipeline per Algorithm 1 on `stress_train` (the D of the paper)
+/// with `au_train` as the expert-annotated facial-expression corpus (D′).
+///
+/// `base` should be a generically pretrained model
+/// ([`lfm::pretrain::pretrain`] with the `base` profile) — the stand-in for
+/// Qwen-VL.  The `variant` switches implement the §IV-E ablations.
+pub fn train_pipeline(
+    base: Lfm,
+    cfg: PipelineConfig,
+    au_train: &[VideoSample],
+    stress_train: &[VideoSample],
+    variant: Variant,
+) -> (StressPipeline, TrainReport) {
+    let mut report = TrainReport::default();
+    let mut pl = StressPipeline::new(base, cfg);
+    let seed = pl.cfg.seed;
+
+    // ---- Learn to describe facial actions (Eq. 2) -----------------------
+    if variant.uses_chain() && variant.learns_describe() {
+        assert!(!au_train.is_empty(), "describe tuning needs the AU corpus");
+        let mut data: Vec<SftExample> = au_train
+            .iter()
+            .map(|v| SftExample {
+                prompt: describe_prompt(&pl.model, v),
+                answer: description_answer(&pl.model.vocab, v.apex_aus()),
+            })
+            .collect();
+        // The same expert annotations also teach *verification* (matching a
+        // description to its video among distractors) — the skill the
+        // self-refinement faithfulness filter depends on.  Without it the
+        // filter is blind and reflection can drift toward label-stereotyped
+        // descriptions.
+        if au_train.len() >= 4 {
+            let mut vrng = StdRng::seed_from_u64(seed ^ 0x7E81F1);
+            // Reflection examples: a corrupted previous description must be
+            // corrected back to the expert annotation.  The label hint in
+            // the prompt is arbitrary here (DISFA has no stress condition),
+            // which teaches reflection to correct toward the *video*, not
+            // toward the hint — the anti-reward-hacking property the
+            // faithfulness filter then only has to confirm.
+            for (j, v) in au_train.iter().enumerate() {
+                if j % 3 != 0 {
+                    continue;
+                }
+                let mut prev = v.apex_aus();
+                for au in facs::au::ALL_AUS {
+                    if vrng.random::<f32>() < 0.25 {
+                        prev.toggle(au);
+                    }
+                }
+                let hint = if vrng.random::<f32>() < 0.5 {
+                    videosynth::video::StressLabel::Stressed
+                } else {
+                    videosynth::video::StressLabel::Unstressed
+                };
+                data.push(SftExample {
+                    prompt: lfm::instructions::reflect_description_prompt(&pl.model, v, prev, hint),
+                    answer: description_answer(&pl.model.vocab, v.apex_aus()),
+                });
+            }
+            for (j, v) in au_train.iter().enumerate() {
+                if j % 2 != 0 {
+                    continue;
+                }
+                let mut others: Vec<&videosynth::video::VideoSample> = Vec::with_capacity(3);
+                while others.len() < 3 {
+                    let c = &au_train[vrng.random_range(0..au_train.len())];
+                    if c.id != v.id {
+                        others.push(c);
+                    }
+                }
+                let correct = vrng.random_range(0..4usize);
+                let mut slots = Vec::with_capacity(4);
+                let mut oi = 0;
+                for slot in 0..4 {
+                    if slot == correct {
+                        slots.push(v);
+                    } else {
+                        slots.push(others[oi]);
+                        oi += 1;
+                    }
+                }
+                data.push(SftExample {
+                    prompt: verify_prompt(
+                        &pl.model,
+                        [slots[0], slots[1], slots[2], slots[3]],
+                        v.apex_aus(),
+                    ),
+                    answer: choice_answer(&pl.model.vocab, correct),
+                });
+            }
+        }
+        let tc = TrainConfig {
+            lr: pl.cfg.sft_lr,
+            epochs: pl.cfg.describe_epochs,
+            batch_size: 8,
+            grad_clip: 5.0,
+            seed,
+        };
+        let losses = sft(&mut pl.model, &data, &tc);
+        report.describe_loss = losses.last().copied();
+    }
+
+    // ---- Warm up the assess head --------------------------------------
+    // Algorithm 1 interleaves refinement and assess updates per sample, so
+    // most samples are refined under a partially trained assessor.  Our
+    // phase schedule reproduces that by a short Eq. 4 warm-up on the
+    // model's own greedy descriptions before any refinement: the
+    // helpfulness score h then measures something real.
+    if variant.uses_chain() && variant.uses_refinement() {
+        let data: Vec<SftExample> = stress_train
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let d = pl.describe(v, 0.0, seed ^ (i as u64) << 3);
+                SftExample {
+                    prompt: assess_prompt(&pl.model, v, d),
+                    answer: label_answer(&pl.model.vocab, v.label),
+                }
+            })
+            .collect();
+        let tc = TrainConfig {
+            lr: pl.cfg.sft_lr,
+            epochs: 2,
+            batch_size: 8,
+            grad_clip: 5.0,
+            seed: seed ^ 0x3A3,
+        };
+        let _ = sft(&mut pl.model, &data, &tc);
+    }
+
+    // ---- Self-refine descriptions, learn via DPO (Eq. 3) ----------------
+    let mut refined: Vec<(usize, facs::au::AuSet)> = Vec::with_capacity(stress_train.len());
+    if variant.uses_chain() {
+        let reference = pl.model.snapshot();
+        let mut pairs: Vec<DpoPair> = Vec::new();
+        for (i, v) in stress_train.iter().enumerate() {
+            if variant.uses_refinement() {
+                let r = refine_description(
+                    &pl,
+                    v,
+                    v.label,
+                    stress_train,
+                    variant.uses_reflection(),
+                    seed ^ (i as u64) << 4,
+                );
+                if r.improved {
+                    pairs.push(DpoPair {
+                        prompt: describe_prompt(&pl.model, v),
+                        chosen: description_answer(&pl.model.vocab, r.refined),
+                        rejected: description_answer(&pl.model.vocab, r.original),
+                    });
+                }
+                refined.push((i, r.refined));
+            } else {
+                let d = pl.describe(v, 0.0, seed ^ (i as u64) << 4);
+                refined.push((i, d));
+            }
+        }
+        report.desc_pairs = pairs.len();
+        if !pairs.is_empty() {
+            let tc = TrainConfig {
+                lr: pl.cfg.dpo_lr,
+                epochs: pl.cfg.dpo_epochs,
+                batch_size: 8,
+                grad_clip: 5.0,
+                seed: seed ^ 0xD90,
+            };
+            let losses = dpo(&mut pl.model, &reference, &pairs, pl.cfg.dpo_beta, &tc);
+            report.desc_dpo_loss = losses.last().copied();
+            // After DPO the deployed describe distribution has shifted;
+            // regenerate the descriptions the assess step will actually see
+            // (greedy decoding, as at inference).  Training Eq. 4 on the
+            // raw refinement outputs instead would create a train/test
+            // mismatch the miniature model cannot absorb.
+            for (i, v) in stress_train.iter().enumerate() {
+                refined[i].1 = pl.describe(v, 0.0, seed ^ (i as u64) << 4);
+            }
+        }
+    }
+
+    // ---- Learn to assess stress (Eq. 4) ----------------------------------
+    {
+        let data: Vec<SftExample> = if variant.uses_chain() {
+            let mut data: Vec<SftExample> = refined
+                .iter()
+                .map(|&(i, desc)| {
+                    let v = &stress_train[i];
+                    SftExample {
+                        prompt: assess_prompt(&pl.model, v, desc),
+                        answer: label_answer(&pl.model.vocab, v.label),
+                    }
+                })
+                .collect();
+            // Algorithm 1 interleaves the describe and assess losses per
+            // sample; our phase schedule replays describe examples here so
+            // the assess phase cannot erase the describe skill (the
+            // miniature model has no capacity slack).
+            if variant.learns_describe() && !au_train.is_empty() {
+                for (j, v) in au_train.iter().enumerate() {
+                    if j % 2 == 0 {
+                        data.push(SftExample {
+                            prompt: describe_prompt(&pl.model, v),
+                            answer: description_answer(&pl.model.vocab, v.apex_aus()),
+                        });
+                    }
+                }
+            }
+            data
+        } else {
+            stress_train
+                .iter()
+                .map(|v| SftExample {
+                    prompt: assess_direct_prompt(&pl.model, v),
+                    answer: label_answer(&pl.model.vocab, v.label),
+                })
+                .collect()
+        };
+        let tc = TrainConfig {
+            lr: pl.cfg.sft_lr,
+            epochs: pl.cfg.assess_epochs,
+            batch_size: 8,
+            grad_clip: 5.0,
+            seed: seed ^ 0xA55,
+        };
+        let losses = sft(&mut pl.model, &data, &tc);
+        report.assess_loss = losses.last().copied();
+    }
+
+    // ---- Self-refine rationales, learn via DPO (Eq. 5) -------------------
+    if variant.uses_refinement() {
+        let reference = pl.model.snapshot();
+        let mut pairs: Vec<DpoPair> = Vec::new();
+        for (i, v) in stress_train.iter().enumerate() {
+            let desc = if variant.uses_chain() {
+                refined[i].1
+            } else {
+                facs::au::AuSet::FULL
+            };
+            let assessment = if variant.uses_chain() {
+                pl.assess(v, desc, 0.0, v.id as u64)
+            } else {
+                pl.assess_direct(v, 0.0, v.id as u64)
+            };
+            if let Some(r) = refine_rationale(
+                &pl,
+                v,
+                desc,
+                assessment,
+                variant.uses_reflection(),
+                seed ^ (i as u64) << 6,
+            ) {
+                if r.best != r.worst {
+                    pairs.push(DpoPair {
+                        prompt: highlight_prompt(&pl.model, v, desc, assessment),
+                        chosen: description_answer(&pl.model.vocab, r.best),
+                        rejected: description_answer(&pl.model.vocab, r.worst),
+                    });
+                }
+            }
+        }
+        report.rationale_pairs = pairs.len();
+        if !pairs.is_empty() {
+            let tc = TrainConfig {
+                lr: pl.cfg.dpo_lr,
+                epochs: pl.cfg.dpo_epochs,
+                batch_size: 8,
+                grad_clip: 5.0,
+                seed: seed ^ 0xBA5,
+            };
+            let losses = dpo(&mut pl.model, &reference, &pairs, pl.cfg.dpo_beta, &tc);
+            report.rationale_dpo_loss = losses.last().copied();
+        }
+    }
+
+    (pl, report)
+}
+
+/// Convenience: does this pipeline predict with the chain or directly?
+/// (Evaluation code needs to query the variant-appropriate path.)
+pub fn predict_for_variant(
+    pl: &StressPipeline,
+    variant: Variant,
+    video: &VideoSample,
+) -> videosynth::video::StressLabel {
+    if variant.uses_chain() {
+        pl.predict_label(video)
+    } else {
+        pl.assess_direct(video, 0.0, video.id as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm::pretrain::{pretrain, CapabilityProfile};
+    use lfm::ModelConfig;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+    use videosynth::video::StressLabel;
+
+    fn tiny_base() -> Lfm {
+        let mut m = Lfm::new(ModelConfig::tiny(), 9);
+        let profile = CapabilityProfile::base().scaled(0.25);
+        pretrain(&mut m, &profile, 4);
+        m
+    }
+
+    fn smoke_data() -> (Vec<VideoSample>, Vec<VideoSample>) {
+        let au = Dataset::generate(DatasetProfile::disfa(Scale::Smoke), 1);
+        let stress = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 2);
+        (
+            au.samples.into_iter().take(12).collect(),
+            stress.samples.into_iter().take(12).collect(),
+        )
+    }
+
+    #[test]
+    fn full_training_runs_and_reports() {
+        let (au, stress) = smoke_data();
+        let (pl, report) = train_pipeline(
+            tiny_base(),
+            PipelineConfig::smoke(),
+            &au,
+            &stress,
+            Variant::Full,
+        );
+        assert!(report.describe_loss.is_some());
+        assert!(report.assess_loss.is_some());
+        // The pipeline predicts something on every sample.
+        for v in &stress[..3] {
+            let _ = pl.predict(v, 0);
+        }
+    }
+
+    #[test]
+    fn without_chain_skips_describe_phase() {
+        let (au, stress) = smoke_data();
+        let (pl, report) = train_pipeline(
+            tiny_base(),
+            PipelineConfig::smoke(),
+            &au,
+            &stress,
+            Variant::WithoutChain,
+        );
+        assert!(report.describe_loss.is_none());
+        assert_eq!(report.desc_pairs, 0);
+        let _ = pl.assess_direct(&stress[0], 0.0, 0);
+    }
+
+    #[test]
+    fn without_refine_skips_dpo() {
+        let (au, stress) = smoke_data();
+        let (_, report) = train_pipeline(
+            tiny_base(),
+            PipelineConfig::smoke(),
+            &au,
+            &stress,
+            Variant::WithoutRefine,
+        );
+        assert_eq!(report.desc_pairs, 0);
+        assert_eq!(report.rationale_pairs, 0);
+        assert!(report.describe_loss.is_some());
+    }
+
+    #[test]
+    fn trained_pipeline_beats_chance_on_train_set() {
+        let (au, stress) = smoke_data();
+        let (pl, _) = train_pipeline(
+            tiny_base(),
+            PipelineConfig::smoke(),
+            &au,
+            &stress,
+            Variant::Full,
+        );
+        let correct = stress
+            .iter()
+            .filter(|v| pl.predict_label(v) == v.label)
+            .count();
+        assert!(
+            correct * 10 >= stress.len() * 6,
+            "train accuracy too low: {correct}/{}",
+            stress.len()
+        );
+        let _ = StressLabel::Stressed;
+    }
+}

@@ -1,0 +1,303 @@
+//! Minimal SVG chart rendering for the figure binaries.
+//!
+//! The paper's Figures 6–8 are a bar chart, paired histograms and a line
+//! chart.  This module renders equivalent SVGs with no dependencies so the
+//! figure binaries can emit an actual plot next to their text table.
+
+use std::fmt::Write as _;
+
+/// Chart canvas size.
+const W: f64 = 640.0;
+const H: f64 = 400.0;
+/// Plot margins: left, right, top, bottom.
+const MARGIN: (f64, f64, f64, f64) = (70.0, 20.0, 40.0, 60.0);
+
+/// A categorical bar chart (Figure 6 style).  Values may span decades; set
+/// `log_scale` for a log₁₀ y-axis.
+pub fn bar_chart(title: &str, y_label: &str, bars: &[(String, f64)], log_scale: bool) -> String {
+    assert!(!bars.is_empty(), "no bars");
+    assert!(
+        bars.iter().all(|b| b.1.is_finite() && (!log_scale || b.1 > 0.0)),
+        "bar values must be finite (and positive on a log scale)"
+    );
+    let (ml, mr, mt, mb) = MARGIN;
+    let (pw, ph) = (W - ml - mr, H - mt - mb);
+    let transform = |v: f64| if log_scale { v.log10() } else { v };
+    let vmax = bars.iter().map(|b| transform(b.1)).fold(f64::MIN, f64::max);
+    let vmin = if log_scale {
+        bars.iter().map(|b| transform(b.1)).fold(f64::MAX, f64::min).min(0.0)
+    } else {
+        0.0
+    };
+    let span = (vmax - vmin).max(1e-9);
+
+    let mut s = svg_header(title);
+    axis_lines(&mut s);
+    let _ = write!(
+        s,
+        r#"<text x="18" y="{:.0}" transform="rotate(-90 18 {:.0})" text-anchor="middle" font-size="13">{}</text>"#,
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        escape(y_label)
+    );
+
+    let bw = pw / bars.len() as f64 * 0.6;
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let cx = ml + pw * (i as f64 + 0.5) / bars.len() as f64;
+        let frac = (transform(*v) - vmin) / span;
+        let bh = ph * frac.clamp(0.0, 1.0);
+        let _ = write!(
+            s,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#4878a8"/>"##,
+            cx - bw / 2.0,
+            mt + ph - bh,
+            bw,
+            bh
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{cx:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"#,
+            H - mb + 18.0,
+            escape(label)
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{cx:.1}" y="{:.1}" text-anchor="middle" font-size="11">{v:.2}</text>"#,
+            mt + ph - bh - 6.0
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// A multi-series line chart (Figure 8 style): shared x values, one named
+/// series of equal length per entry.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    xs: &[f64],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    assert!(xs.len() >= 2, "need at least two x points");
+    assert!(!series.is_empty());
+    assert!(series.iter().all(|s| s.1.len() == xs.len()), "ragged series");
+    let (ml, mr, mt, mb) = MARGIN;
+    let (pw, ph) = (W - ml - mr, H - mt - mb);
+    let ys: Vec<f64> = series.iter().flat_map(|s| s.1.iter().copied()).collect();
+    let ymin = ys.iter().copied().fold(f64::MAX, f64::min);
+    let ymax = ys.iter().copied().fold(f64::MIN, f64::max);
+    let yspan = (ymax - ymin).max(1e-9);
+    let xmin = xs[0];
+    let xspan = (xs[xs.len() - 1] - xmin).max(1e-9);
+    const COLORS: [&str; 4] = ["#4878a8", "#c8604a", "#5a9a5a", "#8a6ab0"];
+
+    let mut s = svg_header(title);
+    axis_lines(&mut s);
+    let _ = write!(
+        s,
+        r#"<text x="{:.0}" y="{:.0}" text-anchor="middle" font-size="13">{}</text>"#,
+        ml + pw / 2.0,
+        H - 14.0,
+        escape(x_label)
+    );
+    let _ = write!(
+        s,
+        r#"<text x="18" y="{:.0}" transform="rotate(-90 18 {:.0})" text-anchor="middle" font-size="13">{}</text>"#,
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        escape(y_label)
+    );
+
+    for (si, (name, ys)) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let pts: Vec<String> = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                format!(
+                    "{:.1},{:.1}",
+                    ml + pw * (x - xmin) / xspan,
+                    mt + ph * (1.0 - (y - ymin) / yspan)
+                )
+            })
+            .collect();
+        let _ = write!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        );
+        // Legend entry.
+        let ly = mt + 16.0 + si as f64 * 18.0;
+        let _ = write!(
+            s,
+            r#"<rect x="{:.0}" y="{:.0}" width="12" height="12" fill="{color}"/><text x="{:.0}" y="{:.0}" font-size="12">{}</text>"#,
+            ml + 10.0,
+            ly - 10.0,
+            ml + 28.0,
+            ly,
+            escape(name)
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Two overlaid histograms (Figure 7 style: helpful vs unhelpful
+/// similarities).
+pub fn paired_histogram(
+    title: &str,
+    x_label: &str,
+    a: (&str, &[f32]),
+    b: (&str, &[f32]),
+    bins: usize,
+) -> String {
+    assert!(bins >= 2);
+    assert!(!a.1.is_empty() || !b.1.is_empty(), "both populations empty");
+    let all: Vec<f32> = a.1.iter().chain(b.1).copied().collect();
+    let lo = all.iter().copied().fold(f32::MAX, f32::min);
+    let hi = all.iter().copied().fold(f32::MIN, f32::max);
+    let span = (hi - lo).max(1e-6);
+    let count = |vals: &[f32]| -> Vec<usize> {
+        let mut h = vec![0usize; bins];
+        for &v in vals {
+            let i = (((v - lo) / span) * bins as f32) as usize;
+            h[i.min(bins - 1)] += 1;
+        }
+        h
+    };
+    let (ha, hb) = (count(a.1), count(b.1));
+    let max_count = ha.iter().chain(&hb).copied().max().unwrap_or(1).max(1);
+
+    let (ml, mr, mt, mb) = MARGIN;
+    let (pw, ph) = (W - ml - mr, H - mt - mb);
+    let mut s = svg_header(title);
+    axis_lines(&mut s);
+    let _ = write!(
+        s,
+        r#"<text x="{:.0}" y="{:.0}" text-anchor="middle" font-size="13">{}</text>"#,
+        ml + pw / 2.0,
+        H - 14.0,
+        escape(x_label)
+    );
+    for (hist, color, name, offset) in
+        [(&ha, "#4878a8", a.0, 0.0), (&hb, "#c8604a", b.0, 0.45)]
+    {
+        let bw = pw / bins as f64 * 0.45;
+        for (i, &c) in hist.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let x = ml + pw * i as f64 / bins as f64 + bw * offset * 2.0;
+            let bh = ph * c as f64 / max_count as f64;
+            let _ = write!(
+                s,
+                r#"<rect x="{x:.1}" y="{:.1}" width="{bw:.1}" height="{bh:.1}" fill="{color}" fill-opacity="0.75"/>"#,
+                mt + ph - bh
+            );
+        }
+        let ly = mt + 16.0 + offset * 40.0;
+        let _ = write!(
+            s,
+            r#"<rect x="{:.0}" y="{:.0}" width="12" height="12" fill="{color}"/><text x="{:.0}" y="{:.0}" font-size="12">{}</text>"#,
+            ml + 10.0,
+            ly - 10.0,
+            ml + 28.0,
+            ly,
+            escape(name)
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn svg_header(title: &str) -> String {
+    let mut s = String::with_capacity(4096);
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    s.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = write!(
+        s,
+        r#"<text x="{:.0}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        W / 2.0,
+        escape(title)
+    );
+    s
+}
+
+fn axis_lines(s: &mut String) {
+    let (ml, mr, mt, mb) = MARGIN;
+    let _ = write!(
+        s,
+        r#"<line x1="{ml}" y1="{0}" x2="{1}" y2="{0}" stroke="black"/><line x1="{ml}" y1="{mt}" x2="{ml}" y2="{0}" stroke="black"/>"#,
+        H - mb,
+        W - mr
+    );
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_is_valid_svg_with_all_bars() {
+        let svg = bar_chart(
+            "latency",
+            "seconds",
+            &[("Ours".into(), 0.4), ("SOBOL".into(), 3.1)],
+            false,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 2, "background + 2 bars");
+        assert!(svg.contains("Ours"));
+        assert!(svg.contains("SOBOL"));
+    }
+
+    #[test]
+    fn log_scale_requires_positive_values() {
+        let r = std::panic::catch_unwind(|| {
+            bar_chart("x", "y", &[("a".into(), 0.0)], true)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn line_chart_has_one_polyline_per_series() {
+        let svg = line_chart(
+            "fig8",
+            "pool",
+            "acc",
+            &[0.2, 0.6, 1.0],
+            &[
+                ("Random".into(), vec![0.8, 0.8, 0.8]),
+                ("ByDesc".into(), vec![0.82, 0.88, 0.9]),
+            ],
+        );
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Random"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn line_chart_rejects_ragged_series() {
+        let _ = line_chart("t", "x", "y", &[0.0, 1.0], &[("a".into(), vec![1.0])]);
+    }
+
+    #[test]
+    fn histogram_handles_identical_values() {
+        let svg = paired_histogram("fig7", "sim", ("h", &[0.5, 0.5]), ("u", &[0.5]), 8);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn escape_handles_markup() {
+        assert_eq!(escape("a<b&c"), "a&lt;b&amp;c");
+    }
+}

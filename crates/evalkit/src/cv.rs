@@ -1,0 +1,107 @@
+//! Cross-validation driving (§IV-H: 10-fold CV, averaged scores).
+
+use crossbeam::thread;
+use videosynth::dataset::Dataset;
+
+use crate::metrics::Metrics;
+
+/// Metrics of one fold.
+#[derive(Clone, Debug)]
+pub struct FoldResult {
+    /// Fold index in `0..k`.
+    pub fold: usize,
+    /// Macro metrics on that fold's test split.
+    pub metrics: Metrics,
+}
+
+/// Run `eval_fold(train_indices, test_indices, fold)` over a stratified
+/// k-fold split, in parallel across folds, and average the metrics.
+///
+/// `eval_fold` must be `Sync` (it is called from scoped threads); each call
+/// receives disjoint test folds of the same dataset.
+pub fn kfold_mean<F>(ds: &Dataset, k: usize, seed: u64, parallel: bool, eval_fold: F) -> (Metrics, Vec<FoldResult>)
+where
+    F: Fn(&[usize], &[usize], usize) -> Metrics + Sync,
+{
+    let folds = ds.k_folds(k, seed);
+    let results: Vec<FoldResult> = if parallel {
+        thread::scope(|scope| {
+            let handles: Vec<_> = folds
+                .iter()
+                .enumerate()
+                .map(|(i, (train, test))| {
+                    let f = &eval_fold;
+                    scope.spawn(move |_| FoldResult { fold: i, metrics: f(train, test, i) })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fold thread panicked"))
+                .collect()
+        })
+        .expect("cross-validation scope")
+    } else {
+        folds
+            .iter()
+            .enumerate()
+            .map(|(i, (train, test))| FoldResult { fold: i, metrics: eval_fold(train, test, i) })
+            .collect()
+    };
+    let mean = Metrics::mean(&results.iter().map(|r| r.metrics).collect::<Vec<_>>());
+    (mean, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{DatasetProfile, Scale};
+    use videosynth::video::StressLabel;
+
+    fn ds() -> Dataset {
+        Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 1)
+    }
+
+    /// A "classifier" that predicts the majority label of its training set.
+    fn majority_eval(ds: &Dataset) -> impl Fn(&[usize], &[usize], usize) -> Metrics + Sync + '_ {
+        move |train, test, _| {
+            let stressed = train
+                .iter()
+                .filter(|&&i| ds.samples[i].label == StressLabel::Stressed)
+                .count();
+            let majority = if stressed * 2 > train.len() {
+                StressLabel::Stressed
+            } else {
+                StressLabel::Unstressed
+            };
+            let pairs: Vec<_> = test.iter().map(|&i| (ds.samples[i].label, majority)).collect();
+            crate::metrics::Confusion::from_pairs(&pairs).metrics()
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let d = ds();
+        let (seq, seq_folds) = kfold_mean(&d, 4, 9, false, majority_eval(&d));
+        let (par, par_folds) = kfold_mean(&d, 4, 9, true, majority_eval(&d));
+        assert_eq!(seq_folds.len(), 4);
+        assert_eq!(par_folds.len(), 4);
+        assert!((seq.accuracy - par.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_classifier_accuracy_matches_class_ratio() {
+        let d = ds();
+        let (mean, _) = kfold_mean(&d, 4, 3, false, majority_eval(&d));
+        let (s, u) = d.label_counts();
+        let expected = u as f64 / (s + u) as f64;
+        assert!((mean.accuracy - expected).abs() < 0.1, "{} vs {}", mean.accuracy, expected);
+    }
+
+    #[test]
+    fn fold_indices_are_passed_in_order() {
+        let d = ds();
+        let (_, folds) = kfold_mean(&d, 3, 0, false, majority_eval(&d));
+        let ids: Vec<usize> = folds.iter().map(|f| f.fold).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The Top-k disturb faithfulness protocol (§IV-C, §IV-H, Table II).
+//!
+//! For every test sample each explanation method nominates its top-scoring
+//! SLIC segments; gaussian noise is placed on the Top-1 / Top-2 / Top-3 of
+//! them; the *accuracy drop* of the classifier on the disturbed inputs
+//! measures how well the explanation located the evidence the model uses.
+
+use videosynth::image::Image;
+use videosynth::perturb::gaussian_disturb;
+use videosynth::slic::{slic, Segmentation};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::metrics::Confusion;
+
+/// SLIC parameters fixed by §IV-H: 64 segments on the expressive frame.
+pub const NUM_SEGMENTS: usize = 64;
+/// Compactness used everywhere.
+pub const SLIC_COMPACTNESS: f32 = 0.1;
+/// SLIC iterations.
+pub const SLIC_ITERS: usize = 5;
+/// Noise σ placed on disturbed segments.
+pub const DISTURB_SIGMA: f32 = 0.35;
+
+/// Segment the expressive frame of a sample as the protocol prescribes.
+pub fn segment_expressive_frame(video: &VideoSample) -> (Image, Segmentation) {
+    let fe = video.render_frame(video.most_expressive_frame());
+    let seg = slic(&fe, NUM_SEGMENTS, SLIC_COMPACTNESS, SLIC_ITERS);
+    (fe, seg)
+}
+
+/// Accuracy drops after disturbing the Top-1, Top-2 and Top-3 segments.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TopKDrops {
+    /// Clean accuracy.
+    pub clean: f64,
+    /// Accuracy drop (clean − disturbed) for k = 1, 2, 3.
+    pub drops: [f64; 3],
+}
+
+/// Per-sample hooks the protocol needs from a method under test.
+pub trait ExplainedClassifier {
+    /// Predict from (possibly disturbed) expressive/least-expressive frames.
+    fn predict_images(&self, fe: &Image, fl: &Image, video: &VideoSample) -> StressLabel;
+
+    /// Rank segments by importance for this sample, best first (at least 3).
+    fn rank_segments(&self, video: &VideoSample, fe: &Image, seg: &Segmentation) -> Vec<usize>;
+}
+
+/// Run the protocol over a test set: for each `k ∈ {1,2,3}` disturb that
+/// many top segments and measure the accuracy drop.
+pub fn topk_accuracy_drops<C: ExplainedClassifier>(
+    classifier: &C,
+    test: &[VideoSample],
+    seed: u64,
+) -> TopKDrops {
+    assert!(!test.is_empty(), "empty test set");
+    let mut clean = Confusion::default();
+    let mut disturbed = [Confusion::default(); 3];
+
+    for (i, v) in test.iter().enumerate() {
+        let (fe, seg) = segment_expressive_frame(v);
+        let fl = v.render_frame(v.least_expressive_frame());
+
+        clean.record(v.label, classifier.predict_images(&fe, &fl, v));
+
+        let ranking = classifier.rank_segments(v, &fe, &seg);
+        assert!(ranking.len() >= 3, "need at least 3 ranked segments");
+        for k in 1..=3usize {
+            let top: Vec<usize> = ranking.iter().copied().take(k).collect();
+            let noisy = gaussian_disturb(&fe, &seg, &top, DISTURB_SIGMA, seed ^ ((i as u64) << 3) ^ k as u64);
+            disturbed[k - 1].record(v.label, classifier.predict_images(&noisy, &fl, v));
+        }
+    }
+
+    let clean_acc = clean.metrics().accuracy;
+    let mut drops = [0.0f64; 3];
+    for k in 0..3 {
+        drops[k] = clean_acc - disturbed[k].metrics().accuracy;
+    }
+    TopKDrops { clean: clean_acc, drops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    /// Edge density (horizontal gradients above 0.15) inside the brow rect —
+    /// a texture-sensitive score that gaussian disturb genuinely changes.
+    fn brow_edge_density(img: &Image) -> f32 {
+        let rect = facs::region::FacialRegion::Eyebrow.rect();
+        let mut edges = 0usize;
+        let mut n = 0usize;
+        for (x, y) in rect.pixels() {
+            if x + 1 < rect.x1 {
+                n += 1;
+                if (img.get(x, y) - img.get(x + 1, y)).abs() > 0.15 {
+                    edges += 1;
+                }
+            }
+        }
+        edges as f32 / n.max(1) as f32
+    }
+
+    /// A classifier that reads brow texture density and "explains" itself
+    /// perfectly (brow-overlapping segments ranked first).
+    struct BrowReader {
+        threshold: f32,
+    }
+
+    impl BrowReader {
+        /// Threshold at the median density of the given samples.
+        fn calibrated(test: &[VideoSample]) -> Self {
+            let mut ds: Vec<f32> = test
+                .iter()
+                .map(|v| brow_edge_density(&v.render_frame(v.most_expressive_frame())))
+                .collect();
+            ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            BrowReader { threshold: ds[ds.len() / 2] }
+        }
+    }
+
+    impl ExplainedClassifier for BrowReader {
+        fn predict_images(&self, fe: &Image, _fl: &Image, _v: &VideoSample) -> StressLabel {
+            if brow_edge_density(fe) > self.threshold {
+                StressLabel::Stressed
+            } else {
+                StressLabel::Unstressed
+            }
+        }
+
+        fn rank_segments(&self, _v: &VideoSample, _fe: &Image, seg: &Segmentation) -> Vec<usize> {
+            // Rank segments by overlap with the brow rect.
+            let rect = facs::region::FacialRegion::Eyebrow.rect();
+            let mut overlap = vec![0usize; seg.num_segments()];
+            for (x, y) in rect.pixels() {
+                overlap[seg.segment_of(x, y)] += 1;
+            }
+            let mut idx: Vec<usize> = (0..seg.num_segments()).collect();
+            idx.sort_by_key(|&s| std::cmp::Reverse(overlap[s]));
+            idx
+        }
+    }
+
+    /// Same classifier, but explanations point at random far-away segments.
+    struct BrowReaderBadExplanation {
+        inner: BrowReader,
+    }
+
+    impl ExplainedClassifier for BrowReaderBadExplanation {
+        fn predict_images(&self, fe: &Image, fl: &Image, v: &VideoSample) -> StressLabel {
+            self.inner.predict_images(fe, fl, v)
+        }
+
+        fn rank_segments(&self, v: &VideoSample, fe: &Image, seg: &Segmentation) -> Vec<usize> {
+            let mut good = self.inner.rank_segments(v, fe, seg);
+            good.reverse(); // worst-overlap first
+            good
+        }
+    }
+
+    #[test]
+    fn faithful_explanations_cause_bigger_drops() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 3);
+        let test: Vec<VideoSample> = ds.samples.into_iter().take(30).collect();
+        let reader = BrowReader::calibrated(&test);
+        let bad_reader = BrowReaderBadExplanation { inner: BrowReader::calibrated(&test) };
+        let good = topk_accuracy_drops(&reader, &test, 1);
+        let bad = topk_accuracy_drops(&bad_reader, &test, 1);
+        assert_eq!(good.clean, bad.clean, "same classifier, same clean accuracy");
+        assert!(
+            good.drops[2] > bad.drops[2],
+            "good {:?} should beat bad {:?}",
+            good.drops,
+            bad.drops
+        );
+    }
+
+    #[test]
+    fn drops_are_bounded_by_clean_accuracy() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 4);
+        let test: Vec<VideoSample> = ds.samples.into_iter().take(10).collect();
+        let r = topk_accuracy_drops(&BrowReader::calibrated(&test), &test, 2);
+        for d in r.drops {
+            assert!(d <= r.clean + 1e-9);
+            assert!(d >= -1.0);
+        }
+    }
+
+    #[test]
+    fn segmentation_has_the_required_segments() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 5);
+        let (_, seg) = segment_expressive_frame(&ds.samples[0]);
+        assert!(seg.num_segments() >= 32, "got {}", seg.num_segments());
+        assert!(seg.num_segments() <= NUM_SEGMENTS);
+    }
+}

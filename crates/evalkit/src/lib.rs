@@ -1,0 +1,28 @@
+//! `evalkit` — evaluation protocol shared by every experiment.
+//!
+//! * [`metrics`] — confusion matrices and the macro-averaged Accuracy /
+//!   Precision / Recall / F1 of §IV-C (with the paper's `Recall =
+//!   TP/(TP+TN)` typo corrected to the standard definition);
+//! * [`cv`] — stratified k-fold cross-validation driving and result
+//!   aggregation (§IV-H runs 10-fold CV), with a thread-parallel fold
+//!   runner;
+//! * [`faithfulness`] — the Top-k disturb protocol of §IV-C / Table II:
+//!   gaussian-noise the top-scoring SLIC segments named by an explainer and
+//!   measure the accuracy drop;
+//! * [`timing`] — wall-clock measurement for the Figure 6 latency
+//!   comparison;
+//! * [`table`] — fixed-width table formatting with paper-vs-measured rows
+//!   for the bench binaries;
+//! * [`chart`] — dependency-free SVG bar/line/histogram rendering so the
+//!   figure binaries can emit actual plots.
+
+pub mod chart;
+pub mod cv;
+pub mod faithfulness;
+pub mod metrics;
+pub mod table;
+pub mod timing;
+
+pub use cv::{kfold_mean, FoldResult};
+pub use metrics::{Confusion, Metrics};
+pub use table::Table;

@@ -1,0 +1,190 @@
+//! Classification metrics (§IV-C), macro-averaged over the two classes.
+
+use videosynth::video::StressLabel;
+
+/// Binary confusion counts with *Stressed* as the positive class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Stressed predicted stressed.
+    pub tp: usize,
+    /// Unstressed predicted unstressed.
+    pub tn: usize,
+    /// Unstressed predicted stressed.
+    pub fp: usize,
+    /// Stressed predicted unstressed.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally one prediction.
+    pub fn record(&mut self, truth: StressLabel, predicted: StressLabel) {
+        match (truth, predicted) {
+            (StressLabel::Stressed, StressLabel::Stressed) => self.tp += 1,
+            (StressLabel::Unstressed, StressLabel::Unstressed) => self.tn += 1,
+            (StressLabel::Unstressed, StressLabel::Stressed) => self.fp += 1,
+            (StressLabel::Stressed, StressLabel::Unstressed) => self.fn_ += 1,
+        }
+    }
+
+    /// Build from parallel truth/prediction slices.
+    pub fn from_pairs(pairs: &[(StressLabel, StressLabel)]) -> Self {
+        let mut c = Confusion::default();
+        for &(t, p) in pairs {
+            c.record(t, p);
+        }
+        c
+    }
+
+    /// Total predictions tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Macro-averaged metrics.
+    pub fn metrics(&self) -> Metrics {
+        let total = self.total();
+        assert!(total > 0, "no predictions recorded");
+        let accuracy = (self.tp + self.tn) as f64 / total as f64;
+
+        // Per-class precision/recall; macro-average assigns equal weight to
+        // each class (§IV-C).
+        let prec_pos = safe_div(self.tp, self.tp + self.fp);
+        let rec_pos = safe_div(self.tp, self.tp + self.fn_);
+        let prec_neg = safe_div(self.tn, self.tn + self.fn_);
+        let rec_neg = safe_div(self.tn, self.tn + self.fp);
+
+        let f1_pos = f1(prec_pos, rec_pos);
+        let f1_neg = f1(prec_neg, rec_neg);
+
+        Metrics {
+            accuracy,
+            precision: (prec_pos + prec_neg) / 2.0,
+            recall: (rec_pos + rec_neg) / 2.0,
+            f1: (f1_pos + f1_neg) / 2.0,
+        }
+    }
+}
+
+fn safe_div(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn f1(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Macro-averaged Accuracy / Precision / Recall / F1, all in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    pub accuracy: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Element-wise mean of several folds' metrics.
+    pub fn mean(items: &[Metrics]) -> Metrics {
+        assert!(!items.is_empty(), "mean of no metrics");
+        let n = items.len() as f64;
+        Metrics {
+            accuracy: items.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: items.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: items.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: items.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+
+    /// `"95.81% 96.05% 92.82% 94.22%"`-style row cells.
+    pub fn row_cells(&self) -> [String; 4] {
+        [
+            format!("{:.2}%", self.accuracy * 100.0),
+            format!("{:.2}%", self.precision * 100.0),
+            format!("{:.2}%", self.recall * 100.0),
+            format!("{:.2}%", self.f1 * 100.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use StressLabel::{Stressed as S, Unstressed as U};
+
+    #[test]
+    fn perfect_predictions() {
+        let c = Confusion::from_pairs(&[(S, S), (U, U), (S, S), (U, U)]);
+        let m = c.metrics();
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let c = Confusion::from_pairs(&[(S, U), (U, S)]);
+        let m = c.metrics();
+        assert_eq!(m.accuracy, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn accuracy_identity_from_confusion() {
+        let c = Confusion { tp: 7, tn: 5, fp: 2, fn_: 1 };
+        let m = c.metrics();
+        assert!((m.accuracy - 12.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_average_weights_classes_equally() {
+        // Heavily imbalanced, classifier always predicts the majority class.
+        let mut pairs = vec![(U, U); 90];
+        pairs.extend(vec![(S, U); 10]);
+        let m = Confusion::from_pairs(&pairs).metrics();
+        assert!((m.accuracy - 0.9).abs() < 1e-12);
+        // Macro recall = (0 + 1)/2.
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        // Macro precision = (0 + 0.9)/2.
+        assert!((m.precision - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_matches_from_pairs() {
+        let mut a = Confusion::default();
+        a.record(S, S);
+        a.record(U, S);
+        let b = Confusion::from_pairs(&[(S, S), (U, S)]);
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn mean_of_metrics() {
+        let a = Metrics { accuracy: 1.0, precision: 1.0, recall: 1.0, f1: 1.0 };
+        let b = Metrics { accuracy: 0.5, precision: 0.5, recall: 0.5, f1: 0.5 };
+        let m = Metrics::mean(&[a, b]);
+        assert!((m.accuracy - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_cells_format() {
+        let m = Metrics { accuracy: 0.9581, precision: 0.9605, recall: 0.9282, f1: 0.9422 };
+        assert_eq!(m.row_cells()[0], "95.81%");
+        assert_eq!(m.row_cells()[3], "94.22%");
+    }
+
+    #[test]
+    #[should_panic(expected = "no predictions")]
+    fn empty_confusion_panics() {
+        let _ = Confusion::default().metrics();
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-width table rendering with paper-vs-measured rows.
+//!
+//! Every bench binary regenerates one of the paper's tables/figures and
+//! prints the measured values next to the paper's reported numbers so the
+//! *shape* comparison (who wins, by roughly what factor) is immediate.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "a table needs columns");
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cell count must match the header).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a separator-style row of empty cells labelled in column 0.
+    pub fn section(&mut self, label: &str) -> &mut Self {
+        let mut cells = vec![String::new(); self.header.len()];
+        cells[0] = format!("— {label} —");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let total: usize = widths.iter().sum::<usize>() + 3 * ncols + 1;
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(total.min(120)));
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "| {:width$} ", h, width = widths[i]);
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "| {:width$} ", c, width = widths[i]);
+            }
+            line.push('|');
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a `measured` percentage next to the paper's reported value:
+/// `"93.45% (paper 95.81%)"`.
+pub fn vs_paper(measured: f64, paper_pct: f64) -> String {
+    format!("{:.2}% (paper {:.2}%)", measured * 100.0, paper_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Method", "Acc."]);
+        t.row(vec!["Ours".into(), "95.81%".into()]);
+        t.row(vec!["A-very-long-method-name".into(), "70.19%".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 3);
+        // All pipe-rows have equal length.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn vs_paper_format() {
+        assert_eq!(vs_paper(0.9345, 95.81), "93.45% (paper 95.81%)");
+    }
+
+    #[test]
+    fn section_rows_render() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.section("UVSD");
+        let s = t.render();
+        assert!(s.contains("— UVSD —"));
+    }
+}

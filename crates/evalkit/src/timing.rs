@@ -1,0 +1,58 @@
+//! Wall-clock measurement for the Figure 6 latency comparison.
+
+use std::time::Instant;
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time_it<T, F: FnOnce() -> T>(f: F) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Mean per-call seconds of `f` over `n` calls (n ≥ 1).
+pub fn mean_seconds<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    assert!(n >= 1);
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_secs_f64() / n as f64
+}
+
+/// Format seconds like the paper's Figure 6 axis ("3.4s", "216.3s").
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}ms", s * 1000.0)
+    } else if s < 1.0 {
+        format!("{:.0}ms", s * 1000.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_result_and_nonnegative_time() {
+        let (v, t) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn mean_seconds_counts_calls() {
+        let mut calls = 0;
+        let _ = mean_seconds(5, || calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_seconds(216.33), "216.3s");
+        assert_eq!(fmt_seconds(3.42), "3.4s");
+        assert_eq!(fmt_seconds(0.25), "250ms");
+        assert_eq!(fmt_seconds(0.0004), "0.4ms");
+    }
+}

@@ -1,0 +1,70 @@
+//! Attribution scores and ranking.
+
+/// One importance score per SLIC segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attribution {
+    scores: Vec<f32>,
+}
+
+impl Attribution {
+    /// Wrap raw per-segment scores.
+    pub fn new(scores: Vec<f32>) -> Self {
+        assert!(!scores.is_empty(), "empty attribution");
+        assert!(scores.iter().all(|s| s.is_finite()), "non-finite attribution");
+        Attribution { scores }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether there are no scores (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Raw scores.
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
+    }
+
+    /// Indices of the `k` highest-scoring segments, best first.  Ties break
+    /// toward the lower index for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("finite scores")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let a = Attribution::new(vec![0.1, 0.9, 0.5, 0.9]);
+        assert_eq!(a.top_k(3), vec![1, 3, 2]);
+        assert_eq!(a.top_k(0), Vec::<usize>::new());
+        assert_eq!(a.top_k(10).len(), 4, "k larger than len is clamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = Attribution::new(vec![f32::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = Attribution::new(vec![]);
+    }
+}

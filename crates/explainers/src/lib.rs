@@ -1,0 +1,30 @@
+//! `explainers` — post-hoc explanation baselines over SLIC superpixels.
+//!
+//! The paper compares its self-explaining rationale against three
+//! computationally expensive perturbation explainers (§IV-B(2), Table II,
+//! Fig. 6).  All three are implemented from scratch against the same
+//! interface: a black-box score function over the expressive frame `f_e`
+//! and a 64-segment SLIC partition.
+//!
+//! * [`lime`] — Ribeiro et al. 2016: random binary masks, an
+//!   exponential-kernel locality weight, and a weighted ridge surrogate
+//!   whose coefficients are the attributions;
+//! * [`shap`] — Lundberg & Lee 2017 (KernelSHAP): coalitions weighted by
+//!   the Shapley kernel, solved as a weighted least squares;
+//! * [`sobol`] — Fel et al. 2021: total-order Sobol' sensitivity indices
+//!   estimated with the Jansen estimator over quasi-Monte-Carlo masks.
+//!
+//! Each explainer returns an [`Attribution`]: one importance score per
+//! segment, whose `top_k` feeds the Table II disturb protocol.
+
+pub mod attribution;
+pub mod lime;
+pub mod linalg;
+pub mod qmc;
+pub mod shap;
+pub mod sobol;
+
+pub use attribution::Attribution;
+pub use lime::lime;
+pub use shap::kernel_shap;
+pub use sobol::sobol_total_indices;

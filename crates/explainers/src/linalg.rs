@@ -1,0 +1,167 @@
+//! Small dense linear-algebra helpers (weighted ridge regression).
+
+/// Solve `A x = b` for a dense `n × n` system with Gaussian elimination and
+/// partial pivoting.  Returns `None` when the matrix is numerically
+/// singular.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > a[piv * n + col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            b.swap(col, piv);
+        }
+        // Eliminate below.
+        let d = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / d;
+            if factor != 0.0 {
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col * n + k] * x[k];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Weighted ridge regression with intercept:
+/// minimise `Σ w_i (y_i − β₀ − x_iᵀβ)² + λ‖β‖²` over masks `x ∈ {0,1}^d`.
+///
+/// Returns `(β₀, β)`.  `xs` is row-major `n × d`.
+pub fn weighted_ridge(
+    xs: &[f32],
+    ys: &[f32],
+    ws: &[f32],
+    d: usize,
+    lambda: f64,
+) -> (f64, Vec<f64>) {
+    let n = ys.len();
+    assert_eq!(xs.len(), n * d);
+    assert_eq!(ws.len(), n);
+    assert!(n > 0, "no samples");
+    let m = d + 1; // intercept first.
+
+    // Normal equations: (XᵀWX + λI') β = XᵀWy, intercept unpenalised.
+    let mut a = vec![0.0f64; m * m];
+    let mut b = vec![0.0f64; m];
+    for i in 0..n {
+        let w = ws[i] as f64;
+        if w == 0.0 {
+            continue;
+        }
+        let row = &xs[i * d..(i + 1) * d];
+        let y = ys[i] as f64;
+        // Augmented feature vector [1, x...].
+        b[0] += w * y;
+        a[0] += w;
+        for j in 0..d {
+            let xj = row[j] as f64;
+            if xj != 0.0 {
+                b[j + 1] += w * xj * y;
+                a[j + 1] += w * xj; // A[0, j+1]
+                a[(j + 1) * m] += w * xj; // A[j+1, 0]
+                for k in j..d {
+                    let xk = row[k] as f64;
+                    if xk != 0.0 {
+                        a[(j + 1) * m + k + 1] += w * xj * xk;
+                        if k != j {
+                            a[(k + 1) * m + j + 1] += w * xj * xk;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for j in 1..m {
+        a[j * m + j] += lambda;
+    }
+    // Tiny jitter on the intercept for singular degenerate inputs.
+    a[0] += 1e-9;
+
+    let beta = solve(a, b, m).unwrap_or_else(|| vec![0.0; m]);
+    (beta[0], beta[1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -2.0];
+        assert_eq!(solve(a, b, 2).unwrap(), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x - y = 1  → x = 2, y = 1.
+        let a = vec![2.0, 1.0, 1.0, -1.0];
+        let b = vec![5.0, 1.0];
+        let x = solve(a, b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert!(solve(a, b, 2).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        // y = 2 x0 - 1 x1 + 0.5 over all 4 binary masks.
+        let xs = vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let ys = vec![0.5, 2.5, -0.5, 1.5];
+        let ws = vec![1.0; 4];
+        let (b0, beta) = weighted_ridge(&xs, &ys, &ws, 2, 1e-6);
+        assert!((b0 - 0.5).abs() < 1e-3, "intercept {b0}");
+        assert!((beta[0] - 2.0).abs() < 1e-3, "{beta:?}");
+        assert!((beta[1] + 1.0).abs() < 1e-3, "{beta:?}");
+    }
+
+    #[test]
+    fn ridge_weights_ignore_zero_weight_rows() {
+        // Two contradictory points; only the weighted one matters.
+        let xs = vec![1.0, 1.0];
+        let ys = vec![10.0, -10.0];
+        let ws = vec![1.0, 0.0];
+        let (b0, beta) = weighted_ridge(&xs, &ys, &ws, 1, 1e-6);
+        assert!((b0 + beta[0] - 10.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let xs = vec![0.0, 1.0];
+        let ys = vec![0.0, 1.0];
+        let ws = vec![1.0, 1.0];
+        let (_, small) = weighted_ridge(&xs, &ys, &ws, 1, 1e-6);
+        let (_, big) = weighted_ridge(&xs, &ys, &ws, 1, 100.0);
+        assert!(big[0].abs() < small[0].abs());
+    }
+}

@@ -1,0 +1,128 @@
+//! Quasi-Monte-Carlo sequence for the SOBOL explainer.
+//!
+//! Fel et al. generate their perturbation masks from a Sobol' sequence.  We
+//! use the Halton sequence with prime bases — the same low-discrepancy role
+//! with no external direction-number tables (see DESIGN.md for the
+//! substitution note).  A per-dimension digital shift (Cranley–Patterson
+//! rotation) decorrelates the high-dimensional projections.
+
+/// First 64 primes (bases for up to 64 dimensions).
+const PRIMES: [u32; 64] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311,
+];
+
+/// Radical inverse of `n` in base `b` — the Halton coordinate.
+pub fn radical_inverse(mut n: u64, b: u32) -> f64 {
+    let b = b as u64;
+    let mut inv = 0.0f64;
+    let mut denom = 1.0f64;
+    while n > 0 {
+        denom *= b as f64;
+        inv += (n % b) as f64 / denom;
+        n /= b;
+    }
+    inv
+}
+
+/// A `dims`-dimensional low-discrepancy point generator in `[0, 1)^dims`.
+#[derive(Clone, Debug)]
+pub struct QmcSequence {
+    dims: usize,
+    index: u64,
+    shift: Vec<f64>,
+}
+
+impl QmcSequence {
+    /// Create for up to 64 dimensions; `seed` sets the digital shift.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        assert!(dims >= 1 && dims <= PRIMES.len(), "1..=64 dimensions supported");
+        // Deterministic per-dimension shift from a splitmix-style hash.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let shift = (0..dims)
+            .map(|_| {
+                state ^= state >> 30;
+                state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                state ^= state >> 27;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        QmcSequence { dims, index: 0, shift }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Next point (skips index 0, which is degenerate for Halton).
+    pub fn next_point(&mut self) -> Vec<f64> {
+        self.index += 1;
+        let n = self.index;
+        (0..self.dims)
+            .map(|d| {
+                let x = radical_inverse(n, PRIMES[d]) + self.shift[d];
+                x - x.floor()
+            })
+            .collect()
+    }
+
+    /// Generate an `n × dims` matrix of points.
+    pub fn matrix(&mut self, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radical_inverse_base2_known_values() {
+        assert_eq!(radical_inverse(1, 2), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(3, 2), 0.75);
+        assert_eq!(radical_inverse(4, 2), 0.125);
+    }
+
+    #[test]
+    fn points_are_in_unit_cube() {
+        let mut q = QmcSequence::new(64, 7);
+        for _ in 0..200 {
+            let p = q.next_point();
+            assert_eq!(p.len(), 64);
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_beats_clumping_in_1d() {
+        // The first-dimension marginal should cover [0,1) evenly: each of
+        // 16 bins gets 256/16 = 16 ± small.
+        let mut q = QmcSequence::new(2, 0);
+        let mut bins = [0usize; 16];
+        for _ in 0..256 {
+            let p = q.next_point();
+            bins[(p[0] * 16.0) as usize] += 1;
+        }
+        for &b in &bins {
+            assert!((12..=20).contains(&b), "uneven bin: {bins:?}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_shift_points() {
+        let a = QmcSequence::new(4, 1).next_point();
+        let b = QmcSequence::new(4, 2).next_point();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = QmcSequence::new(8, 5);
+        let mut b = QmcSequence::new(8, 5);
+        assert_eq!(a.matrix(10), b.matrix(10));
+    }
+}

@@ -1,0 +1,169 @@
+//! KernelSHAP (Lundberg & Lee, NeurIPS 2017) over SLIC superpixels.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use videosynth::image::Image;
+use videosynth::perturb::apply_mask;
+use videosynth::slic::Segmentation;
+
+use crate::attribution::Attribution;
+use crate::linalg::weighted_ridge;
+
+/// Shapley kernel weight for a coalition of size `s` out of `m` players:
+/// `(m − 1) / (C(m, s) · s · (m − s))`.  Degenerate sizes (0, m) have
+/// infinite weight and are handled separately.
+pub fn shapley_kernel(m: usize, s: usize) -> f64 {
+    assert!(s > 0 && s < m, "kernel undefined at the coalition extremes");
+    (m as f64 - 1.0) / (binom(m, s) * s as f64 * (m - s) as f64)
+}
+
+fn binom(m: usize, s: usize) -> f64 {
+    // Computed in log space to survive m = 64.
+    let mut acc = 0.0f64;
+    for i in 0..s {
+        acc += ((m - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc.exp()
+}
+
+/// KernelSHAP attributions: sample coalitions with size drawn from the
+/// (normalised) Shapley kernel, evaluate the black box on each masked
+/// image, and solve the kernel-weighted least squares.  The empty and full
+/// coalitions anchor the regression with a large weight (the standard
+/// practical treatment of their infinite kernel weight).
+pub fn kernel_shap<F: FnMut(&Image) -> f32>(
+    image: &Image,
+    seg: &Segmentation,
+    mut score: F,
+    n_samples: usize,
+    seed: u64,
+) -> Attribution {
+    assert!(n_samples >= 8, "KernelSHAP needs a non-trivial sample budget");
+    let d = seg.num_segments();
+    assert!(d >= 2, "need at least two segments");
+    let fill = image.mean();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Size distribution ∝ kernel(s) · C(d, s) = (d−1)/(s·(d−s)).
+    let size_weights: Vec<f64> = (1..d).map(|s| 1.0 / (s as f64 * (d - s) as f64)).collect();
+    let total_w: f64 = size_weights.iter().sum();
+
+    let mut xs = Vec::with_capacity((n_samples + 2) * d);
+    let mut ys = Vec::with_capacity(n_samples + 2);
+    let mut ws = Vec::with_capacity(n_samples + 2);
+
+    // Anchors: empty and full coalitions, heavily weighted.
+    const ANCHOR_WEIGHT: f32 = 1e4;
+    xs.extend(std::iter::repeat_n(0.0f32, d));
+    let empty = apply_mask(image, seg, &vec![false; d], fill);
+    ys.push(score(&empty));
+    ws.push(ANCHOR_WEIGHT);
+    xs.extend(std::iter::repeat_n(1.0f32, d));
+    ys.push(score(image));
+    ws.push(ANCHOR_WEIGHT);
+
+    let mut indices: Vec<usize> = (0..d).collect();
+    for _ in 0..n_samples {
+        // Sample a coalition size from the kernel-induced distribution.
+        let mut u = rng.random::<f64>() * total_w;
+        let mut s = 1usize;
+        for (i, w) in size_weights.iter().enumerate() {
+            if u < *w {
+                s = i + 1;
+                break;
+            }
+            u -= w;
+        }
+        indices.shuffle(&mut rng);
+        let mut keep = vec![false; d];
+        for &i in indices.iter().take(s) {
+            keep[i] = true;
+        }
+        let masked = apply_mask(image, seg, &keep, fill);
+        xs.extend(keep.iter().map(|&k| if k { 1.0f32 } else { 0.0 }));
+        ys.push(score(&masked));
+        ws.push(shapley_kernel(d, s) as f32 * d as f32); // rescaled for conditioning
+    }
+
+    let (_, phi) = weighted_ridge(&xs, &ys, &ws, d, 1e-4);
+    Attribution::new(phi.into_iter().map(|p| p as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::slic::slic;
+
+    #[test]
+    fn kernel_is_symmetric_and_positive() {
+        for m in [4usize, 16, 64] {
+            for s in 1..m {
+                let w = shapley_kernel(m, s);
+                assert!(w > 0.0);
+                assert!((w - shapley_kernel(m, m - s)).abs() < 1e-12 * w.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_peaks_at_extreme_sizes() {
+        // Within 1..m−1 the kernel is U-shaped: s=1 outweighs s=m/2.
+        let m = 16;
+        assert!(shapley_kernel(m, 1) > shapley_kernel(m, 8));
+    }
+
+    #[test]
+    fn binom_known_values() {
+        assert!((binom(5, 2) - 10.0).abs() < 1e-9);
+        assert!((binom(64, 1) - 64.0).abs() < 1e-6);
+        // C(64, 32) ≈ 1.83e18 → ln ≈ 42.05.
+        assert!((binom(64, 32).ln() - 42.05).abs() < 0.1, "{}", binom(64, 32).ln());
+    }
+
+    #[test]
+    fn shap_finds_the_planted_segment() {
+        let base = Image::filled(32, 32, 0.2);
+        let seg = slic(&base, 16, 0.1, 3);
+        let target = 7.min(seg.num_segments() - 1);
+        let mut img = base.clone();
+        for (x, y) in seg.pixels_of(target) {
+            img.set(x, y, 1.0);
+        }
+        let pixels = seg.pixels_of(target);
+        let f = move |im: &Image| {
+            pixels.iter().map(|&(x, y)| im.get(x, y)).sum::<f32>() / pixels.len() as f32
+        };
+        let attr = kernel_shap(&img, &seg, f, 256, 0);
+        assert_eq!(attr.top_k(1)[0], target, "{:?}", attr.scores());
+    }
+
+    #[test]
+    fn shap_deterministic_in_seed() {
+        let base = Image::filled(32, 32, 0.4);
+        let seg = slic(&base, 9, 0.1, 3);
+        let f = |img: &Image| img.mean();
+        assert_eq!(
+            kernel_shap(&base, &seg, f, 64, 2),
+            kernel_shap(&base, &seg, f, 64, 2)
+        );
+    }
+
+    #[test]
+    fn shap_additivity_roughly_holds() {
+        // Σφ ≈ f(x) − f(empty) thanks to the anchors.
+        let base = Image::filled(32, 32, 0.3);
+        let seg = slic(&base, 9, 0.1, 3);
+        let mut img = base.clone();
+        for (x, y) in seg.pixels_of(0) {
+            img.set(x, y, 0.9);
+        }
+        let f = |im: &Image| im.mean() * 2.0;
+        let fill = img.mean();
+        let empty = apply_mask(&img, &seg, &vec![false; seg.num_segments()], fill);
+        let expect = f(&img) - f(&empty);
+        let attr = kernel_shap(&img, &seg, f, 512, 1);
+        let total: f32 = attr.scores().iter().sum();
+        assert!((total - expect).abs() < 0.05, "Σφ {total} vs {expect}");
+    }
+}

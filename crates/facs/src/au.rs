@@ -1,0 +1,437 @@
+//! The 12 DISFA+ facial Action Units and dense/sparse activation containers.
+
+use std::fmt;
+
+use crate::region::FacialRegion;
+
+/// Number of action units annotated in DISFA+ and used throughout the paper.
+pub const NUM_AUS: usize = 12;
+
+/// The 12 facial Action Units labelled in DISFA+ (§IV-A of the paper).
+///
+/// The discriminant is the AU's *index* (0..12), not its FACS number; use
+/// [`ActionUnit::facs_number`] for the latter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ActionUnit {
+    /// AU1 — inner brow raiser (frontalis, pars medialis).
+    InnerBrowRaiser = 0,
+    /// AU2 — outer brow raiser (frontalis, pars lateralis).
+    OuterBrowRaiser = 1,
+    /// AU4 — brow lowerer (corrugator supercilii).
+    BrowLowerer = 2,
+    /// AU5 — upper lid raiser (levator palpebrae superioris).
+    UpperLidRaiser = 3,
+    /// AU6 — cheek raiser (orbicularis oculi, pars orbitalis).
+    CheekRaiser = 4,
+    /// AU9 — nose wrinkler (levator labii superioris alaeque nasi).
+    NoseWrinkler = 5,
+    /// AU12 — lip corner puller (zygomaticus major).
+    LipCornerPuller = 6,
+    /// AU15 — lip corner depressor (depressor anguli oris).
+    LipCornerDepressor = 7,
+    /// AU17 — chin raiser (mentalis).
+    ChinRaiser = 8,
+    /// AU20 — lip stretcher (risorius).
+    LipStretcher = 9,
+    /// AU25 — lips part (depressor labii inferioris relaxation).
+    LipsPart = 10,
+    /// AU26 — jaw drop (masseter relaxation).
+    JawDrop = 11,
+}
+
+/// All 12 action units in index order.
+pub const ALL_AUS: [ActionUnit; NUM_AUS] = [
+    ActionUnit::InnerBrowRaiser,
+    ActionUnit::OuterBrowRaiser,
+    ActionUnit::BrowLowerer,
+    ActionUnit::UpperLidRaiser,
+    ActionUnit::CheekRaiser,
+    ActionUnit::NoseWrinkler,
+    ActionUnit::LipCornerPuller,
+    ActionUnit::LipCornerDepressor,
+    ActionUnit::ChinRaiser,
+    ActionUnit::LipStretcher,
+    ActionUnit::LipsPart,
+    ActionUnit::JawDrop,
+];
+
+impl ActionUnit {
+    /// Dense index in `0..NUM_AUS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from a dense index.
+    pub fn from_index(idx: usize) -> Option<Self> {
+        ALL_AUS.get(idx).copied()
+    }
+
+    /// Official FACS number (AU1, AU2, AU4, ...).
+    pub fn facs_number(self) -> u8 {
+        match self {
+            Self::InnerBrowRaiser => 1,
+            Self::OuterBrowRaiser => 2,
+            Self::BrowLowerer => 4,
+            Self::UpperLidRaiser => 5,
+            Self::CheekRaiser => 6,
+            Self::NoseWrinkler => 9,
+            Self::LipCornerPuller => 12,
+            Self::LipCornerDepressor => 15,
+            Self::ChinRaiser => 17,
+            Self::LipStretcher => 20,
+            Self::LipsPart => 25,
+            Self::JawDrop => 26,
+        }
+    }
+
+    /// Construct from an official FACS number.
+    pub fn from_facs_number(n: u8) -> Option<Self> {
+        ALL_AUS.iter().copied().find(|au| au.facs_number() == n)
+    }
+
+    /// Short descriptive name as used in the FACS manual.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::InnerBrowRaiser => "inner brow raiser",
+            Self::OuterBrowRaiser => "outer brow raiser",
+            Self::BrowLowerer => "brow lowerer",
+            Self::UpperLidRaiser => "upper lid raiser",
+            Self::CheekRaiser => "cheek raiser",
+            Self::NoseWrinkler => "nose wrinkler",
+            Self::LipCornerPuller => "lip corner puller",
+            Self::LipCornerDepressor => "lip corner depressor",
+            Self::ChinRaiser => "chin raiser",
+            Self::LipStretcher => "lip stretcher",
+            Self::LipsPart => "lips part",
+            Self::JawDrop => "jaw drop",
+        }
+    }
+
+    /// The facial region the AU's movement is localised in.  Used to map a
+    /// highlighted rationale back onto image segments (§III-D).
+    pub fn region(self) -> FacialRegion {
+        match self {
+            Self::InnerBrowRaiser | Self::OuterBrowRaiser | Self::BrowLowerer => {
+                FacialRegion::Eyebrow
+            }
+            Self::UpperLidRaiser => FacialRegion::Eyelid,
+            Self::CheekRaiser => FacialRegion::Cheek,
+            Self::NoseWrinkler => FacialRegion::Nose,
+            Self::LipCornerPuller
+            | Self::LipCornerDepressor
+            | Self::LipStretcher
+            | Self::LipsPart => FacialRegion::Mouth,
+            Self::ChinRaiser | Self::JawDrop => FacialRegion::Jaw,
+        }
+    }
+}
+
+impl fmt::Display for ActionUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AU{} ({})", self.facs_number(), self.name())
+    }
+}
+
+/// A set of active action units, stored as a 12-bit mask.
+///
+/// This is the `a ∈ {0,1}^12` annotation of §IV-A and the canonical payload
+/// of a facial-expression description `E`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct AuSet(u16);
+
+impl AuSet {
+    /// The empty (neutral-face) set.
+    pub const EMPTY: AuSet = AuSet(0);
+    /// Every AU active.
+    pub const FULL: AuSet = AuSet((1 << NUM_AUS as u16) - 1);
+
+    /// Build from an iterator of action units.
+    pub fn from_aus<I: IntoIterator<Item = ActionUnit>>(aus: I) -> Self {
+        let mut s = Self::EMPTY;
+        for au in aus {
+            s.insert(au);
+        }
+        s
+    }
+
+    /// Build from a raw 12-bit mask.  Bits above `NUM_AUS` are truncated.
+    pub fn from_bits(bits: u16) -> Self {
+        AuSet(bits & Self::FULL.0)
+    }
+
+    /// Raw 12-bit mask.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Whether `au` is active.
+    #[inline]
+    pub fn contains(self, au: ActionUnit) -> bool {
+        self.0 & (1 << au.index()) != 0
+    }
+
+    /// Activate `au`.
+    #[inline]
+    pub fn insert(&mut self, au: ActionUnit) {
+        self.0 |= 1 << au.index();
+    }
+
+    /// Deactivate `au`.
+    #[inline]
+    pub fn remove(&mut self, au: ActionUnit) {
+        self.0 &= !(1 << au.index());
+    }
+
+    /// Toggle `au`.
+    #[inline]
+    pub fn toggle(&mut self, au: ActionUnit) {
+        self.0 ^= 1 << au.index();
+    }
+
+    /// Number of active AUs.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no AU is active.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over the active AUs in index order.
+    pub fn iter(self) -> impl Iterator<Item = ActionUnit> {
+        ALL_AUS.into_iter().filter(move |au| self.contains(*au))
+    }
+
+    /// Set union.
+    pub fn union(self, other: AuSet) -> AuSet {
+        AuSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: AuSet) -> AuSet {
+        AuSet(self.0 & other.0)
+    }
+
+    /// AUs in `self` but not in `other`.
+    pub fn difference(self, other: AuSet) -> AuSet {
+        AuSet(self.0 & !other.0)
+    }
+
+    /// Symmetric difference — the AUs on which two descriptions disagree.
+    pub fn symmetric_difference(self, other: AuSet) -> AuSet {
+        AuSet(self.0 ^ other.0)
+    }
+
+    /// Hamming distance between two activation sets.
+    pub fn hamming(self, other: AuSet) -> usize {
+        (self.0 ^ other.0).count_ones() as usize
+    }
+
+    /// Dense `{0,1}^12` vector, as fed to the baselines' feature pipelines.
+    pub fn to_dense(self) -> [f32; NUM_AUS] {
+        let mut v = [0.0; NUM_AUS];
+        for au in self.iter() {
+            v[au.index()] = 1.0;
+        }
+        v
+    }
+
+    /// Threshold a dense intensity vector at `thresh` into an activation set.
+    pub fn from_dense(v: &[f32; NUM_AUS], thresh: f32) -> Self {
+        let mut s = Self::EMPTY;
+        for (i, &x) in v.iter().enumerate() {
+            if x >= thresh {
+                s.insert(ALL_AUS[i]);
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for AuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AuSet{{")?;
+        let mut first = true;
+        for au in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "AU{}", au.facs_number())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ActionUnit> for AuSet {
+    fn from_iter<T: IntoIterator<Item = ActionUnit>>(iter: T) -> Self {
+        Self::from_aus(iter)
+    }
+}
+
+/// Dense per-AU intensity vector in `[0, 1]^12`.
+///
+/// The world model produces continuous intensities; descriptions quantise
+/// them to an [`AuSet`] via a threshold, mirroring how DISFA's 0–5 intensity
+/// codes are binarised for occurrence prediction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuVector(pub [f32; NUM_AUS]);
+
+impl AuVector {
+    /// The all-zero (neutral) intensity vector.
+    pub fn zeros() -> Self {
+        AuVector([0.0; NUM_AUS])
+    }
+
+    /// Intensity of `au`.
+    #[inline]
+    pub fn get(&self, au: ActionUnit) -> f32 {
+        self.0[au.index()]
+    }
+
+    /// Set intensity of `au` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn set(&mut self, au: ActionUnit, v: f32) {
+        self.0[au.index()] = v.clamp(0.0, 1.0);
+    }
+
+    /// Binarise at `thresh`.
+    pub fn threshold(&self, thresh: f32) -> AuSet {
+        AuSet::from_dense(&self.0, thresh)
+    }
+
+    /// Total activation mass — the "expressiveness" score used to pick the
+    /// most/least expressive frames (Zhang et al., §IV-H).
+    pub fn expressiveness(&self) -> f32 {
+        self.0.iter().sum()
+    }
+
+    /// Elementwise linear interpolation towards `other`.
+    pub fn lerp(&self, other: &AuVector, t: f32) -> AuVector {
+        let mut out = [0.0; NUM_AUS];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i] + (other.0[i] - self.0[i]) * t;
+        }
+        AuVector(out)
+    }
+}
+
+impl Default for AuVector {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, au) in ALL_AUS.iter().enumerate() {
+            assert_eq!(au.index(), i);
+            assert_eq!(ActionUnit::from_index(i), Some(*au));
+        }
+        assert_eq!(ActionUnit::from_index(NUM_AUS), None);
+    }
+
+    #[test]
+    fn facs_numbers_round_trip_and_match_disfa() {
+        let expected = [1u8, 2, 4, 5, 6, 9, 12, 15, 17, 20, 25, 26];
+        for (au, n) in ALL_AUS.iter().zip(expected) {
+            assert_eq!(au.facs_number(), n);
+            assert_eq!(ActionUnit::from_facs_number(n), Some(*au));
+        }
+        assert_eq!(ActionUnit::from_facs_number(3), None);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = AuSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(ActionUnit::BrowLowerer);
+        s.insert(ActionUnit::LipsPart);
+        assert!(s.contains(ActionUnit::BrowLowerer));
+        assert!(!s.contains(ActionUnit::CheekRaiser));
+        assert_eq!(s.len(), 2);
+        s.remove(ActionUnit::BrowLowerer);
+        assert!(!s.contains(ActionUnit::BrowLowerer));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AuSet::from_aus([ActionUnit::InnerBrowRaiser, ActionUnit::BrowLowerer]);
+        let b = AuSet::from_aus([ActionUnit::BrowLowerer, ActionUnit::JawDrop]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert_eq!(a.difference(b).len(), 1);
+        assert_eq!(a.symmetric_difference(b).len(), 2);
+        assert_eq!(a.hamming(b), 2);
+        assert_eq!(a.hamming(a), 0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s = AuSet::from_aus([ActionUnit::CheekRaiser, ActionUnit::LipCornerPuller]);
+        let d = s.to_dense();
+        assert_eq!(AuSet::from_dense(&d, 0.5), s);
+    }
+
+    #[test]
+    fn full_set_has_all() {
+        assert_eq!(AuSet::FULL.len(), NUM_AUS);
+        for au in ALL_AUS {
+            assert!(AuSet::FULL.contains(au));
+        }
+    }
+
+    #[test]
+    fn from_bits_truncates() {
+        let s = AuSet::from_bits(u16::MAX);
+        assert_eq!(s, AuSet::FULL);
+    }
+
+    #[test]
+    fn vector_clamp_and_expressiveness() {
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::BrowLowerer, 2.0);
+        assert_eq!(v.get(ActionUnit::BrowLowerer), 1.0);
+        v.set(ActionUnit::JawDrop, -1.0);
+        assert_eq!(v.get(ActionUnit::JawDrop), 0.0);
+        assert!((v.expressiveness() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vector_lerp_midpoint() {
+        let a = AuVector::zeros();
+        let mut b = AuVector::zeros();
+        b.set(ActionUnit::LipsPart, 1.0);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.get(ActionUnit::LipsPart) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_au_has_a_region() {
+        // Smoke: region() is total and regions partition sensibly.
+        for au in ALL_AUS {
+            let _ = au.region();
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            format!("{}", ActionUnit::BrowLowerer),
+            "AU4 (brow lowerer)"
+        );
+        let s = AuSet::from_aus([ActionUnit::InnerBrowRaiser, ActionUnit::JawDrop]);
+        assert_eq!(format!("{s:?}"), "AuSet{AU1, AU26}");
+    }
+}

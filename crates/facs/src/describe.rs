@@ -1,0 +1,280 @@
+//! The facial-action *description language* `E` of §III-B / §IV-A.
+//!
+//! The paper transforms a 12-dim AU annotation into a natural-language
+//! description, e.g. for AU1 + AU5 + AU6:
+//!
+//! ```text
+//! The facial expressions can be listed below:
+//! -eyebrow: inner portions of the eyebrows raising
+//! -lid: upper lid raising
+//! -cheek: raised
+//! ```
+//!
+//! We fix that template as a closed, deterministic and *invertible* language:
+//! [`render_description`] maps an [`AuSet`] to the text and
+//! [`parse_description`] maps any well-formed text back.  Invertibility is
+//! what makes the self-refinement loops measurable — a generated description
+//! can be decoded into the AU claim it makes, compared against the video's
+//! ground truth, and located on the face for mosaicing.
+
+use std::fmt;
+
+use crate::au::{ActionUnit, AuSet, ALL_AUS};
+use crate::region::{FacialRegion, ALL_REGIONS};
+
+/// Opening line of every description.
+pub const HEADER: &str = "The facial expressions can be listed below:";
+
+/// Rendering of the empty AU set.
+pub const NEUTRAL: &str = "The face appears neutral with no notable facial actions.";
+
+/// The fixed per-AU phrase used inside the region bullet.
+///
+/// Phrases are unique across the language, so parsing is unambiguous even
+/// without the region prefix.
+pub fn phrase(au: ActionUnit) -> &'static str {
+    match au {
+        ActionUnit::InnerBrowRaiser => "inner portions of the eyebrows raising",
+        ActionUnit::OuterBrowRaiser => "outer portions of the eyebrows raising",
+        ActionUnit::BrowLowerer => "brows lowered and drawn together",
+        ActionUnit::UpperLidRaiser => "upper lid raising",
+        ActionUnit::CheekRaiser => "raised",
+        ActionUnit::NoseWrinkler => "nose wrinkling",
+        ActionUnit::LipCornerPuller => "lip corners pulled upward",
+        ActionUnit::LipCornerDepressor => "lip corners depressed",
+        ActionUnit::ChinRaiser => "chin boss pushed upward",
+        ActionUnit::LipStretcher => "lips stretched laterally",
+        ActionUnit::LipsPart => "lips parted",
+        ActionUnit::JawDrop => "jaw dropped open",
+    }
+}
+
+/// Look up the action unit a phrase denotes.
+pub fn phrase_to_au(s: &str) -> Option<ActionUnit> {
+    ALL_AUS.iter().copied().find(|au| phrase(*au) == s)
+}
+
+/// Error produced when parsing a malformed description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DescriptionError {
+    /// The text does not start with the canonical header (and is not the
+    /// neutral sentence).
+    MissingHeader,
+    /// A bullet line is not of the form `-<region>: <phrases>`.
+    MalformedBullet(String),
+    /// A bullet names an unknown facial region.
+    UnknownRegion(String),
+    /// A phrase is not part of the description language.
+    UnknownPhrase(String),
+    /// A phrase appears under the wrong region bullet.
+    RegionMismatch {
+        phrase: String,
+        expected: FacialRegion,
+        found: FacialRegion,
+    },
+}
+
+impl fmt::Display for DescriptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingHeader => write!(f, "description does not start with the canonical header"),
+            Self::MalformedBullet(l) => write!(f, "malformed bullet line: {l:?}"),
+            Self::UnknownRegion(r) => write!(f, "unknown facial region: {r:?}"),
+            Self::UnknownPhrase(p) => write!(f, "unknown facial-action phrase: {p:?}"),
+            Self::RegionMismatch { phrase, expected, found } => write!(
+                f,
+                "phrase {phrase:?} belongs to region {expected} but appeared under {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DescriptionError {}
+
+/// Render an AU activation set into the canonical description text.
+///
+/// Regions appear in anatomical order (eyebrow → jaw); multiple AUs within a
+/// region are comma-separated in AU-index order.  The empty set renders as
+/// the neutral sentence.
+pub fn render_description(aus: AuSet) -> String {
+    if aus.is_empty() {
+        return NEUTRAL.to_owned();
+    }
+    let mut out = String::with_capacity(64 + aus.len() * 40);
+    out.push_str(HEADER);
+    for region in ALL_REGIONS {
+        let in_region: Vec<ActionUnit> =
+            aus.iter().filter(|au| au.region() == region).collect();
+        if in_region.is_empty() {
+            continue;
+        }
+        out.push('\n');
+        out.push('-');
+        out.push_str(region.name());
+        out.push_str(": ");
+        for (i, au) in in_region.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(phrase(*au));
+        }
+    }
+    out
+}
+
+/// Parse a description back into the AU set it claims.
+///
+/// Accepts exactly the output of [`render_description`] plus tolerant
+/// whitespace.  Returns every violation as a typed [`DescriptionError`].
+pub fn parse_description(text: &str) -> Result<AuSet, DescriptionError> {
+    let text = text.trim();
+    if text == NEUTRAL {
+        return Ok(AuSet::EMPTY);
+    }
+    let mut lines = text.lines().map(str::trim);
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        _ => return Err(DescriptionError::MissingHeader),
+    }
+    let mut set = AuSet::EMPTY;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let body = line
+            .strip_prefix('-')
+            .ok_or_else(|| DescriptionError::MalformedBullet(line.to_owned()))?;
+        let (region_name, rest) = body
+            .split_once(':')
+            .ok_or_else(|| DescriptionError::MalformedBullet(line.to_owned()))?;
+        let region = FacialRegion::from_name(region_name.trim())
+            .ok_or_else(|| DescriptionError::UnknownRegion(region_name.trim().to_owned()))?;
+        for part in rest.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(DescriptionError::MalformedBullet(line.to_owned()));
+            }
+            let au = phrase_to_au(part)
+                .ok_or_else(|| DescriptionError::UnknownPhrase(part.to_owned()))?;
+            if au.region() != region {
+                return Err(DescriptionError::RegionMismatch {
+                    phrase: part.to_owned(),
+                    expected: au.region(),
+                    found: region,
+                });
+            }
+            set.insert(au);
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_renders_as_in_figure() {
+        // AU1 + AU5 + AU6, the example of §IV-A.
+        let aus = AuSet::from_aus([
+            ActionUnit::InnerBrowRaiser,
+            ActionUnit::UpperLidRaiser,
+            ActionUnit::CheekRaiser,
+        ]);
+        let text = render_description(aus);
+        assert_eq!(
+            text,
+            "The facial expressions can be listed below:\n\
+             -eyebrow: inner portions of the eyebrows raising\n\
+             -lid: upper lid raising\n\
+             -cheek: raised"
+        );
+    }
+
+    #[test]
+    fn empty_set_is_neutral_sentence() {
+        assert_eq!(render_description(AuSet::EMPTY), NEUTRAL);
+        assert_eq!(parse_description(NEUTRAL), Ok(AuSet::EMPTY));
+    }
+
+    #[test]
+    fn render_parse_round_trip_all_singletons() {
+        for au in ALL_AUS {
+            let s = AuSet::from_aus([au]);
+            assert_eq!(parse_description(&render_description(s)), Ok(s), "{au}");
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_full_set() {
+        let s = AuSet::FULL;
+        assert_eq!(parse_description(&render_description(s)), Ok(s));
+    }
+
+    #[test]
+    fn render_parse_round_trip_exhaustive() {
+        // All 4096 subsets — the language must be exactly invertible.
+        for bits in 0u16..(1 << 12) {
+            let s = AuSet::from_bits(bits);
+            assert_eq!(parse_description(&render_description(s)), Ok(s), "bits={bits:#b}");
+        }
+    }
+
+    #[test]
+    fn phrases_are_unique() {
+        for a in ALL_AUS {
+            for b in ALL_AUS {
+                if a != b {
+                    assert_ne!(phrase(a), phrase(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert_eq!(
+            parse_description("-eyebrow: brows lowered and drawn together"),
+            Err(DescriptionError::MissingHeader)
+        );
+    }
+
+    #[test]
+    fn unknown_region_is_an_error() {
+        let text = format!("{HEADER}\n-forehead: brows lowered and drawn together");
+        assert_eq!(
+            parse_description(&text),
+            Err(DescriptionError::UnknownRegion("forehead".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_phrase_is_an_error() {
+        let text = format!("{HEADER}\n-eyebrow: eyebrows wiggling");
+        assert_eq!(
+            parse_description(&text),
+            Err(DescriptionError::UnknownPhrase("eyebrows wiggling".into()))
+        );
+    }
+
+    #[test]
+    fn region_mismatch_is_an_error() {
+        let text = format!("{HEADER}\n-jaw: upper lid raising");
+        match parse_description(&text) {
+            Err(DescriptionError::RegionMismatch { expected, found, .. }) => {
+                assert_eq!(expected, FacialRegion::Eyelid);
+                assert_eq!(found, FacialRegion::Jaw);
+            }
+            other => panic!("expected RegionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_extra_whitespace() {
+        let text = format!("  {HEADER}\n\n  -cheek:  raised  \n");
+        assert_eq!(
+            parse_description(&text),
+            Ok(AuSet::from_aus([ActionUnit::CheekRaiser]))
+        );
+    }
+}

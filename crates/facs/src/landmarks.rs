@@ -1,0 +1,258 @@
+//! Canonical 49-point facial-landmark layout.
+//!
+//! Gao et al. (ICIP 2014) extract "49 feature points of each face image";
+//! §IV-H locates each highlighted facial action "using the corresponding
+//! facial landmark".  We define one canonical layout on the 96×96 face:
+//! 10 brow points, 12 eye points, 9 nose points, 18 mouth/lip points — the
+//! standard 49-point subset of the 68-point iBUG annotation (the 68-point
+//! scheme minus the 17 jawline points, minus 2 inner-mouth duplicates).
+//!
+//! Each landmark carries a home position and, per action unit, a
+//! displacement direction; the renderer moves landmarks along those
+//! directions proportionally to AU intensity, and landmark-based baselines
+//! (Gao et al., Jeon et al.) read the displaced positions back.
+
+use crate::au::{ActionUnit, AuVector, NUM_AUS};
+use crate::region::FACE_SIZE;
+
+/// Number of facial landmarks.
+pub const NUM_LANDMARKS: usize = 49;
+
+/// One facial landmark: an id, a home `(x, y)` position on the canonical
+/// face, and a per-AU displacement field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Landmark {
+    /// Index in `0..NUM_LANDMARKS`.
+    pub id: usize,
+    /// Neutral-face position in pixels.
+    pub home: (f32, f32),
+    /// Displacement `(dx, dy)` in pixels applied at full intensity of each AU.
+    pub au_displacement: [(f32, f32); NUM_AUS],
+}
+
+impl Landmark {
+    /// Position after applying the AU intensity vector `aus`.
+    pub fn displaced(&self, aus: &AuVector) -> (f32, f32) {
+        let mut x = self.home.0;
+        let mut y = self.home.1;
+        for i in 0..NUM_AUS {
+            let w = aus.0[i];
+            x += self.au_displacement[i].0 * w;
+            y += self.au_displacement[i].1 * w;
+        }
+        (
+            x.clamp(0.0, (FACE_SIZE - 1) as f32),
+            y.clamp(0.0, (FACE_SIZE - 1) as f32),
+        )
+    }
+}
+
+/// Build the canonical landmark layout.
+///
+/// Deterministic; call once and reuse.  The layout is symmetric about the
+/// vertical face midline at `x = 48`.
+pub fn landmark_layout() -> Vec<Landmark> {
+    let s = FACE_SIZE as f32;
+    let mut pts: Vec<(f32, f32)> = Vec::with_capacity(NUM_LANDMARKS);
+
+    // 10 brow points: 5 per brow, arched.
+    for side in [-1.0f32, 1.0] {
+        for k in 0..5 {
+            let t = k as f32 / 4.0; // 0 = inner, 1 = outer
+            let x = s / 2.0 + side * (6.0 + t * 22.0);
+            let y = s * 0.27 - (1.0 - (2.0 * t - 1.0).powi(2)) * 3.0;
+            pts.push((x, y));
+        }
+    }
+    // 12 eye points: 6 per eye (corners + upper/lower lid pairs).
+    for side in [-1.0f32, 1.0] {
+        let cx = s / 2.0 + side * 17.0;
+        let cy = s * 0.43;
+        pts.push((cx - 7.0, cy)); // outer/inner corner
+        pts.push((cx - 3.0, cy - 2.5)); // upper lid
+        pts.push((cx + 3.0, cy - 2.5)); // upper lid
+        pts.push((cx + 7.0, cy)); // corner
+        pts.push((cx + 3.0, cy + 2.5)); // lower lid
+        pts.push((cx - 3.0, cy + 2.5)); // lower lid
+    }
+    // 9 nose points: 4 down the ridge + 5 across the base.
+    for k in 0..4 {
+        pts.push((s / 2.0, s * 0.42 + k as f32 * 5.0));
+    }
+    for k in 0..5 {
+        pts.push((s / 2.0 + (k as f32 - 2.0) * 4.0, s * 0.63));
+    }
+    // 18 mouth points: 12 outer ellipse + 6 inner.
+    let mcx = s / 2.0;
+    let mcy = s * 0.77;
+    for k in 0..12 {
+        let a = k as f32 / 12.0 * std::f32::consts::TAU;
+        pts.push((mcx + a.cos() * 13.0, mcy + a.sin() * 5.5));
+    }
+    for k in 0..6 {
+        let a = k as f32 / 6.0 * std::f32::consts::TAU;
+        pts.push((mcx + a.cos() * 7.0, mcy + a.sin() * 2.5));
+    }
+    debug_assert_eq!(pts.len(), NUM_LANDMARKS);
+
+    pts.into_iter()
+        .enumerate()
+        .map(|(id, home)| Landmark {
+            id,
+            home,
+            au_displacement: displacement_for(id, home),
+        })
+        .collect()
+}
+
+/// Displacement field of landmark `id` at `home` for each AU.
+///
+/// Directions follow FACS muscle actions: e.g. AU1 pulls *inner* brow points
+/// up, AU4 pulls brow points down and inwards, AU12 pulls mouth corners up
+/// and laterally, AU26 drops lower-mouth points.
+fn displacement_for(id: usize, home: (f32, f32)) -> [(f32, f32); NUM_AUS] {
+    use ActionUnit::*;
+    let mut d = [(0.0f32, 0.0f32); NUM_AUS];
+    let s = FACE_SIZE as f32;
+    let mid = s / 2.0;
+    let lateral = if home.0 < mid { -1.0 } else { 1.0 };
+
+    let is_brow = id < 10;
+    let brow_inner = is_brow && (home.0 - mid).abs() < 14.0;
+    let brow_outer = is_brow && (home.0 - mid).abs() >= 22.0;
+    let is_eye = (10..22).contains(&id);
+    let is_upper_lid = is_eye && home.1 < s * 0.43;
+    let is_nose = (22..31).contains(&id);
+    let is_mouth = id >= 31;
+    let mouth_corner = is_mouth && (home.0 - mid).abs() > 10.0;
+    let mouth_lower = is_mouth && home.1 > s * 0.77;
+    let mouth_upper = is_mouth && home.1 < s * 0.77 && !mouth_corner;
+
+    if brow_inner {
+        d[InnerBrowRaiser.index()] = (0.0, -4.0);
+    }
+    if brow_outer {
+        d[OuterBrowRaiser.index()] = (0.0, -4.0);
+    }
+    if is_brow {
+        d[BrowLowerer.index()] = (-lateral * 2.0, 3.5);
+    }
+    if is_upper_lid {
+        d[UpperLidRaiser.index()] = (0.0, -3.0);
+    }
+    if is_eye && !is_upper_lid {
+        // Cheek raiser pushes the lower lid up.
+        d[CheekRaiser.index()] = (0.0, -2.0);
+    }
+    if is_nose {
+        d[NoseWrinkler.index()] = (0.0, -2.5);
+    }
+    if mouth_corner {
+        d[LipCornerPuller.index()] = (lateral * 3.5, -3.0);
+        d[LipCornerDepressor.index()] = (lateral * 1.0, 3.0);
+        d[LipStretcher.index()] = (lateral * 4.0, 0.0);
+    }
+    if mouth_upper {
+        d[LipsPart.index()] = (0.0, -1.5);
+    }
+    if mouth_lower {
+        d[LipsPart.index()] = (0.0, 1.5);
+        d[JawDrop.index()] = (0.0, 4.5);
+        d[ChinRaiser.index()] = (0.0, -2.5);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::au::AuVector;
+
+    #[test]
+    fn layout_has_49_points_in_bounds() {
+        let lm = landmark_layout();
+        assert_eq!(lm.len(), NUM_LANDMARKS);
+        for (i, l) in lm.iter().enumerate() {
+            assert_eq!(l.id, i);
+            assert!(l.home.0 >= 0.0 && l.home.0 < FACE_SIZE as f32, "{:?}", l.home);
+            assert!(l.home.1 >= 0.0 && l.home.1 < FACE_SIZE as f32, "{:?}", l.home);
+        }
+    }
+
+    #[test]
+    fn layout_is_left_right_symmetric_in_count() {
+        let lm = landmark_layout();
+        let mid = FACE_SIZE as f32 / 2.0;
+        let left = lm.iter().filter(|l| l.home.0 < mid - 0.5).count();
+        let right = lm.iter().filter(|l| l.home.0 > mid + 0.5).count();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn neutral_face_has_no_displacement() {
+        let lm = landmark_layout();
+        let neutral = AuVector::zeros();
+        for l in &lm {
+            let p = l.displaced(&neutral);
+            assert!((p.0 - l.home.0).abs() < 1e-6);
+            assert!((p.1 - l.home.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn au1_raises_inner_brows() {
+        let lm = landmark_layout();
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::InnerBrowRaiser, 1.0);
+        let moved: Vec<_> = lm
+            .iter()
+            .filter(|l| l.au_displacement[ActionUnit::InnerBrowRaiser.index()] != (0.0, 0.0))
+            .collect();
+        assert!(!moved.is_empty(), "AU1 must move some landmarks");
+        for l in moved {
+            let p = l.displaced(&v);
+            assert!(p.1 < l.home.1, "inner brow should move up (smaller y)");
+        }
+    }
+
+    #[test]
+    fn au26_drops_lower_mouth() {
+        let lm = landmark_layout();
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::JawDrop, 1.0);
+        let moved: Vec<_> = lm
+            .iter()
+            .filter(|l| l.au_displacement[ActionUnit::JawDrop.index()] != (0.0, 0.0))
+            .collect();
+        assert!(!moved.is_empty());
+        for l in moved {
+            let p = l.displaced(&v);
+            assert!(p.1 > l.home.1, "jaw drop should move lower mouth down");
+        }
+    }
+
+    #[test]
+    fn every_au_moves_at_least_one_landmark() {
+        let lm = landmark_layout();
+        for au in crate::au::ALL_AUS {
+            let any = lm
+                .iter()
+                .any(|l| l.au_displacement[au.index()] != (0.0, 0.0));
+            assert!(any, "{au} moves no landmark");
+        }
+    }
+
+    #[test]
+    fn displacement_stays_in_bounds_at_full_intensity() {
+        let lm = landmark_layout();
+        let mut v = AuVector::zeros();
+        for au in crate::au::ALL_AUS {
+            v.set(au, 1.0);
+        }
+        for l in &lm {
+            let p = l.displaced(&v);
+            assert!(p.0 >= 0.0 && p.0 <= (FACE_SIZE - 1) as f32);
+            assert!(p.1 >= 0.0 && p.1 <= (FACE_SIZE - 1) as f32);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Facial Action Coding System (FACS) substrate.
+//!
+//! The paper's reasoning chain is grounded in the psychology practice of
+//! decomposing facial expressions into *Action Units* (AUs) and reading
+//! psychological state off AU co-occurrence (Cohn, Ambadar & Ekman 2007;
+//! CASME II).  This crate provides the shared vocabulary every other crate
+//! builds on:
+//!
+//! * the 12 DISFA+ action units the paper instruction-tunes on ([`ActionUnit`]);
+//! * the facial regions each AU lives in ([`FacialRegion`]) together with a
+//!   canonical pixel layout on a 96×96 face (the input resolution of §IV-H);
+//! * a canonical 49-point facial-landmark layout ([`landmarks`]) used by the
+//!   Gao et al. baseline and by rationale→segment localisation;
+//! * the *description language* of §III-B / §IV-A: a deterministic, invertible
+//!   mapping between an AU activation set and the natural-language template
+//!   the model generates ([`describe`]);
+//! * stress-relevance priors for each AU ([`stress`]), the domain knowledge
+//!   (Viegas et al. 2018, Giannakakis et al. 2020) that the synthetic world
+//!   model in `videosynth` uses to couple latent stress to AU activity.
+
+pub mod au;
+pub mod describe;
+pub mod landmarks;
+pub mod region;
+pub mod stress;
+
+pub use au::{ActionUnit, AuSet, AuVector, ALL_AUS, NUM_AUS};
+pub use describe::{parse_description, render_description, DescriptionError};
+pub use landmarks::{landmark_layout, Landmark, NUM_LANDMARKS};
+pub use region::{FacialRegion, RegionRect, ALL_REGIONS, FACE_SIZE};
+pub use stress::{stress_logit, stress_weight, STRESS_BIAS};

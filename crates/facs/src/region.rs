@@ -1,0 +1,225 @@
+//! Facial regions and their canonical pixel layout on a 96×96 face.
+//!
+//! §III-D removes/mosaics "corresponding regions (e.g., eyebrows, lips, and
+//! cheek)" of the face image to verify rationale faithfulness, and §IV-H
+//! locates each highlighted facial action via its landmarks.  The layouts
+//! here define that geometry once for the whole workspace: the renderer in
+//! `videosynth` deforms exactly these rectangles, so masking them removes
+//! exactly the pixel evidence of the corresponding AUs.
+
+use std::fmt;
+
+/// Side length, in pixels, of the canonical face image (§IV-H resizes the
+/// 640×480 source frames to 96×96).
+pub const FACE_SIZE: usize = 96;
+
+/// Coarse facial regions that action units are localised in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FacialRegion {
+    /// Brow band across the forehead.
+    Eyebrow = 0,
+    /// Upper/lower eyelids and the eye aperture.
+    Eyelid = 1,
+    /// Nose ridge and nostril wings.
+    Nose = 2,
+    /// Infraorbital cheek mass.
+    Cheek = 3,
+    /// Lips and mouth corners.
+    Mouth = 4,
+    /// Chin and jawline.
+    Jaw = 5,
+}
+
+/// All regions in index order.
+pub const ALL_REGIONS: [FacialRegion; 6] = [
+    FacialRegion::Eyebrow,
+    FacialRegion::Eyelid,
+    FacialRegion::Nose,
+    FacialRegion::Cheek,
+    FacialRegion::Mouth,
+    FacialRegion::Jaw,
+];
+
+/// Axis-aligned pixel rectangle `[x0, x1) × [y0, y1)` on the canonical face.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionRect {
+    pub x0: usize,
+    pub y0: usize,
+    pub x1: usize,
+    pub y1: usize,
+}
+
+impl RegionRect {
+    /// Whether the pixel `(x, y)` lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Centre point (rounded down).
+    pub fn center(&self) -> (usize, usize) {
+        ((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Iterate over all `(x, y)` pixels of the rectangle in row-major order.
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let xs = self.x0..self.x1;
+        (self.y0..self.y1).flat_map(move |y| xs.clone().map(move |x| (x, y)))
+    }
+}
+
+impl FacialRegion {
+    /// Dense index in `0..6`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from a dense index.
+    pub fn from_index(idx: usize) -> Option<Self> {
+        ALL_REGIONS.get(idx).copied()
+    }
+
+    /// Human-readable name, matching the bullets of the description template
+    /// ("-eyebrow:", "-lid:", "-cheek:", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Eyebrow => "eyebrow",
+            Self::Eyelid => "lid",
+            Self::Nose => "nose",
+            Self::Cheek => "cheek",
+            Self::Mouth => "mouth",
+            Self::Jaw => "jaw",
+        }
+    }
+
+    /// Parse a region from its template name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_REGIONS.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Canonical rectangle of this region on the 96×96 face.
+    ///
+    /// The layout mirrors an upright frontal face: brows at ~1/4 height, eyes
+    /// just below, nose centre column, cheeks flanking the nose, mouth at
+    /// ~2/3 height, jaw at the bottom.  Rectangles cover the expressive area
+    /// generously so that mosaicing one destroys all pixel evidence of the
+    /// AUs mapped to it.
+    pub fn rect(self) -> RegionRect {
+        const S: usize = FACE_SIZE;
+        match self {
+            // y is measured from the top of the image.
+            Self::Eyebrow => RegionRect { x0: S / 8, y0: S / 5, x1: S - S / 8, y1: S * 2 / 5 },
+            Self::Eyelid => RegionRect { x0: S / 8, y0: S * 2 / 5, x1: S - S / 8, y1: S / 2 },
+            Self::Nose => RegionRect { x0: S * 2 / 5, y0: S * 2 / 5, x1: S * 3 / 5, y1: S * 7 / 10 },
+            Self::Cheek => RegionRect { x0: S / 10, y0: S / 2, x1: S * 2 / 5, y1: S * 3 / 4 },
+            Self::Mouth => RegionRect { x0: S * 3 / 10, y0: S * 7 / 10, x1: S * 7 / 10, y1: S * 17 / 20 },
+            Self::Jaw => RegionRect { x0: S / 4, y0: S * 17 / 20, x1: S * 3 / 4, y1: S },
+        }
+    }
+
+    /// Mirrored rectangle for bilateral regions (cheeks); the canonical rect
+    /// covers the left side, this covers the right.
+    pub fn mirror_rect(self) -> Option<RegionRect> {
+        match self {
+            Self::Cheek => {
+                let r = self.rect();
+                Some(RegionRect {
+                    x0: FACE_SIZE - r.x1,
+                    y0: r.y0,
+                    x1: FACE_SIZE - r.x0,
+                    y1: r.y1,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// All rectangles belonging to the region (one, or two for bilateral).
+    pub fn rects(self) -> Vec<RegionRect> {
+        let mut out = vec![self.rect()];
+        if let Some(m) = self.mirror_rect() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+impl fmt::Display for FacialRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, r) in ALL_REGIONS.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(FacialRegion::from_index(i), Some(*r));
+        }
+        assert_eq!(FacialRegion::from_index(6), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in ALL_REGIONS {
+            assert_eq!(FacialRegion::from_name(r.name()), Some(r));
+        }
+        assert_eq!(FacialRegion::from_name("forehead"), None);
+    }
+
+    #[test]
+    fn rects_stay_in_bounds() {
+        for r in ALL_REGIONS {
+            for rect in r.rects() {
+                assert!(rect.x0 < rect.x1, "{r:?}");
+                assert!(rect.y0 < rect.y1, "{r:?}");
+                assert!(rect.x1 <= FACE_SIZE, "{r:?}");
+                assert!(rect.y1 <= FACE_SIZE, "{r:?}");
+                assert!(rect.area() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_contains_its_center_and_pixels_count() {
+        for r in ALL_REGIONS {
+            let rect = r.rect();
+            let (cx, cy) = rect.center();
+            assert!(rect.contains(cx, cy));
+            assert_eq!(rect.pixels().count(), rect.area());
+        }
+    }
+
+    #[test]
+    fn cheek_is_bilateral_and_mirrored() {
+        let left = FacialRegion::Cheek.rect();
+        let right = FacialRegion::Cheek.mirror_rect().unwrap();
+        assert_eq!(left.area(), right.area());
+        assert_eq!(left.y0, right.y0);
+        assert!(right.x0 >= FACE_SIZE / 2, "mirror should be on the right half");
+        assert!(FacialRegion::Mouth.mirror_rect().is_none());
+    }
+
+    #[test]
+    fn vertical_ordering_is_anatomical() {
+        // Brows above lids above mouth above jaw.
+        let brow = FacialRegion::Eyebrow.rect();
+        let lid = FacialRegion::Eyelid.rect();
+        let mouth = FacialRegion::Mouth.rect();
+        let jaw = FacialRegion::Jaw.rect();
+        assert!(brow.y0 < lid.y0);
+        assert!(lid.y0 < mouth.y0);
+        assert!(mouth.y0 < jaw.y0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Stress-relevance priors over action units.
+//!
+//! Psychological findings the paper builds on (Viegas et al. 2018,
+//! Giannakakis et al. 2020; §II-A) associate stress with specific AU
+//! occurrence patterns: brow lowering (AU4), upper-lid raising (AU5), nose
+//! wrinkling (AU9), lip-corner depression (AU15), chin raising (AU17) and
+//! lip stretching (AU20), while Duchenne-smile units (AU6 + AU12) indicate a
+//! relaxed state.  The synthetic world model in `videosynth` uses these
+//! weights to couple its latent stress state to AU activity; *no detector in
+//! the workspace reads them* — models must learn the association from data.
+
+use crate::au::{ActionUnit, AuSet, AuVector, ALL_AUS, NUM_AUS};
+
+/// Bias term of the latent stress→AU logit model.  Negative: a neutral face
+/// with no active AUs is likely unstressed.
+pub const STRESS_BIAS: f32 = -1.35;
+
+/// Log-odds contribution of each AU to the latent stress state.
+///
+/// Positive weights are the stress markers of the AU-stress literature;
+/// negative weights are relaxation markers.
+pub fn stress_weight(au: ActionUnit) -> f32 {
+    match au {
+        ActionUnit::InnerBrowRaiser => 0.55,   // fear/worry brow
+        ActionUnit::OuterBrowRaiser => 0.30,   // surprise component
+        ActionUnit::BrowLowerer => 1.25,       // primary stress marker
+        ActionUnit::UpperLidRaiser => 0.95,    // eye-widening under threat
+        ActionUnit::CheekRaiser => -0.80,      // Duchenne marker (relaxed)
+        ActionUnit::NoseWrinkler => 0.70,      // disgust/strain
+        ActionUnit::LipCornerPuller => -1.10,  // smiling (relaxed)
+        ActionUnit::LipCornerDepressor => 0.85, // sadness/strain
+        ActionUnit::ChinRaiser => 0.75,        // tension in the mentalis
+        ActionUnit::LipStretcher => 1.05,      // fear stretch
+        ActionUnit::LipsPart => 0.05,          // near-neutral
+        ActionUnit::JawDrop => 0.20,           // mild surprise
+    }
+}
+
+/// Dense weight vector in AU-index order.
+pub fn stress_weights() -> [f32; NUM_AUS] {
+    let mut w = [0.0; NUM_AUS];
+    for au in ALL_AUS {
+        w[au.index()] = stress_weight(au);
+    }
+    w
+}
+
+/// Latent stress log-odds of a continuous AU intensity vector.
+pub fn stress_logit(aus: &AuVector) -> f32 {
+    let mut z = STRESS_BIAS;
+    for au in ALL_AUS {
+        z += stress_weight(au) * aus.get(au);
+    }
+    z
+}
+
+/// Latent stress log-odds of a binary AU occurrence set.
+pub fn stress_logit_set(aus: AuSet) -> f32 {
+    let mut z = STRESS_BIAS;
+    for au in aus.iter() {
+        z += stress_weight(au);
+    }
+    z
+}
+
+/// Logistic transform of [`stress_logit`]: probability the expression was
+/// produced under stress.
+pub fn stress_probability(aus: &AuVector) -> f32 {
+    sigmoid(stress_logit(aus))
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Per-AU attribution of the logit: how much each *active* AU pushed the
+/// decision.  Used by tests and analyses; detectors never see it.
+pub fn logit_attribution(aus: AuSet) -> Vec<(ActionUnit, f32)> {
+    aus.iter().map(|au| (au, stress_weight(au))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_face_leans_unstressed() {
+        assert!(stress_probability(&AuVector::zeros()) < 0.5);
+    }
+
+    #[test]
+    fn tension_pattern_is_stressed() {
+        // AU4 + AU5 + AU20: the canonical fear/tension combination.
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::BrowLowerer, 1.0);
+        v.set(ActionUnit::UpperLidRaiser, 1.0);
+        v.set(ActionUnit::LipStretcher, 1.0);
+        assert!(stress_probability(&v) > 0.8);
+    }
+
+    #[test]
+    fn duchenne_smile_is_unstressed() {
+        // AU6 + AU12: genuine smile.
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::CheekRaiser, 1.0);
+        v.set(ActionUnit::LipCornerPuller, 1.0);
+        assert!(stress_probability(&v) < 0.1);
+    }
+
+    #[test]
+    fn set_and_vector_logits_agree_on_binary_input() {
+        let s = AuSet::from_aus([ActionUnit::BrowLowerer, ActionUnit::ChinRaiser]);
+        let mut v = AuVector::zeros();
+        for au in s.iter() {
+            v.set(au, 1.0);
+        }
+        assert!((stress_logit(&v) - stress_logit_set(s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logit_is_linear_in_intensity() {
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::BrowLowerer, 0.5);
+        let z_half = stress_logit(&v) - STRESS_BIAS;
+        v.set(ActionUnit::BrowLowerer, 1.0);
+        let z_full = stress_logit(&v) - STRESS_BIAS;
+        assert!((z_full - 2.0 * z_half).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        for z in [-3.0f32, -0.7, 0.0, 1.3, 5.0] {
+            assert!((sigmoid(z) + sigmoid(-z) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn attribution_covers_active_aus_exactly() {
+        let s = AuSet::from_aus([ActionUnit::NoseWrinkler, ActionUnit::LipsPart]);
+        let attr = logit_attribution(s);
+        assert_eq!(attr.len(), 2);
+        let total: f32 = attr.iter().map(|(_, w)| w).sum();
+        assert!((total + STRESS_BIAS - stress_logit_set(s)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the FACS substrate.
+
+use facs::au::{AuSet, AuVector, NUM_AUS};
+use facs::describe::{parse_description, render_description};
+use facs::landmarks::landmark_layout;
+use facs::region::FACE_SIZE;
+use proptest::prelude::*;
+
+proptest! {
+    /// The description language is exactly invertible on every AU subset.
+    #[test]
+    fn describe_round_trip(bits in 0u16..(1 << NUM_AUS)) {
+        let s = AuSet::from_bits(bits);
+        prop_assert_eq!(parse_description(&render_description(s)), Ok(s));
+    }
+
+    /// Rendering is injective: different sets never render identically.
+    #[test]
+    fn describe_injective(a in 0u16..(1 << NUM_AUS), b in 0u16..(1 << NUM_AUS)) {
+        let (sa, sb) = (AuSet::from_bits(a), AuSet::from_bits(b));
+        if sa != sb {
+            prop_assert_ne!(render_description(sa), render_description(sb));
+        }
+    }
+
+    /// Hamming distance is a metric: symmetry and triangle inequality.
+    #[test]
+    fn hamming_is_a_metric(
+        a in 0u16..(1 << NUM_AUS),
+        b in 0u16..(1 << NUM_AUS),
+        c in 0u16..(1 << NUM_AUS),
+    ) {
+        let (sa, sb, sc) = (AuSet::from_bits(a), AuSet::from_bits(b), AuSet::from_bits(c));
+        prop_assert_eq!(sa.hamming(sb), sb.hamming(sa));
+        prop_assert!(sa.hamming(sc) <= sa.hamming(sb) + sb.hamming(sc));
+        prop_assert_eq!(sa.hamming(sa), 0);
+    }
+
+    /// Landmarks never leave the canonical face under any intensity vector.
+    #[test]
+    fn landmarks_stay_in_bounds(vals in proptest::collection::vec(0.0f32..=1.0, NUM_AUS)) {
+        let mut v = AuVector::zeros();
+        for (i, x) in vals.iter().enumerate() {
+            v.0[i] = *x;
+        }
+        for l in landmark_layout() {
+            let (x, y) = l.displaced(&v);
+            prop_assert!((0.0..FACE_SIZE as f32).contains(&x));
+            prop_assert!((0.0..FACE_SIZE as f32).contains(&y));
+        }
+    }
+
+    /// Expressiveness is monotone: adding intensity never decreases it.
+    #[test]
+    fn expressiveness_monotone(
+        base in proptest::collection::vec(0.0f32..=0.5, NUM_AUS),
+        extra in proptest::collection::vec(0.0f32..=0.5, NUM_AUS),
+    ) {
+        let mut lo = AuVector::zeros();
+        let mut hi = AuVector::zeros();
+        for i in 0..NUM_AUS {
+            lo.0[i] = base[i];
+            hi.0[i] = base[i] + extra[i];
+        }
+        prop_assert!(hi.expressiveness() >= lo.expressiveness() - 1e-6);
+    }
+}

@@ -1,0 +1,472 @@
+//! Grammar-constrained decoding for the description language.
+//!
+//! A miniature decoder trained on a few hundred examples learns the
+//! *content* of the description template long before it stops making
+//! syntax slips (a phrase under the wrong region bullet, a repeated block).
+//! Production LLM systems solve exactly this with grammar-masked sampling
+//! (JSON-schema / CFG-constrained decoding); we do the same: an incremental
+//! DFA over the canonical template of [`facs::describe`] exposes, for any
+//! prefix, the set of tokens that can extend it to a valid description.
+//! [`generate_description`] samples under that mask, so every generation
+//! parses — the *choice* of action units remains entirely the model's.
+//!
+//! The canonical language: either the neutral sentence, or the header
+//! followed by region blocks in anatomical order, each block listing that
+//! region's action-unit phrases in AU-index order.
+
+use facs::au::{ActionUnit, AuSet, ALL_AUS};
+use facs::describe::{phrase, HEADER, NEUTRAL};
+use facs::region::ALL_REGIONS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::graph::Graph;
+
+use crate::model::{Lfm, Prompt};
+use crate::vocab::{Special, TokenId, Vocab};
+
+/// Token sequences of the fixed template parts, precomputed against a
+/// vocabulary.
+#[derive(Clone, Debug)]
+pub struct DescriptionDfa {
+    /// AUs that may be mentioned at all (FULL for plain descriptions).
+    allowed: AuSet,
+    header: Vec<TokenId>,
+    neutral: Vec<TokenId>,
+    /// Token sequence of each AU's phrase, AU-index order.
+    phrases: Vec<Vec<TokenId>>,
+    /// Token of each region name, region-index order.
+    region_names: Vec<TokenId>,
+    newline: TokenId,
+    dash: TokenId,
+    colon: TokenId,
+    comma: TokenId,
+    eos: TokenId,
+}
+
+/// Decoder state: how far into the template we are.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum State {
+    /// Nothing emitted yet: header or neutral may start.
+    Start { progress: usize, neutral_possible: bool, header_possible: bool },
+    /// Between blocks: a new block may start; `emitted` = AUs already said.
+    BlockBoundary { last_region: Option<usize>, emitted: AuSet },
+    /// Saw `\n`, expect `-`.
+    ExpectDash { last_region: Option<usize>, emitted: AuSet },
+    /// Saw `-`, expect a region name later than `last_region`.
+    ExpectRegion { last_region: Option<usize>, emitted: AuSet },
+    /// Saw the region name, expect `:`.
+    ExpectColon { region: usize, emitted: AuSet },
+    /// Inside a phrase: `candidates` = AUs whose phrase starts with the
+    /// consumed prefix; `progress` = tokens consumed of the phrase.
+    InPhrase { region: usize, min_idx: usize, emitted: AuSet, candidates: Vec<ActionUnit>, progress: usize },
+    /// A phrase just ended: `,` continues the block, `\n` a new block, or
+    /// `Eos` finishes.
+    PhraseEnd { region: usize, last_au: ActionUnit, emitted: AuSet },
+    /// Terminal (after the neutral sentence completes nothing else may
+    /// follow but `Eos`).
+    Accept { emitted: AuSet },
+}
+
+impl DescriptionDfa {
+    /// Precompute against a vocabulary; any AU set may be described.
+    pub fn new(vocab: &Vocab) -> Self {
+        Self::with_allowed(vocab, AuSet::FULL)
+    }
+
+    /// Precompute with the describable AUs restricted to `allowed` — used
+    /// when generating a rationale, which must highlight a subset of the
+    /// facial actions that the description already named (§III-D).
+    pub fn with_allowed(vocab: &Vocab, allowed: AuSet) -> Self {
+        let enc = |s: &str| vocab.encode(s).expect("template inside vocabulary");
+        DescriptionDfa {
+            allowed,
+            header: enc(HEADER),
+            neutral: enc(NEUTRAL),
+            phrases: ALL_AUS.iter().map(|&au| enc(phrase(au))).collect(),
+            region_names: ALL_REGIONS
+                .iter()
+                .map(|r| vocab.id_of(r.name()).expect("region name in vocabulary"))
+                .collect(),
+            newline: vocab.id_of("\n").expect("newline token"),
+            dash: vocab.id_of("-").expect("dash token"),
+            colon: vocab.id_of(":").expect("colon token"),
+            comma: vocab.id_of(",").expect("comma token"),
+            eos: vocab.special(Special::Eos),
+        }
+    }
+
+    /// Initial state.  The header path is only offered if at least one AU
+    /// is allowed (otherwise the only valid output is the neutral sentence).
+    pub fn start(&self) -> State {
+        State::Start {
+            progress: 0,
+            neutral_possible: true,
+            header_possible: !self.open_regions(None, AuSet::EMPTY).is_empty(),
+        }
+    }
+
+    /// AUs of `region` with index ≥ `min_idx` that are not yet emitted.
+    fn region_aus(&self, region: usize, min_idx: usize, emitted: AuSet) -> Vec<ActionUnit> {
+        ALL_AUS
+            .iter()
+            .copied()
+            .filter(|au| {
+                self.allowed.contains(*au)
+                    && au.region().index() == region
+                    && au.index() >= min_idx
+                    && !emitted.contains(*au)
+            })
+            .collect()
+    }
+
+    /// Regions strictly after `last_region` that still have unemitted AUs.
+    fn open_regions(&self, last_region: Option<usize>, emitted: AuSet) -> Vec<usize> {
+        let from = last_region.map_or(0, |r| r + 1);
+        (from..ALL_REGIONS.len())
+            .filter(|&r| !self.region_aus(r, 0, emitted).is_empty())
+            .collect()
+    }
+
+    /// Allowed next tokens in `state` (deduplicated, deterministic order).
+    pub fn allowed(&self, state: &State) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        match state {
+            State::Start { progress, neutral_possible, header_possible } => {
+                if *header_possible {
+                    out.push(self.header[*progress]);
+                }
+                if *neutral_possible {
+                    let t = self.neutral[*progress];
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+            }
+            State::BlockBoundary { last_region, emitted } => {
+                if !self.open_regions(*last_region, *emitted).is_empty() {
+                    out.push(self.newline);
+                }
+                if !emitted.is_empty() {
+                    out.push(self.eos);
+                }
+            }
+            State::ExpectDash { .. } => out.push(self.dash),
+            State::ExpectRegion { last_region, emitted } => {
+                for r in self.open_regions(*last_region, *emitted) {
+                    out.push(self.region_names[r]);
+                }
+            }
+            State::ExpectColon { .. } => out.push(self.colon),
+            State::InPhrase { candidates, progress, .. } => {
+                for au in candidates {
+                    let t = self.phrases[au.index()][*progress];
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+            }
+            State::PhraseEnd { region, last_au, emitted } => {
+                if !self
+                    .region_aus(*region, last_au.index() + 1, *emitted)
+                    .is_empty()
+                {
+                    out.push(self.comma);
+                }
+                if !self.open_regions(Some(*region), *emitted).is_empty() {
+                    out.push(self.newline);
+                }
+                out.push(self.eos);
+            }
+            State::Accept { .. } => out.push(self.eos),
+        }
+        debug_assert!(!out.is_empty(), "dead DFA state: {state:?}");
+        out
+    }
+
+    /// Advance by one (allowed) token.  Panics on a token outside
+    /// [`DescriptionDfa::allowed`].
+    pub fn advance(&self, state: State, tok: TokenId) -> State {
+        match state {
+            State::Start { progress, neutral_possible, header_possible } => {
+                let np = neutral_possible && self.neutral[progress] == tok;
+                let hp = header_possible && self.header[progress] == tok;
+                assert!(np || hp, "token {tok} not allowed at Start[{progress}]");
+                let progress = progress + 1;
+                if hp && progress == self.header.len() && (!np || progress >= self.neutral.len()) {
+                    return State::BlockBoundary { last_region: None, emitted: AuSet::EMPTY };
+                }
+                if np && progress == self.neutral.len() && !hp {
+                    return State::Accept { emitted: AuSet::EMPTY };
+                }
+                State::Start {
+                    progress,
+                    neutral_possible: np && progress < self.neutral.len(),
+                    header_possible: hp && progress < self.header.len(),
+                }
+            }
+            State::BlockBoundary { last_region, emitted } => {
+                assert_eq!(tok, self.newline, "only a new block may follow");
+                State::ExpectDash { last_region, emitted }
+            }
+            State::ExpectDash { last_region, emitted } => {
+                assert_eq!(tok, self.dash);
+                State::ExpectRegion { last_region, emitted }
+            }
+            State::ExpectRegion { emitted, .. } => {
+                let region = self
+                    .region_names
+                    .iter()
+                    .position(|&r| r == tok)
+                    .expect("token must be a region name");
+                State::ExpectColon { region, emitted }
+            }
+            State::ExpectColon { region, emitted } => {
+                assert_eq!(tok, self.colon);
+                let candidates = self.region_aus(region, 0, emitted);
+                State::InPhrase { region, min_idx: 0, emitted, candidates, progress: 0 }
+            }
+            State::InPhrase { region, min_idx, emitted, candidates, progress } => {
+                let remaining: Vec<ActionUnit> = candidates
+                    .into_iter()
+                    .filter(|au| self.phrases[au.index()][progress] == tok)
+                    .collect();
+                assert!(!remaining.is_empty(), "token {tok} matches no phrase");
+                let progress = progress + 1;
+                // A phrase is complete when it has exactly `progress` tokens
+                // and no longer candidate shares the prefix.
+                let complete: Vec<&ActionUnit> = remaining
+                    .iter()
+                    .filter(|au| self.phrases[au.index()].len() == progress)
+                    .collect();
+                if let Some(&&done) = complete.first() {
+                    let longer = remaining
+                        .iter()
+                        .any(|au| self.phrases[au.index()].len() > progress);
+                    // In this language no phrase is a strict prefix of
+                    // another within the same region, so completion is
+                    // unambiguous.
+                    assert!(!longer, "ambiguous phrase completion");
+                    let mut emitted = emitted;
+                    emitted.insert(done);
+                    return State::PhraseEnd { region, last_au: done, emitted };
+                }
+                State::InPhrase { region, min_idx, emitted, candidates: remaining, progress }
+            }
+            State::PhraseEnd { region, last_au, emitted } => {
+                if tok == self.comma {
+                    let candidates = self.region_aus(region, last_au.index() + 1, emitted);
+                    assert!(!candidates.is_empty(), "comma with no remaining AU");
+                    State::InPhrase { region, min_idx: last_au.index() + 1, emitted, candidates, progress: 0 }
+                } else if tok == self.newline {
+                    State::ExpectDash { last_region: Some(region), emitted }
+                } else {
+                    panic!("token {tok} not allowed after a phrase");
+                }
+            }
+            State::Accept { .. } => panic!("no token may follow an accepting state"),
+        }
+    }
+
+    /// Whether `Eos` is allowed in `state`, and the AU set emitted so far.
+    pub fn accepting(&self, state: &State) -> Option<AuSet> {
+        match state {
+            State::Accept { emitted } => Some(*emitted),
+            State::PhraseEnd { emitted, .. } => Some(*emitted),
+            State::BlockBoundary { emitted, .. } if !emitted.is_empty() => Some(*emitted),
+            _ => None,
+        }
+    }
+}
+
+/// Sample a description under the grammar mask.  Returns the AU set the
+/// model chose to describe; the surface string is `render_description` of
+/// it by construction.
+pub fn generate_description(
+    model: &Lfm,
+    prompt: &Prompt,
+    temperature: f32,
+    seed: u64,
+) -> AuSet {
+    generate_description_within(model, prompt, AuSet::FULL, temperature, seed)
+}
+
+/// Like [`generate_description`], but only AUs in `allowed` may be named —
+/// the rationale-generation mode.
+pub fn generate_description_within(
+    model: &Lfm,
+    prompt: &Prompt,
+    allowed: AuSet,
+    temperature: f32,
+    seed: u64,
+) -> AuSet {
+    let dfa = DescriptionDfa::with_allowed(&model.vocab, allowed);
+    let mut state = dfa.start();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tokens: Vec<TokenId> = Vec::new();
+    let budget = model.cfg.max_seq.saturating_sub(prompt.seq_len(&model.cfg) + 1);
+
+    for _ in 0..budget {
+        let mut allowed = dfa.allowed(&state);
+        if let Some(set) = dfa.accepting(&state) {
+            if !allowed.contains(&dfa.eos) {
+                allowed.push(dfa.eos);
+            }
+            // Out of budget safety: if the next step would overflow, stop.
+            if tokens.len() + 1 >= budget {
+                return set;
+            }
+        }
+        let mut g = Graph::new();
+        let (logits, _) = model.logits(&mut g, prompt, &tokens);
+        let lv = g.value(logits);
+        let last = lv.row(lv.rows() - 1);
+        let sub: Vec<f32> = allowed.iter().map(|&t| last[t as usize]).collect();
+        let pick = allowed[tinynn::rngutil::sample_logits(&mut rng, &sub, temperature)];
+        if pick == dfa.eos {
+            return dfa
+                .accepting(&state)
+                .expect("Eos only offered at accepting states");
+        }
+        state = dfa.advance(state, pick);
+        tokens.push(pick);
+    }
+    // Budget exhausted: return whatever is emitted so far.
+    dfa.accepting(&state).unwrap_or(AuSet::EMPTY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instructions::describe_prompt;
+    use crate::model::ModelConfig;
+    use facs::describe::render_description;
+    use rand::Rng;
+    use videosynth::video::StressLabel;
+    use videosynth::world::{sample_video, Subject, WorldConfig};
+
+    fn dfa() -> (Vocab, DescriptionDfa) {
+        let v = Vocab::build();
+        let d = DescriptionDfa::new(&v);
+        (v, d)
+    }
+
+    /// Walk a canonical rendering through the DFA; it must be accepted and
+    /// reproduce the AU set.
+    fn accepts(v: &Vocab, d: &DescriptionDfa, s: AuSet) -> bool {
+        let toks = v.encode(&render_description(s)).unwrap();
+        let mut state = d.start();
+        for t in toks {
+            if !d.allowed(&state).contains(&t) {
+                return false;
+            }
+            state = d.advance(state, t);
+        }
+        d.accepting(&state) == Some(s)
+    }
+
+    #[test]
+    fn dfa_accepts_every_canonical_description() {
+        let (v, d) = dfa();
+        for bits in 0u16..(1 << 12) {
+            let s = AuSet::from_bits(bits);
+            assert!(accepts(&v, &d, s), "rejected {s:?}");
+        }
+    }
+
+    #[test]
+    fn dfa_rejects_wrong_region_phrase() {
+        let (v, d) = dfa();
+        // "-jaw: upper lid raising" is invalid.
+        let text = format!("{HEADER}\n-jaw: upper lid raising");
+        let toks = v.encode(&text).unwrap();
+        let mut state = d.start();
+        let mut ok = true;
+        for t in toks {
+            if !d.allowed(&state).contains(&t) {
+                ok = false;
+                break;
+            }
+            state = d.advance(state, t);
+        }
+        assert!(!ok, "invalid description must be rejected");
+    }
+
+    #[test]
+    fn dfa_random_walk_always_parses() {
+        // Follow random allowed tokens; the result must be a canonical
+        // description of the emitted set.
+        let (v, d) = dfa();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let mut state = d.start();
+            let mut toks = Vec::new();
+            let set = loop {
+                let mut allowed = d.allowed(&state);
+                if let Some(s) = d.accepting(&state) {
+                    // 30% chance to stop at an accepting state.
+                    if rng.random::<f32>() < 0.3 {
+                        break s;
+                    }
+                    allowed.retain(|&t| t != d.eos);
+                    if allowed.is_empty() {
+                        break s;
+                    }
+                }
+                let t = allowed[rng.random_range(0..allowed.len())];
+                state = d.advance(state, t);
+                toks.push(t);
+            };
+            let text = v.decode(&toks);
+            assert_eq!(
+                facs::describe::parse_description(&text),
+                Ok(set),
+                "walk produced unparseable text: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generate_description_always_valid_even_untrained() {
+        let m = Lfm::new(ModelConfig::tiny(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        let v = sample_video(&WorldConfig::uvsd_like(), &s, StressLabel::Stressed, 0, 3);
+        let p = describe_prompt(&m, &v);
+        for seed in 0..5 {
+            // Must terminate and return *some* AU set without panicking.
+            let _ = generate_description(&m, &p, 1.0, seed);
+        }
+    }
+
+    #[test]
+    fn subset_constrained_generation_stays_inside_allowed() {
+        let m = Lfm::new(ModelConfig::tiny(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        let v = sample_video(&WorldConfig::uvsd_like(), &s, StressLabel::Stressed, 0, 3);
+        let p = describe_prompt(&m, &v);
+        let allowed = AuSet::from_bits(0b0000_0010_0100);
+        for seed in 0..8 {
+            let out = generate_description_within(&m, &p, allowed, 1.2, seed);
+            assert!(out.difference(allowed).is_empty(), "{out:?} escapes {allowed:?}");
+        }
+        // Empty allowed set can only produce the neutral description.
+        assert_eq!(
+            generate_description_within(&m, &p, AuSet::EMPTY, 1.0, 0),
+            AuSet::EMPTY
+        );
+    }
+
+    #[test]
+    fn generate_description_is_deterministic_in_seed() {
+        let m = Lfm::new(ModelConfig::tiny(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        let v = sample_video(&WorldConfig::uvsd_like(), &s, StressLabel::Unstressed, 1, 3);
+        let p = describe_prompt(&m, &v);
+        assert_eq!(
+            generate_description(&m, &p, 0.8, 11),
+            generate_description(&m, &p, 0.8, 11)
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! Instruction templates I₁/I₂/I₃ and auxiliary prompts (reflection,
+//! self-verification, in-context examples), plus answer encoders/parsers.
+//!
+//! The paper expresses instructions in free-form English; here each
+//! instruction is a structured marker token followed by the same content
+//! (video, prior description, label hint, …).  Answers are sequences in the
+//! closed description language terminated by `Eos`.
+
+use facs::au::AuSet;
+use facs::describe::{parse_description, render_description};
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::model::{Lfm, Prompt};
+use crate::vocab::{Special, TokenId, Vocab};
+
+/// An in-context example: a solved training case shown before the query
+/// (§IV-F).
+#[derive(Clone, Debug)]
+pub struct IclExample<'a> {
+    /// The example video.
+    pub video: &'a VideoSample,
+    /// Its facial-action description.
+    pub description: AuSet,
+    /// Its ground-truth stress label.
+    pub label: StressLabel,
+}
+
+/// I₁ — "Describe the facial expressions in this video."
+pub fn describe_prompt(m: &Lfm, video: &VideoSample) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_video(&m.cfg, video);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// I₂ — "Assess whether the subject is stressed", given the video and a
+/// facial-action description `E`.
+pub fn assess_prompt(m: &Lfm, video: &VideoSample, description: AuSet) -> Prompt {
+    assess_prompt_with_examples(m, video, description, &[])
+}
+
+/// I₂ with in-context examples prepended (§IV-F).
+pub fn assess_prompt_with_examples(
+    m: &Lfm,
+    video: &VideoSample,
+    description: AuSet,
+    examples: &[IclExample<'_>],
+) -> Prompt {
+    let mut p = Prompt::new();
+    for ex in examples {
+        p.push_special(&m.vocab, Special::Example);
+        p.push_video(&m.cfg, ex.video);
+        p.push_special(&m.vocab, Special::Sep);
+        p.push_text(&m.vocab, &render_description(ex.description));
+        p.push_special(&m.vocab, Special::Sep);
+        p.push_special(&m.vocab, label_special(ex.label));
+    }
+    p.push_special(&m.vocab, Special::Assess);
+    p.push_video(&m.cfg, video);
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(description));
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// I₂ over raw frames instead of a [`VideoSample`] — used when the frames
+/// have been perturbed (mosaic / gaussian disturb) by the faithfulness
+/// protocols, so the perturbation actually reaches the model input.
+pub fn assess_prompt_from_images(
+    m: &Lfm,
+    fe: &videosynth::image::Image,
+    fl: &videosynth::image::Image,
+    description: AuSet,
+) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Assess);
+    p.push_image(&m.cfg, fe);
+    p.push_image_diff(&m.cfg, fe, fl);
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(description));
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// I₁ over raw frames instead of a [`VideoSample`] — the describe analogue
+/// of [`assess_prompt_from_images`].
+pub fn describe_prompt_from_images(
+    m: &Lfm,
+    fe: &videosynth::image::Image,
+    fl: &videosynth::image::Image,
+) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_image(&m.cfg, fe);
+    p.push_image_diff(&m.cfg, fe, fl);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// Direct (no-description) variant of [`assess_prompt_from_images`].
+pub fn assess_direct_prompt_from_images(
+    m: &Lfm,
+    fe: &videosynth::image::Image,
+    fl: &videosynth::image::Image,
+) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Assess);
+    p.push_image(&m.cfg, fe);
+    p.push_image_diff(&m.cfg, fe, fl);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// The "w/o Chain" ablation prompt: "Is the subject in this video
+/// stressed? Yes or No?" — assess directly from pixels.
+pub fn assess_direct_prompt(m: &Lfm, video: &VideoSample) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Assess);
+    p.push_video(&m.cfg, video);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// I₃ — "Highlight the critical facial expressions that influenced your
+/// assessment", given video, description and the assessment.
+pub fn highlight_prompt(
+    m: &Lfm,
+    video: &VideoSample,
+    description: AuSet,
+    assessment: StressLabel,
+) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Highlight);
+    p.push_video(&m.cfg, video);
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(description));
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_special(&m.vocab, label_special(assessment));
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// Self-reflection on a description (Fig. 3): the model sees its previous
+/// description and the ground-truth stress level, and produces a new
+/// description.
+pub fn reflect_description_prompt(
+    m: &Lfm,
+    video: &VideoSample,
+    previous: AuSet,
+    truth: StressLabel,
+) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Reflect);
+    p.push_video(&m.cfg, video);
+    p.push_special(&m.vocab, Special::LabelHint);
+    p.push_special(&m.vocab, label_special(truth));
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(previous));
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// Self-reflection on a rationale (Fig. 5): same shape, conditioned on the
+/// previous rationale and the assessment instead.
+pub fn reflect_rationale_prompt(
+    m: &Lfm,
+    video: &VideoSample,
+    description: AuSet,
+    assessment: StressLabel,
+    previous_rationale: AuSet,
+) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Reflect);
+    p.push_video(&m.cfg, video);
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(description));
+    p.push_special(&m.vocab, Special::LabelHint);
+    p.push_special(&m.vocab, label_special(assessment));
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(previous_rationale));
+    p.push_special(&m.vocab, Special::Highlight);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// The four choice markers in order.
+pub const CHOICES: [Special; 4] = [
+    Special::ChoiceA,
+    Special::ChoiceB,
+    Special::ChoiceC,
+    Special::ChoiceD,
+];
+
+/// Self-verification (Fig. 4): four candidate videos, one description; the
+/// model answers with the choice token of the video the description
+/// describes.  Run in a fresh "dialogue session" by construction — the
+/// prompt contains no history.
+pub fn verify_prompt(m: &Lfm, videos: [&VideoSample; 4], description: AuSet) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Verify);
+    for (i, v) in videos.iter().enumerate() {
+        p.push_special(&m.vocab, CHOICES[i]);
+        p.push_video(&m.cfg, v);
+    }
+    p.push_special(&m.vocab, Special::Sep);
+    p.push_text(&m.vocab, &render_description(description));
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// The candidate answer tokens for a verification prompt.
+pub fn choice_tokens(vocab: &Vocab) -> [TokenId; 4] {
+    [
+        vocab.special(Special::ChoiceA),
+        vocab.special(Special::ChoiceB),
+        vocab.special(Special::ChoiceC),
+        vocab.special(Special::ChoiceD),
+    ]
+}
+
+/// The two stress answer tokens `[stressed, unstressed]`.
+pub fn label_tokens(vocab: &Vocab) -> [TokenId; 2] {
+    [vocab.special(Special::Stressed), vocab.special(Special::Unstressed)]
+}
+
+/// Special token of a label.
+pub fn label_special(label: StressLabel) -> Special {
+    match label {
+        StressLabel::Stressed => Special::Stressed,
+        StressLabel::Unstressed => Special::Unstressed,
+    }
+}
+
+/// Encode a description answer (text tokens + `Eos`).
+pub fn description_answer(vocab: &Vocab, aus: AuSet) -> Vec<TokenId> {
+    let mut toks = vocab
+        .encode(&render_description(aus))
+        .expect("description language is inside the vocabulary");
+    toks.push(vocab.special(Special::Eos));
+    toks
+}
+
+/// Parse generated description tokens back into the AU set they claim.
+/// Returns `None` on any malformed output (counted as a degenerate
+/// generation by callers).
+pub fn parse_description_tokens(vocab: &Vocab, tokens: &[TokenId]) -> Option<AuSet> {
+    let text = vocab.decode(tokens);
+    parse_description(&text).ok()
+}
+
+/// Encode a stress answer (`label` token + `Eos`).
+pub fn label_answer(vocab: &Vocab, label: StressLabel) -> Vec<TokenId> {
+    vec![vocab.special(label_special(label)), vocab.special(Special::Eos)]
+}
+
+/// Parse a generated stress answer: first token decides.
+pub fn parse_label_tokens(vocab: &Vocab, tokens: &[TokenId]) -> Option<StressLabel> {
+    let first = *tokens.first()?;
+    if first == vocab.special(Special::Stressed) {
+        Some(StressLabel::Stressed)
+    } else if first == vocab.special(Special::Unstressed) {
+        Some(StressLabel::Unstressed)
+    } else {
+        None
+    }
+}
+
+/// Encode a verification answer.
+pub fn choice_answer(vocab: &Vocab, idx: usize) -> Vec<TokenId> {
+    assert!(idx < 4);
+    vec![vocab.special(CHOICES[idx]), vocab.special(Special::Eos)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use facs::ActionUnit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use videosynth::world::{sample_video, Subject, WorldConfig};
+
+    fn model() -> Lfm {
+        Lfm::new(ModelConfig::tiny(), 3)
+    }
+
+    fn video(id: usize) -> VideoSample {
+        let mut rng = StdRng::seed_from_u64(id as u64);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        sample_video(&WorldConfig::uvsd_like(), &s, StressLabel::Stressed, id, 17)
+    }
+
+    #[test]
+    fn all_prompts_fit_in_max_seq() {
+        let m = model();
+        let v = video(0);
+        let desc = AuSet::from_aus([ActionUnit::BrowLowerer, ActionUnit::LipStretcher]);
+        let prompts = vec![
+            describe_prompt(&m, &v),
+            assess_prompt(&m, &v, desc),
+            assess_direct_prompt(&m, &v),
+            highlight_prompt(&m, &v, desc, StressLabel::Stressed),
+            reflect_description_prompt(&m, &v, desc, StressLabel::Stressed),
+            reflect_rationale_prompt(&m, &v, desc, StressLabel::Stressed, desc),
+        ];
+        for p in prompts {
+            assert!(p.seq_len(&m.cfg) + 50 <= m.cfg.max_seq, "{}", p.seq_len(&m.cfg));
+        }
+    }
+
+    #[test]
+    fn verify_prompt_fits_with_four_videos() {
+        let m = model();
+        let vids = [video(0), video(1), video(2), video(3)];
+        let p = verify_prompt(
+            &m,
+            [&vids[0], &vids[1], &vids[2], &vids[3]],
+            AuSet::from_aus([ActionUnit::CheekRaiser]),
+        );
+        assert!(p.seq_len(&m.cfg) + 4 <= m.cfg.max_seq);
+    }
+
+    #[test]
+    fn description_answer_round_trips() {
+        let m = model();
+        let s = AuSet::from_aus([ActionUnit::InnerBrowRaiser, ActionUnit::JawDrop]);
+        let ans = description_answer(&m.vocab, s);
+        assert_eq!(*ans.last().unwrap(), m.vocab.special(Special::Eos));
+        let parsed = parse_description_tokens(&m.vocab, &ans[..ans.len() - 1]).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn label_answer_round_trips() {
+        let m = model();
+        for label in [StressLabel::Stressed, StressLabel::Unstressed] {
+            let ans = label_answer(&m.vocab, label);
+            assert_eq!(parse_label_tokens(&m.vocab, &ans), Some(label));
+        }
+        assert_eq!(parse_label_tokens(&m.vocab, &[]), None);
+        assert_eq!(
+            parse_label_tokens(&m.vocab, &[m.vocab.special(Special::Sep)]),
+            None
+        );
+    }
+
+    #[test]
+    fn malformed_description_tokens_parse_to_none() {
+        let m = model();
+        let junk = vec![m.vocab.special(Special::Verify); 3];
+        assert_eq!(parse_description_tokens(&m.vocab, &junk), None);
+    }
+
+    #[test]
+    fn icl_examples_extend_the_prompt() {
+        let m = model();
+        let v = video(0);
+        let ex_v = video(1);
+        let base = assess_prompt(&m, &v, AuSet::EMPTY);
+        let with = assess_prompt_with_examples(
+            &m,
+            &v,
+            AuSet::EMPTY,
+            &[IclExample { video: &ex_v, description: AuSet::EMPTY, label: StressLabel::Unstressed }],
+        );
+        assert!(with.seq_len(&m.cfg) > base.seq_len(&m.cfg));
+    }
+}

@@ -1,0 +1,31 @@
+//! `lfm` — a trainable vision-language foundation-model simulator.
+//!
+//! The paper's method is built on Qwen-VL-7B: it instruction-tunes the
+//! model to describe facial actions, assess stress, highlight rationales,
+//! and refines it with Direct Preference Optimization.  None of that is
+//! runnable at 7B scale here, so this crate provides a *miniature but
+//! mechanistically complete* substitute:
+//!
+//! * a closed facial-description vocabulary and tokenizer ([`vocab`]);
+//! * a causal transformer decoder with a patch-based visual encoder
+//!   ([`model`]), supporting seeded sampling, greedy decoding, forced
+//!   choice, and exact sequence log-probabilities;
+//! * the paper's instruction templates I₁/I₂/I₃ plus reflection and
+//!   self-verification prompts ([`instructions`]);
+//! * instruction tuning and DPO ([`train`]);
+//! * generic-capability pretraining with per-model noise profiles that
+//!   stand in for the off-the-shelf GPT-4o / Claude-3.5 / Gemini-1.5
+//!   baselines ([`pretrain`]).
+
+pub mod grammar;
+pub mod instructions;
+pub mod model;
+pub mod pretrain;
+pub mod train;
+pub mod vocab;
+
+pub use grammar::generate_description;
+pub use model::{Lfm, ModelConfig, Prompt, Segment};
+pub use pretrain::CapabilityProfile;
+pub use train::{dpo, sft, DpoPair, SftExample, TrainConfig};
+pub use vocab::{Special, TokenId, Vocab};

@@ -1,0 +1,653 @@
+//! The vision-language foundation-model simulator.
+//!
+//! Architecturally a miniature of the Qwen-VL family the paper fine-tunes:
+//! a patch-based visual encoder projecting image patches into the token
+//! embedding space, a causal transformer decoder over the mixed
+//! visual+text sequence, and a language-model head over the closed
+//! vocabulary.  Everything the paper's method needs from a foundation model
+//! is supported for real: conditional generation with temperature and seed,
+//! exact sequence log-probabilities (for DPO), instruction tuning and
+//! preference optimization (see [`crate::train`]).
+
+use facs::region::FACE_SIZE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinynn::graph::{Graph, Var};
+use tinynn::params::{ParamId, ParamStore};
+use tinynn::tensor::Tensor;
+use videosynth::image::Image;
+use videosynth::video::VideoSample;
+
+use crate::vocab::{Special, TokenId, Vocab};
+
+/// Architecture hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Embedding / residual width.
+    pub d_model: usize,
+    /// Attention heads (must divide `d_model`).
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Feed-forward hidden width.
+    pub ff: usize,
+    /// Maximum mixed sequence length.
+    pub max_seq: usize,
+    /// Patch side for the visual encoder (96 must divide by it).
+    pub patch: usize,
+    /// Visual tokens per image.
+    pub vis_tokens: usize,
+}
+
+impl ModelConfig {
+    /// Test-size model: fast enough for unit tests.
+    pub fn tiny() -> Self {
+        ModelConfig { d_model: 16, heads: 2, layers: 1, ff: 32, max_seq: 160, patch: 16, vis_tokens: 2 }
+    }
+
+    /// Default experiment-size model.
+    pub fn small() -> Self {
+        ModelConfig { d_model: 32, heads: 4, layers: 2, ff: 64, max_seq: 256, patch: 8, vis_tokens: 4 }
+    }
+
+    /// Patch-feature count per image.
+    pub fn patch_features(&self) -> usize {
+        let side = FACE_SIZE / self.patch;
+        side * side
+    }
+
+    /// Feature width of each visual token.
+    pub fn vis_feat_per_token(&self) -> usize {
+        let pf = self.patch_features();
+        assert_eq!(pf % self.vis_tokens, 0, "vis_tokens must divide patch features");
+        pf / self.vis_tokens
+    }
+}
+
+/// All trainable parameters, by explicit id — shared between the autodiff
+/// forward pass and the no-grad inference path.
+#[derive(Clone, Debug)]
+pub struct LfmParams {
+    pub tok_emb: ParamId,
+    pub pos_emb: ParamId,
+    pub vis_w: ParamId,
+    pub vis_b: ParamId,
+    pub blocks: Vec<BlockParams>,
+    pub ln_f_g: ParamId,
+    pub ln_f_b: ParamId,
+    pub head_w: ParamId,
+    pub head_b: ParamId,
+}
+
+/// Per-transformer-block parameters.
+#[derive(Clone, Debug)]
+pub struct BlockParams {
+    pub ln1_g: ParamId,
+    pub ln1_b: ParamId,
+    pub wq: ParamId,
+    pub bq: ParamId,
+    pub wk: ParamId,
+    pub bk: ParamId,
+    pub wv: ParamId,
+    pub bv: ParamId,
+    pub wo: ParamId,
+    pub bo: ParamId,
+    pub ln2_g: ParamId,
+    pub ln2_b: ParamId,
+    pub ff1_w: ParamId,
+    pub ff1_b: ParamId,
+    pub ff2_w: ParamId,
+    pub ff2_b: ParamId,
+}
+
+/// One element of a mixed prompt.
+#[derive(Clone, Debug)]
+pub enum Segment {
+    /// Plain text tokens.
+    Tokens(Vec<TokenId>),
+    /// One image as patch-mean features (length `cfg.patch_features()`).
+    Image(Vec<f32>),
+}
+
+/// A mixed visual/text prompt.
+#[derive(Clone, Debug, Default)]
+pub struct Prompt {
+    segments: Vec<Segment>,
+}
+
+impl Prompt {
+    /// Empty prompt.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw tokens.
+    pub fn push_tokens(&mut self, tokens: &[TokenId]) -> &mut Self {
+        if let Some(Segment::Tokens(t)) = self.segments.last_mut() {
+            t.extend_from_slice(tokens);
+        } else {
+            self.segments.push(Segment::Tokens(tokens.to_vec()));
+        }
+        self
+    }
+
+    /// Append one special token.
+    pub fn push_special(&mut self, vocab: &Vocab, s: Special) -> &mut Self {
+        self.push_tokens(&[vocab.special(s)])
+    }
+
+    /// Append encoded text (must be inside the closed vocabulary).
+    pub fn push_text(&mut self, vocab: &Vocab, text: &str) -> &mut Self {
+        let toks = vocab
+            .encode(text)
+            .unwrap_or_else(|| panic!("text outside the closed vocabulary: {text:?}"));
+        self.push_tokens(&toks)
+    }
+
+    /// Append one image (patch features computed with the model's patch).
+    ///
+    /// Features are *neutral-face subtracted* and rescaled: a frozen
+    /// pretrained vision tower normalises its inputs, and without this the
+    /// constant face template drowns the AU evidence at miniature scale.
+    pub fn push_image(&mut self, cfg: &ModelConfig, img: &Image) -> &mut Self {
+        let raw = videosynth::features::patch_features(img, cfg.patch);
+        assert_eq!(raw.len(), cfg.patch_features());
+        let reference = neutral_reference(cfg.patch);
+        const VIS_SCALE: f32 = 8.0;
+        let feats = raw
+            .iter()
+            .zip(reference.iter())
+            .map(|(x, r)| (x - r) * VIS_SCALE)
+            .collect();
+        self.segments.push(Segment::Image(feats));
+        self
+    }
+
+    /// Append a video as its `(f_e, f_l)` expressive frame pair (§IV-H):
+    /// one segment of neutral-subtracted `f_e` features and one segment of
+    /// `f_e − f_l` *difference* features.
+    ///
+    /// The difference channel is the point of the two-frame input: `f_l` is
+    /// the same subject's least expressive (near-neutral) frame, so the
+    /// subtraction cancels the subject's stable identity appearance and
+    /// leaves the expression change — exactly the baseline-normalisation
+    /// effect Zhang et al. select the frame pair for.
+    pub fn push_video(&mut self, cfg: &ModelConfig, video: &VideoSample) -> &mut Self {
+        let (fe, fl) = video.expressive_pair();
+        self.push_image(cfg, &fe);
+        self.push_image_diff(cfg, &fe, &fl)
+    }
+
+    /// Append the difference features of two frames (see
+    /// [`Prompt::push_video`]).
+    pub fn push_image_diff(&mut self, cfg: &ModelConfig, a: &Image, b: &Image) -> &mut Self {
+        let fa = videosynth::features::patch_features(a, cfg.patch);
+        let fb = videosynth::features::patch_features(b, cfg.patch);
+        const VIS_SCALE: f32 = 8.0;
+        let feats = fa.iter().zip(&fb).map(|(x, y)| (x - y) * VIS_SCALE).collect();
+        self.segments.push(Segment::Image(feats));
+        self
+    }
+
+    /// Segments in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total sequence length in (visual + text) tokens.
+    pub fn seq_len(&self, cfg: &ModelConfig) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Tokens(t) => t.len(),
+                Segment::Image(_) => cfg.vis_tokens,
+            })
+            .sum()
+    }
+}
+
+/// Patch features of the neutral (all-AUs-zero, noise-free) face, cached
+/// per patch size.  Used as the reference for visual-input normalisation.
+fn neutral_reference(patch: usize) -> std::sync::Arc<Vec<f32>> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<f32>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("reference cache poisoned");
+    Arc::clone(guard.entry(patch).or_insert_with(|| {
+        let neutral = videosynth::render::render_face(&facs::au::AuVector::zeros(), 0.0, 0);
+        Arc::new(videosynth::features::patch_features(&neutral, patch))
+    }))
+}
+
+/// The model: config, vocabulary and parameter store.
+#[derive(Clone, Debug)]
+pub struct Lfm {
+    /// Architecture hyper-parameters.
+    pub cfg: ModelConfig,
+    /// Shared closed vocabulary.
+    pub vocab: Vocab,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// Parameter handles.
+    pub params: LfmParams,
+}
+
+impl Lfm {
+    /// Initialise a fresh model with Xavier weights from `seed`.
+    pub fn new(cfg: ModelConfig, seed: u64) -> Self {
+        assert_eq!(cfg.d_model % cfg.heads, 0, "heads must divide d_model");
+        let vocab = Vocab::build();
+        let v = vocab.len();
+        let d = cfg.d_model;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+
+        let tok_emb = store.add_xavier("tok_emb", v, d, &mut rng);
+        let pos_emb = store.add_xavier("pos_emb", cfg.max_seq, d, &mut rng);
+        let vis_w = store.add_xavier("vis.w", cfg.vis_feat_per_token(), d, &mut rng);
+        let vis_b = store.add_zeros("vis.b", vec![d]);
+
+        let mut blocks = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let p = |s: &str| format!("block{l}.{s}");
+            blocks.push(BlockParams {
+                ln1_g: store.add_ones(p("ln1.g"), vec![d]),
+                ln1_b: store.add_zeros(p("ln1.b"), vec![d]),
+                wq: store.add_xavier(p("wq"), d, d, &mut rng),
+                bq: store.add_zeros(p("bq"), vec![d]),
+                wk: store.add_xavier(p("wk"), d, d, &mut rng),
+                bk: store.add_zeros(p("bk"), vec![d]),
+                wv: store.add_xavier(p("wv"), d, d, &mut rng),
+                bv: store.add_zeros(p("bv"), vec![d]),
+                wo: store.add_xavier(p("wo"), d, d, &mut rng),
+                bo: store.add_zeros(p("bo"), vec![d]),
+                ln2_g: store.add_ones(p("ln2.g"), vec![d]),
+                ln2_b: store.add_zeros(p("ln2.b"), vec![d]),
+                ff1_w: store.add_xavier(p("ff1.w"), d, cfg.ff, &mut rng),
+                ff1_b: store.add_zeros(p("ff1.b"), vec![cfg.ff]),
+                ff2_w: store.add_xavier(p("ff2.w"), cfg.ff, d, &mut rng),
+                ff2_b: store.add_zeros(p("ff2.b"), vec![d]),
+            });
+        }
+
+        let ln_f_g = store.add_ones("ln_f.g", vec![d]);
+        let ln_f_b = store.add_zeros("ln_f.b", vec![d]);
+        let head_w = store.add_xavier("head.w", d, v, &mut rng);
+        let head_b = store.add_zeros("head.b", vec![v]);
+
+        let params = LfmParams {
+            tok_emb, pos_emb, vis_w, vis_b, blocks, ln_f_g, ln_f_b, head_w, head_b,
+        };
+        Lfm { cfg, vocab, store, params }
+    }
+
+    /// Deep copy with independent parameters (e.g. a frozen DPO reference).
+    pub fn snapshot(&self) -> Lfm {
+        Lfm {
+            cfg: self.cfg.clone(),
+            vocab: self.vocab.clone(),
+            store: self.store.snapshot(),
+            params: self.params.clone(),
+        }
+    }
+
+    /// Write all weights to a writer (see [`tinynn::serialize`]).  The
+    /// architecture is not stored; load into a model built with the same
+    /// [`ModelConfig`] and init seed structure.
+    pub fn save_weights<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        tinynn::serialize::save_params(&self.store, w)
+    }
+
+    /// Load weights previously written by [`Lfm::save_weights`] into this
+    /// model.  Fails if the parameter structure does not match.
+    pub fn load_weights<R: std::io::Read>(&mut self, r: &mut R) -> std::io::Result<()> {
+        let loaded = tinynn::serialize::load_params(r)?;
+        if loaded.len() != self.store.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("parameter count mismatch: {} vs {}", loaded.len(), self.store.len()),
+            ));
+        }
+        self.store.load_values_from(&loaded);
+        Ok(())
+    }
+
+    /// Embed a mixed token stream into `[L, d]` with positions added.
+    ///
+    /// `extra_tokens` are appended after the prompt (used for teacher-forced
+    /// answers during training and scoring).
+    pub fn embed_sequence(&self, g: &mut Graph, prompt: &Prompt, extra_tokens: &[TokenId]) -> Var {
+        let cfg = &self.cfg;
+        let mut parts: Vec<Var> = Vec::new();
+        let tok_w = g.param(&self.store, self.params.tok_emb);
+        for seg in prompt.segments() {
+            match seg {
+                Segment::Tokens(toks) => {
+                    let idx: Vec<usize> = toks.iter().map(|&t| t as usize).collect();
+                    parts.push(g.embedding(tok_w, std::rc::Rc::new(idx)));
+                }
+                Segment::Image(feats) => {
+                    let per = cfg.vis_feat_per_token();
+                    let x = g.leaf(Tensor::from_vec(feats.clone(), vec![cfg.vis_tokens, per]));
+                    let w = g.param(&self.store, self.params.vis_w);
+                    let b = g.param(&self.store, self.params.vis_b);
+                    let h = g.matmul(x, w);
+                    parts.push(g.add_bias(h, b));
+                }
+            }
+        }
+        if !extra_tokens.is_empty() {
+            let idx: Vec<usize> = extra_tokens.iter().map(|&t| t as usize).collect();
+            parts.push(g.embedding(tok_w, std::rc::Rc::new(idx)));
+        }
+        assert!(!parts.is_empty(), "empty sequence");
+        let mut x = parts[0];
+        for p in &parts[1..] {
+            x = g.concat_rows(x, *p);
+        }
+        let l = g.value(x).rows();
+        assert!(l <= cfg.max_seq, "sequence length {l} exceeds max_seq {}", cfg.max_seq);
+        let pos_w = g.param(&self.store, self.params.pos_emb);
+        let pos = g.embedding(pos_w, std::rc::Rc::new((0..l).collect()));
+        g.add(x, pos)
+    }
+
+    /// Full decoder forward: `[L, d]` hidden → `[L, vocab]` logits.
+    pub fn decoder_forward(&self, g: &mut Graph, mut x: Var) -> Var {
+        for b in &self.params.blocks {
+            x = self.block_forward(g, b, x);
+        }
+        let gam = g.param(&self.store, self.params.ln_f_g);
+        let bet = g.param(&self.store, self.params.ln_f_b);
+        let x = g.layer_norm(x, gam, bet, 1e-5);
+        let w = g.param(&self.store, self.params.head_w);
+        let b = g.param(&self.store, self.params.head_b);
+        let h = g.matmul(x, w);
+        g.add_bias(h, b)
+    }
+
+    fn block_forward(&self, g: &mut Graph, bp: &BlockParams, x: Var) -> Var {
+        let cfg = &self.cfg;
+        let l = g.value(x).rows();
+        let dh = cfg.d_model / cfg.heads;
+
+        // Pre-norm attention.
+        let gam = g.param(&self.store, bp.ln1_g);
+        let bet = g.param(&self.store, bp.ln1_b);
+        let n = g.layer_norm(x, gam, bet, 1e-5);
+        let (wq, bq) = (g.param(&self.store, bp.wq), g.param(&self.store, bp.bq));
+        let (wk, bk) = (g.param(&self.store, bp.wk), g.param(&self.store, bp.bk));
+        let (wv, bv) = (g.param(&self.store, bp.wv), g.param(&self.store, bp.bv));
+        let q = g.matmul(n, wq);
+        let q = g.add_bias(q, bq);
+        let k = g.matmul(n, wk);
+        let k = g.add_bias(k, bk);
+        let v = g.matmul(n, wv);
+        let v = g.add_bias(v, bv);
+
+        let mut mask = vec![0.0f32; l * l];
+        for i in 0..l {
+            for j in (i + 1)..l {
+                mask[i * l + j] = -1e9;
+            }
+        }
+        let mask = std::rc::Rc::new(mask);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut heads = Vec::with_capacity(cfg.heads);
+        for h in 0..cfg.heads {
+            let qh = g.slice_cols(q, h * dh, dh);
+            let kh = g.slice_cols(k, h * dh, dh);
+            let vh = g.slice_cols(v, h * dh, dh);
+            let scores = g.matmul_tb(qh, kh);
+            let scores = g.scale(scores, scale);
+            let attn = g.masked_softmax(scores, std::rc::Rc::clone(&mask));
+            heads.push(g.matmul(attn, vh));
+        }
+        let cat = g.concat_cols(&heads);
+        let (wo, bo) = (g.param(&self.store, bp.wo), g.param(&self.store, bp.bo));
+        let a = g.matmul(cat, wo);
+        let a = g.add_bias(a, bo);
+        let x = g.add(x, a);
+
+        // Pre-norm feed-forward.
+        let gam = g.param(&self.store, bp.ln2_g);
+        let bet = g.param(&self.store, bp.ln2_b);
+        let n = g.layer_norm(x, gam, bet, 1e-5);
+        let (w1, b1) = (g.param(&self.store, bp.ff1_w), g.param(&self.store, bp.ff1_b));
+        let (w2, b2) = (g.param(&self.store, bp.ff2_w), g.param(&self.store, bp.ff2_b));
+        let h = g.matmul(n, w1);
+        let h = g.add_bias(h, b1);
+        let h = g.gelu(h);
+        let h = g.matmul(h, w2);
+        let h = g.add_bias(h, b2);
+        g.add(x, h)
+    }
+
+    /// Logits for the full `prompt ⧺ answer` stream: `([L, V], prompt_len)`.
+    pub fn logits(&self, g: &mut Graph, prompt: &Prompt, answer: &[TokenId]) -> (Var, usize) {
+        let x = self.embed_sequence(g, prompt, answer);
+        let logits = self.decoder_forward(g, x);
+        (logits, prompt.seq_len(&self.cfg))
+    }
+
+    /// Scalar graph node: `log p(answer | prompt)` summed over all answer
+    /// tokens (the quantity DPO differentiates).  The answer should
+    /// normally end with `Eos`.
+    pub fn seq_logprob_graph(&self, g: &mut Graph, prompt: &Prompt, answer: &[TokenId]) -> Var {
+        assert!(!answer.is_empty(), "empty answer");
+        let (logits, plen) = self.logits(g, prompt, answer);
+        // Position plen-1+i predicts answer[i].
+        let rows = g.slice_rows(logits, plen - 1, answer.len());
+        let targets: Vec<usize> = answer.iter().map(|&t| t as usize).collect();
+        let lp = g.log_softmax_gather(rows, std::rc::Rc::new(targets));
+        g.sum(lp)
+    }
+
+    /// `log p(answer | prompt)` as a plain number (no gradients kept).
+    pub fn seq_logprob(&self, prompt: &Prompt, answer: &[TokenId]) -> f32 {
+        let mut g = Graph::new();
+        let v = self.seq_logprob_graph(&mut g, prompt, answer);
+        g.value(v).item()
+    }
+
+    /// Autoregressively sample an answer.
+    ///
+    /// Sampling uses the Gumbel-max trick at the given `temperature`
+    /// (`0` = greedy) and is fully determined by `seed`.  Generation stops
+    /// at `Eos` (excluded from the result) or after `max_new` tokens.
+    pub fn generate(&self, prompt: &Prompt, max_new: usize, temperature: f32, seed: u64) -> Vec<TokenId> {
+        let eos = self.vocab.special(Special::Eos);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<TokenId> = Vec::new();
+        let budget = max_new.min(self.cfg.max_seq.saturating_sub(prompt.seq_len(&self.cfg)));
+        for _ in 0..budget {
+            let mut g = Graph::new();
+            let (logits, _) = self.logits(&mut g, prompt, &out);
+            let lv = g.value(logits);
+            let last = lv.row(lv.rows() - 1);
+            let next = tinynn::rngutil::sample_logits(&mut rng, last, temperature) as TokenId;
+            if next == eos {
+                break;
+            }
+            out.push(next);
+        }
+        out
+    }
+
+    /// Greedy next-token distribution after the prompt (softmax of the last
+    /// position's logits).  Useful for forced-choice answers.
+    pub fn next_token_distribution(&self, prompt: &Prompt) -> Vec<f32> {
+        let mut g = Graph::new();
+        let x = self.embed_sequence(&mut g, prompt, &[]);
+        let logits = self.decoder_forward(&mut g, x);
+        let sm = g.softmax(logits);
+        let v = g.value(sm);
+        v.row(v.rows() - 1).to_vec()
+    }
+
+    /// Restricted argmax / sample over a small set of candidate tokens
+    /// (forced choice), with temperature and seed.
+    pub fn choose<R: Rng>(
+        &self,
+        prompt: &Prompt,
+        candidates: &[TokenId],
+        temperature: f32,
+        rng: &mut R,
+    ) -> TokenId {
+        assert!(!candidates.is_empty());
+        let mut g = Graph::new();
+        let x = self.embed_sequence(&mut g, prompt, &[]);
+        let logits = self.decoder_forward(&mut g, x);
+        let v = g.value(logits);
+        let last = v.row(v.rows() - 1);
+        let sub: Vec<f32> = candidates.iter().map(|&c| last[c as usize]).collect();
+        let idx = tinynn::rngutil::sample_logits(rng, &sub, temperature);
+        candidates[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::au::AuVector;
+    use videosynth::render::render_face;
+
+    fn model() -> Lfm {
+        Lfm::new(ModelConfig::tiny(), 42)
+    }
+
+    fn image() -> Image {
+        render_face(&AuVector::zeros(), 0.01, 1)
+    }
+
+    #[test]
+    fn prompt_seq_len_counts_visual_tokens() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Describe);
+        p.push_image(&m.cfg, &image());
+        p.push_special(&m.vocab, Special::Bos);
+        assert_eq!(p.seq_len(&m.cfg), 2 + m.cfg.vis_tokens);
+    }
+
+    #[test]
+    fn logits_have_vocab_width() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Describe);
+        p.push_image(&m.cfg, &image());
+        let mut g = Graph::new();
+        let (logits, plen) = m.logits(&mut g, &p, &[m.vocab.special(Special::Eos)]);
+        assert_eq!(g.value(logits).cols(), m.vocab.len());
+        assert_eq!(g.value(logits).rows(), plen + 1);
+    }
+
+    #[test]
+    fn seq_logprob_is_negative_and_finite() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Assess);
+        p.push_image(&m.cfg, &image());
+        p.push_special(&m.vocab, Special::Bos);
+        let ans = vec![m.vocab.special(Special::Stressed), m.vocab.special(Special::Eos)];
+        let lp = m.seq_logprob(&p, &ans);
+        assert!(lp.is_finite());
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Describe);
+        p.push_image(&m.cfg, &image());
+        p.push_special(&m.vocab, Special::Bos);
+        let a = m.generate(&p, 10, 1.0, 7);
+        let b = m.generate(&p, 10, 1.0, 7);
+        assert_eq!(a, b);
+        let c = m.generate(&p, 10, 1.0, 8);
+        // Overwhelmingly likely to differ for an untrained model.
+        assert!(a != c || a.is_empty());
+    }
+
+    #[test]
+    fn greedy_generation_matches_temperature_zero() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Assess);
+        p.push_image(&m.cfg, &image());
+        p.push_special(&m.vocab, Special::Bos);
+        let a = m.generate(&p, 5, 0.0, 1);
+        let b = m.generate(&p, 5, 0.0, 999);
+        assert_eq!(a, b, "greedy decode must ignore the seed");
+    }
+
+    #[test]
+    fn choose_returns_a_candidate() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Assess);
+        p.push_image(&m.cfg, &image());
+        p.push_special(&m.vocab, Special::Bos);
+        let cands = [m.vocab.special(Special::Stressed), m.vocab.special(Special::Unstressed)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = m.choose(&p, &cands, 1.0, &mut rng);
+        assert!(cands.contains(&c));
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut m = model();
+        let snap = m.snapshot();
+        // Perturb the live model.
+        let id = m.params.head_b;
+        m.store.value_mut(id).data[0] += 1.0;
+        assert_ne!(
+            m.store.value(m.params.head_b).data[0],
+            snap.store.value(snap.params.head_b).data[0]
+        );
+    }
+
+    #[test]
+    fn next_token_distribution_sums_to_one() {
+        let m = model();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Assess);
+        p.push_image(&m.cfg, &image());
+        let d = m.next_token_distribution(&p);
+        assert_eq!(d.len(), m.vocab.len());
+        assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weights_round_trip_through_bytes() {
+        let m = model();
+        let mut buf = Vec::new();
+        m.save_weights(&mut buf).unwrap();
+        let mut m2 = Lfm::new(ModelConfig::tiny(), 999); // different init
+        m2.load_weights(&mut buf.as_slice()).unwrap();
+        // Same behaviour after loading.
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Assess);
+        p.push_image(&m.cfg, &image());
+        assert_eq!(m.next_token_distribution(&p), m2.next_token_distribution(&p));
+        // Structure mismatch is rejected.
+        let mut small = Lfm::new(
+            ModelConfig { layers: 2, ..ModelConfig::tiny() },
+            1,
+        );
+        assert!(small.load_weights(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn overlong_sequence_panics() {
+        let m = model();
+        let mut p = Prompt::new();
+        let toks = vec![m.vocab.special(Special::Sep); m.cfg.max_seq + 1];
+        p.push_tokens(&toks);
+        let mut g = Graph::new();
+        let _ = m.embed_sequence(&mut g, &p, &[]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Training procedures: instruction tuning (SFT) and Direct Preference
+//! Optimization (DPO).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tinynn::graph::Graph;
+use tinynn::loss::dpo_loss;
+use tinynn::optim::{Adam, Optimizer};
+
+use crate::model::{Lfm, Prompt};
+use crate::vocab::TokenId;
+
+/// One supervised instruction-tuning example.
+#[derive(Clone, Debug)]
+pub struct SftExample {
+    /// The instruction prompt (ends with `Bos`).
+    pub prompt: Prompt,
+    /// Target answer tokens, terminated by `Eos`.
+    pub answer: Vec<TokenId>,
+}
+
+/// Optimisation hyper-parameters shared by SFT and DPO.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Examples per optimizer step.
+    pub batch_size: usize,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { lr: 3e-3, epochs: 3, batch_size: 8, grad_clip: 5.0, seed: 0 }
+    }
+}
+
+/// Instruction-tune the model on (prompt, answer) pairs with token-level
+/// cross-entropy on the answer positions only (Eq. 2 / Eq. 4 of the paper).
+/// Returns the mean loss of each epoch.
+pub fn sft(model: &mut Lfm, data: &[SftExample], cfg: &TrainConfig) -> Vec<f32> {
+    assert!(!data.is_empty(), "no training data");
+    let mut opt = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        for chunk in order.chunks(cfg.batch_size) {
+            for &i in chunk {
+                let ex = &data[i];
+                let mut g = Graph::new();
+                let lp = model.seq_logprob_graph(&mut g, &ex.prompt, &ex.answer);
+                // Mean over answer tokens keeps losses comparable across
+                // answer lengths.
+                let loss = g.scale(lp, -1.0 / ex.answer.len() as f32);
+                total += g.value(loss).item();
+                g.backward(loss);
+                g.accumulate_grads(&mut model.store);
+            }
+            model.store.clip_grad_norm(cfg.grad_clip);
+            opt.step(&mut model.store);
+            model.store.zero_grads();
+        }
+        epoch_losses.push(total / data.len() as f32);
+    }
+    epoch_losses
+}
+
+/// A DPO preference pair: under `prompt`, `chosen` was judged better than
+/// `rejected` by the self-refinement filters.
+#[derive(Clone, Debug)]
+pub struct DpoPair {
+    /// Conditioning prompt.
+    pub prompt: Prompt,
+    /// Preferred answer (`E` after refinement / `R_b`), `Eos`-terminated.
+    pub chosen: Vec<TokenId>,
+    /// Dispreferred answer (`E_o` / `R_w`), `Eos`-terminated.
+    pub rejected: Vec<TokenId>,
+}
+
+/// Optimise Eq. 3 / Eq. 5: shift probability mass toward the chosen answers
+/// relative to a frozen `reference` model.  Returns mean loss per epoch.
+pub fn dpo(
+    model: &mut Lfm,
+    reference: &Lfm,
+    pairs: &[DpoPair],
+    beta: f32,
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    assert!(!pairs.is_empty(), "no preference pairs");
+    // Reference log-probs never change: compute once.
+    let refs: Vec<(f32, f32)> = pairs
+        .iter()
+        .map(|p| {
+            (
+                reference.seq_logprob(&p.prompt, &p.chosen),
+                reference.seq_logprob(&p.prompt, &p.rejected),
+            )
+        })
+        .collect();
+
+    let mut opt = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        for chunk in order.chunks(cfg.batch_size) {
+            for &i in chunk {
+                let pair = &pairs[i];
+                let (ref_w, ref_l) = refs[i];
+                let mut g = Graph::new();
+                let lp_w = model.seq_logprob_graph(&mut g, &pair.prompt, &pair.chosen);
+                let lp_l = model.seq_logprob_graph(&mut g, &pair.prompt, &pair.rejected);
+                let loss = dpo_loss(&mut g, lp_w, lp_l, ref_w, ref_l, beta);
+                total += g.value(loss).item();
+                g.backward(loss);
+                g.accumulate_grads(&mut model.store);
+            }
+            model.store.clip_grad_norm(cfg.grad_clip);
+            opt.step(&mut model.store);
+            model.store.zero_grads();
+        }
+        epoch_losses.push(total / pairs.len() as f32);
+    }
+    epoch_losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instructions::{assess_direct_prompt, label_answer, label_tokens};
+    use crate::model::ModelConfig;
+    use videosynth::video::StressLabel;
+    use videosynth::world::{sample_video, Subject, WorldConfig};
+
+    fn make_data(m: &Lfm, n: usize) -> Vec<SftExample> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wc = WorldConfig::uvsd_like();
+        (0..n)
+            .map(|i| {
+                let s = Subject::generate(i, 0.3, &mut rng);
+                let label = if i % 2 == 0 { StressLabel::Stressed } else { StressLabel::Unstressed };
+                let v = sample_video(&wc, &s, label, i, 77);
+                SftExample {
+                    prompt: assess_direct_prompt(m, &v),
+                    answer: label_answer(&m.vocab, label),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sft_reduces_loss() {
+        let mut m = Lfm::new(ModelConfig::tiny(), 5);
+        let data = make_data(&m, 12);
+        let cfg = TrainConfig { epochs: 5, lr: 5e-3, ..Default::default() };
+        let losses = sft(&mut m, &data, &cfg);
+        assert_eq!(losses.len(), 5);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.9),
+            "loss should drop: {losses:?}"
+        );
+        assert!(losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn sft_learns_the_task_signal() {
+        // Tiny model, tiny separable task: stressed faces look different
+        // enough from unstressed that training accuracy should beat chance.
+        let mut m = Lfm::new(ModelConfig::tiny(), 6);
+        let data = make_data(&m, 16);
+        let cfg = TrainConfig { epochs: 10, lr: 5e-3, ..Default::default() };
+        sft(&mut m, &data, &cfg);
+        let [st, un] = label_tokens(&m.vocab);
+        let mut correct = 0;
+        for ex in &data {
+            let mut rng = StdRng::seed_from_u64(0);
+            let c = m.choose(&ex.prompt, &[st, un], 0.0, &mut rng);
+            let want = ex.answer[0];
+            if c == want {
+                correct += 1;
+            }
+        }
+        assert!(correct * 10 >= data.len() * 7, "train accuracy {correct}/{}", data.len());
+    }
+
+    #[test]
+    fn dpo_moves_mass_toward_chosen() {
+        let m0 = Lfm::new(ModelConfig::tiny(), 7);
+        let mut m = m0.snapshot();
+        let reference = m0.snapshot();
+        let data = make_data(&m, 6);
+        let pairs: Vec<DpoPair> = data
+            .iter()
+            .map(|ex| {
+                let chosen = ex.answer.clone();
+                let mut rejected = ex.answer.clone();
+                // Swap the label token for the wrong one.
+                let [st, un] = label_tokens(&m.vocab);
+                rejected[0] = if chosen[0] == st { un } else { st };
+                DpoPair { prompt: ex.prompt.clone(), chosen, rejected }
+            })
+            .collect();
+
+        let before: f32 = pairs
+            .iter()
+            .map(|p| m.seq_logprob(&p.prompt, &p.chosen) - m.seq_logprob(&p.prompt, &p.rejected))
+            .sum();
+        let cfg = TrainConfig { epochs: 6, lr: 3e-3, ..Default::default() };
+        let losses = dpo(&mut m, &reference, &pairs, 0.1, &cfg);
+        let after: f32 = pairs
+            .iter()
+            .map(|p| m.seq_logprob(&p.prompt, &p.chosen) - m.seq_logprob(&p.prompt, &p.rejected))
+            .sum();
+        assert!(after > before, "margin should grow: {before} -> {after}");
+        assert!(losses.last().unwrap() < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn sft_rejects_empty_data() {
+        let mut m = Lfm::new(ModelConfig::tiny(), 5);
+        let _ = sft(&mut m, &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,305 @@
+//! Closed vocabulary and word-level tokenizer.
+//!
+//! The model's language is deliberately closed: the facial-action
+//! description template of §IV-A, the stress answer words, instruction
+//! markers and the multiple-choice letters of the self-verification task.
+//! A closed vocabulary keeps the simulator honest — the model can only say
+//! things whose truth the world model can check — while still leaving a
+//! combinatorially large output space (every subset of 12 AUs in every
+//! region order the decoder might attempt).
+
+use std::collections::HashMap;
+
+use facs::au::ALL_AUS;
+use facs::describe::{phrase, HEADER, NEUTRAL};
+use facs::region::ALL_REGIONS;
+
+/// Token identifier.
+pub type TokenId = u32;
+
+/// Special and structural tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Special {
+    /// Beginning of an answer.
+    Bos,
+    /// End of an answer (generation stops here).
+    Eos,
+    /// Segment separator inside prompts.
+    Sep,
+    /// Instruction marker I₁ — "describe the facial expressions".
+    Describe,
+    /// Instruction marker I₂ — "assess the stress level".
+    Assess,
+    /// Instruction marker I₃ — "highlight the critical facial expressions".
+    Highlight,
+    /// Reflection instruction (Fig. 3) — "reflect on your description".
+    Reflect,
+    /// Self-verification instruction (Fig. 4) — "which video is described?".
+    Verify,
+    /// Marks that the ground-truth label hint in a reflection prompt follows.
+    LabelHint,
+    /// Marks an in-context example block.
+    Example,
+    /// Answer word for the stressed class.
+    Stressed,
+    /// Answer word for the unstressed class.
+    Unstressed,
+    /// Multiple-choice options for self-verification.
+    ChoiceA,
+    ChoiceB,
+    ChoiceC,
+    ChoiceD,
+}
+
+/// All special tokens in a fixed order.
+pub const ALL_SPECIALS: [Special; 16] = [
+    Special::Bos,
+    Special::Eos,
+    Special::Sep,
+    Special::Describe,
+    Special::Assess,
+    Special::Highlight,
+    Special::Reflect,
+    Special::Verify,
+    Special::LabelHint,
+    Special::Example,
+    Special::Stressed,
+    Special::Unstressed,
+    Special::ChoiceA,
+    Special::ChoiceB,
+    Special::ChoiceC,
+    Special::ChoiceD,
+];
+
+impl Special {
+    /// Surface form used in prompt text.
+    pub fn text(self) -> &'static str {
+        match self {
+            Special::Bos => "<bos>",
+            Special::Eos => "<eos>",
+            Special::Sep => "<sep>",
+            Special::Describe => "<describe>",
+            Special::Assess => "<assess>",
+            Special::Highlight => "<highlight>",
+            Special::Reflect => "<reflect>",
+            Special::Verify => "<verify>",
+            Special::LabelHint => "<label-hint>",
+            Special::Example => "<example>",
+            Special::Stressed => "Stressed",
+            Special::Unstressed => "Unstressed",
+            Special::ChoiceA => "<choice-a>",
+            Special::ChoiceB => "<choice-b>",
+            Special::ChoiceC => "<choice-c>",
+            Special::ChoiceD => "<choice-d>",
+        }
+    }
+}
+
+/// The closed vocabulary with encode/decode maps.
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    id_to_word: Vec<String>,
+    word_to_id: HashMap<String, TokenId>,
+}
+
+impl Vocab {
+    /// Build the canonical vocabulary: specials, then every word of the
+    /// description language, the region names and punctuation.
+    pub fn build() -> Self {
+        let mut v = Vocab { id_to_word: Vec::new(), word_to_id: HashMap::new() };
+        for s in ALL_SPECIALS {
+            v.intern(s.text());
+        }
+        // Punctuation/structure of the description template.
+        for p in ["\n", "-", ":", ","] {
+            v.intern(p);
+        }
+        // All words of header, neutral sentence, phrases and region names.
+        let mut corpus: Vec<String> = vec![HEADER.to_owned(), NEUTRAL.to_owned()];
+        for au in ALL_AUS {
+            corpus.push(phrase(au).to_owned());
+        }
+        for r in ALL_REGIONS {
+            corpus.push(r.name().to_owned());
+        }
+        for text in corpus {
+            for w in split_words(&text) {
+                v.intern(&w);
+            }
+        }
+        v
+    }
+
+    fn intern(&mut self, word: &str) -> TokenId {
+        if let Some(&id) = self.word_to_id.get(word) {
+            return id;
+        }
+        let id = self.id_to_word.len() as TokenId;
+        self.id_to_word.push(word.to_owned());
+        self.word_to_id.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for [`Vocab::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.id_to_word.is_empty()
+    }
+
+    /// Id of a special token.
+    pub fn special(&self, s: Special) -> TokenId {
+        self.word_to_id[s.text()]
+    }
+
+    /// Id of a word, if in vocabulary.
+    pub fn id_of(&self, word: &str) -> Option<TokenId> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// Word of an id.
+    pub fn word_of(&self, id: TokenId) -> &str {
+        &self.id_to_word[id as usize]
+    }
+
+    /// Encode text to token ids.  Every word must be in vocabulary;
+    /// returns `None` listing no further detail otherwise.
+    pub fn encode(&self, text: &str) -> Option<Vec<TokenId>> {
+        split_words(text)
+            .into_iter()
+            .map(|w| self.id_of(&w))
+            .collect()
+    }
+
+    /// Decode token ids back to text.  Inverse of [`Vocab::encode`] on the
+    /// closed language (whitespace is reconstructed around punctuation).
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        let mut out = String::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let w = self.word_of(id);
+            match w {
+                "\n" => out.push('\n'),
+                "," | ":" => out.push_str(w),
+                "-" => {
+                    // Bullet dash: no space after a newline, none before region.
+                    out.push('-');
+                }
+                _ => {
+                    let need_space = i > 0
+                        && !out.is_empty()
+                        && !out.ends_with('\n')
+                        && !out.ends_with('-');
+                    if need_space {
+                        out.push(' ');
+                    }
+                    out.push_str(w);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split text into vocabulary words: whitespace-separated, with `- : ,` and
+/// newlines as standalone tokens.
+pub fn split_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '\n' => {
+                flush(&mut cur, &mut out);
+                out.push("\n".to_owned());
+            }
+            '-' | ':' | ',' => {
+                flush(&mut cur, &mut out);
+                out.push(ch.to_string());
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut out),
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::au::{ActionUnit, AuSet};
+    use facs::describe::render_description;
+
+    #[test]
+    fn vocab_is_closed_and_stable() {
+        let v = Vocab::build();
+        assert!(v.len() > 40, "vocabulary unexpectedly small: {}", v.len());
+        assert!(v.len() < 120, "vocabulary unexpectedly large: {}", v.len());
+        // Deterministic ids.
+        let v2 = Vocab::build();
+        assert_eq!(v.len(), v2.len());
+        assert_eq!(v.special(Special::Eos), v2.special(Special::Eos));
+    }
+
+    #[test]
+    fn specials_have_distinct_ids() {
+        let v = Vocab::build();
+        let mut ids: Vec<TokenId> = ALL_SPECIALS.iter().map(|&s| v.special(s)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_SPECIALS.len());
+    }
+
+    #[test]
+    fn every_description_encodes_and_round_trips() {
+        let v = Vocab::build();
+        for bits in [0u16, 1, 0b101, 0xFFF, 0b10010, 0b111000111000] {
+            let s = AuSet::from_bits(bits);
+            let text = render_description(s);
+            let ids = v.encode(&text).unwrap_or_else(|| panic!("unencodable: {text}"));
+            let back = v.decode(&ids);
+            assert_eq!(
+                facs::describe::parse_description(&back),
+                Ok(s),
+                "bits {bits:#b}: {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_restores_template_shape() {
+        let v = Vocab::build();
+        let text = render_description(AuSet::from_aus([
+            ActionUnit::InnerBrowRaiser,
+            ActionUnit::CheekRaiser,
+        ]));
+        let ids = v.encode(&text).unwrap();
+        let back = v.decode(&ids);
+        assert!(back.contains("-eyebrow:"), "{back}");
+        assert!(back.contains("-cheek:"), "{back}");
+    }
+
+    #[test]
+    fn unknown_word_fails_encode() {
+        let v = Vocab::build();
+        assert!(v.encode("hello world").is_none());
+    }
+
+    #[test]
+    fn split_words_handles_punctuation() {
+        assert_eq!(
+            split_words("-eyebrow: a, b"),
+            vec!["-", "eyebrow", ":", "a", ",", "b"]
+        );
+        assert_eq!(split_words("x\ny"), vec!["x", "\n", "y"]);
+        assert_eq!(split_words("  "), Vec::<String>::new());
+    }
+}

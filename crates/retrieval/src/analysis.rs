@@ -1,0 +1,106 @@
+//! Helpful/unhelpful similarity analysis (Figure 7).
+//!
+//! The paper buckets training samples by whether using them as the
+//! in-context example leads the model to the *correct* stress prediction
+//! ("Helpful") or not ("Unhelpful"), then compares the cosine-similarity
+//! distributions under the two embeddings.  A bigger separation means the
+//! embedding is a better retrieval key.
+
+/// Summary statistics of one similarity population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimilarityStats {
+    /// Sample count.
+    pub n: usize,
+    /// Mean similarity.
+    pub mean: f32,
+    /// Standard deviation.
+    pub std: f32,
+}
+
+impl SimilarityStats {
+    /// Compute over a slice.
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f32>() / n as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        SimilarityStats { n, mean, std: var.sqrt() }
+    }
+}
+
+/// Helpful-vs-unhelpful separation of one embedding (one panel of Fig. 7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Separation {
+    /// Similarities of helpful examples.
+    pub helpful: SimilarityStats,
+    /// Similarities of unhelpful examples.
+    pub unhelpful: SimilarityStats,
+}
+
+impl Separation {
+    /// Build from labelled similarity pairs `(similarity, was_helpful)`.
+    pub fn from_pairs(pairs: &[(f32, bool)]) -> Self {
+        let helpful: Vec<f32> = pairs.iter().filter(|p| p.1).map(|p| p.0).collect();
+        let unhelpful: Vec<f32> = pairs.iter().filter(|p| !p.1).map(|p| p.0).collect();
+        Separation {
+            helpful: SimilarityStats::of(&helpful),
+            unhelpful: SimilarityStats::of(&unhelpful),
+        }
+    }
+
+    /// Cohen's d between the two populations (how distinguishable helpful
+    /// samples are by similarity alone — the quantity Fig. 7 visualises).
+    pub fn effect_size(&self) -> f32 {
+        let pooled_var = (self.helpful.std.powi(2) * self.helpful.n as f32
+            + self.unhelpful.std.powi(2) * self.unhelpful.n as f32)
+            / (self.helpful.n + self.unhelpful.n).max(1) as f32;
+        if pooled_var <= 0.0 {
+            return 0.0;
+        }
+        (self.helpful.mean - self.unhelpful.mean) / pooled_var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = SimilarityStats::of(&[1.0, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-6);
+        assert!((s.std - 1.0).abs() < 1e-6);
+        assert_eq!(SimilarityStats::of(&[]), SimilarityStats::default());
+    }
+
+    #[test]
+    fn separation_partitions_pairs() {
+        let pairs = [(0.9, true), (0.8, true), (0.1, false), (0.2, false)];
+        let sep = Separation::from_pairs(&pairs);
+        assert_eq!(sep.helpful.n, 2);
+        assert_eq!(sep.unhelpful.n, 2);
+        assert!(sep.helpful.mean > sep.unhelpful.mean);
+        assert!(sep.effect_size() > 2.0);
+    }
+
+    #[test]
+    fn zero_variance_effect_size_is_zero() {
+        let pairs = [(0.5, true), (0.5, false)];
+        let sep = Separation::from_pairs(&pairs);
+        assert_eq!(sep.effect_size(), 0.0);
+    }
+
+    #[test]
+    fn overlapping_populations_have_small_effect() {
+        let mut pairs = Vec::new();
+        for i in 0..50 {
+            let v = (i % 10) as f32 / 10.0;
+            pairs.push((v, i % 2 == 0));
+        }
+        let sep = Separation::from_pairs(&pairs);
+        assert!(sep.effect_size().abs() < 0.5);
+    }
+}

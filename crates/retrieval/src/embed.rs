@@ -1,0 +1,157 @@
+//! Video and description embedders.
+
+use facs::au::{AuSet, NUM_AUS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::rngutil::normal;
+use videosynth::features::patch_features;
+use videosynth::video::VideoSample;
+
+/// Videoformer stand-in: a fixed (seeded) random projection of the video's
+/// expressive-frame and difference patch features into `dim` dimensions.
+#[derive(Clone, Debug)]
+pub struct VisualEmbedder {
+    projection: Vec<f32>,
+    in_dim: usize,
+    /// Embedding width.
+    pub dim: usize,
+    patch: usize,
+}
+
+impl VisualEmbedder {
+    /// Build with 8-pixel patches (144 features per frame, 288 total).
+    pub fn new(dim: usize, seed: u64) -> Self {
+        let patch = 8;
+        let per_frame = (96 / patch) * (96 / patch);
+        let in_dim = per_frame * 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let projection = (0..in_dim * dim)
+            .map(|_| normal(&mut rng) / (in_dim as f32).sqrt())
+            .collect();
+        VisualEmbedder { projection, in_dim, dim, patch }
+    }
+
+    /// Embed a video: `[f_e features ‖ (f_e − f_l) features] × P`.
+    pub fn embed(&self, video: &VideoSample) -> Vec<f32> {
+        let (fe, fl) = video.expressive_pair();
+        let a = patch_features(&fe, self.patch);
+        let b = patch_features(&fl, self.patch);
+        let mut x = Vec::with_capacity(self.in_dim);
+        x.extend_from_slice(&a);
+        x.extend(a.iter().zip(&b).map(|(p, q)| p - q));
+        let mut out = vec![0.0f32; self.dim];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o += xi * self.projection[i * self.dim + j];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// BERT stand-in for the closed description language: the AU indicator
+/// vector of the description, with each AU weighted by an idf-like factor
+/// so rare, specific actions dominate the similarity — mirroring how
+/// sentence embeddings privilege content words.
+#[derive(Clone, Debug)]
+pub struct DescriptionEmbedder {
+    weights: [f32; NUM_AUS],
+}
+
+impl DescriptionEmbedder {
+    /// Estimate idf weights from a pool of descriptions.
+    pub fn fit(pool: &[AuSet]) -> Self {
+        let mut weights = [1.0f32; NUM_AUS];
+        if !pool.is_empty() {
+            for (i, w) in weights.iter_mut().enumerate() {
+                let au = facs::au::ALL_AUS[i];
+                let df = pool.iter().filter(|s| s.contains(au)).count();
+                *w = ((pool.len() as f32 + 1.0) / (df as f32 + 1.0)).ln() + 1.0;
+            }
+        }
+        DescriptionEmbedder { weights }
+    }
+
+    /// Uniform weights (no pool statistics).
+    pub fn uniform() -> Self {
+        DescriptionEmbedder { weights: [1.0; NUM_AUS] }
+    }
+
+    /// Embed one description.
+    pub fn embed(&self, description: AuSet) -> Vec<f32> {
+        let mut v = description.to_dense().to_vec();
+        for (x, w) in v.iter_mut().zip(&self.weights) {
+            *x *= w;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::ActionUnit;
+    use tinynn::tensor::cosine_similarity;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    #[test]
+    fn visual_embedding_is_deterministic_and_sized() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 1);
+        let e = VisualEmbedder::new(32, 7);
+        let a = e.embed(&ds.samples[0]);
+        let b = e.embed(&ds.samples[0]);
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn similar_videos_embed_closer_than_dissimilar() {
+        // Same subject, same label → usually more similar AU content than a
+        // different subject with the opposite label.  Check on aggregate.
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 2);
+        let e = VisualEmbedder::new(48, 3);
+        let embs: Vec<Vec<f32>> = ds.samples.iter().map(|v| e.embed(v)).collect();
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let sim = cosine_similarity(&embs[i], &embs[j]);
+                if ds.samples[i].label == ds.samples[j].label {
+                    same.push(sim);
+                } else {
+                    diff.push(sim);
+                }
+            }
+        }
+        let ms: f32 = same.iter().sum::<f32>() / same.len() as f32;
+        let md: f32 = diff.iter().sum::<f32>() / diff.len() as f32;
+        assert!(ms > md, "same-label mean sim {ms} vs cross-label {md}");
+    }
+
+    #[test]
+    fn description_embedding_reflects_au_overlap() {
+        let e = DescriptionEmbedder::uniform();
+        let a = AuSet::from_aus([ActionUnit::BrowLowerer, ActionUnit::LipStretcher]);
+        let b = AuSet::from_aus([ActionUnit::BrowLowerer, ActionUnit::LipStretcher]);
+        let c = AuSet::from_aus([ActionUnit::CheekRaiser, ActionUnit::LipCornerPuller]);
+        let sim_ab = cosine_similarity(&e.embed(a), &e.embed(b));
+        let sim_ac = cosine_similarity(&e.embed(a), &e.embed(c));
+        assert!((sim_ab - 1.0).abs() < 1e-6);
+        assert!(sim_ac < 0.1);
+    }
+
+    #[test]
+    fn idf_downweights_common_aus() {
+        // AU25 appears everywhere in the pool, AU9 once.
+        let mut pool = vec![AuSet::from_aus([ActionUnit::LipsPart]); 20];
+        pool.push(AuSet::from_aus([ActionUnit::NoseWrinkler, ActionUnit::LipsPart]));
+        let e = DescriptionEmbedder::fit(&pool);
+        let common = e.embed(AuSet::from_aus([ActionUnit::LipsPart]));
+        let rare = e.embed(AuSet::from_aus([ActionUnit::NoseWrinkler]));
+        let wc = common[ActionUnit::LipsPart.index()];
+        let wr = rare[ActionUnit::NoseWrinkler.index()];
+        assert!(wr > wc, "rare AU weight {wr} should exceed common {wc}");
+    }
+}

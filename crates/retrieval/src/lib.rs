@@ -1,0 +1,21 @@
+//! `retrieval` — in-context example retrieval (§IV-F, Table VII,
+//! Figures 7–8).
+//!
+//! The paper compares three ways of picking an in-context example for each
+//! test sample: random, *retrieve-by-vision* (cosine similarity of
+//! Videoformer video embeddings) and *retrieve-by-description* (cosine
+//! similarity of BERT embeddings of the facial-action descriptions).
+//!
+//! Substitutions (both documented in DESIGN.md): the generic pretrained
+//! Videoformer is a seeded random projection of the video's patch features
+//! (a Johnson–Lindenstrauss sketch preserves exactly the cosine geometry a
+//! frozen generic encoder provides), and BERT over the closed description
+//! language reduces to the description's AU indicator vector (texts are
+//! template renderings, so their semantics *is* the AU set).
+
+pub mod analysis;
+pub mod embed;
+pub mod strategy;
+
+pub use embed::{DescriptionEmbedder, VisualEmbedder};
+pub use strategy::{retrieve_top_k, RetrievalStrategy, Retriever};

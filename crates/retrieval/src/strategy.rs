@@ -1,0 +1,210 @@
+//! Retrieval strategies over a training pool (§IV-F).
+
+use facs::au::AuSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinynn::tensor::cosine_similarity;
+use videosynth::video::VideoSample;
+
+use crate::embed::{DescriptionEmbedder, VisualEmbedder};
+
+/// How the in-context example is selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetrievalStrategy {
+    /// No in-context example at all.
+    None,
+    /// A uniformly random training sample.
+    Random,
+    /// Nearest neighbour under the Videoformer-style visual embedding.
+    ByVision,
+    /// Nearest neighbour under the description embedding.
+    ByDescription,
+}
+
+impl RetrievalStrategy {
+    /// Row label used in Table VII.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "w/o Example",
+            Self::Random => "Random",
+            Self::ByVision => "Retrieve-by-vision",
+            Self::ByDescription => "Retrieve-by-description",
+        }
+    }
+}
+
+/// Indices of the `k` pool entries most cosine-similar to `query`.
+pub fn retrieve_top_k(pool: &[Vec<f32>], query: &[f32], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, f32)> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, cosine_similarity(e, query)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sims").then(a.0.cmp(&b.0)));
+    scored.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+/// A retrieval index over a fixed training pool: precomputed visual and
+/// description embeddings plus the pool's descriptions (needed to build
+/// the in-context block).
+#[derive(Clone, Debug)]
+pub struct Retriever {
+    visual: VisualEmbedder,
+    desc_embedder: DescriptionEmbedder,
+    vis_embeddings: Vec<Vec<f32>>,
+    desc_embeddings: Vec<Vec<f32>>,
+    /// Descriptions of the pool samples, index-aligned.
+    pub pool_descriptions: Vec<AuSet>,
+}
+
+impl Retriever {
+    /// Build an index.  `descriptions[i]` is the (generated or annotated)
+    /// facial-action description of `pool[i]`.
+    pub fn build(pool: &[VideoSample], descriptions: &[AuSet], seed: u64) -> Self {
+        assert_eq!(pool.len(), descriptions.len(), "one description per pool sample");
+        assert!(!pool.is_empty(), "empty retrieval pool");
+        let visual = VisualEmbedder::new(48, seed);
+        let desc_embedder = DescriptionEmbedder::fit(descriptions);
+        let vis_embeddings = pool.iter().map(|v| visual.embed(v)).collect();
+        let desc_embeddings = descriptions.iter().map(|&d| desc_embedder.embed(d)).collect();
+        Retriever {
+            visual,
+            desc_embedder,
+            vis_embeddings,
+            desc_embeddings,
+            pool_descriptions: descriptions.to_vec(),
+        }
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.vis_embeddings.len()
+    }
+
+    /// Whether the pool is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.vis_embeddings.is_empty()
+    }
+
+    /// Select the in-context example index for a query video.
+    /// `query_description` is required for [`RetrievalStrategy::ByDescription`]
+    /// (the model's own generated description of the query, §IV-F: "after
+    /// the model generating facial action descriptions for a testing
+    /// sample").  Returns `None` for [`RetrievalStrategy::None`].
+    pub fn select(
+        &self,
+        strategy: RetrievalStrategy,
+        query: &VideoSample,
+        query_description: AuSet,
+        seed: u64,
+    ) -> Option<usize> {
+        match strategy {
+            RetrievalStrategy::None => None,
+            RetrievalStrategy::Random => {
+                let mut rng = StdRng::seed_from_u64(seed ^ query.id as u64);
+                Some(rng.random_range(0..self.len()))
+            }
+            RetrievalStrategy::ByVision => {
+                let q = self.visual.embed(query);
+                retrieve_top_k(&self.vis_embeddings, &q, 1).first().copied()
+            }
+            RetrievalStrategy::ByDescription => {
+                let q = self.desc_embedder.embed(query_description);
+                retrieve_top_k(&self.desc_embeddings, &q, 1).first().copied()
+            }
+        }
+    }
+
+    /// All visual similarities of a query against the pool (for Fig. 7a).
+    pub fn visual_similarities(&self, query: &VideoSample) -> Vec<f32> {
+        let q = self.visual.embed(query);
+        self.vis_embeddings
+            .iter()
+            .map(|e| cosine_similarity(e, &q))
+            .collect()
+    }
+
+    /// All description similarities of a query (for Fig. 7b).
+    pub fn description_similarities(&self, query_description: AuSet) -> Vec<f32> {
+        let q = self.desc_embedder.embed(query_description);
+        self.desc_embeddings
+            .iter()
+            .map(|e| cosine_similarity(e, &q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+    fn setup() -> (Dataset, Retriever) {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 21);
+        let descs: Vec<AuSet> = ds.samples.iter().map(|v| v.apex_aus()).collect();
+        let r = Retriever::build(&ds.samples, &descs, 5);
+        (ds, r)
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let pool = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]];
+        let got = retrieve_top_k(&pool, &[1.0, 0.1], 2);
+        assert_eq!(got[0], 0);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn by_description_retrieves_identical_description() {
+        let (ds, r) = setup();
+        // Query with the exact description of pool item 3 → item 3 (or an
+        // identical-description item) must come back.
+        let target = ds.samples[3].apex_aus();
+        if target.is_empty() {
+            return;
+        }
+        let idx = r
+            .select(RetrievalStrategy::ByDescription, &ds.samples[3], target, 0)
+            .unwrap();
+        assert_eq!(r.pool_descriptions[idx], target);
+    }
+
+    #[test]
+    fn none_strategy_returns_none() {
+        let (ds, r) = setup();
+        assert!(r
+            .select(RetrievalStrategy::None, &ds.samples[0], AuSet::EMPTY, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_query() {
+        let (ds, r) = setup();
+        let a = r.select(RetrievalStrategy::Random, &ds.samples[1], AuSet::EMPTY, 9);
+        let b = r.select(RetrievalStrategy::Random, &ds.samples[1], AuSet::EMPTY, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn by_vision_self_retrieval() {
+        // Querying with a pool member retrieves itself (max self-similarity).
+        let (ds, r) = setup();
+        let idx = r
+            .select(RetrievalStrategy::ByVision, &ds.samples[2], AuSet::EMPTY, 0)
+            .unwrap();
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn similarity_vectors_have_pool_length() {
+        let (ds, r) = setup();
+        assert_eq!(r.visual_similarities(&ds.samples[0]).len(), ds.len());
+        assert_eq!(r.description_similarities(AuSet::FULL).len(), ds.len());
+    }
+
+    #[test]
+    fn labels_match_table_vii() {
+        assert_eq!(RetrievalStrategy::None.label(), "w/o Example");
+        assert_eq!(RetrievalStrategy::ByDescription.label(), "Retrieve-by-description");
+    }
+}

@@ -1,0 +1,1230 @@
+//! Reverse-mode automatic differentiation on an append-only tape.
+//!
+//! A [`Graph`] owns a vector of nodes; every op appends a node whose parents
+//! have strictly smaller indices, so [`Graph::backward`] is a single reverse
+//! sweep.  Values are computed eagerly on construction; gradients are
+//! allocated lazily during the backward pass.
+
+use std::rc::Rc;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+#[allow(dead_code)] // unused fields are kept for Debug output fidelity
+enum Op {
+    Leaf,
+    Param(ParamId),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[r, c] + [c]`, bias broadcast over rows.
+    AddBias(Var, Var),
+    /// `[r, k] × [k, c]`.
+    Matmul(Var, Var),
+    /// `A × Bᵀ` for `A: [r, k]`, `B: [c, k]`.
+    MatmulTB(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Gelu(Var),
+    LogSigmoid(Var),
+    /// Row-wise softmax with an optional additive mask (same shape).
+    Softmax(Var, Option<Rc<Vec<f32>>>),
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+        /// Per-row `(mean, rstd)` cached at forward time.
+        cache: Vec<(f32, f32)>,
+    },
+    /// Row-gather from an embedding matrix: `weight: [V, d]` → `[L, d]`.
+    Embedding { weight: Var, indices: Rc<Vec<usize>> },
+    ConcatRows(Var, Var),
+    ConcatCols(Vec<Var>),
+    /// Shape reinterpretation (identity on data).
+    Reshape(Var),
+    SliceRows { x: Var, start: usize, len: usize },
+    SliceCols { x: Var, start: usize, len: usize },
+    Sum(Var),
+    Mean(Var),
+    /// Mean over rows: `[r, c]` → `[1, c]`.
+    RowMean(Var),
+    /// Per-row `log softmax(logits)[target]`: `[L, V]` → `[L, 1]`.
+    LogSoftmaxGather {
+        logits: Var,
+        targets: Rc<Vec<usize>>,
+        /// Row-wise softmax cached at forward time (`L × V`).
+        cache: Vec<f32>,
+    },
+    /// Valid (no padding) 2-D convolution, `x: [Cin, H, W]`,
+    /// `w: [Cout, Cin, kh, kw]`, `b: [Cout]`.
+    Conv2d { x: Var, w: Var, b: Var, stride: usize },
+    /// Non-overlapping `k × k` max pooling with cached argmax indices.
+    MaxPool2d { x: Var, k: usize, argmax: Vec<usize> },
+    /// Non-overlapping `k × k` average pooling.
+    AvgPool2d { x: Var, k: usize },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Vec<f32>>,
+}
+
+/// An autodiff tape.  Build ops with the methods below, then call
+/// [`Graph::backward`] on a scalar output.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value from {op:?}");
+        self.nodes.push(Node { op, value, grad: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node after [`Graph::backward`] (zeros if the node
+    /// did not influence the loss).
+    pub fn grad(&self, v: Var) -> Vec<f32> {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => vec![0.0; self.nodes[v.0].value.len()],
+        }
+    }
+
+    // ----- leaves ---------------------------------------------------------
+
+    /// Insert a constant (non-trainable) leaf.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// Insert a trainable leaf bound to a [`ParamStore`] slot; its gradient
+    /// is routed to the store by [`Graph::accumulate_grads`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    // ----- elementwise ----------------------------------------------------
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape, vb.shape, "add shape mismatch");
+        let data = va.data.iter().zip(&vb.data).map(|(x, y)| x + y).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Add(a, b), Tensor::from_vec(data, shape))
+    }
+
+    /// Elementwise difference (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape, vb.shape, "sub shape mismatch");
+        let data = va.data.iter().zip(&vb.data).map(|(x, y)| x - y).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Sub(a, b), Tensor::from_vec(data, shape))
+    }
+
+    /// Elementwise (Hadamard) product (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape, vb.shape, "mul shape mismatch");
+        let data = va.data.iter().zip(&vb.data).map(|(x, y)| x * y).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Mul(a, b), Tensor::from_vec(data, shape))
+    }
+
+    /// `[r, c] + [c]` with the bias broadcast over rows.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[bias.0].value);
+        let (r, c) = (va.rows(), va.cols());
+        assert_eq!(vb.len(), c, "bias length must equal column count");
+        let mut data = va.data.clone();
+        for row in 0..r {
+            for col in 0..c {
+                data[row * c + col] += vb.data[col];
+            }
+        }
+        self.push(Op::AddBias(a, bias), Tensor::from_vec(data, vec![r, c]))
+    }
+
+    /// Multiply every element by a constant.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|x| x * k).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Scale(a, k), Tensor::from_vec(data, shape))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|x| x.max(0.0)).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Relu(a), Tensor::from_vec(data, shape))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|x| x.tanh()).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Tanh(a), Tensor::from_vec(data, shape))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|x| stable_sigmoid(*x)).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Sigmoid(a), Tensor::from_vec(data, shape))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|&x| gelu_fwd(x)).collect();
+        let shape = va.shape.clone();
+        self.push(Op::Gelu(a), Tensor::from_vec(data, shape))
+    }
+
+    /// Numerically stable `log σ(x)`.
+    pub fn log_sigmoid(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|&x| log_sigmoid_fwd(x)).collect();
+        let shape = va.shape.clone();
+        self.push(Op::LogSigmoid(a), Tensor::from_vec(data, shape))
+    }
+
+    // ----- linear algebra --------------------------------------------------
+
+    /// Matrix product `[r, k] × [k, c]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let (r, k) = (va.rows(), va.cols());
+        let (k2, c) = (vb.rows(), vb.cols());
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let value = matmul_raw(&va.data, &vb.data, r, k, c);
+        self.push(Op::Matmul(a, b), Tensor::from_vec(value, vec![r, c]))
+    }
+
+    /// Matrix product with transposed right operand: `A × Bᵀ` for
+    /// `A: [r, k]`, `B: [c, k]`.
+    pub fn matmul_tb(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let (r, k) = (va.rows(), va.cols());
+        let (c, k2) = (vb.rows(), vb.cols());
+        assert_eq!(k, k2, "matmul_tb inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            let ar = &va.data[i * k..(i + 1) * k];
+            for j in 0..c {
+                let br = &vb.data[j * k..(j + 1) * k];
+                out[i * c + j] = dot(ar, br);
+            }
+        }
+        self.push(Op::MatmulTB(a, b), Tensor::from_vec(out, vec![r, c]))
+    }
+
+    // ----- normalisation & softmax ------------------------------------------
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        self.softmax_impl(a, None)
+    }
+
+    /// Row-wise softmax with an additive mask (use `-1e9` for disallowed
+    /// positions, `0.0` elsewhere).  Mask shape must equal input shape.
+    pub fn masked_softmax(&mut self, a: Var, mask: Rc<Vec<f32>>) -> Var {
+        assert_eq!(mask.len(), self.nodes[a.0].value.len(), "mask length mismatch");
+        self.softmax_impl(a, Some(mask))
+    }
+
+    fn softmax_impl(&mut self, a: Var, mask: Option<Rc<Vec<f32>>>) -> Var {
+        let va = &self.nodes[a.0].value;
+        let (r, c) = (va.rows(), va.cols());
+        let mut data = vec![0.0f32; r * c];
+        for row in 0..r {
+            let xs = &va.data[row * c..(row + 1) * c];
+            let ms = mask.as_deref().map(|m| &m[row * c..(row + 1) * c]);
+            let mut maxv = f32::NEG_INFINITY;
+            for i in 0..c {
+                let x = xs[i] + ms.map_or(0.0, |m| m[i]);
+                maxv = maxv.max(x);
+            }
+            let mut sum = 0.0;
+            for i in 0..c {
+                let x = xs[i] + ms.map_or(0.0, |m| m[i]);
+                let e = (x - maxv).exp();
+                data[row * c + i] = e;
+                sum += e;
+            }
+            for i in 0..c {
+                data[row * c + i] /= sum;
+            }
+        }
+        self.push(Op::Softmax(a, mask), Tensor::from_vec(data, vec![r, c]))
+    }
+
+    /// Layer normalisation over the last dimension with affine parameters
+    /// `gamma, beta: [c]`.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let vx = &self.nodes[x.0].value;
+        let (r, c) = (vx.rows(), vx.cols());
+        assert_eq!(self.nodes[gamma.0].value.len(), c, "gamma length");
+        assert_eq!(self.nodes[beta.0].value.len(), c, "beta length");
+        let g = self.nodes[gamma.0].value.data.clone();
+        let b = self.nodes[beta.0].value.data.clone();
+        let mut data = vec![0.0f32; r * c];
+        let mut cache = Vec::with_capacity(r);
+        for row in 0..r {
+            let xs = &vx.data[row * c..(row + 1) * c];
+            let mean = xs.iter().sum::<f32>() / c as f32;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / c as f32;
+            let rstd = 1.0 / (var + eps).sqrt();
+            cache.push((mean, rstd));
+            for i in 0..c {
+                let xhat = (xs[i] - mean) * rstd;
+                data[row * c + i] = g[i] * xhat + b[i];
+            }
+        }
+        self.push(
+            Op::LayerNorm { x, gamma, beta, eps, cache },
+            Tensor::from_vec(data, vec![r, c]),
+        )
+    }
+
+    // ----- shape ops --------------------------------------------------------
+
+    /// Gather rows of an embedding matrix: `weight: [V, d]`, `indices: [L]`
+    /// → `[L, d]`.
+    pub fn embedding(&mut self, weight: Var, indices: Rc<Vec<usize>>) -> Var {
+        let vw = &self.nodes[weight.0].value;
+        let (v, d) = (vw.rows(), vw.cols());
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &idx in indices.iter() {
+            assert!(idx < v, "embedding index {idx} out of range {v}");
+            data.extend_from_slice(&vw.data[idx * d..(idx + 1) * d]);
+        }
+        let l = indices.len();
+        self.push(Op::Embedding { weight, indices }, Tensor::from_vec(data, vec![l, d]))
+    }
+
+    /// Stack `a` on top of `b` (same column count).
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.cols(), vb.cols(), "concat_rows column mismatch");
+        let mut data = Vec::with_capacity(va.len() + vb.len());
+        data.extend_from_slice(&va.data);
+        data.extend_from_slice(&vb.data);
+        let shape = vec![va.rows() + vb.rows(), va.cols()];
+        self.push(Op::ConcatRows(a, b), Tensor::from_vec(data, shape))
+    }
+
+    /// Concatenate column blocks (same row count).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let r = self.nodes[parts[0].0].value.rows();
+        let total_c: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut data = vec![0.0f32; r * total_c];
+        let mut off = 0;
+        for p in parts {
+            let vp = &self.nodes[p.0].value;
+            assert_eq!(vp.rows(), r, "concat_cols row mismatch");
+            let c = vp.cols();
+            for row in 0..r {
+                data[row * total_c + off..row * total_c + off + c]
+                    .copy_from_slice(&vp.data[row * c..(row + 1) * c]);
+            }
+            off += c;
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), Tensor::from_vec(data, vec![r, total_c]))
+    }
+
+    /// Reinterpret the shape (row-major data unchanged); element count must
+    /// match.  Gradients pass through unchanged.
+    pub fn reshape(&mut self, x: Var, shape: Vec<usize>) -> Var {
+        let vx = &self.nodes[x.0].value;
+        let n: usize = shape.iter().product();
+        assert_eq!(vx.len(), n, "reshape {:?} to {shape:?}", vx.shape);
+        let value = Tensor::from_vec(vx.data.clone(), shape);
+        self.push(Op::Reshape(x), value)
+    }
+
+    /// Rows `start .. start + len`.
+    pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let vx = &self.nodes[x.0].value;
+        let c = vx.cols();
+        assert!(start + len <= vx.rows(), "slice_rows out of range");
+        let data = vx.data[start * c..(start + len) * c].to_vec();
+        self.push(Op::SliceRows { x, start, len }, Tensor::from_vec(data, vec![len, c]))
+    }
+
+    /// Columns `start .. start + len`.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let vx = &self.nodes[x.0].value;
+        let (r, c) = (vx.rows(), vx.cols());
+        assert!(start + len <= c, "slice_cols out of range");
+        let mut data = Vec::with_capacity(r * len);
+        for row in 0..r {
+            data.extend_from_slice(&vx.data[row * c + start..row * c + start + len]);
+        }
+        self.push(Op::SliceCols { x, start, len }, Tensor::from_vec(data, vec![r, len]))
+    }
+
+    // ----- reductions -------------------------------------------------------
+
+    /// Sum of all elements → scalar.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.data.iter().sum();
+        self.push(Op::Sum(a), Tensor::scalar(s))
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let s = v.data.iter().sum::<f32>() / v.len() as f32;
+        self.push(Op::Mean(a), Tensor::scalar(s))
+    }
+
+    /// Mean over rows: `[r, c]` → `[1, c]`.
+    pub fn row_mean(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let (r, c) = (v.rows(), v.cols());
+        let mut out = vec![0.0f32; c];
+        for row in 0..r {
+            for (col, o) in out.iter_mut().enumerate() {
+                *o += v.data[row * c + col];
+            }
+        }
+        out.iter_mut().for_each(|x| *x /= r as f32);
+        self.push(Op::RowMean(a), Tensor::from_vec(out, vec![1, c]))
+    }
+
+    /// Per-row log-probability of a target class:
+    /// `log softmax(logits)[row, targets[row]]` → `[L, 1]`.
+    ///
+    /// This is the sequence-log-prob primitive used for both cross-entropy
+    /// training (negate and average) and the DPO log-ratio terms.
+    pub fn log_softmax_gather(&mut self, logits: Var, targets: Rc<Vec<usize>>) -> Var {
+        let vl = &self.nodes[logits.0].value;
+        let (l, v) = (vl.rows(), vl.cols());
+        assert_eq!(targets.len(), l, "one target per row required");
+        let mut cache = vec![0.0f32; l * v];
+        let mut out = Vec::with_capacity(l);
+        for row in 0..l {
+            let xs = &vl.data[row * v..(row + 1) * v];
+            let maxv = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0;
+            for i in 0..v {
+                let e = (xs[i] - maxv).exp();
+                cache[row * v + i] = e;
+                sum += e;
+            }
+            for i in 0..v {
+                cache[row * v + i] /= sum;
+            }
+            let t = targets[row];
+            assert!(t < v, "target {t} out of vocab {v}");
+            out.push(xs[t] - maxv - sum.ln());
+        }
+        self.push(
+            Op::LogSoftmaxGather { logits, targets, cache },
+            Tensor::from_vec(out, vec![l, 1]),
+        )
+    }
+
+    // ----- convolution -------------------------------------------------------
+
+    /// Valid 2-D convolution: `x: [Cin, H, W]`, `w: [Cout, Cin, kh, kw]`,
+    /// `b: [Cout]`, stride `s` → `[Cout, OH, OW]`.
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize) -> Var {
+        assert!(stride >= 1);
+        let vx = &self.nodes[x.0].value;
+        let vw = &self.nodes[w.0].value;
+        let vb = &self.nodes[b.0].value;
+        let (cin, h, wid) = dims3(&vx.shape);
+        let (cout, cin2, kh, kw) = dims4(&vw.shape);
+        assert_eq!(cin, cin2, "conv2d channel mismatch");
+        assert_eq!(vb.len(), cout, "conv2d bias length");
+        assert!(h >= kh && wid >= kw, "kernel larger than input");
+        let oh = (h - kh) / stride + 1;
+        let ow = (wid - kw) / stride + 1;
+        let mut out = vec![0.0f32; cout * oh * ow];
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = vb.data[co];
+                    for ci in 0..cin {
+                        for ky in 0..kh {
+                            let iy = oy * stride + ky;
+                            let xrow = ci * h * wid + iy * wid + ox * stride;
+                            let wrow = ((co * cin + ci) * kh + ky) * kw;
+                            acc += dot(&vx.data[xrow..xrow + kw], &vw.data[wrow..wrow + kw]);
+                        }
+                    }
+                    out[(co * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        self.push(
+            Op::Conv2d { x, w, b, stride },
+            Tensor::from_vec(out, vec![cout, oh, ow]),
+        )
+    }
+
+    /// Non-overlapping `k × k` max pooling over each channel (trailing rows
+    /// and columns that do not fill a window are dropped).
+    pub fn max_pool2d(&mut self, x: Var, k: usize) -> Var {
+        let vx = &self.nodes[x.0].value;
+        let (c, h, w) = dims3(&vx.shape);
+        let (oh, ow) = (h / k, w / k);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+        let mut argmax = vec![0usize; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oidx = (ch * oh + oy) * ow + ox;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * k + ky;
+                            let ix = ox * k + kx;
+                            let iidx = ch * h * w + iy * w + ix;
+                            if vx.data[iidx] > out[oidx] {
+                                out[oidx] = vx.data[iidx];
+                                argmax[oidx] = iidx;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.push(Op::MaxPool2d { x, k, argmax }, Tensor::from_vec(out, vec![c, oh, ow]))
+    }
+
+    /// Non-overlapping `k × k` average pooling over each channel.
+    pub fn avg_pool2d(&mut self, x: Var, k: usize) -> Var {
+        let vx = &self.nodes[x.0].value;
+        let (c, h, w) = dims3(&vx.shape);
+        let (oh, ow) = (h / k, w / k);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = vec![0.0f32; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += vx.data[ch * h * w + (oy * k + ky) * w + ox * k + kx];
+                        }
+                    }
+                    out[(ch * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+        self.push(Op::AvgPool2d { x, k }, Tensor::from_vec(out, vec![c, oh, ow]))
+    }
+
+    // ----- backward ----------------------------------------------------------
+
+    /// Run the reverse sweep from a scalar `loss` node.
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward needs a scalar loss");
+        // Seed.
+        self.ensure_grad(loss);
+        self.nodes[loss.0].grad.as_mut().unwrap()[0] = 1.0;
+
+        for i in (0..self.nodes.len()).rev() {
+            let gout = match &self.nodes[i].grad {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            // Take op temporarily to appease the borrow checker.
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+            self.backprop_node(i, &op, &gout);
+            self.nodes[i].op = op;
+        }
+    }
+
+    fn ensure_grad(&mut self, v: Var) -> &mut Vec<f32> {
+        let n = self.nodes[v.0].value.len();
+        self.nodes[v.0].grad.get_or_insert_with(|| vec![0.0; n])
+    }
+
+    fn add_grad(&mut self, v: Var, delta: &[f32]) {
+        let g = self.ensure_grad(v);
+        debug_assert_eq!(g.len(), delta.len());
+        for (gi, di) in g.iter_mut().zip(delta) {
+            *gi += di;
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&mut self, i: usize, op: &Op, gout: &[f32]) {
+        match op {
+            Op::Leaf | Op::Param(_) => {}
+            Op::Add(a, b) => {
+                self.add_grad(*a, gout);
+                self.add_grad(*b, gout);
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(*a, gout);
+                let neg: Vec<f32> = gout.iter().map(|g| -g).collect();
+                self.add_grad(*b, &neg);
+            }
+            Op::Mul(a, b) => {
+                let da: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[b.0].value.data)
+                    .map(|(g, y)| g * y)
+                    .collect();
+                let db: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[a.0].value.data)
+                    .map(|(g, x)| g * x)
+                    .collect();
+                self.add_grad(*a, &da);
+                self.add_grad(*b, &db);
+            }
+            Op::AddBias(a, bias) => {
+                self.add_grad(*a, gout);
+                let c = self.nodes[bias.0].value.len();
+                let r = gout.len() / c;
+                let mut db = vec![0.0f32; c];
+                for row in 0..r {
+                    for col in 0..c {
+                        db[col] += gout[row * c + col];
+                    }
+                }
+                self.add_grad(*bias, &db);
+            }
+            Op::Matmul(a, b) => {
+                let (r, k) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+                let c = self.nodes[b.0].value.cols();
+                // dA = dC × Bᵀ
+                let mut da = vec![0.0f32; r * k];
+                let bd = &self.nodes[b.0].value.data;
+                for row in 0..r {
+                    for kk in 0..k {
+                        // dA[row, kk] = Σ_c dC[row, c] · B[kk, c]  (row kk of B).
+                        da[row * k + kk] =
+                            dot(&gout[row * c..(row + 1) * c], &bd[kk * c..(kk + 1) * c]);
+                    }
+                }
+                // dB = Aᵀ × dC
+                let ad = &self.nodes[a.0].value.data;
+                let mut db = vec![0.0f32; k * c];
+                for row in 0..r {
+                    for kk in 0..k {
+                        let aik = ad[row * k + kk];
+                        if aik != 0.0 {
+                            for cc in 0..c {
+                                db[kk * c + cc] += aik * gout[row * c + cc];
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*a, &da);
+                self.add_grad(*b, &db);
+            }
+            Op::MatmulTB(a, b) => {
+                // C = A Bᵀ, A: [r, k], B: [c, k], C: [r, c].
+                let (r, k) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+                let c = self.nodes[b.0].value.rows();
+                let bd = &self.nodes[b.0].value.data;
+                let ad = &self.nodes[a.0].value.data;
+                // dA = dC × B
+                let da = matmul_raw(gout, bd, r, c, k);
+                // dB = dCᵀ × A
+                let mut db = vec![0.0f32; c * k];
+                for row in 0..r {
+                    for cc in 0..c {
+                        let g = gout[row * c + cc];
+                        if g != 0.0 {
+                            for kk in 0..k {
+                                db[cc * k + kk] += g * ad[row * k + kk];
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*a, &da);
+                self.add_grad(*b, &db);
+            }
+            Op::Scale(a, kf) => {
+                let da: Vec<f32> = gout.iter().map(|g| g * kf).collect();
+                self.add_grad(*a, &da);
+            }
+            Op::Relu(a) => {
+                let da: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[a.0].value.data)
+                    .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                    .collect();
+                self.add_grad(*a, &da);
+            }
+            Op::Tanh(a) => {
+                let da: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[i].value.data)
+                    .map(|(g, y)| g * (1.0 - y * y))
+                    .collect();
+                self.add_grad(*a, &da);
+            }
+            Op::Sigmoid(a) => {
+                let da: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[i].value.data)
+                    .map(|(g, y)| g * y * (1.0 - y))
+                    .collect();
+                self.add_grad(*a, &da);
+            }
+            Op::Gelu(a) => {
+                let da: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[a.0].value.data)
+                    .map(|(g, x)| g * gelu_bwd(*x))
+                    .collect();
+                self.add_grad(*a, &da);
+            }
+            Op::LogSigmoid(a) => {
+                // d/dx log σ(x) = σ(-x) = 1 - σ(x).
+                let da: Vec<f32> = gout
+                    .iter()
+                    .zip(&self.nodes[a.0].value.data)
+                    .map(|(g, x)| g * stable_sigmoid(-x))
+                    .collect();
+                self.add_grad(*a, &da);
+            }
+            Op::Softmax(a, _) => {
+                let y = &self.nodes[i].value;
+                let (r, c) = (y.rows(), y.cols());
+                let mut da = vec![0.0f32; r * c];
+                for row in 0..r {
+                    let yr = &y.data[row * c..(row + 1) * c];
+                    let gr = &gout[row * c..(row + 1) * c];
+                    let dotp = dot(yr, gr);
+                    for col in 0..c {
+                        da[row * c + col] = yr[col] * (gr[col] - dotp);
+                    }
+                }
+                self.add_grad(*a, &da);
+            }
+            Op::LayerNorm { x, gamma, beta, cache, .. } => {
+                let vx = self.nodes[x.0].value.clone();
+                let (r, c) = (vx.rows(), vx.cols());
+                let g = self.nodes[gamma.0].value.data.clone();
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut dx = vec![0.0f32; r * c];
+                for row in 0..r {
+                    let (mean, rstd) = cache[row];
+                    let xs = &vx.data[row * c..(row + 1) * c];
+                    let gr = &gout[row * c..(row + 1) * c];
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    let mut xhat = vec![0.0f32; c];
+                    let mut dxhat = vec![0.0f32; c];
+                    for col in 0..c {
+                        xhat[col] = (xs[col] - mean) * rstd;
+                        dxhat[col] = gr[col] * g[col];
+                        dgamma[col] += gr[col] * xhat[col];
+                        dbeta[col] += gr[col];
+                        sum_dxhat += dxhat[col];
+                        sum_dxhat_xhat += dxhat[col] * xhat[col];
+                    }
+                    let inv_c = 1.0 / c as f32;
+                    for col in 0..c {
+                        dx[row * c + col] = rstd
+                            * (dxhat[col] - inv_c * sum_dxhat - xhat[col] * inv_c * sum_dxhat_xhat);
+                    }
+                }
+                self.add_grad(*x, &dx);
+                self.add_grad(*gamma, &dgamma);
+                self.add_grad(*beta, &dbeta);
+            }
+            Op::Embedding { weight, indices } => {
+                let d = self.nodes[weight.0].value.cols();
+                let v = self.nodes[weight.0].value.rows();
+                let mut dw = vec![0.0f32; v * d];
+                for (l, &idx) in indices.iter().enumerate() {
+                    for col in 0..d {
+                        dw[idx * d + col] += gout[l * d + col];
+                    }
+                }
+                self.add_grad(*weight, &dw);
+            }
+            Op::ConcatRows(a, b) => {
+                let na = self.nodes[a.0].value.len();
+                self.add_grad(*a, &gout[..na]);
+                self.add_grad(*b, &gout[na..]);
+            }
+            Op::Reshape(a) => {
+                self.add_grad(*a, gout);
+            }
+            Op::ConcatCols(parts) => {
+                let r = self.nodes[i].value.rows();
+                let total_c = self.nodes[i].value.cols();
+                let mut off = 0;
+                for p in parts {
+                    let c = self.nodes[p.0].value.cols();
+                    let mut dp = vec![0.0f32; r * c];
+                    for row in 0..r {
+                        dp[row * c..(row + 1) * c]
+                            .copy_from_slice(&gout[row * total_c + off..row * total_c + off + c]);
+                    }
+                    self.add_grad(*p, &dp);
+                    off += c;
+                }
+            }
+            Op::SliceRows { x, start, len } => {
+                let c = self.nodes[x.0].value.cols();
+                let n = self.nodes[x.0].value.len();
+                let mut dx = vec![0.0f32; n];
+                dx[start * c..(start + len) * c].copy_from_slice(gout);
+                self.add_grad(*x, &dx);
+            }
+            Op::SliceCols { x, start, len } => {
+                let (r, c) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+                let mut dx = vec![0.0f32; r * c];
+                for row in 0..r {
+                    dx[row * c + start..row * c + start + len]
+                        .copy_from_slice(&gout[row * len..(row + 1) * len]);
+                }
+                self.add_grad(*x, &dx);
+            }
+            Op::Sum(a) => {
+                let n = self.nodes[a.0].value.len();
+                let da = vec![gout[0]; n];
+                self.add_grad(*a, &da);
+            }
+            Op::Mean(a) => {
+                let n = self.nodes[a.0].value.len();
+                let da = vec![gout[0] / n as f32; n];
+                self.add_grad(*a, &da);
+            }
+            Op::RowMean(a) => {
+                let (r, c) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+                let inv = 1.0 / r as f32;
+                let mut da = vec![0.0f32; r * c];
+                for row in 0..r {
+                    for col in 0..c {
+                        da[row * c + col] = gout[col] * inv;
+                    }
+                }
+                self.add_grad(*a, &da);
+            }
+            Op::LogSoftmaxGather { logits, targets, cache } => {
+                let v = self.nodes[logits.0].value.cols();
+                let l = targets.len();
+                let mut dl = vec![0.0f32; l * v];
+                for row in 0..l {
+                    let g = gout[row];
+                    if g != 0.0 {
+                        for col in 0..v {
+                            dl[row * v + col] = -g * cache[row * v + col];
+                        }
+                        dl[row * v + targets[row]] += g;
+                    }
+                }
+                self.add_grad(*logits, &dl);
+            }
+            Op::Conv2d { x, w, b, stride } => {
+                let (cin, h, wid) = dims3(&self.nodes[x.0].value.shape);
+                let (cout, _, kh, kw) = dims4(&self.nodes[w.0].value.shape);
+                let (_, oh, ow) = dims3(&self.nodes[i].value.shape);
+                let xd = self.nodes[x.0].value.data.clone();
+                let wd = self.nodes[w.0].value.data.clone();
+                let mut dx = vec![0.0f32; xd.len()];
+                let mut dw = vec![0.0f32; wd.len()];
+                let mut db = vec![0.0f32; cout];
+                for co in 0..cout {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gout[(co * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            db[co] += g;
+                            for ci in 0..cin {
+                                for ky in 0..kh {
+                                    let iy = oy * stride + ky;
+                                    for kx in 0..kw {
+                                        let ix = ox * stride + kx;
+                                        let xi = ci * h * wid + iy * wid + ix;
+                                        let wi = ((co * cin + ci) * kh + ky) * kw + kx;
+                                        dx[xi] += g * wd[wi];
+                                        dw[wi] += g * xd[xi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*x, &dx);
+                self.add_grad(*w, &dw);
+                self.add_grad(*b, &db);
+            }
+            Op::MaxPool2d { x, argmax, .. } => {
+                let n = self.nodes[x.0].value.len();
+                let mut dx = vec![0.0f32; n];
+                for (o, &src) in argmax.iter().enumerate() {
+                    dx[src] += gout[o];
+                }
+                self.add_grad(*x, &dx);
+            }
+            Op::AvgPool2d { x, k } => {
+                let (c, h, w) = dims3(&self.nodes[x.0].value.shape);
+                let (oh, ow) = (h / k, w / k);
+                let inv = 1.0 / (k * k) as f32;
+                let mut dx = vec![0.0f32; c * h * w];
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gout[(ch * oh + oy) * ow + ox] * inv;
+                            for ky in 0..*k {
+                                for kx in 0..*k {
+                                    dx[ch * h * w + (oy * k + ky) * w + ox * k + kx] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*x, &dx);
+            }
+        }
+    }
+
+    /// Route the gradients of every `param` leaf into the store's
+    /// accumulated gradients.
+    pub fn accumulate_grads(&self, store: &mut ParamStore) {
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
+                let dst = store.grad_mut(*id);
+                for (d, s) in dst.iter_mut().zip(g) {
+                    *d += s;
+                }
+            }
+        }
+    }
+}
+
+// ----- free helpers -----------------------------------------------------
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+fn matmul_raw(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik != 0.0 {
+                let brow = &b[kk * c..(kk + 1) * c];
+                let orow = &mut out[i * c..(i + 1) * c];
+                for cc in 0..c {
+                    orow[cc] += aik * brow[cc];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dims3(shape: &[usize]) -> (usize, usize, usize) {
+    assert_eq!(shape.len(), 3, "expected 3-D tensor, got {shape:?}");
+    (shape[0], shape[1], shape[2])
+}
+
+fn dims4(shape: &[usize]) -> (usize, usize, usize, usize) {
+    assert_eq!(shape.len(), 4, "expected 4-D tensor, got {shape:?}");
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
+#[inline]
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[inline]
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+#[inline]
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[inline]
+fn log_sigmoid_fwd(x: f32) -> f32 {
+    // log σ(x) = -softplus(-x), computed stably.
+    if x >= 0.0 {
+        -((-x).exp().ln_1p())
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: Vec<f32>, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data, vec![r, c])
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(vec![1.0, 2.0, 3.0, 4.0], 2, 2));
+        let b = g.leaf(t2(vec![5.0, 6.0, 7.0, 8.0], 2, 2));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_tb_matches_matmul_with_manual_transpose() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3));
+        let b = g.leaf(t2(vec![1.0, 0.0, 2.0, 0.0, 1.0, 1.0], 2, 3)); // B: [2,3]
+        let c = g.matmul_tb(a, b); // A Bᵀ: [2,2]
+        assert_eq!(g.value(c).data, vec![7.0, 5.0, 16.0, 11.0]);
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(A·B); dA = 1·Bᵀ broadcast, check against manual result.
+        let mut g = Graph::new();
+        let a = g.leaf(t2(vec![1.0, 2.0], 1, 2));
+        let b = g.leaf(t2(vec![3.0, 4.0], 2, 1));
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a), vec![3.0, 4.0]);
+        assert_eq!(g.grad(b), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], 2, 3));
+        let s = g.softmax(x);
+        for row in 0..2 {
+            let sum: f32 = g.value(s).row(row).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_positions() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(vec![1.0, 2.0, 3.0], 1, 3));
+        let mask = Rc::new(vec![0.0, -1e9, 0.0]);
+        let s = g.masked_softmax(x, mask);
+        let v = g.value(s);
+        assert!(v.data[1] < 1e-6);
+        assert!((v.data[0] + v.data[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_gather_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t2(vec![1.0, 2.0, 0.5, 0.0], 2, 2));
+        let lp = g.log_softmax_gather(logits, Rc::new(vec![1, 0]));
+        let v = g.value(lp);
+        let expect0 = 2.0 - ((1.0f32).exp() + (2.0f32).exp()).ln();
+        let expect1 = 0.5 - ((0.5f32).exp() + (0.0f32).exp()).ln();
+        assert!((v.data[0] - expect0).abs() < 1e-5);
+        assert!((v.data[1] - expect1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t2(vec![0.0, 0.0, 0.0], 1, 3));
+        let lp = g.log_softmax_gather(logits, Rc::new(vec![2]));
+        let s = g.sum(lp);
+        let loss = g.scale(s, -1.0);
+        g.backward(loss);
+        let dl = g.grad(logits);
+        assert!((dl[0] - 1.0 / 3.0).abs() < 1e-5);
+        assert!((dl[1] - 1.0 / 3.0).abs() < 1e-5);
+        assert!((dl[2] - (1.0 / 3.0 - 1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let mut g = Graph::new();
+        let w = g.leaf(t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2));
+        let e = g.embedding(w, Rc::new(vec![2, 0, 2]));
+        assert_eq!(g.value(e).data, vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = g.sum(e);
+        g.backward(s);
+        // Row 2 gathered twice → grad 2, row 0 once → 1, row 1 never → 0.
+        assert_eq!(g.grad(w), vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(vec![1.0, 2.0], 1, 2));
+        let b = g.leaf(t2(vec![3.0, 4.0], 1, 2));
+        let cat = g.concat_rows(a, b);
+        let back = g.slice_rows(cat, 1, 1);
+        assert_eq!(g.value(back).data, vec![3.0, 4.0]);
+        let catc = g.concat_cols(&[a, b]);
+        assert_eq!(g.value(catc).data, vec![1.0, 2.0, 3.0, 4.0]);
+        let col = g.slice_cols(catc, 1, 2);
+        assert_eq!(g.value(col).data, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec((1..=9).map(|i| i as f32).collect(), vec![1, 3, 3]));
+        let w = g.leaf(Tensor::from_vec(vec![1.0], vec![1, 1, 1, 1]));
+        let b = g.leaf(Tensor::from_vec(vec![0.5], vec![1]));
+        let y = g.conv2d(x, w, b, 1);
+        assert_eq!(g.value(y).shape, vec![1, 3, 3]);
+        assert_eq!(g.value(y).data[0], 1.5);
+        assert_eq!(g.value(y).data[8], 9.5);
+    }
+
+    #[test]
+    fn conv2d_sum_kernel_and_stride() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0; 16], vec![1, 4, 4]));
+        let w = g.leaf(Tensor::from_vec(vec![1.0; 4], vec![1, 1, 2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![0.0], vec![1]));
+        let y = g.conv2d(x, w, b, 2);
+        assert_eq!(g.value(y).shape, vec![1, 2, 2]);
+        assert_eq!(g.value(y).data, vec![4.0; 4]);
+    }
+
+    #[test]
+    fn max_pool_selects_max_and_routes_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], vec![1, 2, 2]));
+        let y = g.max_pool2d(x, 2);
+        assert_eq!(g.value(y).data, vec![5.0]);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x), vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_values_and_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![1, 2, 2]));
+        let y = g.avg_pool2d(x, 2);
+        assert_eq!(g.value(y).data, vec![2.5]);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalised() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(vec![1.0, 2.0, 3.0, 4.0], 1, 4));
+        let gamma = g.leaf(Tensor::from_vec(vec![1.0; 4], vec![4]));
+        let beta = g.leaf(Tensor::from_vec(vec![0.0; 4], vec![4]));
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        let v = g.value(y);
+        let mean: f32 = v.data.iter().sum::<f32>() / 4.0;
+        let var: f32 = v.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn param_grads_accumulate_into_store() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", t2(vec![1.0, 2.0], 1, 2));
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let s = g.sum(wv);
+        g.backward(s);
+        g.accumulate_grads(&mut store);
+        assert_eq!(store.grad(w), &[1.0, 1.0]);
+        // A second pass accumulates on top.
+        let mut g2 = Graph::new();
+        let wv2 = g2.param(&store, w);
+        let s2 = g2.sum(wv2);
+        g2.backward(s2);
+        g2.accumulate_grads(&mut store);
+        assert_eq!(store.grad(w), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn log_sigmoid_is_stable_at_extremes() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-100.0, 0.0, 100.0], vec![3]));
+        let y = g.log_sigmoid(x);
+        let v = g.value(y);
+        assert!((v.data[0] + 100.0).abs() < 1e-3);
+        assert!((v.data[1] - (0.5f32).ln()).abs() < 1e-5);
+        assert!(v.data[2].abs() < 1e-3);
+        assert!(v.all_finite());
+    }
+
+    #[test]
+    fn row_mean_values_and_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(vec![1.0, 2.0, 3.0, 4.0], 2, 2));
+        let m = g.row_mean(x);
+        assert_eq!(g.value(m).data, vec![2.0, 3.0]);
+        let s = g.sum(m);
+        g.backward(s);
+        assert_eq!(g.grad(x), vec![0.5; 4]);
+    }
+}

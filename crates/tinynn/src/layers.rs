@@ -1,0 +1,475 @@
+//! Composable neural-network layers.
+//!
+//! Layers are plain data: they register their parameters in a [`ParamStore`]
+//! at construction and replay the forward computation into a fresh [`Graph`]
+//! per pass.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore};
+
+/// Fully connected layer `y = xW + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input feature count.
+    pub in_dim: usize,
+    /// Output feature count.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Register a `in_dim × out_dim` layer with Xavier init.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        let b = store.add_zeros(format!("{name}.b"), vec![out_dim]);
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Apply to `x: [n, in_dim]` → `[n, out_dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let h = g.matmul(x, w);
+        g.add_bias(h, b)
+    }
+}
+
+/// Multi-layer perceptron with a fixed activation between hidden layers.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+/// Pointwise nonlinearity selector for [`Mlp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    Gelu,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, …, out]`; at least one transition required.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least [in, out]");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Apply; the activation is used between layers but not after the last.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, store, x);
+            if i != last {
+                x = match self.activation {
+                    Activation::Relu => g.relu(x),
+                    Activation::Tanh => g.tanh(x),
+                    Activation::Gelu => g.gelu(x),
+                };
+            }
+        }
+        x
+    }
+
+    /// Output dimension of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+}
+
+/// Token-embedding table.
+#[derive(Clone, Debug)]
+pub struct EmbeddingTable {
+    weight: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl EmbeddingTable {
+    /// Register a `vocab × dim` table with small-normal init.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add_xavier(name, vocab, dim, rng);
+        EmbeddingTable { weight: w, vocab, dim }
+    }
+
+    /// Gather `[indices.len(), dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, indices: &[usize]) -> Var {
+        let w = g.param(store, self.weight);
+        g.embedding(w, Rc::new(indices.to_vec()))
+    }
+
+    /// The raw weight parameter (used for weight tying with the LM head).
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+}
+
+/// Layer normalisation with learned affine parameters.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Register for feature width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add_ones(format!("{name}.gamma"), vec![dim]);
+        let beta = store.add_zeros(format!("{name}.beta"), vec![dim]);
+        LayerNorm { gamma, beta, eps: 1e-5 }
+    }
+
+    /// Apply to `x: [n, dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        g.layer_norm(x, gamma, beta, self.eps)
+    }
+}
+
+/// Multi-head self-attention over a `[L, d]` sequence.
+#[derive(Clone, Debug)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    /// Number of attention heads (`d` must divide evenly).
+    pub heads: usize,
+    /// Model width.
+    pub dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Register projections for width `dim` split over `heads` heads.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(heads >= 1 && dim.is_multiple_of(heads), "dim {dim} must divide into {heads} heads");
+        MultiHeadSelfAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Apply; when `causal` is set each position only attends to itself and
+    /// earlier positions.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var, causal: bool) -> Var {
+        let l = g.value(x).rows();
+        let dh = self.dim / self.heads;
+        let q = self.wq.forward(g, store, x);
+        let k = self.wk.forward(g, store, x);
+        let v = self.wv.forward(g, store, x);
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mask = causal.then(|| {
+            let mut m = vec![0.0f32; l * l];
+            for i in 0..l {
+                for j in (i + 1)..l {
+                    m[i * l + j] = -1e9;
+                }
+            }
+            Rc::new(m)
+        });
+
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = g.slice_cols(q, h * dh, dh);
+            let kh = g.slice_cols(k, h * dh, dh);
+            let vh = g.slice_cols(v, h * dh, dh);
+            let scores = g.matmul_tb(qh, kh);
+            let scores = g.scale(scores, scale);
+            let attn = match &mask {
+                Some(m) => g.masked_softmax(scores, Rc::clone(m)),
+                None => g.softmax(scores),
+            };
+            head_outs.push(g.matmul(attn, vh));
+        }
+        let cat = g.concat_cols(&head_outs);
+        self.wo.forward(g, store, cat)
+    }
+}
+
+/// Pre-norm transformer block: `x + Attn(LN(x))`, then `x + FF(LN(x))`.
+#[derive(Clone, Debug)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadSelfAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl TransformerBlock {
+    /// Register a block of width `dim`, `heads` heads and feed-forward width
+    /// `ff_dim`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            ff1: Linear::new(store, &format!("{name}.ff1"), dim, ff_dim, rng),
+            ff2: Linear::new(store, &format!("{name}.ff2"), ff_dim, dim, rng),
+        }
+    }
+
+    /// Apply to `x: [L, dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var, causal: bool) -> Var {
+        let n1 = self.ln1.forward(g, store, x);
+        let a = self.attn.forward(g, store, n1, causal);
+        let x = g.add(x, a);
+        let n2 = self.ln2.forward(g, store, x);
+        let h = self.ff1.forward(g, store, n2);
+        let h = g.gelu(h);
+        let h = self.ff2.forward(g, store, h);
+        g.add(x, h)
+    }
+}
+
+/// 2-D convolution layer with bias (valid padding).
+#[derive(Clone, Debug)]
+pub struct Conv2dLayer {
+    w: ParamId,
+    b: ParamId,
+    /// Stride in both directions.
+    pub stride: usize,
+}
+
+impl Conv2dLayer {
+    /// Register a `[out_ch, in_ch, k, k]` kernel.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_ch * k * k;
+        let std = (2.0 / fan_in as f32).sqrt();
+        let data = (0..out_ch * in_ch * k * k)
+            .map(|_| crate::rngutil::normal(rng) * std)
+            .collect();
+        let w = store.add(
+            format!("{name}.w"),
+            crate::tensor::Tensor::from_vec(data, vec![out_ch, in_ch, k, k]),
+        );
+        let b = store.add_zeros(format!("{name}.b"), vec![out_ch]);
+        Conv2dLayer { w, b, stride }
+    }
+
+    /// Apply to `x: [in_ch, H, W]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        g.conv2d(x, w, b, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(vec![2, 3]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape, vec![2, 5]);
+    }
+
+    #[test]
+    fn mlp_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 6, 2], Activation::Tanh, &mut rng);
+        check_param_gradients(
+            &mut store,
+            |g, s| {
+                let x = g.leaf(Tensor::from_vec(vec![0.5, -0.2, 0.9], vec![1, 3]));
+                let y = mlp.forward(g, s, x);
+                let sq = g.mul(y, y);
+                g.sum(sq)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn attention_output_shape_and_grad() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec((0..32).map(|i| (i as f32) * 0.05).collect(), vec![4, 8]));
+        let y = attn.forward(&mut g, &store, x, true);
+        assert_eq!(g.value(y).shape, vec![4, 8]);
+        let loss = g.mean(y);
+        g.backward(loss);
+        g.accumulate_grads(&mut store);
+        assert!(store.grad_norm() > 0.0, "gradients must flow through attention");
+    }
+
+    #[test]
+    fn causal_attention_ignores_the_future() {
+        // Changing a later token must not change an earlier position's output.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 4, 1, &mut rng);
+
+        let run = |last: f32, store: &ParamStore| -> Vec<f32> {
+            let mut g = Graph::new();
+            let mut data = vec![0.1f32; 12];
+            data.extend_from_slice(&[last; 4]);
+            let x = g.leaf(Tensor::from_vec(data, vec![4, 4]));
+            let y = attn.forward(&mut g, store, x, true);
+            g.value(y).row(0).to_vec()
+        };
+        let a = run(0.0, &store);
+        let b = run(9.0, &store);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "causal leak: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn attention_gradcheck_small() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 4, 2, &mut rng);
+        check_param_gradients(
+            &mut store,
+            |g, s| {
+                let x = g.leaf(Tensor::from_vec(
+                    vec![0.3, -0.1, 0.5, 0.2, -0.4, 0.6, 0.0, 0.1],
+                    vec![2, 4],
+                ));
+                let y = attn.forward(g, s, x, true);
+                let sq = g.mul(y, y);
+                g.sum(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn transformer_block_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, "b", 4, 2, 8, &mut rng);
+        check_param_gradients(
+            &mut store,
+            |g, s| {
+                let x = g.leaf(Tensor::from_vec(
+                    vec![0.3, -0.1, 0.5, 0.2, -0.4, 0.6, 0.0, 0.1],
+                    vec![2, 4],
+                ));
+                let y = block.forward(g, s, x, true);
+                let sq = g.mul(y, y);
+                g.sum(sq)
+            },
+            1e-2,
+            5e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn conv_layer_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let conv = Conv2dLayer::new(&mut store, "c", 1, 2, 2, 1, &mut rng);
+        check_param_gradients(
+            &mut store,
+            |g, s| {
+                let x = g.leaf(Tensor::from_vec(
+                    vec![0.1, 0.4, -0.2, 0.8, 0.5, -0.6, 0.3, 0.0, 0.9],
+                    vec![1, 3, 3],
+                ));
+                let y = conv.forward(g, s, x);
+                let sq = g.mul(y, y);
+                g.sum(sq)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn embedding_table_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let emb = EmbeddingTable::new(&mut store, "e", 5, 3, &mut rng);
+        check_param_gradients(
+            &mut store,
+            |g, s| {
+                let e = emb.forward(g, s, &[1, 4, 1]);
+                let sq = g.mul(e, e);
+                g.sum(sq)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! `tinynn` — a from-scratch reverse-mode automatic-differentiation engine
+//! and neural-network toolkit.
+//!
+//! The paper fine-tunes a vision-language foundation model with instruction
+//! tuning (cross-entropy) and Direct Preference Optimization; its baselines
+//! span MLPs, linear SVMs, CNNs, attention modules and masked autoencoders.
+//! All of that runs on this crate: a tape/arena [`Graph`] of tensor ops with
+//! exact gradients, a [`ParamStore`] for trainable parameters, composable
+//! [`layers`], [`optim`]izers and [`loss`] functions.
+//!
+//! Design: every forward pass builds a fresh [`Graph`]; trainable leaves are
+//! bound to slots of a long-lived [`ParamStore`]; [`Graph::backward`]
+//! accumulates gradients into the store; an optimizer consumes them.  This
+//! keeps layers plain data (parameter ids + hyper-parameters) and makes
+//! gradient checking trivial ([`gradcheck`]).
+//!
+//! ```
+//! use tinynn::{Graph, ParamStore, Tensor};
+//! use tinynn::optim::{Optimizer, Sgd};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::from_vec(vec![0.0], vec![1, 1]));
+//! let mut opt = Sgd::new(0.1, 0.0);
+//! for _ in 0..100 {
+//!     let mut g = Graph::new();
+//!     let wv = g.param(&store, w);
+//!     let x = g.leaf(Tensor::from_vec(vec![2.0], vec![1, 1]));
+//!     let y = g.matmul(x, wv);                 // y = 2w
+//!     let t = g.leaf(Tensor::from_vec(vec![6.0], vec![1, 1]));
+//!     let d = g.sub(y, t);
+//!     let d2 = g.mul(d, d);
+//!     let loss = g.mean(d2);                   // (2w - 6)^2
+//!     g.backward(loss);
+//!     g.accumulate_grads(&mut store);
+//!     opt.step(&mut store);
+//!     store.zero_grads();
+//! }
+//! assert!((store.value(w).data[0] - 3.0).abs() < 1e-3);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod params;
+pub mod rngutil;
+pub mod serialize;
+pub mod tensor;
+
+pub use graph::{Graph, Var};
+pub use params::{ParamId, ParamStore};
+pub use tensor::Tensor;

@@ -1,0 +1,219 @@
+//! Loss functions built from [`Graph`] ops.
+
+use std::rc::Rc;
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Mean cross-entropy of `logits: [L, V]` against one target class per row.
+pub fn cross_entropy(g: &mut Graph, logits: Var, targets: &[usize]) -> Var {
+    let lp = g.log_softmax_gather(logits, Rc::new(targets.to_vec()));
+    let m = g.mean(lp);
+    g.scale(m, -1.0)
+}
+
+/// Cross-entropy where each row carries a weight (e.g. 0 for prompt tokens,
+/// 1 for answer tokens in instruction tuning).  Normalised by the total
+/// weight; panics if all weights are zero.
+pub fn weighted_cross_entropy(
+    g: &mut Graph,
+    logits: Var,
+    targets: &[usize],
+    weights: &[f32],
+) -> Var {
+    assert_eq!(targets.len(), weights.len(), "one weight per target");
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_cross_entropy needs positive total weight");
+    let lp = g.log_softmax_gather(logits, Rc::new(targets.to_vec()));
+    let w = g.leaf(Tensor::from_vec(weights.to_vec(), vec![weights.len(), 1]));
+    let wl = g.mul(lp, w);
+    let s = g.sum(wl);
+    g.scale(s, -1.0 / total)
+}
+
+/// Binary cross-entropy with logits: `targets` in `{0, 1}` (soft labels
+/// allowed), `logits` any shape.
+pub fn bce_with_logits(g: &mut Graph, logits: Var, targets: &[f32]) -> Var {
+    let n = g.value(logits).len();
+    assert_eq!(targets.len(), n, "one target per logit");
+    let shape = g.value(logits).shape.clone();
+    // loss = -[y·logσ(z) + (1−y)·logσ(−z)]
+    let y = g.leaf(Tensor::from_vec(targets.to_vec(), shape.clone()));
+    let ones = g.leaf(Tensor::from_vec(vec![1.0; n], shape));
+    let ls_pos = g.log_sigmoid(logits);
+    let neg = g.scale(logits, -1.0);
+    let ls_neg = g.log_sigmoid(neg);
+    let one_minus_y = g.sub(ones, y);
+    let a = g.mul(y, ls_pos);
+    let b = g.mul(one_minus_y, ls_neg);
+    let s = g.add(a, b);
+    let m = g.mean(s);
+    g.scale(m, -1.0)
+}
+
+/// Mean hinge loss `max(0, 1 − y·s)` for labels in `{−1, +1}` — the linear
+/// SVM objective of the Gao et al. baseline.
+pub fn hinge(g: &mut Graph, scores: Var, labels: &[f32]) -> Var {
+    let n = g.value(scores).len();
+    assert_eq!(labels.len(), n, "one label per score");
+    assert!(
+        labels.iter().all(|&y| y == 1.0 || y == -1.0),
+        "hinge labels must be ±1"
+    );
+    let shape = g.value(scores).shape.clone();
+    let y = g.leaf(Tensor::from_vec(labels.to_vec(), shape.clone()));
+    let ys = g.mul(y, scores);
+    let ones = g.leaf(Tensor::from_vec(vec![1.0; n], shape));
+    let margin = g.sub(ones, ys);
+    let r = g.relu(margin);
+    g.mean(r)
+}
+
+/// Mean squared error between two same-shape tensors.
+pub fn mse(g: &mut Graph, pred: Var, target: Var) -> Var {
+    let d = g.sub(pred, target);
+    let d2 = g.mul(d, d);
+    g.mean(d2)
+}
+
+/// The Direct Preference Optimization loss (Rafailov et al. 2023), Eq. 3/5
+/// of the paper:
+///
+/// `−log σ(β · [(logpθ(y_w|x) − logp_ref(y_w|x)) − (logpθ(y_l|x) − logp_ref(y_l|x))])`
+///
+/// `logp_w`/`logp_l` are scalar nodes from the *policy* graph; the frozen
+/// reference log-probs enter as constants.
+pub fn dpo_loss(
+    g: &mut Graph,
+    logp_w: Var,
+    logp_l: Var,
+    ref_logp_w: f32,
+    ref_logp_l: f32,
+    beta: f32,
+) -> Var {
+    assert!(beta > 0.0, "DPO beta must be positive");
+    let refs = g.leaf(Tensor::scalar(ref_logp_w - ref_logp_l));
+    let diff = g.sub(logp_w, logp_l);
+    let centered = g.sub(diff, refs);
+    let scaled = g.scale(centered, beta);
+    let ls = g.log_sigmoid(scaled);
+    g.scale(ls, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, shape: Vec<usize>) -> Tensor {
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t(vec![0.0; 6], vec![2, 3]));
+        let loss = cross_entropy(&mut g, logits, &[0, 2]);
+        assert!((g.value(loss).item() - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t(vec![10.0, 0.0, 0.0], vec![1, 3]));
+        let loss = cross_entropy(&mut g, logits, &[0]);
+        assert!(g.value(loss).item() < 1e-3);
+    }
+
+    #[test]
+    fn weighted_cross_entropy_ignores_zero_weight_rows() {
+        let mut g = Graph::new();
+        // Row 0 is hopeless but weighted 0; row 1 is confident and correct.
+        let logits = g.leaf(t(vec![-10.0, 10.0, 10.0, -10.0], vec![2, 2]));
+        let loss = weighted_cross_entropy(&mut g, logits, &[0, 0], &[0.0, 1.0]);
+        assert!(g.value(loss).item() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn weighted_cross_entropy_rejects_all_zero() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t(vec![0.0, 0.0], vec![1, 2]));
+        let _ = weighted_cross_entropy(&mut g, logits, &[0], &[0.0]);
+    }
+
+    #[test]
+    fn bce_matches_manual_value() {
+        let mut g = Graph::new();
+        let z = g.leaf(t(vec![0.0], vec![1]));
+        let loss = bce_with_logits(&mut g, z, &[1.0]);
+        assert!((g.value(loss).item() - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_direction() {
+        let mut g = Graph::new();
+        let z = g.leaf(t(vec![0.0], vec![1]));
+        let loss = bce_with_logits(&mut g, z, &[1.0]);
+        g.backward(loss);
+        // Should push the logit up for a positive target.
+        assert!(g.grad(z)[0] < 0.0);
+    }
+
+    #[test]
+    fn hinge_zero_beyond_margin() {
+        let mut g = Graph::new();
+        let s = g.leaf(t(vec![2.0, -3.0], vec![2]));
+        let loss = hinge(&mut g, s, &[1.0, -1.0]);
+        assert_eq!(g.value(loss).item(), 0.0);
+    }
+
+    #[test]
+    fn hinge_penalises_violations() {
+        let mut g = Graph::new();
+        let s = g.leaf(t(vec![0.0], vec![1]));
+        let loss = hinge(&mut g, s, &[1.0]);
+        assert!((g.value(loss).item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let mut g = Graph::new();
+        let p = g.leaf(t(vec![1.0, 2.0], vec![2]));
+        let y = g.leaf(t(vec![0.0, 0.0], vec![2]));
+        let loss = mse(&mut g, p, y);
+        assert!((g.value(loss).item() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dpo_is_log2_at_equal_margins() {
+        let mut g = Graph::new();
+        let lw = g.leaf(Tensor::scalar(-1.0));
+        let ll = g.leaf(Tensor::scalar(-1.0));
+        let loss = dpo_loss(&mut g, lw, ll, -1.0, -1.0, 0.1);
+        assert!((g.value(loss).item() - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dpo_decreases_as_winner_gains_probability() {
+        let mut vals = Vec::new();
+        for lw_val in [-2.0f32, -1.0, -0.5] {
+            let mut g = Graph::new();
+            let lw = g.leaf(Tensor::scalar(lw_val));
+            let ll = g.leaf(Tensor::scalar(-1.0));
+            let loss = dpo_loss(&mut g, lw, ll, -1.0, -1.0, 1.0);
+            vals.push(g.value(loss).item());
+        }
+        assert!(vals[0] > vals[1] && vals[1] > vals[2], "{vals:?}");
+    }
+
+    #[test]
+    fn dpo_gradient_pushes_winner_up_loser_down() {
+        let mut g = Graph::new();
+        let lw = g.leaf(Tensor::scalar(-1.0));
+        let ll = g.leaf(Tensor::scalar(-1.0));
+        let loss = dpo_loss(&mut g, lw, ll, -1.0, -1.0, 0.5);
+        g.backward(loss);
+        assert!(g.grad(lw)[0] < 0.0, "winner log-prob should increase");
+        assert!(g.grad(ll)[0] > 0.0, "loser log-prob should decrease");
+    }
+}

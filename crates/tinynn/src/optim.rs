@@ -1,0 +1,202 @@
+//! First-order optimizers operating on a [`ParamStore`].
+
+use crate::params::ParamStore;
+
+/// A gradient-descent optimizer.  `step` consumes the store's accumulated
+/// gradients; callers are responsible for `store.zero_grads()` afterwards.
+pub trait Optimizer {
+    /// Apply one update from the accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Override the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// `momentum = 0` gives plain SGD.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.velocity.len() != store.len() {
+            self.velocity = store
+                .ids()
+                .map(|id| vec![0.0; store.value(id).len()])
+                .collect();
+        }
+        for (i, id) in store.ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let grad = store.grad(id).to_vec();
+            let vel = &mut self.velocity[i];
+            let value = store.value_mut(id);
+            for k in 0..value.len() {
+                vel[k] = self.momentum * vel[k] + grad[k];
+                value.data[k] -= self.lr * vel[k];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction and decoupled weight decay
+/// (AdamW-style; pass `weight_decay = 0` for plain Adam).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store.ids().map(|id| vec![0.0; store.value(id).len()]).collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in store.ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let grad = store.grad(id).to_vec();
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            let value = store.value_mut(id);
+            for k in 0..value.len() {
+                m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * grad[k];
+                v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * grad[k] * grad[k];
+                let mhat = m[k] / bc1;
+                let vhat = v[k] / bc2;
+                value.data[k] -=
+                    self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * value.data[k]);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+
+    /// Minimise (w - 3)² with the given optimizer; return final w.
+    fn minimise<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(-2.0));
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let t = g.leaf(Tensor::scalar(3.0));
+            let d = g.sub(wv, t);
+            let d2 = g.mul(d, d);
+            let loss = g.sum(d2);
+            g.backward(loss);
+            g.accumulate_grads(&mut store);
+            opt.step(&mut store);
+            store.zero_grads();
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = minimise(&mut Sgd::new(0.1, 0.0), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = minimise(&mut Sgd::new(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = minimise(&mut Adam::new(0.2), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_weight_decay_shrinks_unused_params() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        let mut opt = Adam::with_config(0.01, 0.9, 0.999, 1e-8, 0.5);
+        // No gradient signal at all: decay alone should shrink w.
+        for _ in 0..100 {
+            opt.step(&mut store);
+        }
+        assert!(store.value(w).item() < 0.8);
+    }
+
+    #[test]
+    fn set_learning_rate_round_trips() {
+        let mut s = Sgd::new(0.1, 0.0);
+        s.set_learning_rate(0.01);
+        assert_eq!(s.learning_rate(), 0.01);
+        let mut a = Adam::new(0.1);
+        a.set_learning_rate(0.02);
+        assert_eq!(a.learning_rate(), 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn sgd_rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Trainable-parameter storage shared across forward passes.
+
+use rand::Rng;
+
+use crate::rngutil::normal;
+use crate::tensor::Tensor;
+
+/// Handle to one parameter slot in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw slot index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    name: String,
+    value: Tensor,
+    grad: Vec<f32>,
+}
+
+/// A flat store of named, trainable tensors with accumulated gradients.
+///
+/// Layers keep [`ParamId`]s; graphs bind them as leaves via
+/// [`crate::Graph::param`]; `Graph::accumulate_grads` adds the pass's
+/// gradients here; optimizers then update `value` from `grad`.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with an initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = vec![0.0; value.len()];
+        self.slots.push(Slot { name: name.into(), value, grad });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Register a `[rows, cols]` matrix with Xavier/Glorot-normal init.
+    pub fn add_xavier<R: Rng>(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+    ) -> ParamId {
+        let std = (2.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| normal(rng) * std).collect();
+        self.add(name, Tensor::from_vec(data, vec![rows, cols]))
+    }
+
+    /// Register an all-zero tensor (typical for biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, shape: Vec<usize>) -> ParamId {
+        self.add(name, Tensor::zeros(shape))
+    }
+
+    /// Register an all-one tensor (typical for LayerNorm gains).
+    pub fn add_ones(&mut self, name: impl Into<String>, shape: Vec<usize>) -> ParamId {
+        let n: usize = shape.iter().product();
+        self.add(name, Tensor::from_vec(vec![1.0; n], shape))
+    }
+
+    /// Number of parameters slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// The value tensor of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable value tensor (used by optimizers and deserialization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].value
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.slots[id.0].grad
+    }
+
+    /// Mutable accumulated gradient.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut [f32] {
+        &mut self.slots[id.0].grad
+    }
+
+    /// Name given at registration.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Iterate over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Reset every gradient to zero.  Call after each optimizer step.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            s.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .flat_map(|s| s.grad.iter())
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for s in &mut self.slots {
+                s.grad.iter_mut().for_each(|g| *g *= scale);
+            }
+        }
+    }
+
+    /// Deep copy of all parameter *values* (used to freeze a DPO reference
+    /// model).  Gradients in the copy are zeroed.
+    pub fn snapshot(&self) -> ParamStore {
+        let slots = self
+            .slots
+            .iter()
+            .map(|s| Slot {
+                name: s.name.clone(),
+                value: s.value.clone(),
+                grad: vec![0.0; s.value.len()],
+            })
+            .collect();
+        ParamStore { slots }
+    }
+
+    /// Copy values from `other` (must have identical structure).
+    pub fn load_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.slots.len(), other.slots.len(), "store structure mismatch");
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            assert_eq!(a.value.shape, b.value.shape, "shape mismatch on {}", a.name);
+            a.value.data.copy_from_slice(&b.value.data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::from_vec(vec![1.0, 2.0], vec![2]));
+        assert_eq!(s.name(id), "w");
+        assert_eq!(s.value(id).data, vec![1.0, 2.0]);
+        assert_eq!(s.grad(id), &[0.0, 0.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_scalars(), 2);
+    }
+
+    #[test]
+    fn xavier_scale_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = ParamStore::new();
+        let id = s.add_xavier("w", 64, 64, &mut rng);
+        let std_expect = (2.0 / 128.0f32).sqrt();
+        let v = s.value(id);
+        let mean: f32 = v.data.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - std_expect).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_and_clip_grads() {
+        let mut s = ParamStore::new();
+        let id = s.add_zeros("b", vec![3]);
+        s.grad_mut(id).copy_from_slice(&[3.0, 0.0, 4.0]);
+        assert!((s.grad_norm() - 5.0).abs() < 1e-6);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+        s.zero_grads();
+        assert_eq!(s.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::scalar(1.0));
+        let snap = s.snapshot();
+        s.value_mut(id).data[0] = 9.0;
+        assert_eq!(snap.value(id).data[0], 1.0);
+        let mut s2 = s.clone();
+        s2.load_values_from(&snap);
+        assert_eq!(s2.value(id).data[0], 1.0);
+    }
+
+    #[test]
+    fn ones_init() {
+        let mut s = ParamStore::new();
+        let id = s.add_ones("g", vec![4]);
+        assert_eq!(s.value(id).data, vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Small random-sampling helpers on top of `rand`.
+//!
+//! `rand_distr` is deliberately not a dependency; the two distributions the
+//! workspace needs (standard normal, Gumbel for sampling without replacement)
+//! are implemented here.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    mean + std * normal(rng)
+}
+
+/// Standard Gumbel(0, 1) sample: `-ln(-ln(U))`.
+pub fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u: f32 = rng.random::<f32>().clamp(1e-10, 1.0 - 1e-7);
+    -(-u.ln()).ln()
+}
+
+/// Sample an index from unnormalised log-weights (softmax sampling) using
+/// the Gumbel-max trick.  Temperature 0 or below degrades to argmax.
+pub fn sample_logits<R: Rng + ?Sized>(rng: &mut R, logits: &[f32], temperature: f32) -> usize {
+    assert!(!logits.is_empty());
+    if temperature <= 0.0 {
+        return crate::tensor::argmax(logits);
+    }
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &l) in logits.iter().enumerate() {
+        let v = l / temperature + gumbel(rng);
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn normal_with_shifts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f32 = (0..n).map(|_| normal_with(&mut rng, 3.0, 0.5)).sum::<f32>() / n as f32;
+        assert!((mean - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_logits_zero_temperature_is_argmax() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = [0.1, 5.0, -2.0];
+        for _ in 0..10 {
+            assert_eq!(sample_logits(&mut rng, &logits, 0.0), 1);
+        }
+    }
+
+    #[test]
+    fn sample_logits_matches_softmax_frequencies() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let logits = [0.0f32, 1.0];
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| sample_logits(&mut rng, &logits, 1.0) == 1)
+            .count();
+        let p1 = ones as f32 / n as f32;
+        let expect = 1.0 / (1.0 + (-1.0f32).exp());
+        assert!((p1 - expect).abs() < 0.02, "p1 {p1} expect {expect}");
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let logits = [0.0f32, 1.0];
+        let n = 5_000;
+        let ones = (0..n)
+            .filter(|_| sample_logits(&mut rng, &logits, 0.2) == 1)
+            .count();
+        assert!(ones as f32 / n as f32 > 0.95);
+    }
+
+    #[test]
+    fn gumbel_is_finite() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(gumbel(&mut rng).is_finite());
+        }
+    }
+}

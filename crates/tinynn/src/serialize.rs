@@ -1,0 +1,106 @@
+//! Minimal binary (de)serialization of a [`ParamStore`].
+//!
+//! Format (little-endian):
+//! `magic "TNN1"` · `u32 slot count` · per slot: `u32 name len` · name bytes ·
+//! `u32 ndim` · dims as `u32` · data as `f32`.
+
+use std::io::{self, Read, Write};
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"TNN1";
+
+/// Write all parameter values (not gradients) to `w`.
+pub fn save_params<W: Write>(store: &ParamStore, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let value = store.value(id);
+        w.write_all(&(value.shape.len() as u32).to_le_bytes())?;
+        for &d in &value.shape {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &x in &value.data {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a parameter store previously written by [`save_params`].
+pub fn load_params<R: Read>(r: &mut R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let count = read_u32(r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let ndim = read_u32(r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(r)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        store.add(name, Tensor::from_vec(data, shape));
+    }
+    Ok(store)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut store = ParamStore::new();
+        store.add("w1", Tensor::from_vec(vec![1.5, -2.25, 0.0], vec![3]));
+        store.add("conv.w", Tensor::from_vec(vec![0.1; 8], vec![2, 1, 2, 2]));
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let loaded = load_params(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (a, b) in store.ids().zip(loaded.ids()) {
+            assert_eq!(store.name(a), loaded.name(b));
+            assert_eq!(store.value(a), loaded.value(b));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"XXXX\0\0\0\0".to_vec();
+        assert!(load_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![1.0; 10], vec![10]));
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Dense row-major `f32` tensor.
+
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Most of the workspace uses 2-D tensors `[rows, cols]`; convolutional code
+/// uses 3-D `[channels, height, width]`.  Scalars are `[1]`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    /// Flat row-major data, `len == shape.iter().product()`.
+    pub data: Vec<f32>,
+    /// Dimension sizes.
+    pub shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Build from flat data and a shape.  Panics if the element count does
+    /// not match the shape.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { data, shape }
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![0.0; n], shape }
+    }
+
+    /// Scalar tensor (shape `[1]`).
+    pub fn scalar(v: f32) -> Self {
+        Tensor { data: vec![v], shape: vec![1] }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows of a 2-D tensor.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() requires a 2-D tensor, got {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() requires a 2-D tensor, got {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Element `(r, c)` of a 2-D tensor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element `(r, c)` of a 2-D tensor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Borrow row `r` of a 2-D tensor as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// The single value of a scalar tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() requires a 1-element tensor, got {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reshape in place (element count must be preserved).
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(self.len(), n, "cannot reshape {:?} to {:?}", self.shape, shape);
+        self.shape = shape;
+        self
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Whether every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, … ({} elems), {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.len(),
+                self.data[self.len() - 1]
+            )
+        }
+    }
+}
+
+/// Argmax index of a slice (first maximum wins).  Panics on empty input.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Cosine similarity of two equal-length vectors; 0 when either is zero.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.at(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![2, 2]);
+    }
+
+    #[test]
+    fn scalar_and_item() {
+        let s = Tensor::scalar(7.5);
+        assert_eq!(s.item(), 7.5);
+        assert_eq!(s.shape, vec![1]);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![4]).reshape(vec![2, 2]);
+        assert_eq!(t.at(0, 1), 2.0);
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_vec(vec![3.0, -4.0], vec![2]);
+        assert_eq!(t.max_abs(), 4.0);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+        assert!(t.all_finite());
+        let bad = Tensor::from_vec(vec![f32::NAN], vec![1]);
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_degenerate() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the autodiff engine.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use tinynn::{Graph, ParamStore, Tensor};
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax rows are valid probability distributions for any input.
+    #[test]
+    fn softmax_rows_are_distributions(data in finite_vec(12)) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data, vec![3, 4]));
+        let s = g.softmax(x);
+        let v = g.value(s);
+        for row in 0..3 {
+            let r = v.row(row);
+            prop_assert!(r.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            prop_assert!((r.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// matmul distributes over addition: (A + B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)) {
+        let mut g = Graph::new();
+        let av = g.leaf(Tensor::from_vec(a, vec![2, 3]));
+        let bv = g.leaf(Tensor::from_vec(b, vec![2, 3]));
+        let cv = g.leaf(Tensor::from_vec(c, vec![3, 2]));
+        let sum = g.add(av, bv);
+        let lhs = g.matmul(sum, cv);
+        let ac = g.matmul(av, cv);
+        let bc = g.matmul(bv, cv);
+        let rhs = g.add(ac, bc);
+        for (x, y) in g.value(lhs).data.iter().zip(&g.value(rhs).data) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// matmul_tb(A, B) equals matmul(A, Bᵀ) computed by hand.
+    #[test]
+    fn matmul_tb_consistent(a in finite_vec(6), b in finite_vec(6)) {
+        let mut g = Graph::new();
+        let av = g.leaf(Tensor::from_vec(a, vec![2, 3]));
+        let bv = g.leaf(Tensor::from_vec(b.clone(), vec![2, 3]));
+        let tb = g.matmul_tb(av, bv);
+        // Transpose b manually: [3, 2].
+        let mut bt = vec![0.0f32; 6];
+        for i in 0..2 {
+            for j in 0..3 {
+                bt[j * 2 + i] = b[i * 3 + j];
+            }
+        }
+        let btv = g.leaf(Tensor::from_vec(bt, vec![3, 2]));
+        let mm = g.matmul(av, btv);
+        for (x, y) in g.value(tb).data.iter().zip(&g.value(mm).data) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Gradient of sum(x·w) w.r.t. w is exactly x, for any x.
+    #[test]
+    fn linear_gradient_is_input(x in finite_vec(4)) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(vec![4, 1]));
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let xv = g.leaf(Tensor::from_vec(x.clone(), vec![1, 4]));
+        let y = g.matmul(xv, wv);
+        let s = g.sum(y);
+        g.backward(s);
+        g.accumulate_grads(&mut store);
+        for (gi, xi) in store.grad(w).iter().zip(&x) {
+            prop_assert!((gi - xi).abs() < 1e-5);
+        }
+    }
+
+    /// log_softmax_gather values are valid log-probabilities (≤ 0) and
+    /// exponentiate to the softmax entries.
+    #[test]
+    fn log_softmax_gather_consistent(data in finite_vec(8), t0 in 0usize..4, t1 in 0usize..4) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data, vec![2, 4]));
+        let lp = g.log_softmax_gather(x, Rc::new(vec![t0, t1]));
+        let sm = g.softmax(x);
+        let lpv = g.value(lp).data.clone();
+        let smv = g.value(sm);
+        prop_assert!(lpv.iter().all(|&l| l <= 1e-6));
+        prop_assert!((lpv[0].exp() - smv.at(0, t0)).abs() < 1e-4);
+        prop_assert!((lpv[1].exp() - smv.at(1, t1)).abs() < 1e-4);
+    }
+
+    /// Mean backward spreads the gradient uniformly.
+    #[test]
+    fn mean_gradient_uniform(data in finite_vec(6)) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data, vec![6]));
+        let m = g.mean(x);
+        g.backward(m);
+        for gi in g.grad(x) {
+            prop_assert!((gi - 1.0 / 6.0).abs() < 1e-6);
+        }
+    }
+
+    /// Slice/concat of rows are mutually inverse.
+    #[test]
+    fn slice_concat_inverse(data in finite_vec(12)) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data.clone(), vec![4, 3]));
+        let top = g.slice_rows(x, 0, 2);
+        let bottom = g.slice_rows(x, 2, 2);
+        let back = g.concat_rows(top, bottom);
+        prop_assert_eq!(&g.value(back).data, &data);
+    }
+}

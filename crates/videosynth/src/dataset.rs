@@ -1,0 +1,279 @@
+//! Dataset profiles and corpus generation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::video::{StressLabel, VideoSample};
+use crate::world::{sample_video, Subject, WorldConfig};
+
+/// How large to instantiate a corpus.
+///
+/// `Full` matches the paper's corpus sizes exactly; `Default` keeps the
+/// class ratios but shrinks counts ~5× so table binaries finish in minutes
+/// on a laptop; `Smoke` is for tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Smoke,
+    Default,
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Static description of a corpus to generate.
+#[derive(Clone, Debug)]
+pub struct DatasetProfile {
+    /// Corpus name (used in reports).
+    pub name: &'static str,
+    /// Generative parameters.
+    pub world: WorldConfig,
+    /// Total number of video samples.
+    pub num_samples: usize,
+    /// Number of distinct subjects.
+    pub num_subjects: usize,
+    /// Number of samples labelled Stressed.
+    pub num_stressed: usize,
+}
+
+impl DatasetProfile {
+    /// UVSD (Zhang et al. 2020): 2 092 videos, 112 college students,
+    /// 920 stressed / 1 172 unstressed.
+    pub fn uvsd(scale: Scale) -> Self {
+        Self::scaled("uvsd_sim", WorldConfig::uvsd_like(), 2092, 112, 920, scale)
+    }
+
+    /// RSL ("Odd Man Out" footage): 706 videos, 60 subjects,
+    /// 209 stressed / 497 unstressed.
+    pub fn rsl(scale: Scale) -> Self {
+        Self::scaled("rsl_sim", WorldConfig::rsl_like(), 706, 60, 209, scale)
+    }
+
+    /// DISFA+-like facial-expression corpus: 645 videos with 12-AU
+    /// annotations, used only for instruction tuning the Describe step.
+    pub fn disfa(scale: Scale) -> Self {
+        Self::scaled("disfa_sim", WorldConfig::disfa_like(), 645, 27, 322, scale)
+    }
+
+    fn scaled(
+        name: &'static str,
+        world: WorldConfig,
+        samples: usize,
+        subjects: usize,
+        stressed: usize,
+        scale: Scale,
+    ) -> Self {
+        let factor = match scale {
+            Scale::Full => 1.0,
+            Scale::Default => 0.2,
+            Scale::Smoke => 0.03,
+        };
+        let num_samples = ((samples as f32 * factor) as usize).max(24);
+        // Subjects shrink more slowly than samples so the per-subject clip
+        // count — the quantity that controls how well a pixel model can
+        // adapt to identities — stays in the paper's regime (≈ 6–19).
+        let num_subjects = ((subjects as f32 * factor.powf(0.55)) as usize).max(6);
+        let num_stressed = ((stressed as f32 / samples as f32) * num_samples as f32).round() as usize;
+        DatasetProfile { name, world, num_samples, num_subjects, num_stressed }
+    }
+}
+
+/// A generated corpus of video samples.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Corpus name.
+    pub name: &'static str,
+    /// All samples, ids matching their index.
+    pub samples: Vec<VideoSample>,
+    /// The profile this corpus was generated from.
+    pub profile: DatasetProfile,
+}
+
+impl Dataset {
+    /// Generate a corpus deterministically from a seed.
+    pub fn generate(profile: DatasetProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subjects: Vec<Subject> = (0..profile.num_subjects)
+            .map(|i| Subject::generate(i, profile.world.subject_idiosyncrasy, &mut rng))
+            .collect();
+
+        // Exact class counts, randomly distributed over samples.
+        let mut labels = vec![StressLabel::Unstressed; profile.num_samples];
+        labels[..profile.num_stressed].fill(StressLabel::Stressed);
+        labels.shuffle(&mut rng);
+
+        let samples = labels
+            .into_iter()
+            .enumerate()
+            .map(|(id, label)| {
+                let subject = &subjects[id % subjects.len()];
+                sample_video(&profile.world, subject, label, id, seed)
+            })
+            .collect();
+
+        Dataset { name: profile.name, samples, profile }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `(stressed, unstressed)` counts.
+    pub fn label_counts(&self) -> (usize, usize) {
+        let s = self
+            .samples
+            .iter()
+            .filter(|v| v.label == StressLabel::Stressed)
+            .count();
+        (s, self.len() - s)
+    }
+
+    /// Stratified `k`-fold split: returns `(train_indices, test_indices)`
+    /// per fold, each class split proportionally, deterministic in `seed`.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(k <= self.len(), "more folds than samples");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stressed: Vec<usize> = Vec::new();
+        let mut unstressed: Vec<usize> = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            match s.label {
+                StressLabel::Stressed => stressed.push(i),
+                StressLabel::Unstressed => unstressed.push(i),
+            }
+        }
+        stressed.shuffle(&mut rng);
+        unstressed.shuffle(&mut rng);
+
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (j, &i) in stressed.iter().enumerate() {
+            folds[j % k].push(i);
+        }
+        for (j, &i) in unstressed.iter().enumerate() {
+            folds[j % k].push(i);
+        }
+
+        (0..k)
+            .map(|f| {
+                let test = folds[f].clone();
+                let train = (0..k)
+                    .filter(|&g| g != f)
+                    .flat_map(|g| folds[g].iter().copied())
+                    .collect();
+                (train, test)
+            })
+            .collect()
+    }
+
+    /// Simple stratified train/test split with the given train fraction.
+    pub fn train_test_split(&self, train_frac: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        assert!((0.0..1.0).contains(&train_frac) && train_frac > 0.0);
+        let folds = self.k_folds(((1.0 / (1.0 - train_frac)).round() as usize).max(2), seed);
+        folds.into_iter().next().expect("at least one fold")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("big"), None);
+    }
+
+    #[test]
+    fn full_profiles_match_paper_sizes() {
+        let u = DatasetProfile::uvsd(Scale::Full);
+        assert_eq!((u.num_samples, u.num_subjects, u.num_stressed), (2092, 112, 920));
+        let r = DatasetProfile::rsl(Scale::Full);
+        assert_eq!((r.num_samples, r.num_subjects, r.num_stressed), (706, 60, 209));
+        let d = DatasetProfile::disfa(Scale::Full);
+        assert_eq!(d.num_samples, 645);
+    }
+
+    #[test]
+    fn scaled_profiles_keep_class_ratio() {
+        let full = DatasetProfile::uvsd(Scale::Full);
+        let small = DatasetProfile::uvsd(Scale::Default);
+        let rf = full.num_stressed as f32 / full.num_samples as f32;
+        let rs = small.num_stressed as f32 / small.num_samples as f32;
+        assert!((rf - rs).abs() < 0.02, "{rf} vs {rs}");
+        assert!(small.num_samples < full.num_samples);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_counts_match() {
+        let p = DatasetProfile::uvsd(Scale::Smoke);
+        let a = Dataset::generate(p.clone(), 1);
+        let b = Dataset::generate(p.clone(), 1);
+        assert_eq!(a.len(), p.num_samples);
+        assert_eq!(a.label_counts().0, p.num_stressed);
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.apex_aus(), y.apex_aus());
+        }
+        let c = Dataset::generate(p, 2);
+        let same_labels = a.samples.iter().zip(&c.samples).all(|(x, y)| x.label == y.label);
+        assert!(!same_labels, "different seeds should shuffle labels differently");
+    }
+
+    #[test]
+    fn k_folds_partition_and_stratify() {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 3);
+        let k = 5;
+        let folds = ds.k_folds(k, 7);
+        assert_eq!(folds.len(), k);
+        let mut seen = vec![0usize; ds.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), ds.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // No overlap between train and test.
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+            // Stratification: test stress ratio close to global.
+            let (gs, _) = ds.label_counts();
+            let global = gs as f32 / ds.len() as f32;
+            let ts = test
+                .iter()
+                .filter(|&&i| ds.samples[i].label == StressLabel::Stressed)
+                .count() as f32
+                / test.len() as f32;
+            assert!((ts - global).abs() < 0.25, "fold ratio {ts} vs global {global}");
+        }
+        // Every sample appears in exactly one test fold.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn train_test_split_is_disjoint_and_complete() {
+        let ds = Dataset::generate(DatasetProfile::rsl(Scale::Smoke), 4);
+        let (train, test) = ds.train_test_split(0.8, 9);
+        assert_eq!(train.len() + test.len(), ds.len());
+        for i in &test {
+            assert!(!train.contains(i));
+        }
+    }
+}

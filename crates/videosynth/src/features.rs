@@ -1,0 +1,170 @@
+//! Simulated commodity detectors and shared feature extraction.
+//!
+//! Several published baselines consume the output of off-the-shelf
+//! components we cannot run here: FDASSNN fits an Active Appearance Model
+//! to estimate AU intensities, Gao et al. track 49 facial feature points,
+//! Jeon et al. use a landmark feature network.  We simulate those detectors
+//! as *noisy observations of the generator's latent state* — the standard
+//! substitution when the upstream detector is a solved problem and only its
+//! error level matters downstream.  Pixel-level features ([`patch_features`],
+//! [`region_features`]) come straight from the rendered image.
+
+use facs::au::NUM_AUS;
+use facs::landmarks::landmark_layout;
+use facs::region::ALL_REGIONS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::rngutil::normal;
+
+use crate::image::Image;
+use crate::video::VideoSample;
+
+/// Simulated AAM-style AU intensity detector: the latent AU vector of frame
+/// `t` plus zero-mean gaussian observation noise, clamped to `[0, 1]`.
+pub fn observed_au_intensities(
+    sample: &VideoSample,
+    t: usize,
+    noise_std: f32,
+    seed: u64,
+) -> [f32; NUM_AUS] {
+    let mut rng = StdRng::seed_from_u64(seed ^ (sample.id as u64) << 17 ^ t as u64);
+    let mut out = [0.0f32; NUM_AUS];
+    let latent = sample.au_at(t);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (latent.0[i] + normal(&mut rng) * noise_std).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Simulated landmark tracker: the 49 AU-displaced landmark positions of
+/// frame `t` with gaussian jitter (pixels).
+pub fn observed_landmarks(
+    sample: &VideoSample,
+    t: usize,
+    noise_std: f32,
+    seed: u64,
+) -> Vec<(f32, f32)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (sample.id as u64) << 21 ^ t as u64);
+    let layout = landmark_layout();
+    let aus = sample.au_at(t);
+    layout
+        .iter()
+        .map(|l| {
+            let (x, y) = l.displaced(aus);
+            (x + normal(&mut rng) * noise_std, y + normal(&mut rng) * noise_std)
+        })
+        .collect()
+}
+
+/// Flatten landmarks into the `[x0, y0, x1, y1, …]` feature vector used by
+/// the landmark-based baselines, normalised to `[0, 1]`.
+pub fn landmark_feature_vector(landmarks: &[(f32, f32)]) -> Vec<f32> {
+    let s = facs::region::FACE_SIZE as f32;
+    let mut out = Vec::with_capacity(landmarks.len() * 2);
+    for &(x, y) in landmarks {
+        out.push(x / s);
+        out.push(y / s);
+    }
+    out
+}
+
+/// Mean intensity of each `patch × patch` tile, row-major — the generic
+/// pixel feature used by classical classifiers (image side must divide).
+pub fn patch_features(img: &Image, patch: usize) -> Vec<f32> {
+    assert!(patch >= 1 && img.width().is_multiple_of(patch) && img.height().is_multiple_of(patch));
+    let d = img.downsample(patch);
+    d.pixels().to_vec()
+}
+
+/// Mean intensity per facial region (6 values, bilateral regions averaged
+/// over both rectangles).
+pub fn region_features(img: &Image) -> Vec<f32> {
+    ALL_REGIONS
+        .iter()
+        .map(|r| {
+            let rects = r.rects();
+            rects.iter().map(|rect| img.mean_in(rect)).sum::<f32>() / rects.len() as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::StressLabel;
+    use crate::world::{sample_video, Subject, WorldConfig};
+
+    fn sample() -> VideoSample {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        sample_video(&WorldConfig::uvsd_like(), &s, StressLabel::Stressed, 1, 5)
+    }
+
+    #[test]
+    fn au_observation_is_noisy_but_centred() {
+        let v = sample();
+        let t = v.most_expressive_frame();
+        let clean = v.au_at(t);
+        let mut total_err = 0.0;
+        let n = 50;
+        for k in 0..n {
+            let obs = observed_au_intensities(&v, t, 0.08, k);
+            for i in 0..NUM_AUS {
+                total_err += (obs[i] - clean.0[i].clamp(0.0, 1.0)).abs();
+            }
+        }
+        let mean_err = total_err / (n * NUM_AUS as u64) as f32;
+        assert!(mean_err > 0.0, "noise must be present");
+        assert!(mean_err < 0.12, "mean error too large: {mean_err}");
+    }
+
+    #[test]
+    fn zero_noise_observation_is_exact() {
+        let v = sample();
+        let obs = observed_au_intensities(&v, 3, 0.0, 9);
+        for i in 0..NUM_AUS {
+            assert!((obs[i] - v.au_at(3).0[i].clamp(0.0, 1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn landmarks_count_and_jitter() {
+        let v = sample();
+        let lm = observed_landmarks(&v, 0, 0.5, 2);
+        assert_eq!(lm.len(), 49);
+        let clean = observed_landmarks(&v, 0, 0.0, 2);
+        let moved = lm
+            .iter()
+            .zip(&clean)
+            .filter(|(a, b)| (a.0 - b.0).abs() > 1e-6 || (a.1 - b.1).abs() > 1e-6)
+            .count();
+        assert!(moved > 40, "jitter should move most landmarks");
+    }
+
+    #[test]
+    fn landmark_feature_vector_is_normalised() {
+        let v = sample();
+        let lm = observed_landmarks(&v, 0, 0.0, 2);
+        let f = landmark_feature_vector(&lm);
+        assert_eq!(f.len(), 98);
+        assert!(f.iter().all(|&x| (-0.1..=1.1).contains(&x)));
+    }
+
+    #[test]
+    fn patch_features_grid_size() {
+        let v = sample();
+        let img = v.render_frame(0);
+        let f = patch_features(&img, 8);
+        assert_eq!(f.len(), (96 / 8) * (96 / 8));
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn region_features_are_six_values() {
+        let v = sample();
+        let img = v.render_frame(v.most_expressive_frame());
+        let f = region_features(&img);
+        assert_eq!(f.len(), 6);
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

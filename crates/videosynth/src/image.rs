@@ -1,0 +1,203 @@
+//! Grayscale image buffer.
+
+use std::io::{self, Write};
+
+use facs::region::RegionRect;
+
+/// A dense grayscale image with values in `[0, 1]`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    data: Vec<f32>,
+    width: usize,
+    height: usize,
+}
+
+impl Image {
+    /// Uniform image of the given fill value.
+    pub fn filled(width: usize, height: usize, value: f32) -> Self {
+        Image { data: vec![value.clamp(0.0, 1.0); width * height], width, height }
+    }
+
+    /// Build from raw data (clamped to `[0, 1]`).
+    pub fn from_data(data: Vec<f32>, width: usize, height: usize) -> Self {
+        assert_eq!(data.len(), width * height, "image data size mismatch");
+        let data = data.into_iter().map(|v| v.clamp(0.0, 1.0)).collect();
+        Image { data, width, height }
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image has zero pixels.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major pixel slice.
+    pub fn pixels(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Set pixel at `(x, y)`, clamped to `[0, 1]`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v.clamp(0.0, 1.0);
+    }
+
+    /// Add `dv` to pixel `(x, y)`, clamping.
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, dv: f32) {
+        let v = self.get(x, y) + dv;
+        self.set(x, y, v);
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Mean intensity within a rectangle.
+    pub fn mean_in(&self, rect: &RegionRect) -> f32 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (x, y) in rect.pixels() {
+            if x < self.width && y < self.height {
+                sum += self.get(x, y);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f32
+        }
+    }
+
+    /// Mean absolute difference against another image of the same size.
+    pub fn l1_distance(&self, other: &Image) -> f32 {
+        assert_eq!(self.data.len(), other.data.len(), "image size mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / self.data.len() as f32
+    }
+
+    /// Box-downsample by an integer factor, averaging each block.
+    pub fn downsample(&self, factor: usize) -> Image {
+        assert!(factor >= 1 && self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor));
+        let (ow, oh) = (self.width / factor, self.height / factor);
+        let mut out = vec![0.0f32; ow * oh];
+        let inv = 1.0 / (factor * factor) as f32;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..factor {
+                    for kx in 0..factor {
+                        acc += self.get(ox * factor + kx, oy * factor + ky);
+                    }
+                }
+                out[oy * ow + ox] = acc * inv;
+            }
+        }
+        Image { data: out, width: ow, height: oh }
+    }
+
+    /// Write as a binary PGM (P5) file — handy for eyeballing renders.
+    pub fn write_pgm<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "P5\n{} {}\n255", self.width, self.height)?;
+        let bytes: Vec<u8> = self
+            .data
+            .iter()
+            .map(|&v| (v * 255.0).round().clamp(0.0, 255.0) as u8)
+            .collect();
+        w.write_all(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut img = Image::filled(4, 3, 0.5);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(2, 1), 0.5);
+        img.set(2, 1, 0.9);
+        assert_eq!(img.get(2, 1), 0.9);
+        img.set(0, 0, 2.0);
+        assert_eq!(img.get(0, 0), 1.0, "values clamp to [0, 1]");
+    }
+
+    #[test]
+    fn add_clamps() {
+        let mut img = Image::filled(2, 2, 0.9);
+        img.add(0, 0, 0.5);
+        assert_eq!(img.get(0, 0), 1.0);
+        img.add(1, 1, -2.0);
+        assert_eq!(img.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn mean_and_mean_in() {
+        let img = Image::from_data(vec![0.0, 1.0, 1.0, 0.0], 2, 2);
+        assert!((img.mean() - 0.5).abs() < 1e-6);
+        let rect = RegionRect { x0: 0, y0: 0, x1: 2, y1: 1 };
+        assert!((img.mean_in(&rect) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_distance_zero_on_self() {
+        let img = Image::filled(3, 3, 0.3);
+        assert_eq!(img.l1_distance(&img), 0.0);
+        let other = Image::filled(3, 3, 0.8);
+        assert!((img.l1_distance(&other) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let img = Image::from_data(vec![0.0, 1.0, 1.0, 0.0], 2, 2);
+        let d = img.downsample(2);
+        assert_eq!(d.width(), 1);
+        assert_eq!(d.height(), 1);
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgm_header_is_valid() {
+        let img = Image::filled(2, 2, 1.0);
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(buf.len(), b"P5\n2 2\n255\n".len() + 4);
+        assert_eq!(&buf[buf.len() - 4..], &[255u8; 4]);
+    }
+}

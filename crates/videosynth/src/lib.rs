@@ -1,0 +1,39 @@
+//! `videosynth` — a synthetic facial-video world model.
+//!
+//! The paper evaluates on two proprietary video corpora (UVSD and RSL) plus
+//! the DISFA+ facial-expression dataset, none of which are redistributable.
+//! This crate replaces them with a *generative world model* that produces the
+//! same statistical structure the paper's method exploits:
+//!
+//! * a latent binary stress state per video ([`StressLabel`]) that modulates
+//!   which facial Action Units activate (through the priors in
+//!   [`facs::stress`]), with per-subject idiosyncrasy and observation noise;
+//! * temporally coherent AU trajectories (onset → apex → offset envelopes);
+//! * real 96×96 grayscale pixel renderings of every frame ([`render`]),
+//!   where the pixel evidence of each AU is localised in that AU's facial
+//!   region — so masking a region really removes the evidence;
+//! * dataset profiles matching the papers' corpus sizes and class ratios
+//!   ([`dataset`]): `uvsd_sim` (2 092 videos / 112 subjects),
+//!   `rsl_sim` (706 / 60, noisier) and `disfa_sim` (645 AU-annotated);
+//! * the most-/least-expressive frame extraction of Zhang et al. (§IV-H);
+//! * SLIC superpixel segmentation into 64 segments ([`slic`]) and the
+//!   gaussian-disturb / region-mosaic perturbation operators ([`perturb`])
+//!   used by the faithfulness protocol;
+//! * simulated commodity detectors ([`features`]) — noisy landmark and AU
+//!   intensity observations — standing in for the AAM / landmark trackers
+//!   that the supervised baselines depended on.
+
+pub mod dataset;
+pub mod features;
+pub mod image;
+pub mod perturb;
+pub mod render;
+pub mod slic;
+pub mod video;
+pub mod world;
+
+pub use dataset::{Dataset, DatasetProfile, Scale};
+pub use image::Image;
+pub use slic::Segmentation;
+pub use video::{StressLabel, VideoSample};
+pub use world::WorldConfig;

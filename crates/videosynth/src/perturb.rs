@@ -1,0 +1,229 @@
+//! Perturbation operators used by the faithfulness protocol and explainers.
+//!
+//! * [`gaussian_disturb`] — §IV-H places gaussian noise on the top-scoring
+//!   segments spotted by each explanation method;
+//! * [`mask_segments`] — LIME/SHAP/SOBOL replace masked-out segments with a
+//!   reference value (mean gray);
+//! * [`mosaic_region`] — §III-D places a mosaic on the facial region named
+//!   by a rationale to test whether the decision flips.
+
+use facs::region::{FacialRegion, RegionRect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::rngutil::normal;
+
+use crate::image::Image;
+use crate::slic::Segmentation;
+
+/// Add zero-mean gaussian noise (std `sigma`) to every pixel of the listed
+/// segments.  Deterministic in `seed`.
+pub fn gaussian_disturb(
+    img: &Image,
+    seg: &Segmentation,
+    segments: &[usize],
+    sigma: f32,
+    seed: u64,
+) -> Image {
+    let mut out = img.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wanted: Vec<bool> = {
+        let mut v = vec![false; seg.num_segments()];
+        for &s in segments {
+            assert!(s < seg.num_segments(), "segment {s} out of range");
+            v[s] = true;
+        }
+        v
+    };
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            if wanted[seg.segment_of(x, y)] {
+                out.add(x, y, normal(&mut rng) * sigma);
+            }
+        }
+    }
+    out
+}
+
+/// Replace every pixel of the listed segments with `fill` (typically the
+/// image mean) — the reference-removal perturbation of LIME/SHAP.
+pub fn mask_segments(img: &Image, seg: &Segmentation, segments: &[usize], fill: f32) -> Image {
+    let mut out = img.clone();
+    let wanted: Vec<bool> = {
+        let mut v = vec![false; seg.num_segments()];
+        for &s in segments {
+            assert!(s < seg.num_segments(), "segment {s} out of range");
+            v[s] = true;
+        }
+        v
+    };
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            if wanted[seg.segment_of(x, y)] {
+                out.set(x, y, fill);
+            }
+        }
+    }
+    out
+}
+
+/// Apply a mask vector over all segments at once: `keep[s] == false`
+/// segments get replaced with `fill`.  Convenience for the explainers'
+/// binary-mask sampling loops.
+pub fn apply_mask(img: &Image, seg: &Segmentation, keep: &[bool], fill: f32) -> Image {
+    assert_eq!(keep.len(), seg.num_segments(), "one flag per segment");
+    let dropped: Vec<usize> = keep
+        .iter()
+        .enumerate()
+        .filter_map(|(s, &k)| (!k).then_some(s))
+        .collect();
+    mask_segments(img, seg, &dropped, fill)
+}
+
+/// Pixelate a rectangle with `block × block` mosaic cells (each cell
+/// replaced by its mean).
+pub fn mosaic_rect(img: &Image, rect: &RegionRect, block: usize) -> Image {
+    assert!(block >= 1);
+    let mut out = img.clone();
+    let mut by = rect.y0;
+    while by < rect.y1 {
+        let mut bx = rect.x0;
+        let y_end = (by + block).min(rect.y1).min(img.height());
+        while bx < rect.x1 {
+            let x_end = (bx + block).min(rect.x1).min(img.width());
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for y in by..y_end {
+                for x in bx..x_end {
+                    sum += img.get(x, y);
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                let mean = sum / n as f32;
+                for y in by..y_end {
+                    for x in bx..x_end {
+                        out.set(x, y, mean);
+                    }
+                }
+            }
+            bx += block;
+        }
+        by += block;
+    }
+    out
+}
+
+/// Mosaic an entire facial region (both rectangles for bilateral regions) —
+/// the §III-D rationale-removal operation.  The 16-pixel cells are coarse
+/// enough to destroy feature-position evidence inside the region while
+/// preserving its average appearance.
+pub fn mosaic_region(img: &Image, region: FacialRegion) -> Image {
+    let mut out = img.clone();
+    for rect in region.rects() {
+        out = mosaic_rect(&out, &rect, 16);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render_face;
+    use crate::slic::slic;
+    use facs::au::AuVector;
+    use facs::ActionUnit;
+
+    fn face() -> Image {
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::BrowLowerer, 0.8);
+        render_face(&v, 0.0, 0)
+    }
+
+    #[test]
+    fn gaussian_disturb_touches_only_selected_segments() {
+        let img = face();
+        let seg = slic(&img, 16, 0.1, 4);
+        let out = gaussian_disturb(&img, &seg, &[0], 0.3, 7);
+        let mut changed_outside = 0usize;
+        let mut changed_inside = 0usize;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if (img.get(x, y) - out.get(x, y)).abs() > 1e-6 {
+                    if seg.segment_of(x, y) == 0 {
+                        changed_inside += 1;
+                    } else {
+                        changed_outside += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(changed_outside, 0);
+        assert!(changed_inside > 0);
+    }
+
+    #[test]
+    fn gaussian_disturb_is_deterministic() {
+        let img = face();
+        let seg = slic(&img, 16, 0.1, 4);
+        let a = gaussian_disturb(&img, &seg, &[1, 2], 0.2, 5);
+        let b = gaussian_disturb(&img, &seg, &[1, 2], 0.2, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mask_segments_sets_fill_value() {
+        let img = face();
+        let seg = slic(&img, 16, 0.1, 4);
+        let out = mask_segments(&img, &seg, &[3], 0.5);
+        for (x, y) in seg.pixels_of(3) {
+            assert_eq!(out.get(x, y), 0.5);
+        }
+    }
+
+    #[test]
+    fn apply_mask_full_keep_is_identity() {
+        let img = face();
+        let seg = slic(&img, 16, 0.1, 4);
+        let keep = vec![true; seg.num_segments()];
+        assert_eq!(apply_mask(&img, &seg, &keep, 0.5), img);
+    }
+
+    #[test]
+    fn apply_mask_none_keep_is_flat() {
+        let img = face();
+        let seg = slic(&img, 16, 0.1, 4);
+        let keep = vec![false; seg.num_segments()];
+        let out = apply_mask(&img, &seg, &keep, 0.5);
+        assert!(out.pixels().iter().all(|&p| (p - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn mosaic_region_destroys_au_evidence() {
+        // A brow-lowered face mosaiced over the eyebrow region should look
+        // like a neutral face mosaiced there too (evidence removed).
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::BrowLowerer, 1.0);
+        let active = render_face(&v, 0.0, 0);
+        let neutral = render_face(&AuVector::zeros(), 0.0, 0);
+        let d_before = active.l1_distance(&neutral);
+        let a = mosaic_region(&active, FacialRegion::Eyebrow);
+        let n = mosaic_region(&neutral, FacialRegion::Eyebrow);
+        let d_after = a.l1_distance(&n);
+        assert!(
+            d_after < d_before * 0.45,
+            "mosaic should remove most evidence: {d_after} vs {d_before}"
+        );
+    }
+
+    #[test]
+    fn mosaic_rect_preserves_mean() {
+        let img = face();
+        let rect = facs::region::RegionRect { x0: 10, y0: 10, x1: 30, y1: 30 };
+        let out = mosaic_rect(&img, &rect, 5);
+        let before = img.mean_in(&rect);
+        let after = out.mean_in(&rect);
+        assert!((before - after).abs() < 1e-3, "{before} vs {after}");
+        // Pixels outside unchanged.
+        assert_eq!(img.get(0, 0), out.get(0, 0));
+    }
+}

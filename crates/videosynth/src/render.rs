@@ -1,0 +1,340 @@
+//! Procedural face renderer.
+//!
+//! Produces a 96×96 grayscale frame from an AU intensity vector.  Two kinds
+//! of pixel evidence are laid down, both localised in the acting AU's
+//! facial region (see [`facs::region`]):
+//!
+//! 1. **geometry** — facial features are drawn through the AU-displaced
+//!    landmark positions, so raised brows really sit higher on the image;
+//! 2. **texture** — each AU adds a characteristic wrinkle/shading pattern
+//!    inside its region (glabella furrows for AU4, crow's-feet brightening
+//!    for AU6, nasolabial wrinkles for AU9, …), scaled by intensity.
+//!
+//! Because all evidence for an AU lives inside its region rectangle,
+//! mosaicing that rectangle (the §III-D faithfulness check) removes the
+//! evidence, and SLIC superpixels overlapping it carry the discriminative
+//! signal for the explainer baselines.
+
+use facs::au::{ActionUnit, AuVector, ALL_AUS};
+use facs::landmarks::landmark_layout;
+use facs::region::FACE_SIZE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinynn::rngutil::normal;
+
+use crate::image::Image;
+
+/// Stable per-subject appearance: real corpora vary far more by identity
+/// than by expression, and that variance is the main obstacle for
+/// pixel-level classifiers.  Identity is deterministic in the subject's
+/// identity seed and constant across all of a subject's videos.
+#[derive(Clone, Debug)]
+pub struct Identity {
+    /// Additive skin-tone offset.
+    pub skin_offset: f32,
+    /// Head-ellipse radius jitter (x, y).
+    pub head_jitter: (f32, f32),
+    /// Permanent skin marks: `(x, y, radius, delta)`.
+    pub spots: Vec<(f32, f32, f32, f32)>,
+    /// Feature line darkness jitter.
+    pub feature_jitter: f32,
+}
+
+impl Identity {
+    /// Derive an identity from a subject's identity seed.  `strength`
+    /// scales every appearance deviation (1.0 = nominal).
+    pub fn from_seed(seed: u64, strength: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1DE2_1717);
+        let n_spots = 8 + (rng.random::<u32>() % 7) as usize;
+        let spots = (0..n_spots)
+            .map(|_| {
+                // Keep spots on the face: polar sample inside the head.
+                let a = rng.random::<f32>() * std::f32::consts::TAU;
+                let r = rng.random::<f32>().sqrt();
+                let x = 48.0 + a.cos() * r * 33.0;
+                let y = 50.0 + a.sin() * r * 39.0;
+                let radius = 1.0 + rng.random::<f32>() * 2.2;
+                let delta = (rng.random::<f32>() - 0.5) * 0.22 * strength;
+                (x, y, radius, delta)
+            })
+            .collect();
+        Identity {
+            skin_offset: normal(&mut rng) * 0.045 * strength,
+            head_jitter: (normal(&mut rng) * 2.0 * strength, normal(&mut rng) * 2.0 * strength),
+            spots,
+            feature_jitter: normal(&mut rng) * 0.04 * strength,
+        }
+    }
+
+    /// The identity-free reference appearance.
+    pub fn neutral() -> Self {
+        Identity { skin_offset: 0.0, head_jitter: (0.0, 0.0), spots: Vec::new(), feature_jitter: 0.0 }
+    }
+}
+
+const BACKGROUND: f32 = 0.86;
+const SKIN: f32 = 0.64;
+const FEATURE_DARK: f32 = 0.18;
+
+/// Render one frame of the identity-free face.  `noise_seed` makes the
+/// camera noise reproducible.
+pub fn render_face(aus: &AuVector, pixel_noise: f32, noise_seed: u64) -> Image {
+    render_face_styled(aus, pixel_noise, 1.0, noise_seed)
+}
+
+/// Render the identity-free face with an explicit texture gain.
+pub fn render_face_styled(aus: &AuVector, pixel_noise: f32, texture_gain: f32, noise_seed: u64) -> Image {
+    render_face_of(aus, &Identity::neutral(), pixel_noise, texture_gain, noise_seed)
+}
+
+/// Render a specific subject's face.  `texture_gain` controls how strongly
+/// AU skin-texture cues are written to pixels — the dataset profiles use it
+/// to set how hard the pixel channel is relative to the AU channel.
+pub fn render_face_of(
+    aus: &AuVector,
+    identity: &Identity,
+    pixel_noise: f32,
+    texture_gain: f32,
+    noise_seed: u64,
+) -> Image {
+    let s = FACE_SIZE;
+    let mut img = Image::filled(s, s, BACKGROUND);
+
+    // Head: filled ellipse with identity geometry and tone.
+    let skin = (SKIN + identity.skin_offset).clamp(0.4, 0.85);
+    fill_ellipse(
+        &mut img,
+        48.0,
+        50.0,
+        38.0 + identity.head_jitter.0,
+        44.0 + identity.head_jitter.1,
+        skin,
+    );
+
+    // Permanent identity marks (drawn under the feature lines).
+    for &(cx, cy, r, delta) in &identity.spots {
+        let v = (skin + delta).clamp(0.0, 1.0);
+        fill_ellipse(&mut img, cx, cy, r, r, v);
+    }
+
+    let landmarks = landmark_layout();
+    let pos: Vec<(f32, f32)> = landmarks.iter().map(|l| l.displaced(aus)).collect();
+
+    // Brows: polylines through landmarks 0..5 and 5..10.
+    let feature_dark = (FEATURE_DARK + identity.feature_jitter).clamp(0.05, 0.4);
+    for brow in [&pos[0..5], &pos[5..10]] {
+        for w in brow.windows(2) {
+            draw_line(&mut img, w[0], w[1], feature_dark, 2);
+        }
+    }
+
+    // Eyes: hexagon outline through landmarks 10..16 and 16..22, darker
+    // aperture filled when the lids are wide (AU5).
+    for eye in [&pos[10..16], &pos[16..22]] {
+        for i in 0..6 {
+            draw_line(&mut img, eye[i], eye[(i + 1) % 6], 0.30, 1);
+        }
+        let cx = eye.iter().map(|p| p.0).sum::<f32>() / 6.0;
+        let cy = eye.iter().map(|p| p.1).sum::<f32>() / 6.0;
+        let openness = 1.5 + 2.0 * aus.get(ActionUnit::UpperLidRaiser);
+        fill_ellipse(&mut img, cx, cy, 2.0, openness, 0.12);
+    }
+
+    // Nose: ridge and base through landmarks 22..31.
+    for w in pos[22..26].windows(2) {
+        draw_line(&mut img, w[0], w[1], 0.45, 1);
+    }
+    for w in pos[26..31].windows(2) {
+        draw_line(&mut img, w[0], w[1], 0.40, 1);
+    }
+
+    // Mouth: outer ellipse polyline 31..43, inner 43..49; darker interior
+    // when the mouth opens (AU25/AU26).
+    for i in 0..12 {
+        draw_line(&mut img, pos[31 + i], pos[31 + (i + 1) % 12], 0.22, 2);
+    }
+    let open = aus.get(ActionUnit::LipsPart) * 0.5 + aus.get(ActionUnit::JawDrop);
+    if open > 0.05 {
+        let cx = pos[31..43].iter().map(|p| p.0).sum::<f32>() / 12.0;
+        let cy = pos[31..43].iter().map(|p| p.1).sum::<f32>() / 12.0;
+        fill_ellipse(&mut img, cx, cy, 8.0, 1.5 + 4.0 * open, 0.10);
+    }
+
+    // Texture cues per AU.
+    for au in ALL_AUS {
+        let x = aus.get(au) * texture_gain;
+        if x > 0.02 {
+            draw_au_texture(&mut img, au, x);
+        }
+    }
+
+    // Camera noise.
+    if pixel_noise > 0.0 {
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        for y in 0..s {
+            for x in 0..s {
+                img.add(x, y, normal(&mut rng) * pixel_noise);
+            }
+        }
+    }
+    img
+}
+
+/// Characteristic shading pattern of one AU inside its region.
+fn draw_au_texture(img: &mut Image, au: ActionUnit, intensity: f32) {
+    let region = au.region();
+    let delta = match au {
+        // Brightening cues (bulging cheeks, stretched skin).
+        ActionUnit::CheekRaiser | ActionUnit::LipCornerPuller => 0.16 * intensity,
+        // Everything else darkens (furrows, wrinkles, shadows).
+        _ => -0.14 * intensity,
+    };
+    // Distinct stripe phase/orientation per AU, so co-located AUs (e.g. the
+    // three brow AUs) remain distinguishable in pixel space.
+    let phase = au.index();
+    let vertical = phase.is_multiple_of(2);
+    for rect in region.rects() {
+        for (x, y) in rect.pixels() {
+            let k = if vertical { x } else { y };
+            if (k + phase).is_multiple_of(3) {
+                img.add(x, y, delta);
+            }
+        }
+    }
+    // A couple of AU-specific accents outside the stripe raster.
+    match au {
+        ActionUnit::BrowLowerer => {
+            // Glabella furrows between the brows.
+            for dy in 0..10 {
+                img.add(46, 22 + dy, -0.22 * intensity);
+                img.add(50, 22 + dy, -0.22 * intensity);
+            }
+        }
+        ActionUnit::NoseWrinkler => {
+            for dx in 0..8 {
+                img.add(44 + dx, 42, -0.2 * intensity);
+                img.add(44 + dx, 46, -0.2 * intensity);
+            }
+        }
+        ActionUnit::ChinRaiser => {
+            for dx in 0..14 {
+                img.add(41 + dx, 88, -0.2 * intensity);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Thick line via sampled interpolation.
+fn draw_line(img: &mut Image, a: (f32, f32), b: (f32, f32), value: f32, thickness: usize) {
+    let steps = ((b.0 - a.0).abs().max((b.1 - a.1).abs()) as usize).max(1) * 2;
+    let r = thickness as i32 / 2;
+    for i in 0..=steps {
+        let t = i as f32 / steps as f32;
+        let x = a.0 + (b.0 - a.0) * t;
+        let y = a.1 + (b.1 - a.1) * t;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let px = (x as i32 + dx).clamp(0, FACE_SIZE as i32 - 1) as usize;
+                let py = (y as i32 + dy).clamp(0, FACE_SIZE as i32 - 1) as usize;
+                img.set(px, py, value);
+            }
+        }
+    }
+}
+
+/// Filled ellipse.
+fn fill_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, value: f32) {
+    let (w, h) = (img.width() as i32, img.height() as i32);
+    let x0 = ((cx - rx).floor() as i32).clamp(0, w - 1);
+    let x1 = ((cx + rx).ceil() as i32).clamp(0, w - 1);
+    let y0 = ((cy - ry).floor() as i32).clamp(0, h - 1);
+    let y1 = ((cy + ry).ceil() as i32).clamp(0, h - 1);
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let nx = (x as f32 - cx) / rx.max(1e-3);
+            let ny = (y as f32 - cy) / ry.max(1e-3);
+            if nx * nx + ny * ny <= 1.0 {
+                img.set(x as usize, y as usize, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::region::{FacialRegion, ALL_REGIONS};
+
+    #[test]
+    fn neutral_face_renders_head_on_background() {
+        let img = render_face(&AuVector::zeros(), 0.0, 0);
+        assert_eq!(img.width(), FACE_SIZE);
+        assert_eq!(img.get(0, 0), BACKGROUND, "corner is background");
+        assert_eq!(img.get(30, 58), SKIN, "cheek is skin");
+    }
+
+    #[test]
+    fn au_intensity_changes_pixels_in_its_region_only_mostly() {
+        let neutral = render_face(&AuVector::zeros(), 0.0, 0);
+        let mut v = AuVector::zeros();
+        v.set(ActionUnit::NoseWrinkler, 1.0);
+        let wrinkled = render_face(&v, 0.0, 0);
+        let rect = FacialRegion::Nose.rect();
+        let d_in = (neutral.mean_in(&rect) - wrinkled.mean_in(&rect)).abs();
+        assert!(d_in > 0.02, "nose region must change, got {d_in}");
+        // A far-away region (jaw) should be nearly untouched.
+        let jaw = FacialRegion::Jaw.rect();
+        let d_out = (neutral.mean_in(&jaw) - wrinkled.mean_in(&jaw)).abs();
+        assert!(d_out < d_in / 4.0, "jaw changed too much: {d_out} vs {d_in}");
+    }
+
+    #[test]
+    fn every_au_leaves_pixel_evidence() {
+        let neutral = render_face(&AuVector::zeros(), 0.0, 0);
+        for au in ALL_AUS {
+            let mut v = AuVector::zeros();
+            v.set(au, 1.0);
+            let img = render_face(&v, 0.0, 0);
+            assert!(
+                img.l1_distance(&neutral) > 1e-4,
+                "{au} produces no visible change"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_intensity_means_bigger_change() {
+        let neutral = render_face(&AuVector::zeros(), 0.0, 0);
+        let mut weak = AuVector::zeros();
+        weak.set(ActionUnit::BrowLowerer, 0.3);
+        let mut strong = AuVector::zeros();
+        strong.set(ActionUnit::BrowLowerer, 1.0);
+        let dw = render_face(&weak, 0.0, 0).l1_distance(&neutral);
+        let ds = render_face(&strong, 0.0, 0).l1_distance(&neutral);
+        assert!(ds > dw, "strong {ds} should exceed weak {dw}");
+    }
+
+    #[test]
+    fn noise_seed_controls_noise() {
+        let v = AuVector::zeros();
+        let a = render_face(&v, 0.05, 1);
+        let b = render_face(&v, 0.05, 1);
+        let c = render_face(&v, 0.05, 2);
+        assert_eq!(a, b);
+        assert!(a.l1_distance(&c) > 0.0);
+    }
+
+    #[test]
+    fn regions_cover_their_aus_texture() {
+        // Texture for each AU must stay inside the image and not panic even
+        // at extreme intensity.
+        for au in ALL_AUS {
+            let mut v = AuVector::zeros();
+            v.set(au, 1.0);
+            let img = render_face(&v, 0.0, 3);
+            assert!(img.pixels().iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+        let _ = ALL_REGIONS; // silence unused import in some cfg combinations
+    }
+}

@@ -1,0 +1,359 @@
+//! SLIC superpixel segmentation (Achanta et al. 2012), grayscale variant.
+//!
+//! §IV-H: "we employ the SLIC algorithm to segment f_e into 64 segments".
+//! The faithfulness protocol and all three explainer baselines operate on
+//! this segmentation.
+
+use crate::image::Image;
+
+/// A superpixel segmentation of one image.
+#[derive(Clone, Debug)]
+pub struct Segmentation {
+    labels: Vec<usize>,
+    num_segments: usize,
+    width: usize,
+    height: usize,
+}
+
+impl Segmentation {
+    /// Number of segments (labels are `0..num_segments`).
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Segment label of pixel `(x, y)`.
+    #[inline]
+    pub fn segment_of(&self, x: usize, y: usize) -> usize {
+        self.labels[y * self.width + x]
+    }
+
+    /// Row-major label buffer.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// All pixels of a segment.
+    pub fn pixels_of(&self, segment: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.segment_of(x, y) == segment {
+                    out.push((x, y));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pixel count per segment.
+    pub fn segment_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_segments];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Centroid `(x, y)` of each segment.
+    pub fn centroids(&self) -> Vec<(f32, f32)> {
+        let mut sx = vec![0.0f32; self.num_segments];
+        let mut sy = vec![0.0f32; self.num_segments];
+        let mut n = vec![0usize; self.num_segments];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let l = self.segment_of(x, y);
+                sx[l] += x as f32;
+                sy[l] += y as f32;
+                n[l] += 1;
+            }
+        }
+        (0..self.num_segments)
+            .map(|l| (sx[l] / n[l].max(1) as f32, sy[l] / n[l].max(1) as f32))
+            .collect()
+    }
+}
+
+/// Run SLIC with `k` requested superpixels and compactness `m`
+/// (`m ≈ 0.05–0.2` for intensities in `[0, 1]`).  Returns at most `k`
+/// segments; small orphaned components are merged into neighbours, and
+/// labels are re-compacted to be contiguous.
+pub fn slic(img: &Image, k: usize, m: f32, iterations: usize) -> Segmentation {
+    let (w, h) = (img.width(), img.height());
+    let n = w * h;
+    assert!(k >= 1 && k <= n, "k out of range");
+    let s = ((n as f32 / k as f32).sqrt()).max(1.0);
+
+    // Initialise cluster centres on a regular grid: (x, y, intensity).
+    let grid = (k as f32).sqrt().round() as usize;
+    let grid = grid.max(1);
+    let mut centers: Vec<(f32, f32, f32)> = Vec::with_capacity(k);
+    'outer: for gy in 0..grid {
+        for gx in 0..grid {
+            if centers.len() == k {
+                break 'outer;
+            }
+            let cx = ((gx as f32 + 0.5) * w as f32 / grid as f32).min(w as f32 - 1.0);
+            let cy = ((gy as f32 + 0.5) * h as f32 / grid as f32).min(h as f32 - 1.0);
+            centers.push((cx, cy, img.get(cx as usize, cy as usize)));
+        }
+    }
+    // If the grid under-filled (k not a perfect square), pad along a diagonal.
+    let mut pad = 0usize;
+    while centers.len() < k {
+        let t = (pad as f32 + 0.5) / k as f32;
+        let cx = t * (w as f32 - 1.0);
+        let cy = t * (h as f32 - 1.0);
+        centers.push((cx, cy, img.get(cx as usize, cy as usize)));
+        pad += 1;
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut dists = vec![f32::INFINITY; n];
+    let inv_s = 1.0 / s;
+
+    for _ in 0..iterations {
+        dists.iter_mut().for_each(|d| *d = f32::INFINITY);
+        for (ci, &(cx, cy, cl)) in centers.iter().enumerate() {
+            let x0 = (cx - 2.0 * s).max(0.0) as usize;
+            let x1 = ((cx + 2.0 * s) as usize).min(w - 1);
+            let y0 = (cy - 2.0 * s).max(0.0) as usize;
+            let y1 = ((cy + 2.0 * s) as usize).min(h - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let dc = img.get(x, y) - cl;
+                    let dx = (x as f32 - cx) * inv_s;
+                    let dy = (y as f32 - cy) * inv_s;
+                    let d = dc * dc + m * m * (dx * dx + dy * dy);
+                    let idx = y * w + x;
+                    if d < dists[idx] {
+                        dists[idx] = d;
+                        labels[idx] = ci;
+                    }
+                }
+            }
+        }
+        // Update centres.
+        let mut acc = vec![(0.0f32, 0.0f32, 0.0f32, 0usize); centers.len()];
+        for y in 0..h {
+            for x in 0..w {
+                let l = labels[y * w + x];
+                let a = &mut acc[l];
+                a.0 += x as f32;
+                a.1 += y as f32;
+                a.2 += img.get(x, y);
+                a.3 += 1;
+            }
+        }
+        for (ci, a) in acc.iter().enumerate() {
+            if a.3 > 0 {
+                let inv = 1.0 / a.3 as f32;
+                centers[ci] = (a.0 * inv, a.1 * inv, a.2 * inv);
+            }
+        }
+    }
+
+    // Enforce connectivity: keep the largest connected component per label,
+    // merge the rest into an adjacent component's label.
+    enforce_connectivity(&mut labels, w, h);
+
+    // Compact labels to 0..num_segments.
+    let mut remap = vec![usize::MAX; centers.len()];
+    let mut next = 0usize;
+    for l in &mut labels {
+        if remap[*l] == usize::MAX {
+            remap[*l] = next;
+            next += 1;
+        }
+        *l = remap[*l];
+    }
+
+    Segmentation { labels, num_segments: next, width: w, height: h }
+}
+
+/// Relabel stray components: any connected component that is not the largest
+/// component of its label gets absorbed by a neighbouring label.
+fn enforce_connectivity(labels: &mut [usize], w: usize, h: usize) {
+    let n = w * h;
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<(usize, Vec<usize>)> = Vec::new(); // (label, pixels)
+
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let label = labels[start];
+        let cid = comps.len();
+        let mut pixels = vec![start];
+        comp[start] = cid;
+        let mut stack = vec![start];
+        while let Some(p) = stack.pop() {
+            let (x, y) = (p % w, p / w);
+            let mut push = |q: usize| {
+                if comp[q] == usize::MAX && labels[q] == label {
+                    comp[q] = cid;
+                    pixels.push(q);
+                    stack.push(q);
+                }
+            };
+            if x > 0 {
+                push(p - 1);
+            }
+            if x + 1 < w {
+                push(p + 1);
+            }
+            if y > 0 {
+                push(p - w);
+            }
+            if y + 1 < h {
+                push(p + w);
+            }
+        }
+        comps.push((label, pixels));
+    }
+
+    // Largest component per label survives.
+    let max_label = labels.iter().copied().max().unwrap_or(0);
+    let mut best_comp = vec![usize::MAX; max_label + 1];
+    for (cid, (label, pixels)) in comps.iter().enumerate() {
+        if best_comp[*label] == usize::MAX
+            || pixels.len() > comps[best_comp[*label]].1.len()
+        {
+            best_comp[*label] = cid;
+        }
+    }
+
+    // Orphans adopt the label of any 4-neighbour outside the component.
+    for (cid, (label, pixels)) in comps.iter().enumerate() {
+        if best_comp[*label] == cid {
+            continue;
+        }
+        let mut adopt = None;
+        'search: for &p in pixels {
+            let (x, y) = (p % w, p / w);
+            for q in neighbours(p, x, y, w, h) {
+                if comp[q] != cid {
+                    adopt = Some(labels[q]);
+                    break 'search;
+                }
+            }
+        }
+        if let Some(new_label) = adopt {
+            for &p in pixels {
+                labels[p] = new_label;
+            }
+        }
+    }
+}
+
+fn neighbours(p: usize, x: usize, y: usize, w: usize, h: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(4);
+    if x > 0 {
+        out.push(p - 1);
+    }
+    if x + 1 < w {
+        out.push(p + 1);
+    }
+    if y > 0 {
+        out.push(p - w);
+    }
+    if y + 1 < h {
+        out.push(p + w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render_face;
+    use facs::au::AuVector;
+
+    fn test_image() -> Image {
+        render_face(&AuVector::zeros(), 0.0, 0)
+    }
+
+    #[test]
+    fn covers_all_pixels_with_compact_labels() {
+        let img = test_image();
+        let seg = slic(&img, 64, 0.1, 5);
+        assert!(seg.num_segments() >= 32, "got {}", seg.num_segments());
+        assert!(seg.num_segments() <= 64);
+        for &l in seg.labels() {
+            assert!(l < seg.num_segments());
+        }
+        let sizes = seg.segment_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "no empty segments");
+        assert_eq!(sizes.iter().sum::<usize>(), img.len());
+    }
+
+    #[test]
+    fn segments_are_connected() {
+        let img = test_image();
+        let seg = slic(&img, 64, 0.1, 5);
+        let (w, h) = (img.width(), img.height());
+        for s in 0..seg.num_segments() {
+            let pixels = seg.pixels_of(s);
+            // BFS from first pixel should reach all pixels of the segment.
+            let mut visited = std::collections::HashSet::new();
+            let mut stack = vec![pixels[0]];
+            visited.insert(pixels[0]);
+            while let Some((x, y)) = stack.pop() {
+                let mut push = |nx: usize, ny: usize| {
+                    if seg.segment_of(nx, ny) == s && visited.insert((nx, ny)) {
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    push(x - 1, y);
+                }
+                if x + 1 < w {
+                    push(x + 1, y);
+                }
+                if y > 0 {
+                    push(x, y - 1);
+                }
+                if y + 1 < h {
+                    push(x, y + 1);
+                }
+            }
+            assert_eq!(visited.len(), pixels.len(), "segment {s} disconnected");
+        }
+    }
+
+    #[test]
+    fn uniform_image_gives_grid_like_segments() {
+        let img = Image::filled(32, 32, 0.5);
+        let seg = slic(&img, 16, 0.1, 5);
+        assert!(seg.num_segments() >= 8);
+        let sizes = seg.segment_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max <= min * 6, "uniform image should give balanced sizes, {min}..{max}");
+    }
+
+    #[test]
+    fn centroids_are_inside_the_image() {
+        let img = test_image();
+        let seg = slic(&img, 64, 0.1, 5);
+        for (cx, cy) in seg.centroids() {
+            assert!(cx >= 0.0 && cx < img.width() as f32);
+            assert!(cy >= 0.0 && cy < img.height() as f32);
+        }
+    }
+
+    #[test]
+    fn single_segment_degenerate_case() {
+        let img = Image::filled(8, 8, 0.3);
+        let seg = slic(&img, 1, 0.1, 3);
+        assert_eq!(seg.num_segments(), 1);
+        assert!(seg.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn determinism() {
+        let img = test_image();
+        let a = slic(&img, 64, 0.1, 5);
+        let b = slic(&img, 64, 0.1, 5);
+        assert_eq!(a.labels(), b.labels());
+    }
+}

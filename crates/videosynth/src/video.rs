@@ -1,0 +1,239 @@
+//! Video samples: AU trajectories plus on-demand pixel rendering.
+
+use std::fmt;
+
+use facs::au::{AuSet, AuVector};
+
+use crate::image::Image;
+use crate::render::{render_face_of, Identity};
+
+/// Binary stress annotation of a video clip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StressLabel {
+    /// The subject was recorded under a stress-inducing condition.
+    Stressed,
+    /// The subject was recorded in a relaxed condition.
+    Unstressed,
+}
+
+impl StressLabel {
+    /// 1 for stressed, 0 for unstressed (the positive class of the metrics).
+    pub fn as_index(self) -> usize {
+        match self {
+            StressLabel::Stressed => 1,
+            StressLabel::Unstressed => 0,
+        }
+    }
+
+    /// Inverse of [`StressLabel::as_index`]; any non-zero value is stressed.
+    pub fn from_index(i: usize) -> Self {
+        if i == 0 {
+            StressLabel::Unstressed
+        } else {
+            StressLabel::Stressed
+        }
+    }
+
+    /// The opposite label.
+    pub fn flipped(self) -> Self {
+        match self {
+            StressLabel::Stressed => StressLabel::Unstressed,
+            StressLabel::Unstressed => StressLabel::Stressed,
+        }
+    }
+}
+
+impl fmt::Display for StressLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StressLabel::Stressed => "Stressed",
+            StressLabel::Unstressed => "Unstressed",
+        })
+    }
+}
+
+/// One video clip: the latent AU trajectory, its annotations, and enough
+/// state to re-render any frame deterministically.
+///
+/// Frames are rendered on demand — a full UVSD-scale corpus of raw pixels
+/// would not fit in memory, and the paper's pipeline only consumes the
+/// most- and least-expressive frames anyway (§IV-H, following Zhang et al.).
+#[derive(Clone, Debug)]
+pub struct VideoSample {
+    /// Sample id, unique within its dataset.
+    pub id: usize,
+    /// Id of the recorded subject.
+    pub subject: usize,
+    /// Ground-truth stress condition.
+    pub label: StressLabel,
+    apex_aus: AuSet,
+    trajectory: Vec<AuVector>,
+    pixel_noise: f32,
+    texture_gain: f32,
+    identity_seed: u64,
+    identity_strength: f32,
+    seed: u64,
+}
+
+impl VideoSample {
+    /// Assemble a sample (used by [`crate::world::sample_video`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        subject: usize,
+        label: StressLabel,
+        apex_aus: AuSet,
+        trajectory: Vec<AuVector>,
+        pixel_noise: f32,
+        texture_gain: f32,
+        identity_seed: u64,
+        identity_strength: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(!trajectory.is_empty(), "a video needs at least one frame");
+        VideoSample {
+            id,
+            subject,
+            label,
+            apex_aus,
+            trajectory,
+            pixel_noise,
+            texture_gain,
+            identity_seed,
+            identity_strength,
+            seed,
+        }
+    }
+
+    /// The subject's stable visual identity.
+    pub fn identity(&self) -> Identity {
+        Identity::from_seed(self.identity_seed, self.identity_strength)
+    }
+
+    /// Ground-truth AU occurrence at the apex — the expert annotation used
+    /// for instruction tuning on the DISFA-like corpus.
+    pub fn apex_aus(&self) -> AuSet {
+        self.apex_aus
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    /// Latent AU intensities at frame `t`.
+    pub fn au_at(&self, t: usize) -> &AuVector {
+        &self.trajectory[t]
+    }
+
+    /// Index of the most expressive frame (maximum total AU activation),
+    /// following Zhang et al.'s facial-expression-based frame selection.
+    pub fn most_expressive_frame(&self) -> usize {
+        let mut best = 0;
+        for (t, v) in self.trajectory.iter().enumerate() {
+            if v.expressiveness() > self.trajectory[best].expressiveness() {
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// Index of the least expressive frame.
+    pub fn least_expressive_frame(&self) -> usize {
+        let mut best = 0;
+        for (t, v) in self.trajectory.iter().enumerate() {
+            if v.expressiveness() < self.trajectory[best].expressiveness() {
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// Render frame `t` to pixels (deterministic per `(sample, t)`).
+    pub fn render_frame(&self, t: usize) -> Image {
+        render_face_of(
+            &self.trajectory[t],
+            &self.identity(),
+            self.pixel_noise,
+            self.texture_gain,
+            self.seed ^ (t as u64).wrapping_mul(0x51_7C_C1_B7),
+        )
+    }
+
+    /// The `(most expressive, least expressive)` frame pair `(f_e, f_l)`
+    /// that §IV-H feeds to the model as the video input `V`.
+    pub fn expressive_pair(&self) -> (Image, Image) {
+        (
+            self.render_frame(self.most_expressive_frame()),
+            self.render_frame(self.least_expressive_frame()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::ActionUnit;
+
+    fn make_sample() -> VideoSample {
+        let mut frames = Vec::new();
+        for t in 0..8 {
+            let mut v = AuVector::zeros();
+            // Expressiveness rises then falls, peaking at t = 5.
+            let e = 1.0 - ((t as f32) - 5.0).abs() / 5.0;
+            v.set(ActionUnit::BrowLowerer, e);
+            frames.push(v);
+        }
+        VideoSample::new(
+            3,
+            1,
+            StressLabel::Stressed,
+            AuSet::from_aus([ActionUnit::BrowLowerer]),
+            frames,
+            0.02,
+            1.0,
+            7,
+            1.0,
+            99,
+        )
+    }
+
+    #[test]
+    fn label_round_trip_and_flip() {
+        assert_eq!(StressLabel::from_index(StressLabel::Stressed.as_index()), StressLabel::Stressed);
+        assert_eq!(StressLabel::from_index(0), StressLabel::Unstressed);
+        assert_eq!(StressLabel::Stressed.flipped(), StressLabel::Unstressed);
+        assert_eq!(StressLabel::Unstressed.flipped(), StressLabel::Stressed);
+    }
+
+    #[test]
+    fn expressive_frame_selection() {
+        let s = make_sample();
+        assert_eq!(s.most_expressive_frame(), 5);
+        assert_eq!(s.least_expressive_frame(), 0);
+    }
+
+    #[test]
+    fn render_is_deterministic_per_frame() {
+        let s = make_sample();
+        let a = s.render_frame(5);
+        let b = s.render_frame(5);
+        assert_eq!(a, b);
+        let c = s.render_frame(0);
+        assert!(a.l1_distance(&c) > 0.0, "different frames should render differently");
+    }
+
+    #[test]
+    fn expressive_pair_matches_individual_renders() {
+        let s = make_sample();
+        let (fe, fl) = s.expressive_pair();
+        assert_eq!(fe, s.render_frame(5));
+        assert_eq!(fl, s.render_frame(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_trajectory_rejected() {
+        let _ = VideoSample::new(0, 0, StressLabel::Unstressed, AuSet::EMPTY, vec![], 0.0, 1.0, 0, 1.0, 0);
+    }
+}

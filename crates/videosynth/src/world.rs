@@ -1,0 +1,317 @@
+//! The generative world model: subjects, stress-conditioned AU sampling and
+//! temporal dynamics.
+//!
+//! The causal structure mirrors the data-collection protocols of UVSD
+//! (stress induced by a knowledge test) and RSL (stress from lying under
+//! questioning): an experimental condition determines the latent stress
+//! state, the stress state modulates which facial Action Units fire (via
+//! the priors in [`facs::stress`]), the AUs drive the face over time, and a
+//! camera observes noisy pixels.  Detectors only ever see the pixels (plus,
+//! where a published baseline used one, a simulated commodity detector).
+
+use facs::au::{AuSet, AuVector, ALL_AUS, NUM_AUS};
+use facs::stress::stress_weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinynn::rngutil::normal;
+
+use crate::video::{StressLabel, VideoSample};
+
+/// Tunable parameters of the generative process.
+///
+/// The two dataset profiles differ mainly in `au_label_coupling` (how
+/// cleanly stress shows on the face) and the noise terms — RSL, curated
+/// from a TV show with concealment incentives, is the noisier corpus, which
+/// is why every method in Table I scores lower on it.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Frames per video clip.
+    pub num_frames: usize,
+    /// Strength of the stress→AU coupling (log-odds scale).
+    pub au_label_coupling: f32,
+    /// Base log-odds of an AU activating regardless of state.
+    pub au_base_rate: f32,
+    /// Std-dev of per-subject AU biases (idiosyncratic resting faces).
+    pub subject_idiosyncrasy: f32,
+    /// Std-dev of frame-level AU intensity noise.
+    pub intensity_noise: f32,
+    /// Std-dev of per-pixel camera noise at render time.
+    pub pixel_noise: f32,
+    /// Probability that an unrelated AU flickers briefly (distractor).
+    pub distractor_rate: f32,
+    /// Strength of AU texture cues written to pixels (1.0 = nominal).
+    pub texture_gain: f32,
+    /// Strength of per-subject identity appearance variation.
+    pub identity_strength: f32,
+}
+
+impl WorldConfig {
+    /// UVSD-like: lab recording, fairly clean signal.
+    pub fn uvsd_like() -> Self {
+        WorldConfig {
+            num_frames: 16,
+            au_label_coupling: 1.6,
+            au_base_rate: -1.1,
+            subject_idiosyncrasy: 0.35,
+            intensity_noise: 0.06,
+            pixel_noise: 0.05,
+            distractor_rate: 0.10,
+            texture_gain: 0.8,
+            identity_strength: 0.55,
+        }
+    }
+
+    /// RSL-like: TV footage, concealment, noisier everything.
+    pub fn rsl_like() -> Self {
+        WorldConfig {
+            num_frames: 16,
+            au_label_coupling: 1.05,
+            au_base_rate: -1.0,
+            subject_idiosyncrasy: 0.55,
+            intensity_noise: 0.10,
+            pixel_noise: 0.07,
+            distractor_rate: 0.18,
+            texture_gain: 0.65,
+            identity_strength: 0.7,
+        }
+    }
+
+    /// DISFA+-like: posed/spontaneous expressions with clean AU annotation;
+    /// stress labels are irrelevant here, AU variety is maximised.
+    pub fn disfa_like() -> Self {
+        WorldConfig {
+            num_frames: 16,
+            au_label_coupling: 0.0, // AUs drawn independent of any stress state
+            au_base_rate: -0.75,
+            subject_idiosyncrasy: 0.25,
+            intensity_noise: 0.05,
+            pixel_noise: 0.025,
+            distractor_rate: 0.0,
+            texture_gain: 1.0,
+            identity_strength: 0.55,
+        }
+    }
+}
+
+/// A recorded participant with an idiosyncratic resting face.
+#[derive(Clone, Debug)]
+pub struct Subject {
+    /// Subject identifier, unique within a dataset.
+    pub id: usize,
+    /// Per-AU activation bias (log-odds offsets).
+    pub au_bias: [f32; NUM_AUS],
+    /// Multiplier on apex intensities (how expressive the face is).
+    pub expressivity: f32,
+    /// Seed of the subject's stable visual identity (see
+    /// [`crate::render::Identity`]).
+    pub identity_seed: u64,
+}
+
+impl Subject {
+    /// Sample a subject's idiosyncrasies.
+    pub fn generate<R: Rng>(id: usize, idiosyncrasy: f32, rng: &mut R) -> Self {
+        let mut au_bias = [0.0f32; NUM_AUS];
+        for b in &mut au_bias {
+            *b = normal(rng) * idiosyncrasy;
+        }
+        let expressivity = (1.0 + normal(rng) * 0.18).clamp(0.55, 1.45);
+        let identity_seed = rng.random::<u64>();
+        Subject { id, au_bias, expressivity, identity_seed }
+    }
+}
+
+/// Probability that `au` is active at the apex given the stress state.
+pub fn au_activation_probability(cfg: &WorldConfig, subject: &Subject, au: facs::ActionUnit, label: StressLabel) -> f32 {
+    let sign = match label {
+        StressLabel::Stressed => 1.0,
+        StressLabel::Unstressed => -1.0,
+    };
+    let z = cfg.au_base_rate + sign * cfg.au_label_coupling * stress_weight(au) + subject.au_bias[au.index()];
+    facs::stress::sigmoid(z)
+}
+
+/// Onset–apex–offset intensity envelope over `n` frames, peaking at
+/// `apex_frame` with value 1.
+fn envelope(t: usize, apex_frame: usize, n: usize) -> f32 {
+    debug_assert!(apex_frame < n);
+    if t <= apex_frame {
+        if apex_frame == 0 {
+            1.0
+        } else {
+            t as f32 / apex_frame as f32
+        }
+    } else {
+        let tail = (n - 1 - apex_frame).max(1);
+        1.0 - 0.65 * (t - apex_frame) as f32 / tail as f32
+    }
+}
+
+/// Sample one video clip for a subject under a given stress condition.
+///
+/// `sample_id` seeds both the AU process and the render noise so every
+/// sample is exactly reproducible.
+pub fn sample_video(
+    cfg: &WorldConfig,
+    subject: &Subject,
+    label: StressLabel,
+    sample_id: usize,
+    dataset_seed: u64,
+) -> VideoSample {
+    let seed = dataset_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(sample_id as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Which AUs fire at the apex.
+    let mut apex = AuSet::EMPTY;
+    let mut targets = AuVector::zeros();
+    for au in ALL_AUS {
+        let p = au_activation_probability(cfg, subject, au, label);
+        if rng.random::<f32>() < p {
+            apex.insert(au);
+            let target = (0.55 + 0.45 * rng.random::<f32>()) * subject.expressivity;
+            targets.set(au, target);
+        }
+    }
+
+    // Temporal trajectory.
+    let n = cfg.num_frames;
+    let apex_frame = n / 3 + (rng.random::<u32>() as usize) % (n / 3).max(1);
+    let mut trajectory = Vec::with_capacity(n);
+    for t in 0..n {
+        let env = envelope(t, apex_frame, n);
+        let mut v = AuVector::zeros();
+        for au in ALL_AUS {
+            let mut x = targets.get(au) * env;
+            // Distractor flicker on inactive AUs.
+            if !apex.contains(au)
+                && cfg.distractor_rate > 0.0
+                && rng.random::<f32>() < cfg.distractor_rate / n as f32
+            {
+                x += 0.25 + 0.2 * rng.random::<f32>();
+            }
+            x += normal(&mut rng) * cfg.intensity_noise;
+            v.set(au, x);
+        }
+        trajectory.push(v);
+    }
+
+    VideoSample::new(
+        sample_id,
+        subject.id,
+        label,
+        apex,
+        trajectory,
+        cfg.pixel_noise,
+        cfg.texture_gain,
+        subject.identity_seed,
+        cfg.identity_strength,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs::ActionUnit;
+
+    fn subj(seed: u64) -> Subject {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Subject::generate(0, 0.3, &mut rng)
+    }
+
+    #[test]
+    fn stress_raises_marker_au_probability() {
+        let cfg = WorldConfig::uvsd_like();
+        let s = Subject { id: 0, au_bias: [0.0; NUM_AUS], expressivity: 1.0, identity_seed: 0 };
+        let p_stressed = au_activation_probability(&cfg, &s, ActionUnit::BrowLowerer, StressLabel::Stressed);
+        let p_unstressed = au_activation_probability(&cfg, &s, ActionUnit::BrowLowerer, StressLabel::Unstressed);
+        assert!(p_stressed > 0.6, "p_stressed = {p_stressed}");
+        assert!(p_unstressed < 0.1, "p_unstressed = {p_unstressed}");
+    }
+
+    #[test]
+    fn unstressed_raises_smile_probability() {
+        let cfg = WorldConfig::uvsd_like();
+        let s = Subject { id: 0, au_bias: [0.0; NUM_AUS], expressivity: 1.0, identity_seed: 0 };
+        let p_u = au_activation_probability(&cfg, &s, ActionUnit::LipCornerPuller, StressLabel::Unstressed);
+        let p_s = au_activation_probability(&cfg, &s, ActionUnit::LipCornerPuller, StressLabel::Stressed);
+        assert!(p_u > p_s);
+    }
+
+    #[test]
+    fn disfa_profile_is_label_independent() {
+        let cfg = WorldConfig::disfa_like();
+        let s = Subject { id: 0, au_bias: [0.0; NUM_AUS], expressivity: 1.0, identity_seed: 0 };
+        for au in ALL_AUS {
+            let a = au_activation_probability(&cfg, &s, au, StressLabel::Stressed);
+            let b = au_activation_probability(&cfg, &s, au, StressLabel::Unstressed);
+            assert!((a - b).abs() < 1e-6, "{au}");
+        }
+    }
+
+    #[test]
+    fn envelope_peaks_at_apex() {
+        let n = 16;
+        let apex = 6;
+        for t in 0..n {
+            let e = envelope(t, apex, n);
+            assert!(e <= 1.0 + 1e-6);
+            assert!(e >= 0.0);
+        }
+        assert!((envelope(apex, apex, n) - 1.0).abs() < 1e-6);
+        assert!(envelope(0, apex, n) < envelope(apex, apex, n));
+        assert!(envelope(n - 1, apex, n) < envelope(apex, apex, n));
+    }
+
+    #[test]
+    fn sample_video_is_deterministic() {
+        let cfg = WorldConfig::uvsd_like();
+        let s = subj(1);
+        let a = sample_video(&cfg, &s, StressLabel::Stressed, 7, 42);
+        let b = sample_video(&cfg, &s, StressLabel::Stressed, 7, 42);
+        assert_eq!(a.apex_aus(), b.apex_aus());
+        assert_eq!(a.au_at(5).0, b.au_at(5).0);
+    }
+
+    #[test]
+    fn different_sample_ids_differ() {
+        let cfg = WorldConfig::uvsd_like();
+        let s = subj(1);
+        let a = sample_video(&cfg, &s, StressLabel::Stressed, 7, 42);
+        let b = sample_video(&cfg, &s, StressLabel::Stressed, 8, 42);
+        // Trajectories should differ (same subject, different episode).
+        let same = (0..a.num_frames()).all(|t| a.au_at(t).0 == b.au_at(t).0);
+        assert!(!same);
+    }
+
+    #[test]
+    fn stressed_videos_show_more_stress_aus_in_aggregate() {
+        let cfg = WorldConfig::uvsd_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stressed_marker = 0usize;
+        let mut unstressed_marker = 0usize;
+        for i in 0..200 {
+            let s = Subject::generate(i, cfg.subject_idiosyncrasy, &mut rng);
+            let vs = sample_video(&cfg, &s, StressLabel::Stressed, i * 2, 9);
+            let vu = sample_video(&cfg, &s, StressLabel::Unstressed, i * 2 + 1, 9);
+            for au in [ActionUnit::BrowLowerer, ActionUnit::LipStretcher, ActionUnit::UpperLidRaiser] {
+                stressed_marker += usize::from(vs.apex_aus().contains(au));
+                unstressed_marker += usize::from(vu.apex_aus().contains(au));
+            }
+        }
+        assert!(
+            stressed_marker > unstressed_marker * 3,
+            "stressed {stressed_marker} vs unstressed {unstressed_marker}"
+        );
+    }
+
+    #[test]
+    fn subject_expressivity_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..100 {
+            let s = Subject::generate(i, 0.4, &mut rng);
+            assert!((0.55..=1.45).contains(&s.expressivity));
+        }
+    }
+}

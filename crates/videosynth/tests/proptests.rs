@@ -1,0 +1,60 @@
+//! Property-based tests for the synthetic world.
+
+use facs::au::{AuVector, NUM_AUS};
+use proptest::prelude::*;
+use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+use videosynth::render::render_face;
+use videosynth::slic::slic;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rendering any AU vector yields an in-range image of the right size.
+    #[test]
+    fn render_is_total(vals in proptest::collection::vec(0.0f32..=1.0, NUM_AUS), noise in 0.0f32..0.1) {
+        let mut v = AuVector::zeros();
+        for (i, x) in vals.iter().enumerate() {
+            v.0[i] = *x;
+        }
+        let img = render_face(&v, noise, 7);
+        prop_assert_eq!(img.width(), 96);
+        prop_assert_eq!(img.height(), 96);
+        prop_assert!(img.pixels().iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    /// SLIC always partitions: labels compact, no empty segments, full cover.
+    #[test]
+    fn slic_partitions(k in 4usize..40, m in 0.02f32..0.3) {
+        let img = render_face(&AuVector::zeros(), 0.02, 3);
+        let seg = slic(&img, k, m, 4);
+        prop_assert!(seg.num_segments() <= k);
+        prop_assert!(seg.num_segments() >= 1);
+        let sizes = seg.segment_sizes();
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert_eq!(sizes.iter().sum::<usize>(), img.len());
+    }
+
+    /// Dataset generation respects exact class counts for any seed.
+    #[test]
+    fn dataset_class_counts_hold(seed in 0u64..1000) {
+        let p = DatasetProfile::rsl(Scale::Smoke);
+        let expect = p.num_stressed;
+        let ds = Dataset::generate(p, seed);
+        prop_assert_eq!(ds.label_counts().0, expect);
+    }
+
+    /// Fold splits partition the dataset for any fold count and seed.
+    #[test]
+    fn folds_partition(seed in 0u64..100, k in 2usize..6) {
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 11);
+        let folds = ds.k_folds(k, seed);
+        let mut seen = vec![false; ds.len()];
+        for (_, test) in &folds {
+            for &i in test {
+                prop_assert!(!seen[i], "sample {} in two test folds", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

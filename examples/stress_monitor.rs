@@ -1,0 +1,67 @@
+//! A monitoring scenario from the paper's introduction: non-invasive stress
+//! screening over a stream of video clips, with human-readable rationales
+//! for every flag raised.
+//!
+//! ```sh
+//! cargo run --release --example stress_monitor
+//! ```
+
+use self_refine_stress::prelude::*;
+use videosynth::world::{sample_video, Subject, WorldConfig};
+
+fn main() {
+    let seed = 23;
+
+    // Train a detector once (smoke scale for the demo).
+    println!("training the monitoring pipeline…");
+    let au = Dataset::generate(DatasetProfile::disfa(Scale::Default), seed);
+    let stress = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), seed ^ 1);
+    let mut base = Lfm::new(ModelConfig::small(), seed);
+    lfm::pretrain::pretrain(&mut base, &CapabilityProfile::base().scaled(0.5), seed ^ 2);
+    let (pipeline, _) = train_pipeline(
+        base,
+        PipelineConfig::smoke(),
+        &au.samples,
+        &stress.samples,
+        Variant::Full,
+    );
+
+    // Simulate a day of clips from one monitored subject: relaxed in the
+    // morning, a stressful stretch midday, recovery in the evening.
+    println!("\nmonitoring subject #42 over 10 clips…\n");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 3);
+    let subject = Subject::generate(42, 0.35, &mut rng);
+    let wc = WorldConfig::uvsd_like();
+    let schedule = [
+        StressLabel::Unstressed,
+        StressLabel::Unstressed,
+        StressLabel::Unstressed,
+        StressLabel::Stressed,
+        StressLabel::Stressed,
+        StressLabel::Stressed,
+        StressLabel::Stressed,
+        StressLabel::Unstressed,
+        StressLabel::Unstressed,
+        StressLabel::Unstressed,
+    ];
+
+    let mut alerts = 0;
+    let mut correct = 0;
+    for (hour, &truth) in schedule.iter().enumerate() {
+        let clip = sample_video(&wc, &subject, truth, 1000 + hour, seed ^ 4);
+        let out = pipeline.predict(&clip, hour as u64);
+        let mark = if out.assessment == truth { "✓" } else { "✗" };
+        correct += usize::from(out.assessment == truth);
+        println!("{:02}:00  {:<10} (truth {:<10}) {}", 9 + hour, out.assessment.to_string(), truth.to_string(), mark);
+        if out.assessment == StressLabel::Stressed {
+            alerts += 1;
+            let cues: Vec<String> = out.rationale.iter().map(|au| au.to_string()).collect();
+            println!("        ⚠ alert — critical facial cues: {}", cues.join(", "));
+        }
+    }
+    println!(
+        "\nsummary: {alerts} alert(s) raised, {correct}/{} clips classified correctly.",
+        schedule.len()
+    );
+    println!("every alert carries the facial actions that drove it — the paper's interpretability goal.");
+}

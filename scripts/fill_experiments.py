@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Splice recorded results/*.txt into EXPERIMENTS.md placeholders."""
+import os, re
+
+sections = {
+    "table1": "## Table I",
+    "table2": "## Table II",
+    "table3": "## Tables III & IV",   # combined block gets both files
+    "table5": "## Tables V & VI",
+    "table7": "## Table VII",
+    "table8": "## Table VIII",
+    "fig6": "## Figure 6",
+    "fig7": "## Figure 7",
+    "fig8": "## Figure 8",
+}
+combined = {"table3": ["table3", "table4"], "table5": ["table5", "table6"]}
+
+md = open("EXPERIMENTS.md").read()
+for key, header in sections.items():
+    files = combined.get(key, [key])
+    texts = []
+    for f in files:
+        p = f"results/{f}.txt"
+        if os.path.exists(p) and os.path.getsize(p) > 0:
+            texts.append(open(p).read().rstrip())
+    if not texts:
+        continue
+    body = "\n\n".join(texts)
+    # Replace the first ```text ...``` block after the header.
+    idx = md.find(header)
+    if idx < 0:
+        continue
+    start = md.find("```text", idx)
+    end = md.find("```", start + 7)
+    if start < 0 or end < 0:
+        continue
+    md = md[:start] + "```text\n" + body + "\n" + md[end:]
+open("EXPERIMENTS.md", "w").write(md)
+print("filled sections:", [k for k in sections if os.path.exists(f"results/{combined.get(k,[k])[0]}.txt") and os.path.getsize(f"results/{combined.get(k,[k])[0]}.txt") > 0])

@@ -1,0 +1,7 @@
+#!/bin/bash
+set -u
+cd /root/repo
+python3 scripts/fill_experiments.py
+cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt | grep -E "test result|FAILED|error" | tail -30
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -30
+echo FINALIZE-DONE

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Record every table/figure at default scale into results/.
+set -u
+cd /root/repo
+run() {
+  name=$1; shift
+  echo "=== $name start $(date +%H:%M:%S) ==="
+  timeout 1500 cargo run --release -p bench-suite --bin "$name" -- "$@" > "results/$name.txt" 2> "results/$name.log"
+  echo "=== $name done rc=$? $(date +%H:%M:%S) ==="
+}
+run table1 --seed 7
+run table3 --seed 7 --samples 10
+run table5 --seed 7 --samples 10
+run fig6   --seed 7 --samples 2
+run table2 --seed 7 --samples 10
+run table8 --seed 7
+run table7 --seed 7
+run fig8   --seed 7
+run fig7   --seed 7 --samples 8
+run table4 --seed 7 --samples 10
+run table6 --seed 7 --samples 10
+echo ALL DONE

@@ -1,0 +1,63 @@
+//! `self-refine-stress` — interpretable video-based stress detection with
+//! self-refine chain reasoning (reproduction of Dai et al., ICDE 2025).
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users have a single dependency:
+//!
+//! * [`chain_reason`] — the paper's contribution: the
+//!   `Describe → Assess → Highlight` pipeline, the self-refinement loops
+//!   with DPO, Algorithm 1, the ablation variants and test-time refinement;
+//! * [`lfm`] — the trainable vision-language foundation-model simulator;
+//! * [`videosynth`] — the synthetic facial-video world standing in for the
+//!   UVSD / RSL / DISFA+ corpora;
+//! * [`facs`] — action units, facial regions and the description language;
+//! * [`explainers`] — LIME / KernelSHAP / SOBOL baselines;
+//! * [`baselines`] — the Table I competitor methods;
+//! * [`retrieval`] — in-context example retrieval;
+//! * [`evalkit`] — metrics, cross validation and the faithfulness protocol;
+//! * [`tinynn`] — the from-scratch autodiff engine underneath it all.
+//!
+//! Quickstart: see `examples/quickstart.rs`, or:
+//!
+//! ```no_run
+//! use self_refine_stress::prelude::*;
+//!
+//! let ctx_seed = 7;
+//! let au = Dataset::generate(DatasetProfile::disfa(Scale::Smoke), ctx_seed);
+//! let stress = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), ctx_seed);
+//! let mut base = Lfm::new(ModelConfig::tiny(), ctx_seed);
+//! lfm::pretrain::pretrain(&mut base, &CapabilityProfile::base().scaled(0.2), ctx_seed);
+//! let (pipeline, report) = train_pipeline(
+//!     base,
+//!     PipelineConfig::smoke(),
+//!     &au.samples,
+//!     &stress.samples,
+//!     Variant::Full,
+//! );
+//! println!("trained: {report:?}");
+//! let out = pipeline.predict(&stress.samples[0], 0);
+//! println!("{}", facs::describe::render_description(out.description));
+//! ```
+
+pub use baselines;
+pub use chain_reason;
+pub use evalkit;
+pub use explainers;
+pub use facs;
+pub use lfm;
+pub use retrieval;
+pub use tinynn;
+pub use videosynth;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use chain_reason::{
+        train_pipeline, ChainOutput, PipelineConfig, StressPipeline, TrainReport, Variant,
+    };
+    pub use facs::au::{ActionUnit, AuSet};
+    pub use facs::describe::render_description;
+    pub use lfm::pretrain::CapabilityProfile;
+    pub use lfm::{Lfm, ModelConfig};
+    pub use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+    pub use videosynth::video::{StressLabel, VideoSample};
+}

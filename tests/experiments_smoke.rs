@@ -1,0 +1,106 @@
+//! Smoke-scale integration tests of every experiment runner: each table
+//! and figure of the paper can be regenerated end to end.
+
+use bench_suite::context::{Context, Corpus};
+use bench_suite::experiments::{ablation, detection, explainer, icl, testtime};
+use chain_reason::Variant;
+use videosynth::dataset::Scale;
+
+fn ctx(corpus: Corpus, seed: u64) -> Context {
+    Context::prepare(corpus, Scale::Smoke, seed)
+}
+
+#[test]
+fn table1_runner_covers_all_methods() {
+    let c = ctx(Corpus::Uvsd, 31);
+    // Skip "Ours" here (covered by the ablation test) to keep runtime sane.
+    let rows = detection::run_corpus(&c, false);
+    assert_eq!(rows.len(), 11, "3 proxies + 8 supervised baselines");
+    for r in &rows {
+        assert!(r.metrics.accuracy > 0.3, "{} collapsed: {:?}", r.method, r.metrics);
+        assert!(r.paper[0] > 0.0, "{} has no paper number", r.method);
+    }
+    // The table renders without panicking.
+    let t = detection::render("Table I (smoke)", &[("UVSD", rows.as_slice())]);
+    assert!(t.render().contains("MARLIN"));
+}
+
+#[test]
+fn ablation_runner_produces_detection_and_faithfulness() {
+    let c = ctx(Corpus::Uvsd, 32);
+    let row = ablation::run_variant(&c, Variant::Full, 6);
+    assert!(row.metrics.accuracy > 0.5, "{:?}", row.metrics);
+    assert!(row.drops.clean >= 0.0 && row.drops.clean <= 1.0);
+    for d in row.drops.drops {
+        assert!(d.abs() <= 1.0);
+    }
+    let t = ablation::render_detection("Table III (smoke)", Corpus::Uvsd, &[row.clone()]);
+    assert!(t.render().contains("Ours"));
+    let t = ablation::render_faithfulness("Table IV (smoke)", Corpus::Uvsd, &[row]);
+    assert!(t.render().contains("Top-1"));
+}
+
+#[test]
+fn explainer_comparison_ranks_and_measures() {
+    let c = ctx(Corpus::Uvsd, 33);
+    let rows = explainer::run_table2(&c, 4);
+    assert_eq!(rows.len(), 4);
+    let t = explainer::render_table2("Table II (smoke)", Corpus::Uvsd, &rows);
+    let s = t.render();
+    for name in ["SHAP", "LIME", "SOBOL", "Ours"] {
+        assert!(s.contains(name), "{s}");
+    }
+}
+
+#[test]
+fn fig6_latency_ours_is_fastest() {
+    let c = ctx(Corpus::Uvsd, 34);
+    let rows = explainer::run_fig6(&c, 1);
+    let ours = rows
+        .iter()
+        .find(|r| r.0 == explainer::Explainer::Ours)
+        .expect("ours timed")
+        .1;
+    for (e, secs) in &rows {
+        if *e != explainer::Explainer::Ours {
+            assert!(
+                *secs > ours,
+                "{} ({secs:.3}s) should be slower than Ours ({ours:.3}s)",
+                e.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn icl_runner_reports_all_strategies() {
+    let c = ctx(Corpus::Rsl, 35);
+    let (pl, rows) = icl::run_table7(&c);
+    assert_eq!(rows.len(), 4);
+    let t = icl::render_table7("Table VII (smoke)", Corpus::Rsl, &rows);
+    assert!(t.render().contains("Retrieve-by-description"));
+
+    // Figure 7 and 8 reuse the trained pipeline.
+    let (vision, desc) = icl::run_fig7(&c, &pl, 3, 6);
+    assert!(vision.helpful.n + vision.unhelpful.n > 0);
+    assert!(desc.helpful.n + desc.unhelpful.n > 0);
+
+    let rows8 = icl::run_fig8(&c, &pl, &[0.5, 1.0]);
+    assert_eq!(rows8.len(), 6, "2 fractions × 3 strategies");
+    for (_, _, acc) in rows8 {
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}
+
+#[test]
+fn testtime_runner_covers_all_proxies() {
+    let c = ctx(Corpus::Rsl, 36);
+    let rows = testtime::run_table8(&c);
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        assert!(r.original.accuracy > 0.2);
+        assert!(r.refined.accuracy > 0.2);
+    }
+    let t = testtime::render_table8("Table VIII (smoke)", Corpus::Rsl, &rows);
+    assert!(t.render().contains("GPT-4o"));
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration: Algorithm 1 at smoke scale, all ablation
+//! variants, test-time refinement, and the interpretability invariants.
+
+use self_refine_stress::prelude::*;
+
+fn smoke_setup() -> (Vec<VideoSample>, Vec<VideoSample>, Vec<VideoSample>) {
+    let au = Dataset::generate(DatasetProfile::disfa(Scale::Smoke), 1);
+    let stress = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 2);
+    let (tr, te) = stress.train_test_split(0.8, 3);
+    let train = tr.iter().map(|&i| stress.samples[i].clone()).collect();
+    let test = te.iter().map(|&i| stress.samples[i].clone()).collect();
+    (au.samples, train, test)
+}
+
+fn tiny_base(seed: u64) -> Lfm {
+    let mut m = Lfm::new(ModelConfig::tiny(), seed);
+    lfm::pretrain::pretrain(&mut m, &CapabilityProfile::base().scaled(0.25), seed ^ 9);
+    m
+}
+
+#[test]
+fn algorithm_one_trains_and_predicts_above_chance() {
+    let (au, train, test) = smoke_setup();
+    let (pl, report) = train_pipeline(tiny_base(5), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    assert!(report.describe_loss.is_some());
+    assert!(report.assess_loss.is_some());
+    let correct = test.iter().filter(|v| pl.predict_label(v) == v.label).count();
+    assert!(
+        correct * 2 > test.len(),
+        "test accuracy at or below chance: {correct}/{}",
+        test.len()
+    );
+}
+
+#[test]
+fn rationale_is_always_a_subset_of_the_description() {
+    let (au, train, test) = smoke_setup();
+    let (pl, _) = train_pipeline(tiny_base(6), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    for v in test.iter().take(6) {
+        let out = pl.predict(v, v.id as u64);
+        assert!(
+            out.rationale.difference(out.description).is_empty(),
+            "rationale {:?} escapes description {:?}",
+            out.rationale,
+            out.description
+        );
+    }
+}
+
+#[test]
+fn every_variant_trains_and_is_deterministic() {
+    let (au, train, test) = smoke_setup();
+    for variant in [
+        Variant::WithoutChain,
+        Variant::WithoutLearnDescribe,
+        Variant::WithoutRefine,
+        Variant::WithoutReflection,
+    ] {
+        let (pl, _) = train_pipeline(tiny_base(7), PipelineConfig::smoke(), &au, &train, variant);
+        let a: Vec<StressLabel> = test
+            .iter()
+            .take(4)
+            .map(|v| chain_reason::trainer::predict_for_variant(&pl, variant, v))
+            .collect();
+        let b: Vec<StressLabel> = test
+            .iter()
+            .take(4)
+            .map(|v| chain_reason::trainer::predict_for_variant(&pl, variant, v))
+            .collect();
+        assert_eq!(a, b, "{variant:?} predictions not deterministic");
+    }
+}
+
+#[test]
+fn same_seed_same_pipeline() {
+    let (au, train, test) = smoke_setup();
+    let (p1, _) = train_pipeline(tiny_base(8), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    let (p2, _) = train_pipeline(tiny_base(8), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    for v in test.iter().take(5) {
+        assert_eq!(p1.predict(v, 0), p2.predict(v, 0), "training is not reproducible");
+    }
+}
+
+#[test]
+fn test_time_refinement_leaves_weights_frozen_and_runs() {
+    let (_, train, test) = smoke_setup();
+    let mut m = Lfm::new(ModelConfig::tiny(), 9);
+    lfm::pretrain::pretrain(&mut m, &CapabilityProfile::gpt4o().scaled(0.25), 10);
+    let pl = chain_reason::StressPipeline::new(m, PipelineConfig::smoke());
+    let before = pl.model.store.snapshot();
+    for v in test.iter().take(3) {
+        let out = chain_reason::test_time::predict_with_test_time_refinement(&pl, v, &train, 4);
+        assert!(out.description.difference(facs::au::AuSet::FULL).is_empty());
+    }
+    for id in pl.model.store.ids() {
+        assert_eq!(
+            pl.model.store.value(id).data,
+            before.value(id).data,
+            "test-time refinement must not train"
+        );
+    }
+}
+
+#[test]
+fn flip_count_protocol_is_consistent_with_rationale_length() {
+    let (au, train, _) = smoke_setup();
+    let (pl, _) = train_pipeline(tiny_base(11), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    let v = &train[0];
+    let out = pl.predict(v, 0);
+    if out.rationale.is_empty() {
+        return;
+    }
+    let score = chain_reason::refine::rationale_flip_count(
+        &pl,
+        v,
+        out.description,
+        out.assessment,
+        out.rationale,
+    );
+    assert!(score >= 1 && score <= out.rationale.len() + 1);
+}

@@ -1,0 +1,86 @@
+//! Cross-crate property-based tests.
+
+use facs::au::{AuSet, NUM_AUS};
+use lfm::grammar::{generate_description_within, DescriptionDfa};
+use lfm::{Lfm, ModelConfig, Vocab};
+use proptest::prelude::*;
+use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+use videosynth::perturb::{gaussian_disturb, mask_segments};
+use videosynth::slic::slic;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Grammar-constrained generation with any allowed set stays inside it,
+    /// for an untrained (worst-case) model at high temperature.
+    #[test]
+    fn constrained_generation_respects_allowed(bits in 0u16..(1 << NUM_AUS), seed in 0u64..50) {
+        // A single static model would be nicer but proptest closures make a
+        // tiny fresh model cheap enough.
+        let m = Lfm::new(ModelConfig::tiny(), 3);
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 1);
+        let allowed = AuSet::from_bits(bits);
+        let p = lfm::instructions::describe_prompt(&m, &ds.samples[0]);
+        let out = generate_description_within(&m, &p, allowed, 1.5, seed);
+        prop_assert!(out.difference(allowed).is_empty());
+    }
+
+    /// The DFA accepts exactly the canonical renderings (sampled subsets).
+    #[test]
+    fn dfa_accepts_canonical(bits in 0u16..(1 << NUM_AUS)) {
+        let vocab = Vocab::build();
+        let dfa = DescriptionDfa::new(&vocab);
+        let s = AuSet::from_bits(bits);
+        let toks = vocab.encode(&facs::describe::render_description(s)).unwrap();
+        let mut state = dfa.start();
+        for t in toks {
+            prop_assert!(dfa.allowed(&state).contains(&t));
+            state = dfa.advance(state, t);
+        }
+        prop_assert_eq!(dfa.accepting(&state), Some(s));
+    }
+
+    /// Perturbations only touch the targeted segments.
+    #[test]
+    fn perturbations_are_local(target in 0usize..8, sigma in 0.05f32..0.5) {
+        let ds = Dataset::generate(DatasetProfile::rsl(Scale::Smoke), 2);
+        let img = ds.samples[0].render_frame(0);
+        let seg = slic(&img, 8, 0.1, 3);
+        let t = target % seg.num_segments();
+        for out in [
+            gaussian_disturb(&img, &seg, &[t], sigma, 3),
+            mask_segments(&img, &seg, &[t], 0.5),
+        ] {
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    if seg.segment_of(x, y) != t {
+                        prop_assert_eq!(img.get(x, y), out.get(x, y));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Metrics identities hold for arbitrary confusion counts.
+    #[test]
+    fn metrics_identities(tp in 0usize..50, tn in 0usize..50, fp in 0usize..50, fn_ in 0usize..50) {
+        prop_assume!(tp + tn + fp + fn_ > 0);
+        let c = evalkit::metrics::Confusion { tp, tn, fp, fn_ };
+        let m = c.metrics();
+        prop_assert!((0.0..=1.0).contains(&m.accuracy));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        let acc = (tp + tn) as f64 / (tp + tn + fp + fn_) as f64;
+        prop_assert!((m.accuracy - acc).abs() < 1e-12);
+    }
+
+    /// Attribution top-k prefixes are consistent: top-1 is the head of top-3.
+    #[test]
+    fn attribution_topk_prefix(scores in proptest::collection::vec(-1.0f32..1.0, 5..20)) {
+        let a = explainers::Attribution::new(scores);
+        let t1 = a.top_k(1);
+        let t3 = a.top_k(3.min(a.len()));
+        prop_assert_eq!(t1[0], t3[0]);
+    }
+}
