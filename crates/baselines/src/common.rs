@@ -136,22 +136,29 @@ pub struct CnnTrunk {
 
 impl CnnTrunk {
     /// Register the trunk with channel widths `(c1, c2)`.
-    pub fn new(
-        store: &mut ParamStore,
-        name: &str,
-        c1: usize,
-        c2: usize,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn new(store: &mut ParamStore, name: &str, c1: usize, c2: usize, rng: &mut StdRng) -> Self {
         CnnTrunk {
             conv1: tinynn::layers::Conv2dLayer::new(store, &format!("{name}.c1"), 2, c1, 5, 2, rng),
-            conv2: tinynn::layers::Conv2dLayer::new(store, &format!("{name}.c2"), c1, c2, 3, 1, rng),
+            conv2: tinynn::layers::Conv2dLayer::new(
+                store,
+                &format!("{name}.c2"),
+                c1,
+                c2,
+                3,
+                1,
+                rng,
+            ),
             out_dim: c2 * 4 * 4,
         }
     }
 
     /// Encode a 48×48 two-channel leaf (`[2, 48, 48]`) into `[1, out_dim]`.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, img: tinynn::graph::Var) -> tinynn::graph::Var {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        img: tinynn::graph::Var,
+    ) -> tinynn::graph::Var {
         let h = self.conv1.forward(g, store, img); // [c1, 22, 22]
         let h = g.relu(h);
         let h = g.max_pool2d(h, 2); // [c1, 11, 11]
@@ -184,12 +191,22 @@ impl CnnTrunk {
     }
 
     /// First convolution only (for deeper variants that extend the trunk).
-    pub fn conv1_forward(&self, g: &mut Graph, store: &ParamStore, x: tinynn::graph::Var) -> tinynn::graph::Var {
+    pub fn conv1_forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: tinynn::graph::Var,
+    ) -> tinynn::graph::Var {
         self.conv1.forward(g, store, x)
     }
 
     /// Second convolution only.
-    pub fn conv2_forward(&self, g: &mut Graph, store: &ParamStore, x: tinynn::graph::Var) -> tinynn::graph::Var {
+    pub fn conv2_forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: tinynn::graph::Var,
+    ) -> tinynn::graph::Var {
         self.conv2.forward(g, store, x)
     }
 }
@@ -248,7 +265,13 @@ mod tests {
 
     #[test]
     fn class_round_trip() {
-        assert_eq!(label_of(class_of(StressLabel::Stressed)), StressLabel::Stressed);
-        assert_eq!(label_of(class_of(StressLabel::Unstressed)), StressLabel::Unstressed);
+        assert_eq!(
+            label_of(class_of(StressLabel::Stressed)),
+            StressLabel::Stressed
+        );
+        assert_eq!(
+            label_of(class_of(StressLabel::Unstressed)),
+            StressLabel::Unstressed
+        );
     }
 }

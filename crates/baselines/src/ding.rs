@@ -42,7 +42,10 @@ impl Ding {
         profile.corpus_size = (profile.corpus_size as f32 * 1.5) as usize;
         profile.describe_noise = 0.06;
         pretrain(&mut describer, &profile, seed ^ 0xD2);
-        let feats: Vec<Vec<f32>> = train.iter().map(|v| Self::features(&describer, v)).collect();
+        let feats: Vec<Vec<f32>> = train
+            .iter()
+            .map(|v| Self::features(&describer, v))
+            .collect();
         let labels: Vec<usize> = train.iter().map(|v| class_of(v.label)).collect();
         let clf = MlpClassifier::fit(&feats, &labels, &[FEAT, 24, 2], 30, 5e-3, seed);
         Ding { describer, clf }
@@ -66,7 +69,10 @@ impl StressDetector for Ding {
     }
 
     fn predict(&self, video: &VideoSample) -> StressLabel {
-        label_of(self.clf.predict_class(&Self::features(&self.describer, video)))
+        label_of(
+            self.clf
+                .predict_class(&Self::features(&self.describer, video)),
+        )
     }
 }
 
@@ -85,6 +91,10 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 }

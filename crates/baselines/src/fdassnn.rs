@@ -75,6 +75,9 @@ mod tests {
     fn deterministic_predictions() {
         let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 2);
         let model = Fdassnn::fit(&ds.samples[..20], 1);
-        assert_eq!(model.predict(&ds.samples[21]), model.predict(&ds.samples[21]));
+        assert_eq!(
+            model.predict(&ds.samples[21]),
+            model.predict(&ds.samples[21])
+        );
     }
 }

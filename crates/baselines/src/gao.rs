@@ -45,8 +45,17 @@ impl Gao {
         let mut ys: Vec<f32> = Vec::new();
         for v in train {
             for t in sampled_frames(v, FRAMES) {
-                xs.push(landmark_feature_vector(&observed_landmarks(v, t, TRACKER_NOISE, seed)));
-                ys.push(if v.label == StressLabel::Stressed { 1.0 } else { -1.0 });
+                xs.push(landmark_feature_vector(&observed_landmarks(
+                    v,
+                    t,
+                    TRACKER_NOISE,
+                    seed,
+                )));
+                ys.push(if v.label == StressLabel::Stressed {
+                    1.0
+                } else {
+                    -1.0
+                });
             }
         }
         for _ in 0..20 {
@@ -69,7 +78,12 @@ impl Gao {
         }
 
         // Threshold sweep.
-        let mut model = Gao { store, svm, threshold: 0.5, seed };
+        let mut model = Gao {
+            store,
+            svm,
+            threshold: 0.5,
+            seed,
+        };
         let mut best = (0usize, 0.5f32);
         for k in 1..10 {
             let th = k as f32 / 10.0;
@@ -88,7 +102,8 @@ impl Gao {
         let frames = sampled_frames(video, FRAMES);
         let mut neg = 0usize;
         for &t in &frames {
-            let f = landmark_feature_vector(&observed_landmarks(video, t, TRACKER_NOISE, self.seed));
+            let f =
+                landmark_feature_vector(&observed_landmarks(video, t, TRACKER_NOISE, self.seed));
             let mut g = Graph::new();
             let x = g.leaf(Tensor::from_vec(f, vec![1, 98]));
             let s = self.svm.forward(&mut g, &self.store, x);
@@ -129,7 +144,11 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 
     #[test]

@@ -40,11 +40,31 @@ impl Jeon {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let trunk = CnnTrunk::new(&mut store, "jeon.cnn", 4, 8, &mut rng);
-        let lmk_net = Mlp::new(&mut store, "jeon.lmk", &[98, 32, 16], Activation::Relu, &mut rng);
-        let fuse = Linear::new(&mut store, "jeon.fuse", trunk.out_dim + 16, FRAME_DIM, &mut rng);
+        let lmk_net = Mlp::new(
+            &mut store,
+            "jeon.lmk",
+            &[98, 32, 16],
+            Activation::Relu,
+            &mut rng,
+        );
+        let fuse = Linear::new(
+            &mut store,
+            "jeon.fuse",
+            trunk.out_dim + 16,
+            FRAME_DIM,
+            &mut rng,
+        );
         let attn_query = Linear::new(&mut store, "jeon.attnq", FRAME_DIM, 1, &mut rng);
         let head = Linear::new(&mut store, "jeon.head", FRAME_DIM, 2, &mut rng);
-        let mut model = Jeon { store, trunk, lmk_net, fuse, attn_query, head, seed };
+        let mut model = Jeon {
+            store,
+            trunk,
+            lmk_net,
+            fuse,
+            attn_query,
+            head,
+            seed,
+        };
         let mut opt = Adam::new(2e-3);
 
         for _ in 0..3 {
@@ -71,7 +91,8 @@ impl Jeon {
         for &t in &frames {
             let x = CnnTrunk::frame_leaf(g, video, t);
             let cnn_feat = self.trunk.forward(g, &self.store, x);
-            let lmk = landmark_feature_vector(&observed_landmarks(video, t, TRACKER_NOISE, self.seed));
+            let lmk =
+                landmark_feature_vector(&observed_landmarks(video, t, TRACKER_NOISE, self.seed));
             let lv = g.leaf(Tensor::from_vec(lmk, vec![1, 98]));
             let lmk_feat = self.lmk_net.forward(g, &self.store, lv);
             let cat = g.concat_cols(&[cnn_feat, lmk_feat]);
@@ -119,7 +140,11 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 
     #[test]

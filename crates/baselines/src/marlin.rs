@@ -42,8 +42,20 @@ impl Marlin {
     pub fn fit(train: &[VideoSample], seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let encoder = Mlp::new(&mut store, "mae.enc", &[PATCH_PIXELS, 32, EMBED], Activation::Gelu, &mut rng);
-        let decoder = Mlp::new(&mut store, "mae.dec", &[EMBED, 32, PATCH_PIXELS], Activation::Gelu, &mut rng);
+        let encoder = Mlp::new(
+            &mut store,
+            "mae.enc",
+            &[PATCH_PIXELS, 32, EMBED],
+            Activation::Gelu,
+            &mut rng,
+        );
+        let decoder = Mlp::new(
+            &mut store,
+            "mae.dec",
+            &[EMBED, 32, PATCH_PIXELS],
+            Activation::Gelu,
+            &mut rng,
+        );
         let mut opt = Adam::new(2e-3);
 
         // --- Self-supervised stage: reconstruct masked patches. ---
@@ -69,11 +81,14 @@ impl Marlin {
                 for &i in &visible {
                     vis_flat.extend_from_slice(&patches[i]);
                 }
-                let vx = g.leaf(Tensor::from_vec(vis_flat, vec![visible.len(), PATCH_PIXELS]));
+                let vx = g.leaf(Tensor::from_vec(
+                    vis_flat,
+                    vec![visible.len(), PATCH_PIXELS],
+                ));
                 let emb = encoder.forward(&mut g, &store, vx);
                 let ctx = g.row_mean(emb); // [1, EMBED]
                 let recon = decoder.forward(&mut g, &store, ctx); // [1, PATCH_PIXELS]
-                // Target: the mean of the masked patches (context-level MAE).
+                                                                  // Target: the mean of the masked patches (context-level MAE).
                 let mut target = vec![0.0f32; PATCH_PIXELS];
                 for &i in &masked {
                     for (t, &p) in target.iter_mut().zip(&patches[i]) {
@@ -111,7 +126,11 @@ impl Marlin {
         let labels: Vec<usize> = train.iter().map(|v| class_of(v.label)).collect();
         let probe = MlpClassifier::fit(&feats, &labels, &[EMBED, 16, 2], 40, 5e-3, seed ^ 1);
 
-        Marlin { store, encoder, probe }
+        Marlin {
+            store,
+            encoder,
+            probe,
+        }
     }
 
     fn embed(&self, video: &VideoSample) -> Vec<f32> {
@@ -181,7 +200,9 @@ mod tests {
         assert!(patches.iter().all(|p| p.len() == PATCH_PIXELS));
         // Channel 0 sums to the frame's pixel sum.
         let total: f32 = patches.iter().flat_map(|p| &p[..PATCH * PATCH]).sum();
-        let direct: f32 = frame_pixels_48(&v.render_frame(v.most_expressive_frame())).iter().sum();
+        let direct: f32 = frame_pixels_48(&v.render_frame(v.most_expressive_frame()))
+            .iter()
+            .sum();
         assert!((total - direct).abs() / direct.abs().max(1.0) < 1e-3);
     }
 
@@ -195,6 +216,10 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 }

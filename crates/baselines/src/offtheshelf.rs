@@ -29,7 +29,10 @@ impl OffTheShelf {
     pub fn build(profile: CapabilityProfile, seed: u64) -> Self {
         let mut model = Lfm::new(ModelConfig::small(), seed);
         pretrain(&mut model, &profile, seed ^ 0x0FF);
-        OffTheShelf { model, name: profile.name }
+        OffTheShelf {
+            model,
+            name: profile.name,
+        }
     }
 
     /// The GPT-4o proxy.

@@ -30,7 +30,12 @@ impl Singh {
         let trunk = CnnTrunk::new(&mut store, "singh", 6, 12, &mut rng);
         let conv3 = Conv2dLayer::new(&mut store, "singh.c3", 12, 16, 3, 1, &mut rng);
         let head = Linear::new(&mut store, "singh.head", 16 * 2 * 2, 2, &mut rng);
-        let mut model = Singh { store, trunk, conv3, head };
+        let mut model = Singh {
+            store,
+            trunk,
+            conv3,
+            head,
+        };
         let mut opt = Adam::new(2e-3);
 
         for _ in 0..4 {
@@ -91,6 +96,10 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 }

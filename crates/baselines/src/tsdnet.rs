@@ -38,10 +38,24 @@ impl Tsdnet {
         let mut store = ParamStore::new();
         let face_trunk = CnnTrunk::new(&mut store, "tsd.face", 4, 8, &mut rng);
         let face_proj = Linear::new(&mut store, "tsd.fproj", 128, STREAM_DIM, &mut rng);
-        let action_net = Mlp::new(&mut store, "tsd.action", &[196, 48, STREAM_DIM], Activation::Relu, &mut rng);
+        let action_net = Mlp::new(
+            &mut store,
+            "tsd.action",
+            &[196, 48, STREAM_DIM],
+            Activation::Relu,
+            &mut rng,
+        );
         let gate = Linear::new(&mut store, "tsd.gate", 2 * STREAM_DIM, 2, &mut rng);
         let head = Linear::new(&mut store, "tsd.head", STREAM_DIM, 2, &mut rng);
-        let mut model = Tsdnet { store, face_trunk, face_proj, action_net, gate, head, seed };
+        let mut model = Tsdnet {
+            store,
+            face_trunk,
+            face_proj,
+            action_net,
+            gate,
+            head,
+            seed,
+        };
         let mut opt = Adam::new(2e-3);
 
         for _ in 0..3 {
@@ -69,8 +83,18 @@ impl Tsdnet {
 
         // Action-level stream: landmark displacement between the least and
         // most expressive frames (the facial movement signature).
-        let le = observed_landmarks(video, video.most_expressive_frame(), TRACKER_NOISE, self.seed);
-        let ll = observed_landmarks(video, video.least_expressive_frame(), TRACKER_NOISE, self.seed);
+        let le = observed_landmarks(
+            video,
+            video.most_expressive_frame(),
+            TRACKER_NOISE,
+            self.seed,
+        );
+        let ll = observed_landmarks(
+            video,
+            video.least_expressive_frame(),
+            TRACKER_NOISE,
+            self.seed,
+        );
         let ve = landmark_feature_vector(&le);
         let vl = landmark_feature_vector(&ll);
         let mut motion = Vec::with_capacity(196);
@@ -126,6 +150,10 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 }

@@ -76,7 +76,10 @@ impl StressDetector for Zhang {
 
     fn predict(&self, video: &VideoSample) -> StressLabel {
         let frames = sampled_frames(video, FRAMES);
-        let negative = frames.iter().filter(|&&t| self.frame_negative(video, t)).count();
+        let negative = frames
+            .iter()
+            .filter(|&&t| self.frame_negative(video, t))
+            .count();
         if (negative as f32) >= RULE_FRACTION * frames.len() as f32 {
             StressLabel::Stressed
         } else {
@@ -100,6 +103,10 @@ mod tests {
             .iter()
             .filter(|&&i| model.predict(&ds.samples[i]) == ds.samples[i].label)
             .count();
-        assert!(correct * 10 >= test_i.len() * 5, "{correct}/{}", test_i.len());
+        assert!(
+            correct * 10 >= test_i.len() * 5,
+            "{correct}/{}",
+            test_i.len()
+        );
     }
 }

@@ -1,12 +1,16 @@
-//! Criterion micro-benchmarks of the per-component costs that Figure 6's
-//! latency comparison is built from: one model forward/generation, one
-//! masked evaluation for the perturbation explainers, SLIC segmentation,
-//! and one training step.
+//! Micro-benchmarks of the per-component costs that Figure 6's latency
+//! comparison is built from: one model forward/generation, one masked
+//! evaluation for the perturbation explainers, SLIC segmentation, and one
+//! training step.
+//!
+//! A plain `main` harness (`cargo bench -p bench-suite`): each component is
+//! timed with [`evalkit::timing::mean_seconds`], which runs one untimed
+//! warm-up call before the timed repetitions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use chain_reason::{PipelineConfig, StressPipeline};
+use evalkit::timing::{fmt_seconds, mean_seconds};
 use lfm::instructions::{assess_prompt, describe_prompt};
 use lfm::{Lfm, ModelConfig};
 use videosynth::dataset::{Dataset, DatasetProfile, Scale};
@@ -20,67 +24,68 @@ fn setup() -> (StressPipeline, Dataset) {
     (pl, ds)
 }
 
-fn bench_components(c: &mut Criterion) {
+fn report<F: FnMut()>(name: &str, reps: usize, f: F) {
+    let mean = mean_seconds(reps, f);
+    println!("{name:<24} {:>10}  ({reps} reps)", fmt_seconds(mean));
+}
+
+fn main() {
     let (pl, ds) = setup();
     let v = &ds.samples[0];
     let fe = v.render_frame(v.most_expressive_frame());
     let seg = slic(&fe, 64, 0.1, 5);
 
-    c.bench_function("render_frame", |b| {
-        b.iter(|| black_box(v.render_frame(black_box(3))))
+    println!("component                 mean/call");
+
+    report("render_frame", 50, || {
+        black_box(v.render_frame(black_box(3)));
     });
 
-    c.bench_function("slic_64_segments", |b| {
-        b.iter(|| black_box(slic(black_box(&fe), 64, 0.1, 5)))
+    report("slic_64_segments", 20, || {
+        black_box(slic(black_box(&fe), 64, 0.1, 5));
     });
 
-    c.bench_function("assess_forward", |b| {
-        let p = assess_prompt(&pl.model, v, v.apex_aus());
-        b.iter(|| black_box(pl.model.next_token_distribution(black_box(&p))))
+    let p_assess = assess_prompt(&pl.model, v, v.apex_aus());
+    report("assess_forward", 20, || {
+        black_box(pl.model.next_token_distribution(black_box(&p_assess)));
     });
 
-    c.bench_function("describe_generation", |b| {
-        let p = describe_prompt(&pl.model, v);
-        b.iter(|| black_box(lfm::grammar::generate_description(&pl.model, black_box(&p), 0.0, 1)))
+    let p_desc = describe_prompt(&pl.model, v);
+    report("describe_generation", 10, || {
+        black_box(lfm::grammar::generate_description(
+            &pl.model,
+            black_box(&p_desc),
+            0.0,
+            1,
+        ));
     });
 
-    c.bench_function("masked_eval_unit", |b| {
-        // One perturbation-explainer evaluation: mask + assess forward.
-        let p_desc = v.apex_aus();
-        b.iter(|| {
-            let masked = mask_segments(&fe, &seg, &[0, 5, 9], 0.5);
-            let (_, fl) = v.expressive_pair();
-            let p = lfm::instructions::assess_prompt_from_images(&pl.model, &masked, &fl, p_desc);
-            black_box(pl.model.next_token_distribution(&p))
-        })
+    // One perturbation-explainer evaluation: mask + assess forward.
+    let apex = v.apex_aus();
+    report("masked_eval_unit", 10, || {
+        let masked = mask_segments(&fe, &seg, &[0, 5, 9], 0.5);
+        let (_, fl) = v.expressive_pair();
+        let p = lfm::instructions::assess_prompt_from_images(&pl.model, &masked, &fl, apex);
+        black_box(pl.model.next_token_distribution(&p));
     });
 
-    c.bench_function("full_chain_predict", |b| {
-        b.iter(|| black_box(pl.predict(black_box(v), 1)))
+    report("full_chain_predict", 10, || {
+        black_box(pl.predict(black_box(v), 1));
     });
-}
 
-fn bench_training(c: &mut Criterion) {
-    use lfm::train::{sft, SftExample, TrainConfig};
-    let (pl, ds) = setup();
-    let v = &ds.samples[0];
-    c.bench_function("sft_step_one_example", |b| {
+    {
+        use lfm::train::{sft, SftExample, TrainConfig};
         let data = vec![SftExample {
             prompt: describe_prompt(&pl.model, v),
             answer: lfm::instructions::description_answer(&pl.model.vocab, v.apex_aus()),
         }];
-        let cfg = TrainConfig { epochs: 1, ..Default::default() };
-        b.iter_batched(
-            || pl.model.clone(),
-            |mut m| black_box(sft(&mut m, &data, &cfg)),
-            criterion::BatchSize::LargeInput,
-        )
-    });
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        };
+        report("sft_step_one_example", 5, || {
+            let mut m = pl.model.clone();
+            black_box(sft(&mut m, &data, &cfg));
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_components, bench_training
-}
-criterion_main!(benches);

@@ -12,11 +12,19 @@ pub struct CliArgs {
     /// Cap on evaluated test samples for the expensive protocols
     /// (faithfulness / explainers); `None` = scale default.
     pub samples: Option<usize>,
+    /// Worker-pool size for the evaluation runtime; `0` = one worker per
+    /// available core.  Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for CliArgs {
     fn default() -> Self {
-        CliArgs { scale: Scale::Default, seed: 7, samples: None }
+        CliArgs {
+            scale: Scale::Default,
+            seed: 7,
+            samples: None,
+            threads: 0,
+        }
     }
 }
 
@@ -30,7 +38,8 @@ impl CliArgs {
             match a.as_str() {
                 "--scale" => {
                     let v = it.next().ok_or("--scale needs a value")?;
-                    out.scale = Scale::parse(&v).ok_or_else(|| format!("bad scale {v:?} (smoke|default|full)"))?;
+                    out.scale = Scale::parse(&v)
+                        .ok_or_else(|| format!("bad scale {v:?} (smoke|default|full)"))?;
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
@@ -40,8 +49,15 @@ impl CliArgs {
                     let v = it.next().ok_or("--samples needs a value")?;
                     out.samples = Some(v.parse().map_err(|_| format!("bad sample cap {v:?}"))?);
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                }
                 "--help" | "-h" => {
-                    return Err("usage: --scale smoke|default|full --seed N [--samples N]".into())
+                    return Err(
+                        "usage: --scale smoke|default|full --seed N [--samples N] [--threads N]"
+                            .into(),
+                    )
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -50,14 +66,24 @@ impl CliArgs {
     }
 
     /// Parse from the process arguments, exiting with the message on error.
+    /// Applies `--threads` to the global evaluation runtime, so every table
+    /// binary picks it up through this one entry point.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(a) => a,
+            Ok(a) => {
+                a.apply_threads();
+                a
+            }
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Configure the global worker pool from `threads`.
+    pub fn apply_threads(&self) {
+        runtime::set_threads(self.threads);
     }
 
     /// The faithfulness-protocol sample cap for the chosen scale.
@@ -84,15 +110,27 @@ mod tests {
         assert_eq!(a.scale, Scale::Default);
         assert_eq!(a.seed, 7);
         assert_eq!(a.samples, None);
+        assert_eq!(a.threads, 0, "default = one worker per core");
     }
 
     #[test]
     fn full_parse() {
-        let a = parse(&["--scale", "smoke", "--seed", "42", "--samples", "5"]).unwrap();
+        let a = parse(&[
+            "--scale",
+            "smoke",
+            "--seed",
+            "42",
+            "--samples",
+            "5",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
         assert_eq!(a.scale, Scale::Smoke);
         assert_eq!(a.seed, 42);
         assert_eq!(a.samples, Some(5));
         assert_eq!(a.faithfulness_samples(), 5);
+        assert_eq!(a.threads, 3);
     }
 
     #[test]
@@ -100,6 +138,8 @@ mod tests {
         assert!(parse(&["--scale", "huge"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--threads", "lots"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
     }
 
     #[test]

@@ -26,8 +26,10 @@ fn main() {
     }
     // The headline claim is the ratio, not the absolute seconds.
     if let (Some(ours), Some(sobol)) = (
-        rows.iter().find(|r| r.0 == bench_suite::experiments::explainer::Explainer::Ours),
-        rows.iter().find(|r| r.0 == bench_suite::experiments::explainer::Explainer::Sobol),
+        rows.iter()
+            .find(|r| r.0 == bench_suite::experiments::explainer::Explainer::Ours),
+        rows.iter()
+            .find(|r| r.0 == bench_suite::experiments::explainer::Explainer::Sobol),
     ) {
         println!(
             "speedup of Ours over SOBOL: {:.1}x (paper: 63x)",

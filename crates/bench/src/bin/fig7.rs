@@ -2,9 +2,9 @@
 //! in-context examples under the two embeddings.
 
 use bench_suite::context::{Context, Corpus};
+use bench_suite::experiments::icl::build_retriever;
 use bench_suite::experiments::icl::run_fig7;
 use bench_suite::CliArgs;
-use bench_suite::experiments::icl::build_retriever;
 use chain_reason::Variant;
 use evalkit::table::Table;
 use lfm::instructions::IclExample;
@@ -17,9 +17,17 @@ fn main() {
     let (vision, desc) = run_fig7(&ctx, &pl, args.samples.unwrap_or(12), 24);
     let mut t = Table::new(
         "Figure 7 — cosine-similarity separation of Helpful vs Unhelpful training samples",
-        &["Embedding", "helpful mean", "unhelpful mean", "effect size (Cohen's d)"],
+        &[
+            "Embedding",
+            "helpful mean",
+            "unhelpful mean",
+            "effect size (Cohen's d)",
+        ],
     );
-    for (name, s) in [("Retrieve-by-vision", vision), ("Retrieve-by-description", desc)] {
+    for (name, s) in [
+        ("Retrieve-by-vision", vision),
+        ("Retrieve-by-description", desc),
+    ] {
         t.row(vec![
             name.into(),
             format!("{:.3}", s.helpful.mean),
@@ -57,7 +65,10 @@ fn main() {
         }
     }
     std::fs::create_dir_all("results").ok();
-    for (name, h, u) in [("fig7a_vision", &vis_h, &vis_u), ("fig7b_description", &des_h, &des_u)] {
+    for (name, h, u) in [
+        ("fig7a_vision", &vis_h, &vis_u),
+        ("fig7b_description", &des_h, &des_u),
+    ] {
         if h.is_empty() && u.is_empty() {
             continue;
         }

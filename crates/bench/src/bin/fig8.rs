@@ -15,7 +15,12 @@ fn main() {
     let rows = run_fig8(&ctx, &pl, &fractions);
     let mut t = Table::new(
         "Figure 8 — training-pool size vs accuracy per retrieval strategy (RSL)",
-        &["pool fraction", "Random", "Retrieve-by-vision", "Retrieve-by-description"],
+        &[
+            "pool fraction",
+            "Random",
+            "Retrieve-by-vision",
+            "Retrieve-by-description",
+        ],
     );
     for &f in &fractions {
         let get = |s| {

@@ -11,7 +11,10 @@ fn main() {
         let ctx = Context::prepare(corpus, args.scale, args.seed);
         let rows = run_table2(&ctx, args.faithfulness_samples());
         render_table2(
-            &format!("Table II — accuracy drops after disturbing Top-k segments ({})", corpus.label()),
+            &format!(
+                "Table II — accuracy drops after disturbing Top-k segments ({})",
+                corpus.label()
+            ),
             corpus,
             &rows,
         )

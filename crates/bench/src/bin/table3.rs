@@ -10,12 +10,19 @@ fn main() {
     for corpus in [Corpus::Uvsd, Corpus::Rsl] {
         eprintln!("[table3] running {} at {:?}…", corpus.label(), args.scale);
         let ctx = Context::prepare(corpus, args.scale, args.seed);
-        let rows: Vec<_> = [Variant::WithoutChain, Variant::WithoutLearnDescribe, Variant::Full]
-            .into_iter()
-            .map(|v| run_variant(&ctx, v, args.faithfulness_samples()))
-            .collect();
+        let rows: Vec<_> = [
+            Variant::WithoutChain,
+            Variant::WithoutLearnDescribe,
+            Variant::Full,
+        ]
+        .into_iter()
+        .map(|v| run_variant(&ctx, v, args.faithfulness_samples()))
+        .collect();
         render_detection(
-            &format!("Table III — chain reasoning ablation, detection ({})", corpus.label()),
+            &format!(
+                "Table III — chain reasoning ablation, detection ({})",
+                corpus.label()
+            ),
             corpus,
             &rows,
         )

@@ -10,12 +10,19 @@ fn main() {
     for corpus in [Corpus::Uvsd, Corpus::Rsl] {
         eprintln!("[table4] running {} at {:?}…", corpus.label(), args.scale);
         let ctx = Context::prepare(corpus, args.scale, args.seed);
-        let rows: Vec<_> = [Variant::WithoutChain, Variant::WithoutLearnDescribe, Variant::Full]
-            .into_iter()
-            .map(|v| run_variant(&ctx, v, args.faithfulness_samples()))
-            .collect();
+        let rows: Vec<_> = [
+            Variant::WithoutChain,
+            Variant::WithoutLearnDescribe,
+            Variant::Full,
+        ]
+        .into_iter()
+        .map(|v| run_variant(&ctx, v, args.faithfulness_samples()))
+        .collect();
         render_faithfulness(
-            &format!("Table IV — chain reasoning ablation, Top-k drops ({})", corpus.label()),
+            &format!(
+                "Table IV — chain reasoning ablation, Top-k drops ({})",
+                corpus.label()
+            ),
             corpus,
             &rows,
         )

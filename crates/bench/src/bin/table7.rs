@@ -11,7 +11,10 @@ fn main() {
         let ctx = Context::prepare(corpus, args.scale, args.seed);
         let (_, rows) = run_table7(&ctx);
         render_table7(
-            &format!("Table VII — in-context example retrieval ({})", corpus.label()),
+            &format!(
+                "Table VII — in-context example retrieval ({})",
+                corpus.label()
+            ),
             corpus,
             &rows,
         )

@@ -11,7 +11,10 @@ fn main() {
         let ctx = Context::prepare(corpus, args.scale, args.seed);
         let rows = run_table8(&ctx);
         render_table8(
-            &format!("Table VIII — off-the-shelf models + our method ({})", corpus.label()),
+            &format!(
+                "Table VIII — off-the-shelf models + our method ({})",
+                corpus.label()
+            ),
             corpus,
             &rows,
         )

@@ -61,7 +61,14 @@ impl Context {
         let (train_idx, test_idx) = ds.train_test_split(0.8, seed ^ 0x51);
         let train = train_idx.iter().map(|&i| ds.samples[i].clone()).collect();
         let test = test_idx.iter().map(|&i| ds.samples[i].clone()).collect();
-        Context { corpus, scale, train, test, au_corpus: au.samples, seed }
+        Context {
+            corpus,
+            scale,
+            train,
+            test,
+            au_corpus: au.samples,
+            seed,
+        }
     }
 
     /// A generically pretrained base model (the Qwen-VL stand-in).

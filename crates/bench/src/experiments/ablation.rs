@@ -104,7 +104,11 @@ impl ExplainedClassifier for ChainClassifier<'_> {
                 0.0,
                 video.id as u64,
             );
-            chain_reason::ChainOutput { description: facs::au::AuSet::FULL, assessment, rationale }
+            chain_reason::ChainOutput {
+                description: facs::au::AuSet::FULL,
+                assessment,
+                rationale,
+            }
         };
         rationale_segment_ranking(out.rationale, seg)
     }
@@ -126,14 +130,24 @@ pub fn run_variant(ctx: &Context, variant: Variant, faith_samples: usize) -> Abl
         .collect();
     let metrics = Confusion::from_pairs(&pairs).metrics();
     let subset: Vec<VideoSample> = ctx.test.iter().take(faith_samples).cloned().collect();
-    let clf = ChainClassifier { pipeline: &pl, variant };
+    let clf = ChainClassifier {
+        pipeline: &pl,
+        variant,
+    };
     let drops = topk_accuracy_drops(&clf, &subset, ctx.seed ^ 0xD15);
-    AblationRow { variant, metrics, drops }
+    AblationRow {
+        variant,
+        metrics,
+        drops,
+    }
 }
 
 /// Render the detection side (Tables III / V).
 pub fn render_detection(title: &str, corpus: Corpus, rows: &[AblationRow]) -> Table {
-    let mut t = Table::new(title, &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc."]);
+    let mut t = Table::new(
+        title,
+        &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc."],
+    );
     for r in rows {
         let c = r.metrics.row_cells();
         t.row(vec![
@@ -150,10 +164,7 @@ pub fn render_detection(title: &str, corpus: Corpus, rows: &[AblationRow]) -> Ta
 
 /// Render the faithfulness side (Tables IV / VI).
 pub fn render_faithfulness(title: &str, corpus: Corpus, rows: &[AblationRow]) -> Table {
-    let mut t = Table::new(
-        title,
-        &["Method", "Top-1", "Top-2", "Top-3", "paper Top-1"],
-    );
+    let mut t = Table::new(title, &["Method", "Top-1", "Top-2", "Top-3", "paper Top-1"]);
     for r in rows {
         t.row(vec![
             r.variant.label().to_owned(),

@@ -101,7 +101,11 @@ pub fn run_corpus(ctx: &Context, include_ours: bool) -> Vec<DetectionRow> {
     // Ours.
     if include_ours {
         let (pl, _) = ctx.train_variant(Variant::Full);
-        let pairs: Vec<_> = ctx.test.iter().map(|v| (v.label, pl.predict_label(v))).collect();
+        let pairs: Vec<_> = ctx
+            .test
+            .iter()
+            .map(|v| (v.label, pl.predict_label(v)))
+            .collect();
         rows.push(DetectionRow {
             method: "Ours",
             metrics: Confusion::from_pairs(&pairs).metrics(),
@@ -129,7 +133,15 @@ fn detector_static_name(name: &str) -> &'static str {
 pub fn render(title: &str, sections: &[(&str, &[DetectionRow])]) -> Table {
     let mut t = Table::new(
         title,
-        &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc.", "paper F1."],
+        &[
+            "Method",
+            "Acc.",
+            "Prec.",
+            "Rec.",
+            "F1.",
+            "paper Acc.",
+            "paper F1.",
+        ],
     );
     for (label, rows) in sections {
         t.section(label);
@@ -156,8 +168,18 @@ mod tests {
     #[test]
     fn paper_numbers_cover_all_methods() {
         for m in [
-            "GPT-4o", "Claude-3.5", "Gemini-1.5", "FDASSNN", "Gao et al.", "Zhang et al.",
-            "Jeon et al.", "TSDNet", "MARLIN", "Singh et al.", "Ding et al.", "Ours",
+            "GPT-4o",
+            "Claude-3.5",
+            "Gemini-1.5",
+            "FDASSNN",
+            "Gao et al.",
+            "Zhang et al.",
+            "Jeon et al.",
+            "TSDNet",
+            "MARLIN",
+            "Singh et al.",
+            "Ding et al.",
+            "Ours",
         ] {
             assert!(paper_numbers(Corpus::Uvsd, m)[0] > 0.0, "{m} uvsd missing");
             assert!(paper_numbers(Corpus::Rsl, m)[0] > 0.0, "{m} rsl missing");

@@ -5,7 +5,9 @@ use chain_reason::Variant;
 use evalkit::faithfulness::{topk_accuracy_drops, ExplainedClassifier, TopKDrops};
 use evalkit::table::Table;
 use evalkit::timing::fmt_seconds;
-use explainers::{kernel_shap, lime, sobol_total_indices, Attribution};
+use explainers::{
+    kernel_shap_in, lime_in, sobol_total_indices_in, Attribution, EvalCache, MaskExecutor,
+};
 use lfm::instructions::{assess_prompt_from_images, label_tokens};
 use videosynth::image::Image;
 use videosynth::slic::Segmentation;
@@ -70,7 +72,11 @@ impl<'a> DecisionFunction<'a> {
     pub fn new(pipeline: &'a StressPipeline, video: &VideoSample) -> Self {
         let description = pipeline.describe(video, 0.0, video.id as u64);
         let (_, fl) = video.expressive_pair();
-        DecisionFunction { pipeline, description, fl }
+        DecisionFunction {
+            pipeline,
+            description,
+            fl,
+        }
     }
 
     /// p(stressed | perturbed f_e).
@@ -89,8 +95,24 @@ impl<'a> DecisionFunction<'a> {
     }
 }
 
-/// Attribution of one explainer for one sample.
+/// Attribution of one explainer for one sample, using the default
+/// executor (global pool, no cross-call cache).
 pub fn explain(
+    e: Explainer,
+    pipeline: &StressPipeline,
+    video: &VideoSample,
+    fe: &Image,
+    seg: &Segmentation,
+    seed: u64,
+) -> Attribution {
+    explain_in(&MaskExecutor::new(), e, pipeline, video, fe, seg, seed)
+}
+
+/// [`explain`] with an explicit [`MaskExecutor`], so one mask-keyed
+/// evaluation cache can dedup coalitions across LIME/SHAP/SOBOL probing the
+/// same sample.
+pub fn explain_in(
+    exec: &MaskExecutor,
     e: Explainer,
     pipeline: &StressPipeline,
     video: &VideoSample,
@@ -113,24 +135,43 @@ pub fn explain(
         }
         Explainer::Lime => {
             let f = DecisionFunction::new(pipeline, video);
-            lime(fe, seg, |img| f.score(img), PERTURBATION_EVALS, seed)
+            lime_in(
+                exec,
+                fe,
+                seg,
+                |img: &Image| f.score(img),
+                PERTURBATION_EVALS,
+                seed,
+            )
         }
         Explainer::Shap => {
             let f = DecisionFunction::new(pipeline, video);
-            kernel_shap(fe, seg, |img| f.score(img), PERTURBATION_EVALS, seed)
+            kernel_shap_in(
+                exec,
+                fe,
+                seg,
+                |img: &Image| f.score(img),
+                PERTURBATION_EVALS,
+                seed,
+            )
         }
         Explainer::Sobol => {
             let f = DecisionFunction::new(pipeline, video);
-            sobol_total_indices(fe, seg, |img| f.score(img), SOBOL_ROWS, seed)
+            sobol_total_indices_in(exec, fe, seg, |img: &Image| f.score(img), SOBOL_ROWS, seed)
         }
     }
 }
 
 /// Adapter: the trained pipeline predicts, one explainer ranks.
+///
+/// When a shared cache is attached, mask evaluations are scoped by video
+/// id — sound because [`DecisionFunction`] is a pure function of the video
+/// and the (shared) trained pipeline.
 struct ExplainedChain<'a> {
     chain: ChainClassifier<'a>,
     explainer: Explainer,
     seed: u64,
+    cache: Option<&'a EvalCache>,
 }
 
 impl ExplainedClassifier for ExplainedChain<'_> {
@@ -139,27 +180,51 @@ impl ExplainedClassifier for ExplainedChain<'_> {
     }
 
     fn rank_segments(&self, video: &VideoSample, fe: &Image, seg: &Segmentation) -> Vec<usize> {
-        explain(self.explainer, self.chain.pipeline, video, fe, seg, self.seed ^ video.id as u64)
-            .top_k(seg.num_segments())
+        let exec = match self.cache {
+            Some(c) => MaskExecutor::new().with_cache(c, video.id as u64),
+            None => MaskExecutor::new(),
+        };
+        explain_in(
+            &exec,
+            self.explainer,
+            self.chain.pipeline,
+            video,
+            fe,
+            seg,
+            self.seed ^ video.id as u64,
+        )
+        .top_k(seg.num_segments())
     }
 }
 
 /// Table II: train the full method once, then measure Top-k drops under
-/// each explanation method's ranking.
+/// each explanation method's ranking.  One evaluation cache is shared
+/// across the three perturbation explainers, deduplicating repeated
+/// coalitions (anchors, clean instances, extreme QMC rows) per sample.
 pub fn run_table2(ctx: &Context, faith_samples: usize) -> Vec<(Explainer, TopKDrops)> {
     let (pl, _) = ctx.train_variant(Variant::Full);
     let subset: Vec<VideoSample> = ctx.test.iter().take(faith_samples).cloned().collect();
-    [Explainer::Shap, Explainer::Lime, Explainer::Sobol, Explainer::Ours]
-        .into_iter()
-        .map(|e| {
-            let clf = ExplainedChain {
-                chain: ChainClassifier { pipeline: &pl, variant: Variant::Full },
-                explainer: e,
-                seed: ctx.seed ^ 0x7AB2,
-            };
-            (e, topk_accuracy_drops(&clf, &subset, ctx.seed ^ 0x7AB2))
-        })
-        .collect()
+    let cache = EvalCache::new();
+    [
+        Explainer::Shap,
+        Explainer::Lime,
+        Explainer::Sobol,
+        Explainer::Ours,
+    ]
+    .into_iter()
+    .map(|e| {
+        let clf = ExplainedChain {
+            chain: ChainClassifier {
+                pipeline: &pl,
+                variant: Variant::Full,
+            },
+            explainer: e,
+            seed: ctx.seed ^ 0x7AB2,
+            cache: Some(&cache),
+        };
+        (e, topk_accuracy_drops(&clf, &subset, ctx.seed ^ 0x7AB2))
+    })
+    .collect()
 }
 
 /// Render Table II.
@@ -185,9 +250,19 @@ pub fn render_table2(title: &str, corpus: Corpus, rows: &[(Explainer, TopKDrops)
 /// Paper: Ours 3.4 s; SOBOL 216.3 s (the fastest baseline explainer).
 pub fn run_fig6(ctx: &Context, timing_samples: usize) -> Vec<(Explainer, f64)> {
     let (pl, _) = ctx.train_variant(Variant::Full);
-    let subset: Vec<VideoSample> = ctx.test.iter().take(timing_samples.max(1)).cloned().collect();
+    let subset: Vec<VideoSample> = ctx
+        .test
+        .iter()
+        .take(timing_samples.max(1))
+        .cloned()
+        .collect();
     let mut out = Vec::new();
-    for e in [Explainer::Ours, Explainer::Sobol, Explainer::Lime, Explainer::Shap] {
+    for e in [
+        Explainer::Ours,
+        Explainer::Sobol,
+        Explainer::Lime,
+        Explainer::Shap,
+    ] {
         let start = std::time::Instant::now();
         for v in &subset {
             let (fe, seg) = evalkit::faithfulness::segment_expressive_frame(v);
@@ -220,7 +295,11 @@ pub fn render_fig6(rows: &[(Explainer, f64)]) -> Table {
         &["Method", "measured", "paper"],
     );
     for (e, s) in rows {
-        t.row(vec![e.label().to_owned(), fmt_seconds(*s), paper(*e).to_owned()]);
+        t.row(vec![
+            e.label().to_owned(),
+            fmt_seconds(*s),
+            paper(*e).to_owned(),
+        ]);
     }
     t
 }

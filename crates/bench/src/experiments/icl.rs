@@ -89,7 +89,10 @@ pub fn run_table7(ctx: &Context) -> (StressPipeline, Vec<(RetrievalStrategy, Met
 
 /// Render Table VII.
 pub fn render_table7(title: &str, corpus: Corpus, rows: &[(RetrievalStrategy, Metrics)]) -> Table {
-    let mut t = Table::new(title, &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc."]);
+    let mut t = Table::new(
+        title,
+        &["Method", "Acc.", "Prec.", "Rec.", "F1.", "paper Acc."],
+    );
     for (s, m) in rows {
         let c = m.row_cells();
         t.row(vec![
@@ -178,7 +181,11 @@ mod tests {
     fn paper_by_description_wins_both() {
         for c in [Corpus::Uvsd, Corpus::Rsl] {
             let d = paper_icl_accuracy(c, RetrievalStrategy::ByDescription);
-            for s in [RetrievalStrategy::None, RetrievalStrategy::Random, RetrievalStrategy::ByVision] {
+            for s in [
+                RetrievalStrategy::None,
+                RetrievalStrategy::Random,
+                RetrievalStrategy::ByVision,
+            ] {
                 assert!(d > paper_icl_accuracy(c, s));
             }
         }

@@ -49,7 +49,12 @@ pub fn run_table8(ctx: &Context) -> Vec<TestTimeRow> {
         let orig_pairs: Vec<_> = ctx
             .test
             .iter()
-            .map(|v| (v.label, baselines::common::StressDetector::predict(&proxy, v)))
+            .map(|v| {
+                (
+                    v.label,
+                    baselines::common::StressDetector::predict(&proxy, v),
+                )
+            })
             .collect();
         let original = Confusion::from_pairs(&orig_pairs).metrics();
 
@@ -64,22 +69,24 @@ pub fn run_table8(ctx: &Context) -> Vec<TestTimeRow> {
             .test
             .iter()
             .map(|v| {
-                let out = predict_with_test_time_refinement(&pl, v, &ctx.train, ctx.seed ^ v.id as u64);
+                let out =
+                    predict_with_test_time_refinement(&pl, v, &ctx.train, ctx.seed ^ v.id as u64);
                 (v.label, out.assessment)
             })
             .collect();
         let refined = Confusion::from_pairs(&new_pairs).metrics();
-        TestTimeRow { model: name, original, refined }
+        TestTimeRow {
+            model: name,
+            original,
+            refined,
+        }
     })
     .collect()
 }
 
 /// Render Table VIII.
 pub fn render_table8(title: &str, corpus: Corpus, rows: &[TestTimeRow]) -> Table {
-    let mut t = Table::new(
-        title,
-        &["Model", "variant", "Acc.", "F1.", "paper Acc."],
-    );
+    let mut t = Table::new(title, &["Model", "variant", "Acc.", "F1.", "paper Acc."]);
     for r in rows {
         let (po, pn) = paper_testtime(corpus, r.model);
         let co = r.original.row_cells();

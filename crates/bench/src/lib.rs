@@ -2,12 +2,14 @@
 //!
 //! One binary per paper table/figure (`src/bin/table1.rs` …), each a thin
 //! wrapper over a library runner in [`experiments`] so integration tests
-//! can drive the same code at smoke scale.  Criterion micro-benchmarks for
-//! the component costs live in `benches/`.
+//! can drive the same code at smoke scale.  Micro-benchmarks for the
+//! component costs live in `benches/`.
 //!
 //! Every binary accepts `--scale smoke|default|full` (default `default`),
-//! `--seed N` and, where relevant, `--samples N` caps; each prints the
-//! measured numbers next to the paper's reported values.
+//! `--seed N`, `--threads N` (evaluation worker-pool size, `0` = all
+//! cores; results are bit-identical for any value) and, where relevant,
+//! `--samples N` caps; each prints the measured numbers next to the
+//! paper's reported values.
 
 pub mod args;
 pub mod context;

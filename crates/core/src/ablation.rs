@@ -28,12 +28,18 @@ impl Variant {
 
     /// Whether Eq. 2 describe tuning runs.
     pub fn learns_describe(self) -> bool {
-        matches!(self, Variant::Full | Variant::WithoutRefine | Variant::WithoutReflection)
+        matches!(
+            self,
+            Variant::Full | Variant::WithoutRefine | Variant::WithoutReflection
+        )
     }
 
     /// Whether the self-refine DPO phases run.
     pub fn uses_refinement(self) -> bool {
-        matches!(self, Variant::Full | Variant::WithoutReflection | Variant::WithoutLearnDescribe)
+        matches!(
+            self,
+            Variant::Full | Variant::WithoutReflection | Variant::WithoutLearnDescribe
+        )
     }
 
     /// Whether refinement candidates come from reflection prompts.
@@ -60,7 +66,9 @@ mod tests {
     #[test]
     fn full_uses_everything() {
         let v = Variant::Full;
-        assert!(v.uses_chain() && v.learns_describe() && v.uses_refinement() && v.uses_reflection());
+        assert!(
+            v.uses_chain() && v.learns_describe() && v.uses_refinement() && v.uses_reflection()
+        );
     }
 
     #[test]

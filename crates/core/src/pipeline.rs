@@ -97,7 +97,11 @@ impl StressPipeline {
         let description = self.describe(video, 0.0, seed);
         let assessment = self.assess(video, description, 0.0, seed);
         let rationale = self.highlight(video, description, assessment, 0.0, seed);
-        ChainOutput { description, assessment, rationale }
+        ChainOutput {
+            description,
+            assessment,
+            rationale,
+        }
     }
 
     /// Greedy label prediction only (for accuracy evaluation).
@@ -150,10 +154,15 @@ mod tests {
         let p = pipeline();
         let v = video(2, StressLabel::Unstressed);
         let desc = AuSet::EMPTY;
-        let labels: Vec<StressLabel> =
-            (0..20).map(|s| p.assess(&v, desc, 2.0, s)).collect();
-        let stressed = labels.iter().filter(|&&l| l == StressLabel::Stressed).count();
-        assert!(stressed > 0 && stressed < 20, "hot sampling should vary: {stressed}/20");
+        let labels: Vec<StressLabel> = (0..20).map(|s| p.assess(&v, desc, 2.0, s)).collect();
+        let stressed = labels
+            .iter()
+            .filter(|&&l| l == StressLabel::Stressed)
+            .count();
+        assert!(
+            stressed > 0 && stressed < 20,
+            "hot sampling should vary: {stressed}/20"
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub fn helpfulness(
     let k = pl.cfg.k_repeats;
     let mut correct = 0usize;
     for rep in 0..k {
-        let a = pl.assess(video, description, pl.cfg.temperature, seed ^ ((rep as u64 + 1) * 7919));
+        let a = pl.assess(
+            video,
+            description,
+            pl.cfg.temperature,
+            seed ^ ((rep as u64 + 1) * 7919),
+        );
         if a == truth {
             correct += 1;
         }
@@ -51,15 +56,16 @@ pub fn verification_faithfulness(
     let mut rng = StdRng::seed_from_u64(seed);
     // Negatives: videos of *other subjects* (§III-C).
     let negatives: Vec<&VideoSample> = {
-        let mut cands: Vec<&VideoSample> = pool
-            .iter()
-            .filter(|v| v.subject != video.subject)
-            .collect();
+        let mut cands: Vec<&VideoSample> =
+            pool.iter().filter(|v| v.subject != video.subject).collect();
         if cands.len() < 3 {
             // Degenerate pools (tests): fall back to any other video.
             cands = pool.iter().filter(|v| v.id != video.id).collect();
         }
-        assert!(cands.len() >= 3, "verification needs at least 3 negative candidates");
+        assert!(
+            cands.len() >= 3,
+            "verification needs at least 3 negative candidates"
+        );
         cands.shuffle(&mut rng);
         cands.truncate(3);
         cands
@@ -78,7 +84,11 @@ pub fn verification_faithfulness(
                 ni += 1;
             }
         }
-        let p = verify_prompt(&pl.model, [slots[0], slots[1], slots[2], slots[3]], description);
+        let p = verify_prompt(
+            &pl.model,
+            [slots[0], slots[1], slots[2], slots[3]],
+            description,
+        );
         let picked = pl.model.choose(&p, &choices, pl.cfg.temperature, &mut rng);
         if picked == choices[slot] {
             correct += 1;
@@ -158,7 +168,11 @@ pub fn refine_description(
             break;
         }
     }
-    RefinedDescription { refined: current, original, improved: current != original }
+    RefinedDescription {
+        refined: current,
+        original,
+        improved: current != original,
+    }
 }
 
 /// Faithfulness score of a rationale (§III-D): mosaic the facial region of
@@ -180,7 +194,11 @@ pub fn rationale_flip_count(
         let p = assess_prompt_from_images(&pl.model, &fe, &fl, description);
         let mut rng = StdRng::seed_from_u64(0);
         let c = pl.model.choose(&p, &[st, un], 0.0, &mut rng);
-        let label = if c == st { StressLabel::Stressed } else { StressLabel::Unstressed };
+        let label = if c == st {
+            StressLabel::Stressed
+        } else {
+            StressLabel::Unstressed
+        };
         if label != assessment {
             return i + 1;
         }
@@ -221,10 +239,22 @@ pub fn refine_rationale(
     for i in 0..pl.cfg.n_rationales {
         let rseed = seed ^ ((i as u64 + 1) << 12);
         let proposal = if use_reflection {
-            let p = reflect_rationale_prompt(&pl.model, video, description, assessment, *candidates.last().expect("non-empty"));
+            let p = reflect_rationale_prompt(
+                &pl.model,
+                video,
+                description,
+                assessment,
+                *candidates.last().expect("non-empty"),
+            );
             generate_description_within(&pl.model, &p, description, pl.cfg.temperature, rseed)
         } else {
-            pl.highlight(video, description, assessment, pl.cfg.temperature.max(0.9), rseed)
+            pl.highlight(
+                video,
+                description,
+                assessment,
+                pl.cfg.temperature.max(0.9),
+                rseed,
+            )
         };
         if !candidates.contains(&proposal) {
             candidates.push(proposal);

@@ -62,7 +62,11 @@ pub fn predict_with_test_time_refinement(
         preliminary
     };
 
-    TestTimeOutput { description, replaced, assessment }
+    TestTimeOutput {
+        description,
+        replaced,
+        assessment,
+    }
 }
 
 /// Plain zero-shot chain prediction on a frozen model (the "Original" rows
@@ -95,7 +99,10 @@ mod tests {
         for id in pl.model.store.ids() {
             assert_eq!(pl.model.store.value(id).data, before.value(id).data);
         }
-        assert!(matches!(out.assessment, StressLabel::Stressed | StressLabel::Unstressed));
+        assert!(matches!(
+            out.assessment,
+            StressLabel::Stressed | StressLabel::Unstressed
+        ));
     }
 
     #[test]

@@ -10,9 +10,9 @@ use lfm::instructions::{
     assess_direct_prompt, assess_prompt, choice_answer, describe_prompt, description_answer,
     highlight_prompt, label_answer, verify_prompt,
 };
+use lfm::{dpo, sft, DpoPair, Lfm, SftExample, TrainConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use lfm::{dpo, sft, DpoPair, Lfm, SftExample, TrainConfig};
 use videosynth::video::VideoSample;
 
 use crate::ablation::Variant;
@@ -340,7 +340,9 @@ mod tests {
     fn tiny_base() -> Lfm {
         let mut m = Lfm::new(ModelConfig::tiny(), 9);
         let profile = CapabilityProfile::base().scaled(0.25);
-        pretrain(&mut m, &profile, 4);
+        // Seed 1 converges under the vendored generator's stream (seed 4 was
+        // tuned for the upstream rand stream and lands in a bad init).
+        pretrain(&mut m, &profile, 1);
         m
     }
 

@@ -17,7 +17,8 @@ const MARGIN: (f64, f64, f64, f64) = (70.0, 20.0, 40.0, 60.0);
 pub fn bar_chart(title: &str, y_label: &str, bars: &[(String, f64)], log_scale: bool) -> String {
     assert!(!bars.is_empty(), "no bars");
     assert!(
-        bars.iter().all(|b| b.1.is_finite() && (!log_scale || b.1 > 0.0)),
+        bars.iter()
+            .all(|b| b.1.is_finite() && (!log_scale || b.1 > 0.0)),
         "bar values must be finite (and positive on a log scale)"
     );
     let (ml, mr, mt, mb) = MARGIN;
@@ -25,7 +26,10 @@ pub fn bar_chart(title: &str, y_label: &str, bars: &[(String, f64)], log_scale: 
     let transform = |v: f64| if log_scale { v.log10() } else { v };
     let vmax = bars.iter().map(|b| transform(b.1)).fold(f64::MIN, f64::max);
     let vmin = if log_scale {
-        bars.iter().map(|b| transform(b.1)).fold(f64::MAX, f64::min).min(0.0)
+        bars.iter()
+            .map(|b| transform(b.1))
+            .fold(f64::MAX, f64::min)
+            .min(0.0)
     } else {
         0.0
     };
@@ -81,7 +85,10 @@ pub fn line_chart(
 ) -> String {
     assert!(xs.len() >= 2, "need at least two x points");
     assert!(!series.is_empty());
-    assert!(series.iter().all(|s| s.1.len() == xs.len()), "ragged series");
+    assert!(
+        series.iter().all(|s| s.1.len() == xs.len()),
+        "ragged series"
+    );
     let (ml, mr, mt, mb) = MARGIN;
     let (pw, ph) = (W - ml - mr, H - mt - mb);
     let ys: Vec<f64> = series.iter().flat_map(|s| s.1.iter().copied()).collect();
@@ -180,9 +187,7 @@ pub fn paired_histogram(
         H - 14.0,
         escape(x_label)
     );
-    for (hist, color, name, offset) in
-        [(&ha, "#4878a8", a.0, 0.0), (&hb, "#c8604a", b.0, 0.45)]
-    {
+    for (hist, color, name, offset) in [(&ha, "#4878a8", a.0, 0.0), (&hb, "#c8604a", b.0, 0.45)] {
         let bw = pw / bins as f64 * 0.45;
         for (i, &c) in hist.iter().enumerate() {
             if c == 0 {
@@ -238,7 +243,9 @@ fn axis_lines(s: &mut String) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -262,9 +269,7 @@ mod tests {
 
     #[test]
     fn log_scale_requires_positive_values() {
-        let r = std::panic::catch_unwind(|| {
-            bar_chart("x", "y", &[("a".into(), 0.0)], true)
-        });
+        let r = std::panic::catch_unwind(|| bar_chart("x", "y", &[("a".into(), 0.0)], true));
         assert!(r.is_err());
     }
 

@@ -1,6 +1,6 @@
 //! Cross-validation driving (§IV-H: 10-fold CV, averaged scores).
 
-use crossbeam::thread;
+use runtime::Pool;
 use videosynth::dataset::Dataset;
 
 use crate::metrics::Metrics;
@@ -15,38 +15,34 @@ pub struct FoldResult {
 }
 
 /// Run `eval_fold(train_indices, test_indices, fold)` over a stratified
-/// k-fold split, in parallel across folds, and average the metrics.
+/// k-fold split and average the metrics.
 ///
-/// `eval_fold` must be `Sync` (it is called from scoped threads); each call
-/// receives disjoint test folds of the same dataset.
-pub fn kfold_mean<F>(ds: &Dataset, k: usize, seed: u64, parallel: bool, eval_fold: F) -> (Metrics, Vec<FoldResult>)
+/// With `parallel = true` the folds are submitted to the globally
+/// configured [`runtime::Pool`] (bounded at `--threads` workers, instead of
+/// the former one-OS-thread-per-fold spawning); `parallel = false` pins a
+/// single-worker pool.  Results are order-preserved and bit-identical
+/// between the two because each fold's evaluation is a pure function of its
+/// `(train, test, fold)` triple.
+pub fn kfold_mean<F>(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    parallel: bool,
+    eval_fold: F,
+) -> (Metrics, Vec<FoldResult>)
 where
     F: Fn(&[usize], &[usize], usize) -> Metrics + Sync,
 {
     let folds = ds.k_folds(k, seed);
-    let results: Vec<FoldResult> = if parallel {
-        thread::scope(|scope| {
-            let handles: Vec<_> = folds
-                .iter()
-                .enumerate()
-                .map(|(i, (train, test))| {
-                    let f = &eval_fold;
-                    scope.spawn(move |_| FoldResult { fold: i, metrics: f(train, test, i) })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fold thread panicked"))
-                .collect()
-        })
-        .expect("cross-validation scope")
+    let pool = if parallel {
+        Pool::global()
     } else {
-        folds
-            .iter()
-            .enumerate()
-            .map(|(i, (train, test))| FoldResult { fold: i, metrics: eval_fold(train, test, i) })
-            .collect()
+        Pool::new(1)
     };
+    let results: Vec<FoldResult> = pool.par_map(&folds, |i, (train, test)| FoldResult {
+        fold: i,
+        metrics: eval_fold(train, test, i),
+    });
     let mean = Metrics::mean(&results.iter().map(|r| r.metrics).collect::<Vec<_>>());
     (mean, results)
 }
@@ -73,7 +69,10 @@ mod tests {
             } else {
                 StressLabel::Unstressed
             };
-            let pairs: Vec<_> = test.iter().map(|&i| (ds.samples[i].label, majority)).collect();
+            let pairs: Vec<_> = test
+                .iter()
+                .map(|&i| (ds.samples[i].label, majority))
+                .collect();
             crate::metrics::Confusion::from_pairs(&pairs).metrics()
         }
     }
@@ -94,7 +93,12 @@ mod tests {
         let (mean, _) = kfold_mean(&d, 4, 3, false, majority_eval(&d));
         let (s, u) = d.label_counts();
         let expected = u as f64 / (s + u) as f64;
-        assert!((mean.accuracy - expected).abs() < 0.1, "{} vs {}", mean.accuracy, expected);
+        assert!(
+            (mean.accuracy - expected).abs() < 0.1,
+            "{} vs {}",
+            mean.accuracy,
+            expected
+        );
     }
 
     #[test]

@@ -48,27 +48,50 @@ pub trait ExplainedClassifier {
 
 /// Run the protocol over a test set: for each `k ∈ {1,2,3}` disturb that
 /// many top segments and measure the accuracy drop.
-pub fn topk_accuracy_drops<C: ExplainedClassifier>(
+///
+/// Samples are evaluated in parallel through the globally configured
+/// [`runtime::Pool`]; each sample's disturb noise is seeded purely from
+/// `(seed, sample index, k)` and the confusion counts are reduced
+/// sequentially afterwards, so results are bit-identical for any thread
+/// count.
+pub fn topk_accuracy_drops<C: ExplainedClassifier + Sync>(
     classifier: &C,
     test: &[VideoSample],
     seed: u64,
 ) -> TopKDrops {
     assert!(!test.is_empty(), "empty test set");
-    let mut clean = Confusion::default();
-    let mut disturbed = [Confusion::default(); 3];
 
-    for (i, v) in test.iter().enumerate() {
+    // Per-sample records: (label, clean prediction, disturbed predictions).
+    let records = runtime::Pool::global().par_map(test, |i, v| {
         let (fe, seg) = segment_expressive_frame(v);
         let fl = v.render_frame(v.least_expressive_frame());
 
-        clean.record(v.label, classifier.predict_images(&fe, &fl, v));
+        let clean_pred = classifier.predict_images(&fe, &fl, v);
 
         let ranking = classifier.rank_segments(v, &fe, &seg);
         assert!(ranking.len() >= 3, "need at least 3 ranked segments");
-        for k in 1..=3usize {
-            let top: Vec<usize> = ranking.iter().copied().take(k).collect();
-            let noisy = gaussian_disturb(&fe, &seg, &top, DISTURB_SIGMA, seed ^ ((i as u64) << 3) ^ k as u64);
-            disturbed[k - 1].record(v.label, classifier.predict_images(&noisy, &fl, v));
+        let disturbed_preds: Vec<StressLabel> = (1..=3usize)
+            .map(|k| {
+                let top: Vec<usize> = ranking.iter().copied().take(k).collect();
+                let noisy = gaussian_disturb(
+                    &fe,
+                    &seg,
+                    &top,
+                    DISTURB_SIGMA,
+                    seed ^ ((i as u64) << 3) ^ k as u64,
+                );
+                classifier.predict_images(&noisy, &fl, v)
+            })
+            .collect();
+        (v.label, clean_pred, disturbed_preds)
+    });
+
+    let mut clean = Confusion::default();
+    let mut disturbed = [Confusion::default(); 3];
+    for (label, clean_pred, disturbed_preds) in records {
+        clean.record(label, clean_pred);
+        for (k, pred) in disturbed_preds.into_iter().enumerate() {
+            disturbed[k].record(label, pred);
         }
     }
 
@@ -77,7 +100,10 @@ pub fn topk_accuracy_drops<C: ExplainedClassifier>(
     for k in 0..3 {
         drops[k] = clean_acc - disturbed[k].metrics().accuracy;
     }
-    TopKDrops { clean: clean_acc, drops }
+    TopKDrops {
+        clean: clean_acc,
+        drops,
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +142,9 @@ mod tests {
                 .map(|v| brow_edge_density(&v.render_frame(v.most_expressive_frame())))
                 .collect();
             ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            BrowReader { threshold: ds[ds.len() / 2] }
+            BrowReader {
+                threshold: ds[ds.len() / 2],
+            }
         }
     }
 
@@ -164,10 +192,15 @@ mod tests {
         let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), 3);
         let test: Vec<VideoSample> = ds.samples.into_iter().take(30).collect();
         let reader = BrowReader::calibrated(&test);
-        let bad_reader = BrowReaderBadExplanation { inner: BrowReader::calibrated(&test) };
+        let bad_reader = BrowReaderBadExplanation {
+            inner: BrowReader::calibrated(&test),
+        };
         let good = topk_accuracy_drops(&reader, &test, 1);
         let bad = topk_accuracy_drops(&bad_reader, &test, 1);
-        assert_eq!(good.clean, bad.clean, "same classifier, same clean accuracy");
+        assert_eq!(
+            good.clean, bad.clean,
+            "same classifier, same clean accuracy"
+        );
         assert!(
             good.drops[2] > bad.drops[2],
             "good {:?} should beat bad {:?}",

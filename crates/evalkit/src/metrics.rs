@@ -139,7 +139,12 @@ mod tests {
 
     #[test]
     fn accuracy_identity_from_confusion() {
-        let c = Confusion { tp: 7, tn: 5, fp: 2, fn_: 1 };
+        let c = Confusion {
+            tp: 7,
+            tn: 5,
+            fp: 2,
+            fn_: 1,
+        };
         let m = c.metrics();
         assert!((m.accuracy - 12.0 / 15.0).abs() < 1e-12);
     }
@@ -169,15 +174,30 @@ mod tests {
 
     #[test]
     fn mean_of_metrics() {
-        let a = Metrics { accuracy: 1.0, precision: 1.0, recall: 1.0, f1: 1.0 };
-        let b = Metrics { accuracy: 0.5, precision: 0.5, recall: 0.5, f1: 0.5 };
+        let a = Metrics {
+            accuracy: 1.0,
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
+        let b = Metrics {
+            accuracy: 0.5,
+            precision: 0.5,
+            recall: 0.5,
+            f1: 0.5,
+        };
         let m = Metrics::mean(&[a, b]);
         assert!((m.accuracy - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn row_cells_format() {
-        let m = Metrics { accuracy: 0.9581, precision: 0.9605, recall: 0.9282, f1: 0.9422 };
+        let m = Metrics {
+            accuracy: 0.9581,
+            precision: 0.9605,
+            recall: 0.9282,
+            f1: 0.9422,
+        };
         assert_eq!(m.row_cells()[0], "95.81%");
         assert_eq!(m.row_cells()[3], "94.22%");
     }

@@ -9,9 +9,14 @@ pub fn time_it<T, F: FnOnce() -> T>(f: F) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-/// Mean per-call seconds of `f` over `n` calls (n ≥ 1).
+/// Mean per-call seconds of `f` over `n` timed calls (n ≥ 1).
+///
+/// One untimed warm-up call runs first so cold-start effects (lazy
+/// allocation, cache warming, pool spin-up) don't skew the mean — the
+/// closure executes exactly `n + 1` times.
 pub fn mean_seconds<F: FnMut()>(n: usize, mut f: F) -> f64 {
     assert!(n >= 1);
+    f();
     let start = Instant::now();
     for _ in 0..n {
         f();
@@ -43,9 +48,23 @@ mod tests {
 
     #[test]
     fn mean_seconds_counts_calls() {
+        // n timed calls plus exactly one untimed warm-up.
         let mut calls = 0;
         let _ = mean_seconds(5, || calls += 1);
-        assert_eq!(calls, 5);
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn warmup_call_is_excluded_from_the_mean() {
+        // First call sleeps 30ms, the rest are ~instant: with the warm-up
+        // excluded the mean must come out well under the sleep.
+        let mut first = true;
+        let mean = mean_seconds(10, || {
+            if std::mem::take(&mut first) {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+        });
+        assert!(mean < 0.015, "warm-up leaked into the mean: {mean}s");
     }
 
     #[test]

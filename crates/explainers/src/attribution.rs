@@ -10,7 +10,10 @@ impl Attribution {
     /// Wrap raw per-segment scores.
     pub fn new(scores: Vec<f32>) -> Self {
         assert!(!scores.is_empty(), "empty attribution");
-        assert!(scores.iter().all(|s| s.is_finite()), "non-finite attribution");
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "non-finite attribution"
+        );
         Attribution { scores }
     }
 

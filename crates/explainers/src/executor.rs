@@ -1,0 +1,322 @@
+//! Shared mask-evaluation executor for the perturbation explainers.
+//!
+//! LIME, KernelSHAP and SOBOL all reduce to the same expensive inner loop:
+//! perturb the expressive frame with a per-segment mask and query the
+//! black-box score.  This module factors that loop out so that
+//!
+//! * masks are generated **up front** (so the explainer's RNG stream is
+//!   consumed before any evaluation order can matter),
+//! * the masked evaluations run through the [`runtime::Pool`]
+//!   (order-preserving `par_map`, bit-identical across thread counts), and
+//! * repeated coalitions are deduplicated through an optional shared
+//!   [`EvalCache`] keyed on `(scope, mask)` — e.g. LIME's clean instance,
+//!   SHAP's full-coalition anchor and SOBOL's `m = 1` rows all canonicalise
+//!   to the same all-ones bitset key and cost one model call between them.
+
+use std::collections::HashMap;
+
+use runtime::{KeyedCache, Pool};
+use videosynth::image::Image;
+use videosynth::perturb::apply_mask;
+use videosynth::slic::Segmentation;
+
+/// A per-segment perturbation mask.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mask {
+    /// Keep (`true`) or erase-to-fill (`false`) each segment.
+    Binary(Vec<bool>),
+    /// Blend each segment toward the fill value: `1.0` keeps the original,
+    /// `0.0` erases the segment (the SOBOL perturbation operator).
+    Soft(Vec<f64>),
+}
+
+/// Canonical hashable form of a [`Mask`].
+///
+/// Binary masks pack into a bitset; soft masks whose entries are all exactly
+/// `0.0` or `1.0` canonicalise to the *same* bitset (the perturbation
+/// operators agree there), so cross-explainer duplicates share cache slots.
+/// Genuinely soft masks key on their `f64` bit patterns.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MaskKey {
+    /// Packed binary coalition: segment count plus a little-endian bitset.
+    Bits { len: usize, words: Vec<u64> },
+    /// Raw IEEE-754 bit patterns of a soft mask.
+    Soft(Vec<u64>),
+}
+
+fn pack_bits(keep: impl ExactSizeIterator<Item = bool>) -> MaskKey {
+    let len = keep.len();
+    let mut words = vec![0u64; len.div_ceil(64)];
+    for (i, k) in keep.enumerate() {
+        if k {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    MaskKey::Bits { len, words }
+}
+
+impl Mask {
+    /// Number of segment entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Mask::Binary(k) => k.len(),
+            Mask::Soft(m) => m.len(),
+        }
+    }
+
+    /// True if the mask has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical cache key (see [`MaskKey`]).
+    pub fn key(&self) -> MaskKey {
+        match self {
+            Mask::Binary(keep) => pack_bits(keep.iter().copied()),
+            Mask::Soft(m) if m.iter().all(|&v| v == 0.0 || v == 1.0) => {
+                pack_bits(m.iter().map(|&v| v == 1.0))
+            }
+            Mask::Soft(m) => MaskKey::Soft(m.iter().map(|v| v.to_bits()).collect()),
+        }
+    }
+
+    /// Render the masked image.
+    pub fn apply(&self, image: &Image, seg: &Segmentation, fill: f32) -> Image {
+        match self {
+            Mask::Binary(keep) => apply_mask(image, seg, keep, fill),
+            Mask::Soft(m) => apply_soft_mask(image, seg, m, fill),
+        }
+    }
+}
+
+/// Blend each segment toward the fill value by its mask amount
+/// (`m = 1` keeps the original, `m = 0` erases the segment) — the
+/// real-valued perturbation operator of the SOBOL paper.
+pub fn apply_soft_mask(image: &Image, seg: &Segmentation, mask: &[f64], fill: f32) -> Image {
+    assert_eq!(mask.len(), seg.num_segments());
+    let mut data = Vec::with_capacity(image.len());
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let m = mask[seg.segment_of(x, y)] as f32;
+            let v = image.get(x, y);
+            data.push(fill + m * (v - fill));
+        }
+    }
+    Image::from_data(data, image.width(), image.height())
+}
+
+/// Shared black-box evaluation cache: `(scope, mask) → score`.
+///
+/// The scope distinguishes independent score functions sharing one cache —
+/// the bench harness uses the sample's video id.  Soundness of the
+/// first-insert-wins cache relies on scores being pure functions of the
+/// scoped masked image.
+pub type EvalCache = KeyedCache<(u64, MaskKey), f32>;
+
+/// Runs batches of masked evaluations through the worker pool, deduplicating
+/// repeated coalitions within the batch and (optionally) across explainers
+/// via a shared [`EvalCache`].
+pub struct MaskExecutor<'a> {
+    pool: Pool,
+    cache: Option<(&'a EvalCache, u64)>,
+}
+
+impl Default for MaskExecutor<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> MaskExecutor<'a> {
+    /// Executor on the globally configured pool, no cross-call cache.
+    pub fn new() -> Self {
+        MaskExecutor {
+            pool: Pool::global(),
+            cache: None,
+        }
+    }
+
+    /// Executor on an explicit pool (tests pin `Pool::new(1)`).
+    pub fn with_pool(pool: Pool) -> Self {
+        MaskExecutor { pool, cache: None }
+    }
+
+    /// Attach a shared cache; `scope` must uniquely identify the score
+    /// function (e.g. the video id) so entries never collide across samples.
+    pub fn with_cache(mut self, cache: &'a EvalCache, scope: u64) -> Self {
+        self.cache = Some((cache, scope));
+        self
+    }
+
+    /// Evaluate `score` on every masked image, in mask order.
+    ///
+    /// Duplicate masks (within the batch or already in the cache) are
+    /// evaluated once.  The unique masked frames are rendered and scored in
+    /// parallel through the pool; because every evaluation is a pure
+    /// function of `(image, mask)`, the result vector is bit-identical for
+    /// any thread count.
+    pub fn evaluate<F>(
+        &self,
+        image: &Image,
+        seg: &Segmentation,
+        fill: f32,
+        masks: &[Mask],
+        score: &F,
+    ) -> Vec<f32>
+    where
+        F: Fn(&Image) -> f32 + Sync,
+    {
+        // Map each mask to the slot of its first occurrence.
+        let keys: Vec<MaskKey> = masks.iter().map(Mask::key).collect();
+        let mut first_of: HashMap<&MaskKey, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot = Vec::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            let s = *first_of.entry(k).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+            slot.push(s);
+        }
+
+        // Resolve cache hits before spending pool time.
+        let cached: Vec<Option<f32>> = match self.cache {
+            Some((cache, scope)) => unique
+                .iter()
+                .map(|&i| cache.get(&(scope, keys[i].clone())))
+                .collect(),
+            None => vec![None; unique.len()],
+        };
+
+        let fresh: Vec<f32> = self.pool.par_map(&unique, |u, &i| match cached[u] {
+            Some(v) => v,
+            None => score(&masks[i].apply(image, seg, fill)),
+        });
+
+        if let Some((cache, scope)) = self.cache {
+            for (u, &i) in unique.iter().enumerate() {
+                if cached[u].is_none() {
+                    cache.insert((scope, keys[i].clone()), fresh[u]);
+                }
+            }
+        }
+
+        slot.into_iter().map(|s| fresh[s]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::slic::slic;
+
+    fn setup() -> (Image, Segmentation) {
+        let img = Image::filled(16, 16, 0.4);
+        let seg = slic(&img, 4, 0.1, 2);
+        (img, seg)
+    }
+
+    #[test]
+    fn binary_and_equivalent_soft_masks_share_a_key() {
+        let bin = Mask::Binary(vec![true, false, true]);
+        let soft = Mask::Soft(vec![1.0, 0.0, 1.0]);
+        assert_eq!(bin.key(), soft.key());
+        let truly_soft = Mask::Soft(vec![1.0, 0.5, 1.0]);
+        assert_ne!(bin.key(), truly_soft.key());
+    }
+
+    #[test]
+    fn keys_distinguish_masks_beyond_word_boundaries() {
+        let mut a = vec![false; 70];
+        let mut b = vec![false; 70];
+        a[69] = true;
+        b[68] = true;
+        assert_ne!(Mask::Binary(a).key(), Mask::Binary(b.clone()).key());
+        assert_ne!(Mask::Binary(b).key(), Mask::Binary(vec![false; 68]).key());
+    }
+
+    #[test]
+    fn evaluate_preserves_order_and_dedups() {
+        let (img, seg) = setup();
+        let d = seg.num_segments();
+        let fill = img.mean();
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let score = |im: &Image| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            im.mean()
+        };
+        let all = Mask::Binary(vec![true; d]);
+        let none = Mask::Binary(vec![false; d]);
+        let masks = vec![all.clone(), none.clone(), all.clone(), none, all];
+        let exec = MaskExecutor::new();
+        let ys = exec.evaluate(&img, &seg, fill, &masks, &score);
+        assert_eq!(ys.len(), 5);
+        assert_eq!(ys[0], ys[2]);
+        assert_eq!(ys[0], ys[4]);
+        assert_eq!(ys[1], ys[3]);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shared_cache_dedups_across_evaluate_calls() {
+        let (img, seg) = setup();
+        let d = seg.num_segments();
+        let fill = img.mean();
+        let cache = EvalCache::new();
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let score = |im: &Image| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            im.mean()
+        };
+        let masks = vec![Mask::Binary(vec![true; d]), Mask::Soft(vec![1.0; d])];
+        let exec = MaskExecutor::new().with_cache(&cache, 7);
+        let a = exec.evaluate(&img, &seg, fill, &masks, &score);
+        let b = exec.evaluate(&img, &seg, fill, &masks, &score);
+        assert_eq!(a, b);
+        // Both masks canonicalise to the all-ones coalition: one real call.
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_scopes_are_disjoint() {
+        let (img, seg) = setup();
+        let d = seg.num_segments();
+        let cache = EvalCache::new();
+        let masks = vec![Mask::Binary(vec![false; d])];
+        let a = MaskExecutor::new().with_cache(&cache, 1).evaluate(
+            &img,
+            &seg,
+            0.1,
+            &masks,
+            &|im: &Image| im.mean(),
+        );
+        let b = MaskExecutor::new().with_cache(&cache, 2).evaluate(
+            &img,
+            &seg,
+            0.9,
+            &masks,
+            &|im: &Image| im.mean(),
+        );
+        assert_ne!(a, b, "different scopes must not share entries");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn pinned_single_thread_pool_matches_global() {
+        let (img, seg) = setup();
+        let d = seg.num_segments();
+        let fill = img.mean();
+        let masks: Vec<Mask> = (0..d)
+            .map(|i| {
+                let mut keep = vec![true; d];
+                keep[i] = false;
+                Mask::Binary(keep)
+            })
+            .collect();
+        let score = |im: &Image| im.mean();
+        let seq = MaskExecutor::with_pool(Pool::new(1)).evaluate(&img, &seg, fill, &masks, &score);
+        let par = MaskExecutor::with_pool(Pool::new(8)).evaluate(&img, &seg, fill, &masks, &score);
+        assert_eq!(seq, par);
+    }
+}

@@ -16,8 +16,17 @@
 //!
 //! Each explainer returns an [`Attribution`]: one importance score per
 //! segment, whose `top_k` feeds the Table II disturb protocol.
+//!
+//! All three generate their mask matrices up front and evaluate the masked
+//! frames through [`executor::MaskExecutor`] — the shared batch engine that
+//! runs on the deterministic [`runtime`] worker pool and deduplicates
+//! repeated coalitions via a mask-keyed cache (see [`executor::EvalCache`]).
+//! The `*_in` variants ([`lime::lime_in`], [`shap::kernel_shap_in`],
+//! [`sobol::sobol_total_indices_in`]) accept the executor explicitly so one
+//! cache can serve all explainers on the same sample.
 
 pub mod attribution;
+pub mod executor;
 pub mod lime;
 pub mod linalg;
 pub mod qmc;
@@ -25,6 +34,7 @@ pub mod shap;
 pub mod sobol;
 
 pub use attribution::Attribution;
-pub use lime::lime;
-pub use shap::kernel_shap;
-pub use sobol::sobol_total_indices;
+pub use executor::{EvalCache, Mask, MaskExecutor};
+pub use lime::{lime, lime_in};
+pub use shap::{kernel_shap, kernel_shap_in};
+pub use sobol::{sobol_total_indices, sobol_total_indices_in};

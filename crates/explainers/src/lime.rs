@@ -3,10 +3,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use videosynth::image::Image;
-use videosynth::perturb::apply_mask;
 use videosynth::slic::Segmentation;
 
 use crate::attribution::Attribution;
+use crate::executor::{Mask, MaskExecutor};
 use crate::linalg::weighted_ridge;
 
 /// Explain `score` around `image`: sample `n_samples` random binary masks
@@ -15,11 +15,29 @@ use crate::linalg::weighted_ridge;
 /// surrogate.  The surrogate's coefficients are the attributions.
 ///
 /// `score` receives the perturbed expressive frame and must return the
-/// model's score for the class being explained.
-pub fn lime<F: FnMut(&Image) -> f32>(
+/// model's score for the class being explained.  Evaluations run through
+/// the global worker pool; see [`lime_in`] to share an executor/cache.
+pub fn lime<F: Fn(&Image) -> f32 + Sync>(
     image: &Image,
     seg: &Segmentation,
-    mut score: F,
+    score: F,
+    n_samples: usize,
+    seed: u64,
+) -> Attribution {
+    lime_in(&MaskExecutor::new(), image, seg, score, n_samples, seed)
+}
+
+/// [`lime`] with an explicit [`MaskExecutor`], so the bench harness can
+/// share one mask-keyed evaluation cache across explainers on a sample.
+///
+/// All masks are drawn from the seeded RNG up front (same stream as the
+/// former evaluate-as-you-sample loop), then scored as one batch; the
+/// attributions are therefore bit-identical for any pool thread count.
+pub fn lime_in<F: Fn(&Image) -> f32 + Sync>(
+    exec: &MaskExecutor,
+    image: &Image,
+    seg: &Segmentation,
+    score: F,
     n_samples: usize,
     seed: u64,
 ) -> Attribution {
@@ -30,22 +48,28 @@ pub fn lime<F: FnMut(&Image) -> f32>(
     // Kernel width as in the reference implementation: 0.25·√d.
     let kernel_width = 0.25 * (d as f32).sqrt();
 
-    let mut xs = Vec::with_capacity(n_samples * d);
-    let mut ys = Vec::with_capacity(n_samples);
-    let mut ws = Vec::with_capacity(n_samples);
-
-    // Include the unperturbed instance with full weight, as lime does.
-    xs.extend(std::iter::repeat_n(1.0f32, d));
-    ys.push(score(image));
-    ws.push(1.0);
-
+    // The unperturbed instance (an all-ones mask) with full weight, as lime
+    // does, then the sampled coalitions.
+    let mut masks = Vec::with_capacity(n_samples + 1);
+    masks.push(Mask::Binary(vec![true; d]));
     for _ in 0..n_samples {
-        let keep: Vec<bool> = (0..d).map(|_| rng.random::<f32>() < 0.5).collect();
+        masks.push(Mask::Binary(
+            (0..d).map(|_| rng.random::<f32>() < 0.5).collect(),
+        ));
+    }
+
+    let ys = exec.evaluate(image, seg, fill, &masks, &score);
+
+    let mut xs = Vec::with_capacity(masks.len() * d);
+    let mut ws = Vec::with_capacity(masks.len());
+    for mask in &masks {
+        let Mask::Binary(keep) = mask else {
+            unreachable!()
+        };
         let dropped = keep.iter().filter(|&&k| !k).count();
-        let masked = apply_mask(image, seg, &keep, fill);
         xs.extend(keep.iter().map(|&k| if k { 1.0f32 } else { 0.0 }));
-        ys.push(score(&masked));
-        // Cosine-style distance ≈ fraction dropped; exponential kernel.
+        // Cosine-style distance ≈ fraction dropped; exponential kernel
+        // (the unperturbed instance lands on the kernel's peak weight 1).
         let dist = dropped as f32 / d as f32 * (d as f32).sqrt();
         ws.push((-dist * dist / (kernel_width * kernel_width)).exp());
     }
@@ -60,7 +84,7 @@ mod tests {
     use videosynth::slic::slic;
 
     /// A synthetic black box that only looks at segment 3's mean intensity.
-    fn planted_model(seg: &Segmentation, target: usize) -> impl FnMut(&Image) -> f32 + '_ {
+    fn planted_model(seg: &Segmentation, target: usize) -> impl Fn(&Image) -> f32 + Sync + '_ {
         let pixels = seg.pixels_of(target);
         move |img: &Image| {
             let s: f32 = pixels.iter().map(|&(x, y)| img.get(x, y)).sum();
@@ -101,6 +125,10 @@ mod tests {
         let base = Image::filled(32, 32, 0.5);
         let seg = slic(&base, 9, 0.1, 3);
         let attr = lime(&base, &seg, |_| 0.7, 128, 1);
-        assert!(attr.scores().iter().all(|s| s.abs() < 1e-3), "{:?}", attr.scores());
+        assert!(
+            attr.scores().iter().all(|s| s.abs() < 1e-3),
+            "{:?}",
+            attr.scores()
+        );
     }
 }

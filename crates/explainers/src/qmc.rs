@@ -8,10 +8,10 @@
 
 /// First 64 primes (bases for up to 64 dimensions).
 const PRIMES: [u32; 64] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
-    307, 311,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311,
 ];
 
 /// Radical inverse of `n` in base `b` — the Halton coordinate.
@@ -38,7 +38,10 @@ pub struct QmcSequence {
 impl QmcSequence {
     /// Create for up to 64 dimensions; `seed` sets the digital shift.
     pub fn new(dims: usize, seed: u64) -> Self {
-        assert!(dims >= 1 && dims <= PRIMES.len(), "1..=64 dimensions supported");
+        assert!(
+            dims >= 1 && dims <= PRIMES.len(),
+            "1..=64 dimensions supported"
+        );
         // Deterministic per-dimension shift from a splitmix-style hash.
         let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let shift = (0..dims)
@@ -49,7 +52,11 @@ impl QmcSequence {
                 (state >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect();
-        QmcSequence { dims, index: 0, shift }
+        QmcSequence {
+            dims,
+            index: 0,
+            shift,
+        }
     }
 
     /// Number of dimensions.

@@ -4,10 +4,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use videosynth::image::Image;
-use videosynth::perturb::apply_mask;
 use videosynth::slic::Segmentation;
 
 use crate::attribution::Attribution;
+use crate::executor::{Mask, MaskExecutor};
 use crate::linalg::weighted_ridge;
 
 /// Shapley kernel weight for a coalition of size `s` out of `m` players:
@@ -32,14 +32,36 @@ fn binom(m: usize, s: usize) -> f64 {
 /// image, and solve the kernel-weighted least squares.  The empty and full
 /// coalitions anchor the regression with a large weight (the standard
 /// practical treatment of their infinite kernel weight).
-pub fn kernel_shap<F: FnMut(&Image) -> f32>(
+///
+/// Evaluations run through the global worker pool; see [`kernel_shap_in`]
+/// to share an executor/cache.
+pub fn kernel_shap<F: Fn(&Image) -> f32 + Sync>(
     image: &Image,
     seg: &Segmentation,
-    mut score: F,
+    score: F,
     n_samples: usize,
     seed: u64,
 ) -> Attribution {
-    assert!(n_samples >= 8, "KernelSHAP needs a non-trivial sample budget");
+    kernel_shap_in(&MaskExecutor::new(), image, seg, score, n_samples, seed)
+}
+
+/// [`kernel_shap`] with an explicit [`MaskExecutor`].
+///
+/// All coalitions are drawn from the seeded RNG up front (same stream as
+/// the former evaluate-as-you-sample loop), then scored as one batch, so
+/// attributions are bit-identical for any pool thread count.
+pub fn kernel_shap_in<F: Fn(&Image) -> f32 + Sync>(
+    exec: &MaskExecutor,
+    image: &Image,
+    seg: &Segmentation,
+    score: F,
+    n_samples: usize,
+    seed: u64,
+) -> Attribution {
+    assert!(
+        n_samples >= 8,
+        "KernelSHAP needs a non-trivial sample budget"
+    );
     let d = seg.num_segments();
     assert!(d >= 2, "need at least two segments");
     let fill = image.mean();
@@ -49,21 +71,13 @@ pub fn kernel_shap<F: FnMut(&Image) -> f32>(
     let size_weights: Vec<f64> = (1..d).map(|s| 1.0 / (s as f64 * (d - s) as f64)).collect();
     let total_w: f64 = size_weights.iter().sum();
 
-    let mut xs = Vec::with_capacity((n_samples + 2) * d);
-    let mut ys = Vec::with_capacity(n_samples + 2);
-    let mut ws = Vec::with_capacity(n_samples + 2);
-
-    // Anchors: empty and full coalitions, heavily weighted.
-    const ANCHOR_WEIGHT: f32 = 1e4;
-    xs.extend(std::iter::repeat_n(0.0f32, d));
-    let empty = apply_mask(image, seg, &vec![false; d], fill);
-    ys.push(score(&empty));
-    ws.push(ANCHOR_WEIGHT);
-    xs.extend(std::iter::repeat_n(1.0f32, d));
-    ys.push(score(image));
-    ws.push(ANCHOR_WEIGHT);
+    // Anchors first (empty and full coalitions), then sampled coalitions.
+    let mut masks = Vec::with_capacity(n_samples + 2);
+    masks.push(Mask::Binary(vec![false; d]));
+    masks.push(Mask::Binary(vec![true; d]));
 
     let mut indices: Vec<usize> = (0..d).collect();
+    let mut sizes = Vec::with_capacity(n_samples);
     for _ in 0..n_samples {
         // Sample a coalition size from the kernel-induced distribution.
         let mut u = rng.random::<f64>() * total_w;
@@ -80,10 +94,24 @@ pub fn kernel_shap<F: FnMut(&Image) -> f32>(
         for &i in indices.iter().take(s) {
             keep[i] = true;
         }
-        let masked = apply_mask(image, seg, &keep, fill);
+        masks.push(Mask::Binary(keep));
+        sizes.push(s);
+    }
+
+    let ys = exec.evaluate(image, seg, fill, &masks, &score);
+
+    const ANCHOR_WEIGHT: f32 = 1e4;
+    let mut xs = Vec::with_capacity(masks.len() * d);
+    let mut ws = Vec::with_capacity(masks.len());
+    for (m, mask) in masks.iter().enumerate() {
+        let Mask::Binary(keep) = mask else {
+            unreachable!()
+        };
         xs.extend(keep.iter().map(|&k| if k { 1.0f32 } else { 0.0 }));
-        ys.push(score(&masked));
-        ws.push(shapley_kernel(d, s) as f32 * d as f32); // rescaled for conditioning
+        ws.push(match m {
+            0 | 1 => ANCHOR_WEIGHT,
+            _ => shapley_kernel(d, sizes[m - 2]) as f32 * d as f32, // rescaled for conditioning
+        });
     }
 
     let (_, phi) = weighted_ridge(&xs, &ys, &ws, d, 1e-4);
@@ -93,6 +121,7 @@ pub fn kernel_shap<F: FnMut(&Image) -> f32>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use videosynth::perturb::apply_mask;
     use videosynth::slic::slic;
 
     #[test]
@@ -118,7 +147,11 @@ mod tests {
         assert!((binom(5, 2) - 10.0).abs() < 1e-9);
         assert!((binom(64, 1) - 64.0).abs() < 1e-6);
         // C(64, 32) ≈ 1.83e18 → ln ≈ 42.05.
-        assert!((binom(64, 32).ln() - 42.05).abs() < 0.1, "{}", binom(64, 32).ln());
+        assert!(
+            (binom(64, 32).ln() - 42.05).abs() < 0.1,
+            "{}",
+            binom(64, 32).ln()
+        );
     }
 
     #[test]

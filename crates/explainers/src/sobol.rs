@@ -7,23 +7,10 @@ use videosynth::image::Image;
 use videosynth::slic::Segmentation;
 
 use crate::attribution::Attribution;
+use crate::executor::{Mask, MaskExecutor};
 use crate::qmc::QmcSequence;
 
-/// Blend each segment toward the fill value by its mask amount
-/// (`m = 1` keeps the original, `m = 0` erases the segment) — the
-/// real-valued perturbation operator of the SOBOL paper.
-fn apply_soft_mask(image: &Image, seg: &Segmentation, mask: &[f64], fill: f32) -> Image {
-    assert_eq!(mask.len(), seg.num_segments());
-    let mut data = Vec::with_capacity(image.len());
-    for y in 0..image.height() {
-        for x in 0..image.width() {
-            let m = mask[seg.segment_of(x, y)] as f32;
-            let v = image.get(x, y);
-            data.push(fill + m * (v - fill));
-        }
-    }
-    Image::from_data(data, image.width(), image.height())
-}
+pub use crate::executor::apply_soft_mask;
 
 /// Estimate the total-order Sobol' index of every segment.
 ///
@@ -32,10 +19,29 @@ fn apply_soft_mask(image: &Image, seg: &Segmentation, mask: &[f64], fill: f32) -
 /// total-index estimator is
 /// `ST_i = Σ (f(A_j) − f(AB_i,j))² / (2 n Var(f))`.
 /// Model evaluations: `n · (d + 2)` (≈ 1 000 for n = 15, d = 64).
-pub fn sobol_total_indices<F: FnMut(&Image) -> f32>(
+///
+/// Evaluations run through the global worker pool; see
+/// [`sobol_total_indices_in`] to share an executor/cache.
+pub fn sobol_total_indices<F: Fn(&Image) -> f32 + Sync>(
     image: &Image,
     seg: &Segmentation,
-    mut score: F,
+    score: F,
+    n: usize,
+    seed: u64,
+) -> Attribution {
+    sobol_total_indices_in(&MaskExecutor::new(), image, seg, score, n, seed)
+}
+
+/// [`sobol_total_indices`] with an explicit [`MaskExecutor`].
+///
+/// The full `n · (d + 2)` mask matrix (`A`, `B`, and every hybrid `AB_i`)
+/// is generated up front and scored as one batch, so the indices are
+/// bit-identical for any pool thread count.
+pub fn sobol_total_indices_in<F: Fn(&Image) -> f32 + Sync>(
+    exec: &MaskExecutor,
+    image: &Image,
+    seg: &Segmentation,
+    score: F,
     n: usize,
     seed: u64,
 ) -> Attribution {
@@ -48,18 +54,25 @@ pub fn sobol_total_indices<F: FnMut(&Image) -> f32>(
     let a = qa.matrix(n);
     let b = qb.matrix(n);
 
-    // f(A_j) and f(B_j).
-    let fa: Vec<f32> = a
-        .iter()
-        .map(|row| score(&apply_soft_mask(image, seg, row, fill)))
-        .collect();
-    let fb: Vec<f32> = b
-        .iter()
-        .map(|row| score(&apply_soft_mask(image, seg, row, fill)))
-        .collect();
+    // Batch layout: A rows, then B rows, then the n·d hybrid rows AB_i
+    // (column i of A replaced with B's), grouped by segment.
+    let mut masks = Vec::with_capacity(n * (d + 2));
+    masks.extend(a.iter().cloned().map(Mask::Soft));
+    masks.extend(b.iter().cloned().map(Mask::Soft));
+    for i in 0..d {
+        for j in 0..n {
+            let mut row = a[j].clone();
+            row[i] = b[j][i];
+            masks.push(Mask::Soft(row));
+        }
+    }
 
-    // Variance over the pooled evaluations.
-    let all: Vec<f32> = fa.iter().chain(&fb).copied().collect();
+    let ys = exec.evaluate(image, seg, fill, &masks, &score);
+    let (fa, rest) = ys.split_at(n);
+    let (fb, fab) = rest.split_at(n);
+
+    // Variance over the pooled A and B evaluations.
+    let all: Vec<f32> = fa.iter().chain(fb).copied().collect();
     let mean = all.iter().sum::<f32>() / all.len() as f32;
     let var = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / all.len() as f32;
 
@@ -67,10 +80,7 @@ pub fn sobol_total_indices<F: FnMut(&Image) -> f32>(
     for i in 0..d {
         let mut acc = 0.0f32;
         for j in 0..n {
-            let mut row = a[j].clone();
-            row[i] = b[j][i];
-            let f_ab = score(&apply_soft_mask(image, seg, &row, fill));
-            let diff = fa[j] - f_ab;
+            let diff = fa[j] - fab[i * n + j];
             acc += diff * diff;
         }
         st[i] = if var > 1e-12 {
@@ -157,6 +167,10 @@ mod tests {
             m0 + 3.0 * m1
         };
         let attr = sobol_total_indices(&img, &seg, f, 32, 2);
-        assert!(attr.scores()[1] > attr.scores()[0] * 2.0, "{:?}", attr.scores());
+        assert!(
+            attr.scores()[1] > attr.scores()[0] * 2.0,
+            "{:?}",
+            attr.scores()
+        );
     }
 }

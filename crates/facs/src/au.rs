@@ -427,10 +427,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            format!("{}", ActionUnit::BrowLowerer),
-            "AU4 (brow lowerer)"
-        );
+        assert_eq!(format!("{}", ActionUnit::BrowLowerer), "AU4 (brow lowerer)");
         let s = AuSet::from_aus([ActionUnit::InnerBrowRaiser, ActionUnit::JawDrop]);
         assert_eq!(format!("{s:?}"), "AuSet{AU1, AU26}");
     }

@@ -77,11 +77,17 @@ pub enum DescriptionError {
 impl fmt::Display for DescriptionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::MissingHeader => write!(f, "description does not start with the canonical header"),
+            Self::MissingHeader => {
+                write!(f, "description does not start with the canonical header")
+            }
             Self::MalformedBullet(l) => write!(f, "malformed bullet line: {l:?}"),
             Self::UnknownRegion(r) => write!(f, "unknown facial region: {r:?}"),
             Self::UnknownPhrase(p) => write!(f, "unknown facial-action phrase: {p:?}"),
-            Self::RegionMismatch { phrase, expected, found } => write!(
+            Self::RegionMismatch {
+                phrase,
+                expected,
+                found,
+            } => write!(
                 f,
                 "phrase {phrase:?} belongs to region {expected} but appeared under {found}"
             ),
@@ -103,8 +109,7 @@ pub fn render_description(aus: AuSet) -> String {
     let mut out = String::with_capacity(64 + aus.len() * 40);
     out.push_str(HEADER);
     for region in ALL_REGIONS {
-        let in_region: Vec<ActionUnit> =
-            aus.iter().filter(|au| au.region() == region).collect();
+        let in_region: Vec<ActionUnit> = aus.iter().filter(|au| au.region() == region).collect();
         if in_region.is_empty() {
             continue;
         }
@@ -216,7 +221,11 @@ mod tests {
         // All 4096 subsets — the language must be exactly invertible.
         for bits in 0u16..(1 << 12) {
             let s = AuSet::from_bits(bits);
-            assert_eq!(parse_description(&render_description(s)), Ok(s), "bits={bits:#b}");
+            assert_eq!(
+                parse_description(&render_description(s)),
+                Ok(s),
+                "bits={bits:#b}"
+            );
         }
     }
 
@@ -261,7 +270,9 @@ mod tests {
     fn region_mismatch_is_an_error() {
         let text = format!("{HEADER}\n-jaw: upper lid raising");
         match parse_description(&text) {
-            Err(DescriptionError::RegionMismatch { expected, found, .. }) => {
+            Err(DescriptionError::RegionMismatch {
+                expected, found, ..
+            }) => {
                 assert_eq!(expected, FacialRegion::Eyelid);
                 assert_eq!(found, FacialRegion::Jaw);
             }

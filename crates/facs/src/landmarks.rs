@@ -174,8 +174,16 @@ mod tests {
         assert_eq!(lm.len(), NUM_LANDMARKS);
         for (i, l) in lm.iter().enumerate() {
             assert_eq!(l.id, i);
-            assert!(l.home.0 >= 0.0 && l.home.0 < FACE_SIZE as f32, "{:?}", l.home);
-            assert!(l.home.1 >= 0.0 && l.home.1 < FACE_SIZE as f32, "{:?}", l.home);
+            assert!(
+                l.home.0 >= 0.0 && l.home.0 < FACE_SIZE as f32,
+                "{:?}",
+                l.home
+            );
+            assert!(
+                l.home.1 >= 0.0 && l.home.1 < FACE_SIZE as f32,
+                "{:?}",
+                l.home
+            );
         }
     }
 

@@ -115,12 +115,42 @@ impl FacialRegion {
         const S: usize = FACE_SIZE;
         match self {
             // y is measured from the top of the image.
-            Self::Eyebrow => RegionRect { x0: S / 8, y0: S / 5, x1: S - S / 8, y1: S * 2 / 5 },
-            Self::Eyelid => RegionRect { x0: S / 8, y0: S * 2 / 5, x1: S - S / 8, y1: S / 2 },
-            Self::Nose => RegionRect { x0: S * 2 / 5, y0: S * 2 / 5, x1: S * 3 / 5, y1: S * 7 / 10 },
-            Self::Cheek => RegionRect { x0: S / 10, y0: S / 2, x1: S * 2 / 5, y1: S * 3 / 4 },
-            Self::Mouth => RegionRect { x0: S * 3 / 10, y0: S * 7 / 10, x1: S * 7 / 10, y1: S * 17 / 20 },
-            Self::Jaw => RegionRect { x0: S / 4, y0: S * 17 / 20, x1: S * 3 / 4, y1: S },
+            Self::Eyebrow => RegionRect {
+                x0: S / 8,
+                y0: S / 5,
+                x1: S - S / 8,
+                y1: S * 2 / 5,
+            },
+            Self::Eyelid => RegionRect {
+                x0: S / 8,
+                y0: S * 2 / 5,
+                x1: S - S / 8,
+                y1: S / 2,
+            },
+            Self::Nose => RegionRect {
+                x0: S * 2 / 5,
+                y0: S * 2 / 5,
+                x1: S * 3 / 5,
+                y1: S * 7 / 10,
+            },
+            Self::Cheek => RegionRect {
+                x0: S / 10,
+                y0: S / 2,
+                x1: S * 2 / 5,
+                y1: S * 3 / 4,
+            },
+            Self::Mouth => RegionRect {
+                x0: S * 3 / 10,
+                y0: S * 7 / 10,
+                x1: S * 7 / 10,
+                y1: S * 17 / 20,
+            },
+            Self::Jaw => RegionRect {
+                x0: S / 4,
+                y0: S * 17 / 20,
+                x1: S * 3 / 4,
+                y1: S,
+            },
         }
     }
 
@@ -207,7 +237,10 @@ mod tests {
         let right = FacialRegion::Cheek.mirror_rect().unwrap();
         assert_eq!(left.area(), right.area());
         assert_eq!(left.y0, right.y0);
-        assert!(right.x0 >= FACE_SIZE / 2, "mirror should be on the right half");
+        assert!(
+            right.x0 >= FACE_SIZE / 2,
+            "mirror should be on the right half"
+        );
         assert!(FacialRegion::Mouth.mirror_rect().is_none());
     }
 

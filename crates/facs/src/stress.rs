@@ -21,18 +21,18 @@ pub const STRESS_BIAS: f32 = -1.35;
 /// negative weights are relaxation markers.
 pub fn stress_weight(au: ActionUnit) -> f32 {
     match au {
-        ActionUnit::InnerBrowRaiser => 0.55,   // fear/worry brow
-        ActionUnit::OuterBrowRaiser => 0.30,   // surprise component
-        ActionUnit::BrowLowerer => 1.25,       // primary stress marker
-        ActionUnit::UpperLidRaiser => 0.95,    // eye-widening under threat
-        ActionUnit::CheekRaiser => -0.80,      // Duchenne marker (relaxed)
-        ActionUnit::NoseWrinkler => 0.70,      // disgust/strain
-        ActionUnit::LipCornerPuller => -1.10,  // smiling (relaxed)
+        ActionUnit::InnerBrowRaiser => 0.55,    // fear/worry brow
+        ActionUnit::OuterBrowRaiser => 0.30,    // surprise component
+        ActionUnit::BrowLowerer => 1.25,        // primary stress marker
+        ActionUnit::UpperLidRaiser => 0.95,     // eye-widening under threat
+        ActionUnit::CheekRaiser => -0.80,       // Duchenne marker (relaxed)
+        ActionUnit::NoseWrinkler => 0.70,       // disgust/strain
+        ActionUnit::LipCornerPuller => -1.10,   // smiling (relaxed)
         ActionUnit::LipCornerDepressor => 0.85, // sadness/strain
-        ActionUnit::ChinRaiser => 0.75,        // tension in the mentalis
-        ActionUnit::LipStretcher => 1.05,      // fear stretch
-        ActionUnit::LipsPart => 0.05,          // near-neutral
-        ActionUnit::JawDrop => 0.20,           // mild surprise
+        ActionUnit::ChinRaiser => 0.75,         // tension in the mentalis
+        ActionUnit::LipStretcher => 1.05,       // fear stretch
+        ActionUnit::LipsPart => 0.05,           // near-neutral
+        ActionUnit::JawDrop => 0.20,            // mild surprise
     }
 }
 

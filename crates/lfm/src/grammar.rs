@@ -47,21 +47,44 @@ pub struct DescriptionDfa {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum State {
     /// Nothing emitted yet: header or neutral may start.
-    Start { progress: usize, neutral_possible: bool, header_possible: bool },
+    Start {
+        progress: usize,
+        neutral_possible: bool,
+        header_possible: bool,
+    },
     /// Between blocks: a new block may start; `emitted` = AUs already said.
-    BlockBoundary { last_region: Option<usize>, emitted: AuSet },
+    BlockBoundary {
+        last_region: Option<usize>,
+        emitted: AuSet,
+    },
     /// Saw `\n`, expect `-`.
-    ExpectDash { last_region: Option<usize>, emitted: AuSet },
+    ExpectDash {
+        last_region: Option<usize>,
+        emitted: AuSet,
+    },
     /// Saw `-`, expect a region name later than `last_region`.
-    ExpectRegion { last_region: Option<usize>, emitted: AuSet },
+    ExpectRegion {
+        last_region: Option<usize>,
+        emitted: AuSet,
+    },
     /// Saw the region name, expect `:`.
     ExpectColon { region: usize, emitted: AuSet },
     /// Inside a phrase: `candidates` = AUs whose phrase starts with the
     /// consumed prefix; `progress` = tokens consumed of the phrase.
-    InPhrase { region: usize, min_idx: usize, emitted: AuSet, candidates: Vec<ActionUnit>, progress: usize },
+    InPhrase {
+        region: usize,
+        min_idx: usize,
+        emitted: AuSet,
+        candidates: Vec<ActionUnit>,
+        progress: usize,
+    },
     /// A phrase just ended: `,` continues the block, `\n` a new block, or
     /// `Eos` finishes.
-    PhraseEnd { region: usize, last_au: ActionUnit, emitted: AuSet },
+    PhraseEnd {
+        region: usize,
+        last_au: ActionUnit,
+        emitted: AuSet,
+    },
     /// Terminal (after the neutral sentence completes nothing else may
     /// follow but `Eos`).
     Accept { emitted: AuSet },
@@ -131,7 +154,11 @@ impl DescriptionDfa {
     pub fn allowed(&self, state: &State) -> Vec<TokenId> {
         let mut out = Vec::new();
         match state {
-            State::Start { progress, neutral_possible, header_possible } => {
+            State::Start {
+                progress,
+                neutral_possible,
+                header_possible,
+            } => {
                 if *header_possible {
                     out.push(self.header[*progress]);
                 }
@@ -142,7 +169,10 @@ impl DescriptionDfa {
                     }
                 }
             }
-            State::BlockBoundary { last_region, emitted } => {
+            State::BlockBoundary {
+                last_region,
+                emitted,
+            } => {
                 if !self.open_regions(*last_region, *emitted).is_empty() {
                     out.push(self.newline);
                 }
@@ -151,13 +181,20 @@ impl DescriptionDfa {
                 }
             }
             State::ExpectDash { .. } => out.push(self.dash),
-            State::ExpectRegion { last_region, emitted } => {
+            State::ExpectRegion {
+                last_region,
+                emitted,
+            } => {
                 for r in self.open_regions(*last_region, *emitted) {
                     out.push(self.region_names[r]);
                 }
             }
             State::ExpectColon { .. } => out.push(self.colon),
-            State::InPhrase { candidates, progress, .. } => {
+            State::InPhrase {
+                candidates,
+                progress,
+                ..
+            } => {
                 for au in candidates {
                     let t = self.phrases[au.index()][*progress];
                     if !out.contains(&t) {
@@ -165,7 +202,11 @@ impl DescriptionDfa {
                     }
                 }
             }
-            State::PhraseEnd { region, last_au, emitted } => {
+            State::PhraseEnd {
+                region,
+                last_au,
+                emitted,
+            } => {
                 if !self
                     .region_aus(*region, last_au.index() + 1, *emitted)
                     .is_empty()
@@ -187,16 +228,25 @@ impl DescriptionDfa {
     /// [`DescriptionDfa::allowed`].
     pub fn advance(&self, state: State, tok: TokenId) -> State {
         match state {
-            State::Start { progress, neutral_possible, header_possible } => {
+            State::Start {
+                progress,
+                neutral_possible,
+                header_possible,
+            } => {
                 let np = neutral_possible && self.neutral[progress] == tok;
                 let hp = header_possible && self.header[progress] == tok;
                 assert!(np || hp, "token {tok} not allowed at Start[{progress}]");
                 let progress = progress + 1;
                 if hp && progress == self.header.len() && (!np || progress >= self.neutral.len()) {
-                    return State::BlockBoundary { last_region: None, emitted: AuSet::EMPTY };
+                    return State::BlockBoundary {
+                        last_region: None,
+                        emitted: AuSet::EMPTY,
+                    };
                 }
                 if np && progress == self.neutral.len() && !hp {
-                    return State::Accept { emitted: AuSet::EMPTY };
+                    return State::Accept {
+                        emitted: AuSet::EMPTY,
+                    };
                 }
                 State::Start {
                     progress,
@@ -204,13 +254,25 @@ impl DescriptionDfa {
                     header_possible: hp && progress < self.header.len(),
                 }
             }
-            State::BlockBoundary { last_region, emitted } => {
+            State::BlockBoundary {
+                last_region,
+                emitted,
+            } => {
                 assert_eq!(tok, self.newline, "only a new block may follow");
-                State::ExpectDash { last_region, emitted }
+                State::ExpectDash {
+                    last_region,
+                    emitted,
+                }
             }
-            State::ExpectDash { last_region, emitted } => {
+            State::ExpectDash {
+                last_region,
+                emitted,
+            } => {
                 assert_eq!(tok, self.dash);
-                State::ExpectRegion { last_region, emitted }
+                State::ExpectRegion {
+                    last_region,
+                    emitted,
+                }
             }
             State::ExpectRegion { emitted, .. } => {
                 let region = self
@@ -223,9 +285,21 @@ impl DescriptionDfa {
             State::ExpectColon { region, emitted } => {
                 assert_eq!(tok, self.colon);
                 let candidates = self.region_aus(region, 0, emitted);
-                State::InPhrase { region, min_idx: 0, emitted, candidates, progress: 0 }
+                State::InPhrase {
+                    region,
+                    min_idx: 0,
+                    emitted,
+                    candidates,
+                    progress: 0,
+                }
             }
-            State::InPhrase { region, min_idx, emitted, candidates, progress } => {
+            State::InPhrase {
+                region,
+                min_idx,
+                emitted,
+                candidates,
+                progress,
+            } => {
                 let remaining: Vec<ActionUnit> = candidates
                     .into_iter()
                     .filter(|au| self.phrases[au.index()][progress] == tok)
@@ -248,17 +322,40 @@ impl DescriptionDfa {
                     assert!(!longer, "ambiguous phrase completion");
                     let mut emitted = emitted;
                     emitted.insert(done);
-                    return State::PhraseEnd { region, last_au: done, emitted };
+                    return State::PhraseEnd {
+                        region,
+                        last_au: done,
+                        emitted,
+                    };
                 }
-                State::InPhrase { region, min_idx, emitted, candidates: remaining, progress }
+                State::InPhrase {
+                    region,
+                    min_idx,
+                    emitted,
+                    candidates: remaining,
+                    progress,
+                }
             }
-            State::PhraseEnd { region, last_au, emitted } => {
+            State::PhraseEnd {
+                region,
+                last_au,
+                emitted,
+            } => {
                 if tok == self.comma {
                     let candidates = self.region_aus(region, last_au.index() + 1, emitted);
                     assert!(!candidates.is_empty(), "comma with no remaining AU");
-                    State::InPhrase { region, min_idx: last_au.index() + 1, emitted, candidates, progress: 0 }
+                    State::InPhrase {
+                        region,
+                        min_idx: last_au.index() + 1,
+                        emitted,
+                        candidates,
+                        progress: 0,
+                    }
                 } else if tok == self.newline {
-                    State::ExpectDash { last_region: Some(region), emitted }
+                    State::ExpectDash {
+                        last_region: Some(region),
+                        emitted,
+                    }
                 } else {
                     panic!("token {tok} not allowed after a phrase");
                 }
@@ -281,12 +378,7 @@ impl DescriptionDfa {
 /// Sample a description under the grammar mask.  Returns the AU set the
 /// model chose to describe; the surface string is `render_description` of
 /// it by construction.
-pub fn generate_description(
-    model: &Lfm,
-    prompt: &Prompt,
-    temperature: f32,
-    seed: u64,
-) -> AuSet {
+pub fn generate_description(model: &Lfm, prompt: &Prompt, temperature: f32, seed: u64) -> AuSet {
     generate_description_within(model, prompt, AuSet::FULL, temperature, seed)
 }
 
@@ -303,7 +395,10 @@ pub fn generate_description_within(
     let mut state = dfa.start();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tokens: Vec<TokenId> = Vec::new();
-    let budget = model.cfg.max_seq.saturating_sub(prompt.seq_len(&model.cfg) + 1);
+    let budget = model
+        .cfg
+        .max_seq
+        .saturating_sub(prompt.seq_len(&model.cfg) + 1);
 
     for _ in 0..budget {
         let mut allowed = dfa.allowed(&state);
@@ -448,7 +543,10 @@ mod tests {
         let allowed = AuSet::from_bits(0b0000_0010_0100);
         for seed in 0..8 {
             let out = generate_description_within(&m, &p, allowed, 1.2, seed);
-            assert!(out.difference(allowed).is_empty(), "{out:?} escapes {allowed:?}");
+            assert!(
+                out.difference(allowed).is_empty(),
+                "{out:?} escapes {allowed:?}"
+            );
         }
         // Empty allowed set can only produce the neutral description.
         assert_eq!(

@@ -222,7 +222,10 @@ pub fn choice_tokens(vocab: &Vocab) -> [TokenId; 4] {
 
 /// The two stress answer tokens `[stressed, unstressed]`.
 pub fn label_tokens(vocab: &Vocab) -> [TokenId; 2] {
-    [vocab.special(Special::Stressed), vocab.special(Special::Unstressed)]
+    [
+        vocab.special(Special::Stressed),
+        vocab.special(Special::Unstressed),
+    ]
 }
 
 /// Special token of a label.
@@ -252,7 +255,10 @@ pub fn parse_description_tokens(vocab: &Vocab, tokens: &[TokenId]) -> Option<AuS
 
 /// Encode a stress answer (`label` token + `Eos`).
 pub fn label_answer(vocab: &Vocab, label: StressLabel) -> Vec<TokenId> {
-    vec![vocab.special(label_special(label)), vocab.special(Special::Eos)]
+    vec![
+        vocab.special(label_special(label)),
+        vocab.special(Special::Eos),
+    ]
 }
 
 /// Parse a generated stress answer: first token decides.
@@ -306,7 +312,11 @@ mod tests {
             reflect_rationale_prompt(&m, &v, desc, StressLabel::Stressed, desc),
         ];
         for p in prompts {
-            assert!(p.seq_len(&m.cfg) + 50 <= m.cfg.max_seq, "{}", p.seq_len(&m.cfg));
+            assert!(
+                p.seq_len(&m.cfg) + 50 <= m.cfg.max_seq,
+                "{}",
+                p.seq_len(&m.cfg)
+            );
         }
     }
 
@@ -363,7 +373,11 @@ mod tests {
             &m,
             &v,
             AuSet::EMPTY,
-            &[IclExample { video: &ex_v, description: AuSet::EMPTY, label: StressLabel::Unstressed }],
+            &[IclExample {
+                video: &ex_v,
+                description: AuSet::EMPTY,
+                label: StressLabel::Unstressed,
+            }],
         );
         assert!(with.seq_len(&m.cfg) > base.seq_len(&m.cfg));
     }

@@ -42,12 +42,28 @@ pub struct ModelConfig {
 impl ModelConfig {
     /// Test-size model: fast enough for unit tests.
     pub fn tiny() -> Self {
-        ModelConfig { d_model: 16, heads: 2, layers: 1, ff: 32, max_seq: 160, patch: 16, vis_tokens: 2 }
+        ModelConfig {
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ff: 32,
+            max_seq: 160,
+            patch: 16,
+            vis_tokens: 2,
+        }
     }
 
     /// Default experiment-size model.
     pub fn small() -> Self {
-        ModelConfig { d_model: 32, heads: 4, layers: 2, ff: 64, max_seq: 256, patch: 8, vis_tokens: 4 }
+        ModelConfig {
+            d_model: 32,
+            heads: 4,
+            layers: 2,
+            ff: 64,
+            max_seq: 256,
+            patch: 8,
+            vis_tokens: 4,
+        }
     }
 
     /// Patch-feature count per image.
@@ -59,7 +75,11 @@ impl ModelConfig {
     /// Feature width of each visual token.
     pub fn vis_feat_per_token(&self) -> usize {
         let pf = self.patch_features();
-        assert_eq!(pf % self.vis_tokens, 0, "vis_tokens must divide patch features");
+        assert_eq!(
+            pf % self.vis_tokens,
+            0,
+            "vis_tokens must divide patch features"
+        );
         pf / self.vis_tokens
     }
 }
@@ -184,7 +204,11 @@ impl Prompt {
         let fa = videosynth::features::patch_features(a, cfg.patch);
         let fb = videosynth::features::patch_features(b, cfg.patch);
         const VIS_SCALE: f32 = 8.0;
-        let feats = fa.iter().zip(&fb).map(|(x, y)| (x - y) * VIS_SCALE).collect();
+        let feats = fa
+            .iter()
+            .zip(&fb)
+            .map(|(x, y)| (x - y) * VIS_SCALE)
+            .collect();
         self.segments.push(Segment::Image(feats));
         self
     }
@@ -277,9 +301,22 @@ impl Lfm {
         let head_b = store.add_zeros("head.b", vec![v]);
 
         let params = LfmParams {
-            tok_emb, pos_emb, vis_w, vis_b, blocks, ln_f_g, ln_f_b, head_w, head_b,
+            tok_emb,
+            pos_emb,
+            vis_w,
+            vis_b,
+            blocks,
+            ln_f_g,
+            ln_f_b,
+            head_w,
+            head_b,
         };
-        Lfm { cfg, vocab, store, params }
+        Lfm {
+            cfg,
+            vocab,
+            store,
+            params,
+        }
     }
 
     /// Deep copy with independent parameters (e.g. a frozen DPO reference).
@@ -306,7 +343,11 @@ impl Lfm {
         if loaded.len() != self.store.len() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("parameter count mismatch: {} vs {}", loaded.len(), self.store.len()),
+                format!(
+                    "parameter count mismatch: {} vs {}",
+                    loaded.len(),
+                    self.store.len()
+                ),
             ));
         }
         self.store.load_values_from(&loaded);
@@ -347,7 +388,11 @@ impl Lfm {
             x = g.concat_rows(x, *p);
         }
         let l = g.value(x).rows();
-        assert!(l <= cfg.max_seq, "sequence length {l} exceeds max_seq {}", cfg.max_seq);
+        assert!(
+            l <= cfg.max_seq,
+            "sequence length {l} exceeds max_seq {}",
+            cfg.max_seq
+        );
         let pos_w = g.param(&self.store, self.params.pos_emb);
         let pos = g.embedding(pos_w, std::rc::Rc::new((0..l).collect()));
         g.add(x, pos)
@@ -414,8 +459,14 @@ impl Lfm {
         let gam = g.param(&self.store, bp.ln2_g);
         let bet = g.param(&self.store, bp.ln2_b);
         let n = g.layer_norm(x, gam, bet, 1e-5);
-        let (w1, b1) = (g.param(&self.store, bp.ff1_w), g.param(&self.store, bp.ff1_b));
-        let (w2, b2) = (g.param(&self.store, bp.ff2_w), g.param(&self.store, bp.ff2_b));
+        let (w1, b1) = (
+            g.param(&self.store, bp.ff1_w),
+            g.param(&self.store, bp.ff1_b),
+        );
+        let (w2, b2) = (
+            g.param(&self.store, bp.ff2_w),
+            g.param(&self.store, bp.ff2_b),
+        );
         let h = g.matmul(n, w1);
         let h = g.add_bias(h, b1);
         let h = g.gelu(h);
@@ -456,7 +507,13 @@ impl Lfm {
     /// Sampling uses the Gumbel-max trick at the given `temperature`
     /// (`0` = greedy) and is fully determined by `seed`.  Generation stops
     /// at `Eos` (excluded from the result) or after `max_new` tokens.
-    pub fn generate(&self, prompt: &Prompt, max_new: usize, temperature: f32, seed: u64) -> Vec<TokenId> {
+    pub fn generate(
+        &self,
+        prompt: &Prompt,
+        max_new: usize,
+        temperature: f32,
+        seed: u64,
+    ) -> Vec<TokenId> {
         let eos = self.vocab.special(Special::Eos);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out: Vec<TokenId> = Vec::new();
@@ -550,7 +607,10 @@ mod tests {
         p.push_special(&m.vocab, Special::Assess);
         p.push_image(&m.cfg, &image());
         p.push_special(&m.vocab, Special::Bos);
-        let ans = vec![m.vocab.special(Special::Stressed), m.vocab.special(Special::Eos)];
+        let ans = vec![
+            m.vocab.special(Special::Stressed),
+            m.vocab.special(Special::Eos),
+        ];
         let lp = m.seq_logprob(&p, &ans);
         assert!(lp.is_finite());
         assert!(lp < 0.0);
@@ -590,7 +650,10 @@ mod tests {
         p.push_special(&m.vocab, Special::Assess);
         p.push_image(&m.cfg, &image());
         p.push_special(&m.vocab, Special::Bos);
-        let cands = [m.vocab.special(Special::Stressed), m.vocab.special(Special::Unstressed)];
+        let cands = [
+            m.vocab.special(Special::Stressed),
+            m.vocab.special(Special::Unstressed),
+        ];
         let mut rng = StdRng::seed_from_u64(0);
         let c = m.choose(&p, &cands, 1.0, &mut rng);
         assert!(cands.contains(&c));
@@ -631,10 +694,16 @@ mod tests {
         let mut p = Prompt::new();
         p.push_special(&m.vocab, Special::Assess);
         p.push_image(&m.cfg, &image());
-        assert_eq!(m.next_token_distribution(&p), m2.next_token_distribution(&p));
+        assert_eq!(
+            m.next_token_distribution(&p),
+            m2.next_token_distribution(&p)
+        );
         // Structure mismatch is rejected.
         let mut small = Lfm::new(
-            ModelConfig { layers: 2, ..ModelConfig::tiny() },
+            ModelConfig {
+                layers: 2,
+                ..ModelConfig::tiny()
+            },
             1,
         );
         assert!(small.load_weights(&mut buf.as_slice()).is_err());

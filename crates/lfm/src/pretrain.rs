@@ -129,11 +129,16 @@ pub fn build_corpus(model: &Lfm, profile: &CapabilityProfile, seed: u64) -> Vec<
     // The proxy's (mis)knowledge of the AU→stress association: the true
     // weights perturbed once, deterministically per profile.
     let mut krng = StdRng::seed_from_u64(
-        seed ^ profile.name.bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
+        seed ^ profile
+            .name
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
     );
     let believed: Vec<f32> = ALL_AUS
         .iter()
-        .map(|&au| stress_weight(au) + tinynn::rngutil::normal(&mut krng) * profile.knowledge_distortion)
+        .map(|&au| {
+            stress_weight(au) + tinynn::rngutil::normal(&mut krng) * profile.knowledge_distortion
+        })
         .collect();
 
     // A pool of videos to draw from (also used as verify distractors).
@@ -178,8 +183,13 @@ pub fn build_corpus(model: &Lfm, profile: &CapabilityProfile, seed: u64) -> Vec<
             }),
             // Highlight: the stress-relevant subset of the description.
             3 => {
-                let rationale =
-                    noisy_rationale(noisy_desc, noisy_label, &believed, profile.rationale_noise, &mut rng);
+                let rationale = noisy_rationale(
+                    noisy_desc,
+                    noisy_label,
+                    &believed,
+                    profile.rationale_noise,
+                    &mut rng,
+                );
                 out.push(SftExample {
                     prompt: highlight_prompt(model, v, noisy_desc, noisy_label),
                     answer: description_answer(&model.vocab, rationale),
@@ -234,8 +244,13 @@ pub fn build_corpus(model: &Lfm, profile: &CapabilityProfile, seed: u64) -> Vec<
         // Occasionally include a rationale-reflection example so the
         // instruction format is known at fine-tuning time.
         if k % 17 == 0 {
-            let rat =
-                noisy_rationale(noisy_desc, noisy_label, &believed, profile.rationale_noise, &mut rng);
+            let rat = noisy_rationale(
+                noisy_desc,
+                noisy_label,
+                &believed,
+                profile.rationale_noise,
+                &mut rng,
+            );
             out.push(SftExample {
                 prompt: reflect_rationale_prompt(model, v, noisy_desc, noisy_label, rat),
                 answer: description_answer(&model.vocab, rat),
@@ -369,7 +384,13 @@ mod tests {
             assert!(r.len() <= 2);
         }
         assert_eq!(
-            noisy_rationale(AuSet::EMPTY, StressLabel::Stressed, &believed, 0.0, &mut rng),
+            noisy_rationale(
+                AuSet::EMPTY,
+                StressLabel::Stressed,
+                &believed,
+                0.0,
+                &mut rng
+            ),
             AuSet::EMPTY
         );
     }

@@ -106,7 +106,10 @@ impl Vocab {
     /// Build the canonical vocabulary: specials, then every word of the
     /// description language, the region names and punctuation.
     pub fn build() -> Self {
-        let mut v = Vocab { id_to_word: Vec::new(), word_to_id: HashMap::new() };
+        let mut v = Vocab {
+            id_to_word: Vec::new(),
+            word_to_id: HashMap::new(),
+        };
         for s in ALL_SPECIALS {
             v.intern(s.text());
         }
@@ -188,10 +191,8 @@ impl Vocab {
                     out.push('-');
                 }
                 _ => {
-                    let need_space = i > 0
-                        && !out.is_empty()
-                        && !out.ends_with('\n')
-                        && !out.ends_with('-');
+                    let need_space =
+                        i > 0 && !out.is_empty() && !out.ends_with('\n') && !out.ends_with('-');
                     if need_space {
                         out.push(' ');
                     }
@@ -264,7 +265,9 @@ mod tests {
         for bits in [0u16, 1, 0b101, 0xFFF, 0b10010, 0b111000111000] {
             let s = AuSet::from_bits(bits);
             let text = render_description(s);
-            let ids = v.encode(&text).unwrap_or_else(|| panic!("unencodable: {text}"));
+            let ids = v
+                .encode(&text)
+                .unwrap_or_else(|| panic!("unencodable: {text}"));
             let back = v.decode(&ids);
             assert_eq!(
                 facs::describe::parse_description(&back),

@@ -26,7 +26,11 @@ impl SimilarityStats {
         let n = values.len();
         let mean = values.iter().sum::<f32>() / n as f32;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        SimilarityStats { n, mean, std: var.sqrt() }
+        SimilarityStats {
+            n,
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 

@@ -28,7 +28,12 @@ impl VisualEmbedder {
         let projection = (0..in_dim * dim)
             .map(|_| normal(&mut rng) / (in_dim as f32).sqrt())
             .collect();
-        VisualEmbedder { projection, in_dim, dim, patch }
+        VisualEmbedder {
+            projection,
+            in_dim,
+            dim,
+            patch,
+        }
     }
 
     /// Embed a video: `[f_e features ‖ (f_e − f_l) features] × P`.
@@ -76,7 +81,9 @@ impl DescriptionEmbedder {
 
     /// Uniform weights (no pool statistics).
     pub fn uniform() -> Self {
-        DescriptionEmbedder { weights: [1.0; NUM_AUS] }
+        DescriptionEmbedder {
+            weights: [1.0; NUM_AUS],
+        }
     }
 
     /// Embed one description.
@@ -146,7 +153,10 @@ mod tests {
     fn idf_downweights_common_aus() {
         // AU25 appears everywhere in the pool, AU9 once.
         let mut pool = vec![AuSet::from_aus([ActionUnit::LipsPart]); 20];
-        pool.push(AuSet::from_aus([ActionUnit::NoseWrinkler, ActionUnit::LipsPart]));
+        pool.push(AuSet::from_aus([
+            ActionUnit::NoseWrinkler,
+            ActionUnit::LipsPart,
+        ]));
         let e = DescriptionEmbedder::fit(&pool);
         let common = e.embed(AuSet::from_aus([ActionUnit::LipsPart]));
         let rare = e.embed(AuSet::from_aus([ActionUnit::NoseWrinkler]));

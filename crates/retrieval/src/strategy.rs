@@ -40,7 +40,11 @@ pub fn retrieve_top_k(pool: &[Vec<f32>], query: &[f32], k: usize) -> Vec<usize> 
         .enumerate()
         .map(|(i, e)| (i, cosine_similarity(e, query)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sims").then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite sims")
+            .then(a.0.cmp(&b.0))
+    });
     scored.into_iter().take(k).map(|(i, _)| i).collect()
 }
 
@@ -61,12 +65,19 @@ impl Retriever {
     /// Build an index.  `descriptions[i]` is the (generated or annotated)
     /// facial-action description of `pool[i]`.
     pub fn build(pool: &[VideoSample], descriptions: &[AuSet], seed: u64) -> Self {
-        assert_eq!(pool.len(), descriptions.len(), "one description per pool sample");
+        assert_eq!(
+            pool.len(),
+            descriptions.len(),
+            "one description per pool sample"
+        );
         assert!(!pool.is_empty(), "empty retrieval pool");
         let visual = VisualEmbedder::new(48, seed);
         let desc_embedder = DescriptionEmbedder::fit(descriptions);
         let vis_embeddings = pool.iter().map(|v| visual.embed(v)).collect();
-        let desc_embeddings = descriptions.iter().map(|&d| desc_embedder.embed(d)).collect();
+        let desc_embeddings = descriptions
+            .iter()
+            .map(|&d| desc_embedder.embed(d))
+            .collect();
         Retriever {
             visual,
             desc_embedder,
@@ -110,7 +121,9 @@ impl Retriever {
             }
             RetrievalStrategy::ByDescription => {
                 let q = self.desc_embedder.embed(query_description);
-                retrieve_top_k(&self.desc_embeddings, &q, 1).first().copied()
+                retrieve_top_k(&self.desc_embeddings, &q, 1)
+                    .first()
+                    .copied()
             }
         }
     }
@@ -205,6 +218,9 @@ mod tests {
     #[test]
     fn labels_match_table_vii() {
         assert_eq!(RetrievalStrategy::None.label(), "w/o Example");
-        assert_eq!(RetrievalStrategy::ByDescription.label(), "Retrieve-by-description");
+        assert_eq!(
+            RetrievalStrategy::ByDescription.label(),
+            "Retrieve-by-description"
+        );
     }
 }

@@ -1,0 +1,150 @@
+//! Sharded concurrent memo table for deduplicating repeated evaluations.
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// A concurrent `HashMap<K, V>` split into mutex-guarded shards.
+///
+/// Used as the shared mask-keyed evaluation cache: the three perturbation
+/// explainers hit many identical coalitions (the empty and full masks, the
+/// anchors, repeated SHAP size-1 coalitions), and on the same sample the
+/// black-box score is a pure function of the mask — so the first evaluation
+/// can serve every later request, across explainers and across threads.
+///
+/// Correctness under parallelism: values must be a pure function of their
+/// key.  Two threads may race to compute the same key; both compute the
+/// same value, one insert wins, and the results are identical either way —
+/// which is what keeps `--threads 1` and `--threads N` bit-identical.
+#[derive(Debug, Default)]
+pub struct KeyedCache<K, V> {
+    shards: [Mutex<HashMap<K, V>>; SHARDS],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: Eq + Hash, V: Clone> KeyedCache<K, V> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        KeyedCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let out = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Insert (first write wins; later identical values are no-ops).
+    pub fn insert(&self, key: K, value: V) {
+        if let Entry::Vacant(e) = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+        {
+            e.insert(value);
+        }
+    }
+
+    /// Cached value or `compute()`, memoized.  `compute` runs outside the
+    /// shard lock so slow evaluations never serialize the cache.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters of `get`/`get_or_compute` lookups.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache: KeyedCache<u64, u64> = KeyedCache::new();
+        let mut calls = 0;
+        let a = cache.get_or_compute(7, || {
+            calls += 1;
+            49
+        });
+        let b = cache.get_or_compute(7, || {
+            calls += 1;
+            49
+        });
+        assert_eq!((a, b, calls), (49, 49, 1));
+        assert_eq!(cache.len(), 1);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache: KeyedCache<u8, u8> = KeyedCache::new();
+        cache.insert(1, 10);
+        cache.insert(1, 20);
+        assert_eq!(cache.get(&1), Some(10));
+    }
+
+    #[test]
+    fn concurrent_get_or_compute_is_consistent() {
+        let cache: KeyedCache<u64, u64> = KeyedCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..100u64 {
+                        assert_eq!(cache.get_or_compute(k, || k * 3), k * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 100);
+    }
+}

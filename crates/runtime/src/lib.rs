@@ -1,0 +1,34 @@
+//! `runtime` — the deterministic parallel evaluation runtime.
+//!
+//! The paper's efficiency story (Fig. 6) hinges on repeated black-box
+//! evaluations: LIME/SHAP/SOBOL pay ≥ 1 000 masked forward passes per
+//! sample, the faithfulness protocol disturbs every test sample three
+//! times, cross validation trains one pipeline per fold, and the synthetic
+//! corpora render thousands of clips.  All of those loops are
+//! embarrassingly parallel *and* seeded, so this crate provides the one
+//! primitive they all share:
+//!
+//! * [`Pool`] — a bounded worker pool (default size
+//!   `available_parallelism`, overridable globally via [`set_threads`] and
+//!   per-binary via the `--threads` CLI flag in `bench-suite`);
+//! * [`Pool::par_map`] — an **order-preserving** parallel map: results come
+//!   back indexed by input position, so parallel and sequential runs are
+//!   bit-identical whenever each item's work is a pure function of the item
+//!   (which seeded per-item RNG streams guarantee — see [`stream_seed`]);
+//! * [`KeyedCache`] — a sharded concurrent memo table used by the
+//!   explainers to deduplicate repeated mask coalitions across
+//!   LIME/SHAP/SOBOL on the same sample.
+//!
+//! Nested `par_map` calls run sequentially on the inner level (a
+//! thread-local depth guard), so composing parallel stages — e.g. the
+//! faithfulness protocol parallelised over samples, each sample running a
+//! perturbation explainer that itself calls `par_map` — never oversubscribes
+//! the machine and never changes results.
+
+pub mod cache;
+pub mod pool;
+pub mod seed;
+
+pub use cache::KeyedCache;
+pub use pool::{set_threads, threads, Pool};
+pub use seed::stream_seed;

@@ -1,0 +1,217 @@
+//! The bounded worker pool and its order-preserving parallel map.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override: 0 = use `available_parallelism`.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested `par_map`
+    /// calls then run sequentially instead of spawning threads-of-threads.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Override the global pool width (0 restores the hardware default).
+/// Threaded through `bench-suite`'s `--threads` flag.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The currently configured global pool width, resolved to a concrete
+/// count (≥ 1).
+pub fn threads() -> usize {
+    resolve(GLOBAL_THREADS.load(Ordering::Relaxed))
+}
+
+fn resolve(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// A bounded pool of worker threads.
+///
+/// The pool is configuration, not resident threads: each [`par_map`]
+/// spawns at most `threads` scoped workers that pull item indices from a
+/// shared atomic cursor and write results into per-index slots, so results
+/// always come back in input order regardless of which worker ran what.
+///
+/// [`par_map`]: Pool::par_map
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Pool of exactly `threads` workers (0 = `available_parallelism`).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: resolve(threads),
+        }
+    }
+
+    /// The globally configured pool (see [`set_threads`]).
+    pub fn global() -> Self {
+        Pool { threads: threads() }
+    }
+
+    /// Worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Order-preserving parallel map: `out[i] == f(i, &items[i])` for all
+    /// `i`, bit-identical to the sequential loop whenever `f` is a pure
+    /// function of `(i, item)`.
+    ///
+    /// Runs sequentially when the pool has one thread, the input is tiny,
+    /// or the caller is itself a pool worker (no nested thread explosions).
+    /// Panics in `f` propagate to the caller.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        let nested = IN_POOL_WORKER.with(Cell::get);
+        if workers <= 1 || nested {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_POOL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = f(i, &items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
+                    }
+                    IN_POOL_WORKER.with(|flag| flag.set(false));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker skipped an item")
+            })
+            .collect()
+    }
+
+    /// [`par_map`](Pool::par_map) with a per-item decorrelated seed stream:
+    /// `f` receives `(stream_seed(master_seed, i), i, &items[i])`.  The seed
+    /// depends only on `(master_seed, i)`, never on scheduling, which is
+    /// what makes seeded parallel workloads reproducible.
+    pub fn par_map_seeded<T, U, F>(&self, master_seed: u64, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(u64, usize, &T) -> U + Sync,
+    {
+        self.par_map(items, |i, item| {
+            f(crate::seed::stream_seed(master_seed, i as u64), i, item)
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::new(threads).par_map(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_under_uneven_work() {
+        // Early items sleep longest so completion order reverses input order.
+        let items: Vec<usize> = (0..16).collect();
+        let got = Pool::new(8).par_map(&items, |i, _| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+            i
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Pool::new(4).par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(4).par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_and_agrees() {
+        let outer: Vec<u64> = (0..6).collect();
+        let pool = Pool::new(4);
+        let got = pool.par_map(&outer, |_, &x| {
+            let inner: Vec<u64> = (0..50).collect();
+            pool.par_map(&inner, |_, &y| x * 100 + y)
+                .iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = outer
+            .iter()
+            .map(|&x| (0..50).map(|y| x * 100 + y).sum())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_seeded_is_thread_count_invariant() {
+        let items: Vec<usize> = (0..200).collect();
+        let one = Pool::new(1).par_map_seeded(99, &items, |seed, i, _| (seed, i));
+        let many = Pool::new(7).par_map_seeded(99, &items, |seed, i, _| (seed, i));
+        assert_eq!(one, many);
+        // Streams must be decorrelated, not sequential.
+        assert_ne!(one[0].0 + 1, one[1].0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_map(&[1, 2, 3, 4], |i, _| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn global_threads_roundtrip() {
+        // Other tests run concurrently; only exercise the resolved floor.
+        assert!(threads() >= 1);
+        assert!(Pool::global().threads() >= 1);
+        assert_eq!(Pool::new(5).threads(), 5);
+        assert!(Pool::new(0).threads() >= 1);
+    }
+}

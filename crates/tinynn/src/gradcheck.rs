@@ -131,7 +131,10 @@ mod tests {
         check_param_gradients(
             &mut store,
             |g, s| {
-                let x = g.leaf(Tensor::from_vec(vec![0.3, -0.8, 1.2, 0.1, 0.0, -0.4], vec![2, 3]));
+                let x = g.leaf(Tensor::from_vec(
+                    vec![0.3, -0.8, 1.2, 0.1, 0.0, -0.4],
+                    vec![2, 3],
+                ));
                 let w1v = g.param(s, w1);
                 let b1v = g.param(s, b1);
                 let h = g.matmul(x, w1v);

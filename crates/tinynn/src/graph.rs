@@ -45,13 +45,24 @@ enum Op {
         cache: Vec<(f32, f32)>,
     },
     /// Row-gather from an embedding matrix: `weight: [V, d]` → `[L, d]`.
-    Embedding { weight: Var, indices: Rc<Vec<usize>> },
+    Embedding {
+        weight: Var,
+        indices: Rc<Vec<usize>>,
+    },
     ConcatRows(Var, Var),
     ConcatCols(Vec<Var>),
     /// Shape reinterpretation (identity on data).
     Reshape(Var),
-    SliceRows { x: Var, start: usize, len: usize },
-    SliceCols { x: Var, start: usize, len: usize },
+    SliceRows {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    SliceCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
     Sum(Var),
     Mean(Var),
     /// Mean over rows: `[r, c]` → `[1, c]`.
@@ -65,11 +76,23 @@ enum Op {
     },
     /// Valid (no padding) 2-D convolution, `x: [Cin, H, W]`,
     /// `w: [Cout, Cin, kh, kw]`, `b: [Cout]`.
-    Conv2d { x: Var, w: Var, b: Var, stride: usize },
+    Conv2d {
+        x: Var,
+        w: Var,
+        b: Var,
+        stride: usize,
+    },
     /// Non-overlapping `k × k` max pooling with cached argmax indices.
-    MaxPool2d { x: Var, k: usize, argmax: Vec<usize> },
+    MaxPool2d {
+        x: Var,
+        k: usize,
+        argmax: Vec<usize>,
+    },
     /// Non-overlapping `k × k` average pooling.
-    AvgPool2d { x: Var, k: usize },
+    AvgPool2d {
+        x: Var,
+        k: usize,
+    },
 }
 
 struct Node {
@@ -103,7 +126,11 @@ impl Graph {
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
         debug_assert!(value.all_finite(), "non-finite value from {op:?}");
-        self.nodes.push(Node { op, value, grad: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -265,7 +292,11 @@ impl Graph {
     /// Row-wise softmax with an additive mask (use `-1e9` for disallowed
     /// positions, `0.0` elsewhere).  Mask shape must equal input shape.
     pub fn masked_softmax(&mut self, a: Var, mask: Rc<Vec<f32>>) -> Var {
-        assert_eq!(mask.len(), self.nodes[a.0].value.len(), "mask length mismatch");
+        assert_eq!(
+            mask.len(),
+            self.nodes[a.0].value.len(),
+            "mask length mismatch"
+        );
         self.softmax_impl(a, Some(mask))
     }
 
@@ -318,7 +349,13 @@ impl Graph {
             }
         }
         self.push(
-            Op::LayerNorm { x, gamma, beta, eps, cache },
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+                cache,
+            },
             Tensor::from_vec(data, vec![r, c]),
         )
     }
@@ -336,7 +373,10 @@ impl Graph {
             data.extend_from_slice(&vw.data[idx * d..(idx + 1) * d]);
         }
         let l = indices.len();
-        self.push(Op::Embedding { weight, indices }, Tensor::from_vec(data, vec![l, d]))
+        self.push(
+            Op::Embedding { weight, indices },
+            Tensor::from_vec(data, vec![l, d]),
+        )
     }
 
     /// Stack `a` on top of `b` (same column count).
@@ -367,7 +407,10 @@ impl Graph {
             }
             off += c;
         }
-        self.push(Op::ConcatCols(parts.to_vec()), Tensor::from_vec(data, vec![r, total_c]))
+        self.push(
+            Op::ConcatCols(parts.to_vec()),
+            Tensor::from_vec(data, vec![r, total_c]),
+        )
     }
 
     /// Reinterpret the shape (row-major data unchanged); element count must
@@ -386,7 +429,10 @@ impl Graph {
         let c = vx.cols();
         assert!(start + len <= vx.rows(), "slice_rows out of range");
         let data = vx.data[start * c..(start + len) * c].to_vec();
-        self.push(Op::SliceRows { x, start, len }, Tensor::from_vec(data, vec![len, c]))
+        self.push(
+            Op::SliceRows { x, start, len },
+            Tensor::from_vec(data, vec![len, c]),
+        )
     }
 
     /// Columns `start .. start + len`.
@@ -398,7 +444,10 @@ impl Graph {
         for row in 0..r {
             data.extend_from_slice(&vx.data[row * c + start..row * c + start + len]);
         }
-        self.push(Op::SliceCols { x, start, len }, Tensor::from_vec(data, vec![r, len]))
+        self.push(
+            Op::SliceCols { x, start, len },
+            Tensor::from_vec(data, vec![r, len]),
+        )
     }
 
     // ----- reductions -------------------------------------------------------
@@ -458,7 +507,11 @@ impl Graph {
             out.push(xs[t] - maxv - sum.ln());
         }
         self.push(
-            Op::LogSoftmaxGather { logits, targets, cache },
+            Op::LogSoftmaxGather {
+                logits,
+                targets,
+                cache,
+            },
             Tensor::from_vec(out, vec![l, 1]),
         )
     }
@@ -529,7 +582,10 @@ impl Graph {
                 }
             }
         }
-        self.push(Op::MaxPool2d { x, k, argmax }, Tensor::from_vec(out, vec![c, oh, ow]))
+        self.push(
+            Op::MaxPool2d { x, k, argmax },
+            Tensor::from_vec(out, vec![c, oh, ow]),
+        )
     }
 
     /// Non-overlapping `k × k` average pooling over each channel.
@@ -553,7 +609,10 @@ impl Graph {
                 }
             }
         }
-        self.push(Op::AvgPool2d { x, k }, Tensor::from_vec(out, vec![c, oh, ow]))
+        self.push(
+            Op::AvgPool2d { x, k },
+            Tensor::from_vec(out, vec![c, oh, ow]),
+        )
     }
 
     // ----- backward ----------------------------------------------------------
@@ -562,7 +621,11 @@ impl Graph {
     ///
     /// Panics if `loss` is not a single-element tensor.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward needs a scalar loss");
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward needs a scalar loss"
+        );
         // Seed.
         self.ensure_grad(loss);
         self.nodes[loss.0].grad.as_mut().unwrap()[0] = 1.0;
@@ -742,7 +805,13 @@ impl Graph {
                 }
                 self.add_grad(*a, &da);
             }
-            Op::LayerNorm { x, gamma, beta, cache, .. } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                cache,
+                ..
+            } => {
                 let vx = self.nodes[x.0].value.clone();
                 let (r, c) = (vx.rows(), vx.cols());
                 let g = self.nodes[gamma.0].value.data.clone();
@@ -846,7 +915,11 @@ impl Graph {
                 }
                 self.add_grad(*a, &da);
             }
-            Op::LogSoftmaxGather { logits, targets, cache } => {
+            Op::LogSoftmaxGather {
+                logits,
+                targets,
+                cache,
+            } => {
                 let v = self.nodes[logits.0].value.cols();
                 let l = targets.len();
                 let mut dl = vec![0.0f32; l * v];
@@ -1130,7 +1203,10 @@ mod tests {
     #[test]
     fn conv2d_identity_kernel() {
         let mut g = Graph::new();
-        let x = g.leaf(Tensor::from_vec((1..=9).map(|i| i as f32).collect(), vec![1, 3, 3]));
+        let x = g.leaf(Tensor::from_vec(
+            (1..=9).map(|i| i as f32).collect(),
+            vec![1, 3, 3],
+        ));
         let w = g.leaf(Tensor::from_vec(vec![1.0], vec![1, 1, 1, 1]));
         let b = g.leaf(Tensor::from_vec(vec![0.5], vec![1]));
         let y = g.conv2d(x, w, b, 1);

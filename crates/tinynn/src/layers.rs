@@ -33,7 +33,12 @@ impl Linear {
     ) -> Self {
         let w = store.add_xavier(format!("{name}.w"), in_dim, out_dim, rng);
         let b = store.add_zeros(format!("{name}.b"), vec![out_dim]);
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Apply to `x: [n, in_dim]` → `[n, out_dim]`.
@@ -120,7 +125,11 @@ impl EmbeddingTable {
         rng: &mut R,
     ) -> Self {
         let w = store.add_xavier(name, vocab, dim, rng);
-        EmbeddingTable { weight: w, vocab, dim }
+        EmbeddingTable {
+            weight: w,
+            vocab,
+            dim,
+        }
     }
 
     /// Gather `[indices.len(), dim]`.
@@ -148,7 +157,11 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.add_ones(format!("{name}.gamma"), vec![dim]);
         let beta = store.add_zeros(format!("{name}.beta"), vec![dim]);
-        LayerNorm { gamma, beta, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     /// Apply to `x: [n, dim]`.
@@ -181,7 +194,10 @@ impl MultiHeadSelfAttention {
         heads: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(heads >= 1 && dim.is_multiple_of(heads), "dim {dim} must divide into {heads} heads");
+        assert!(
+            heads >= 1 && dim.is_multiple_of(heads),
+            "dim {dim} must divide into {heads} heads"
+        );
         MultiHeadSelfAttention {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
             wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),
@@ -358,13 +374,19 @@ mod tests {
         let mut store = ParamStore::new();
         let attn = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, &mut rng);
         let mut g = Graph::new();
-        let x = g.leaf(Tensor::from_vec((0..32).map(|i| (i as f32) * 0.05).collect(), vec![4, 8]));
+        let x = g.leaf(Tensor::from_vec(
+            (0..32).map(|i| (i as f32) * 0.05).collect(),
+            vec![4, 8],
+        ));
         let y = attn.forward(&mut g, &store, x, true);
         assert_eq!(g.value(y).shape, vec![4, 8]);
         let loss = g.mean(y);
         g.backward(loss);
         g.accumulate_grads(&mut store);
-        assert!(store.grad_norm() > 0.0, "gradients must flow through attention");
+        assert!(
+            store.grad_norm() > 0.0,
+            "gradients must flow through attention"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn weighted_cross_entropy(
 ) -> Var {
     assert_eq!(targets.len(), weights.len(), "one weight per target");
     let total: f32 = weights.iter().sum();
-    assert!(total > 0.0, "weighted_cross_entropy needs positive total weight");
+    assert!(
+        total > 0.0,
+        "weighted_cross_entropy needs positive total weight"
+    );
     let lp = g.log_softmax_gather(logits, Rc::new(targets.to_vec()));
     let w = g.leaf(Tensor::from_vec(weights.to_vec(), vec![weights.len(), 1]));
     let wl = g.mul(lp, w);

@@ -28,7 +28,11 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -99,7 +103,10 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
         if self.m.len() != store.len() {
-            self.m = store.ids().map(|id| vec![0.0; store.value(id).len()]).collect();
+            self.m = store
+                .ids()
+                .map(|id| vec![0.0; store.value(id).len()])
+                .collect();
             self.v = self.m.clone();
         }
         self.t += 1;

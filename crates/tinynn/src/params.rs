@@ -42,7 +42,11 @@ impl ParamStore {
     /// Register a parameter with an initial value.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let grad = vec![0.0; value.len()];
-        self.slots.push(Slot { name: name.into(), value, grad });
+        self.slots.push(Slot {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.slots.len() - 1)
     }
 
@@ -160,7 +164,11 @@ impl ParamStore {
 
     /// Copy values from `other` (must have identical structure).
     pub fn load_values_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.slots.len(), other.slots.len(), "store structure mismatch");
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "store structure mismatch"
+        );
         for (a, b) in self.slots.iter_mut().zip(&other.slots) {
             assert_eq!(a.value.shape, b.value.shape, "shape mismatch on {}", a.name);
             a.value.data.copy_from_slice(&b.value.data);

@@ -44,8 +44,8 @@ pub fn load_params<R: Read>(r: &mut R) -> io::Result<ParamStore> {
         let name_len = read_u32(r)? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let ndim = read_u32(r)? as usize;
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {

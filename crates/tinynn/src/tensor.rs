@@ -32,12 +32,18 @@ impl Tensor {
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![0.0; n], shape }
+        Tensor {
+            data: vec![0.0; n],
+            shape,
+        }
     }
 
     /// Scalar tensor (shape `[1]`).
     pub fn scalar(v: f32) -> Self {
-        Tensor { data: vec![v], shape: vec![1] }
+        Tensor {
+            data: vec![v],
+            shape: vec![1],
+        }
     }
 
     /// Number of elements.
@@ -54,14 +60,24 @@ impl Tensor {
     /// Number of rows of a 2-D tensor.
     #[inline]
     pub fn rows(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "rows() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "rows() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
     /// Number of columns of a 2-D tensor.
     #[inline]
     pub fn cols(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "cols() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "cols() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -88,14 +104,25 @@ impl Tensor {
 
     /// The single value of a scalar tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.len(), 1, "item() requires a 1-element tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.len(),
+            1,
+            "item() requires a 1-element tensor, got {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
     /// Reshape in place (element count must be preserved).
     pub fn reshape(mut self, shape: Vec<usize>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(self.len(), n, "cannot reshape {:?} to {:?}", self.shape, shape);
+        assert_eq!(
+            self.len(),
+            n,
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape;
         self
     }

@@ -83,8 +83,15 @@ impl DatasetProfile {
         // count — the quantity that controls how well a pixel model can
         // adapt to identities — stays in the paper's regime (≈ 6–19).
         let num_subjects = ((subjects as f32 * factor.powf(0.55)) as usize).max(6);
-        let num_stressed = ((stressed as f32 / samples as f32) * num_samples as f32).round() as usize;
-        DatasetProfile { name, world, num_samples, num_subjects, num_stressed }
+        let num_stressed =
+            ((stressed as f32 / samples as f32) * num_samples as f32).round() as usize;
+        DatasetProfile {
+            name,
+            world,
+            num_samples,
+            num_subjects,
+            num_stressed,
+        }
     }
 }
 
@@ -101,6 +108,11 @@ pub struct Dataset {
 
 impl Dataset {
     /// Generate a corpus deterministically from a seed.
+    ///
+    /// Per-sample rendering runs on the globally configured
+    /// [`runtime::Pool`]; each sample's stream derives purely from
+    /// `(seed, id)` inside [`sample_video`], so the corpus is bit-identical
+    /// for any thread count.
     pub fn generate(profile: DatasetProfile, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let subjects: Vec<Subject> = (0..profile.num_subjects)
@@ -112,16 +124,16 @@ impl Dataset {
         labels[..profile.num_stressed].fill(StressLabel::Stressed);
         labels.shuffle(&mut rng);
 
-        let samples = labels
-            .into_iter()
-            .enumerate()
-            .map(|(id, label)| {
-                let subject = &subjects[id % subjects.len()];
-                sample_video(&profile.world, subject, label, id, seed)
-            })
-            .collect();
+        let samples = runtime::Pool::global().par_map(&labels, |id, &label| {
+            let subject = &subjects[id % subjects.len()];
+            sample_video(&profile.world, subject, label, id, seed)
+        });
 
-        Dataset { name: profile.name, samples, profile }
+        Dataset {
+            name: profile.name,
+            samples,
+            profile,
+        }
     }
 
     /// Number of samples.
@@ -204,9 +216,15 @@ mod tests {
     #[test]
     fn full_profiles_match_paper_sizes() {
         let u = DatasetProfile::uvsd(Scale::Full);
-        assert_eq!((u.num_samples, u.num_subjects, u.num_stressed), (2092, 112, 920));
+        assert_eq!(
+            (u.num_samples, u.num_subjects, u.num_stressed),
+            (2092, 112, 920)
+        );
         let r = DatasetProfile::rsl(Scale::Full);
-        assert_eq!((r.num_samples, r.num_subjects, r.num_stressed), (706, 60, 209));
+        assert_eq!(
+            (r.num_samples, r.num_subjects, r.num_stressed),
+            (706, 60, 209)
+        );
         let d = DatasetProfile::disfa(Scale::Full);
         assert_eq!(d.num_samples, 645);
     }
@@ -233,8 +251,15 @@ mod tests {
             assert_eq!(x.apex_aus(), y.apex_aus());
         }
         let c = Dataset::generate(p, 2);
-        let same_labels = a.samples.iter().zip(&c.samples).all(|(x, y)| x.label == y.label);
-        assert!(!same_labels, "different seeds should shuffle labels differently");
+        let same_labels = a
+            .samples
+            .iter()
+            .zip(&c.samples)
+            .all(|(x, y)| x.label == y.label);
+        assert!(
+            !same_labels,
+            "different seeds should shuffle labels differently"
+        );
     }
 
     #[test]
@@ -261,7 +286,10 @@ mod tests {
                 .filter(|&&i| ds.samples[i].label == StressLabel::Stressed)
                 .count() as f32
                 / test.len() as f32;
-            assert!((ts - global).abs() < 0.25, "fold ratio {ts} vs global {global}");
+            assert!(
+                (ts - global).abs() < 0.25,
+                "fold ratio {ts} vs global {global}"
+            );
         }
         // Every sample appears in exactly one test fold.
         assert!(seen.iter().all(|&c| c == 1));

@@ -51,7 +51,10 @@ pub fn observed_landmarks(
         .iter()
         .map(|l| {
             let (x, y) = l.displaced(aus);
-            (x + normal(&mut rng) * noise_std, y + normal(&mut rng) * noise_std)
+            (
+                x + normal(&mut rng) * noise_std,
+                y + normal(&mut rng) * noise_std,
+            )
         })
         .collect()
 }
@@ -109,8 +112,8 @@ mod tests {
         let n = 50;
         for k in 0..n {
             let obs = observed_au_intensities(&v, t, 0.08, k);
-            for i in 0..NUM_AUS {
-                total_err += (obs[i] - clean.0[i].clamp(0.0, 1.0)).abs();
+            for (o, c) in obs.iter().zip(&clean.0) {
+                total_err += (o - c.clamp(0.0, 1.0)).abs();
             }
         }
         let mean_err = total_err / (n * NUM_AUS as u64) as f32;
@@ -122,8 +125,8 @@ mod tests {
     fn zero_noise_observation_is_exact() {
         let v = sample();
         let obs = observed_au_intensities(&v, 3, 0.0, 9);
-        for i in 0..NUM_AUS {
-            assert!((obs[i] - v.au_at(3).0[i].clamp(0.0, 1.0)).abs() < 1e-6);
+        for (o, c) in obs.iter().zip(&v.au_at(3).0) {
+            assert!((o - c.clamp(0.0, 1.0)).abs() < 1e-6);
         }
     }
 

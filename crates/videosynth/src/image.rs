@@ -15,14 +15,22 @@ pub struct Image {
 impl Image {
     /// Uniform image of the given fill value.
     pub fn filled(width: usize, height: usize, value: f32) -> Self {
-        Image { data: vec![value.clamp(0.0, 1.0); width * height], width, height }
+        Image {
+            data: vec![value.clamp(0.0, 1.0); width * height],
+            width,
+            height,
+        }
     }
 
     /// Build from raw data (clamped to `[0, 1]`).
     pub fn from_data(data: Vec<f32>, width: usize, height: usize) -> Self {
         assert_eq!(data.len(), width * height, "image data size mismatch");
         let data = data.into_iter().map(|v| v.clamp(0.0, 1.0)).collect();
-        Image { data, width, height }
+        Image {
+            data,
+            width,
+            height,
+        }
     }
 
     /// Width in pixels.
@@ -111,7 +119,9 @@ impl Image {
 
     /// Box-downsample by an integer factor, averaging each block.
     pub fn downsample(&self, factor: usize) -> Image {
-        assert!(factor >= 1 && self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor));
+        assert!(
+            factor >= 1 && self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor)
+        );
         let (ow, oh) = (self.width / factor, self.height / factor);
         let mut out = vec![0.0f32; ow * oh];
         let inv = 1.0 / (factor * factor) as f32;
@@ -126,7 +136,11 @@ impl Image {
                 out[oy * ow + ox] = acc * inv;
             }
         }
-        Image { data: out, width: ow, height: oh }
+        Image {
+            data: out,
+            width: ow,
+            height: oh,
+        }
     }
 
     /// Write as a binary PGM (P5) file — handy for eyeballing renders.
@@ -170,7 +184,12 @@ mod tests {
     fn mean_and_mean_in() {
         let img = Image::from_data(vec![0.0, 1.0, 1.0, 0.0], 2, 2);
         assert!((img.mean() - 0.5).abs() < 1e-6);
-        let rect = RegionRect { x0: 0, y0: 0, x1: 2, y1: 1 };
+        let rect = RegionRect {
+            x0: 0,
+            y0: 0,
+            x1: 2,
+            y1: 1,
+        };
         assert!((img.mean_in(&rect) - 0.5).abs() < 1e-6);
     }
 

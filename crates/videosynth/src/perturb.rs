@@ -218,7 +218,12 @@ mod tests {
     #[test]
     fn mosaic_rect_preserves_mean() {
         let img = face();
-        let rect = facs::region::RegionRect { x0: 10, y0: 10, x1: 30, y1: 30 };
+        let rect = facs::region::RegionRect {
+            x0: 10,
+            y0: 10,
+            x1: 30,
+            y1: 30,
+        };
         let out = mosaic_rect(&img, &rect, 5);
         let before = img.mean_in(&rect);
         let after = out.mean_in(&rect);

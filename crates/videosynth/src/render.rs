@@ -60,7 +60,10 @@ impl Identity {
             .collect();
         Identity {
             skin_offset: normal(&mut rng) * 0.045 * strength,
-            head_jitter: (normal(&mut rng) * 2.0 * strength, normal(&mut rng) * 2.0 * strength),
+            head_jitter: (
+                normal(&mut rng) * 2.0 * strength,
+                normal(&mut rng) * 2.0 * strength,
+            ),
             spots,
             feature_jitter: normal(&mut rng) * 0.04 * strength,
         }
@@ -68,7 +71,12 @@ impl Identity {
 
     /// The identity-free reference appearance.
     pub fn neutral() -> Self {
-        Identity { skin_offset: 0.0, head_jitter: (0.0, 0.0), spots: Vec::new(), feature_jitter: 0.0 }
+        Identity {
+            skin_offset: 0.0,
+            head_jitter: (0.0, 0.0),
+            spots: Vec::new(),
+            feature_jitter: 0.0,
+        }
     }
 }
 
@@ -83,8 +91,19 @@ pub fn render_face(aus: &AuVector, pixel_noise: f32, noise_seed: u64) -> Image {
 }
 
 /// Render the identity-free face with an explicit texture gain.
-pub fn render_face_styled(aus: &AuVector, pixel_noise: f32, texture_gain: f32, noise_seed: u64) -> Image {
-    render_face_of(aus, &Identity::neutral(), pixel_noise, texture_gain, noise_seed)
+pub fn render_face_styled(
+    aus: &AuVector,
+    pixel_noise: f32,
+    texture_gain: f32,
+    noise_seed: u64,
+) -> Image {
+    render_face_of(
+        aus,
+        &Identity::neutral(),
+        pixel_noise,
+        texture_gain,
+        noise_seed,
+    )
 }
 
 /// Render a specific subject's face.  `texture_gain` controls how strongly
@@ -286,7 +305,10 @@ mod tests {
         // A far-away region (jaw) should be nearly untouched.
         let jaw = FacialRegion::Jaw.rect();
         let d_out = (neutral.mean_in(&jaw) - wrinkled.mean_in(&jaw)).abs();
-        assert!(d_out < d_in / 4.0, "jaw changed too much: {d_out} vs {d_in}");
+        assert!(
+            d_out < d_in / 4.0,
+            "jaw changed too much: {d_out} vs {d_in}"
+        );
     }
 
     #[test]

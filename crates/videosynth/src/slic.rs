@@ -167,7 +167,12 @@ pub fn slic(img: &Image, k: usize, m: f32, iterations: usize) -> Segmentation {
         *l = remap[*l];
     }
 
-    Segmentation { labels, num_segments: next, width: w, height: h }
+    Segmentation {
+        labels,
+        num_segments: next,
+        width: w,
+        height: h,
+    }
 }
 
 /// Relabel stray components: any connected component that is not the largest
@@ -215,9 +220,7 @@ fn enforce_connectivity(labels: &mut [usize], w: usize, h: usize) {
     let max_label = labels.iter().copied().max().unwrap_or(0);
     let mut best_comp = vec![usize::MAX; max_label + 1];
     for (cid, (label, pixels)) in comps.iter().enumerate() {
-        if best_comp[*label] == usize::MAX
-            || pixels.len() > comps[best_comp[*label]].1.len()
-        {
+        if best_comp[*label] == usize::MAX || pixels.len() > comps[best_comp[*label]].1.len() {
             best_comp[*label] = cid;
         }
     }
@@ -328,7 +331,10 @@ mod tests {
         let sizes = seg.segment_sizes();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
-        assert!(max <= min * 6, "uniform image should give balanced sizes, {min}..{max}");
+        assert!(
+            max <= min * 6,
+            "uniform image should give balanced sizes, {min}..{max}"
+        );
     }
 
     #[test]

@@ -200,7 +200,10 @@ mod tests {
 
     #[test]
     fn label_round_trip_and_flip() {
-        assert_eq!(StressLabel::from_index(StressLabel::Stressed.as_index()), StressLabel::Stressed);
+        assert_eq!(
+            StressLabel::from_index(StressLabel::Stressed.as_index()),
+            StressLabel::Stressed
+        );
         assert_eq!(StressLabel::from_index(0), StressLabel::Unstressed);
         assert_eq!(StressLabel::Stressed.flipped(), StressLabel::Unstressed);
         assert_eq!(StressLabel::Unstressed.flipped(), StressLabel::Stressed);
@@ -220,7 +223,10 @@ mod tests {
         let b = s.render_frame(5);
         assert_eq!(a, b);
         let c = s.render_frame(0);
-        assert!(a.l1_distance(&c) > 0.0, "different frames should render differently");
+        assert!(
+            a.l1_distance(&c) > 0.0,
+            "different frames should render differently"
+        );
     }
 
     #[test]
@@ -234,6 +240,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one frame")]
     fn empty_trajectory_rejected() {
-        let _ = VideoSample::new(0, 0, StressLabel::Unstressed, AuSet::EMPTY, vec![], 0.0, 1.0, 0, 1.0, 0);
+        let _ = VideoSample::new(
+            0,
+            0,
+            StressLabel::Unstressed,
+            AuSet::EMPTY,
+            vec![],
+            0.0,
+            1.0,
+            0,
+            1.0,
+            0,
+        );
     }
 }

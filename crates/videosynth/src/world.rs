@@ -116,17 +116,29 @@ impl Subject {
         }
         let expressivity = (1.0 + normal(rng) * 0.18).clamp(0.55, 1.45);
         let identity_seed = rng.random::<u64>();
-        Subject { id, au_bias, expressivity, identity_seed }
+        Subject {
+            id,
+            au_bias,
+            expressivity,
+            identity_seed,
+        }
     }
 }
 
 /// Probability that `au` is active at the apex given the stress state.
-pub fn au_activation_probability(cfg: &WorldConfig, subject: &Subject, au: facs::ActionUnit, label: StressLabel) -> f32 {
+pub fn au_activation_probability(
+    cfg: &WorldConfig,
+    subject: &Subject,
+    au: facs::ActionUnit,
+    label: StressLabel,
+) -> f32 {
     let sign = match label {
         StressLabel::Stressed => 1.0,
         StressLabel::Unstressed => -1.0,
     };
-    let z = cfg.au_base_rate + sign * cfg.au_label_coupling * stress_weight(au) + subject.au_bias[au.index()];
+    let z = cfg.au_base_rate
+        + sign * cfg.au_label_coupling * stress_weight(au)
+        + subject.au_bias[au.index()];
     facs::stress::sigmoid(z)
 }
 
@@ -223,9 +235,16 @@ mod tests {
     #[test]
     fn stress_raises_marker_au_probability() {
         let cfg = WorldConfig::uvsd_like();
-        let s = Subject { id: 0, au_bias: [0.0; NUM_AUS], expressivity: 1.0, identity_seed: 0 };
-        let p_stressed = au_activation_probability(&cfg, &s, ActionUnit::BrowLowerer, StressLabel::Stressed);
-        let p_unstressed = au_activation_probability(&cfg, &s, ActionUnit::BrowLowerer, StressLabel::Unstressed);
+        let s = Subject {
+            id: 0,
+            au_bias: [0.0; NUM_AUS],
+            expressivity: 1.0,
+            identity_seed: 0,
+        };
+        let p_stressed =
+            au_activation_probability(&cfg, &s, ActionUnit::BrowLowerer, StressLabel::Stressed);
+        let p_unstressed =
+            au_activation_probability(&cfg, &s, ActionUnit::BrowLowerer, StressLabel::Unstressed);
         assert!(p_stressed > 0.6, "p_stressed = {p_stressed}");
         assert!(p_unstressed < 0.1, "p_unstressed = {p_unstressed}");
     }
@@ -233,16 +252,32 @@ mod tests {
     #[test]
     fn unstressed_raises_smile_probability() {
         let cfg = WorldConfig::uvsd_like();
-        let s = Subject { id: 0, au_bias: [0.0; NUM_AUS], expressivity: 1.0, identity_seed: 0 };
-        let p_u = au_activation_probability(&cfg, &s, ActionUnit::LipCornerPuller, StressLabel::Unstressed);
-        let p_s = au_activation_probability(&cfg, &s, ActionUnit::LipCornerPuller, StressLabel::Stressed);
+        let s = Subject {
+            id: 0,
+            au_bias: [0.0; NUM_AUS],
+            expressivity: 1.0,
+            identity_seed: 0,
+        };
+        let p_u = au_activation_probability(
+            &cfg,
+            &s,
+            ActionUnit::LipCornerPuller,
+            StressLabel::Unstressed,
+        );
+        let p_s =
+            au_activation_probability(&cfg, &s, ActionUnit::LipCornerPuller, StressLabel::Stressed);
         assert!(p_u > p_s);
     }
 
     #[test]
     fn disfa_profile_is_label_independent() {
         let cfg = WorldConfig::disfa_like();
-        let s = Subject { id: 0, au_bias: [0.0; NUM_AUS], expressivity: 1.0, identity_seed: 0 };
+        let s = Subject {
+            id: 0,
+            au_bias: [0.0; NUM_AUS],
+            expressivity: 1.0,
+            identity_seed: 0,
+        };
         for au in ALL_AUS {
             let a = au_activation_probability(&cfg, &s, au, StressLabel::Stressed);
             let b = au_activation_probability(&cfg, &s, au, StressLabel::Unstressed);
@@ -295,7 +330,11 @@ mod tests {
             let s = Subject::generate(i, cfg.subject_idiosyncrasy, &mut rng);
             let vs = sample_video(&cfg, &s, StressLabel::Stressed, i * 2, 9);
             let vu = sample_video(&cfg, &s, StressLabel::Unstressed, i * 2 + 1, 9);
-            for au in [ActionUnit::BrowLowerer, ActionUnit::LipStretcher, ActionUnit::UpperLidRaiser] {
+            for au in [
+                ActionUnit::BrowLowerer,
+                ActionUnit::LipStretcher,
+                ActionUnit::UpperLidRaiser,
+            ] {
                 stressed_marker += usize::from(vs.apex_aus().contains(au));
                 unstressed_marker += usize::from(vu.apex_aus().contains(au));
             }

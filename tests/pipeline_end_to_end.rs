@@ -21,10 +21,19 @@ fn tiny_base(seed: u64) -> Lfm {
 #[test]
 fn algorithm_one_trains_and_predicts_above_chance() {
     let (au, train, test) = smoke_setup();
-    let (pl, report) = train_pipeline(tiny_base(5), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    let (pl, report) = train_pipeline(
+        tiny_base(5),
+        PipelineConfig::smoke(),
+        &au,
+        &train,
+        Variant::Full,
+    );
     assert!(report.describe_loss.is_some());
     assert!(report.assess_loss.is_some());
-    let correct = test.iter().filter(|v| pl.predict_label(v) == v.label).count();
+    let correct = test
+        .iter()
+        .filter(|v| pl.predict_label(v) == v.label)
+        .count();
     assert!(
         correct * 2 > test.len(),
         "test accuracy at or below chance: {correct}/{}",
@@ -35,7 +44,13 @@ fn algorithm_one_trains_and_predicts_above_chance() {
 #[test]
 fn rationale_is_always_a_subset_of_the_description() {
     let (au, train, test) = smoke_setup();
-    let (pl, _) = train_pipeline(tiny_base(6), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    let (pl, _) = train_pipeline(
+        tiny_base(6),
+        PipelineConfig::smoke(),
+        &au,
+        &train,
+        Variant::Full,
+    );
     for v in test.iter().take(6) {
         let out = pl.predict(v, v.id as u64);
         assert!(
@@ -74,10 +89,26 @@ fn every_variant_trains_and_is_deterministic() {
 #[test]
 fn same_seed_same_pipeline() {
     let (au, train, test) = smoke_setup();
-    let (p1, _) = train_pipeline(tiny_base(8), PipelineConfig::smoke(), &au, &train, Variant::Full);
-    let (p2, _) = train_pipeline(tiny_base(8), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    let (p1, _) = train_pipeline(
+        tiny_base(8),
+        PipelineConfig::smoke(),
+        &au,
+        &train,
+        Variant::Full,
+    );
+    let (p2, _) = train_pipeline(
+        tiny_base(8),
+        PipelineConfig::smoke(),
+        &au,
+        &train,
+        Variant::Full,
+    );
     for v in test.iter().take(5) {
-        assert_eq!(p1.predict(v, 0), p2.predict(v, 0), "training is not reproducible");
+        assert_eq!(
+            p1.predict(v, 0),
+            p2.predict(v, 0),
+            "training is not reproducible"
+        );
     }
 }
 
@@ -104,7 +135,13 @@ fn test_time_refinement_leaves_weights_frozen_and_runs() {
 #[test]
 fn flip_count_protocol_is_consistent_with_rationale_length() {
     let (au, train, _) = smoke_setup();
-    let (pl, _) = train_pipeline(tiny_base(11), PipelineConfig::smoke(), &au, &train, Variant::Full);
+    let (pl, _) = train_pipeline(
+        tiny_base(11),
+        PipelineConfig::smoke(),
+        &au,
+        &train,
+        Variant::Full,
+    );
     let v = &train[0];
     let out = pl.predict(v, 0);
     if out.rationale.is_empty() {

@@ -1,0 +1,111 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Value`.
+///
+/// Unlike real proptest there is no shrinking tree — `sample` draws one
+/// concrete value from the deterministic test RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value (`proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                // unit_f64 is half-open; widen the top step so `hi` is
+                // reachable (the bias is a single ulp, irrelevant here).
+                let u = rng.unit_f64();
+                (lo + u as $t * (hi - lo)).min(hi)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let a = (3u16..9).sample(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (-2i32..=2).sample(&mut rng);
+            assert!((-2..=2).contains(&b));
+            let c = (0.5f32..1.5).sample(&mut rng);
+            assert!((0.5..1.5).contains(&c));
+            let d = (0.0f64..=1.0).sample(&mut rng);
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut rng = TestRng::for_test("just");
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+}
