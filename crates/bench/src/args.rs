@@ -1,6 +1,9 @@
-//! Minimal CLI parsing shared by the table binaries.
+//! Minimal CLI parsing and the shared `main`-fn skeleton of the table and
+//! figure binaries.
 
 use videosynth::dataset::Scale;
+
+use crate::context::{Context, Corpus};
 
 /// Common experiment options.
 #[derive(Clone, Debug)]
@@ -94,6 +97,27 @@ impl CliArgs {
             Scale::Full => 80,
         })
     }
+}
+
+/// The shared skeleton of every table/figure binary: parse the process
+/// arguments once, then for each corpus print the progress banner, prepare
+/// the experiment [`Context`] and hand it to `f`.
+///
+/// Returns the parsed arguments so callers can render cross-corpus output
+/// (for example Table I collects one section per corpus and prints a single
+/// combined table after the loop).
+pub fn corpus_main(
+    tag: &str,
+    corpora: &[Corpus],
+    mut f: impl FnMut(&CliArgs, &Context),
+) -> CliArgs {
+    let args = CliArgs::from_env();
+    for &corpus in corpora {
+        eprintln!("[{tag}] running {} at {:?}…", corpus.label(), args.scale);
+        let ctx = Context::prepare(corpus, args.scale, args.seed);
+        f(&args, &ctx);
+    }
+    args
 }
 
 #[cfg(test)]

@@ -1,39 +1,36 @@
 //! Regenerate Figure 6 — per-sample explanation latency.
 
-use bench_suite::context::{Context, Corpus};
-use bench_suite::experiments::explainer::{render_fig6, run_fig6};
-use bench_suite::CliArgs;
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
+use bench_suite::experiments::explainer::{fig6_mean, render_fig6, run_fig6, Explainer};
 
 fn main() {
-    let args = CliArgs::from_env();
-    eprintln!("[fig6] running UVSD at {:?}…", args.scale);
-    let ctx = Context::prepare(Corpus::Uvsd, args.scale, args.seed);
-    let rows = run_fig6(&ctx, args.samples.unwrap_or(3));
-    render_fig6(&rows).print();
-    let bars: Vec<(String, f64)> = rows
-        .iter()
-        .map(|(e, s)| (e.label().to_owned(), s.max(1e-4)))
-        .collect();
-    let svg = evalkit::chart::bar_chart(
-        "Figure 6 — per-sample explanation latency (log scale)",
-        "seconds (log10)",
-        &bars,
-        true,
-    );
-    std::fs::create_dir_all("results").ok();
-    if std::fs::write("results/fig6.svg", svg).is_ok() {
-        println!("wrote results/fig6.svg");
-    }
-    // The headline claim is the ratio, not the absolute seconds.
-    if let (Some(ours), Some(sobol)) = (
-        rows.iter()
-            .find(|r| r.0 == bench_suite::experiments::explainer::Explainer::Ours),
-        rows.iter()
-            .find(|r| r.0 == bench_suite::experiments::explainer::Explainer::Sobol),
-    ) {
-        println!(
-            "speedup of Ours over SOBOL: {:.1}x (paper: 63x)",
-            sobol.1 / ours.1.max(1e-9)
+    corpus_main("fig6", &[Corpus::Uvsd], |args, ctx| {
+        let rows = run_fig6(ctx, args.samples.unwrap_or(3));
+        render_fig6(&rows).print();
+        let bars: Vec<(String, f64)> = rows
+            .iter()
+            .map(|(e, s)| (e.label().to_owned(), fig6_mean(s).max(1e-4)))
+            .collect();
+        let svg = evalkit::chart::bar_chart(
+            "Figure 6 — per-sample explanation latency (log scale)",
+            "seconds (log10)",
+            &bars,
+            true,
         );
-    }
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/fig6.svg", svg).is_ok() {
+            println!("wrote results/fig6.svg");
+        }
+        // The headline claim is the ratio, not the absolute seconds.
+        if let (Some(ours), Some(sobol)) = (
+            rows.iter().find(|r| r.0 == Explainer::Ours),
+            rows.iter().find(|r| r.0 == Explainer::Sobol),
+        ) {
+            println!(
+                "speedup of Ours over SOBOL: {:.1}x (paper: 63x)",
+                fig6_mean(&sobol.1) / fig6_mean(&ours.1).max(1e-9)
+            );
+        }
+    });
 }

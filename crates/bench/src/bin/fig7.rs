@@ -1,88 +1,87 @@
 //! Regenerate Figure 7 — similarity separation of helpful vs unhelpful
 //! in-context examples under the two embeddings.
 
-use bench_suite::context::{Context, Corpus};
-use bench_suite::experiments::icl::build_retriever;
-use bench_suite::experiments::icl::run_fig7;
-use bench_suite::CliArgs;
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
+use bench_suite::experiments::icl::{build_retriever, run_fig7};
 use chain_reason::Variant;
 use evalkit::table::Table;
 use lfm::instructions::IclExample;
 
 fn main() {
-    let args = CliArgs::from_env();
-    eprintln!("[fig7] running RSL at {:?}…", args.scale);
-    let ctx = Context::prepare(Corpus::Rsl, args.scale, args.seed);
-    let (pl, _) = ctx.train_variant(Variant::Full);
-    let (vision, desc) = run_fig7(&ctx, &pl, args.samples.unwrap_or(12), 24);
-    let mut t = Table::new(
-        "Figure 7 — cosine-similarity separation of Helpful vs Unhelpful training samples",
-        &[
-            "Embedding",
-            "helpful mean",
-            "unhelpful mean",
-            "effect size (Cohen's d)",
-        ],
-    );
-    for (name, s) in [
-        ("Retrieve-by-vision", vision),
-        ("Retrieve-by-description", desc),
-    ] {
-        t.row(vec![
-            name.into(),
-            format!("{:.3}", s.helpful.mean),
-            format!("{:.3}", s.unhelpful.mean),
-            format!("{:.2}", s.effect_size()),
-        ]);
-    }
-    t.print();
+    corpus_main("fig7", &[Corpus::Rsl], |args, ctx| {
+        let (pl, _) = ctx.train_variant(Variant::Full);
+        let (vision, desc) = run_fig7(ctx, &pl, args.samples.unwrap_or(12), 24);
+        let mut t = Table::new(
+            "Figure 7 — cosine-similarity separation of Helpful vs Unhelpful training samples",
+            &[
+                "Embedding",
+                "helpful mean",
+                "unhelpful mean",
+                "effect size (Cohen's d)",
+            ],
+        );
+        for (name, s) in [
+            ("Retrieve-by-vision", vision),
+            ("Retrieve-by-description", desc),
+        ] {
+            t.row(vec![
+                name.into(),
+                format!("{:.3}", s.helpful.mean),
+                format!("{:.3}", s.unhelpful.mean),
+                format!("{:.2}", s.effect_size()),
+            ]);
+        }
+        t.print();
 
-    // Emit the two histogram panels as SVGs (the figure itself).
-    let retriever = build_retriever(&pl, &ctx.train, args.seed ^ 0x1C1);
-    let mut vis_h = Vec::new();
-    let mut vis_u = Vec::new();
-    let mut des_h = Vec::new();
-    let mut des_u = Vec::new();
-    for v in ctx.test.iter().take(args.samples.unwrap_or(12)) {
-        let q = pl.describe(v, 0.0, v.id as u64);
-        let vs = retriever.visual_similarities(v);
-        let dsim = retriever.description_similarities(q);
-        for (j, ex) in ctx.train.iter().enumerate().take(24) {
-            let example = IclExample {
-                video: ex,
-                description: retriever.pool_descriptions[j],
-                label: ex.label,
-            };
-            let helpful =
-                pl.assess_with_examples(v, q, &[example], 0.0, args.seed ^ (j as u64)) == v.label;
-            if helpful {
-                vis_h.push(vs[j]);
-                des_h.push(dsim[j]);
-            } else {
-                vis_u.push(vs[j]);
-                des_u.push(dsim[j]);
+        // Emit the two histogram panels as SVGs (the figure itself).
+        let retriever = build_retriever(&pl, &ctx.train, args.seed ^ 0x1C1);
+        let mut vis_h = Vec::new();
+        let mut vis_u = Vec::new();
+        let mut des_h = Vec::new();
+        let mut des_u = Vec::new();
+        for v in ctx.test.iter().take(args.samples.unwrap_or(12)) {
+            let q = pl.describe(v, 0.0, v.id as u64);
+            let vs = retriever.visual_similarities(v);
+            let dsim = retriever.description_similarities(q);
+            for (j, ex) in ctx.train.iter().enumerate().take(24) {
+                let example = IclExample {
+                    video: ex,
+                    description: retriever.pool_descriptions[j],
+                    label: ex.label,
+                };
+                let helpful =
+                    pl.assess_with_examples(v, q, &[example], 0.0, args.seed ^ (j as u64))
+                        == v.label;
+                if helpful {
+                    vis_h.push(vs[j]);
+                    des_h.push(dsim[j]);
+                } else {
+                    vis_u.push(vs[j]);
+                    des_u.push(dsim[j]);
+                }
             }
         }
-    }
-    std::fs::create_dir_all("results").ok();
-    for (name, h, u) in [
-        ("fig7a_vision", &vis_h, &vis_u),
-        ("fig7b_description", &des_h, &des_u),
-    ] {
-        if h.is_empty() && u.is_empty() {
-            continue;
+        std::fs::create_dir_all("results").ok();
+        for (name, h, u) in [
+            ("fig7a_vision", &vis_h, &vis_u),
+            ("fig7b_description", &des_h, &des_u),
+        ] {
+            if h.is_empty() && u.is_empty() {
+                continue;
+            }
+            let svg = evalkit::chart::paired_histogram(
+                &format!("Figure 7 — {} similarities", name),
+                "cosine similarity",
+                ("Helpful", h),
+                ("Unhelpful", u),
+                14,
+            );
+            let path = format!("results/{name}.svg");
+            if std::fs::write(&path, svg).is_ok() {
+                println!("wrote {path}");
+            }
         }
-        let svg = evalkit::chart::paired_histogram(
-            &format!("Figure 7 — {} similarities", name),
-            "cosine similarity",
-            ("Helpful", h),
-            ("Unhelpful", u),
-            14,
-        );
-        let path = format!("results/{name}.svg");
-        if std::fs::write(&path, svg).is_ok() {
-            println!("wrote {path}");
-        }
-    }
-    println!("paper: description embeddings separate Helpful from Unhelpful more cleanly than visual ones.");
+        println!("paper: description embeddings separate Helpful from Unhelpful more cleanly than visual ones.");
+    });
 }

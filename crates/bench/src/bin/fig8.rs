@@ -1,72 +1,71 @@
 //! Regenerate Figure 8 — retrieval-pool size vs accuracy (RSL).
 
-use bench_suite::context::{Context, Corpus};
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
 use bench_suite::experiments::icl::run_fig8;
-use bench_suite::CliArgs;
 use chain_reason::Variant;
 use evalkit::table::Table;
 
 fn main() {
-    let args = CliArgs::from_env();
-    eprintln!("[fig8] running RSL at {:?}…", args.scale);
-    let ctx = Context::prepare(Corpus::Rsl, args.scale, args.seed);
-    let (pl, _) = ctx.train_variant(Variant::Full);
-    let fractions = [0.2f32, 0.4, 0.6, 0.8, 1.0];
-    let rows = run_fig8(&ctx, &pl, &fractions);
-    let mut t = Table::new(
-        "Figure 8 — training-pool size vs accuracy per retrieval strategy (RSL)",
-        &[
-            "pool fraction",
-            "Random",
-            "Retrieve-by-vision",
-            "Retrieve-by-description",
-        ],
-    );
-    for &f in &fractions {
-        let get = |s| {
-            rows.iter()
-                .find(|(ff, ss, _)| *ff == f && *ss == s)
-                .map(|(_, _, a)| format!("{:.2}%", a * 100.0))
-                .unwrap_or_default()
-        };
-        t.row(vec![
-            format!("{:.0}%", f * 100.0),
-            get(retrieval::RetrievalStrategy::Random),
-            get(retrieval::RetrievalStrategy::ByVision),
-            get(retrieval::RetrievalStrategy::ByDescription),
-        ]);
-    }
-    t.print();
-    let xs: Vec<f64> = fractions.iter().map(|&f| f as f64).collect();
-    let series: Vec<(String, Vec<f64>)> = [
-        retrieval::RetrievalStrategy::Random,
-        retrieval::RetrievalStrategy::ByVision,
-        retrieval::RetrievalStrategy::ByDescription,
-    ]
-    .into_iter()
-    .map(|s| {
-        let ys = fractions
-            .iter()
-            .map(|&f| {
+    corpus_main("fig8", &[Corpus::Rsl], |_, ctx| {
+        let (pl, _) = ctx.train_variant(Variant::Full);
+        let fractions = [0.2f32, 0.4, 0.6, 0.8, 1.0];
+        let rows = run_fig8(ctx, &pl, &fractions);
+        let mut t = Table::new(
+            "Figure 8 — training-pool size vs accuracy per retrieval strategy (RSL)",
+            &[
+                "pool fraction",
+                "Random",
+                "Retrieve-by-vision",
+                "Retrieve-by-description",
+            ],
+        );
+        for &f in &fractions {
+            let get = |s| {
                 rows.iter()
                     .find(|(ff, ss, _)| *ff == f && *ss == s)
-                    .map(|(_, _, a)| *a)
-                    .unwrap_or(0.0)
-            })
-            .collect();
-        (s.label().to_owned(), ys)
-    })
-    .collect();
-    let svg = evalkit::chart::line_chart(
-        "Figure 8 — pool size vs accuracy (RSL)",
-        "training-pool fraction",
-        "accuracy",
-        &xs,
-        &series,
-    );
-    std::fs::create_dir_all("results").ok();
-    if std::fs::write("results/fig8.svg", svg).is_ok() {
-        println!("wrote results/fig8.svg");
-    }
-    println!("paper: retrieval-based strategies improve with pool size; Random does not.");
+                    .map(|(_, _, a)| format!("{:.2}%", a * 100.0))
+                    .unwrap_or_default()
+            };
+            t.row(vec![
+                format!("{:.0}%", f * 100.0),
+                get(retrieval::RetrievalStrategy::Random),
+                get(retrieval::RetrievalStrategy::ByVision),
+                get(retrieval::RetrievalStrategy::ByDescription),
+            ]);
+        }
+        t.print();
+        let xs: Vec<f64> = fractions.iter().map(|&f| f as f64).collect();
+        let series: Vec<(String, Vec<f64>)> = [
+            retrieval::RetrievalStrategy::Random,
+            retrieval::RetrievalStrategy::ByVision,
+            retrieval::RetrievalStrategy::ByDescription,
+        ]
+        .into_iter()
+        .map(|s| {
+            let ys = fractions
+                .iter()
+                .map(|&f| {
+                    rows.iter()
+                        .find(|(ff, ss, _)| *ff == f && *ss == s)
+                        .map(|(_, _, a)| *a)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            (s.label().to_owned(), ys)
+        })
+        .collect();
+        let svg = evalkit::chart::line_chart(
+            "Figure 8 — pool size vs accuracy (RSL)",
+            "training-pool fraction",
+            "accuracy",
+            &xs,
+            &series,
+        );
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/fig8.svg", svg).is_ok() {
+            println!("wrote results/fig8.svg");
+        }
+        println!("paper: retrieval-based strategies improve with pool size; Random does not.");
+    });
 }

@@ -1,17 +1,14 @@
 //! Regenerate Table I — stress-detection performance of all methods.
 
-use bench_suite::context::{Context, Corpus};
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
 use bench_suite::experiments::detection::{render, run_corpus};
-use bench_suite::CliArgs;
 
 fn main() {
-    let args = CliArgs::from_env();
     let mut sections = Vec::new();
-    for corpus in [Corpus::Uvsd, Corpus::Rsl] {
-        eprintln!("[table1] running {} at {:?}…", corpus.label(), args.scale);
-        let ctx = Context::prepare(corpus, args.scale, args.seed);
-        sections.push((corpus.label(), run_corpus(&ctx, true)));
-    }
+    corpus_main("table1", &[Corpus::Uvsd, Corpus::Rsl], |_, ctx| {
+        sections.push((ctx.corpus.label(), run_corpus(ctx, true)));
+    });
     let slices: Vec<(&str, &[_])> = sections.iter().map(|(l, r)| (*l, r.as_slice())).collect();
     render("Table I — stress detection performance", &slices).print();
 }

@@ -1,23 +1,20 @@
 //! Regenerate Table II — explainer faithfulness (Top-k accuracy drops).
 
-use bench_suite::context::{Context, Corpus};
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
 use bench_suite::experiments::explainer::{render_table2, run_table2};
-use bench_suite::CliArgs;
 
 fn main() {
-    let args = CliArgs::from_env();
-    for corpus in [Corpus::Uvsd, Corpus::Rsl] {
-        eprintln!("[table2] running {} at {:?}…", corpus.label(), args.scale);
-        let ctx = Context::prepare(corpus, args.scale, args.seed);
-        let rows = run_table2(&ctx, args.faithfulness_samples());
+    corpus_main("table2", &[Corpus::Uvsd, Corpus::Rsl], |args, ctx| {
+        let rows = run_table2(ctx, args.faithfulness_samples());
         render_table2(
             &format!(
                 "Table II — accuracy drops after disturbing Top-k segments ({})",
-                corpus.label()
+                ctx.corpus.label()
             ),
-            corpus,
+            ctx.corpus,
             &rows,
         )
         .print();
-    }
+    });
 }

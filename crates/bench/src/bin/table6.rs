@@ -1,31 +1,28 @@
 //! Regenerate Table VI — self-refine ablation (rationale faithfulness).
 
-use bench_suite::context::{Context, Corpus};
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
 use bench_suite::experiments::ablation::{render_faithfulness, run_variant};
-use bench_suite::CliArgs;
 use chain_reason::Variant;
 
 fn main() {
-    let args = CliArgs::from_env();
-    for corpus in [Corpus::Uvsd, Corpus::Rsl] {
-        eprintln!("[table6] running {} at {:?}…", corpus.label(), args.scale);
-        let ctx = Context::prepare(corpus, args.scale, args.seed);
+    corpus_main("table6", &[Corpus::Uvsd, Corpus::Rsl], |args, ctx| {
         let rows: Vec<_> = [
             Variant::WithoutRefine,
             Variant::WithoutReflection,
             Variant::Full,
         ]
         .into_iter()
-        .map(|v| run_variant(&ctx, v, args.faithfulness_samples()))
+        .map(|v| run_variant(ctx, v, args.faithfulness_samples()))
         .collect();
         render_faithfulness(
             &format!(
                 "Table VI — self-refine ablation, Top-k drops ({})",
-                corpus.label()
+                ctx.corpus.label()
             ),
-            corpus,
+            ctx.corpus,
             &rows,
         )
         .print();
-    }
+    });
 }

@@ -1,23 +1,20 @@
 //! Regenerate Table VII — in-context example retrieval methods.
 
-use bench_suite::context::{Context, Corpus};
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
 use bench_suite::experiments::icl::{render_table7, run_table7};
-use bench_suite::CliArgs;
 
 fn main() {
-    let args = CliArgs::from_env();
-    for corpus in [Corpus::Uvsd, Corpus::Rsl] {
-        eprintln!("[table7] running {} at {:?}…", corpus.label(), args.scale);
-        let ctx = Context::prepare(corpus, args.scale, args.seed);
-        let (_, rows) = run_table7(&ctx);
+    corpus_main("table7", &[Corpus::Uvsd, Corpus::Rsl], |_, ctx| {
+        let (_, rows) = run_table7(ctx);
         render_table7(
             &format!(
                 "Table VII — in-context example retrieval ({})",
-                corpus.label()
+                ctx.corpus.label()
             ),
-            corpus,
+            ctx.corpus,
             &rows,
         )
         .print();
-    }
+    });
 }

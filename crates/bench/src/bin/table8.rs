@@ -1,23 +1,20 @@
 //! Regenerate Table VIII — test-time refinement of off-the-shelf models.
 
-use bench_suite::context::{Context, Corpus};
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
 use bench_suite::experiments::testtime::{render_table8, run_table8};
-use bench_suite::CliArgs;
 
 fn main() {
-    let args = CliArgs::from_env();
-    for corpus in [Corpus::Uvsd, Corpus::Rsl] {
-        eprintln!("[table8] running {} at {:?}…", corpus.label(), args.scale);
-        let ctx = Context::prepare(corpus, args.scale, args.seed);
-        let rows = run_table8(&ctx);
+    corpus_main("table8", &[Corpus::Uvsd, Corpus::Rsl], |_, ctx| {
+        let rows = run_table8(ctx);
         render_table8(
             &format!(
                 "Table VIII — off-the-shelf models + our method ({})",
-                corpus.label()
+                ctx.corpus.label()
             ),
-            corpus,
+            ctx.corpus,
             &rows,
         )
         .print();
-    }
+    });
 }

@@ -246,9 +246,11 @@ pub fn render_table2(title: &str, corpus: Corpus, rows: &[(Explainer, TopKDrops)
     t
 }
 
-/// Figure 6: wall-clock seconds to explain one sample per method.
+/// Figure 6: wall-clock seconds to explain one sample per method, one
+/// measurement per test sample (so the distribution, not just the mean,
+/// can be reported).
 /// Paper: Ours 3.4 s; SOBOL 216.3 s (the fastest baseline explainer).
-pub fn run_fig6(ctx: &Context, timing_samples: usize) -> Vec<(Explainer, f64)> {
+pub fn run_fig6(ctx: &Context, timing_samples: usize) -> Vec<(Explainer, Vec<f64>)> {
     let (pl, _) = ctx.train_variant(Variant::Full);
     let subset: Vec<VideoSample> = ctx
         .test
@@ -263,8 +265,9 @@ pub fn run_fig6(ctx: &Context, timing_samples: usize) -> Vec<(Explainer, f64)> {
         Explainer::Lime,
         Explainer::Shap,
     ] {
-        let start = std::time::Instant::now();
+        let mut seconds = Vec::with_capacity(subset.len());
         for v in &subset {
+            let start = std::time::Instant::now();
             let (fe, seg) = evalkit::faithfulness::segment_expressive_frame(v);
             match e {
                 // "Ours" timing covers describing, assessing and
@@ -276,14 +279,20 @@ pub fn run_fig6(ctx: &Context, timing_samples: usize) -> Vec<(Explainer, f64)> {
                     let _ = explain(e, &pl, v, &fe, &seg, ctx.seed);
                 }
             }
+            seconds.push(start.elapsed().as_secs_f64());
         }
-        out.push((e, start.elapsed().as_secs_f64() / subset.len() as f64));
+        out.push((e, seconds));
     }
     out
 }
 
-/// Render Figure 6 as a table of per-sample latencies.
-pub fn render_fig6(rows: &[(Explainer, f64)]) -> Table {
+/// Mean per-sample latency of one Figure 6 row.
+pub fn fig6_mean(seconds: &[f64]) -> f64 {
+    seconds.iter().sum::<f64>() / seconds.len().max(1) as f64
+}
+
+/// Render Figure 6 as a table of per-sample latency statistics.
+pub fn render_fig6(rows: &[(Explainer, Vec<f64>)]) -> Table {
     let paper = |e: Explainer| match e {
         Explainer::Ours => "3.4s",
         Explainer::Sobol => "216.3s",
@@ -292,12 +301,17 @@ pub fn render_fig6(rows: &[(Explainer, f64)]) -> Table {
     };
     let mut t = Table::new(
         "Figure 6 — per-sample explanation latency",
-        &["Method", "measured", "paper"],
+        &["Method", "mean", "p50", "p95", "p99", "paper"],
     );
-    for (e, s) in rows {
+    for (e, seconds) in rows {
+        let mut window = seconds.clone();
+        let [p50, p95, p99] = evalkit::timing::p50_p95_p99(&mut window);
         t.row(vec![
             e.label().to_owned(),
-            fmt_seconds(*s),
+            fmt_seconds(fig6_mean(seconds)),
+            fmt_seconds(p50),
+            fmt_seconds(p95),
+            fmt_seconds(p99),
             paper(*e).to_owned(),
         ]);
     }

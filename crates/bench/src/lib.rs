@@ -15,4 +15,4 @@ pub mod args;
 pub mod context;
 pub mod experiments;
 
-pub use args::CliArgs;
+pub use args::{corpus_main, CliArgs};

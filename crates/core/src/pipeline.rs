@@ -110,6 +110,30 @@ impl StressPipeline {
         self.assess(video, description, 0.0, video.id as u64)
     }
 
+    /// p(stressed) of the assess step given the video and a description —
+    /// the label-token probability mass renormalised over the two labels.
+    /// This is the confidence the serving API returns with every
+    /// prediction, and a pure function of `(model, video, description)`.
+    pub fn stress_score(&self, video: &VideoSample, description: AuSet) -> f32 {
+        let p = assess_prompt(&self.model, video, description);
+        let dist = self.model.next_token_distribution(&p);
+        let [st, un] = label_tokens(&self.model.vocab);
+        let ps = dist[st as usize];
+        let pu = dist[un as usize];
+        if ps + pu > 0.0 {
+            ps / (ps + pu)
+        } else {
+            0.5
+        }
+    }
+
+    /// [`predict`](Self::predict) plus the assess-step confidence.
+    pub fn predict_scored(&self, video: &VideoSample, seed: u64) -> (ChainOutput, f32) {
+        let out = self.predict(video, seed);
+        let score = self.stress_score(video, out.description);
+        (out, score)
+    }
+
     fn forced_label(&self, p: &lfm::Prompt, temperature: f32, seed: u64) -> StressLabel {
         let [st, un] = label_tokens(&self.model.vocab);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -163,6 +187,20 @@ mod tests {
             stressed > 0 && stressed < 20,
             "hot sampling should vary: {stressed}/20"
         );
+    }
+
+    #[test]
+    fn stress_score_is_a_probability_consistent_with_the_label() {
+        let p = pipeline();
+        let v = video(4, StressLabel::Stressed);
+        let (out, score) = p.predict_scored(&v, 0);
+        assert!((0.0..=1.0).contains(&score));
+        // The greedy assess label and the renormalised mass must agree.
+        match out.assessment {
+            StressLabel::Stressed => assert!(score >= 0.5, "score = {score}"),
+            StressLabel::Unstressed => assert!(score <= 0.5, "score = {score}"),
+        }
+        assert_eq!(out, p.predict(&v, 0), "scoring must not perturb the chain");
     }
 
     #[test]

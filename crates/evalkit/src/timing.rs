@@ -24,6 +24,37 @@ pub fn mean_seconds<F: FnMut()>(n: usize, mut f: F) -> f64 {
     start.elapsed().as_secs_f64() / n as f64
 }
 
+/// Empirical quantiles of `samples` at the given fractions (`0.5` = p50,
+/// `0.99` = p99), with linear interpolation between order statistics.
+///
+/// Sorts `samples` in place (hence `&mut`); returns one value per entry of
+/// `qs`, in `qs` order.  Panics on an empty sample set, a non-finite
+/// sample, or a fraction outside `[0, 1]`.
+pub fn percentiles(samples: &mut [f64], qs: &[f64]) -> Vec<f64> {
+    assert!(!samples.is_empty(), "percentiles of an empty sample set");
+    assert!(
+        samples.iter().all(|s| s.is_finite()),
+        "non-finite latency sample"
+    );
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    qs.iter()
+        .map(|&q| {
+            assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+            let rank = q * (samples.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            samples[lo] + (samples[hi] - samples[lo]) * frac
+        })
+        .collect()
+}
+
+/// The `(p50, p95, p99)` triple every latency report in this repo uses.
+pub fn p50_p95_p99(samples: &mut [f64]) -> [f64; 3] {
+    let v = percentiles(samples, &[0.50, 0.95, 0.99]);
+    [v[0], v[1], v[2]]
+}
+
 /// Format seconds like the paper's Figure 6 axis ("3.4s", "216.3s").
 pub fn fmt_seconds(s: f64) -> String {
     if s < 0.001 {
@@ -65,6 +96,36 @@ mod tests {
             }
         });
         assert!(mean < 0.015, "warm-up leaked into the mean: {mean}s");
+    }
+
+    #[test]
+    fn percentiles_interpolate_order_statistics() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        let p = percentiles(&mut v, &[0.0, 0.5, 1.0, 0.25]);
+        assert_eq!(p, vec![1.0, 3.0, 5.0, 2.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0], "sorted in place");
+        // Interpolation between ranks: p75 of 1..=5 is 4.0, p90 is 4.6.
+        let p = percentiles(&mut v, &[0.75, 0.9]);
+        assert!((p[0] - 4.0).abs() < 1e-12);
+        assert!((p[1] - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_of_a_single_sample() {
+        let mut v = vec![7.5];
+        assert_eq!(p50_p95_p99(&mut v), [7.5, 7.5, 7.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentiles_reject_empty() {
+        let _ = percentiles(&mut [], &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentiles_reject_bad_quantile() {
+        let _ = percentiles(&mut [1.0], &[1.5]);
     }
 
     #[test]

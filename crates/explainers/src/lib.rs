@@ -29,6 +29,7 @@ pub mod attribution;
 pub mod executor;
 pub mod lime;
 pub mod linalg;
+pub mod method;
 pub mod qmc;
 pub mod shap;
 pub mod sobol;
@@ -36,5 +37,6 @@ pub mod sobol;
 pub use attribution::Attribution;
 pub use executor::{EvalCache, Mask, MaskExecutor};
 pub use lime::{lime, lime_in};
+pub use method::{PerturbationMethod, ALL_METHODS};
 pub use shap::{kernel_shap, kernel_shap_in};
 pub use sobol::{sobol_total_indices, sobol_total_indices_in};

@@ -1,0 +1,120 @@
+//! Name-keyed dispatch over the three perturbation explainers.
+//!
+//! Callers that pick an explainer at runtime — the serving API's
+//! `/v1/explain` endpoint, the bench harness — share one evaluation-budget
+//! convention: `budget` is the number of black-box evaluations the caller
+//! is willing to pay.  LIME and KernelSHAP consume it directly as their
+//! sample count; SOBOL converts it to QMC rows via the `n·(d+2)` design
+//! cost of the Jansen estimator.
+
+use videosynth::image::Image;
+use videosynth::slic::Segmentation;
+
+use crate::attribution::Attribution;
+use crate::executor::MaskExecutor;
+use crate::{kernel_shap_in, lime_in, sobol_total_indices_in};
+
+/// One of the perturbation explainers, selectable by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PerturbationMethod {
+    /// Ribeiro et al. 2016 — weighted ridge surrogate.
+    Lime,
+    /// Lundberg & Lee 2017 — Shapley-kernel weighted least squares.
+    KernelShap,
+    /// Fel et al. 2021 — total-order Sobol' indices (Jansen estimator).
+    Sobol,
+}
+
+/// All methods, in the paper's Table II order.
+pub const ALL_METHODS: [PerturbationMethod; 3] = [
+    PerturbationMethod::KernelShap,
+    PerturbationMethod::Lime,
+    PerturbationMethod::Sobol,
+];
+
+impl PerturbationMethod {
+    /// Parse a method name as used in the serving API ("lime", "shap" /
+    /// "kernelshap", "sobol"; case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "lime" => Some(PerturbationMethod::Lime),
+            "shap" | "kernelshap" | "kernel_shap" => Some(PerturbationMethod::KernelShap),
+            "sobol" => Some(PerturbationMethod::Sobol),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name (the inverse of [`parse`]).
+    ///
+    /// [`parse`]: PerturbationMethod::parse
+    pub fn name(self) -> &'static str {
+        match self {
+            PerturbationMethod::Lime => "lime",
+            PerturbationMethod::KernelShap => "shap",
+            PerturbationMethod::Sobol => "sobol",
+        }
+    }
+
+    /// SOBOL QMC rows affordable under `budget` evaluations at `d`
+    /// segments (the design evaluates `n·(d+2)` masked frames).
+    pub fn sobol_rows(budget: usize, d: usize) -> usize {
+        (budget / (d + 2)).max(4)
+    }
+
+    /// Run the method through `exec` with an evaluation budget.
+    pub fn run<F: Fn(&Image) -> f32 + Sync>(
+        self,
+        exec: &MaskExecutor,
+        image: &Image,
+        seg: &Segmentation,
+        score: F,
+        budget: usize,
+        seed: u64,
+    ) -> Attribution {
+        match self {
+            PerturbationMethod::Lime => lime_in(exec, image, seg, score, budget, seed),
+            PerturbationMethod::KernelShap => kernel_shap_in(exec, image, seg, score, budget, seed),
+            PerturbationMethod::Sobol => {
+                let rows = Self::sobol_rows(budget, seg.num_segments());
+                sobol_total_indices_in(exec, image, seg, score, rows, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videosynth::slic::slic;
+
+    #[test]
+    fn parse_roundtrip_and_aliases() {
+        for m in ALL_METHODS {
+            assert_eq!(PerturbationMethod::parse(m.name()), Some(m));
+        }
+        assert_eq!(
+            PerturbationMethod::parse("KernelSHAP"),
+            Some(PerturbationMethod::KernelShap)
+        );
+        assert_eq!(PerturbationMethod::parse("ours"), None);
+    }
+
+    #[test]
+    fn sobol_row_budgeting() {
+        // 1 000 evals at d = 64 affords the bench harness's 15 rows.
+        assert_eq!(PerturbationMethod::sobol_rows(1000, 64), 15);
+        // Tiny budgets still meet the estimator's minimum.
+        assert_eq!(PerturbationMethod::sobol_rows(10, 64), 4);
+    }
+
+    #[test]
+    fn run_dispatches_every_method() {
+        let img = Image::filled(16, 16, 0.4);
+        let seg = slic(&img, 4, 0.1, 2);
+        let exec = MaskExecutor::new();
+        for m in ALL_METHODS {
+            let a = m.run(&exec, &img, &seg, |im: &Image| im.mean(), 64, 3);
+            assert_eq!(a.len(), seg.num_segments(), "{m:?}");
+        }
+    }
+}

@@ -13,8 +13,14 @@ thread_local! {
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Override the global pool width (0 restores the hardware default).
+/// Override the global pool width (0 restores the default).
 /// Threaded through `bench-suite`'s `--threads` flag.
+///
+/// When no explicit width is set (`n == 0`), the `SRCR_THREADS`
+/// environment variable is consulted before falling back to
+/// `available_parallelism`, so servers and CI can pin parallelism
+/// process-wide without per-binary flags.  An explicit flag always wins
+/// over the environment.
 pub fn set_threads(n: usize) {
     GLOBAL_THREADS.store(n, Ordering::Relaxed);
 }
@@ -25,9 +31,21 @@ pub fn threads() -> usize {
     resolve(GLOBAL_THREADS.load(Ordering::Relaxed))
 }
 
+/// Worker count from `SRCR_THREADS`, if set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("SRCR_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
+}
+
 fn resolve(requested: usize) -> usize {
     if requested > 0 {
         requested
+    } else if let Some(n) = env_threads() {
+        n
     } else {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     }
@@ -204,6 +222,25 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_threads_parsing() {
+        // `resolve` consults SRCR_THREADS only when no flag width is given.
+        // Parse logic is exercised directly to stay independent of the
+        // process environment other tests run under.
+        assert_eq!(resolve(5), 5, "explicit width always wins");
+        std::env::set_var("SRCR_THREADS", "3");
+        assert_eq!(env_threads(), Some(3));
+        assert_eq!(resolve(0), 3, "env fallback applies when width is 0");
+        assert_eq!(resolve(2), 2, "flag still wins over the environment");
+        std::env::set_var("SRCR_THREADS", "not-a-number");
+        assert_eq!(env_threads(), None);
+        std::env::set_var("SRCR_THREADS", "0");
+        assert_eq!(env_threads(), None, "zero is not a valid pin");
+        std::env::remove_var("SRCR_THREADS");
+        assert_eq!(env_threads(), None);
+        assert!(resolve(0) >= 1);
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The `/v1` API surface: request schemas, sample synthesis and response
+//! building.
+//!
+//! A predict request names a model, a seed and an input — either a
+//! `videosynth` sample spec (the server synthesizes the clip under the
+//! model's generative world, exactly as the offline benches do) or raw
+//! per-frame AU intensity vectors.  Responses carry the full chain output:
+//! the AU description, the stress assessment with its confidence, and the
+//! highlighted rationale mapped back to facial regions — explanation with
+//! every prediction, the paper's central claim.
+//!
+//! Response bodies are built by pure functions of `(model, request)`, so a
+//! request with a fixed seed gets a byte-identical response no matter how
+//! it was batched or how many pool threads ran it.
+
+use facs::au::{ActionUnit, AuSet, AuVector, NUM_AUS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use videosynth::video::{StressLabel, VideoSample};
+use videosynth::world::{sample_video, Subject, WorldConfig};
+
+use crate::json::{obj, Json};
+use crate::registry::ModelEntry;
+
+/// Hard cap on frames accepted in either input form.
+pub const MAX_FRAMES: usize = 256;
+
+/// A request the API rejected, with its HTTP status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable reason (returned as `{"error": …}`).
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Render as the error body.
+    pub fn body(&self) -> Json {
+        obj(vec![("error", Json::String(self.message.clone()))])
+    }
+}
+
+/// A parsed predict request.
+#[derive(Clone, Debug)]
+pub struct PredictRequest {
+    /// Registry model name.
+    pub model: String,
+    /// Request seed: the master of this request's seed streams.
+    pub seed: u64,
+    /// The clip to classify.
+    pub video: VideoSample,
+}
+
+/// A parsed explain request.
+#[derive(Clone, Debug)]
+pub struct ExplainRequest {
+    /// The predict part (model, seed, clip).
+    pub predict: PredictRequest,
+    /// Which perturbation explainer to run.
+    pub method: explainers::PerturbationMethod,
+    /// Black-box evaluation budget.
+    pub budget: usize,
+    /// Cache scope: a fingerprint of `(model, input)` so repeated explain
+    /// calls on the same clip share mask evaluations.
+    pub scope: u64,
+}
+
+/// FNV-1a over bytes — stable fingerprint for cache scoping.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError::bad("body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| ApiError::bad(format!("{e}")))
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, ApiError> {
+    doc.get(key)
+        .ok_or_else(|| ApiError::bad(format!("missing field {key:?}")))
+}
+
+/// Build the clip from the request's `input` object under a model's world.
+fn parse_input(input: &Json, world: &WorldConfig) -> Result<VideoSample, ApiError> {
+    if let Some(spec) = input.get("spec") {
+        parse_spec(spec, world)
+    } else if input.get("frames").is_some() {
+        parse_frames(input, world)
+    } else {
+        Err(ApiError::bad("input needs either \"spec\" or \"frames\""))
+    }
+}
+
+fn parse_spec(spec: &Json, world: &WorldConfig) -> Result<VideoSample, ApiError> {
+    let subject_seed = require(spec, "subject_seed")?
+        .as_u64()
+        .ok_or_else(|| ApiError::bad("subject_seed must be a non-negative integer"))?;
+    let condition = match require(spec, "condition")?.as_str() {
+        Some("stressed") => StressLabel::Stressed,
+        Some("unstressed") => StressLabel::Unstressed,
+        _ => {
+            return Err(ApiError::bad(
+                "condition must be \"stressed\" or \"unstressed\"",
+            ))
+        }
+    };
+    let sample_id = spec
+        .get("sample_id")
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| ApiError::bad("sample_id must be a non-negative integer"))
+        })
+        .transpose()?
+        .unwrap_or(0) as usize;
+    let mut world = world.clone();
+    if let Some(n) = spec.get("num_frames") {
+        let n = n
+            .as_u64()
+            .filter(|&n| (2..=MAX_FRAMES as u64).contains(&n))
+            .ok_or_else(|| ApiError::bad(format!("num_frames must be in 2..={MAX_FRAMES}")))?;
+        world.num_frames = n as usize;
+    }
+    // The subject's idiosyncrasies derive purely from `subject_seed`, and
+    // the episode purely from `(subject, sample_id, subject_seed)` — the
+    // same clip for the same spec, always.
+    let mut rng = StdRng::seed_from_u64(subject_seed);
+    let subject = Subject::generate(subject_seed as usize, world.subject_idiosyncrasy, &mut rng);
+    Ok(sample_video(
+        &world,
+        &subject,
+        condition,
+        sample_id,
+        subject_seed,
+    ))
+}
+
+fn parse_frames(input: &Json, world: &WorldConfig) -> Result<VideoSample, ApiError> {
+    let frames = input
+        .get("frames")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad("frames must be an array"))?;
+    if frames.is_empty() || frames.len() > MAX_FRAMES {
+        return Err(ApiError::bad(format!(
+            "frames must hold 1..={MAX_FRAMES} frames"
+        )));
+    }
+    let mut trajectory = Vec::with_capacity(frames.len());
+    for (t, frame) in frames.iter().enumerate() {
+        let values = frame
+            .as_array()
+            .filter(|v| v.len() == NUM_AUS)
+            .ok_or_else(|| {
+                ApiError::bad(format!(
+                    "frame {t} must be an array of {NUM_AUS} AU intensities"
+                ))
+            })?;
+        let mut v = AuVector::zeros();
+        for (i, x) in values.iter().enumerate() {
+            let x = x
+                .as_f64()
+                .filter(|x| x.is_finite() && (-10.0..=10.0).contains(x))
+                .ok_or_else(|| ApiError::bad(format!("frame {t} entry {i} out of range")))?;
+            v.set(ActionUnit::from_index(i).expect("i < NUM_AUS"), x as f32);
+        }
+        trajectory.push(v);
+    }
+    let identity_seed = input
+        .get("identity_seed")
+        .map(|v| v.as_u64().ok_or_else(|| ApiError::bad("bad identity_seed")))
+        .transpose()?
+        .unwrap_or(0);
+    let render_seed = input
+        .get("render_seed")
+        .map(|v| v.as_u64().ok_or_else(|| ApiError::bad("bad render_seed")))
+        .transpose()?
+        .unwrap_or(0);
+    // Label and apex annotation are training-side fields the inference
+    // path never reads; placeholders keep the constructor honest.
+    Ok(VideoSample::new(
+        0,
+        0,
+        StressLabel::Unstressed,
+        AuSet::EMPTY,
+        trajectory,
+        world.pixel_noise,
+        world.texture_gain,
+        identity_seed,
+        world.identity_strength,
+        render_seed,
+    ))
+}
+
+/// Parse a `/v1/predict` body against the registry.
+pub fn parse_predict(
+    body: &[u8],
+    lookup: impl Fn(&str) -> Option<WorldConfig>,
+) -> Result<PredictRequest, ApiError> {
+    let doc = parse_body(body)?;
+    let model = require(&doc, "model")?
+        .as_str()
+        .ok_or_else(|| ApiError::bad("model must be a string"))?
+        .to_owned();
+    let world = lookup(&model).ok_or(ApiError {
+        status: 404,
+        message: format!("unknown model {model:?}"),
+    })?;
+    let seed = require(&doc, "seed")?
+        .as_u64()
+        .ok_or_else(|| ApiError::bad("seed must be a non-negative integer"))?;
+    let video = parse_input(require(&doc, "input")?, &world)?;
+    Ok(PredictRequest { model, seed, video })
+}
+
+/// Parse a `/v1/explain` body against the registry.
+pub fn parse_explain(
+    body: &[u8],
+    lookup: impl Fn(&str) -> Option<WorldConfig>,
+) -> Result<ExplainRequest, ApiError> {
+    let doc = parse_body(body)?;
+    let predict = parse_predict(body, lookup)?;
+    let method = require(&doc, "method")?
+        .as_str()
+        .and_then(explainers::PerturbationMethod::parse)
+        .ok_or_else(|| ApiError::bad("method must be \"lime\", \"shap\" or \"sobol\""))?;
+    let budget = doc
+        .get("budget")
+        .map(|v| {
+            v.as_u64()
+                .filter(|&b| (8..=10_000).contains(&b))
+                .ok_or_else(|| ApiError::bad("budget must be in 8..=10000"))
+        })
+        .transpose()?
+        .unwrap_or(256) as usize;
+    // Scope on the canonical (model, input) text so identical clips share
+    // cached mask evaluations regardless of seed or method.
+    let scope_doc = obj(vec![
+        ("model", Json::String(predict.model.clone())),
+        ("input", require(&doc, "input")?.clone()),
+    ]);
+    let scope = fnv1a(scope_doc.to_text().as_bytes());
+    Ok(ExplainRequest {
+        predict,
+        method,
+        budget,
+        scope,
+    })
+}
+
+fn au_set_json(aus: AuSet) -> Json {
+    Json::Object(vec![
+        (
+            "text".to_owned(),
+            Json::String(facs::describe::render_description(aus)),
+        ),
+        (
+            "aus".to_owned(),
+            Json::Array(
+                aus.iter()
+                    .map(|au| {
+                        obj(vec![
+                            ("au", Json::Number(au.facs_number() as f64)),
+                            ("name", Json::String(au.name().to_owned())),
+                            ("region", Json::String(au.region().name().to_owned())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Run the chain and build the predict response body — a pure function of
+/// `(pipeline, request)`.  The chain runs under the request's seed stream
+/// (`stream_seed(seed, 0)`), decorrelated from any sibling use of the seed.
+pub fn predict_response(entry: &ModelEntry, req: &PredictRequest) -> Json {
+    let chain_seed = runtime::stream_seed(req.seed, 0);
+    let (out, score) = entry.pipeline.predict_scored(&req.video, chain_seed);
+    let mut regions: Vec<&'static str> = Vec::new();
+    for au in out.rationale.iter() {
+        let r = au.region().name();
+        if !regions.contains(&r) {
+            regions.push(r);
+        }
+    }
+    obj(vec![
+        ("model", Json::String(entry.name.to_owned())),
+        ("seed", Json::Number(req.seed as f64)),
+        ("assessment", Json::String(out.assessment.to_string())),
+        ("score", Json::Number(score as f64)),
+        ("description", au_set_json(out.description)),
+        ("rationale", au_set_json(out.rationale)),
+        (
+            "highlighted_regions",
+            Json::Array(
+                regions
+                    .into_iter()
+                    .map(|r| Json::String(r.to_owned()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Run a perturbation explainer and build the explain response body.
+///
+/// Masked evaluations go through the entry's shared [`explainers::EvalCache`],
+/// scoped by the request's `(model, input)` fingerprint, so repeated
+/// coalitions across calls on the same clip cost one model query.
+pub fn explain_response(entry: &ModelEntry, req: &ExplainRequest) -> Json {
+    let video = &req.predict.video;
+    let (fe, seg) = evalkit::faithfulness::segment_expressive_frame(video);
+    let pipeline = &entry.pipeline;
+    // The frozen decision function the explainer probes: p(stressed) with
+    // the clean description and least-expressive frame held fixed.
+    let description = pipeline.describe(video, 0.0, video.id as u64);
+    let (_, fl) = video.expressive_pair();
+    let model = &pipeline.model;
+    let [st, un] = lfm::instructions::label_tokens(&model.vocab);
+    let score = |img: &videosynth::image::Image| {
+        let p = lfm::instructions::assess_prompt_from_images(model, img, &fl, description);
+        let dist = model.next_token_distribution(&p);
+        let (ps, pu) = (dist[st as usize], dist[un as usize]);
+        if ps + pu > 0.0 {
+            ps / (ps + pu)
+        } else {
+            0.5
+        }
+    };
+    let exec = explainers::MaskExecutor::new().with_cache(&entry.cache, req.scope);
+    let attribution = req.method.run(
+        &exec,
+        &fe,
+        &seg,
+        score,
+        req.budget,
+        runtime::stream_seed(req.predict.seed, 1),
+    );
+    obj(vec![
+        ("model", Json::String(entry.name.to_owned())),
+        ("seed", Json::Number(req.predict.seed as f64)),
+        ("method", Json::String(req.method.name().to_owned())),
+        ("segments", Json::Number(attribution.len() as f64)),
+        (
+            "scores",
+            Json::Array(
+                attribution
+                    .scores()
+                    .iter()
+                    .map(|&s| Json::Number(s as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "top_segments",
+            Json::Array(
+                attribution
+                    .top_k(5)
+                    .into_iter()
+                    .map(|i| Json::Number(i as f64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn lookup(name: &str) -> Option<WorldConfig> {
+        match name {
+            "uvsd_sim" => Some(WorldConfig::uvsd_like()),
+            _ => None,
+        }
+    }
+
+    fn spec_body(seed: u64) -> Vec<u8> {
+        format!(
+            r#"{{"model":"uvsd_sim","seed":{seed},"input":{{"spec":{{"subject_seed":9,"condition":"stressed","sample_id":4,"num_frames":4}}}}}}"#
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn spec_requests_parse_and_are_deterministic() {
+        let a = parse_predict(&spec_body(7), lookup).unwrap();
+        let b = parse_predict(&spec_body(7), lookup).unwrap();
+        assert_eq!(a.model, "uvsd_sim");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.video.num_frames(), 4);
+        assert_eq!(a.video.au_at(2).0, b.video.au_at(2).0);
+    }
+
+    #[test]
+    fn frames_requests_parse() {
+        let frame: Vec<String> = (0..NUM_AUS).map(|i| format!("0.{i}")).collect();
+        let body = format!(
+            r#"{{"model":"uvsd_sim","seed":1,"input":{{"frames":[[{f}],[{f}]],"identity_seed":5}}}}"#,
+            f = frame.join(",")
+        );
+        let req = parse_predict(body.as_bytes(), lookup).unwrap();
+        assert_eq!(req.video.num_frames(), 2);
+    }
+
+    #[test]
+    fn rejections_carry_useful_statuses() {
+        let unknown = parse_predict(
+            br#"{"model":"nope","seed":1,"input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#,
+            lookup,
+        )
+        .unwrap_err();
+        assert_eq!(unknown.status, 404);
+        for bad in [
+            &b"not json"[..],
+            br#"{"seed":1,"input":{}}"#,
+            br#"{"model":"uvsd_sim","seed":-1,"input":{}}"#,
+            br#"{"model":"uvsd_sim","seed":1,"input":{}}"#,
+            br#"{"model":"uvsd_sim","seed":1,"input":{"spec":{"subject_seed":1,"condition":"calm"}}}"#,
+            br#"{"model":"uvsd_sim","seed":1,"input":{"frames":[[1,2]]}}"#,
+        ] {
+            let err = parse_predict(bad, lookup).unwrap_err();
+            assert_eq!(err.status, 400, "{:?}", err.message);
+        }
+    }
+
+    #[test]
+    fn explain_parses_method_budget_and_scope() {
+        let body = br#"{"model":"uvsd_sim","seed":3,"method":"LIME","budget":64,"input":{"spec":{"subject_seed":1,"condition":"unstressed"}}}"#;
+        let req = parse_explain(body, lookup).unwrap();
+        assert_eq!(req.method, explainers::PerturbationMethod::Lime);
+        assert_eq!(req.budget, 64);
+        // Same (model, input) → same scope, regardless of seed/method.
+        let body2 = br#"{"model":"uvsd_sim","seed":9,"method":"sobol","budget":64,"input":{"spec":{"subject_seed":1,"condition":"unstressed"}}}"#;
+        assert_eq!(req.scope, parse_explain(body2, lookup).unwrap().scope);
+        let err = parse_explain(
+            br#"{"model":"uvsd_sim","seed":3,"method":"ours","input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#,
+            lookup,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn predict_response_is_reproducible_bytes() {
+        let registry = Registry::untrained(11);
+        let entry = registry.get("uvsd_sim").unwrap();
+        let req = parse_predict(&spec_body(7), lookup).unwrap();
+        let a = predict_response(entry, &req).to_text();
+        let b = predict_response(entry, &req).to_text();
+        assert_eq!(a, b);
+        let doc = Json::parse(&a).unwrap();
+        assert!(matches!(
+            doc.get("assessment").and_then(Json::as_str),
+            Some("Stressed") | Some("Unstressed")
+        ));
+        let score = doc.get("score").and_then(Json::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&score));
+        assert!(doc.get("rationale").unwrap().get("text").is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! The inference server binary.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:8472] [--scale smoke|full] [--seed N]
+//!       [--threads N] [--queue-cap N] [--max-batch N] [--window-ms N]
+//!       [--untrained]
+//! ```
+//!
+//! Trains both registry profiles at startup (or loads untrained tiny
+//! models with `--untrained`, for smoke tooling), prints the bound
+//! address, and serves until a client posts `/admin/shutdown`.
+
+use std::time::Duration;
+
+use serve::{BatchConfig, Registry, Server, ServerConfig};
+use videosynth::dataset::Scale;
+
+struct Args {
+    addr: String,
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    batch: BatchConfig,
+    untrained: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8472".into(),
+        scale: Scale::Smoke,
+        seed: 7,
+        threads: 0,
+        batch: BatchConfig::default(),
+        untrained: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale {other:?} (smoke|full)")),
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--queue-cap" => {
+                args.batch.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--max-batch" => {
+                args.batch.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?
+            }
+            "--window-ms" => {
+                args.batch.window = Duration::from_millis(
+                    value("--window-ms")?
+                        .parse()
+                        .map_err(|e| format!("--window-ms: {e}"))?,
+                )
+            }
+            "--untrained" => args.untrained = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    runtime::set_threads(args.threads);
+
+    let registry = if args.untrained {
+        eprintln!("loading untrained tiny models (--untrained)");
+        Registry::untrained(args.seed)
+    } else {
+        eprintln!(
+            "training registry at {:?} scale, seed {}",
+            args.scale, args.seed
+        );
+        Registry::train(args.scale, args.seed)
+    };
+    eprintln!("models ready: {}", registry.names().join(", "));
+
+    let mut server = match Server::start(
+        registry,
+        ServerConfig {
+            addr: args.addr,
+            batch: args.batch,
+            threads: args.threads,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The smoke script and other tooling parse this line for the port.
+    println!("listening on http://{}", server.addr());
+
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining");
+    server.shutdown();
+    let m = server.metrics();
+    eprintln!(
+        "served {} requests ({} batches); bye",
+        m.served(),
+        m.batches.load(std::sync::atomic::Ordering::Relaxed)
+    );
+}

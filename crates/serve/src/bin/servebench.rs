@@ -1,0 +1,293 @@
+//! Load generator for the inference server.
+//!
+//! ```text
+//! servebench --addr 127.0.0.1:8472 --mode closed --requests 200 \
+//!            [--concurrency 4] [--model uvsd_sim] [--seed 7] [--frames 6]
+//! servebench --addr 127.0.0.1:8472 --mode open --rate 50 --duration-s 5
+//! ```
+//!
+//! Closed loop: `--concurrency` workers each hold one keep-alive
+//! connection and issue their share of `--requests` back-to-back — the
+//! classic saturation measurement.  Open loop: requests fire on a fixed
+//! schedule at `--rate` per second regardless of completions (one
+//! short-lived connection each), which is what exposes queueing collapse
+//! and admission control under overload.
+//!
+//! Reports throughput and latency percentiles (via `evalkit`'s
+//! percentile helper — the same estimator the paper's timing tables use).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use evalkit::timing::p50_p95_p99;
+use serve::http::{read_response, write_request};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+struct Args {
+    addr: String,
+    mode: Mode,
+    requests: usize,
+    concurrency: usize,
+    rate: f64,
+    duration: Duration,
+    model: String,
+    seed: u64,
+    frames: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8472".into(),
+        mode: Mode::Closed,
+        requests: 200,
+        concurrency: 4,
+        rate: 50.0,
+        duration: Duration::from_secs(5),
+        model: "uvsd_sim".into(),
+        seed: 7,
+        frames: 6,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        fn parse_err(name: &'static str) -> impl Fn(std::num::ParseIntError) -> String {
+            move |e| format!("{name}: {e}")
+        }
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => return Err(format!("unknown mode {other:?} (closed|open)")),
+                }
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(parse_err("--requests"))?
+            }
+            "--concurrency" => {
+                args.concurrency = value("--concurrency")?
+                    .parse::<usize>()
+                    .map_err(parse_err("--concurrency"))?
+                    .max(1)
+            }
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| *r > 0.0)
+                    .ok_or("--rate must be a positive number")?
+            }
+            "--duration-s" => {
+                args.duration = Duration::from_secs(
+                    value("--duration-s")?
+                        .parse()
+                        .map_err(parse_err("--duration-s"))?,
+                )
+            }
+            "--model" => args.model = value("--model")?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(parse_err("--seed"))?,
+            "--frames" => {
+                args.frames = value("--frames")?
+                    .parse::<usize>()
+                    .map_err(parse_err("--frames"))?
+                    .clamp(2, 64)
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The i-th request body: a deterministic spread over subjects, samples
+/// and conditions, so a run exercises varied inputs reproducibly.
+fn body(args: &Args, i: usize) -> Vec<u8> {
+    let condition = if i.is_multiple_of(2) {
+        "stressed"
+    } else {
+        "unstressed"
+    };
+    format!(
+        r#"{{"model":"{}","seed":{},"input":{{"spec":{{"subject_seed":{},"condition":"{condition}","sample_id":{},"num_frames":{}}}}}}}"#,
+        args.model,
+        args.seed.wrapping_add(i as u64),
+        args.seed.wrapping_add((i % 16) as u64),
+        i,
+        args.frames,
+    )
+    .into_bytes()
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    client_err: AtomicU64,
+    server_err: AtomicU64,
+    transport_err: AtomicU64,
+}
+
+/// Issue one request on an open connection; record latency on success.
+fn one_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    raw: &[u8],
+    keep_alive: bool,
+    tally: &Tally,
+    latencies: &Mutex<Vec<f64>>,
+) {
+    let started = Instant::now();
+    if write_request(stream, "POST", "/v1/predict", Some(raw), keep_alive).is_err() {
+        tally.transport_err.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match read_response(reader) {
+        Ok(resp) => {
+            match resp.status {
+                200 => {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                    latencies
+                        .lock()
+                        .expect("latency lock")
+                        .push(started.elapsed().as_secs_f64() * 1e3);
+                }
+                s if (400..500).contains(&s) => {
+                    tally.client_err.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    tally.server_err.fetch_add(1, Ordering::Relaxed);
+                }
+            };
+        }
+        Err(_) => {
+            tally.transport_err.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn run_closed(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) {
+    std::thread::scope(|scope| {
+        for w in 0..args.concurrency {
+            scope.spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(&args.addr) else {
+                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let _ = stream.set_nodelay(true);
+                let Ok(clone) = stream.try_clone() else {
+                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let mut reader = BufReader::new(clone);
+                let mut i = w;
+                while i < args.requests {
+                    let raw = body(args, i);
+                    one_request(&mut stream, &mut reader, &raw, true, tally, latencies);
+                    i += args.concurrency;
+                }
+            });
+        }
+    });
+}
+
+fn run_open(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) -> usize {
+    let interval = Duration::from_secs_f64(1.0 / args.rate);
+    let start = Instant::now();
+    let mut fired = 0usize;
+    std::thread::scope(|scope| {
+        while start.elapsed() < args.duration {
+            let due = interval * fired as u32;
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let i = fired;
+            scope.spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(&args.addr) else {
+                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let _ = stream.set_nodelay(true);
+                let Ok(clone) = stream.try_clone() else {
+                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let mut reader = BufReader::new(clone);
+                let raw = body(args, i);
+                one_request(&mut stream, &mut reader, &raw, false, tally, latencies);
+            });
+            fired += 1;
+        }
+    });
+    fired
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("servebench: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let tally = Arc::new(Tally::default());
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let issued = match args.mode {
+        Mode::Closed => {
+            println!(
+                "servebench: mode=closed requests={} concurrency={} model={}",
+                args.requests, args.concurrency, args.model
+            );
+            run_closed(&args, &tally, &latencies);
+            args.requests
+        }
+        Mode::Open => {
+            println!(
+                "servebench: mode=open rate={}/s duration={}s model={}",
+                args.rate,
+                args.duration.as_secs(),
+                args.model
+            );
+            run_open(&args, &tally, &latencies)
+        }
+    };
+    let wall = started.elapsed().as_secs_f64();
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let client = tally.client_err.load(Ordering::Relaxed);
+    let server = tally.server_err.load(Ordering::Relaxed);
+    let transport = tally.transport_err.load(Ordering::Relaxed);
+    println!(
+        "  issued={issued} ok={ok} client_err={client} server_err={server} transport_err={transport}"
+    );
+    println!("  wall={wall:.3}s throughput={:.1} req/s", ok as f64 / wall);
+    let mut ms = latencies.lock().expect("latency lock").clone();
+    if ms.is_empty() {
+        println!("  latency: no successful requests");
+    } else {
+        let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+        let max = ms.iter().cloned().fold(f64::MIN, f64::max);
+        let [p50, p95, p99] = p50_p95_p99(&mut ms);
+        println!(
+            "  latency ms: p50={p50:.2} p95={p95:.2} p99={p99:.2} mean={mean:.2} max={max:.2}"
+        );
+    }
+
+    // Closed-loop runs demand a clean sweep; open-loop runs tolerate
+    // admission-control rejections (that is what they are for).
+    let failed = match args.mode {
+        Mode::Closed => ok as usize != issued,
+        Mode::Open => server + transport > 0,
+    };
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,493 @@
+//! Minimal HTTP/1.1: request parsing, response writing, and the client
+//! side used by `servebench` and the tests.
+//!
+//! Hand-rolled over `std::io` (no registry access — see DESIGN.md §2).
+//! The parser enforces hard limits on the request line, header count/size
+//! and body size so a hostile peer cannot make the server buffer
+//! unboundedly, and distinguishes *clean* connection close (EOF before any
+//! byte of a request — the normal end of a keep-alive session) from
+//! truncation mid-request.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum single header line length in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum number of headers.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum request body size in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb, upper-case as received ("GET", "POST", …).
+    pub method: String,
+    /// Request target (path + optional query), as received.
+    pub path: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub http11: bool,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection:` header overrides either default.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed, with its HTTP status mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header or body framing → 400.
+    BadRequest(String),
+    /// Request line or a header exceeded its limit → 431.
+    HeadersTooLarge,
+    /// Declared body exceeds [`MAX_BODY`] → 413.
+    PayloadTooLarge,
+    /// Body-bearing method without a valid `Content-Length` → 411.
+    LengthRequired,
+    /// The peer closed or truncated the stream mid-request.
+    Truncated,
+    /// Read timed out (idle keep-alive connection) — caller decides
+    /// whether to keep waiting or shut the connection down.
+    Idle,
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl HttpError {
+    /// The status code a server should answer this parse failure with
+    /// (`None`: nothing to answer — the peer is gone or merely idle).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::PayloadTooLarge => Some((413, "Payload Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::Truncated | HttpError::Idle | HttpError::Io(_) => None,
+        }
+    }
+}
+
+fn io_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Idle,
+        io::ErrorKind::UnexpectedEof => HttpError::Truncated,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, excluding the terminator.
+/// `limit` bounds the bytes buffered; EOF before any byte yields `None`.
+fn read_line<R: BufRead>(r: &mut R, limit: usize) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let s = String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header data".into()))?;
+                    return Ok(Some(s));
+                }
+                if line.len() >= limit {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+}
+
+/// Parse one request from the stream.
+///
+/// `Ok(None)` means the peer closed cleanly before sending anything — the
+/// normal end of a keep-alive session, not an error.
+pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(r, MAX_REQUEST_LINE)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::BadRequest("bad method".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::BadRequest("bad request target".into()))?
+        .to_owned();
+    let http11 = match parts.next() {
+        Some("HTTP/1.1") => true,
+        Some("HTTP/1.0") => false,
+        _ => return Err(HttpError::BadRequest("bad HTTP version".into())),
+    };
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("extra tokens in request line".into()));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, MAX_HEADER_LINE)?.ok_or(HttpError::Truncated)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest("header without ':'".into()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("bad header name".into()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+
+    let content_length = match req.header("content-length") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length".into()))?,
+        ),
+        None => None,
+    };
+    if req.header("transfer-encoding").is_some() {
+        // Chunked bodies are out of scope for this API surface.
+        return Err(HttpError::BadRequest(
+            "Transfer-Encoding unsupported".into(),
+        ));
+    }
+    match content_length {
+        Some(n) if n > MAX_BODY => return Err(HttpError::PayloadTooLarge),
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            r.read_exact(&mut body).map_err(io_error)?;
+            req.body = body;
+        }
+        None if req.method == "POST" || req.method == "PUT" => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => {}
+    }
+    Ok(Some(req))
+}
+
+/// A response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(&'static str, String)>,
+    /// Content type of `body`.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, reason: &'static str, body: &crate::json::Json) -> Self {
+        Response {
+            status,
+            reason,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.to_text().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            reason,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Serialize to the wire, stamping the connection disposition.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        write!(w, "Content-Type: {}\r\n", self.content_type)?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(
+            w,
+            "Connection: {}\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// A response as read back by the client side (`servebench`, tests).
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 text.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Read one response off the stream (client side).
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError> {
+    let status_line = read_line(r, MAX_REQUEST_LINE)?.ok_or(HttpError::Truncated)?;
+    let mut parts = status_line.split(' ');
+    match parts.next() {
+        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+        _ => return Err(HttpError::BadRequest("bad status line".into())),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::BadRequest("bad status code".into()))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, MAX_HEADER_LINE)?.ok_or(HttpError::Truncated)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let n: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| HttpError::BadRequest("response without Content-Length".into()))?;
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body).map_err(io_error)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Serialize a request for the wire (client side).
+pub fn write_request<W: Write>(
+    w: &mut W,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(w, "{method} {path} HTTP/1.1\r\nHost: localhost\r\n")?;
+    if !keep_alive {
+        w.write_all(b"Connection: close\r\n")?;
+    }
+    if let Some(body) = body {
+        write!(
+            w,
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        w.write_all(body)?;
+    } else {
+        w.write_all(b"\r\n")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        parse_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert!(req.http11);
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+        let req = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive(), "1.0 defaults to close");
+        let req = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let err = parse("POST /v1/predict HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::LengthRequired);
+        assert_eq!(err.status(), Some((411, "Length Required")));
+    }
+
+    #[test]
+    fn declared_body_over_limit_is_413() {
+        let raw = format!(
+            "POST /v1/predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::PayloadTooLarge);
+    }
+
+    #[test]
+    fn truncated_body_is_detected() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err, HttpError::Truncated);
+    }
+
+    #[test]
+    fn oversized_header_line_is_431() {
+        let raw = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(9000));
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            "GET\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            match parse(bad) {
+                Err(HttpError::BadRequest(_)) => {}
+                other => panic!("{bad:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn keep_alive_reuse_parses_back_to_back_requests() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nPOST /v1/predict HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut cur = Cursor::new(raw.as_bytes().to_vec());
+        let a = parse_request(&mut cur).unwrap().unwrap();
+        let b = parse_request(&mut cur).unwrap().unwrap();
+        let c = parse_request(&mut cur).unwrap().unwrap();
+        assert_eq!(a.path, "/healthz");
+        assert_eq!(b.body, b"{}");
+        assert_eq!(c.path, "/metrics");
+        assert!(!c.keep_alive());
+        assert!(parse_request(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn response_roundtrips_through_client_parser() {
+        let resp = Response::json(200, "OK", &crate::json::Json::Bool(true))
+            .with_header("Retry-After", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.body_text(), "true");
+    }
+
+    #[test]
+    fn request_writer_roundtrips_through_request_parser() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/predict", Some(b"{\"a\":1}"), true).unwrap();
+        let req = parse_request(&mut Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+}

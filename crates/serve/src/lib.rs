@@ -1,0 +1,31 @@
+//! Online inference serving for the stress-detection chain.
+//!
+//! Wraps trained `Describe → Assess → Highlight` pipelines (§III of the
+//! paper) in an HTTP/1.1 API so the model can be queried interactively —
+//! the deployment story for a monitoring product built on the paper's
+//! method.  Everything is hand-rolled over `std` (see DESIGN.md §2: the
+//! workspace builds without registry access).
+//!
+//! The serving core is a micro-batching scheduler: requests admitted
+//! through a bounded queue are grouped into small batches and dispatched
+//! through the deterministic [`runtime::Pool`], trading a bounded batching
+//! window of latency for parallel throughput.  Responses are pure
+//! functions of `(model, request)`, so a request with a fixed seed is
+//! byte-identical no matter how it was batched or how many worker threads
+//! ran it — the serving layer inherits the workspace's reproducibility
+//! guarantee instead of breaking it.
+//!
+//! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /healthz`,
+//! `GET /readyz`, `GET /metrics`, `POST /admin/shutdown`.
+
+pub mod api;
+pub mod batch;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batch::{BatchConfig, Scheduler, SubmitError};
+pub use registry::{ModelEntry, Registry};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,267 @@
+//! Server observability: counters, gauges, a batch-size distribution and
+//! latency reservoirs with p50/p95/p99, rendered in the Prometheus text
+//! exposition format at `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use evalkit::timing::percentiles;
+
+/// Cap on retained latency samples per route (a sliding window: once full,
+/// new samples overwrite the oldest, so percentiles track recent traffic).
+const RESERVOIR_CAP: usize = 8192;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last bucket
+/// is open-ended.
+const BATCH_BUCKETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// A sliding-window latency reservoir.
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<f64>,
+    /// Next overwrite position once the window is full.
+    cursor: usize,
+    /// Lifetime sample count (not capped).
+    count: u64,
+    /// Lifetime sum of seconds (not capped).
+    sum: f64,
+}
+
+impl Reservoir {
+    fn record(&mut self, seconds: f64) {
+        self.count += 1;
+        self.sum += seconds;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(seconds);
+        } else {
+            self.samples[self.cursor] = seconds;
+            self.cursor = (self.cursor + 1) % RESERVOIR_CAP;
+        }
+    }
+
+    /// `(p50, p95, p99)` over the window, if any samples exist.
+    fn quantiles(&self) -> Option<[f64; 3]> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut window = self.samples.clone();
+        let v = percentiles(&mut window, &[0.50, 0.95, 0.99]);
+        Some([v[0], v[1], v[2]])
+    }
+}
+
+/// All server metrics. Cheap to update from any thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted per route outcome.
+    pub predict_ok: AtomicU64,
+    /// Explain requests served.
+    pub explain_ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub client_errors: AtomicU64,
+    /// Responses with a 5xx status.
+    pub server_errors: AtomicU64,
+    /// Predict submissions rejected because the admission queue was full.
+    pub queue_rejected: AtomicU64,
+    /// Current admission-queue depth (set by the scheduler).
+    pub queue_depth: AtomicUsize,
+    /// Batch-size distribution (bucketed; see `BATCH_BUCKETS`).
+    batch_buckets: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// Total batches dispatched.
+    pub batches: AtomicU64,
+    predict_latency: Mutex<Reservoir>,
+    explain_latency: Mutex<Reservoir>,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record a served predict request's end-to-end seconds.
+    pub fn record_predict(&self, seconds: f64) {
+        self.predict_ok.fetch_add(1, Ordering::Relaxed);
+        self.predict_latency
+            .lock()
+            .expect("metrics lock")
+            .record(seconds);
+    }
+
+    /// Record a served explain request's end-to-end seconds.
+    pub fn record_explain(&self, seconds: f64) {
+        self.explain_ok.fetch_add(1, Ordering::Relaxed);
+        self.explain_latency
+            .lock()
+            .expect("metrics lock")
+            .record(seconds);
+    }
+
+    /// Record a response status (called once per response written).
+    pub fn record_status(&self, status: u16) {
+        if (400..500).contains(&status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else if status >= 500 {
+            self.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a dispatched batch's size.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BUCKETS.len());
+        self.batch_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served on the two inference routes.
+    pub fn served(&self) -> u64 {
+        self.predict_ok.load(Ordering::Relaxed) + self.explain_ok.load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "serve_predict_requests_total",
+            "Predict requests served",
+            self.predict_ok.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "serve_explain_requests_total",
+            "Explain requests served",
+            self.explain_ok.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "serve_client_errors_total",
+            "Responses with a 4xx status",
+            self.client_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "serve_server_errors_total",
+            "Responses with a 5xx status",
+            self.server_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "serve_queue_rejected_total",
+            "Predict requests rejected by admission control",
+            self.queue_rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "serve_batches_total",
+            "Micro-batches dispatched",
+            self.batches.load(Ordering::Relaxed),
+        );
+        out.push_str(&format!(
+            "# HELP serve_queue_depth Current admission-queue depth\n# TYPE serve_queue_depth gauge\nserve_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP serve_batch_size Batch-size distribution\n# TYPE serve_batch_size histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, &bound) in BATCH_BUCKETS.iter().enumerate() {
+            cumulative += self.batch_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "serve_batch_size_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.batch_buckets[BATCH_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "serve_batch_size_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+
+        for (route, reservoir) in [
+            ("predict", &self.predict_latency),
+            ("explain", &self.explain_latency),
+        ] {
+            let r = reservoir.lock().expect("metrics lock");
+            out.push_str(&format!(
+                "# HELP serve_{route}_latency_seconds End-to-end {route} latency\n# TYPE serve_{route}_latency_seconds summary\n"
+            ));
+            if let Some([p50, p95, p99]) = r.quantiles() {
+                out.push_str(&format!(
+                    "serve_{route}_latency_seconds{{quantile=\"0.5\"}} {p50:.6}\n"
+                ));
+                out.push_str(&format!(
+                    "serve_{route}_latency_seconds{{quantile=\"0.95\"}} {p95:.6}\n"
+                ));
+                out.push_str(&format!(
+                    "serve_{route}_latency_seconds{{quantile=\"0.99\"}} {p99:.6}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "serve_{route}_latency_seconds_sum {:.6}\nserve_{route}_latency_seconds_count {}\n",
+                r.sum, r.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_counters_and_quantiles() {
+        let m = Metrics::new();
+        m.record_predict(0.010);
+        m.record_predict(0.020);
+        m.record_predict(0.030);
+        m.record_batch(3);
+        m.record_status(429);
+        m.queue_depth.store(2, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("serve_predict_requests_total 3"));
+        assert!(text.contains("serve_client_errors_total 1"));
+        assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("serve_batch_size_bucket{le=\"4\"} 1"));
+        assert!(text.contains("quantile=\"0.5\"} 0.020000"));
+        assert!(text.contains("serve_predict_latency_seconds_count 3"));
+        // No explain traffic yet: count present, quantiles absent.
+        assert!(text.contains("serve_explain_latency_seconds_count 0"));
+        assert!(!text.contains("serve_explain_latency_seconds{quantile"));
+    }
+
+    #[test]
+    fn reservoir_slides_once_full() {
+        let mut r = Reservoir::default();
+        for i in 0..(RESERVOIR_CAP + 10) {
+            r.record(i as f64);
+        }
+        assert_eq!(r.samples.len(), RESERVOIR_CAP);
+        assert_eq!(r.count, (RESERVOIR_CAP + 10) as u64);
+        // The oldest samples were overwritten by the newest.
+        assert!(r.samples.contains(&(RESERVOIR_CAP as f64 + 9.0)));
+        assert!(!r.samples.contains(&0.0));
+    }
+
+    #[test]
+    fn batch_bucket_edges() {
+        let m = Metrics::new();
+        m.record_batch(1);
+        m.record_batch(2);
+        m.record_batch(33);
+        let text = m.render();
+        assert!(text.contains("serve_batch_size_bucket{le=\"1\"} 1"));
+        assert!(text.contains("serve_batch_size_bucket{le=\"2\"} 2"));
+        assert!(text.contains("serve_batch_size_bucket{le=\"32\"} 2"));
+        assert!(text.contains("serve_batch_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("serve_batches_total 3"));
+    }
+}

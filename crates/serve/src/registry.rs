@@ -1,0 +1,136 @@
+//! The model registry: named, trained `Describe → Assess → Highlight`
+//! pipelines the server routes requests to.
+//!
+//! One entry per dataset profile (`uvsd_sim`, `rsl_sim`), each carrying
+//! the trained pipeline, the generative world configuration requests with
+//! a sample spec are synthesized under, and a shared explainer evaluation
+//! cache deduplicating repeated mask coalitions across `/v1/explain`
+//! calls on the same sample.
+
+use chain_reason::{train_pipeline, PipelineConfig, StressPipeline, Variant};
+use explainers::EvalCache;
+use lfm::pretrain::{pretrain, CapabilityProfile};
+use lfm::{Lfm, ModelConfig};
+use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+use videosynth::world::WorldConfig;
+
+/// One served model.
+pub struct ModelEntry {
+    /// Registry name, matching the dataset profile ("uvsd_sim", "rsl_sim").
+    pub name: &'static str,
+    /// The trained pipeline.
+    pub pipeline: StressPipeline,
+    /// Generative world requests with a `spec` input are synthesized under.
+    pub world: WorldConfig,
+    /// Shared mask-evaluation cache for `/v1/explain`.
+    pub cache: EvalCache,
+}
+
+/// All served models, looked up by name.
+pub struct Registry {
+    entries: Vec<ModelEntry>,
+}
+
+impl Registry {
+    /// Train both corpus profiles at a scale — the server's startup path.
+    ///
+    /// Mirrors the bench harness's experiment context: an 80/20 stratified
+    /// split of the generated corpus, a capability-pretrained base, and
+    /// Algorithm 1 (`Variant::Full`) on the training split.
+    pub fn train(scale: Scale, seed: u64) -> Self {
+        let au = Dataset::generate(DatasetProfile::disfa(Scale::Full), seed ^ 0xA0);
+        let entries = [
+            ("uvsd_sim", DatasetProfile::uvsd(scale)),
+            ("rsl_sim", DatasetProfile::rsl(scale)),
+        ]
+        .into_iter()
+        .map(|(name, profile)| {
+            let world = profile.world.clone();
+            let ds = Dataset::generate(profile, seed);
+            let (train_idx, _) = ds.train_test_split(0.8, seed ^ 0x51);
+            let train: Vec<_> = train_idx.iter().map(|&i| ds.samples[i].clone()).collect();
+
+            let mut base = Lfm::new(ModelConfig::small(), seed ^ 0xBA5E);
+            let capability = match scale {
+                Scale::Smoke => CapabilityProfile::base().scaled(0.25),
+                _ => CapabilityProfile::base(),
+            };
+            pretrain(&mut base, &capability, seed ^ 0x9E7);
+
+            let mut cfg = match scale {
+                Scale::Smoke => PipelineConfig::smoke(),
+                _ => PipelineConfig::default_experiment(),
+            };
+            cfg.seed = seed;
+            let (pipeline, _) = train_pipeline(base, cfg, &au.samples, &train, Variant::Full);
+            ModelEntry {
+                name,
+                pipeline,
+                world,
+                cache: EvalCache::new(),
+            }
+        })
+        .collect();
+        Registry { entries }
+    }
+
+    /// Untrained tiny models under the same names — loads in milliseconds.
+    ///
+    /// For tests and smoke tooling that exercise the serving path
+    /// (batching, determinism, backpressure) without paying for training;
+    /// predictions are arbitrary but exactly as deterministic as trained
+    /// ones.
+    pub fn untrained(seed: u64) -> Self {
+        let entries = [
+            ("uvsd_sim", WorldConfig::uvsd_like()),
+            ("rsl_sim", WorldConfig::rsl_like()),
+        ]
+        .into_iter()
+        .map(|(name, world)| ModelEntry {
+            name,
+            pipeline: StressPipeline::new(
+                Lfm::new(ModelConfig::tiny(), seed),
+                PipelineConfig::smoke(),
+            ),
+            world,
+            cache: EvalCache::new(),
+        })
+        .collect();
+        Registry { entries }
+    }
+
+    /// Entry by name.
+    pub fn get(&self, name: &str) -> Option<&ModelEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Entry by positional index (how batched jobs reference models).
+    pub fn entry(&self, idx: usize) -> &ModelEntry {
+        &self.entries[idx]
+    }
+
+    /// Index of a named entry.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// All model names, registry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_registry_serves_both_profiles() {
+        let r = Registry::untrained(3);
+        assert_eq!(r.names(), vec!["uvsd_sim", "rsl_sim"]);
+        assert!(r.get("uvsd_sim").is_some());
+        assert!(r.get("imagenet").is_none());
+        assert_eq!(r.index_of("rsl_sim"), Some(1));
+        assert_eq!(r.entry(1).name, "rsl_sim");
+    }
+}

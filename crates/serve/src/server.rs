@@ -1,0 +1,339 @@
+//! The TCP server: accept loop, request routing, graceful drain.
+//!
+//! Thread-per-connection with keep-alive.  The accept loop runs
+//! non-blocking with a short poll so a shutdown flag can stop it without
+//! platform-specific tricks; connection handlers use read timeouts for the
+//! same reason — an idle keep-alive peer never pins a handler past drain.
+//!
+//! Graceful drain order (see [`Server::shutdown`]): flip the shutdown
+//! flag, drain the scheduler (everything already admitted completes; new
+//! submissions answer `503`), join the accept thread, join the handlers.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::batch::{BatchConfig, Scheduler, SubmitError};
+use crate::http::{parse_request, HttpError, Request, Response};
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+
+/// How long the accept loop sleeps between polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Read timeout on connection sockets — the cadence at which idle
+/// keep-alive handlers re-check the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address ("127.0.0.1:0" picks an ephemeral port).
+    pub addr: String,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+    /// Worker threads for batch dispatch (0 = all cores / `SRCR_THREADS`).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// Everything a connection handler needs.
+struct State {
+    registry: Arc<Registry>,
+    scheduler: Scheduler,
+    metrics: Arc<Metrics>,
+    /// Set once drain starts; handlers and the accept loop wind down.
+    shutdown: AtomicBool,
+    /// Set by `POST /admin/shutdown`; the serve binary polls it.
+    shutdown_requested: AtomicBool,
+}
+
+/// A running server.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind and start serving a registry.
+    pub fn start(registry: Registry, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(
+            cfg.addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::other("unresolvable bind address"))?,
+        )?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let registry = Arc::new(registry);
+        let metrics = Arc::new(Metrics::new());
+        let pool = Arc::new(runtime::Pool::new(cfg.threads));
+        let scheduler =
+            Scheduler::start(Arc::clone(&registry), pool, Arc::clone(&metrics), cfg.batch);
+        let state = Arc::new(State {
+            registry,
+            scheduler,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &state, &handlers))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The bound address (with the concrete ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics (for tests and the binary's exit summary).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Whether a client asked the server to stop via `POST /admin/shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, finish all admitted work, join every
+    /// thread.  Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.scheduler.drain();
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop panicked");
+        }
+        let drained: Vec<_> = self
+            .handlers
+            .lock()
+            .expect("handler registry")
+            .drain(..)
+            .collect();
+        for h in drained {
+            h.join().expect("connection handler panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<State>, handlers: &Mutex<Vec<JoinHandle<()>>>) {
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(stream, &state))
+                    .expect("spawn connection handler");
+                handlers.lock().expect("handler registry").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &State) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match parse_request(&mut reader) {
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive() && !state.shutdown.load(Ordering::Acquire);
+                let resp = route(&req, state);
+                state.metrics.record_status(resp.status);
+                if resp.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            // Clean end of a keep-alive session.
+            Ok(None) => return,
+            Err(HttpError::Idle) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(e) => {
+                if let Some((status, reason)) = e.status() {
+                    let body = obj(vec![("error", Json::String(reason.to_owned()))]);
+                    let resp = Response::json(status, reason, &body);
+                    state.metrics.record_status(status);
+                    let _ = resp.write_to(&mut writer, false);
+                }
+                // Malformed, truncated or dead peer: drop the connection.
+                return;
+            }
+        }
+    }
+}
+
+fn route(req: &Request, state: &State) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
+        ("GET", "/readyz") => readyz(state),
+        ("GET", "/metrics") => Response::text(200, "OK", state.metrics.render()),
+        ("POST", "/v1/predict") => predict(req, state),
+        ("POST", "/v1/explain") => explain(req, state),
+        ("POST", "/admin/shutdown") => {
+            state.shutdown_requested.store(true, Ordering::Release);
+            Response::json(200, "OK", &obj(vec![("draining", Json::Bool(true))]))
+        }
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/predict" | "/v1/explain") => Response::json(
+            405,
+            "Method Not Allowed",
+            &obj(vec![("error", Json::String("method not allowed".into()))]),
+        ),
+        _ => Response::json(
+            404,
+            "Not Found",
+            &obj(vec![("error", Json::String("no such route".into()))]),
+        ),
+    }
+}
+
+fn readyz(state: &State) -> Response {
+    if state.shutdown.load(Ordering::Acquire) {
+        return Response::json(
+            503,
+            "Service Unavailable",
+            &obj(vec![("ready", Json::Bool(false))]),
+        );
+    }
+    let models = state
+        .registry
+        .names()
+        .into_iter()
+        .map(|n| Json::String(n.to_owned()))
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        &obj(vec![
+            ("ready", Json::Bool(true)),
+            ("queue_depth", Json::Number(state.scheduler.depth() as f64)),
+            ("models", Json::Array(models)),
+        ]),
+    )
+}
+
+fn predict(req: &Request, state: &State) -> Response {
+    let started = Instant::now();
+    let registry = &state.registry;
+    let parsed = api::parse_predict(&req.body, |name| {
+        registry.get(name).map(|e| e.world.clone())
+    });
+    let request = match parsed {
+        Ok(r) => r,
+        Err(e) => return api_error(e),
+    };
+    let entry = registry
+        .index_of(&request.model)
+        .expect("parse_predict validated the model name");
+    match state.scheduler.submit(entry, request) {
+        Ok(rx) => match rx.recv() {
+            Ok(body) => {
+                state
+                    .metrics
+                    .record_predict(started.elapsed().as_secs_f64());
+                Response {
+                    status: 200,
+                    reason: "OK",
+                    headers: Vec::new(),
+                    content_type: "application/json",
+                    body: body.into_bytes(),
+                }
+            }
+            // The batcher is gone mid-flight — only on unclean teardown.
+            Err(_) => Response::json(
+                500,
+                "Internal Server Error",
+                &obj(vec![("error", Json::String("scheduler stopped".into()))]),
+            ),
+        },
+        Err(SubmitError::QueueFull) => Response::json(
+            429,
+            "Too Many Requests",
+            &obj(vec![("error", Json::String("queue full".into()))]),
+        )
+        .with_header("Retry-After", "1"),
+        Err(SubmitError::Draining) => Response::json(
+            503,
+            "Service Unavailable",
+            &obj(vec![("error", Json::String("draining".into()))]),
+        ),
+    }
+}
+
+fn explain(req: &Request, state: &State) -> Response {
+    let started = Instant::now();
+    let registry = &state.registry;
+    let parsed = api::parse_explain(&req.body, |name| {
+        registry.get(name).map(|e| e.world.clone())
+    });
+    let request = match parsed {
+        Ok(r) => r,
+        Err(e) => return api_error(e),
+    };
+    let entry = registry
+        .get(&request.predict.model)
+        .expect("parse_explain validated the model name");
+    // Explain runs on the handler thread: its inner mask sweep is already
+    // a large deterministic computation, not worth cross-request batching.
+    let body = api::explain_response(entry, &request);
+    state
+        .metrics
+        .record_explain(started.elapsed().as_secs_f64());
+    Response::json(200, "OK", &body)
+}
+
+fn api_error(e: api::ApiError) -> Response {
+    let reason = match e.status {
+        404 => "Not Found",
+        _ => "Bad Request",
+    };
+    Response::json(e.status, reason, &e.body())
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the hand-rolled HTTP/1.1 request parser.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use serve::http::{parse_request, HttpError, MAX_REQUEST_LINE};
+
+proptest! {
+    /// The parser is total: arbitrary bytes never panic it — they parse,
+    /// hit clean EOF, or map to a typed error.
+    #[test]
+    fn parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let _ = parse_request(&mut Cursor::new(bytes));
+    }
+
+    /// `Content-Length` framing recovers the exact body at every size.
+    #[test]
+    fn content_length_framing_round_trips(n in 0usize..600) {
+        let body: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let mut wire =
+            format!("POST /v1/predict HTTP/1.1\r\nContent-Length: {n}\r\n\r\n").into_bytes();
+        wire.extend_from_slice(&body);
+        let req = parse_request(&mut Cursor::new(wire)).unwrap().unwrap();
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// Cutting a valid request at any interior byte is detected: the
+    /// parser never fabricates a complete request from a truncated one.
+    #[test]
+    fn truncation_never_yields_a_request(cut in 1usize..60) {
+        let wire = b"POST /p HTTP/1.1\r\nContent-Length: 20\r\n\r\n01234567890123456789";
+        prop_assume!(cut < wire.len());
+        match parse_request(&mut Cursor::new(wire[..cut].to_vec())) {
+            Err(_) => {}
+            Ok(got) => prop_assert!(false, "truncated parse yielded {got:?}"),
+        }
+    }
+
+    /// Request lines beyond the limit are rejected as oversized, no
+    /// matter how far beyond the limit they go.
+    #[test]
+    fn oversized_request_line_is_bounded(extra in 1usize..64) {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + extra));
+        prop_assert_eq!(
+            parse_request(&mut Cursor::new(raw.into_bytes())).unwrap_err(),
+            HttpError::HeadersTooLarge
+        );
+    }
+
+    /// A keep-alive stream of pipelined requests parses each in turn and
+    /// ends with a clean EOF.
+    #[test]
+    fn keep_alive_pipelining(k in 1usize..6, n in 0usize..32) {
+        let mut wire = Vec::new();
+        for _ in 0..k {
+            wire.extend_from_slice(
+                format!("POST /e HTTP/1.1\r\nContent-Length: {n}\r\n\r\n").as_bytes(),
+            );
+            wire.extend(std::iter::repeat_n(b'x', n));
+        }
+        let mut cur = Cursor::new(wire);
+        for _ in 0..k {
+            let req = parse_request(&mut cur).unwrap().unwrap();
+            prop_assert_eq!(req.body.len(), n);
+            prop_assert!(req.keep_alive());
+        }
+        prop_assert!(parse_request(&mut cur).unwrap().is_none());
+    }
+}

@@ -14,4 +14,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace --offline -q
 
+echo "==> cargo test -p serve -q (inference server: unit + proptest + loopback)"
+cargo test -p serve --offline -q
+
+echo "==> scripts/serve_smoke.sh"
+bash scripts/serve_smoke.sh
+
 echo "CI green."

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the inference server: boot `serve` on an
+# ephemeral port with untrained tiny models (fast), issue one predict and
+# one explain over real HTTP, assert 200s with well-formed JSON, then shut
+# down cleanly via POST /admin/shutdown and verify the process exits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --offline -q -p serve --bin serve
+
+out="$(mktemp -d)"
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$out"' EXIT
+
+target/debug/serve --untrained --addr 127.0.0.1:0 >"$out/stdout" 2>"$out/stderr" &
+pid=$!
+
+# The binary prints "listening on http://HOST:PORT" once bound.
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#^listening on http://##p' "$out/stdout" | head -n 1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve_smoke: server never reported its address"; cat "$out/stderr"; exit 1; }
+echo "serve_smoke: server at $addr"
+
+predict='{"model":"uvsd_sim","seed":7,"input":{"spec":{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}'
+explain='{"model":"rsl_sim","seed":7,"method":"lime","budget":16,"input":{"spec":{"subject_seed":3,"condition":"unstressed","sample_id":2,"num_frames":4}}}'
+
+code="$(curl -s -o "$out/predict.json" -w '%{http_code}' -X POST "http://$addr/v1/predict" -d "$predict")"
+[ "$code" = 200 ] || { echo "serve_smoke: predict returned $code"; cat "$out/predict.json"; exit 1; }
+jq -e '.assessment and .score != null and .highlighted_regions' "$out/predict.json" >/dev/null
+echo "serve_smoke: predict ok ($(jq -r .assessment "$out/predict.json"), score $(jq -r .score "$out/predict.json"))"
+
+code="$(curl -s -o "$out/explain.json" -w '%{http_code}' -X POST "http://$addr/v1/explain" -d "$explain")"
+[ "$code" = 200 ] || { echo "serve_smoke: explain returned $code"; cat "$out/explain.json"; exit 1; }
+jq -e '.segments > 0 and (.scores | length) == .segments' "$out/explain.json" >/dev/null
+echo "serve_smoke: explain ok ($(jq -r .segments "$out/explain.json") segments)"
+
+curl -s "http://$addr/metrics" | grep -q 'serve_predict_requests_total 1' \
+  || { echo "serve_smoke: metrics missing the predict counter"; exit 1; }
+
+curl -s -X POST "http://$addr/admin/shutdown" -d '{}' >/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "serve_smoke: server did not exit after /admin/shutdown"
+  exit 1
+fi
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "serve_smoke: clean shutdown. PASS"
