@@ -1,0 +1,268 @@
+//! decodebench — end-to-end generation throughput of the KV-cached
+//! incremental decode path against the naive full-recompute oracle.
+//!
+//! ```text
+//! decodebench [--scale tiny|small] [--seed N] [--steps 8,32,64] \
+//!             [--pad N] [--threads N] [--out PATH]
+//! ```
+//!
+//! Both paths decode the *same* forced (non-eos) token sequence after the
+//! same describe-style prompt, so they do identical logical work; the
+//! naive path re-runs the whole graph per token (`last_logits_full`)
+//! while the cached path prefills once and appends one row per token.
+//! The final-position logits of the two paths are asserted bit-identical
+//! before any number is reported — a benchmark run is also an
+//! equivalence check.
+//!
+//! Reports prefill/decode split and tokens/s, and writes a JSON record
+//! (for `scripts/bench_decode.sh` → `BENCH_decode.json`).
+
+use std::time::Instant;
+
+use facs::au::AuVector;
+use lfm::{InferSession, Lfm, ModelConfig, Prompt, Special, TokenId};
+use videosynth::render::render_face;
+
+struct Args {
+    scale: String,
+    seed: u64,
+    steps: Vec<usize>,
+    pad: usize,
+    threads: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: "small".into(),
+        seed: 7,
+        steps: vec![8, 32, 64],
+        pad: 24,
+        threads: 0,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = value("--scale")?;
+                if !matches!(args.scale.as_str(), "tiny" | "small") {
+                    return Err(format!("unknown scale {:?} (tiny|small)", args.scale));
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--steps: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.steps.is_empty() || args.steps.contains(&0) {
+                    return Err("--steps needs positive counts".into());
+                }
+            }
+            "--pad" => args.pad = value("--pad")?.parse().map_err(|e| format!("--pad: {e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A describe-style prompt — instruction special, rendered face image,
+/// `pad` separators to control prefill length, then Bos.
+fn prompt(m: &Lfm, pad: usize) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_image(&m.cfg, &render_face(&AuVector::zeros(), 0.01, 1));
+    p.push_tokens(&vec![m.vocab.special(Special::Sep); pad]);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+/// The forced decode sequence: `n` deterministic non-eos tokens, cycling
+/// the vocabulary so both paths push identical context.
+fn forced_tokens(m: &Lfm, n: usize) -> Vec<TokenId> {
+    let eos = m.vocab.special(Special::Eos);
+    let len = m.vocab.len() as TokenId;
+    (0..n)
+        .map(|i| {
+            let t = (i as TokenId).wrapping_mul(7).wrapping_add(1) % len;
+            if t == eos {
+                (t + 1) % len
+            } else {
+                t
+            }
+        })
+        .collect()
+}
+
+struct Run {
+    new_tokens: usize,
+    naive_s: f64,
+    prefill_s: f64,
+    decode_s: f64,
+}
+
+impl Run {
+    fn naive_tok_s(&self) -> f64 {
+        self.new_tokens as f64 / self.naive_s
+    }
+    fn cached_tok_s(&self) -> f64 {
+        self.new_tokens as f64 / self.decode_s
+    }
+    /// End-to-end: the naive loop amortises its "prefill" into every
+    /// step, so the fair comparison includes the session's prefill.
+    fn speedup(&self) -> f64 {
+        self.naive_s / (self.prefill_s + self.decode_s)
+    }
+}
+
+fn measure(m: &Lfm, p: &Prompt, n: usize) -> Run {
+    let toks = forced_tokens(m, n);
+
+    // Naive: full graph recompute for every next-token query.
+    let started = Instant::now();
+    let mut answer: Vec<TokenId> = Vec::new();
+    let mut naive_logits = Vec::new();
+    for &t in &toks {
+        naive_logits = m.last_logits_full(p, &answer);
+        answer.push(t);
+    }
+    let naive_s = started.elapsed().as_secs_f64();
+
+    // Cached: prefill once, then one incremental row per token.
+    let mut session = InferSession::new(m);
+    let started = Instant::now();
+    session.set_context(m, p, &[]);
+    let prefill_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let mut cached_logits: &[f32] = &[];
+    for &t in toks.iter().take(n - 1) {
+        cached_logits = session.push_token(m, t);
+    }
+    let decode_s = started.elapsed().as_secs_f64();
+
+    // The benchmark is only meaningful if the two paths agree bitwise at
+    // the last compared position (logits after n-1 pushed tokens).
+    assert_eq!(
+        naive_logits, cached_logits,
+        "cached decode diverged from the oracle"
+    );
+
+    Run {
+        new_tokens: n,
+        naive_s,
+        prefill_s,
+        decode_s,
+    }
+}
+
+fn json(args: &Args, prompt_len: usize, runs: &[Run]) -> String {
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"new_tokens\":{},\"naive_s\":{:.6},\"naive_tok_s\":{:.2},",
+                    "\"prefill_s\":{:.6},\"decode_s\":{:.6},\"cached_tok_s\":{:.2},",
+                    "\"speedup\":{:.2}}}"
+                ),
+                r.new_tokens,
+                r.naive_s,
+                r.naive_tok_s(),
+                r.prefill_s,
+                r.decode_s,
+                r.cached_tok_s(),
+                r.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"decode\",\"scale\":\"{}\",\"seed\":{},\"threads\":{},\"prompt_len\":{},\"runs\":[{}]}}\n",
+        args.scale,
+        args.seed,
+        runtime::threads(),
+        prompt_len,
+        rows.join(",")
+    )
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("decodebench: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.threads > 0 {
+        runtime::set_threads(args.threads);
+    }
+    let cfg = match args.scale.as_str() {
+        "tiny" => ModelConfig::tiny(),
+        _ => ModelConfig::small(),
+    };
+    let max_new = cfg.max_seq.saturating_sub(1);
+    let m = Lfm::new(cfg, args.seed);
+    let p = prompt(&m, args.pad);
+    let prompt_len = p.seq_len(&m.cfg);
+    println!(
+        "decodebench: scale={} prompt_len={prompt_len} threads={}",
+        args.scale,
+        runtime::threads()
+    );
+
+    // Warm up allocators and the thread pool before timing anything.
+    measure(&m, &p, 2);
+
+    let mut runs = Vec::new();
+    for &n in &args.steps {
+        // At least one prefill + one incremental step, within max_seq.
+        let n = n.min(max_new.saturating_sub(prompt_len)).max(2);
+        let r = measure(&m, &p, n);
+        println!(
+            "  new_tokens={:>4}  naive {:>8.1} tok/s ({:.3}s)  cached {:>8.1} tok/s (prefill {:.4}s + decode {:.4}s)  speedup {:>5.2}x",
+            r.new_tokens,
+            r.naive_tok_s(),
+            r.naive_s,
+            r.cached_tok_s(),
+            r.prefill_s,
+            r.decode_s,
+            r.speedup(),
+        );
+        runs.push(r);
+    }
+
+    let doc = json(&args, prompt_len, &runs);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("decodebench: write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  wrote {path}");
+    } else {
+        print!("{doc}");
+    }
+
+    // The whole point of the fast path: a worthwhile end-to-end win on
+    // every measured length.
+    let worst = runs.iter().map(Run::speedup).fold(f64::MAX, f64::min);
+    if worst < 1.0 {
+        eprintln!("decodebench: cached path slower than naive ({worst:.2}x)");
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,12 @@
 //! The `Describe → Assess → Highlight` inference pipeline (Eq. 1).
 
 use facs::au::AuSet;
-use lfm::grammar::{generate_description, generate_description_within};
+use lfm::grammar::generate_description_within_session;
 use lfm::instructions::{
     assess_direct_prompt, assess_prompt, assess_prompt_with_examples, describe_prompt,
     highlight_prompt, label_tokens, IclExample,
 };
-use lfm::Lfm;
+use lfm::{InferSession, Lfm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use videosynth::video::{StressLabel, VideoSample};
@@ -40,10 +40,35 @@ impl StressPipeline {
         StressPipeline { model, cfg }
     }
 
+    /// A fresh decoding session for this pipeline's model.  Thread one
+    /// session through repeated calls on related prompts (same video, same
+    /// description) and the KV cache skips the shared prefix.
+    pub fn session(&self) -> InferSession {
+        InferSession::new(&self.model)
+    }
+
     /// **Describe** (I₁): generate a facial-action description of the video.
     pub fn describe(&self, video: &VideoSample, temperature: f32, seed: u64) -> AuSet {
+        self.describe_with_session(&mut self.session(), video, temperature, seed)
+    }
+
+    /// [`describe`](Self::describe) on a caller-owned session.
+    pub fn describe_with_session(
+        &self,
+        session: &mut InferSession,
+        video: &VideoSample,
+        temperature: f32,
+        seed: u64,
+    ) -> AuSet {
         let p = describe_prompt(&self.model, video);
-        generate_description(&self.model, &p, temperature, seed)
+        generate_description_within_session(
+            &self.model,
+            session,
+            &p,
+            AuSet::FULL,
+            temperature,
+            seed,
+        )
     }
 
     /// **Assess** (I₂): judge the stress state given video and description.
@@ -54,8 +79,20 @@ impl StressPipeline {
         temperature: f32,
         seed: u64,
     ) -> StressLabel {
+        self.assess_with_session(&mut self.session(), video, description, temperature, seed)
+    }
+
+    /// [`assess`](Self::assess) on a caller-owned session.
+    pub fn assess_with_session(
+        &self,
+        session: &mut InferSession,
+        video: &VideoSample,
+        description: AuSet,
+        temperature: f32,
+        seed: u64,
+    ) -> StressLabel {
         let p = assess_prompt(&self.model, video, description);
-        self.forced_label(&p, temperature, seed)
+        self.forced_label_with_session(session, &p, temperature, seed)
     }
 
     /// Assess with in-context examples prepended (§IV-F).
@@ -87,16 +124,56 @@ impl StressPipeline {
         temperature: f32,
         seed: u64,
     ) -> AuSet {
+        self.highlight_with_session(
+            &mut self.session(),
+            video,
+            description,
+            assessment,
+            temperature,
+            seed,
+        )
+    }
+
+    /// [`highlight`](Self::highlight) on a caller-owned session.
+    pub fn highlight_with_session(
+        &self,
+        session: &mut InferSession,
+        video: &VideoSample,
+        description: AuSet,
+        assessment: StressLabel,
+        temperature: f32,
+        seed: u64,
+    ) -> AuSet {
         let p = highlight_prompt(&self.model, video, description, assessment);
-        generate_description_within(&self.model, &p, description, temperature, seed)
+        generate_description_within_session(
+            &self.model,
+            session,
+            &p,
+            description,
+            temperature,
+            seed,
+        )
     }
 
     /// Run the whole chain greedily (deployment mode: `seed` only matters
     /// at non-zero temperature).
     pub fn predict(&self, video: &VideoSample, seed: u64) -> ChainOutput {
-        let description = self.describe(video, 0.0, seed);
-        let assessment = self.assess(video, description, 0.0, seed);
-        let rationale = self.highlight(video, description, assessment, 0.0, seed);
+        self.predict_with_session(&mut self.session(), video, seed)
+    }
+
+    /// [`predict`](Self::predict) on a caller-owned session: the three
+    /// stages share one KV cache, so the video prefix and the growing
+    /// chain prompt are embedded once, not three times.
+    pub fn predict_with_session(
+        &self,
+        session: &mut InferSession,
+        video: &VideoSample,
+        seed: u64,
+    ) -> ChainOutput {
+        let description = self.describe_with_session(session, video, 0.0, seed);
+        let assessment = self.assess_with_session(session, video, description, 0.0, seed);
+        let rationale =
+            self.highlight_with_session(session, video, description, assessment, 0.0, seed);
         ChainOutput {
             description,
             assessment,
@@ -106,8 +183,9 @@ impl StressPipeline {
 
     /// Greedy label prediction only (for accuracy evaluation).
     pub fn predict_label(&self, video: &VideoSample) -> StressLabel {
-        let description = self.describe(video, 0.0, video.id as u64);
-        self.assess(video, description, 0.0, video.id as u64)
+        let session = &mut self.session();
+        let description = self.describe_with_session(session, video, 0.0, video.id as u64);
+        self.assess_with_session(session, video, description, 0.0, video.id as u64)
     }
 
     /// p(stressed) of the assess step given the video and a description —
@@ -115,8 +193,20 @@ impl StressPipeline {
     /// This is the confidence the serving API returns with every
     /// prediction, and a pure function of `(model, video, description)`.
     pub fn stress_score(&self, video: &VideoSample, description: AuSet) -> f32 {
+        self.stress_score_with_session(&mut self.session(), video, description)
+    }
+
+    /// [`stress_score`](Self::stress_score) on a caller-owned session —
+    /// after an assess call on the same `(video, description)` the whole
+    /// prompt is a cache hit.
+    pub fn stress_score_with_session(
+        &self,
+        session: &mut InferSession,
+        video: &VideoSample,
+        description: AuSet,
+    ) -> f32 {
         let p = assess_prompt(&self.model, video, description);
-        let dist = self.model.next_token_distribution(&p);
+        let dist = self.model.next_token_distribution_with_session(session, &p);
         let [st, un] = label_tokens(&self.model.vocab);
         let ps = dist[st as usize];
         let pu = dist[un as usize];
@@ -129,15 +219,38 @@ impl StressPipeline {
 
     /// [`predict`](Self::predict) plus the assess-step confidence.
     pub fn predict_scored(&self, video: &VideoSample, seed: u64) -> (ChainOutput, f32) {
-        let out = self.predict(video, seed);
-        let score = self.stress_score(video, out.description);
+        self.predict_scored_with_session(&mut self.session(), video, seed)
+    }
+
+    /// [`predict_scored`](Self::predict_scored) on a caller-owned session,
+    /// so callers can read decode statistics off the session afterwards.
+    pub fn predict_scored_with_session(
+        &self,
+        session: &mut InferSession,
+        video: &VideoSample,
+        seed: u64,
+    ) -> (ChainOutput, f32) {
+        let out = self.predict_with_session(session, video, seed);
+        let score = self.stress_score_with_session(session, video, out.description);
         (out, score)
     }
 
     fn forced_label(&self, p: &lfm::Prompt, temperature: f32, seed: u64) -> StressLabel {
+        self.forced_label_with_session(&mut self.session(), p, temperature, seed)
+    }
+
+    fn forced_label_with_session(
+        &self,
+        session: &mut InferSession,
+        p: &lfm::Prompt,
+        temperature: f32,
+        seed: u64,
+    ) -> StressLabel {
         let [st, un] = label_tokens(&self.model.vocab);
         let mut rng = StdRng::seed_from_u64(seed);
-        let c = self.model.choose(p, &[st, un], temperature, &mut rng);
+        let c = self
+            .model
+            .choose_with_session(session, p, &[st, un], temperature, &mut rng);
         if c == st {
             StressLabel::Stressed
         } else {
@@ -201,6 +314,31 @@ mod tests {
             StressLabel::Unstressed => assert!(score <= 0.5, "score = {score}"),
         }
         assert_eq!(out, p.predict(&v, 0), "scoring must not perturb the chain");
+    }
+
+    #[test]
+    fn shared_session_chain_matches_fresh_sessions() {
+        let p = pipeline();
+        let v = video(5, StressLabel::Stressed);
+        // predict() threads ONE session through all three stages; the
+        // per-stage entry points each use a fresh session.  KV-cache reuse
+        // must not change a single token of the chain.
+        let out = p.predict(&v, 7);
+        let description = p.describe(&v, 0.0, 7);
+        let assessment = p.assess(&v, description, 0.0, 7);
+        let rationale = p.highlight(&v, description, assessment, 0.0, 7);
+        assert_eq!(
+            out,
+            ChainOutput {
+                description,
+                assessment,
+                rationale
+            }
+        );
+        // Same for the scored variant's cache-hit stress_score.
+        let (out2, score) = p.predict_scored(&v, 7);
+        assert_eq!(out2, out);
+        assert_eq!(score, p.stress_score(&v, description));
     }
 
     #[test]

@@ -26,8 +26,12 @@ pub fn helpfulness(
 ) -> f32 {
     let k = pl.cfg.k_repeats;
     let mut correct = 0usize;
+    // All K repeats assess the same prompt: after the first, the session's
+    // KV cache turns each repeat into a single logits read.
+    let mut session = pl.session();
     for rep in 0..k {
-        let a = pl.assess(
+        let a = pl.assess_with_session(
+            &mut session,
             video,
             description,
             pl.cfg.temperature,
@@ -72,6 +76,9 @@ pub fn verification_faithfulness(
     };
     let choices = choice_tokens(&pl.model.vocab);
     let mut correct = 0usize;
+    // Rounds differ only in slot order; the session reuses the shared
+    // prompt prefix up to the first differing video.
+    let mut session = pl.session();
     for _ in 0..k {
         let slot = rng.random_range(0..4usize);
         let mut slots: Vec<&VideoSample> = Vec::with_capacity(4);
@@ -89,7 +96,9 @@ pub fn verification_faithfulness(
             [slots[0], slots[1], slots[2], slots[3]],
             description,
         );
-        let picked = pl.model.choose(&p, &choices, pl.cfg.temperature, &mut rng);
+        let picked =
+            pl.model
+                .choose_with_session(&mut session, &p, &choices, pl.cfg.temperature, &mut rng);
         if picked == choices[slot] {
             correct += 1;
         }
@@ -188,12 +197,15 @@ pub fn rationale_flip_count(
 ) -> usize {
     let (mut fe, mut fl) = video.expressive_pair();
     let [st, un] = label_tokens(&pl.model.vocab);
+    let mut session = pl.session();
     for (i, au) in rationale.iter().enumerate() {
         fe = mosaic_region(&fe, au.region());
         fl = mosaic_region(&fl, au.region());
         let p = assess_prompt_from_images(&pl.model, &fe, &fl, description);
         let mut rng = StdRng::seed_from_u64(0);
-        let c = pl.model.choose(&p, &[st, un], 0.0, &mut rng);
+        let c = pl
+            .model
+            .choose_with_session(&mut session, &p, &[st, un], 0.0, &mut rng);
         let label = if c == st {
             StressLabel::Stressed
         } else {

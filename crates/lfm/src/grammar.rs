@@ -19,8 +19,8 @@ use facs::describe::{phrase, HEADER, NEUTRAL};
 use facs::region::ALL_REGIONS;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tinynn::graph::Graph;
 
+use crate::infer::InferSession;
 use crate::model::{Lfm, Prompt};
 use crate::vocab::{Special, TokenId, Vocab};
 
@@ -391,30 +391,52 @@ pub fn generate_description_within(
     temperature: f32,
     seed: u64,
 ) -> AuSet {
+    let mut session = InferSession::new(model);
+    generate_description_within_session(model, &mut session, prompt, allowed, temperature, seed)
+}
+
+/// [`generate_description_within`] on a caller-owned [`InferSession`]: the
+/// prompt is prefilled once (reusing any cached common prefix) and each
+/// grammar-constrained step appends a single KV-cached row.  Token
+/// decisions are identical to the full-recompute loop because the logits
+/// at every step are bit-identical and the sampler consumes the rng
+/// stream in the same order.
+pub fn generate_description_within_session(
+    model: &Lfm,
+    session: &mut InferSession,
+    prompt: &Prompt,
+    allowed: AuSet,
+    temperature: f32,
+    seed: u64,
+) -> AuSet {
     let dfa = DescriptionDfa::with_allowed(&model.vocab, allowed);
     let mut state = dfa.start();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut tokens: Vec<TokenId> = Vec::new();
     let budget = model
         .cfg
         .max_seq
         .saturating_sub(prompt.seq_len(&model.cfg) + 1);
+    // Prefill lazily: a zero budget must not touch the model at all.
+    let mut primed = false;
 
-    for _ in 0..budget {
+    // `emitted_tokens` counts the tokens pushed so far: every earlier
+    // iteration pushed exactly one (the non-pushing exits all return).
+    for emitted_tokens in 0..budget {
         let mut allowed = dfa.allowed(&state);
         if let Some(set) = dfa.accepting(&state) {
             if !allowed.contains(&dfa.eos) {
                 allowed.push(dfa.eos);
             }
             // Out of budget safety: if the next step would overflow, stop.
-            if tokens.len() + 1 >= budget {
+            if emitted_tokens + 1 >= budget {
                 return set;
             }
         }
-        let mut g = Graph::new();
-        let (logits, _) = model.logits(&mut g, prompt, &tokens);
-        let lv = g.value(logits);
-        let last = lv.row(lv.rows() - 1);
+        if !primed {
+            session.set_context(model, prompt, &[]);
+            primed = true;
+        }
+        let last = session.last_logits();
         let sub: Vec<f32> = allowed.iter().map(|&t| last[t as usize]).collect();
         let pick = allowed[tinynn::rngutil::sample_logits(&mut rng, &sub, temperature)];
         if pick == dfa.eos {
@@ -423,7 +445,7 @@ pub fn generate_description_within(
                 .expect("Eos only offered at accepting states");
         }
         state = dfa.advance(state, pick);
-        tokens.push(pick);
+        session.push_token(model, pick);
     }
     // Budget exhausted: return whatever is emitted so far.
     dfa.accepting(&state).unwrap_or(AuSet::EMPTY)

@@ -1,0 +1,315 @@
+//! KV-cached incremental decoding for the [`Lfm`] — the grad-free fast
+//! path behind [`Lfm::generate`], [`Lfm::next_token_distribution`] and
+//! [`Lfm::choose`].
+//!
+//! An [`InferSession`] holds, per transformer block, a
+//! [`tinynn::infer::KvCache`] over every embedded position, plus the
+//! block-stack output (`hidden`) for each position.  Appending a position
+//! costs O(L·d) attention instead of the tape's O(L²·d) full recompute,
+//! and re-using a session across prompts with a shared prefix (the same
+//! video, the same few-shot examples, the same description) skips the
+//! shared positions entirely via longest-common-prefix truncation.
+//!
+//! Every floating-point operation mirrors the tape ops of
+//! [`Lfm::embed_sequence`] / [`Lfm::decoder_forward`] in the same order, so
+//! the logits — and therefore every sampled token — are bit-identical to
+//! the full-recompute oracle ([`Lfm::generate_full`]).  The argument is
+//! spelled out in DESIGN.md §infer; the token-for-token equality is
+//! asserted in this crate's tests across seeds, temperatures, prompt
+//! lengths and runtime thread counts.
+
+use tinynn::infer::{attend_row, KvCache};
+use tinynn::kernels;
+
+use crate::model::{Lfm, Prompt, Segment};
+use crate::vocab::TokenId;
+
+/// One embedded position of the mixed visual/text stream: the unit of
+/// longest-common-prefix comparison.
+#[derive(Clone, Debug, PartialEq)]
+enum Item {
+    /// A text token.
+    Tok(TokenId),
+    /// One visual token's feature slice (`cfg.vis_feat_per_token()` floats).
+    /// Row `i` of the image projection depends only on this slice, so a
+    /// per-position item is a valid prefix unit.
+    Vis(Vec<f32>),
+}
+
+/// A reusable incremental-decoding session bound to one model's shapes.
+///
+/// The session owns all caches and scratch buffers; methods borrow the
+/// [`Lfm`] for its parameters.  Typical use:
+///
+/// ```ignore
+/// let mut s = InferSession::new(&model);
+/// s.set_context(&model, &prompt, &[]);          // prefill (LCP-aware)
+/// let logits = s.last_logits();                 // sample a token...
+/// s.push_token(&model, tok);                    // ...then decode one row
+/// ```
+#[derive(Clone, Debug)]
+pub struct InferSession {
+    /// Embedded positions, one item each (prefix-comparison key).
+    items: Vec<Item>,
+    /// Per-block KV caches over all embedded positions.
+    caches: Vec<KvCache>,
+    /// Block-stack output (pre-`ln_f`) per position, row-major `[len, d]`.
+    hidden: Vec<f32>,
+    /// Logits of the last position.
+    logits: Vec<f32>,
+    /// Rows embedded by `set_context` since construction (prefill work).
+    prefill_positions: u64,
+    /// Rows appended by `push_token` since construction (decode work).
+    decoded_tokens: u64,
+    // ----- scratch (reused every row; no per-step allocation) -----
+    x: Vec<f32>,
+    n: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>,
+    proj: Vec<f32>,
+    ff: Vec<f32>,
+    scores: Vec<f32>,
+}
+
+impl InferSession {
+    /// Fresh session with caches pre-reserved for `cfg.max_seq` rows.
+    pub fn new(model: &Lfm) -> Self {
+        let cfg = &model.cfg;
+        let d = cfg.d_model;
+        InferSession {
+            items: Vec::with_capacity(cfg.max_seq),
+            caches: (0..cfg.layers)
+                .map(|_| KvCache::new(d, cfg.max_seq))
+                .collect(),
+            hidden: Vec::with_capacity(cfg.max_seq * d),
+            logits: vec![0.0; model.vocab.len()],
+            prefill_positions: 0,
+            decoded_tokens: 0,
+            x: vec![0.0; d],
+            n: vec![0.0; d],
+            q: vec![0.0; d],
+            k: vec![0.0; d],
+            v: vec![0.0; d],
+            attn: vec![0.0; d],
+            proj: vec![0.0; d],
+            ff: vec![0.0; cfg.ff],
+            scores: Vec::with_capacity(cfg.max_seq),
+        }
+    }
+
+    /// Embedded sequence length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True before any context is set.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Rows embedded via [`InferSession::set_context`] so far.
+    pub fn prefill_positions(&self) -> u64 {
+        self.prefill_positions
+    }
+
+    /// Rows appended via [`InferSession::push_token`] so far.
+    pub fn decoded_tokens(&self) -> u64 {
+        self.decoded_tokens
+    }
+
+    /// Logits of the last embedded position (panics on an empty session).
+    pub fn last_logits(&self) -> &[f32] {
+        assert!(!self.items.is_empty(), "no context set");
+        &self.logits
+    }
+
+    /// Make the session's context exactly `prompt ⧺ extra`, reusing the
+    /// longest common prefix with the current context, and return the last
+    /// position's logits.
+    pub fn set_context(&mut self, model: &Lfm, prompt: &Prompt, extra: &[TokenId]) -> &[f32] {
+        let cfg = &model.cfg;
+        let per = cfg.vis_feat_per_token();
+        let mut target: Vec<Item> = Vec::with_capacity(prompt.seq_len(cfg) + extra.len());
+        for seg in prompt.segments() {
+            match seg {
+                Segment::Tokens(toks) => target.extend(toks.iter().map(|&t| Item::Tok(t))),
+                Segment::Image(feats) => {
+                    assert_eq!(feats.len(), cfg.vis_tokens * per, "image feature length");
+                    target.extend(feats.chunks_exact(per).map(|row| Item::Vis(row.to_vec())));
+                }
+            }
+        }
+        target.extend(extra.iter().map(|&t| Item::Tok(t)));
+        let l = target.len();
+        assert!(l > 0, "empty sequence");
+        assert!(
+            l <= cfg.max_seq,
+            "sequence length {l} exceeds max_seq {}",
+            cfg.max_seq
+        );
+
+        let lcp = self
+            .items
+            .iter()
+            .zip(&target)
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.items.truncate(lcp);
+        self.hidden.truncate(lcp * cfg.d_model);
+        for c in &mut self.caches {
+            c.truncate(lcp);
+        }
+        for item in target.into_iter().skip(lcp) {
+            self.process_row(model, item);
+            self.prefill_positions += 1;
+        }
+        self.refresh_logits(model);
+        &self.logits
+    }
+
+    /// Append one text token to the context and return the new logits.
+    pub fn push_token(&mut self, model: &Lfm, tok: TokenId) -> &[f32] {
+        let l = self.items.len() + 1;
+        assert!(
+            l <= model.cfg.max_seq,
+            "sequence length {l} exceeds max_seq {}",
+            model.cfg.max_seq
+        );
+        self.process_row(model, Item::Tok(tok));
+        self.decoded_tokens += 1;
+        self.refresh_logits(model);
+        &self.logits
+    }
+
+    /// Embed and run one position through every block, appending to the
+    /// caches and `hidden`.  Mirrors the tape ops row-wise, in tape order.
+    fn process_row(&mut self, model: &Lfm, item: Item) {
+        let cfg = &model.cfg;
+        let d = cfg.d_model;
+        let pos = self.items.len();
+        let store = &model.store;
+        let p = &model.params;
+
+        // Embedding: token row or visual projection, then the position row
+        // (the tape adds positions once over the whole concatenated stack).
+        match &item {
+            Item::Tok(t) => {
+                let emb = &store.value(p.tok_emb).data;
+                self.x
+                    .copy_from_slice(&emb[*t as usize * d..(*t as usize + 1) * d]);
+            }
+            Item::Vis(feats) => {
+                kernels::linear_row(
+                    &mut self.x,
+                    feats,
+                    &store.value(p.vis_w).data,
+                    &store.value(p.vis_b).data,
+                );
+            }
+        }
+        let posr = &store.value(p.pos_emb).data[pos * d..(pos + 1) * d];
+        for (xi, pi) in self.x.iter_mut().zip(posr) {
+            *xi += pi;
+        }
+
+        let dh = d / cfg.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        for (bp, cache) in p.blocks.iter().zip(&mut self.caches) {
+            // Pre-norm attention.
+            kernels::layer_norm_row(
+                &mut self.n,
+                &self.x,
+                &store.value(bp.ln1_g).data,
+                &store.value(bp.ln1_b).data,
+                1e-5,
+            );
+            kernels::linear_row(
+                &mut self.q,
+                &self.n,
+                &store.value(bp.wq).data,
+                &store.value(bp.bq).data,
+            );
+            kernels::linear_row(
+                &mut self.k,
+                &self.n,
+                &store.value(bp.wk).data,
+                &store.value(bp.bk).data,
+            );
+            kernels::linear_row(
+                &mut self.v,
+                &self.n,
+                &store.value(bp.wv).data,
+                &store.value(bp.bv).data,
+            );
+            cache.append(&self.k, &self.v);
+            attend_row(
+                &mut self.attn,
+                &self.q,
+                cache,
+                cfg.heads,
+                scale,
+                &mut self.scores,
+            );
+            kernels::linear_row(
+                &mut self.proj,
+                &self.attn,
+                &store.value(bp.wo).data,
+                &store.value(bp.bo).data,
+            );
+            for (xi, ai) in self.x.iter_mut().zip(&self.proj) {
+                *xi += ai;
+            }
+
+            // Pre-norm feed-forward.
+            kernels::layer_norm_row(
+                &mut self.n,
+                &self.x,
+                &store.value(bp.ln2_g).data,
+                &store.value(bp.ln2_b).data,
+                1e-5,
+            );
+            kernels::linear_row_gelu(
+                &mut self.ff,
+                &self.n,
+                &store.value(bp.ff1_w).data,
+                &store.value(bp.ff1_b).data,
+            );
+            kernels::linear_row(
+                &mut self.proj,
+                &self.ff,
+                &store.value(bp.ff2_w).data,
+                &store.value(bp.ff2_b).data,
+            );
+            for (xi, hi) in self.x.iter_mut().zip(&self.proj) {
+                *xi += hi;
+            }
+        }
+        self.hidden.extend_from_slice(&self.x);
+        self.items.push(item);
+    }
+
+    /// Recompute the last position's logits from its cached block-stack
+    /// output: `ln_f` then the LM head.
+    fn refresh_logits(&mut self, model: &Lfm) {
+        let store = &model.store;
+        let p = &model.params;
+        let d = model.cfg.d_model;
+        let len = self.items.len();
+        let last = &self.hidden[(len - 1) * d..len * d];
+        kernels::layer_norm_row(
+            &mut self.n,
+            last,
+            &store.value(p.ln_f_g).data,
+            &store.value(p.ln_f_b).data,
+            1e-5,
+        );
+        kernels::linear_row(
+            &mut self.logits,
+            &self.n,
+            &store.value(p.head_w).data,
+            &store.value(p.head_b).data,
+        );
+    }
+}

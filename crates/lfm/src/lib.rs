@@ -18,6 +18,7 @@
 //!   baselines ([`pretrain`]).
 
 pub mod grammar;
+pub mod infer;
 pub mod instructions;
 pub mod model;
 pub mod pretrain;
@@ -25,6 +26,7 @@ pub mod train;
 pub mod vocab;
 
 pub use grammar::generate_description;
+pub use infer::InferSession;
 pub use model::{Lfm, ModelConfig, Prompt, Segment};
 pub use pretrain::CapabilityProfile;
 pub use train::{dpo, sft, DpoPair, SftExample, TrainConfig};

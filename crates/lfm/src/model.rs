@@ -18,6 +18,7 @@ use tinynn::tensor::Tensor;
 use videosynth::image::Image;
 use videosynth::video::VideoSample;
 
+use crate::infer::InferSession;
 use crate::vocab::{Special, TokenId, Vocab};
 
 /// Architecture hyper-parameters.
@@ -502,12 +503,58 @@ impl Lfm {
         g.value(v).item()
     }
 
-    /// Autoregressively sample an answer.
+    /// Autoregressively sample an answer on the KV-cached fast path.
     ///
     /// Sampling uses the Gumbel-max trick at the given `temperature`
     /// (`0` = greedy) and is fully determined by `seed`.  Generation stops
     /// at `Eos` (excluded from the result) or after `max_new` tokens.
+    /// Token-for-token identical to [`Lfm::generate_full`].
     pub fn generate(
+        &self,
+        prompt: &Prompt,
+        max_new: usize,
+        temperature: f32,
+        seed: u64,
+    ) -> Vec<TokenId> {
+        let mut session = InferSession::new(self);
+        self.generate_with_session(&mut session, prompt, max_new, temperature, seed)
+    }
+
+    /// [`Lfm::generate`] on a caller-owned session, reusing any cached
+    /// prefix the session shares with `prompt`.
+    pub fn generate_with_session(
+        &self,
+        session: &mut InferSession,
+        prompt: &Prompt,
+        max_new: usize,
+        temperature: f32,
+        seed: u64,
+    ) -> Vec<TokenId> {
+        let eos = self.vocab.special(Special::Eos);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<TokenId> = Vec::new();
+        let budget = max_new.min(self.cfg.max_seq.saturating_sub(prompt.seq_len(&self.cfg)));
+        if budget == 0 {
+            return out;
+        }
+        session.set_context(self, prompt, &[]);
+        for _ in 0..budget {
+            let next = tinynn::rngutil::sample_logits(&mut rng, session.last_logits(), temperature)
+                as TokenId;
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            session.push_token(self, next);
+        }
+        out
+    }
+
+    /// The pre-session full-recompute sampler: a fresh autodiff graph and a
+    /// complete forward pass per token.  Kept as the reference oracle the
+    /// fast path is tested against (and as the worst case `decodebench`
+    /// measures).
+    pub fn generate_full(
         &self,
         prompt: &Prompt,
         max_new: usize,
@@ -519,11 +566,8 @@ impl Lfm {
         let mut out: Vec<TokenId> = Vec::new();
         let budget = max_new.min(self.cfg.max_seq.saturating_sub(prompt.seq_len(&self.cfg)));
         for _ in 0..budget {
-            let mut g = Graph::new();
-            let (logits, _) = self.logits(&mut g, prompt, &out);
-            let lv = g.value(logits);
-            let last = lv.row(lv.rows() - 1);
-            let next = tinynn::rngutil::sample_logits(&mut rng, last, temperature) as TokenId;
+            let last = self.last_logits_full(prompt, &out);
+            let next = tinynn::rngutil::sample_logits(&mut rng, &last, temperature) as TokenId;
             if next == eos {
                 break;
             }
@@ -532,15 +576,31 @@ impl Lfm {
         out
     }
 
+    /// Last-position logits of `prompt ⧺ answer` on the full-recompute
+    /// graph path — the shared helper behind every oracle entry point.
+    pub fn last_logits_full(&self, prompt: &Prompt, answer: &[TokenId]) -> Vec<f32> {
+        let mut g = Graph::new();
+        let (logits, _) = self.logits(&mut g, prompt, answer);
+        let v = g.value(logits);
+        v.row(v.rows() - 1).to_vec()
+    }
+
     /// Greedy next-token distribution after the prompt (softmax of the last
     /// position's logits).  Useful for forced-choice answers.
     pub fn next_token_distribution(&self, prompt: &Prompt) -> Vec<f32> {
-        let mut g = Graph::new();
-        let x = self.embed_sequence(&mut g, prompt, &[]);
-        let logits = self.decoder_forward(&mut g, x);
-        let sm = g.softmax(logits);
-        let v = g.value(sm);
-        v.row(v.rows() - 1).to_vec()
+        let mut session = InferSession::new(self);
+        self.next_token_distribution_with_session(&mut session, prompt)
+    }
+
+    /// [`Lfm::next_token_distribution`] on a caller-owned session.
+    pub fn next_token_distribution_with_session(
+        &self,
+        session: &mut InferSession,
+        prompt: &Prompt,
+    ) -> Vec<f32> {
+        let mut probs = session.set_context(self, prompt, &[]).to_vec();
+        tinynn::kernels::softmax_row(&mut probs);
+        probs
     }
 
     /// Restricted argmax / sample over a small set of candidate tokens
@@ -552,12 +612,21 @@ impl Lfm {
         temperature: f32,
         rng: &mut R,
     ) -> TokenId {
+        let mut session = InferSession::new(self);
+        self.choose_with_session(&mut session, prompt, candidates, temperature, rng)
+    }
+
+    /// [`Lfm::choose`] on a caller-owned session.
+    pub fn choose_with_session<R: Rng>(
+        &self,
+        session: &mut InferSession,
+        prompt: &Prompt,
+        candidates: &[TokenId],
+        temperature: f32,
+        rng: &mut R,
+    ) -> TokenId {
         assert!(!candidates.is_empty());
-        let mut g = Graph::new();
-        let x = self.embed_sequence(&mut g, prompt, &[]);
-        let logits = self.decoder_forward(&mut g, x);
-        let v = g.value(logits);
-        let last = v.row(v.rows() - 1);
+        let last = session.set_context(self, prompt, &[]);
         let sub: Vec<f32> = candidates.iter().map(|&c| last[c as usize]).collect();
         let idx = tinynn::rngutil::sample_logits(rng, &sub, temperature);
         candidates[idx]

@@ -1,0 +1,150 @@
+//! The incremental-decoding contract: the KV-cached [`InferSession`] path
+//! must be *bit-identical* to the full-recompute graph oracle — same
+//! logits, hence same sampled tokens for the same (prompt, seed,
+//! temperature) — at any runtime thread count.
+
+use facs::au::AuVector;
+use lfm::{InferSession, Lfm, ModelConfig, Prompt, Special};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use videosynth::render::render_face;
+
+fn model() -> Lfm {
+    Lfm::new(ModelConfig::tiny(), 42)
+}
+
+/// A describe-style prompt: instruction special + image + Bos, with
+/// `pad` extra separator tokens to vary the prompt length.
+fn prompt_with_pad(m: &Lfm, pad: usize) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_image(&m.cfg, &render_face(&AuVector::zeros(), 0.01, 1));
+    p.push_tokens(&vec![m.vocab.special(Special::Sep); pad]);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+#[test]
+fn session_decode_matches_oracle_across_seeds_temps_lengths() {
+    let m = model();
+    for pad in [0usize, 5, 17] {
+        let p = prompt_with_pad(&m, pad);
+        for &(temperature, seed) in &[(0.0f32, 0u64), (0.7, 3), (1.0, 7), (1.3, 11)] {
+            let fast = m.generate(&p, 12, temperature, seed);
+            let oracle = m.generate_full(&p, 12, temperature, seed);
+            assert_eq!(
+                fast, oracle,
+                "pad={pad} temperature={temperature} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_logits_match_oracle_logits_bitwise() {
+    let m = model();
+    let p = prompt_with_pad(&m, 3);
+    let mut s = InferSession::new(&m);
+    let fast = s.set_context(&m, &p, &[]).to_vec();
+    let oracle = m.last_logits_full(&p, &[]);
+    assert_eq!(fast, oracle);
+    // And after a decoded token.
+    let tok = m.vocab.special(Special::Sep);
+    let fast = s.push_token(&m, tok).to_vec();
+    let oracle = m.last_logits_full(&p, &[tok]);
+    assert_eq!(fast, oracle);
+}
+
+#[test]
+fn decode_is_bit_identical_across_thread_counts() {
+    let m = model();
+    let p = prompt_with_pad(&m, 9);
+    let reference = m.generate(&p, 10, 0.9, 5);
+    let ref_logits = m.last_logits_full(&p, &[]);
+    for threads in [1usize, 2, 4] {
+        runtime::set_threads(threads);
+        assert_eq!(m.generate(&p, 10, 0.9, 5), reference, "threads={threads}");
+        assert_eq!(m.last_logits_full(&p, &[]), ref_logits, "threads={threads}");
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn session_prefix_reuse_matches_fresh_session() {
+    let m = model();
+    let p1 = prompt_with_pad(&m, 4);
+    let p2 = prompt_with_pad(&m, 8); // shares the Describe+image prefix
+    let mut reused = InferSession::new(&m);
+    reused.set_context(&m, &p1, &[]);
+    let before = reused.prefill_positions();
+    let via_reuse = reused.set_context(&m, &p2, &[]).to_vec();
+    // The shared prefix must not be recomputed…
+    assert!(
+        reused.prefill_positions() - before < p2.seq_len(&m.cfg) as u64,
+        "LCP reuse did not skip any prefix rows"
+    );
+    // …and the logits must equal a fresh session's.
+    let mut fresh = InferSession::new(&m);
+    assert_eq!(via_reuse, fresh.set_context(&m, &p2, &[]));
+    // Switching back (shrinking the context) is exact too.
+    let mut fresh1 = InferSession::new(&m);
+    assert_eq!(
+        reused.set_context(&m, &p1, &[]),
+        fresh1.set_context(&m, &p1, &[])
+    );
+}
+
+#[test]
+fn choose_and_distribution_match_oracle() {
+    let m = model();
+    let p = prompt_with_pad(&m, 2);
+    // next_token_distribution == softmax of the oracle's last logits.
+    let dist = m.next_token_distribution(&p);
+    let mut oracle = m.last_logits_full(&p, &[]);
+    tinynn::kernels::softmax_row(&mut oracle);
+    assert_eq!(dist, oracle);
+    // choose == sampling the oracle's candidate sub-logits with the same rng.
+    let cands = [
+        m.vocab.special(Special::Stressed),
+        m.vocab.special(Special::Unstressed),
+    ];
+    let last = m.last_logits_full(&p, &[]);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let got = m.choose(&p, &cands, 1.0, &mut rng);
+        let sub: Vec<f32> = cands.iter().map(|&c| last[c as usize]).collect();
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let want = cands[tinynn::rngutil::sample_logits(&mut rng2, &sub, 1.0)];
+        assert_eq!(got, want, "seed={seed}");
+    }
+}
+
+#[test]
+fn grammar_session_decode_matches_plain_entry_point() {
+    let m = model();
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_image(&m.cfg, &render_face(&AuVector::zeros(), 0.01, 1));
+    p.push_special(&m.vocab, Special::Bos);
+    let plain = lfm::grammar::generate_description(&m, &p, 0.8, 13);
+    let mut s = InferSession::new(&m);
+    let via_session = lfm::grammar::generate_description_within_session(
+        &m,
+        &mut s,
+        &p,
+        facs::au::AuSet::FULL,
+        0.8,
+        13,
+    );
+    assert_eq!(plain, via_session);
+    // Re-running on the warm session (full prefix hit) is still identical.
+    let again = lfm::grammar::generate_description_within_session(
+        &m,
+        &mut s,
+        &p,
+        facs::au::AuSet::FULL,
+        0.8,
+        13,
+    );
+    assert_eq!(plain, again);
+}

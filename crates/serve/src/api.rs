@@ -286,8 +286,19 @@ fn au_set_json(aus: AuSet) -> Json {
 /// `(pipeline, request)`.  The chain runs under the request's seed stream
 /// (`stream_seed(seed, 0)`), decorrelated from any sibling use of the seed.
 pub fn predict_response(entry: &ModelEntry, req: &PredictRequest) -> Json {
+    predict_response_with_stats(entry, req).0
+}
+
+/// [`predict_response`] plus the number of tokens the decoder generated —
+/// the chain runs on one KV-cached session so the count is exact.  The
+/// body is byte-identical to [`predict_response`]'s.
+pub fn predict_response_with_stats(entry: &ModelEntry, req: &PredictRequest) -> (Json, u64) {
     let chain_seed = runtime::stream_seed(req.seed, 0);
-    let (out, score) = entry.pipeline.predict_scored(&req.video, chain_seed);
+    let mut session = entry.pipeline.session();
+    let (out, score) =
+        entry
+            .pipeline
+            .predict_scored_with_session(&mut session, &req.video, chain_seed);
     let mut regions: Vec<&'static str> = Vec::new();
     for au in out.rationale.iter() {
         let r = au.region().name();
@@ -295,7 +306,7 @@ pub fn predict_response(entry: &ModelEntry, req: &PredictRequest) -> Json {
             regions.push(r);
         }
     }
-    obj(vec![
+    let body = obj(vec![
         ("model", Json::String(entry.name.to_owned())),
         ("seed", Json::Number(req.seed as f64)),
         ("assessment", Json::String(out.assessment.to_string())),
@@ -311,7 +322,8 @@ pub fn predict_response(entry: &ModelEntry, req: &PredictRequest) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ]);
+    (body, session.decoded_tokens())
 }
 
 /// Run a perturbation explainer and build the explain response body.

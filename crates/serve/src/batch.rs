@@ -22,7 +22,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::api::{predict_response, PredictRequest};
+use crate::api::{predict_response_with_stats, PredictRequest};
 use crate::metrics::Metrics;
 use crate::registry::Registry;
 
@@ -173,9 +173,13 @@ fn batcher_loop(shared: &Shared, registry: &Registry, pool: &runtime::Pool) {
         }
         shared.metrics.record_batch(batch.len());
         let bodies = pool.par_map(&batch, |_, job| {
-            predict_response(registry.entry(job.entry), &job.request).to_text()
+            let started = Instant::now();
+            let (body, tokens) =
+                predict_response_with_stats(registry.entry(job.entry), &job.request);
+            (body.to_text(), tokens, started.elapsed().as_secs_f64())
         });
-        for (job, body) in batch.iter().zip(bodies) {
+        for (job, (body, tokens, seconds)) in batch.iter().zip(bodies) {
+            shared.metrics.record_decode(tokens, seconds);
             // A gone receiver means the client hung up; nothing to do.
             let _ = job.done.send(body);
         }
@@ -254,6 +258,8 @@ mod tests {
         }
         s.drain();
         assert!(metrics.batches.load(Ordering::Relaxed) >= 1);
+        // Each served job generated tokens on its KV-cached session.
+        assert!(metrics.generated_tokens.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 
 use std::rc::Rc;
 
+use crate::kernels::{
+    self, dot, gelu_bwd, gelu_fwd, layer_norm_row, log_sigmoid_fwd, stable_sigmoid,
+};
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -196,11 +199,7 @@ impl Graph {
         let (r, c) = (va.rows(), va.cols());
         assert_eq!(vb.len(), c, "bias length must equal column count");
         let mut data = va.data.clone();
-        for row in 0..r {
-            for col in 0..c {
-                data[row * c + col] += vb.data[col];
-            }
-        }
+        kernels::add_bias_rows(&mut data, &vb.data);
         self.push(Op::AddBias(a, bias), Tensor::from_vec(data, vec![r, c]))
     }
 
@@ -260,7 +259,7 @@ impl Graph {
         let (r, k) = (va.rows(), va.cols());
         let (k2, c) = (vb.rows(), vb.cols());
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let value = matmul_raw(&va.data, &vb.data, r, k, c);
+        let value = kernels::matmul(&va.data, &vb.data, r, k, c);
         self.push(Op::Matmul(a, b), Tensor::from_vec(value, vec![r, c]))
     }
 
@@ -271,14 +270,7 @@ impl Graph {
         let (r, k) = (va.rows(), va.cols());
         let (c, k2) = (vb.rows(), vb.cols());
         assert_eq!(k, k2, "matmul_tb inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            let ar = &va.data[i * k..(i + 1) * k];
-            for j in 0..c {
-                let br = &vb.data[j * k..(j + 1) * k];
-                out[i * c + j] = dot(ar, br);
-            }
-        }
+        let out = kernels::matmul_tb(&va.data, &vb.data, r, k, c);
         self.push(Op::MatmulTB(a, b), Tensor::from_vec(out, vec![r, c]))
     }
 
@@ -333,20 +325,20 @@ impl Graph {
         let (r, c) = (vx.rows(), vx.cols());
         assert_eq!(self.nodes[gamma.0].value.len(), c, "gamma length");
         assert_eq!(self.nodes[beta.0].value.len(), c, "beta length");
-        let g = self.nodes[gamma.0].value.data.clone();
-        let b = self.nodes[beta.0].value.data.clone();
+        // Borrow the affine parameters in place — no per-op clones.
+        let g = &self.nodes[gamma.0].value.data;
+        let b = &self.nodes[beta.0].value.data;
         let mut data = vec![0.0f32; r * c];
         let mut cache = Vec::with_capacity(r);
         for row in 0..r {
             let xs = &vx.data[row * c..(row + 1) * c];
-            let mean = xs.iter().sum::<f32>() / c as f32;
-            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / c as f32;
-            let rstd = 1.0 / (var + eps).sqrt();
-            cache.push((mean, rstd));
-            for i in 0..c {
-                let xhat = (xs[i] - mean) * rstd;
-                data[row * c + i] = g[i] * xhat + b[i];
-            }
+            cache.push(layer_norm_row(
+                &mut data[row * c..(row + 1) * c],
+                xs,
+                g,
+                b,
+                eps,
+            ));
         }
         self.push(
             Op::LayerNorm {
@@ -631,14 +623,15 @@ impl Graph {
         self.nodes[loss.0].grad.as_mut().unwrap()[0] = 1.0;
 
         for i in (0..self.nodes.len()).rev() {
-            let gout = match &self.nodes[i].grad {
-                Some(g) => g.clone(),
-                None => continue,
+            // Take the gradient and the op temporarily to appease the borrow
+            // checker — no per-node clone of the upstream gradient buffer.
+            let Some(gout) = self.nodes[i].grad.take() else {
+                continue;
             };
-            // Take op temporarily to appease the borrow checker.
             let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
             self.backprop_node(i, &op, &gout);
             self.nodes[i].op = op;
+            self.nodes[i].grad = Some(gout);
         }
     }
 
@@ -697,16 +690,9 @@ impl Graph {
             Op::Matmul(a, b) => {
                 let (r, k) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
                 let c = self.nodes[b.0].value.cols();
-                // dA = dC × Bᵀ
-                let mut da = vec![0.0f32; r * k];
+                // dA = dC × Bᵀ — same per-element dot order as the naive loop.
                 let bd = &self.nodes[b.0].value.data;
-                for row in 0..r {
-                    for kk in 0..k {
-                        // dA[row, kk] = Σ_c dC[row, c] · B[kk, c]  (row kk of B).
-                        da[row * k + kk] =
-                            dot(&gout[row * c..(row + 1) * c], &bd[kk * c..(kk + 1) * c]);
-                    }
-                }
+                let da = kernels::matmul_tb(gout, bd, r, c, k);
                 // dB = Aᵀ × dC
                 let ad = &self.nodes[a.0].value.data;
                 let mut db = vec![0.0f32; k * c];
@@ -730,7 +716,7 @@ impl Graph {
                 let bd = &self.nodes[b.0].value.data;
                 let ad = &self.nodes[a.0].value.data;
                 // dA = dC × B
-                let da = matmul_raw(gout, bd, r, c, k);
+                let da = kernels::matmul(gout, bd, r, c, k);
                 // dB = dCᵀ × A
                 let mut db = vec![0.0f32; c * k];
                 for row in 0..r {
@@ -812,34 +798,41 @@ impl Graph {
                 cache,
                 ..
             } => {
-                let vx = self.nodes[x.0].value.clone();
-                let (r, c) = (vx.rows(), vx.cols());
-                let g = self.nodes[gamma.0].value.data.clone();
-                let mut dgamma = vec![0.0f32; c];
-                let mut dbeta = vec![0.0f32; c];
-                let mut dx = vec![0.0f32; r * c];
-                for row in 0..r {
-                    let (mean, rstd) = cache[row];
-                    let xs = &vx.data[row * c..(row + 1) * c];
-                    let gr = &gout[row * c..(row + 1) * c];
-                    let mut sum_dxhat = 0.0f32;
-                    let mut sum_dxhat_xhat = 0.0f32;
+                // Borrow x/gamma in place (`cache` lives in the taken-out op);
+                // the scratch rows are sized once and reused across rows.
+                let (dx, dgamma, dbeta) = {
+                    let vx = &self.nodes[x.0].value;
+                    let (r, c) = (vx.rows(), vx.cols());
+                    let g = &self.nodes[gamma.0].value.data;
+                    let mut dgamma = vec![0.0f32; c];
+                    let mut dbeta = vec![0.0f32; c];
+                    let mut dx = vec![0.0f32; r * c];
                     let mut xhat = vec![0.0f32; c];
                     let mut dxhat = vec![0.0f32; c];
-                    for col in 0..c {
-                        xhat[col] = (xs[col] - mean) * rstd;
-                        dxhat[col] = gr[col] * g[col];
-                        dgamma[col] += gr[col] * xhat[col];
-                        dbeta[col] += gr[col];
-                        sum_dxhat += dxhat[col];
-                        sum_dxhat_xhat += dxhat[col] * xhat[col];
+                    for row in 0..r {
+                        let (mean, rstd) = cache[row];
+                        let xs = &vx.data[row * c..(row + 1) * c];
+                        let gr = &gout[row * c..(row + 1) * c];
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for col in 0..c {
+                            xhat[col] = (xs[col] - mean) * rstd;
+                            dxhat[col] = gr[col] * g[col];
+                            dgamma[col] += gr[col] * xhat[col];
+                            dbeta[col] += gr[col];
+                            sum_dxhat += dxhat[col];
+                            sum_dxhat_xhat += dxhat[col] * xhat[col];
+                        }
+                        let inv_c = 1.0 / c as f32;
+                        for col in 0..c {
+                            dx[row * c + col] = rstd
+                                * (dxhat[col]
+                                    - inv_c * sum_dxhat
+                                    - xhat[col] * inv_c * sum_dxhat_xhat);
+                        }
                     }
-                    let inv_c = 1.0 / c as f32;
-                    for col in 0..c {
-                        dx[row * c + col] = rstd
-                            * (dxhat[col] - inv_c * sum_dxhat - xhat[col] * inv_c * sum_dxhat_xhat);
-                    }
-                }
+                    (dx, dgamma, dbeta)
+                };
                 self.add_grad(*x, &dx);
                 self.add_grad(*gamma, &dgamma);
                 self.add_grad(*beta, &dbeta);
@@ -938,34 +931,38 @@ impl Graph {
                 let (cin, h, wid) = dims3(&self.nodes[x.0].value.shape);
                 let (cout, _, kh, kw) = dims4(&self.nodes[w.0].value.shape);
                 let (_, oh, ow) = dims3(&self.nodes[i].value.shape);
-                let xd = self.nodes[x.0].value.data.clone();
-                let wd = self.nodes[w.0].value.data.clone();
-                let mut dx = vec![0.0f32; xd.len()];
-                let mut dw = vec![0.0f32; wd.len()];
-                let mut db = vec![0.0f32; cout];
-                for co in 0..cout {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let g = gout[(co * oh + oy) * ow + ox];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            db[co] += g;
-                            for ci in 0..cin {
-                                for ky in 0..kh {
-                                    let iy = oy * stride + ky;
-                                    for kx in 0..kw {
-                                        let ix = ox * stride + kx;
-                                        let xi = ci * h * wid + iy * wid + ix;
-                                        let wi = ((co * cin + ci) * kh + ky) * kw + kx;
-                                        dx[xi] += g * wd[wi];
-                                        dw[wi] += g * xd[xi];
+                // Borrow activations/weights in place instead of cloning them.
+                let (dx, dw, db) = {
+                    let xd = &self.nodes[x.0].value.data;
+                    let wd = &self.nodes[w.0].value.data;
+                    let mut dx = vec![0.0f32; xd.len()];
+                    let mut dw = vec![0.0f32; wd.len()];
+                    let mut db = vec![0.0f32; cout];
+                    for co in 0..cout {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let g = gout[(co * oh + oy) * ow + ox];
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                db[co] += g;
+                                for ci in 0..cin {
+                                    for ky in 0..kh {
+                                        let iy = oy * stride + ky;
+                                        for kx in 0..kw {
+                                            let ix = ox * stride + kx;
+                                            let xi = ci * h * wid + iy * wid + ix;
+                                            let wi = ((co * cin + ci) * kh + ky) * kw + kx;
+                                            dx[xi] += g * wd[wi];
+                                            dw[wi] += g * xd[xi];
+                                        }
                                     }
                                 }
                             }
                         }
                     }
-                }
+                    (dx, dw, db)
+                };
                 self.add_grad(*x, &dx);
                 self.add_grad(*w, &dw);
                 self.add_grad(*b, &db);
@@ -1015,33 +1012,10 @@ impl Graph {
 }
 
 // ----- free helpers -----------------------------------------------------
-
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
-    }
-    acc
-}
-
-fn matmul_raw(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; r * c];
-    for i in 0..r {
-        for kk in 0..k {
-            let aik = a[i * k + kk];
-            if aik != 0.0 {
-                let brow = &b[kk * c..(kk + 1) * c];
-                let orow = &mut out[i * c..(i + 1) * c];
-                for cc in 0..c {
-                    orow[cc] += aik * brow[cc];
-                }
-            }
-        }
-    }
-    out
-}
+//
+// The scalar math (dot, gelu, sigmoid, …) and the matmul kernels live in
+// `crate::kernels` so the tape and the grad-free infer path share one
+// bit-exact implementation.
 
 fn dims3(shape: &[usize]) -> (usize, usize, usize) {
     assert_eq!(shape.len(), 3, "expected 3-D tensor, got {shape:?}");
@@ -1051,40 +1025,6 @@ fn dims3(shape: &[usize]) -> (usize, usize, usize) {
 fn dims4(shape: &[usize]) -> (usize, usize, usize, usize) {
     assert_eq!(shape.len(), 4, "expected 4-D tensor, got {shape:?}");
     (shape[0], shape[1], shape[2], shape[3])
-}
-
-#[inline]
-fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
-
-#[inline]
-fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/π)
-    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
-}
-
-#[inline]
-fn gelu_bwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6;
-    let u = C * (x + 0.044_715 * x * x * x);
-    let t = u.tanh();
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044_715 * x * x)
-}
-
-#[inline]
-fn log_sigmoid_fwd(x: f32) -> f32 {
-    // log σ(x) = -softplus(-x), computed stably.
-    if x >= 0.0 {
-        -((-x).exp().ln_1p())
-    } else {
-        x - x.exp().ln_1p()
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! Grad-free incremental inference primitives: per-layer KV caches and the
+//! single-query attention step.
+//!
+//! The autodiff [`crate::Graph`] recomputes the full `[L, L]` causal
+//! attention every forward pass.  Incremental decoding appends one position
+//! at a time: the new row's K/V are pushed into a [`KvCache`] and attention
+//! reads only the cached prefix.  [`attend_row`] reproduces the tape's
+//! masked-softmax attention bit-for-bit (see the determinism argument in
+//! DESIGN.md): masked entries of the tape's softmax exponentiate to exactly
+//! `+0.0` and the tape's `attn × V` matmul skips exact zeros, so restricting
+//! the computation to the unmasked prefix performs the very same float adds
+//! in the very same order.
+//!
+//! Nothing here allocates per step once the caches are warm: callers own
+//! reusable scratch buffers and the caches grow within pre-reserved
+//! capacity.
+
+use crate::kernels;
+
+/// Per-layer key/value cache: `len` rows of width `d`, stored row-major in
+/// two flat buffers.  Rows are append-only at the back and truncatable from
+/// the back (for longest-common-prefix reuse across prompts).
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    d: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl KvCache {
+    /// Empty cache for rows of width `d`, with room for `capacity_rows`
+    /// appends before any reallocation.
+    pub fn new(d: usize, capacity_rows: usize) -> Self {
+        KvCache {
+            d,
+            k: Vec::with_capacity(d * capacity_rows),
+            v: Vec::with_capacity(d * capacity_rows),
+        }
+    }
+
+    /// Cached row count.
+    pub fn len(&self) -> usize {
+        self.k.len() / self.d
+    }
+
+    /// True when no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Drop all rows past the first `rows` (no-op if already shorter).
+    pub fn truncate(&mut self, rows: usize) {
+        self.k.truncate(rows * self.d);
+        self.v.truncate(rows * self.d);
+    }
+
+    /// Append one key row and one value row.
+    pub fn append(&mut self, krow: &[f32], vrow: &[f32]) {
+        debug_assert_eq!(krow.len(), self.d);
+        debug_assert_eq!(vrow.len(), self.d);
+        self.k.extend_from_slice(krow);
+        self.v.extend_from_slice(vrow);
+    }
+
+    /// Key row `i`.
+    pub fn k_row(&self, i: usize) -> &[f32] {
+        &self.k[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Value row `i`.
+    pub fn v_row(&self, i: usize) -> &[f32] {
+        &self.v[i * self.d..(i + 1) * self.d]
+    }
+}
+
+/// Multi-head causal attention for a single query row against a cache that
+/// already contains the query's own position.
+///
+/// `q`, `out` are `[d]` with heads laid out as contiguous `d / heads`
+/// column segments (the layout `slice_cols`/`concat_cols` produce on the
+/// tape).  `scores` is caller-owned scratch.  Per head this computes, in
+/// tape order: plain-dot scores over cached keys, `× scale`, prefix
+/// softmax, then a zero-skipping weighted sum of cached value rows.
+pub fn attend_row(
+    out: &mut [f32],
+    q: &[f32],
+    cache: &KvCache,
+    heads: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+) {
+    let d = cache.dim();
+    debug_assert_eq!(out.len(), d);
+    debug_assert_eq!(q.len(), d);
+    debug_assert_eq!(d % heads, 0);
+    let dh = d / heads;
+    let len = cache.len();
+    debug_assert!(len > 0, "attend_row needs the query row appended first");
+    scores.resize(len, 0.0);
+    out.fill(0.0);
+    for h in 0..heads {
+        let off = h * dh;
+        // Scores: the tape's matmul_tb row (plain dot) then a scale op.
+        for (j, s) in scores.iter_mut().enumerate() {
+            *s = kernels::dot(&q[off..off + dh], &cache.k_row(j)[off..off + dh]) * scale;
+        }
+        kernels::softmax_row(scores);
+        // attn × V: increasing-j accumulation with the exact-zero skip,
+        // matching the tape matmul over the masked attention row.
+        let oh = &mut out[off..off + dh];
+        for (j, &a) in scores.iter().enumerate() {
+            if a != 0.0 {
+                let vr = &cache.v_row(j)[off..off + dh];
+                for (o, &vv) in oh.iter_mut().zip(vr) {
+                    *o += a * vv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_append_truncate_roundtrip() {
+        let mut c = KvCache::new(4, 8);
+        assert!(c.is_empty());
+        c.append(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        c.append(&[9.0; 4], &[10.0; 4]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.k_row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.v_row(1), &[10.0; 4]);
+        c.truncate(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.v_row(0), &[5.0, 6.0, 7.0, 8.0]);
+        c.truncate(5); // longer than len: no-op
+        assert_eq!(c.len(), 1);
+    }
+
+    /// attend_row must equal the tape recipe (per-head scores → scale →
+    /// softmax over the full prefix → weighted value sum) computed naively.
+    #[test]
+    fn attend_row_matches_naive_recipe() {
+        let (d, heads) = (6, 2);
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut cache = KvCache::new(d, 4);
+        let rows = 3usize;
+        for p in 0..rows {
+            let krow: Vec<f32> = (0..d).map(|i| ((p * d + i) as f32 * 0.37).sin()).collect();
+            let vrow: Vec<f32> = (0..d).map(|i| ((p * d + i) as f32 * 0.71).cos()).collect();
+            cache.append(&krow, &vrow);
+        }
+        let q: Vec<f32> = (0..d).map(|i| (i as f32 * 0.13).cos()).collect();
+
+        let mut out = vec![0.0f32; d];
+        let mut scratch = Vec::new();
+        attend_row(&mut out, &q, &cache, heads, scale, &mut scratch);
+
+        for h in 0..heads {
+            let off = h * dh;
+            let mut sc: Vec<f32> = (0..rows)
+                .map(|j| kernels::dot(&q[off..off + dh], &cache.k_row(j)[off..off + dh]) * scale)
+                .collect();
+            kernels::softmax_row(&mut sc);
+            for c in 0..dh {
+                let mut acc = 0.0f32;
+                for (j, &a) in sc.iter().enumerate() {
+                    if a != 0.0 {
+                        acc += a * cache.v_row(j)[off + c];
+                    }
+                }
+                assert_eq!(out[off + c], acc);
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Shared compute kernels for the autodiff tape and the grad-free infer
+//! path.
+//!
+//! Every kernel preserves the *reference accumulation order* — each output
+//! element accumulates its `k` products in increasing-`k` order into a
+//! single scalar accumulator seeded with `+0.0`, skipping terms whose left
+//! operand is exactly `0.0` (matching the sparse-friendly reference loop).
+//! Row/column blocking and transpose-packing only change *which* output
+//! element is computed when, never the order of adds within one element, so
+//! results are bit-identical to the naive triple loop.  Large products are
+//! additionally parallelised over output rows via [`runtime::Pool`]; each
+//! row is a pure function of the inputs and `par_map` is order-preserving,
+//! so the result is bit-identical at any thread count (the workspace-wide
+//! determinism invariant).
+//!
+//! Skipping zero left-operands is itself exact for finite inputs: an
+//! accumulator that starts at `+0.0` can never become `-0.0` under
+//! round-to-nearest (`+0.0 + -0.0 == +0.0`), and adding `±0.0` to any value
+//! is the identity — so the skip changes nothing but speed.
+
+use runtime::Pool;
+
+/// Below this many multiply-adds the packed/blocked path is not worth the
+/// `Bᵀ` packing traffic; use the streaming reference loop.
+const PACK_MIN_FLOPS: usize = 1 << 14;
+
+/// Below this many multiply-adds a `par_map` round-trip (scoped thread
+/// spawn) costs more than the arithmetic.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Output-row block: `A` rows kept hot while a `Bᵀ` column block streams.
+const ROW_BLOCK: usize = 16;
+
+/// Output-column block: `Bᵀ` rows that fit comfortably in L1/L2 and get
+/// reused across a whole row block.
+const COL_BLOCK: usize = 64;
+
+/// Plain dot product, increasing-index accumulation (no zero skip) — the
+/// reference kernel for `A × Bᵀ` scores.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Dot product that skips terms whose `a` element is exactly `0.0` —
+/// bit-identical to [`dot`] for finite data (see module docs) and the
+/// per-element form of the reference matmul loop.
+#[inline]
+fn dot_skip(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        let ai = a[i];
+        if ai != 0.0 {
+            acc += ai * b[i];
+        }
+    }
+    acc
+}
+
+/// Reference matmul loop: `out[i, :] += a[i, kk] * b[kk, :]` in increasing
+/// `kk` order with the exact-zero skip.  Streams rows of `b`; good for
+/// small shapes where packing does not pay.
+fn matmul_ref_into(out: &mut [f32], a: &[f32], b: &[f32], r: usize, k: usize, c: usize) {
+    for i in 0..r {
+        let orow = &mut out[i * c..(i + 1) * c];
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik != 0.0 {
+                let brow = &b[kk * c..(kk + 1) * c];
+                for cc in 0..c {
+                    orow[cc] += aik * brow[cc];
+                }
+            }
+        }
+    }
+}
+
+/// Blocked kernel over packed `Bᵀ`: computes rows `i0..i1` of the output.
+/// Per element this is `dot_skip(a_row, bt_row)` — the same adds in the
+/// same order as [`matmul_ref_into`].
+fn matmul_packed_rows(
+    out: &mut [f32],
+    a: &[f32],
+    bt: &[f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    c: usize,
+) {
+    for j0 in (0..c).step_by(COL_BLOCK) {
+        let j1 = (j0 + COL_BLOCK).min(c);
+        for i in i0..i1 {
+            let ar = &a[i * k..(i + 1) * k];
+            let orow = &mut out[(i - i0) * c..(i - i0 + 1) * c];
+            for j in j0..j1 {
+                orow[j] = dot_skip(ar, &bt[j * k..(j + 1) * k]);
+            }
+        }
+    }
+}
+
+/// `[r, k] × [k, c]` matrix product, bit-identical to the reference loop at
+/// any blocking or thread count.
+pub fn matmul(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), r * k);
+    debug_assert_eq!(b.len(), k * c);
+    let mut out = vec![0.0f32; r * c];
+    let flops = r * k * c;
+    if flops < PACK_MIN_FLOPS || r == 1 {
+        matmul_ref_into(&mut out, a, b, r, k, c);
+        return out;
+    }
+    // Transpose-pack B so each output element is a contiguous dot.
+    let mut bt = vec![0.0f32; c * k];
+    for kk in 0..k {
+        let brow = &b[kk * c..(kk + 1) * c];
+        for (j, &v) in brow.iter().enumerate() {
+            bt[j * k + kk] = v;
+        }
+    }
+    let pool = Pool::global();
+    if flops >= PAR_MIN_FLOPS && r >= 2 * ROW_BLOCK && pool.threads() > 1 {
+        let blocks: Vec<(usize, usize)> = (0..r)
+            .step_by(ROW_BLOCK)
+            .map(|i0| (i0, (i0 + ROW_BLOCK).min(r)))
+            .collect();
+        let parts = pool.par_map(&blocks, |_, &(i0, i1)| {
+            let mut part = vec![0.0f32; (i1 - i0) * c];
+            matmul_packed_rows(&mut part, a, &bt, i0, i1, k, c);
+            part
+        });
+        for (&(i0, _), part) in blocks.iter().zip(parts) {
+            out[i0 * c..i0 * c + part.len()].copy_from_slice(&part);
+        }
+    } else {
+        for i0 in (0..r).step_by(ROW_BLOCK) {
+            let i1 = (i0 + ROW_BLOCK).min(r);
+            let (lo, hi) = (i0 * c, i1 * c);
+            matmul_packed_rows(&mut out[lo..hi], a, &bt, i0, i1, k, c);
+        }
+    }
+    out
+}
+
+/// `A × Bᵀ` for `A: [r, k]`, `B: [c, k]` — both operands already have the
+/// contraction axis contiguous, so no packing is needed.  Plain [`dot`] per
+/// element (the reference kernel for attention scores).
+pub fn matmul_tb(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), r * k);
+    debug_assert_eq!(b.len(), c * k);
+    let mut out = vec![0.0f32; r * c];
+    let row = |orow: &mut [f32], i: usize| {
+        let ar = &a[i * k..(i + 1) * k];
+        for j in 0..c {
+            orow[j] = dot(ar, &b[j * k..(j + 1) * k]);
+        }
+    };
+    let flops = r * k * c;
+    let pool = Pool::global();
+    if flops >= PAR_MIN_FLOPS && r >= 2 * ROW_BLOCK && pool.threads() > 1 {
+        let blocks: Vec<(usize, usize)> = (0..r)
+            .step_by(ROW_BLOCK)
+            .map(|i0| (i0, (i0 + ROW_BLOCK).min(r)))
+            .collect();
+        let parts = pool.par_map(&blocks, |_, &(i0, i1)| {
+            let mut part = vec![0.0f32; (i1 - i0) * c];
+            for i in i0..i1 {
+                row(&mut part[(i - i0) * c..(i - i0 + 1) * c], i);
+            }
+            part
+        });
+        for (&(i0, _), part) in blocks.iter().zip(parts) {
+            out[i0 * c..i0 * c + part.len()].copy_from_slice(&part);
+        }
+    } else {
+        for i in 0..r {
+            row(&mut out[i * c..(i + 1) * c], i);
+        }
+    }
+    out
+}
+
+/// Broadcast-add a `[c]` bias over the rows of a `[r, c]` buffer, in place.
+pub fn add_bias_rows(x: &mut [f32], bias: &[f32]) {
+    let c = bias.len();
+    debug_assert_eq!(x.len() % c, 0);
+    for row in x.chunks_exact_mut(c) {
+        for (xi, bi) in row.iter_mut().zip(bias) {
+            *xi += bi;
+        }
+    }
+}
+
+/// Fused single-row linear layer: `out = x × W + bias` for `W: [k, c]`.
+/// The bias is added *after* the full `k` accumulation, matching the
+/// separate matmul → add-bias tape ops bit-for-bit.
+pub fn linear_row(out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
+    let k = x.len();
+    let c = out.len();
+    debug_assert_eq!(w.len(), k * c);
+    debug_assert_eq!(bias.len(), c);
+    out.fill(0.0);
+    for kk in 0..k {
+        let xv = x[kk];
+        if xv != 0.0 {
+            let wrow = &w[kk * c..(kk + 1) * c];
+            for j in 0..c {
+                out[j] += xv * wrow[j];
+            }
+        }
+    }
+    for (o, b) in out.iter_mut().zip(bias) {
+        *o += b;
+    }
+}
+
+/// Fused single-row linear + GELU: bias after accumulation, then the
+/// activation elementwise — identical to matmul → add-bias → gelu.
+pub fn linear_row_gelu(out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
+    linear_row(out, x, w, bias);
+    for o in out.iter_mut() {
+        *o = gelu_fwd(*o);
+    }
+}
+
+/// One layer-norm row with affine parameters; returns `(mean, rstd)` for
+/// backward caching.  This is *the* layer-norm forward — the tape and the
+/// infer path both call it, so their outputs agree bit-for-bit.
+#[inline]
+pub fn layer_norm_row(out: &mut [f32], xs: &[f32], g: &[f32], b: &[f32], eps: f32) -> (f32, f32) {
+    let c = xs.len();
+    debug_assert_eq!(out.len(), c);
+    debug_assert_eq!(g.len(), c);
+    debug_assert_eq!(b.len(), c);
+    let mean = xs.iter().sum::<f32>() / c as f32;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / c as f32;
+    let rstd = 1.0 / (var + eps).sqrt();
+    for i in 0..c {
+        out[i] = g[i] * ((xs[i] - mean) * rstd) + b[i];
+    }
+    (mean, rstd)
+}
+
+/// In-place row softmax: max-subtract, exponentiate, normalise — the same
+/// loop as the tape's (masked) softmax restricted to the unmasked prefix.
+pub fn softmax_row(row: &mut [f32]) {
+    let mut maxv = f32::NEG_INFINITY;
+    for &x in row.iter() {
+        maxv = maxv.max(x);
+    }
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        let e = (*x - maxv).exp();
+        *x = e;
+        sum += e;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// GELU forward (tanh approximation).
+#[inline]
+pub fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_fwd`].
+#[inline]
+pub fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `log σ(x)`.
+#[inline]
+pub fn log_sigmoid_fwd(x: f32) -> f32 {
+    // log σ(x) = -softplus(-x), computed stably.
+    if x >= 0.0 {
+        -((-x).exp().ln_1p())
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The naive triple loop every kernel must reproduce bit-for-bit.
+    fn matmul_naive(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik != 0.0 {
+                    for cc in 0..c {
+                        out[i * c + cc] += aik * b[kk * c + cc];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn filled(n: usize, seed: u32) -> Vec<f32> {
+        // Deterministic, irregular values exercising negatives and zeros.
+        (0..n)
+            .map(|i| {
+                let v = ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(seed) >> 8) as f32;
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    (v / 1e6).sin()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_naive() {
+        for &(r, k, c) in &[
+            (1, 16, 16),
+            (3, 5, 7),
+            (17, 33, 9),
+            (40, 32, 64),
+            (64, 64, 64),
+        ] {
+            let a = filled(r * k, 1);
+            let b = filled(k * c, 2);
+            assert_eq!(
+                matmul(&a, &b, r, k, c),
+                matmul_naive(&a, &b, r, k, c),
+                "shape ({r},{k},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_thread_count_invariant() {
+        // Big enough to cross PAR_MIN_FLOPS with r ≥ 2·ROW_BLOCK.
+        let (r, k, c) = (96, 64, 64);
+        let a = filled(r * k, 3);
+        let b = filled(k * c, 4);
+        let expect = matmul_naive(&a, &b, r, k, c);
+        for threads in [1, 2, 4] {
+            runtime::set_threads(threads);
+            assert_eq!(matmul(&a, &b, r, k, c), expect, "threads = {threads}");
+        }
+        runtime::set_threads(0);
+    }
+
+    #[test]
+    fn matmul_tb_matches_explicit_transpose() {
+        let (r, k, c) = (9, 13, 11);
+        let a = filled(r * k, 5);
+        let b = filled(c * k, 6);
+        let got = matmul_tb(&a, &b, r, k, c);
+        for i in 0..r {
+            for j in 0..c {
+                let expect = dot(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                assert_eq!(got[i * c + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_row_matches_matmul_then_bias() {
+        let (k, c) = (24, 40);
+        let x = filled(k, 7);
+        let w = filled(k * c, 8);
+        let bias = filled(c, 9);
+        let mut fused = vec![0.0f32; c];
+        linear_row(&mut fused, &x, &w, &bias);
+        let mut split = matmul_naive(&x, &w, 1, k, c);
+        add_bias_rows(&mut split, &bias);
+        assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = vec![1.0f32, 2.0, 3.0, -1.0];
+        softmax_row(&mut row);
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(row.iter().all(|&p| p > 0.0));
+    }
+}

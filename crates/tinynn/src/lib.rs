@@ -40,6 +40,8 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod optim;

@@ -117,4 +117,48 @@ proptest! {
         let back = g.concat_rows(top, bottom);
         prop_assert_eq!(&g.value(back).data, &data);
     }
+
+    /// The blocked/packed matmul kernel is *bit-identical* to the naive
+    /// reference loop for arbitrary shapes and data, zeros included —
+    /// every blocking decision must preserve the k-accumulation order.
+    #[test]
+    fn blocked_matmul_bit_identical_to_reference(
+        r in 1usize..48,
+        k in 1usize..48,
+        c in 1usize..48,
+        seed in 0u32..u32::MAX,
+        zero_every in 2usize..9,
+    ) {
+        // Deterministic irregular data from the seed, with exact zeros
+        // sprinkled in to exercise the skip path.
+        let gen = |n: usize, salt: u32| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    if i % zero_every == 0 {
+                        0.0
+                    } else {
+                        let h = (i as u32)
+                            .wrapping_mul(2_654_435_761)
+                            .wrapping_add(seed ^ salt);
+                        ((h >> 8) as f32 / 1e6).sin()
+                    }
+                })
+                .collect()
+        };
+        let a = gen(r * k, 0xA);
+        let b = gen(k * c, 0xB);
+        // Reference: increasing-k accumulation with the exact-zero skip.
+        let mut want = vec![0.0f32; r * c];
+        for i in 0..r {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik != 0.0 {
+                    for cc in 0..c {
+                        want[i * c + cc] += aik * b[kk * c + cc];
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(tinynn::kernels::matmul(&a, &b, r, k, c), want);
+    }
 }

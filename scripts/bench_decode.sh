@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Measure incremental-decode throughput: KV-cached InferSession vs the
+# naive full-recompute path, at the experiment model scale.  Writes the
+# JSON record to BENCH_decode.json at the repository root.
+#
+#   scripts/bench_decode.sh           # full run → BENCH_decode.json
+#   scripts/bench_decode.sh --smoke   # tiny scale, short steps, for CI →
+#                                     # target/BENCH_decode.smoke.json
+#
+# decodebench itself asserts the two paths produce bit-identical logits
+# before reporting a single number, and fails if the cached path is not
+# an end-to-end win — so this doubles as an equivalence gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q -p bench-suite --bin decodebench
+
+if [ "${1:-}" = "--smoke" ]; then
+  exec target/release/decodebench --scale tiny --steps 4,16 --pad 8 \
+    --out target/BENCH_decode.smoke.json
+fi
+
+exec target/release/decodebench --scale small --steps 8,32,64 --pad 24 \
+  --out BENCH_decode.json

@@ -20,4 +20,7 @@ cargo test -p serve --offline -q
 echo "==> scripts/serve_smoke.sh"
 bash scripts/serve_smoke.sh
 
+echo "==> scripts/bench_decode.sh --smoke (cached-decode equivalence + win)"
+bash scripts/bench_decode.sh --smoke
+
 echo "CI green."
