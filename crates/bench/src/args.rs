@@ -18,6 +18,9 @@ pub struct CliArgs {
     /// Worker-pool size for the evaluation runtime; `0` = one worker per
     /// available core.  Results are bit-identical for any value.
     pub threads: usize,
+    /// Save trained `Ours` pipelines as `SRCR1` artifacts into this
+    /// directory (for `serve --model-dir`); `None` = don't save.
+    pub save_artifacts: Option<std::path::PathBuf>,
 }
 
 impl Default for CliArgs {
@@ -27,6 +30,7 @@ impl Default for CliArgs {
             seed: 7,
             samples: None,
             threads: 0,
+            save_artifacts: None,
         }
     }
 }
@@ -56,9 +60,14 @@ impl CliArgs {
                     let v = it.next().ok_or("--threads needs a value")?;
                     out.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
                 }
+                "--save-artifacts" => {
+                    let v = it.next().ok_or("--save-artifacts needs a directory")?;
+                    out.save_artifacts = Some(v.into());
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: --scale smoke|default|full --seed N [--samples N] [--threads N]"
+                        "usage: --scale smoke|default|full --seed N [--samples N] [--threads N] \
+                         [--save-artifacts DIR]"
                             .into(),
                     )
                 }
@@ -135,6 +144,7 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.samples, None);
         assert_eq!(a.threads, 0, "default = one worker per core");
+        assert_eq!(a.save_artifacts, None);
     }
 
     #[test]
@@ -148,6 +158,8 @@ mod tests {
             "5",
             "--threads",
             "3",
+            "--save-artifacts",
+            "ckpts",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Smoke);
@@ -155,6 +167,7 @@ mod tests {
         assert_eq!(a.samples, Some(5));
         assert_eq!(a.faithfulness_samples(), 5);
         assert_eq!(a.threads, 3);
+        assert_eq!(a.save_artifacts.as_deref(), Some("ckpts".as_ref()));
     }
 
     #[test]
@@ -164,6 +177,7 @@ mod tests {
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--threads", "lots"]).is_err());
         assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--save-artifacts"]).is_err());
     }
 
     #[test]

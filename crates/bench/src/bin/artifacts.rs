@@ -1,0 +1,43 @@
+//! Train the serving registry's pipelines and checkpoint them as `SRCR1`
+//! artifacts — the producer side of `serve --model-dir`.
+//!
+//! ```text
+//! artifacts --save-artifacts DIR [--scale smoke|default|full] [--seed N]
+//!           [--threads N]
+//! ```
+//!
+//! Trains the full method (`Variant::Full`) on both corpora at the chosen
+//! scale and writes `uvsd_sim.srcr` and `rsl_sim.srcr` into the directory
+//! (default `artifacts/`).  A server booted with `serve --model-dir DIR`
+//! then loads them with zero training at startup.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench_suite::context::Corpus;
+use bench_suite::corpus_main;
+use chain_reason::Variant;
+
+fn main() {
+    let args = corpus_main("artifacts", &[Corpus::Uvsd, Corpus::Rsl], |args, ctx| {
+        let dir: PathBuf = args
+            .save_artifacts
+            .clone()
+            .unwrap_or_else(|| "artifacts".into());
+        let started = Instant::now();
+        let (pipeline, _) = ctx.train_variant(Variant::Full);
+        match ctx.save_artifact(&dir, &pipeline, Variant::Full) {
+            Ok(path) => eprintln!(
+                "[artifacts] saved {} ({:.1}s training)",
+                path.display(),
+                started.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("[artifacts] {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    let dir = args.save_artifacts.unwrap_or_else(|| "artifacts".into());
+    println!("artifacts ready in {}", dir.display());
+}

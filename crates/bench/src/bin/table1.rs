@@ -2,12 +2,13 @@
 
 use bench_suite::context::Corpus;
 use bench_suite::corpus_main;
-use bench_suite::experiments::detection::{render, run_corpus};
+use bench_suite::experiments::detection::{render, run_corpus_saving};
 
 fn main() {
     let mut sections = Vec::new();
-    corpus_main("table1", &[Corpus::Uvsd, Corpus::Rsl], |_, ctx| {
-        sections.push((ctx.corpus.label(), run_corpus(ctx, true)));
+    corpus_main("table1", &[Corpus::Uvsd, Corpus::Rsl], |args, ctx| {
+        let save = args.save_artifacts.as_deref();
+        sections.push((ctx.corpus.label(), run_corpus_saving(ctx, true, save)));
     });
     let slices: Vec<(&str, &[_])> = sections.iter().map(|(l, r)| (*l, r.as_slice())).collect();
     render("Table I — stress detection performance", &slices).print();

@@ -1,11 +1,16 @@
 //! Shared experiment setup: corpora, splits, pretrained bases and trained
 //! pipelines.
 
-use chain_reason::{train_pipeline, PipelineConfig, StressPipeline, TrainReport, Variant};
+use std::path::{Path, PathBuf};
+
+use chain_reason::{
+    artifact, train_pipeline, ArtifactMeta, PipelineConfig, StressPipeline, TrainReport, Variant,
+};
 use lfm::pretrain::{pretrain, CapabilityProfile};
 use lfm::{Lfm, ModelConfig};
 use videosynth::dataset::{Dataset, DatasetProfile, Scale};
 use videosynth::video::VideoSample;
+use videosynth::world::WorldConfig;
 
 /// Which stress corpus an experiment runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +33,15 @@ impl Corpus {
         match self {
             Corpus::Uvsd => DatasetProfile::uvsd(scale),
             Corpus::Rsl => DatasetProfile::rsl(scale),
+        }
+    }
+
+    /// Name this corpus is served under — the `serve` registry convention,
+    /// so bench-trained artifacts drop straight into `serve --model-dir`.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            Corpus::Uvsd => "uvsd_sim",
+            Corpus::Rsl => "rsl_sim",
         }
     }
 }
@@ -102,6 +116,38 @@ impl Context {
             variant,
         )
     }
+
+    /// Generative world configuration of this corpus at the prepared scale.
+    pub fn world(&self) -> WorldConfig {
+        self.corpus.profile(self.scale).world
+    }
+
+    /// Save a trained pipeline as a versioned `SRCR1` artifact in `dir`,
+    /// named after the serving registry entry (`uvsd_sim.srcr` / …) so the
+    /// directory can be handed to `serve --model-dir` as is.
+    pub fn save_artifact(
+        &self,
+        dir: &Path,
+        pipeline: &StressPipeline,
+        variant: Variant,
+    ) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let meta = ArtifactMeta {
+            name: self.corpus.registry_name().to_string(),
+            version: 1,
+            scale: match self.scale {
+                Scale::Smoke => 0.25,
+                _ => 1.0,
+            },
+            variant: format!("{variant:?}"),
+            seed: self.seed,
+            git: artifact::git_describe(),
+        };
+        let path = dir.join(artifact::artifact_file_name(&meta.name));
+        chain_reason::save_pipeline(&path, pipeline, &self.world(), &meta)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(path)
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +168,23 @@ mod tests {
     fn corpus_labels() {
         assert_eq!(Corpus::Uvsd.label(), "UVSD");
         assert_eq!(Corpus::Rsl.label(), "RSL");
+        assert_eq!(Corpus::Uvsd.registry_name(), "uvsd_sim");
+        assert_eq!(Corpus::Rsl.registry_name(), "rsl_sim");
+    }
+
+    #[test]
+    fn save_artifact_uses_registry_names_and_loads_back() {
+        let ctx = Context::prepare(Corpus::Rsl, Scale::Smoke, 3);
+        let pipeline =
+            StressPipeline::new(Lfm::new(ModelConfig::tiny(), 3), PipelineConfig::smoke());
+        let dir = std::env::temp_dir().join("bench_ctx_artifact");
+        let path = ctx.save_artifact(&dir, &pipeline, Variant::Full).unwrap();
+        assert!(path.ends_with("rsl_sim.srcr"), "{}", path.display());
+        let loaded = chain_reason::load_pipeline(&path).unwrap();
+        assert_eq!(loaded.meta.name, "rsl_sim");
+        assert_eq!(loaded.meta.variant, "Full");
+        assert_eq!(loaded.meta.seed, 3);
+        assert_eq!(loaded.world, ctx.world());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

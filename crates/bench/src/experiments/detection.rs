@@ -61,6 +61,17 @@ pub fn evaluate_detector<D: StressDetector + ?Sized>(det: &D, test: &[VideoSampl
 ///
 /// `include_ours` lets cheap callers skip the (expensive) full pipeline.
 pub fn run_corpus(ctx: &Context, include_ours: bool) -> Vec<DetectionRow> {
+    run_corpus_saving(ctx, include_ours, None)
+}
+
+/// [`run_corpus`], optionally checkpointing the trained `Ours` pipeline as
+/// an `SRCR1` artifact (`--save-artifacts`) before evaluation — the single
+/// training run pays for both the table row and the serving checkpoint.
+pub fn run_corpus_saving(
+    ctx: &Context,
+    include_ours: bool,
+    save_artifacts: Option<&std::path::Path>,
+) -> Vec<DetectionRow> {
     let mut rows = Vec::new();
     let scale_factor = if ctx.scale == Scale::Smoke { 0.25 } else { 1.0 };
 
@@ -101,6 +112,12 @@ pub fn run_corpus(ctx: &Context, include_ours: bool) -> Vec<DetectionRow> {
     // Ours.
     if include_ours {
         let (pl, _) = ctx.train_variant(Variant::Full);
+        if let Some(dir) = save_artifacts {
+            match ctx.save_artifact(dir, &pl, Variant::Full) {
+                Ok(path) => eprintln!("[table1] saved artifact {}", path.display()),
+                Err(e) => panic!("artifact save failed: {e}"),
+            }
+        }
         let pairs: Vec<_> = ctx
             .test
             .iter()

@@ -16,3 +16,5 @@ pub mod context;
 pub mod experiments;
 
 pub use args::{corpus_main, CliArgs};
+// One config construction path across `core`, `serve` and `bench`.
+pub use chain_reason::{ConfigError, PipelineConfig, PipelineConfigBuilder};

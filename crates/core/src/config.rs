@@ -1,9 +1,42 @@
 //! Pipeline hyper-parameters (§IV-H plus the self-refinement knobs).
 
+use std::fmt;
+
+use facs::region::FACE_SIZE;
 use lfm::ModelConfig;
 
+/// A rejected [`PipelineConfig`] field combination.
+///
+/// Construction through [`PipelineConfigBuilder`] surfaces these instead of
+/// panicking downstream (e.g. inside model construction), so servers and
+/// CLIs can report bad configs as errors rather than crashes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// An architecture constraint does not hold (e.g. `heads` must divide
+    /// `d_model`).
+    Model { reason: String },
+    /// A count field that must be at least one is zero.
+    ZeroCount { field: &'static str },
+    /// A float field is outside its valid range or not finite.
+    BadFloat { field: &'static str, value: f32 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Model { reason } => write!(f, "invalid model config: {reason}"),
+            ConfigError::ZeroCount { field } => write!(f, "{field} must be at least 1"),
+            ConfigError::BadFloat { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Everything Algorithm 1 needs besides the data.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PipelineConfig {
     /// Architecture of the underlying foundation model.
     pub model: ModelConfig,
@@ -70,6 +103,188 @@ impl PipelineConfig {
             seed: 0,
         }
     }
+
+    /// Start a validated builder seeded with [`default_experiment`]
+    /// (`Self::default_experiment`) values.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::new()
+    }
+
+    /// Check every field combination this pipeline relies on.  Called by
+    /// [`PipelineConfigBuilder::build`] and by the artifact loader, so a
+    /// corrupt or hand-edited config is rejected before any model exists.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let m = &self.model;
+        let model_err = |reason: String| ConfigError::Model { reason };
+        if m.d_model == 0 || m.heads == 0 || !m.d_model.is_multiple_of(m.heads) {
+            return Err(model_err(format!(
+                "heads ({}) must divide d_model ({})",
+                m.heads, m.d_model
+            )));
+        }
+        if m.patch == 0 || !FACE_SIZE.is_multiple_of(m.patch) {
+            return Err(model_err(format!(
+                "patch ({}) must divide the face size ({FACE_SIZE})",
+                m.patch
+            )));
+        }
+        let side = FACE_SIZE / m.patch;
+        let pf = side * side;
+        if m.vis_tokens == 0 || !pf.is_multiple_of(m.vis_tokens) {
+            return Err(model_err(format!(
+                "vis_tokens ({}) must divide the {pf} patch features",
+                m.vis_tokens
+            )));
+        }
+        for (field, n) in [
+            ("model.layers", m.layers),
+            ("model.ff", m.ff),
+            ("model.max_seq", m.max_seq),
+            ("k_repeats", self.k_repeats),
+            ("max_reflection_rounds", self.max_reflection_rounds),
+            ("n_rationales", self.n_rationales),
+        ] {
+            if n == 0 {
+                return Err(ConfigError::ZeroCount { field });
+            }
+        }
+        if m.max_seq <= m.vis_tokens + 2 {
+            return Err(model_err(format!(
+                "max_seq ({}) leaves no room after the {} visual tokens",
+                m.max_seq, m.vis_tokens
+            )));
+        }
+        for (field, value) in [
+            ("dpo_beta", self.dpo_beta),
+            ("sft_lr", self.sft_lr),
+            ("dpo_lr", self.dpo_lr),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ConfigError::BadFloat { field, value });
+            }
+        }
+        if !(self.temperature.is_finite() && self.temperature >= 0.0) {
+            return Err(ConfigError::BadFloat {
+                field: "temperature",
+                value: self.temperature,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PipelineConfig`] whose [`build`](Self::build) validates the
+/// assembled config and returns a typed [`ConfigError`] on bad field
+/// combinations — the one construction path shared by `core`, `serve` and
+/// `bench`.
+#[derive(Clone, Debug)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl Default for PipelineConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineConfigBuilder {
+    /// Start from [`PipelineConfig::default_experiment`].
+    pub fn new() -> Self {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default_experiment(),
+        }
+    }
+
+    /// Start from [`PipelineConfig::smoke`].
+    pub fn smoke() -> Self {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::smoke(),
+        }
+    }
+
+    /// Start from an existing config (e.g. one loaded from an artifact).
+    pub fn from_config(cfg: PipelineConfig) -> Self {
+        PipelineConfigBuilder { cfg }
+    }
+
+    /// Replace the model architecture.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Set K, the assessment-repeat count used by the refinement scores.
+    pub fn k_repeats(mut self, k: usize) -> Self {
+        self.cfg.k_repeats = k;
+        self
+    }
+
+    /// Bound the self-reflection do-while loop.
+    pub fn max_reflection_rounds(mut self, rounds: usize) -> Self {
+        self.cfg.max_reflection_rounds = rounds;
+        self
+    }
+
+    /// Set n, the number of reflected rationales to score.
+    pub fn n_rationales(mut self, n: usize) -> Self {
+        self.cfg.n_rationales = n;
+        self
+    }
+
+    /// Set the DPO β.
+    pub fn dpo_beta(mut self, beta: f32) -> Self {
+        self.cfg.dpo_beta = beta;
+        self
+    }
+
+    /// Set the refinement sampling temperature.
+    pub fn temperature(mut self, t: f32) -> Self {
+        self.cfg.temperature = t;
+        self
+    }
+
+    /// Set the describe-tuning epoch count.
+    pub fn describe_epochs(mut self, n: usize) -> Self {
+        self.cfg.describe_epochs = n;
+        self
+    }
+
+    /// Set the assess-tuning epoch count.
+    pub fn assess_epochs(mut self, n: usize) -> Self {
+        self.cfg.assess_epochs = n;
+        self
+    }
+
+    /// Set the per-phase DPO epoch count.
+    pub fn dpo_epochs(mut self, n: usize) -> Self {
+        self.cfg.dpo_epochs = n;
+        self
+    }
+
+    /// Set the SFT learning rate.
+    pub fn sft_lr(mut self, lr: f32) -> Self {
+        self.cfg.sft_lr = lr;
+        self
+    }
+
+    /// Set the DPO learning rate.
+    pub fn dpo_lr(mut self, lr: f32) -> Self {
+        self.cfg.dpo_lr = lr;
+        self
+    }
+
+    /// Set the base RNG seed for the whole run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and return the config.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +305,63 @@ mod tests {
         let d = PipelineConfig::default_experiment();
         assert!(c.model.d_model <= d.model.d_model);
         assert!(c.k_repeats <= d.k_repeats);
+    }
+
+    #[test]
+    fn presets_pass_validation() {
+        assert_eq!(PipelineConfig::default_experiment().validate(), Ok(()));
+        assert_eq!(PipelineConfig::smoke().validate(), Ok(()));
+        let built = PipelineConfig::builder()
+            .seed(7)
+            .k_repeats(4)
+            .build()
+            .unwrap();
+        assert_eq!(built.seed, 7);
+        assert_eq!(built.k_repeats, 4);
+    }
+
+    #[test]
+    fn builder_rejects_bad_combinations_with_typed_errors() {
+        let bad_heads = PipelineConfig::builder()
+            .model(ModelConfig {
+                heads: 3,
+                ..ModelConfig::tiny()
+            })
+            .build();
+        assert!(matches!(bad_heads, Err(ConfigError::Model { .. })));
+
+        let bad_patch = PipelineConfig::builder()
+            .model(ModelConfig {
+                patch: 7,
+                ..ModelConfig::tiny()
+            })
+            .build();
+        assert!(matches!(bad_patch, Err(ConfigError::Model { .. })));
+
+        assert_eq!(
+            PipelineConfig::builder().k_repeats(0).build(),
+            Err(ConfigError::ZeroCount { field: "k_repeats" })
+        );
+        assert!(matches!(
+            PipelineConfig::builder().dpo_beta(0.0).build(),
+            Err(ConfigError::BadFloat {
+                field: "dpo_beta",
+                ..
+            })
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().temperature(f32::NAN).build(),
+            Err(ConfigError::BadFloat {
+                field: "temperature",
+                ..
+            })
+        ));
+        // Errors render as readable messages.
+        let msg = PipelineConfig::builder()
+            .k_repeats(0)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("k_repeats"), "{msg}");
     }
 }

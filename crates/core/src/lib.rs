@@ -25,6 +25,7 @@
 //! frozen off-the-shelf models in §IV-G.
 
 pub mod ablation;
+pub mod artifact;
 pub mod config;
 pub mod localize;
 pub mod pipeline;
@@ -33,6 +34,7 @@ pub mod test_time;
 pub mod trainer;
 
 pub use ablation::Variant;
-pub use config::PipelineConfig;
+pub use artifact::{load_pipeline, save_pipeline, ArtifactError, ArtifactMeta, LoadedArtifact};
+pub use config::{ConfigError, PipelineConfig, PipelineConfigBuilder};
 pub use pipeline::{ChainOutput, StressPipeline};
 pub use trainer::{train_pipeline, TrainReport};

@@ -1,0 +1,52 @@
+//! Corruption properties of the `SRCR1` artifact loader: every strict
+//! truncation and every single-bit flip must be rejected with a typed
+//! error — never a panic, never a silent misload.
+
+use std::sync::OnceLock;
+
+use chain_reason::artifact::{self, ArtifactMeta};
+use chain_reason::{PipelineConfig, StressPipeline};
+use lfm::{Lfm, ModelConfig};
+use proptest::prelude::*;
+use videosynth::world::WorldConfig;
+
+/// One small artifact, built once and shared by every property case.
+fn artifact_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let pipeline =
+            StressPipeline::new(Lfm::new(ModelConfig::tiny(), 5), PipelineConfig::smoke());
+        let meta = ArtifactMeta {
+            name: "uvsd_sim".to_string(),
+            version: 1,
+            scale: 0.25,
+            variant: "Full".to_string(),
+            seed: 5,
+            git: "test".to_string(),
+        };
+        artifact::pipeline_to_bytes(&pipeline, &WorldConfig::uvsd_like(), &meta).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truncations_are_always_rejected(frac in 0usize..10_000) {
+        let bytes = artifact_bytes();
+        // A strict prefix, anywhere from empty to one byte short.
+        let cut = frac * bytes.len() / 10_000;
+        let result = artifact::load_pipeline_from_bytes(&bytes[..cut]);
+        prop_assert!(result.is_err(), "truncation to {} of {} bytes loaded", cut, bytes.len());
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_rejected(frac in 0usize..10_000, bit in 0u32..8) {
+        let bytes = artifact_bytes();
+        let i = (frac * bytes.len() / 10_000).min(bytes.len() - 1);
+        let mut corrupt = bytes.to_vec();
+        corrupt[i] ^= 1u8 << bit;
+        let result = artifact::load_pipeline_from_bytes(&corrupt);
+        prop_assert!(result.is_err(), "bit {} of byte {} flipped and still loaded", bit, i);
+    }
+}

@@ -1,0 +1,67 @@
+//! Artifact round-trip equivalence: a pipeline loaded from an `SRCR1`
+//! checkpoint must be indistinguishable from the one that was saved —
+//! byte-identical artifact re-serialization and bit-identical predictions,
+//! across seeds and worker-pool widths.
+
+use chain_reason::artifact::{self, ArtifactMeta};
+use chain_reason::{PipelineConfig, StressPipeline};
+use lfm::{Lfm, ModelConfig};
+use runtime::Pool;
+use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+use videosynth::world::WorldConfig;
+
+fn meta(seed: u64) -> ArtifactMeta {
+    ArtifactMeta {
+        name: "uvsd_sim".to_string(),
+        version: 1,
+        scale: 0.25,
+        variant: "Full".to_string(),
+        seed,
+        git: "test".to_string(),
+    }
+}
+
+#[test]
+fn loaded_pipeline_is_bitwise_identical_across_seeds_and_thread_counts() {
+    for seed in [3u64, 11] {
+        let original =
+            StressPipeline::new(Lfm::new(ModelConfig::tiny(), seed), PipelineConfig::smoke());
+        let world = WorldConfig::uvsd_like();
+
+        // Serialization is reproducible (no timestamps, shortest-round-trip
+        // float formatting), and survives a load → save cycle unchanged.
+        let bytes = artifact::pipeline_to_bytes(&original, &world, &meta(seed)).unwrap();
+        let again = artifact::pipeline_to_bytes(&original, &world, &meta(seed)).unwrap();
+        assert_eq!(bytes, again, "artifact bytes are not reproducible");
+
+        let loaded = artifact::load_pipeline_from_bytes(&bytes).unwrap();
+        let resaved =
+            artifact::pipeline_to_bytes(&loaded.pipeline, &loaded.world, &loaded.meta).unwrap();
+        assert_eq!(bytes, resaved, "load → save changed the artifact bytes");
+
+        // The loaded pipeline predicts bit-identically to the original, no
+        // matter how many workers evaluate the batch.
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), seed);
+        let samples = &ds.samples[..4.min(ds.samples.len())];
+        let reference: Vec<_> = samples
+            .iter()
+            .map(|v| original.predict_scored(v, seed))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let got =
+                Pool::new(threads).par_map(samples, |_, v| loaded.pipeline.predict_scored(v, seed));
+            for (i, ((out, score), (ref_out, ref_score))) in got.iter().zip(&reference).enumerate()
+            {
+                assert_eq!(
+                    out, ref_out,
+                    "chain output differs (threads={threads}, sample {i})"
+                );
+                assert_eq!(
+                    score.to_bits(),
+                    ref_score.to_bits(),
+                    "score bits differ (threads={threads}, sample {i})"
+                );
+            }
+        }
+    }
+}

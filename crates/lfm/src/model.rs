@@ -22,7 +22,7 @@ use crate::infer::InferSession;
 use crate::vocab::{Special, TokenId, Vocab};
 
 /// Architecture hyper-parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Embedding / residual width.
     pub d_model: usize,
@@ -318,6 +318,110 @@ impl Lfm {
             store,
             params,
         }
+    }
+
+    /// Reassemble a model from persisted parts: an architecture config, a
+    /// vocabulary and a parameter store (e.g. loaded from an `SRCR1`
+    /// artifact).  No random initialisation happens — the store's tensors
+    /// are adopted as-is, so the result is bitwise-identical to the model
+    /// that was saved.
+    ///
+    /// Every parameter the architecture expects must be present under its
+    /// canonical name with exactly the expected shape, and the store must
+    /// contain nothing else; any mismatch is a typed error, never a panic.
+    pub fn from_parts(cfg: ModelConfig, vocab: Vocab, store: ParamStore) -> Result<Lfm, String> {
+        if cfg.d_model == 0 || cfg.heads == 0 || !cfg.d_model.is_multiple_of(cfg.heads) {
+            return Err(format!(
+                "heads ({}) must divide d_model ({})",
+                cfg.heads, cfg.d_model
+            ));
+        }
+        if cfg.patch == 0 || !FACE_SIZE.is_multiple_of(cfg.patch) {
+            return Err(format!(
+                "patch {} must divide face size {FACE_SIZE}",
+                cfg.patch
+            ));
+        }
+        let pf = {
+            let side = FACE_SIZE / cfg.patch;
+            side * side
+        };
+        if cfg.vis_tokens == 0 || !pf.is_multiple_of(cfg.vis_tokens) {
+            return Err(format!(
+                "vis_tokens {} must divide the {pf} patch features",
+                cfg.vis_tokens
+            ));
+        }
+        let v = vocab.len();
+        let d = cfg.d_model;
+        let per = pf / cfg.vis_tokens;
+
+        let lookup = |name: &str, shape: &[usize]| -> Result<ParamId, String> {
+            let id = store
+                .find(name)
+                .ok_or_else(|| format!("artifact is missing parameter {name:?}"))?;
+            let got = &store.value(id).shape;
+            if got != shape {
+                return Err(format!(
+                    "parameter {name:?} has shape {got:?}, expected {shape:?}"
+                ));
+            }
+            Ok(id)
+        };
+
+        let expected = 8 + 16 * cfg.layers;
+        let tok_emb = lookup("tok_emb", &[v, d])?;
+        let pos_emb = lookup("pos_emb", &[cfg.max_seq, d])?;
+        let vis_w = lookup("vis.w", &[per, d])?;
+        let vis_b = lookup("vis.b", &[d])?;
+        let mut blocks = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let p = |s: &str| format!("block{l}.{s}");
+            blocks.push(BlockParams {
+                ln1_g: lookup(&p("ln1.g"), &[d])?,
+                ln1_b: lookup(&p("ln1.b"), &[d])?,
+                wq: lookup(&p("wq"), &[d, d])?,
+                bq: lookup(&p("bq"), &[d])?,
+                wk: lookup(&p("wk"), &[d, d])?,
+                bk: lookup(&p("bk"), &[d])?,
+                wv: lookup(&p("wv"), &[d, d])?,
+                bv: lookup(&p("bv"), &[d])?,
+                wo: lookup(&p("wo"), &[d, d])?,
+                bo: lookup(&p("bo"), &[d])?,
+                ln2_g: lookup(&p("ln2.g"), &[d])?,
+                ln2_b: lookup(&p("ln2.b"), &[d])?,
+                ff1_w: lookup(&p("ff1.w"), &[d, cfg.ff])?,
+                ff1_b: lookup(&p("ff1.b"), &[cfg.ff])?,
+                ff2_w: lookup(&p("ff2.w"), &[cfg.ff, d])?,
+                ff2_b: lookup(&p("ff2.b"), &[d])?,
+            });
+        }
+        let ln_f_g = lookup("ln_f.g", &[d])?;
+        let ln_f_b = lookup("ln_f.b", &[d])?;
+        let head_w = lookup("head.w", &[d, v])?;
+        let head_b = lookup("head.b", &[v])?;
+        if store.len() != expected {
+            return Err(format!(
+                "artifact holds {} parameters, the architecture expects {expected}",
+                store.len()
+            ));
+        }
+        Ok(Lfm {
+            cfg,
+            vocab,
+            store,
+            params: LfmParams {
+                tok_emb,
+                pos_emb,
+                vis_w,
+                vis_b,
+                blocks,
+                ln_f_g,
+                ln_f_b,
+                head_w,
+                head_b,
+            },
+        })
     }
 
     /// Deep copy with independent parameters (e.g. a frozen DPO reference).
@@ -776,6 +880,53 @@ mod tests {
             1,
         );
         assert!(small.load_weights(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_identical_model() {
+        let m = model();
+        let mut buf = Vec::new();
+        m.save_weights(&mut buf).unwrap();
+        let store = tinynn::serialize::load_params(&mut buf.as_slice()).unwrap();
+        let m2 = Lfm::from_parts(m.cfg.clone(), m.vocab.clone(), store).unwrap();
+        let mut p = Prompt::new();
+        p.push_special(&m.vocab, Special::Assess);
+        p.push_image(&m.cfg, &image());
+        assert_eq!(
+            m.next_token_distribution(&p),
+            m2.next_token_distribution(&p)
+        );
+        p.push_special(&m.vocab, Special::Bos);
+        assert_eq!(m.generate(&p, 8, 0.7, 3), m2.generate(&p, 8, 0.7, 3));
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_mismatch() {
+        let m = model();
+        let mut buf = Vec::new();
+        m.save_weights(&mut buf).unwrap();
+        let store = tinynn::serialize::load_params(&mut buf.as_slice()).unwrap();
+
+        // Wrong layer count: parameters for the extra blocks are missing.
+        let deeper = ModelConfig {
+            layers: m.cfg.layers + 1,
+            ..m.cfg.clone()
+        };
+        let err = Lfm::from_parts(deeper, m.vocab.clone(), store.clone()).unwrap_err();
+        assert!(err.contains("missing parameter"), "{err}");
+
+        // Extra parameter beyond the architecture's expectation.
+        let mut extra = store.clone();
+        extra.add("rogue", Tensor::scalar(1.0));
+        let err = Lfm::from_parts(m.cfg.clone(), m.vocab.clone(), extra).unwrap_err();
+        assert!(err.contains("expects"), "{err}");
+
+        // Invalid architecture combination is a typed error, not a panic.
+        let bad = ModelConfig {
+            heads: 3,
+            ..m.cfg.clone()
+        };
+        assert!(Lfm::from_parts(bad, m.vocab.clone(), store).is_err());
     }
 
     #[test]

@@ -177,6 +177,77 @@ impl Vocab {
             .collect()
     }
 
+    /// All words in id order (id `i` is `words()[i]`).  The persistence
+    /// layer stores exactly this list.
+    pub fn words(&self) -> &[String] {
+        &self.id_to_word
+    }
+
+    /// Rebuild a vocabulary from an id-ordered word list, as written by
+    /// [`Vocab::save`].  Rejects duplicates and missing special tokens so a
+    /// corrupted artifact cannot produce a silently different tokenizer.
+    pub fn from_words(words: Vec<String>) -> Result<Vocab, String> {
+        let mut v = Vocab {
+            id_to_word: Vec::with_capacity(words.len()),
+            word_to_id: HashMap::with_capacity(words.len()),
+        };
+        for word in words {
+            if v.word_to_id.contains_key(&word) {
+                return Err(format!("duplicate vocabulary word {word:?}"));
+            }
+            let id = v.id_to_word.len() as TokenId;
+            v.word_to_id.insert(word.clone(), id);
+            v.id_to_word.push(word);
+        }
+        for s in ALL_SPECIALS {
+            if !v.word_to_id.contains_key(s.text()) {
+                return Err(format!(
+                    "vocabulary is missing special token {:?}",
+                    s.text()
+                ));
+            }
+        }
+        Ok(v)
+    }
+
+    /// Write the id-ordered word list (little-endian: `u32` count, then per
+    /// word `u32` length + UTF-8 bytes).  Words may contain any character —
+    /// including the newline token — so the encoding is length-prefixed
+    /// binary, not line-oriented text.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&(self.id_to_word.len() as u32).to_le_bytes())?;
+        for word in &self.id_to_word {
+            let bytes = word.as_bytes();
+            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            w.write_all(bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Read a word list previously written by [`Vocab::save`].
+    pub fn load<R: std::io::Read>(r: &mut R) -> std::io::Result<Vocab> {
+        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        let mut buf4 = [0u8; 4];
+        r.read_exact(&mut buf4)?;
+        let count = u32::from_le_bytes(buf4) as usize;
+        // A closed vocabulary is small; a corrupt count must not allocate.
+        if count > 65_536 {
+            return Err(bad(format!("implausible vocabulary size {count}")));
+        }
+        let mut words = Vec::with_capacity(count);
+        for _ in 0..count {
+            r.read_exact(&mut buf4)?;
+            let len = u32::from_le_bytes(buf4) as usize;
+            if len > 4096 {
+                return Err(bad(format!("implausible word length {len}")));
+            }
+            let mut bytes = vec![0u8; len];
+            r.read_exact(&mut bytes)?;
+            words.push(String::from_utf8(bytes).map_err(|e| bad(e.to_string()))?);
+        }
+        Vocab::from_words(words).map_err(bad)
+    }
+
     /// Decode token ids back to text.  Inverse of [`Vocab::encode`] on the
     /// closed language (whitespace is reconstructed around punctuation).
     pub fn decode(&self, ids: &[TokenId]) -> String {
@@ -294,6 +365,30 @@ mod tests {
     fn unknown_word_fails_encode() {
         let v = Vocab::build();
         assert!(v.encode("hello world").is_none());
+    }
+
+    #[test]
+    fn vocab_round_trips_through_bytes() {
+        let v = Vocab::build();
+        let mut buf = Vec::new();
+        v.save(&mut buf).unwrap();
+        let loaded = Vocab::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), v.len());
+        assert_eq!(loaded.words(), v.words());
+        for s in ALL_SPECIALS {
+            assert_eq!(loaded.special(s), v.special(s));
+        }
+        // Truncation is rejected.
+        let cut = &buf[..buf.len() - 1];
+        assert!(Vocab::load(&mut &*cut).is_err());
+    }
+
+    #[test]
+    fn from_words_rejects_duplicates_and_missing_specials() {
+        assert!(Vocab::from_words(vec!["a".into(), "a".into()]).is_err());
+        assert!(Vocab::from_words(vec!["just-a-word".into()]).is_err());
+        let v = Vocab::build();
+        assert!(Vocab::from_words(v.words().to_vec()).is_ok());
     }
 
     #[test]

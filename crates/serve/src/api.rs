@@ -25,12 +25,27 @@ use crate::registry::ModelEntry;
 /// Hard cap on frames accepted in either input form.
 pub const MAX_FRAMES: usize = 256;
 
-/// A request the API rejected, with its HTTP status.
+/// The one machine-readable error body every non-2xx response carries:
+/// `{"error":{"code":…,"message":…,"retry_after"?:…}}`.
+pub fn error_body(code: &str, message: &str, retry_after: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("code".to_owned(), Json::String(code.to_owned())),
+        ("message".to_owned(), Json::String(message.to_owned())),
+    ];
+    if let Some(secs) = retry_after {
+        fields.push(("retry_after".to_owned(), Json::Number(secs as f64)));
+    }
+    obj(vec![("error", Json::Object(fields))])
+}
+
+/// A request the API rejected, with its HTTP status and stable error code.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ApiError {
     /// HTTP status to answer with.
     pub status: u16,
-    /// Human-readable reason (returned as `{"error": …}`).
+    /// Stable machine-readable code (`bad_request`, `model_not_found`, …).
+    pub code: &'static str,
+    /// Human-readable reason.
     pub message: String,
 }
 
@@ -38,13 +53,14 @@ impl ApiError {
     fn bad(message: impl Into<String>) -> Self {
         ApiError {
             status: 400,
+            code: "bad_request",
             message: message.into(),
         }
     }
 
-    /// Render as the error body.
+    /// Render as the unified error body.
     pub fn body(&self) -> Json {
-        obj(vec![("error", Json::String(self.message.clone()))])
+        error_body(self.code, &self.message, None)
     }
 }
 
@@ -215,6 +231,7 @@ pub fn parse_predict(
         .to_owned();
     let world = lookup(&model).ok_or(ApiError {
         status: 404,
+        code: "model_not_found",
         message: format!("unknown model {model:?}"),
     })?;
     let seed = require(&doc, "seed")?
@@ -307,7 +324,7 @@ pub fn predict_response_with_stats(entry: &ModelEntry, req: &PredictRequest) -> 
         }
     }
     let body = obj(vec![
-        ("model", Json::String(entry.name.to_owned())),
+        ("model", Json::String(entry.name.clone())),
         ("seed", Json::Number(req.seed as f64)),
         ("assessment", Json::String(out.assessment.to_string())),
         ("score", Json::Number(score as f64)),
@@ -361,7 +378,7 @@ pub fn explain_response(entry: &ModelEntry, req: &ExplainRequest) -> Json {
         runtime::stream_seed(req.predict.seed, 1),
     );
     obj(vec![
-        ("model", Json::String(entry.name.to_owned())),
+        ("model", Json::String(entry.name.clone())),
         ("seed", Json::Number(req.predict.seed as f64)),
         ("method", Json::String(req.method.name().to_owned())),
         ("segments", Json::Number(attribution.len() as f64)),
@@ -436,6 +453,15 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(unknown.status, 404);
+        assert_eq!(unknown.code, "model_not_found");
+        // The rendered body follows the unified schema.
+        let body = unknown.body();
+        let err = body.get("error").unwrap();
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some("model_not_found")
+        );
+        assert!(err.get("message").and_then(Json::as_str).is_some());
         for bad in [
             &b"not json"[..],
             br#"{"seed":1,"input":{}}"#,
@@ -446,6 +472,7 @@ mod tests {
         ] {
             let err = parse_predict(bad, lookup).unwrap_err();
             assert_eq!(err.status, 400, "{:?}", err.message);
+            assert_eq!(err.code, "bad_request");
         }
     }
 

@@ -57,7 +57,13 @@ pub enum SubmitError {
 }
 
 /// One admitted predict job.
+///
+/// Pins the registry snapshot it was admitted against, so a hot-swap via
+/// `/admin/reload` never changes which model an in-flight request runs on:
+/// admitted work drains on the old registry, new requests see the new one.
 struct Job {
+    /// The registry snapshot this job resolves its model in.
+    registry: Arc<Registry>,
     /// Registry index of the target model.
     entry: usize,
     request: PredictRequest,
@@ -81,13 +87,9 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Start the batcher thread over a registry.
-    pub fn start(
-        registry: Arc<Registry>,
-        pool: Arc<runtime::Pool>,
-        metrics: Arc<Metrics>,
-        cfg: BatchConfig,
-    ) -> Self {
+    /// Start the batcher thread.  Jobs carry their own registry snapshot,
+    /// so the scheduler itself is registry-agnostic.
+    pub fn start(pool: Arc<runtime::Pool>, metrics: Arc<Metrics>, cfg: BatchConfig) -> Self {
         assert!(cfg.queue_cap > 0 && cfg.max_batch > 0);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -100,7 +102,7 @@ impl Scheduler {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("serve-batcher".into())
-                .spawn(move || batcher_loop(&shared, &registry, &pool))
+                .spawn(move || batcher_loop(&shared, &pool))
                 .expect("spawn batcher")
         };
         Scheduler {
@@ -109,9 +111,11 @@ impl Scheduler {
         }
     }
 
-    /// Admit a predict job; the returned channel yields the response body.
+    /// Admit a predict job against a registry snapshot; the returned
+    /// channel yields the response body.
     pub fn submit(
         &self,
+        registry: Arc<Registry>,
         entry: usize,
         request: PredictRequest,
     ) -> Result<mpsc::Receiver<String>, SubmitError> {
@@ -129,6 +133,7 @@ impl Scheduler {
                 return Err(SubmitError::QueueFull);
             }
             queue.push_back(Job {
+                registry,
                 entry,
                 request,
                 done,
@@ -164,7 +169,7 @@ impl Drop for Scheduler {
     }
 }
 
-fn batcher_loop(shared: &Shared, registry: &Registry, pool: &runtime::Pool) {
+fn batcher_loop(shared: &Shared, pool: &runtime::Pool) {
     loop {
         let batch = collect_batch(shared);
         if batch.is_empty() {
@@ -175,7 +180,7 @@ fn batcher_loop(shared: &Shared, registry: &Registry, pool: &runtime::Pool) {
         let bodies = pool.par_map(&batch, |_, job| {
             let started = Instant::now();
             let (body, tokens) =
-                predict_response_with_stats(registry.entry(job.entry), &job.request);
+                predict_response_with_stats(job.registry.entry(job.entry), &job.request);
             (body.to_text(), tokens, started.elapsed().as_secs_f64())
         });
         for (job, (body, tokens, seconds)) in batch.iter().zip(bodies) {
@@ -237,21 +242,18 @@ mod tests {
         parse_predict(body.as_bytes(), |_| Some(WorldConfig::uvsd_like())).unwrap()
     }
 
-    fn scheduler(cfg: BatchConfig) -> (Scheduler, Arc<Metrics>) {
+    fn scheduler(cfg: BatchConfig) -> (Scheduler, Arc<Registry>, Arc<Metrics>) {
         let metrics = Arc::new(Metrics::new());
-        let s = Scheduler::start(
-            Arc::new(Registry::untrained(5)),
-            Arc::new(runtime::Pool::new(2)),
-            Arc::clone(&metrics),
-            cfg,
-        );
-        (s, metrics)
+        let s = Scheduler::start(Arc::new(runtime::Pool::new(2)), Arc::clone(&metrics), cfg);
+        (s, Arc::new(Registry::untrained(5)), metrics)
     }
 
     #[test]
     fn batches_serve_all_jobs_with_identical_bodies_per_request() {
-        let (s, metrics) = scheduler(BatchConfig::default());
-        let receivers: Vec<_> = (0..6).map(|_| s.submit(0, request(42)).unwrap()).collect();
+        let (s, r, metrics) = scheduler(BatchConfig::default());
+        let receivers: Vec<_> = (0..6)
+            .map(|_| s.submit(Arc::clone(&r), 0, request(42)).unwrap())
+            .collect();
         let bodies: Vec<String> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
         for b in &bodies {
             assert_eq!(b, &bodies[0], "same request must serialize identically");
@@ -264,7 +266,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_and_counts() {
-        let (s, metrics) = scheduler(BatchConfig {
+        let (s, r, metrics) = scheduler(BatchConfig {
             queue_cap: 2,
             max_batch: 2,
             // A long window so jobs sit in the queue while we overflow it.
@@ -275,7 +277,7 @@ mod tests {
         let mut rejected = false;
         let mut pending = Vec::new();
         for _ in 0..200 {
-            match s.submit(0, request(1)) {
+            match s.submit(Arc::clone(&r), 0, request(1)) {
                 Ok(rx) => pending.push(rx),
                 Err(SubmitError::QueueFull) => {
                     rejected = true;
@@ -295,9 +297,12 @@ mod tests {
 
     #[test]
     fn drain_rejects_new_work_and_is_idempotent() {
-        let (s, _) = scheduler(BatchConfig::default());
+        let (s, r, _) = scheduler(BatchConfig::default());
         s.drain();
-        assert_eq!(s.submit(0, request(1)).unwrap_err(), SubmitError::Draining);
+        assert_eq!(
+            s.submit(r, 0, request(1)).unwrap_err(),
+            SubmitError::Draining
+        );
         s.drain();
         assert_eq!(s.depth(), 0);
     }

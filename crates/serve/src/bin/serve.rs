@@ -3,16 +3,26 @@
 //! ```text
 //! serve [--addr 127.0.0.1:8472] [--scale smoke|full] [--seed N]
 //!       [--threads N] [--queue-cap N] [--max-batch N] [--window-ms N]
-//!       [--untrained]
+//!       [--untrained | --model-dir DIR]
 //! ```
 //!
-//! Trains both registry profiles at startup (or loads untrained tiny
-//! models with `--untrained`, for smoke tooling), prints the bound
-//! address, and serves until a client posts `/admin/shutdown`.
+//! Model source (pick one):
+//! - default: train both registry profiles at startup;
+//! - `--untrained`: untrained tiny models, for smoke tooling;
+//! - `--model-dir DIR`: load every `*.srcr` artifact in `DIR` — zero
+//!   training at startup, and `POST /admin/reload` re-reads the directory
+//!   for hot-swaps.
+//!
+//! Prints the bound address and serves until a client posts
+//! `/admin/shutdown`.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use serve::{BatchConfig, Registry, Server, ServerConfig};
+use serve::{
+    ArtifactProvider, BatchConfig, ModelProvider, Server, ServerConfig, TrainedProvider,
+    UntrainedProvider,
+};
 use videosynth::dataset::Scale;
 
 struct Args {
@@ -22,6 +32,7 @@ struct Args {
     threads: usize,
     batch: BatchConfig,
     untrained: bool,
+    model_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         batch: BatchConfig::default(),
         untrained: false,
+        model_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,8 +85,12 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--untrained" => args.untrained = true,
+            "--model-dir" => args.model_dir = Some(value("--model-dir")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.untrained && args.model_dir.is_some() {
+        return Err("--untrained and --model-dir are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -89,20 +105,21 @@ fn main() {
     };
     runtime::set_threads(args.threads);
 
-    let registry = if args.untrained {
-        eprintln!("loading untrained tiny models (--untrained)");
-        Registry::untrained(args.seed)
+    let provider: Arc<dyn ModelProvider> = if let Some(dir) = &args.model_dir {
+        Arc::new(ArtifactProvider { dir: dir.into() })
+    } else if args.untrained {
+        Arc::new(UntrainedProvider { seed: args.seed })
     } else {
-        eprintln!(
-            "training registry at {:?} scale, seed {}",
-            args.scale, args.seed
-        );
-        Registry::train(args.scale, args.seed)
+        Arc::new(TrainedProvider {
+            scale: args.scale,
+            seed: args.seed,
+        })
     };
-    eprintln!("models ready: {}", registry.names().join(", "));
+    eprintln!("model source: {}", provider.describe());
 
-    let mut server = match Server::start(
-        registry,
+    let boot = Instant::now();
+    let mut server = match Server::start_dyn(
+        provider,
         ServerConfig {
             addr: args.addr,
             batch: args.batch,
@@ -111,10 +128,16 @@ fn main() {
     ) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("serve: bind failed: {e}");
+            eprintln!("serve: startup failed: {e}");
             std::process::exit(1);
         }
     };
+    // The cold-start number EXPERIMENTS.md compares across model sources.
+    eprintln!(
+        "models ready in {:.3}s: {}",
+        boot.elapsed().as_secs_f64(),
+        server.model_names().join(", ")
+    );
     // The smoke script and other tooling parse this line for the port.
     println!("listening on http://{}", server.addr());
 

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use evalkit::timing::p50_p95_p99;
 use serve::http::{read_response, write_request};
+use serve::json::Json;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -134,6 +135,21 @@ struct Tally {
     client_err: AtomicU64,
     server_err: AtomicU64,
     transport_err: AtomicU64,
+    /// Non-2xx responses whose body violates the unified error schema
+    /// `{"error":{"code","message","retry_after"?}}`.
+    schema_err: AtomicU64,
+}
+
+/// Whether a non-2xx body follows the unified error schema.
+fn error_schema_ok(body: &str) -> bool {
+    let Ok(doc) = Json::parse(body) else {
+        return false;
+    };
+    let Some(err) = doc.get("error") else {
+        return false;
+    };
+    err.get("code").and_then(Json::as_str).is_some()
+        && err.get("message").and_then(Json::as_str).is_some()
 }
 
 /// Issue one request on an open connection; record latency on success.
@@ -162,9 +178,15 @@ fn one_request(
                 }
                 s if (400..500).contains(&s) => {
                     tally.client_err.fetch_add(1, Ordering::Relaxed);
+                    if !error_schema_ok(&resp.body_text()) {
+                        tally.schema_err.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 _ => {
                     tally.server_err.fetch_add(1, Ordering::Relaxed);
+                    if !error_schema_ok(&resp.body_text()) {
+                        tally.schema_err.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             };
         }
@@ -267,8 +289,9 @@ fn main() {
     let client = tally.client_err.load(Ordering::Relaxed);
     let server = tally.server_err.load(Ordering::Relaxed);
     let transport = tally.transport_err.load(Ordering::Relaxed);
+    let schema = tally.schema_err.load(Ordering::Relaxed);
     println!(
-        "  issued={issued} ok={ok} client_err={client} server_err={server} transport_err={transport}"
+        "  issued={issued} ok={ok} client_err={client} server_err={server} transport_err={transport} schema_err={schema}"
     );
     println!("  wall={wall:.3}s throughput={:.1} req/s", ok as f64 / wall);
     let mut ms = latencies.lock().expect("latency lock").clone();
@@ -284,10 +307,12 @@ fn main() {
     }
 
     // Closed-loop runs demand a clean sweep; open-loop runs tolerate
-    // admission-control rejections (that is what they are for).
-    let failed = match args.mode {
-        Mode::Closed => ok as usize != issued,
-        Mode::Open => server + transport > 0,
-    };
+    // admission-control rejections (that is what they are for).  Either
+    // way, every non-2xx body must follow the unified error schema.
+    let failed = schema > 0
+        || match args.mode {
+            Mode::Closed => ok as usize != issued,
+            Mode::Open => server + transport > 0,
+        };
     std::process::exit(if failed { 1 } else { 0 });
 }

@@ -15,8 +15,18 @@
 //! ran it — the serving layer inherits the workspace's reproducibility
 //! guarantee instead of breaking it.
 //!
-//! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /healthz`,
-//! `GET /readyz`, `GET /metrics`, `POST /admin/shutdown`.
+//! Models come from a [`ModelProvider`]: trained at boot
+//! ([`TrainedProvider`]), instant untrained tiny models
+//! ([`UntrainedProvider`]) or integrity-checked `SRCR1` artifacts on disk
+//! ([`ArtifactProvider`], `serve --model-dir`) — the latter boots with
+//! zero training.  The provider is retained so `POST /admin/reload`
+//! hot-swaps a fresh registry while in-flight requests drain on the old
+//! one.  Every non-2xx response carries the unified error schema
+//! `{"error":{"code","message","retry_after"?}}`.
+//!
+//! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /v1/models`,
+//! `GET /healthz`, `GET /readyz`, `GET /metrics`, `POST /admin/reload`,
+//! `POST /admin/shutdown`.
 
 pub mod api;
 pub mod batch;
@@ -26,6 +36,11 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
+// One config construction path across `core`, `serve` and `bench`.
+pub use chain_reason::{ConfigError, PipelineConfig, PipelineConfigBuilder};
+
 pub use batch::{BatchConfig, Scheduler, SubmitError};
-pub use registry::{ModelEntry, Registry};
+pub use registry::{
+    ArtifactProvider, ModelEntry, ModelProvider, Registry, TrainedProvider, UntrainedProvider,
+};
 pub use server::{Server, ServerConfig};

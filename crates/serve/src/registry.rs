@@ -1,12 +1,19 @@
-//! The model registry: named, trained `Describe → Assess → Highlight`
-//! pipelines the server routes requests to.
+//! The model registry and its providers: named, trained
+//! `Describe → Assess → Highlight` pipelines the server routes requests to.
 //!
-//! One entry per dataset profile (`uvsd_sim`, `rsl_sim`), each carrying
-//! the trained pipeline, the generative world configuration requests with
-//! a sample spec are synthesized under, and a shared explainer evaluation
-//! cache deduplicating repeated mask coalitions across `/v1/explain`
-//! calls on the same sample.
+//! A [`Registry`] is an immutable snapshot of served models — one entry
+//! per name, each carrying the pipeline, the generative world
+//! configuration requests with a sample spec are synthesized under, its
+//! provenance (version, content hash, source) and a shared explainer
+//! evaluation cache.  Where a registry *comes from* is a
+//! [`ModelProvider`]: train-at-boot ([`TrainedProvider`]), instant
+//! untrained tiny models ([`UntrainedProvider`]) or `SRCR1` artifacts on
+//! disk ([`ArtifactProvider`]).  The server keeps the provider around so
+//! `POST /admin/reload` can build a fresh registry and hot-swap it.
 
+use std::path::PathBuf;
+
+use chain_reason::artifact;
 use chain_reason::{train_pipeline, PipelineConfig, StressPipeline, Variant};
 use explainers::EvalCache;
 use lfm::pretrain::{pretrain, CapabilityProfile};
@@ -16,8 +23,16 @@ use videosynth::world::WorldConfig;
 
 /// One served model.
 pub struct ModelEntry {
-    /// Registry name, matching the dataset profile ("uvsd_sim", "rsl_sim").
-    pub name: &'static str,
+    /// Registry name (dataset profile or artifact `meta.name`).
+    pub name: String,
+    /// Artifact version (1 for freshly trained/untrained registries).
+    pub version: u32,
+    /// CRC32 fingerprint of the model bytes — the artifact file for
+    /// artifact-loaded entries, the serialized weights otherwise.
+    pub content_hash: u32,
+    /// Where the entry came from: `trained`, `untrained` or
+    /// `artifact:<file>`.
+    pub source: String,
     /// The trained pipeline.
     pub pipeline: StressPipeline,
     /// Generative world requests with a `spec` input are synthesized under.
@@ -31,8 +46,32 @@ pub struct Registry {
     entries: Vec<ModelEntry>,
 }
 
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("models", &self.names())
+            .finish()
+    }
+}
+
+/// CRC32 over the pipeline's serialized weights — the content fingerprint
+/// for registries that never touched disk.
+fn weights_hash(pipeline: &StressPipeline) -> u32 {
+    let mut buf = Vec::new();
+    pipeline
+        .model
+        .save_weights(&mut buf)
+        .expect("in-memory serialization cannot fail");
+    tinynn::serialize::crc32(&buf)
+}
+
 impl Registry {
-    /// Train both corpus profiles at a scale — the server's startup path.
+    /// Build a registry from explicit entries (how providers assemble one).
+    pub fn from_entries(entries: Vec<ModelEntry>) -> Self {
+        Registry { entries }
+    }
+
+    /// Train both corpus profiles at a scale — the classic startup path.
     ///
     /// Mirrors the bench harness's experiment context: an 80/20 stratified
     /// split of the generated corpus, a capability-pretrained base, and
@@ -64,7 +103,10 @@ impl Registry {
             cfg.seed = seed;
             let (pipeline, _) = train_pipeline(base, cfg, &au.samples, &train, Variant::Full);
             ModelEntry {
-                name,
+                name: name.to_string(),
+                version: 1,
+                content_hash: weights_hash(&pipeline),
+                source: "trained".to_string(),
                 pipeline,
                 world,
                 cache: EvalCache::new(),
@@ -86,14 +128,18 @@ impl Registry {
             ("rsl_sim", WorldConfig::rsl_like()),
         ]
         .into_iter()
-        .map(|(name, world)| ModelEntry {
-            name,
-            pipeline: StressPipeline::new(
-                Lfm::new(ModelConfig::tiny(), seed),
-                PipelineConfig::smoke(),
-            ),
-            world,
-            cache: EvalCache::new(),
+        .map(|(name, world)| {
+            let pipeline =
+                StressPipeline::new(Lfm::new(ModelConfig::tiny(), seed), PipelineConfig::smoke());
+            ModelEntry {
+                name: name.to_string(),
+                version: 1,
+                content_hash: weights_hash(&pipeline),
+                source: "untrained".to_string(),
+                pipeline,
+                world,
+                cache: EvalCache::new(),
+            }
         })
         .collect();
         Registry { entries }
@@ -115,14 +161,122 @@ impl Registry {
     }
 
     /// All model names, registry order.
-    pub fn names(&self) -> Vec<&'static str> {
-        self.entries.iter().map(|e| e.name).collect()
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// All entries, registry order (for `/v1/models`).
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+}
+
+/// Where registries come from.  The server builds its initial registry
+/// through one of these and keeps it to rebuild on `POST /admin/reload`.
+pub trait ModelProvider: Send + Sync {
+    /// Human-readable description of the source (logged at boot).
+    fn describe(&self) -> String;
+
+    /// Build a fresh registry.  Must not mutate shared state: a failed
+    /// provide leaves the server on its previous registry.
+    fn provide(&self) -> Result<Registry, String>;
+}
+
+/// Train both corpus profiles at boot (the historical default).
+pub struct TrainedProvider {
+    /// Dataset scale to train at.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ModelProvider for TrainedProvider {
+    fn describe(&self) -> String {
+        format!("train at {:?} scale, seed {}", self.scale, self.seed)
+    }
+
+    fn provide(&self) -> Result<Registry, String> {
+        Ok(Registry::train(self.scale, self.seed))
+    }
+}
+
+/// Untrained tiny models — for smoke tooling and tests.
+pub struct UntrainedProvider {
+    /// Init seed for the tiny models.
+    pub seed: u64,
+}
+
+impl ModelProvider for UntrainedProvider {
+    fn describe(&self) -> String {
+        format!("untrained tiny models, seed {}", self.seed)
+    }
+
+    fn provide(&self) -> Result<Registry, String> {
+        Ok(Registry::untrained(self.seed))
+    }
+}
+
+/// Load every `*.srcr` artifact in a directory — zero training at boot.
+pub struct ArtifactProvider {
+    /// Directory holding `<name>.srcr` files.
+    pub dir: PathBuf,
+}
+
+impl ModelProvider for ArtifactProvider {
+    fn describe(&self) -> String {
+        format!("artifacts from {}", self.dir.display())
+    }
+
+    fn provide(&self) -> Result<Registry, String> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+            .map_err(|e| format!("cannot read {}: {e}", self.dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|ext| ext == artifact::ARTIFACT_EXT)
+            })
+            .collect();
+        // Deterministic registry order regardless of directory iteration.
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!(
+                "no .{} artifacts in {}",
+                artifact::ARTIFACT_EXT,
+                self.dir.display()
+            ));
+        }
+        let mut entries: Vec<ModelEntry> = Vec::with_capacity(paths.len());
+        for path in paths {
+            let file = path
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let loaded =
+                artifact::load_pipeline(&path).map_err(|e| format!("artifact {file}: {e}"))?;
+            if entries.iter().any(|e| e.name == loaded.meta.name) {
+                return Err(format!(
+                    "artifact {file}: duplicate model name {:?}",
+                    loaded.meta.name
+                ));
+            }
+            entries.push(ModelEntry {
+                name: loaded.meta.name,
+                version: loaded.meta.version,
+                content_hash: loaded.content_hash,
+                source: format!("artifact:{file}"),
+                pipeline: loaded.pipeline,
+                world: loaded.world,
+                cache: EvalCache::new(),
+            });
+        }
+        Ok(Registry::from_entries(entries))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chain_reason::ArtifactMeta;
 
     #[test]
     fn untrained_registry_serves_both_profiles() {
@@ -132,5 +286,70 @@ mod tests {
         assert!(r.get("imagenet").is_none());
         assert_eq!(r.index_of("rsl_sim"), Some(1));
         assert_eq!(r.entry(1).name, "rsl_sim");
+        for e in r.entries() {
+            assert_eq!(e.version, 1);
+            assert_eq!(e.source, "untrained");
+        }
+        // Same seed, same weights, same fingerprint; the two profiles share
+        // an init seed here so their hashes coincide by construction.
+        let r2 = Registry::untrained(3);
+        assert_eq!(r.entry(0).content_hash, r2.entry(0).content_hash);
+    }
+
+    #[test]
+    fn artifact_provider_round_trips_a_saved_registry() {
+        let dir = std::env::temp_dir().join("srcr_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in std::fs::read_dir(&dir).unwrap().flatten() {
+            std::fs::remove_file(f.path()).ok();
+        }
+        let source = Registry::untrained(9);
+        for entry in source.entries() {
+            let meta = ArtifactMeta {
+                name: entry.name.clone(),
+                version: 4,
+                scale: 0.25,
+                variant: "full".to_string(),
+                seed: 9,
+                git: "test".to_string(),
+            };
+            chain_reason::save_pipeline(
+                &dir.join(artifact::artifact_file_name(&entry.name)),
+                &entry.pipeline,
+                &entry.world,
+                &meta,
+            )
+            .unwrap();
+        }
+        let provider = ArtifactProvider { dir: dir.clone() };
+        let loaded = provider.provide().unwrap();
+        // Sorted file order: rsl_sim.srcr before uvsd_sim.srcr.
+        assert_eq!(loaded.names(), vec!["rsl_sim", "uvsd_sim"]);
+        for e in loaded.entries() {
+            assert_eq!(e.version, 4);
+            assert!(e.source.starts_with("artifact:"), "{}", e.source);
+            // Loaded weights are bitwise-identical to the saved ones.
+            let orig = source.get(&e.name).unwrap();
+            assert_eq!(weights_hash(&e.pipeline), weights_hash(&orig.pipeline));
+        }
+
+        // A corrupted artifact fails the whole provide with a typed message.
+        let victim = dir.join("uvsd_sim.srcr");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = provider.provide().unwrap_err();
+        assert!(err.contains("uvsd_sim.srcr"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_provider_rejects_an_empty_dir() {
+        let dir = std::env::temp_dir().join("srcr_registry_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = ArtifactProvider { dir: dir.clone() }.provide().unwrap_err();
+        assert!(err.contains("no .srcr artifacts"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

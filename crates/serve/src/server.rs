@@ -1,9 +1,18 @@
-//! The TCP server: accept loop, request routing, graceful drain.
+//! The TCP server: accept loop, request routing, hot-swap, graceful drain.
 //!
 //! Thread-per-connection with keep-alive.  The accept loop runs
 //! non-blocking with a short poll so a shutdown flag can stop it without
 //! platform-specific tricks; connection handlers use read timeouts for the
 //! same reason — an idle keep-alive peer never pins a handler past drain.
+//!
+//! The registry is held behind an `RwLock<Arc<Registry>>`: every request
+//! clones the current `Arc` once up front, and batched jobs pin that
+//! snapshot, so `POST /admin/reload` swaps registries without touching
+//! in-flight work — admitted requests drain on the old registry, new
+//! requests see the new one.
+//!
+//! Every non-2xx response, including HTTP parse failures, carries the one
+//! machine-readable body `{"error":{"code","message","retry_after"?}}`.
 //!
 //! Graceful drain order (see [`Server::shutdown`]): flip the shutdown
 //! flag, drain the scheduler (everything already admitted completes; new
@@ -12,7 +21,7 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -21,7 +30,7 @@ use crate::batch::{BatchConfig, Scheduler, SubmitError};
 use crate::http::{parse_request, HttpError, Request, Response};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
-use crate::registry::Registry;
+use crate::registry::{ModelProvider, Registry};
 
 /// How long the accept loop sleeps between polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -52,13 +61,25 @@ impl Default for ServerConfig {
 
 /// Everything a connection handler needs.
 struct State {
-    registry: Arc<Registry>,
+    /// The live registry snapshot; swapped whole on reload.
+    registry: RwLock<Arc<Registry>>,
+    /// Builds registries — the boot source, re-invoked by `/admin/reload`.
+    provider: Arc<dyn ModelProvider>,
     scheduler: Scheduler,
     metrics: Arc<Metrics>,
+    /// Serialises reloads so concurrent `/admin/reload`s can't interleave.
+    reload: Mutex<()>,
     /// Set once drain starts; handlers and the accept loop wind down.
     shutdown: AtomicBool,
     /// Set by `POST /admin/shutdown`; the serve binary polls it.
     shutdown_requested: AtomicBool,
+}
+
+impl State {
+    /// The current registry snapshot (one `Arc` clone).
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry.read().expect("registry lock"))
+    }
 }
 
 /// A running server.
@@ -70,8 +91,24 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind and start serving a registry.
-    pub fn start(registry: Registry, cfg: ServerConfig) -> std::io::Result<Server> {
+    /// Build the initial registry through `provider`, bind, and serve.
+    /// The provider is retained for `POST /admin/reload`.
+    pub fn start<P: ModelProvider + 'static>(
+        provider: P,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::start_dyn(Arc::new(provider), cfg)
+    }
+
+    /// [`start`](Self::start) with an already-erased provider.
+    pub fn start_dyn(
+        provider: Arc<dyn ModelProvider>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let registry = provider
+            .provide()
+            .map(Arc::new)
+            .map_err(std::io::Error::other)?;
         let listener = TcpListener::bind(
             cfg.addr
                 .to_socket_addrs()?
@@ -81,15 +118,15 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let registry = Arc::new(registry);
         let metrics = Arc::new(Metrics::new());
         let pool = Arc::new(runtime::Pool::new(cfg.threads));
-        let scheduler =
-            Scheduler::start(Arc::clone(&registry), pool, Arc::clone(&metrics), cfg.batch);
+        let scheduler = Scheduler::start(pool, Arc::clone(&metrics), cfg.batch);
         let state = Arc::new(State {
-            registry,
+            registry: RwLock::new(registry),
+            provider,
             scheduler,
             metrics,
+            reload: Mutex::new(()),
             shutdown: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
         });
@@ -120,6 +157,16 @@ impl Server {
     /// Shared metrics (for tests and the binary's exit summary).
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.state.metrics)
+    }
+
+    /// Names of the currently served models.
+    pub fn model_names(&self) -> Vec<String> {
+        self.state
+            .registry()
+            .names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
     }
 
     /// Whether a client asked the server to stop via `POST /admin/shutdown`.
@@ -172,6 +219,35 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>, handlers: &Mutex<Vec<
     }
 }
 
+/// Standard reason phrase for the statuses this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Build a non-2xx response carrying the unified error schema.
+fn error_response(status: u16, code: &str, message: &str, retry_after: Option<u64>) -> Response {
+    let resp = Response::json(
+        status,
+        reason(status),
+        &api::error_body(code, message, retry_after),
+    );
+    match retry_after {
+        Some(secs) => resp.with_header("Retry-After", secs.to_string()),
+        None => resp,
+    }
+}
+
 fn handle_connection(stream: TcpStream, state: &State) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -199,8 +275,13 @@ fn handle_connection(stream: TcpStream, state: &State) {
             }
             Err(e) => {
                 if let Some((status, reason)) = e.status() {
-                    let body = obj(vec![("error", Json::String(reason.to_owned()))]);
-                    let resp = Response::json(status, reason, &body);
+                    let code = match status {
+                        411 => "length_required",
+                        413 => "payload_too_large",
+                        431 => "headers_too_large",
+                        _ => "bad_request",
+                    };
+                    let resp = error_response(status, code, reason, None);
                     state.metrics.record_status(status);
                     let _ = resp.write_to(&mut writer, false);
                 }
@@ -212,39 +293,41 @@ fn handle_connection(stream: TcpStream, state: &State) {
 }
 
 fn route(req: &Request, state: &State) -> Response {
+    const ROUTES: &[&str] = &[
+        "/healthz",
+        "/readyz",
+        "/metrics",
+        "/v1/models",
+        "/v1/predict",
+        "/v1/explain",
+        "/admin/reload",
+        "/admin/shutdown",
+    ];
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
         ("GET", "/readyz") => readyz(state),
         ("GET", "/metrics") => Response::text(200, "OK", state.metrics.render()),
+        ("GET", "/v1/models") => models(state),
         ("POST", "/v1/predict") => predict(req, state),
         ("POST", "/v1/explain") => explain(req, state),
+        ("POST", "/admin/reload") => reload(state),
         ("POST", "/admin/shutdown") => {
             state.shutdown_requested.store(true, Ordering::Release);
             Response::json(200, "OK", &obj(vec![("draining", Json::Bool(true))]))
         }
-        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/predict" | "/v1/explain") => Response::json(
-            405,
-            "Method Not Allowed",
-            &obj(vec![("error", Json::String("method not allowed".into()))]),
-        ),
-        _ => Response::json(
-            404,
-            "Not Found",
-            &obj(vec![("error", Json::String("no such route".into()))]),
-        ),
+        (_, path) if ROUTES.contains(&path) => {
+            error_response(405, "method_not_allowed", "method not allowed", None)
+        }
+        _ => error_response(404, "not_found", "no such route", None),
     }
 }
 
 fn readyz(state: &State) -> Response {
     if state.shutdown.load(Ordering::Acquire) {
-        return Response::json(
-            503,
-            "Service Unavailable",
-            &obj(vec![("ready", Json::Bool(false))]),
-        );
+        return error_response(503, "draining", "server is draining", None);
     }
-    let models = state
-        .registry
+    let registry = state.registry();
+    let models = registry
         .names()
         .into_iter()
         .map(|n| Json::String(n.to_owned()))
@@ -260,9 +343,58 @@ fn readyz(state: &State) -> Response {
     )
 }
 
+/// `GET /v1/models`: every served model with its provenance.
+fn models(state: &State) -> Response {
+    let registry = state.registry();
+    let entries = registry
+        .entries()
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("name", Json::String(e.name.clone())),
+                ("version", Json::Number(e.version as f64)),
+                (
+                    "content_hash",
+                    Json::String(format!("{:08x}", e.content_hash)),
+                ),
+                ("source", Json::String(e.source.clone())),
+            ])
+        })
+        .collect();
+    Response::json(200, "OK", &obj(vec![("models", Json::Array(entries))]))
+}
+
+/// `POST /admin/reload`: build a fresh registry through the boot provider
+/// and swap it in.  In-flight requests finish on the snapshot they pinned;
+/// a failed provide leaves the current registry untouched.
+fn reload(state: &State) -> Response {
+    let _serialised = state.reload.lock().expect("reload lock");
+    match state.provider.provide() {
+        Ok(fresh) => {
+            let fresh = Arc::new(fresh);
+            let names: Vec<Json> = fresh
+                .names()
+                .into_iter()
+                .map(|n| Json::String(n.to_owned()))
+                .collect();
+            *state.registry.write().expect("registry lock") = fresh;
+            state.metrics.record_reload();
+            Response::json(
+                200,
+                "OK",
+                &obj(vec![
+                    ("reloaded", Json::Bool(true)),
+                    ("models", Json::Array(names)),
+                ]),
+            )
+        }
+        Err(e) => error_response(500, "reload_failed", &e, None),
+    }
+}
+
 fn predict(req: &Request, state: &State) -> Response {
     let started = Instant::now();
-    let registry = &state.registry;
+    let registry = state.registry();
     let parsed = api::parse_predict(&req.body, |name| {
         registry.get(name).map(|e| e.world.clone())
     });
@@ -273,7 +405,10 @@ fn predict(req: &Request, state: &State) -> Response {
     let entry = registry
         .index_of(&request.model)
         .expect("parse_predict validated the model name");
-    match state.scheduler.submit(entry, request) {
+    match state
+        .scheduler
+        .submit(Arc::clone(&registry), entry, request)
+    {
         Ok(rx) => match rx.recv() {
             Ok(body) => {
                 state
@@ -288,29 +423,18 @@ fn predict(req: &Request, state: &State) -> Response {
                 }
             }
             // The batcher is gone mid-flight — only on unclean teardown.
-            Err(_) => Response::json(
-                500,
-                "Internal Server Error",
-                &obj(vec![("error", Json::String("scheduler stopped".into()))]),
-            ),
+            Err(_) => error_response(500, "internal", "scheduler stopped", None),
         },
-        Err(SubmitError::QueueFull) => Response::json(
-            429,
-            "Too Many Requests",
-            &obj(vec![("error", Json::String("queue full".into()))]),
-        )
-        .with_header("Retry-After", "1"),
-        Err(SubmitError::Draining) => Response::json(
-            503,
-            "Service Unavailable",
-            &obj(vec![("error", Json::String("draining".into()))]),
-        ),
+        Err(SubmitError::QueueFull) => {
+            error_response(429, "queue_full", "admission queue is full", Some(1))
+        }
+        Err(SubmitError::Draining) => error_response(503, "draining", "server is draining", None),
     }
 }
 
 fn explain(req: &Request, state: &State) -> Response {
     let started = Instant::now();
-    let registry = &state.registry;
+    let registry = state.registry();
     let parsed = api::parse_explain(&req.body, |name| {
         registry.get(name).map(|e| e.world.clone())
     });
@@ -331,9 +455,5 @@ fn explain(req: &Request, state: &State) -> Response {
 }
 
 fn api_error(e: api::ApiError) -> Response {
-    let reason = match e.status {
-        404 => "Not Found",
-        _ => "Bad Request",
-    };
-    Response::json(e.status, reason, &e.body())
+    Response::json(e.status, reason(e.status), &e.body())
 }

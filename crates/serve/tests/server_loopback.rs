@@ -12,13 +12,13 @@ use std::time::Duration;
 
 use serve::http::{read_response, write_request, ClientResponse};
 use serve::json::Json;
-use serve::{BatchConfig, Registry, Server, ServerConfig};
+use serve::{BatchConfig, Server, ServerConfig, UntrainedProvider};
 
 const SEED: u64 = 11;
 
 fn start(queue_cap: usize, max_batch: usize, window: Duration, threads: usize) -> Server {
     Server::start(
-        Registry::untrained(SEED),
+        UntrainedProvider { seed: SEED },
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             batch: BatchConfig {
@@ -30,6 +30,21 @@ fn start(queue_cap: usize, max_batch: usize, window: Duration, threads: usize) -
         },
     )
     .expect("bind loopback server")
+}
+
+/// Assert a non-2xx response follows the unified error schema and return
+/// its `error.code`.
+fn assert_error_schema(resp: &ClientResponse) -> String {
+    let doc = Json::parse(&resp.body_text()).expect("error body must be JSON");
+    let err = doc.get("error").expect("body must hold \"error\"");
+    let code = err
+        .get("code")
+        .and_then(Json::as_str)
+        .expect("error.code must be a string");
+    err.get("message")
+        .and_then(Json::as_str)
+        .expect("error.message must be a string");
+    code.to_owned()
 }
 
 /// One request over a fresh connection.
@@ -91,7 +106,21 @@ fn predict_metrics_drain_lifecycle() {
     assert_eq!(scores.len() as u64, segments);
     assert!(segments > 0);
 
-    // Rejections map to their statuses.
+    // Every served model is listed with its provenance.
+    let models = rpc(&addr, "GET", "/v1/models", None);
+    assert_eq!(models.status, 200);
+    let doc = Json::parse(&models.body_text()).unwrap();
+    let listed = doc.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(listed.len(), 2);
+    for m in listed {
+        assert!(m.get("name").and_then(Json::as_str).is_some());
+        assert_eq!(m.get("version").and_then(Json::as_u64), Some(1));
+        let hash = m.get("content_hash").and_then(Json::as_str).unwrap();
+        assert_eq!(hash.len(), 8, "content hash is 8 hex chars: {hash}");
+        assert_eq!(m.get("source").and_then(Json::as_str), Some("untrained"));
+    }
+
+    // Rejections map to their statuses, all under the one error schema.
     let unknown = rpc(
         &addr,
         "POST",
@@ -99,12 +128,16 @@ fn predict_metrics_drain_lifecycle() {
         Some(br#"{"model":"nope","seed":1,"input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#),
     );
     assert_eq!(unknown.status, 404);
-    assert_eq!(
-        rpc(&addr, "POST", "/v1/predict", Some(b"{oops")).status,
-        400
-    );
-    assert_eq!(rpc(&addr, "GET", "/v1/predict", None).status, 405);
-    assert_eq!(rpc(&addr, "GET", "/no/such/route", None).status, 404);
+    assert_eq!(assert_error_schema(&unknown), "model_not_found");
+    let bad = rpc(&addr, "POST", "/v1/predict", Some(b"{oops"));
+    assert_eq!(bad.status, 400);
+    assert_eq!(assert_error_schema(&bad), "bad_request");
+    let wrong_method = rpc(&addr, "GET", "/v1/predict", None);
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(assert_error_schema(&wrong_method), "method_not_allowed");
+    let no_route = rpc(&addr, "GET", "/no/such/route", None);
+    assert_eq!(no_route.status, 404);
+    assert_eq!(assert_error_schema(&no_route), "not_found");
 
     // Metrics reflect the traffic above.
     let metrics = rpc(&addr, "GET", "/metrics", None);
@@ -159,6 +192,16 @@ fn overload_answers_429_with_retry_after() {
     assert_eq!(ok + rejected.len(), responses.len());
     for r in &rejected {
         assert_eq!(r.header("retry-after"), Some("1"));
+        assert_eq!(assert_error_schema(r), "queue_full");
+        // The schema carries the retry hint in-band too.
+        let doc = Json::parse(&r.body_text()).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .unwrap()
+                .get("retry_after")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
@@ -217,4 +260,121 @@ fn responses_are_byte_identical_across_batch_and_thread_shapes() {
         }
         server.shutdown();
     }
+}
+
+#[test]
+fn reload_hot_swaps_without_changing_deterministic_responses() {
+    let mut server = start(64, 4, Duration::from_millis(2), 2);
+    let addr = server.addr().to_string();
+
+    let before = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(before.status, 200);
+
+    let reload = rpc(&addr, "POST", "/admin/reload", Some(b"{}"));
+    assert_eq!(reload.status, 200, "{}", reload.body_text());
+    let doc = Json::parse(&reload.body_text()).unwrap();
+    assert_eq!(doc.get("reloaded").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("models").and_then(Json::as_array).unwrap().len(), 2);
+
+    // The provider is deterministic, so the swapped-in registry serves
+    // byte-identical responses — reload is invisible to correct clients.
+    let after = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(after.status, 200);
+    assert_eq!(before.body_text(), after.body_text());
+
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(metrics.contains("serve_reloads_total 1"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn artifact_boot_serves_identical_bytes_with_zero_training() {
+    use serve::{ArtifactProvider, ModelProvider, Registry};
+
+    // Persist the untrained registry as artifacts...
+    let dir = std::env::temp_dir().join("srcr_loopback_artifacts");
+    std::fs::create_dir_all(&dir).unwrap();
+    for f in std::fs::read_dir(&dir).unwrap().flatten() {
+        std::fs::remove_file(f.path()).ok();
+    }
+    let source = Registry::untrained(SEED);
+    for entry in source.entries() {
+        let meta = chain_reason::ArtifactMeta {
+            name: entry.name.clone(),
+            version: 2,
+            scale: 0.0,
+            variant: "untrained".to_string(),
+            seed: SEED,
+            git: "test".to_string(),
+        };
+        chain_reason::save_pipeline(
+            &dir.join(format!("{}.srcr", entry.name)),
+            &entry.pipeline,
+            &entry.world,
+            &meta,
+        )
+        .unwrap();
+    }
+
+    // ...and boot two servers: one from memory, one from the artifacts.
+    let mut trained_like = start(64, 4, Duration::from_millis(2), 2);
+    let provider = ArtifactProvider { dir: dir.clone() };
+    let expected_hashes: Vec<u32> = provider
+        .provide()
+        .unwrap()
+        .entries()
+        .iter()
+        .map(|e| e.content_hash)
+        .collect();
+    let mut from_disk = Server::start(
+        provider,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchConfig::default(),
+            threads: 2,
+        },
+    )
+    .expect("boot from artifacts");
+
+    let a = rpc(
+        &trained_like.addr().to_string(),
+        "POST",
+        "/v1/predict",
+        Some(&predict_body(42)),
+    );
+    let b = rpc(
+        &from_disk.addr().to_string(),
+        "POST",
+        "/v1/predict",
+        Some(&predict_body(42)),
+    );
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert_eq!(
+        a.body_text(),
+        b.body_text(),
+        "artifact-loaded pipeline must serve byte-identical responses"
+    );
+
+    // /v1/models reports the artifact provenance.
+    let models = rpc(&from_disk.addr().to_string(), "GET", "/v1/models", None);
+    let doc = Json::parse(&models.body_text()).unwrap();
+    let listed = doc.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(listed.len(), 2);
+    for (m, expected) in listed.iter().zip(&expected_hashes) {
+        assert_eq!(m.get("version").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            m.get("content_hash").and_then(Json::as_str).unwrap(),
+            format!("{expected:08x}")
+        );
+        assert!(m
+            .get("source")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("artifact:"));
+    }
+
+    trained_like.shutdown();
+    from_disk.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

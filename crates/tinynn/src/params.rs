@@ -119,6 +119,11 @@ impl ParamStore {
         (0..self.slots.len()).map(ParamId)
     }
 
+    /// Id of the parameter registered under `name`, if any.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.slots.iter().position(|s| s.name == name).map(ParamId)
+    }
+
     /// Reset every gradient to zero.  Call after each optimizer step.
     pub fn zero_grads(&mut self) {
         for s in &mut self.slots {

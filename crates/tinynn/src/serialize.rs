@@ -1,15 +1,205 @@
-//! Minimal binary (de)serialization of a [`ParamStore`].
+//! Minimal binary (de)serialization of a [`ParamStore`], plus the `SRCR1`
+//! sectioned container that model artifacts are packaged in.
 //!
-//! Format (little-endian):
+//! Parameter format (little-endian):
 //! `magic "TNN1"` · `u32 slot count` · per slot: `u32 name len` · name bytes ·
 //! `u32 ndim` · dims as `u32` · data as `f32`.
+//!
+//! Container format (little-endian):
+//! `magic "SRCR"` · `u32 version = 1` · `u32 section count` · per section:
+//! `u32 name len` · name bytes · `u64 payload len` ·
+//! `u32 crc32(name ⧺ payload)` · payload bytes — and nothing after the last
+//! section (trailing bytes are a hard error).  The checksum covers the
+//! section *name* as well as the payload, so a bit flip anywhere in a
+//! section is caught, not just in its data.  Every length is bounded before allocation and every payload
+//! is checksummed, so a truncated or bit-flipped file is rejected with a
+//! typed [`ContainerError`] instead of a panic or a silent misload.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"TNN1";
+
+/// Container magic (the format is versioned separately).
+const CONTAINER_MAGIC: &[u8; 4] = b"SRCR";
+/// The container version this build writes and accepts.
+pub const CONTAINER_VERSION: u32 = 1;
+/// Upper bound on sections per container (a corrupt count field must not
+/// drive a huge loop).
+const MAX_SECTIONS: usize = 64;
+/// Upper bound on a section-name length in bytes.
+const MAX_NAME_LEN: usize = 4096;
+
+/// Why a container failed to load.  Every variant is a *rejection* — the
+/// reader never panics and never returns partially-parsed data.
+#[derive(Debug)]
+pub enum ContainerError {
+    /// Underlying I/O failure (includes plain truncation at any point).
+    Io(io::Error),
+    /// The first four bytes are not `SRCR`.
+    BadMagic,
+    /// A container version this build does not understand.
+    BadVersion(u32),
+    /// A structural field is out of bounds or malformed.
+    Malformed(String),
+    /// A section's payload does not match its stored CRC32.
+    ChecksumMismatch {
+        /// Name of the failing section.
+        section: String,
+    },
+    /// Bytes remain after the declared last section.
+    TrailingBytes,
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::Io(e) => write!(f, "container i/o: {e}"),
+            ContainerError::BadMagic => write!(f, "not an SRCR container (bad magic)"),
+            ContainerError::BadVersion(v) => write!(
+                f,
+                "unsupported container version {v} (this build reads {CONTAINER_VERSION})"
+            ),
+            ContainerError::Malformed(m) => write!(f, "malformed container: {m}"),
+            ContainerError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section:?}")
+            }
+            ContainerError::TrailingBytes => write!(f, "trailing bytes after the last section"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+impl From<io::Error> for ContainerError {
+    fn from(e: io::Error) -> Self {
+        ContainerError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table generated once, lazily; 256 u32s.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Checksum of one section: CRC32 over `name ⧺ payload`, so corruption of
+/// either is rejected.
+fn section_crc(name: &[u8], payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(name.len() + payload.len());
+    covered.extend_from_slice(name);
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Write a complete `SRCR1` container: named sections in the given order,
+/// each with its payload length and CRC32.
+pub fn write_container<W: Write>(w: &mut W, sections: &[(&str, &[u8])]) -> io::Result<()> {
+    assert!(
+        sections.len() <= MAX_SECTIONS,
+        "too many sections: {}",
+        sections.len()
+    );
+    w.write_all(CONTAINER_MAGIC)?;
+    w.write_all(&CONTAINER_VERSION.to_le_bytes())?;
+    w.write_all(&(sections.len() as u32).to_le_bytes())?;
+    for (name, payload) in sections {
+        let name = name.as_bytes();
+        assert!(name.len() <= MAX_NAME_LEN, "section name too long");
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&section_crc(name, payload).to_le_bytes())?;
+        w.write_all(payload)?;
+    }
+    Ok(())
+}
+
+/// Read a complete container, verifying structure and every checksum.
+/// The reader must end exactly at the last section.
+pub fn read_container<R: Read>(r: &mut R) -> Result<Vec<(String, Vec<u8>)>, ContainerError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != CONTAINER_MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let version = read_u32(r)?;
+    if version != CONTAINER_VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let count = read_u32(r)? as usize;
+    if count > MAX_SECTIONS {
+        return Err(ContainerError::Malformed(format!(
+            "section count {count} exceeds the cap of {MAX_SECTIONS}"
+        )));
+    }
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(ContainerError::Malformed(format!(
+                "section name length {name_len} exceeds the cap of {MAX_NAME_LEN}"
+            )));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| ContainerError::Malformed("section name is not UTF-8".into()))?;
+        let payload_len = {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            u64::from_le_bytes(buf)
+        };
+        let stored_crc = read_u32(r)?;
+        // Read through `take` so a corrupt length never pre-allocates more
+        // than the data that actually exists.
+        let mut payload = Vec::new();
+        r.take(payload_len).read_to_end(&mut payload)?;
+        if payload.len() as u64 != payload_len {
+            return Err(ContainerError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "section {name:?}: payload truncated ({} of {payload_len} bytes)",
+                    payload.len()
+                ),
+            )));
+        }
+        if section_crc(name.as_bytes(), &payload) != stored_crc {
+            return Err(ContainerError::ChecksumMismatch { section: name });
+        }
+        sections.push((name, payload));
+    }
+    // Strict end-of-stream: anything after the last section is corruption.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(sections),
+        Ok(_) => Err(ContainerError::TrailingBytes),
+        Err(e) => Err(ContainerError::Io(e)),
+    }
+}
 
 /// Write all parameter values (not gradients) to `w`.
 pub fn save_params<W: Write>(store: &ParamStore, w: &mut W) -> io::Result<()> {
@@ -102,5 +292,93 @@ mod tests {
         save_params(&store, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(load_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_container() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_container(
+            &mut buf,
+            &[
+                ("meta", b"name=x\n".as_slice()),
+                ("params", &[0u8, 1, 2, 3, 255]),
+                ("empty", &[]),
+            ],
+        )
+        .unwrap();
+        buf
+    }
+
+    #[test]
+    fn container_round_trips_sections_in_order() {
+        let buf = sample_container();
+        let sections = read_container(&mut buf.as_slice()).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].0, "meta");
+        assert_eq!(sections[0].1, b"name=x\n");
+        assert_eq!(sections[1].0, "params");
+        assert_eq!(sections[1].1, vec![0u8, 1, 2, 3, 255]);
+        assert_eq!(sections[2].0, "empty");
+        assert!(sections[2].1.is_empty());
+    }
+
+    #[test]
+    fn container_rejects_every_single_truncation() {
+        let buf = sample_container();
+        for len in 0..buf.len() {
+            let cut = &buf[..len];
+            assert!(
+                read_container(&mut &*cut).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn container_rejects_every_single_bit_flip() {
+        let buf = sample_container();
+        for byte in 0..buf.len() {
+            for bit in 0..8u8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    read_container(&mut corrupt.as_slice()).is_err(),
+                    "bit {bit} of byte {byte} flipped: must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn container_rejects_trailing_bytes() {
+        let mut buf = sample_container();
+        buf.push(0);
+        assert!(matches!(
+            read_container(&mut buf.as_slice()),
+            Err(ContainerError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn container_rejects_wrong_version_and_magic() {
+        let buf = sample_container();
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_container(&mut bad_magic.as_slice()),
+            Err(ContainerError::BadMagic)
+        ));
+        let mut bad_version = buf;
+        bad_version[4] = 9;
+        assert!(matches!(
+            read_container(&mut bad_version.as_slice()),
+            Err(ContainerError::BadVersion(9))
+        ));
     }
 }

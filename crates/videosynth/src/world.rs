@@ -23,7 +23,7 @@ use crate::video::{StressLabel, VideoSample};
 /// cleanly stress shows on the face) and the noise terms — RSL, curated
 /// from a TV show with concealment incentives, is the noisier corpus, which
 /// is why every method in Table I scores lower on it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorldConfig {
     /// Frames per video clip.
     pub num_frames: usize,

@@ -17,7 +17,7 @@ cargo test --workspace --offline -q
 echo "==> cargo test -p serve -q (inference server: unit + proptest + loopback)"
 cargo test -p serve --offline -q
 
-echo "==> scripts/serve_smoke.sh"
+echo "==> scripts/serve_smoke.sh (untrained boot + SRCR1 artifact cycle)"
 bash scripts/serve_smoke.sh
 
 echo "==> scripts/bench_decode.sh --smoke (cached-decode equivalence + win)"

@@ -1,56 +1,107 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the inference server: boot `serve` on an
-# ephemeral port with untrained tiny models (fast), issue one predict and
-# one explain over real HTTP, assert 200s with well-formed JSON, then shut
-# down cleanly via POST /admin/shutdown and verify the process exits.
+# End-to-end smoke test of the inference server, in two acts:
+#
+#  1. Boot `serve` with untrained tiny models (fast), issue one predict and
+#     one explain over real HTTP, assert 200s with well-formed JSON and
+#     that non-2xx responses carry the unified error schema
+#     `{"error":{"code","message"}}`, then shut down via POST
+#     /admin/shutdown and verify the process exits.
+#
+#  2. The checkpoint cycle: train smoke-scale pipelines and save them as
+#     SRCR1 artifacts (`artifacts --save-artifacts`), boot
+#     `serve --model-dir` (zero training at startup), hit
+#     predict/explain/models/reload, and shut down.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cargo build --offline -q -p serve --bin serve
+cargo build --offline -q --release -p bench-suite --bin artifacts
 
 out="$(mktemp -d)"
 pid=""
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$out"' EXIT
 
-target/debug/serve --untrained --addr 127.0.0.1:0 >"$out/stdout" 2>"$out/stderr" &
-pid=$!
-
-# The binary prints "listening on http://HOST:PORT" once bound.
-addr=""
-for _ in $(seq 1 100); do
-  addr="$(sed -n 's#^listening on http://##p' "$out/stdout" | head -n 1)"
-  [ -n "$addr" ] && break
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "serve_smoke: server never reported its address"; cat "$out/stderr"; exit 1; }
-echo "serve_smoke: server at $addr"
-
 predict='{"model":"uvsd_sim","seed":7,"input":{"spec":{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}'
 explain='{"model":"rsl_sim","seed":7,"method":"lime","budget":16,"input":{"spec":{"subject_seed":3,"condition":"unstressed","sample_id":2,"num_frames":4}}}'
+bad_model='{"model":"nope","seed":1,"input":{"spec":{"subject_seed":1,"condition":"stressed","sample_id":1,"num_frames":4}}}'
 
-code="$(curl -s -o "$out/predict.json" -w '%{http_code}' -X POST "http://$addr/v1/predict" -d "$predict")"
-[ "$code" = 200 ] || { echo "serve_smoke: predict returned $code"; cat "$out/predict.json"; exit 1; }
-jq -e '.assessment and .score != null and .highlighted_regions' "$out/predict.json" >/dev/null
-echo "serve_smoke: predict ok ($(jq -r .assessment "$out/predict.json"), score $(jq -r .score "$out/predict.json"))"
+# Boot a server, wait for its "listening on" line, and set $addr.
+boot() {
+  "$@" >"$out/stdout" 2>"$out/stderr" &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's#^listening on http://##p' "$out/stdout" | head -n 1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "serve_smoke: server never reported its address"; cat "$out/stderr"; exit 1; }
+  echo "serve_smoke: server at $addr"
+}
 
-code="$(curl -s -o "$out/explain.json" -w '%{http_code}' -X POST "http://$addr/v1/explain" -d "$explain")"
-[ "$code" = 200 ] || { echo "serve_smoke: explain returned $code"; cat "$out/explain.json"; exit 1; }
-jq -e '.segments > 0 and (.scores | length) == .segments' "$out/explain.json" >/dev/null
-echo "serve_smoke: explain ok ($(jq -r .segments "$out/explain.json") segments)"
+# POST /admin/shutdown and verify the process exits.
+shutdown() {
+  curl -s -X POST "http://$addr/admin/shutdown" -d '{}' >/dev/null
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "serve_smoke: server did not exit after /admin/shutdown"
+    exit 1
+  fi
+  wait "$pid" 2>/dev/null || true
+  pid=""
+}
 
+# Predict + explain against $addr; every 2xx body is shape-checked.
+probe() {
+  code="$(curl -s -o "$out/predict.json" -w '%{http_code}' -X POST "http://$addr/v1/predict" -d "$predict")"
+  [ "$code" = 200 ] || { echo "serve_smoke: predict returned $code"; cat "$out/predict.json"; exit 1; }
+  jq -e '.assessment and .score != null and .highlighted_regions' "$out/predict.json" >/dev/null
+  echo "serve_smoke: predict ok ($(jq -r .assessment "$out/predict.json"), score $(jq -r .score "$out/predict.json"))"
+
+  code="$(curl -s -o "$out/explain.json" -w '%{http_code}' -X POST "http://$addr/v1/explain" -d "$explain")"
+  [ "$code" = 200 ] || { echo "serve_smoke: explain returned $code"; cat "$out/explain.json"; exit 1; }
+  jq -e '.segments > 0 and (.scores | length) == .segments' "$out/explain.json" >/dev/null
+  echo "serve_smoke: explain ok ($(jq -r .segments "$out/explain.json") segments)"
+
+  # Non-2xx responses carry the unified error schema with a typed code.
+  code="$(curl -s -o "$out/err.json" -w '%{http_code}' -X POST "http://$addr/v1/predict" -d "$bad_model")"
+  [ "$code" = 404 ] || { echo "serve_smoke: unknown model returned $code"; exit 1; }
+  jq -e '.error.code == "model_not_found" and (.error.message | type) == "string"' "$out/err.json" >/dev/null \
+    || { echo "serve_smoke: error schema violated"; cat "$out/err.json"; exit 1; }
+  echo "serve_smoke: error schema ok ($(jq -r .error.code "$out/err.json"))"
+}
+
+echo "== act 1: untrained models =="
+boot target/debug/serve --untrained --addr 127.0.0.1:0
+probe
 curl -s "http://$addr/metrics" | grep -q 'serve_predict_requests_total 1' \
   || { echo "serve_smoke: metrics missing the predict counter"; exit 1; }
+shutdown
+echo "serve_smoke: clean shutdown (untrained)"
 
-curl -s -X POST "http://$addr/admin/shutdown" -d '{}' >/dev/null
-for _ in $(seq 1 100); do
-  kill -0 "$pid" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "$pid" 2>/dev/null; then
-  echo "serve_smoke: server did not exit after /admin/shutdown"
-  exit 1
-fi
-wait "$pid" 2>/dev/null || true
-pid=""
-echo "serve_smoke: clean shutdown. PASS"
+echo "== act 2: SRCR1 artifact cycle =="
+target/release/artifacts --scale smoke --seed 7 --save-artifacts "$out/models"
+ls -l "$out/models"
+boot target/debug/serve --model-dir "$out/models" --addr 127.0.0.1:0
+grep -q 'models ready in' "$out/stderr" \
+  || { echo "serve_smoke: no cold-start report"; cat "$out/stderr"; exit 1; }
+echo "serve_smoke: $(grep 'models ready in' "$out/stderr")"
+
+jq -e '[.models[].source] | all(startswith("artifact:"))' <(curl -s "http://$addr/v1/models") >/dev/null \
+  || { echo "serve_smoke: /v1/models does not report artifact sources"; exit 1; }
+echo "serve_smoke: models ok ($(curl -s "http://$addr/v1/models" | jq -r '[.models[].name] | join(", ")'))"
+probe
+
+# Hot reload re-reads the artifact directory and keeps serving.
+jq -e '.reloaded == true' <(curl -s -X POST "http://$addr/admin/reload" -d '{}') >/dev/null \
+  || { echo "serve_smoke: reload failed"; exit 1; }
+curl -s "http://$addr/metrics" | grep -q 'serve_reloads_total 1' \
+  || { echo "serve_smoke: metrics missing the reload counter"; exit 1; }
+echo "serve_smoke: reload ok"
+probe
+shutdown
+echo "serve_smoke: clean shutdown (artifacts). PASS"
