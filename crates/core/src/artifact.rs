@@ -31,6 +31,14 @@ use crate::pipeline::StressPipeline;
 /// File extension for pipeline artifacts.
 pub const ARTIFACT_EXT: &str = "srcr";
 
+/// Fault-injection point consulted on every artifact file read.
+///
+/// Arming a [`runtime::faults`] plan against this point exercises the
+/// loader's recovery from truncation, I/O errors and bit flips **through
+/// the real file path**, not just the in-memory parser: every injected
+/// fault must surface as a typed [`ArtifactError`], never a panic.
+pub const FAULT_ARTIFACT_READ: &str = "artifact.read";
+
 const SEC_META: &str = "srcr.meta";
 const SEC_PIPELINE: &str = "pipeline.config";
 const SEC_VOCAB: &str = "lfm.vocab";
@@ -206,9 +214,15 @@ pub fn save_pipeline(
 }
 
 /// Load and verify a pipeline artifact from a file.
+///
+/// Reads go through a fault-injectable reader
+/// ([`FAULT_ARTIFACT_READ`]), so chaos runs corrupt real loads mid-stream;
+/// when no fault plan is armed the wrapper is a single branch per read.
 pub fn load_pipeline(path: &Path) -> Result<LoadedArtifact, ArtifactError> {
     let mut bytes = Vec::new();
-    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let file = fs::File::open(path)?;
+    runtime::faults::FaultyRead::new(io::BufReader::new(file), FAULT_ARTIFACT_READ)
+        .read_to_end(&mut bytes)?;
     load_pipeline_from_bytes(&bytes)
 }
 

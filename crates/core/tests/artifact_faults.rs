@@ -1,0 +1,107 @@
+//! End-to-end fault injection on the artifact *file* path: a seeded
+//! `runtime::faults` plan corrupts real `load_pipeline` reads mid-stream,
+//! and every failure mode must surface as a typed `ArtifactError` — never
+//! a panic, never a silently wrong model.
+
+use chain_reason::artifact::{
+    load_pipeline, save_pipeline, ArtifactError, ArtifactMeta, FAULT_ARTIFACT_READ,
+};
+use chain_reason::{PipelineConfig, StressPipeline};
+use lfm::Lfm;
+use runtime::faults::{self, FaultKind, FaultPlan};
+use std::sync::{Mutex, MutexGuard};
+use videosynth::world::WorldConfig;
+
+/// The fault plan is process-global; serialise the tests that arm it.
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn saved_artifact(dir: &str) -> std::path::PathBuf {
+    let cfg = PipelineConfig::smoke();
+    let pipeline = StressPipeline::new(Lfm::new(cfg.model.clone(), 5), cfg);
+    let meta = ArtifactMeta {
+        name: "uvsd_sim".to_string(),
+        version: 1,
+        scale: 0.25,
+        variant: "full".to_string(),
+        seed: 5,
+        git: "test".to_string(),
+    };
+    let dir = std::env::temp_dir().join(dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("uvsd_sim.srcr");
+    save_pipeline(&path, &pipeline, &WorldConfig::uvsd_like(), &meta).unwrap();
+    path
+}
+
+#[test]
+fn injected_read_faults_become_typed_errors_and_recovery_works() {
+    let _g = lock();
+    let path = saved_artifact("srcr_artifact_fault_test");
+
+    // Clean load first: the file is good.
+    faults::disarm();
+    let clean = load_pipeline(&path).expect("clean load");
+
+    // Truncation mid-stream: the second read call reports EOF, so the
+    // loader sees a short byte stream — a container-level error.
+    faults::arm(FaultPlan::new(3).with(FAULT_ARTIFACT_READ, FaultKind::Truncate, 1.0));
+    match load_pipeline(&path) {
+        Err(ArtifactError::Container(_)) | Err(ArtifactError::Io(_)) => {}
+        other => panic!("truncated load gave {other:?}"),
+    }
+
+    // Interleaved corruption: every faulted read flips a bit; the
+    // per-section CRCs must catch it.
+    faults::arm(FaultPlan::new(3).with(FAULT_ARTIFACT_READ, FaultKind::Corrupt, 1.0));
+    match load_pipeline(&path) {
+        Err(ArtifactError::Container(_)) => {}
+        other => panic!("corrupted load gave {other:?}"),
+    }
+
+    // Sporadic corruption at a seeded rate: deterministic across runs.
+    faults::arm(FaultPlan::new(9).with(FAULT_ARTIFACT_READ, FaultKind::Corrupt, 0.5));
+    let a = load_pipeline(&path)
+        .map(|l| l.content_hash)
+        .err()
+        .map(|e| e.to_string());
+    faults::arm(FaultPlan::new(9).with(FAULT_ARTIFACT_READ, FaultKind::Corrupt, 0.5));
+    let b = load_pipeline(&path)
+        .map(|l| l.content_hash)
+        .err()
+        .map(|e| e.to_string());
+    assert_eq!(a, b, "same seed, same faults, same outcome");
+
+    // I/O errors propagate as Io.
+    faults::arm(FaultPlan::new(3).with(FAULT_ARTIFACT_READ, FaultKind::Error, 1.0));
+    match load_pipeline(&path) {
+        Err(ArtifactError::Io(_)) => {}
+        other => panic!("io-faulted load gave {other:?}"),
+    }
+
+    // Disarm: the very same file loads bit-identically again.
+    faults::disarm();
+    let again = load_pipeline(&path).expect("recovered load");
+    assert_eq!(again.content_hash, clean.content_hash);
+    assert_eq!(again.meta, clean.meta);
+
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn capped_fault_lets_a_retry_succeed() {
+    let _g = lock();
+    let path = saved_artifact("srcr_artifact_fault_retry");
+
+    // Exactly one fault: the first load fails, the retry goes through —
+    // the transient-fault-then-recover pattern reload rollback relies on.
+    faults::arm(FaultPlan::new(1).with_capped(FAULT_ARTIFACT_READ, FaultKind::Error, 1.0, 1));
+    assert!(load_pipeline(&path).is_err(), "first load must fault");
+    let ok = load_pipeline(&path);
+    faults::disarm();
+    assert!(ok.is_ok(), "retry after the capped fault must succeed");
+
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}

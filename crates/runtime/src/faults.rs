@@ -1,0 +1,504 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] names *injection points* — stable string labels such as
+//! `socket.read`, `worker.exec`, `artifact.read`, `reload.swap` — and for
+//! each point a [`FaultKind`], an injection rate, and an optional cap on
+//! how many times the fault may fire.  Production code consults a point
+//! with [`check`]; the armed plan decides **deterministically** whether
+//! this consult is faulted: the decision is a pure hash of
+//! `(plan seed, point name, consult index)`, so the same plan against the
+//! same sequence of consults injects the same faults on every run.
+//!
+//! When no plan is armed, [`check`] is a single relaxed atomic load and a
+//! branch — zero allocation, zero locking — so leaving the injection
+//! points compiled into release binaries costs nothing on the hot path.
+//!
+//! Plans are parsed from a compact spec string (flag- and env-friendly):
+//!
+//! ```text
+//! seed=42;worker.exec:panic:0.05;socket.read:error:0.02;reload.swap:error:1x2
+//! ```
+//!
+//! Each clause is `point:kind:rate` with an optional `xN` suffix capping
+//! the fault at `N` firings.  Kinds: `error`, `panic`, `truncate`,
+//! `corrupt`.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a faulted consult should do to the consulting code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Surface an operational error (an `io::Error` for I/O points).
+    Error,
+    /// Panic — exercises unwind isolation (worker execution points).
+    Panic,
+    /// Truncate the stream: reads report EOF early.
+    Truncate,
+    /// Corrupt the payload: flip one bit in the bytes read.
+    Corrupt,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "error" => Some(FaultKind::Error),
+            "panic" => Some(FaultKind::Panic),
+            "truncate" => Some(FaultKind::Truncate),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+
+    /// The spec-string name of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Error => "error",
+            FaultKind::Panic => "panic",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// One injection point's schedule within a plan.
+#[derive(Clone, Debug)]
+struct PointSpec {
+    point: String,
+    kind: FaultKind,
+    /// Probability in `[0, 1]` that any given consult faults.
+    rate: f64,
+    /// Cap on total firings (`u64::MAX` = unlimited).
+    max_fires: u64,
+}
+
+/// A seeded schedule of faults over named injection points.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<PointSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Add an injection schedule: consults of `point` fault with
+    /// probability `rate` (clamped to `[0, 1]`), acting out `kind`.
+    pub fn with(mut self, point: &str, kind: FaultKind, rate: f64) -> Self {
+        self.points.push(PointSpec {
+            point: point.to_string(),
+            kind,
+            rate: rate.clamp(0.0, 1.0),
+            max_fires: u64::MAX,
+        });
+        self
+    }
+
+    /// [`with`](Self::with), capped at `max_fires` total firings.
+    pub fn with_capped(mut self, point: &str, kind: FaultKind, rate: f64, max_fires: u64) -> Self {
+        self.points.push(PointSpec {
+            point: point.to_string(),
+            kind,
+            rate: rate.clamp(0.0, 1.0),
+            max_fires,
+        });
+        self
+    }
+
+    /// Parse a spec string: `seed=N;point:kind:rate[xCAP];...`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|e| format!("bad seed {seed:?}: {e}"))?;
+                continue;
+            }
+            let mut parts = clause.split(':');
+            let (point, kind, rate) = match (parts.next(), parts.next(), parts.next(), parts.next())
+            {
+                (Some(p), Some(k), Some(r), None) if !p.is_empty() => (p, k, r),
+                _ => return Err(format!("bad clause {clause:?} (want point:kind:rate)")),
+            };
+            let kind =
+                FaultKind::parse(kind).ok_or_else(|| format!("unknown fault kind {kind:?}"))?;
+            let (rate, cap) = match rate.split_once('x') {
+                Some((r, c)) => (
+                    r,
+                    c.parse::<u64>()
+                        .map_err(|e| format!("bad fire cap {c:?}: {e}"))?,
+                ),
+                None => (rate, u64::MAX),
+            };
+            let rate: f64 = rate
+                .parse()
+                .map_err(|e| format!("bad rate {rate:?}: {e}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rate {rate} out of [0, 1]"));
+            }
+            plan.points.push(PointSpec {
+                point: point.to_string(),
+                kind,
+                rate,
+                max_fires: cap,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.rate == 0.0 || p.max_fires == 0)
+    }
+}
+
+/// An armed plan: the schedule plus per-point consult/fire accounting.
+struct ArmedPlan {
+    seed: u64,
+    points: Vec<(PointSpec, AtomicU64, AtomicU64)>, // (spec, consults, fires)
+    injected_total: AtomicU64,
+}
+
+/// Fast-path gate: true only while a plan is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static Mutex<Option<Arc<ArmedPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<ArmedPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn armed_plan() -> Option<Arc<ArmedPlan>> {
+    slot().lock().expect("fault plan lock").clone()
+}
+
+/// Arm a plan process-wide.  Replaces any previously armed plan and
+/// resets all counters.
+pub fn arm(plan: FaultPlan) {
+    let armed = ArmedPlan {
+        seed: plan.seed,
+        points: plan
+            .points
+            .into_iter()
+            .map(|p| (p, AtomicU64::new(0), AtomicU64::new(0)))
+            .collect(),
+        injected_total: AtomicU64::new(0),
+    };
+    *slot().lock().expect("fault plan lock") = Some(Arc::new(armed));
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm: every subsequent [`check`] is a no-op again.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *slot().lock().expect("fault plan lock") = None;
+}
+
+/// Arm from the `SRCR_FAULT_PLAN` environment variable, if set and
+/// non-empty.  Returns whether a plan was armed.
+pub fn arm_from_env() -> Result<bool, String> {
+    match std::env::var("SRCR_FAULT_PLAN") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            arm(FaultPlan::parse(&spec)?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// splitmix64 — the decision hash behind every injection choice.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a point name — folds the label into the decision hash.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Consult an injection point.  `None` (the overwhelmingly common case,
+/// and always when disarmed) means proceed normally; `Some(kind)` means
+/// act out that fault.
+#[inline]
+pub fn check(point: &str) -> Option<FaultKind> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_slow(point)
+}
+
+#[cold]
+fn check_slow(point: &str) -> Option<FaultKind> {
+    let plan = armed_plan()?;
+    for (spec, consults, fires) in &plan.points {
+        if spec.point != point {
+            continue;
+        }
+        let n = consults.fetch_add(1, Ordering::Relaxed);
+        // Pure function of (seed, point, consult index): replays exactly.
+        let h = splitmix64(plan.seed ^ fnv1a(point) ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let p = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if p < spec.rate && fires.load(Ordering::Relaxed) < spec.max_fires {
+            let prior = fires.fetch_add(1, Ordering::Relaxed);
+            if prior >= spec.max_fires {
+                return None; // lost the cap race
+            }
+            plan.injected_total.fetch_add(1, Ordering::Relaxed);
+            return Some(spec.kind);
+        }
+        return None;
+    }
+    None
+}
+
+/// Total faults injected since the current plan was armed (0 if disarmed).
+pub fn injected_total() -> u64 {
+    armed_plan().map_or(0, |p| p.injected_total.load(Ordering::Relaxed))
+}
+
+/// Faults injected at one point since the current plan was armed.
+pub fn injected_at(point: &str) -> u64 {
+    armed_plan().map_or(0, |p| {
+        p.points
+            .iter()
+            .filter(|(s, _, _)| s.point == point)
+            .map(|(_, _, fires)| fires.load(Ordering::Relaxed))
+            .sum()
+    })
+}
+
+/// A reader that consults an injection point on every `read` call.
+///
+/// - [`FaultKind::Error`] → the read fails with `io::ErrorKind::Other`;
+/// - [`FaultKind::Truncate`] → the read reports EOF (0 bytes);
+/// - [`FaultKind::Corrupt`] → the read succeeds but one bit of the bytes
+///   read is flipped (deterministically — the lowest bit of the first
+///   byte);
+/// - [`FaultKind::Panic`] → the read panics.
+///
+/// Wrap any `Read` whose failure handling should be exercised end-to-end:
+/// artifact loads, socket reads.
+pub struct FaultyRead<R> {
+    inner: R,
+    point: &'static str,
+}
+
+impl<R: Read> FaultyRead<R> {
+    /// Wrap `inner`; every read consults `point`.
+    pub fn new(inner: R, point: &'static str) -> Self {
+        FaultyRead { inner, point }
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match check(self.point) {
+            None => self.inner.read(buf),
+            Some(FaultKind::Error) => Err(io::Error::other(format!(
+                "injected fault at {}",
+                self.point
+            ))),
+            Some(FaultKind::Truncate) => Ok(0),
+            Some(FaultKind::Corrupt) => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    buf[0] ^= 1;
+                }
+                Ok(n)
+            }
+            Some(FaultKind::Panic) => panic!("injected panic at {}", self.point),
+        }
+    }
+}
+
+/// A writer that consults an injection point on every `write` call.
+///
+/// - [`FaultKind::Error`] → the write fails with `io::ErrorKind::Other`
+///   (the peer sees a reset mid-response);
+/// - [`FaultKind::Truncate`] → the write reports `Ok(0)` (write-zero — a
+///   stalled peer), which `write_all` surfaces as `WriteZero`;
+/// - [`FaultKind::Corrupt`] → treated as `Error` (we never put corrupt
+///   bytes on a real wire — the peer's parser is not the system under
+///   test);
+/// - [`FaultKind::Panic`] → the write panics.
+///
+/// Flushes pass through untouched.
+pub struct FaultyWrite<W> {
+    inner: W,
+    point: &'static str,
+}
+
+impl<W: Write> FaultyWrite<W> {
+    /// Wrap `inner`; every write consults `point`.
+    pub fn new(inner: W, point: &'static str) -> Self {
+        FaultyWrite { inner, point }
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match check(self.point) {
+            None => self.inner.write(buf),
+            Some(FaultKind::Error) | Some(FaultKind::Corrupt) => Err(io::Error::other(format!(
+                "injected fault at {}",
+                self.point
+            ))),
+            Some(FaultKind::Truncate) => Ok(0),
+            Some(FaultKind::Panic) => panic!("injected panic at {}", self.point),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this module share the process-wide plan; serialise them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_checks_are_none() {
+        let _g = lock();
+        disarm();
+        assert_eq!(check("socket.read"), None);
+        assert_eq!(injected_total(), 0);
+    }
+
+    #[test]
+    fn armed_plan_injects_deterministically() {
+        let _g = lock();
+        let run = || {
+            arm(FaultPlan::new(42).with("worker.exec", FaultKind::Panic, 0.3));
+            let hits: Vec<bool> = (0..200).map(|_| check("worker.exec").is_some()).collect();
+            let total = injected_total();
+            disarm();
+            (hits, total)
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a, b, "same plan, same consult sequence, same faults");
+        assert_eq!(ta, tb);
+        assert!(ta > 20 && ta < 120, "rate 0.3 over 200: got {ta}");
+        // Other points are unaffected.
+        arm(FaultPlan::new(42).with("worker.exec", FaultKind::Panic, 1.0));
+        assert_eq!(check("socket.read"), None);
+        disarm();
+    }
+
+    #[test]
+    fn fire_cap_limits_injections() {
+        let _g = lock();
+        arm(FaultPlan::new(7).with_capped("reload.swap", FaultKind::Error, 1.0, 2));
+        let hits = (0..10).filter(|_| check("reload.swap").is_some()).count();
+        assert_eq!(hits, 2);
+        assert_eq!(injected_at("reload.swap"), 2);
+        assert_eq!(injected_total(), 2);
+        disarm();
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan =
+            FaultPlan::parse("seed=9; worker.exec:panic:0.05 ;socket.read:error:0.5x3").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.points.len(), 2);
+        assert_eq!(plan.points[0].kind, FaultKind::Panic);
+        assert_eq!(plan.points[1].max_fires, 3);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::parse("seed=1").unwrap().is_empty());
+        for bad in [
+            "nope",
+            "p:flip:0.5",
+            "p:error:1.5",
+            "p:error:x",
+            "seed=abc",
+            "p:error:0.5x-1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn faulty_read_acts_out_kinds() {
+        let _g = lock();
+        disarm();
+        // Disarmed: transparent.
+        let mut r = FaultyRead::new(&b"hello"[..], "artifact.read");
+        let mut buf = [0u8; 5];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+
+        // Truncate: EOF on the faulted call.
+        arm(FaultPlan::new(1).with("artifact.read", FaultKind::Truncate, 1.0));
+        let mut r = FaultyRead::new(&b"hello"[..], "artifact.read");
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+        disarm();
+
+        // Corrupt: one bit flipped in the first byte.
+        arm(FaultPlan::new(1).with("artifact.read", FaultKind::Corrupt, 1.0));
+        let mut r = FaultyRead::new(&b"hello"[..], "artifact.read");
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(buf[0], b'h' ^ 1);
+        disarm();
+
+        // Error: typed io error.
+        arm(FaultPlan::new(1).with("artifact.read", FaultKind::Error, 1.0));
+        let mut r = FaultyRead::new(&b"hello"[..], "artifact.read");
+        assert!(r.read(&mut buf).is_err());
+        disarm();
+    }
+
+    #[test]
+    fn faulty_write_acts_out_kinds() {
+        let _g = lock();
+        disarm();
+        // Disarmed: transparent.
+        let mut sink = Vec::new();
+        FaultyWrite::new(&mut sink, "socket.write")
+            .write_all(b"ok")
+            .unwrap();
+        assert_eq!(sink, b"ok");
+
+        // Error: the write fails outright.
+        arm(FaultPlan::new(1).with("socket.write", FaultKind::Error, 1.0));
+        let mut sink = Vec::new();
+        assert!(FaultyWrite::new(&mut sink, "socket.write")
+            .write_all(b"ok")
+            .is_err());
+        disarm();
+
+        // Truncate: write-zero, surfaced by write_all as an error.
+        arm(FaultPlan::new(1).with("socket.write", FaultKind::Truncate, 1.0));
+        let mut sink = Vec::new();
+        let err = FaultyWrite::new(&mut sink, "socket.write")
+            .write_all(b"ok")
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        disarm();
+    }
+}

@@ -26,9 +26,11 @@
 //! the machine and never changes results.
 
 pub mod cache;
+pub mod faults;
 pub mod pool;
 pub mod seed;
 
 pub use cache::KeyedCache;
-pub use pool::{set_threads, threads, Pool};
+pub use faults::{FaultKind, FaultPlan};
+pub use pool::{set_threads, threads, JobPanicked, Pool};
 pub use seed::stream_seed;

@@ -1,8 +1,41 @@
 //! The bounded worker pool and its order-preserving parallel map.
 
 use std::cell::Cell;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A job handed to [`Pool::try_par_map`] panicked.
+///
+/// Carries the input index (so callers can fail exactly that item) and the
+/// panic payload's message when it was a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// Index of the input item whose job panicked.
+    pub index: usize,
+    /// The panic message, or `"non-string panic payload"`.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+/// Render a `catch_unwind` payload as a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Process-wide thread-count override: 0 = use `available_parallelism`.
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -130,6 +163,33 @@ impl Pool {
             .collect()
     }
 
+    /// [`par_map`](Pool::par_map) with per-item panic isolation: a
+    /// panicking job yields `Err(JobPanicked)` for **that index only**,
+    /// every other item completes normally, output order is preserved, and
+    /// the pool (its worker threads are scoped per call) remains fully
+    /// usable afterwards.
+    ///
+    /// This is what lets a server treat one poisoned request in a batch as
+    /// one failed response instead of a dead process.
+    pub fn try_par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<Result<U, JobPanicked>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        // `f` is only observed through its return value per index; a panic
+        // discards that index's result entirely, so broken invariants
+        // cannot leak across items.
+        self.par_map(items, |i, item| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
+                JobPanicked {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                }
+            })
+        })
+    }
+
     /// [`par_map`](Pool::par_map) with a per-item decorrelated seed stream:
     /// `f` receives `(stream_seed(master_seed, i), i, &items[i])`.  The seed
     /// depends only on `(master_seed, i)`, never on scheduling, which is
@@ -222,6 +282,42 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_item() {
+        let items: Vec<u64> = (0..64).collect();
+        let pool = Pool::new(4);
+        let got = pool.try_par_map(&items, |i, &x| {
+            if i % 7 == 3 {
+                panic!("boom at {i}");
+            }
+            x * 2
+        });
+        for (i, r) in got.iter().enumerate() {
+            if i % 7 == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, i);
+                assert_eq!(e.message, format!("boom at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), items[i] * 2);
+            }
+        }
+        // The pool survives and is reusable after panicking jobs.
+        let again = pool.try_par_map(&items, |_, &x| x + 1);
+        assert!(again.iter().all(|r| r.is_ok()));
+        assert_eq!(pool.par_map(&[1u64, 2], |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_par_map_formats_non_string_payloads() {
+        let got = Pool::new(2).try_par_map(&[0u32], |_, _| -> u32 {
+            std::panic::panic_any(17u32);
+        });
+        assert_eq!(
+            got[0].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Property tests for `Pool::try_par_map` panic isolation: randomly
+//! panicking jobs fail exactly their own index, everything else completes
+//! in order, and the pool is reusable afterwards.
+
+use proptest::prelude::*;
+use runtime::Pool;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any input length, panic set and thread count: `Err(JobPanicked)`
+    /// exactly at the panicking indices, in-order `Ok`s everywhere else,
+    /// and the same pool keeps working afterwards.
+    #[test]
+    fn panics_fail_only_their_index(
+        n in 1usize..120,
+        panic_salt in 0u64..u64::MAX,
+        panic_one_in in 1u64..6,
+        threads in 1usize..9,
+    ) {
+        let items: Vec<u64> = (0..n as u64).collect();
+        // Deterministic pseudo-random panic set derived from the inputs.
+        let panics: Vec<bool> = items
+            .iter()
+            .map(|&i| (i ^ panic_salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) % panic_one_in == 0)
+            .collect();
+        let pool = Pool::new(threads);
+
+        let got = pool.try_par_map(&items, |i, &x| {
+            if panics[i] {
+                panic!("injected {i}");
+            }
+            x.wrapping_mul(3).wrapping_add(1)
+        });
+
+        prop_assert_eq!(got.len(), n);
+        for (i, r) in got.iter().enumerate() {
+            if panics[i] {
+                let e = r.as_ref().unwrap_err();
+                prop_assert_eq!(e.index, i);
+                prop_assert_eq!(e.message.clone(), format!("injected {i}"));
+            } else {
+                prop_assert_eq!(*r.as_ref().unwrap(), items[i].wrapping_mul(3).wrapping_add(1));
+            }
+        }
+
+        // The pool survives arbitrary panic patterns and still preserves
+        // order on the next call.
+        let expect: Vec<u64> = items.iter().map(|&x| x + 7).collect();
+        let again: Vec<u64> = pool
+            .try_par_map(&items, |_, &x| x + 7)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(again, expect);
+    }
+
+    /// Panic-free runs of `try_par_map` agree bit-for-bit with `par_map`
+    /// at any thread count.
+    #[test]
+    fn fault_free_runs_match_par_map(n in 0usize..200, threads in 1usize..9) {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let pool = Pool::new(threads);
+        let plain = pool.par_map(&items, |i, &x| x * x + i as u64);
+        let tried: Vec<u64> = pool
+            .try_par_map(&items, |i, &x| x * x + i as u64)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(plain, tried);
+    }
+}

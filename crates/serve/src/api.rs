@@ -13,6 +13,8 @@
 //! request with a fixed seed gets a byte-identical response no matter how
 //! it was batched or how many pool threads ran it.
 
+use std::time::Instant;
+
 use facs::au::{ActionUnit, AuSet, AuVector, NUM_AUS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -310,14 +312,56 @@ pub fn predict_response(entry: &ModelEntry, req: &PredictRequest) -> Json {
 /// the chain runs on one KV-cached session so the count is exact.  The
 /// body is byte-identical to [`predict_response`]'s.
 pub fn predict_response_with_stats(entry: &ModelEntry, req: &PredictRequest) -> (Json, u64) {
+    predict_response_with_stats_deadline(entry, req, None).expect("no deadline, cannot be exceeded")
+}
+
+/// The request ran past its deadline; the chain was abandoned at a stage
+/// boundary and no response body exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+/// [`predict_response_with_stats`] with a cooperative deadline, checked at
+/// every decode-loop boundary: before the chain starts and between the
+/// describe → assess → highlight → score stages.  A request that blows its
+/// budget stops consuming compute at the next boundary instead of running
+/// the chain to completion for a client that already gave up.
+///
+/// The stage sequence, temperatures and seed stream are exactly those of
+/// `predict_scored_with_session`, so a run that finishes under the
+/// deadline produces bytes identical to the deadline-free path.
+pub fn predict_response_with_stats_deadline(
+    entry: &ModelEntry,
+    req: &PredictRequest,
+    deadline: Option<Instant>,
+) -> Result<(Json, u64), DeadlineExceeded> {
+    let check = || {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    };
     let chain_seed = runtime::stream_seed(req.seed, 0);
-    let mut session = entry.pipeline.session();
-    let (out, score) =
-        entry
-            .pipeline
-            .predict_scored_with_session(&mut session, &req.video, chain_seed);
+    let pipeline = &entry.pipeline;
+    let mut session = pipeline.session();
+    check()?;
+    let description = pipeline.describe_with_session(&mut session, &req.video, 0.0, chain_seed);
+    check()?;
+    let assessment =
+        pipeline.assess_with_session(&mut session, &req.video, description, 0.0, chain_seed);
+    check()?;
+    let rationale = pipeline.highlight_with_session(
+        &mut session,
+        &req.video,
+        description,
+        assessment,
+        0.0,
+        chain_seed,
+    );
+    check()?;
+    let score = pipeline.stress_score_with_session(&mut session, &req.video, description);
     let mut regions: Vec<&'static str> = Vec::new();
-    for au in out.rationale.iter() {
+    for au in rationale.iter() {
         let r = au.region().name();
         if !regions.contains(&r) {
             regions.push(r);
@@ -326,10 +370,10 @@ pub fn predict_response_with_stats(entry: &ModelEntry, req: &PredictRequest) -> 
     let body = obj(vec![
         ("model", Json::String(entry.name.clone())),
         ("seed", Json::Number(req.seed as f64)),
-        ("assessment", Json::String(out.assessment.to_string())),
+        ("assessment", Json::String(assessment.to_string())),
         ("score", Json::Number(score as f64)),
-        ("description", au_set_json(out.description)),
-        ("rationale", au_set_json(out.rationale)),
+        ("description", au_set_json(description)),
+        ("rationale", au_set_json(rationale)),
         (
             "highlighted_regions",
             Json::Array(
@@ -340,7 +384,7 @@ pub fn predict_response_with_stats(entry: &ModelEntry, req: &PredictRequest) -> 
             ),
         ),
     ]);
-    (body, session.decoded_tokens())
+    Ok((body, session.decoded_tokens()))
 }
 
 /// Run a perturbation explainer and build the explain response body.
@@ -509,5 +553,30 @@ mod tests {
         let score = doc.get("score").and_then(Json::as_f64).unwrap();
         assert!((0.0..=1.0).contains(&score));
         assert!(doc.get("rationale").unwrap().get("text").is_some());
+    }
+
+    #[test]
+    fn deadline_path_matches_plain_path_byte_for_byte() {
+        let registry = Registry::untrained(11);
+        let entry = registry.get("uvsd_sim").unwrap();
+        let req = parse_predict(&spec_body(7), lookup).unwrap();
+        let (plain, plain_tokens) = predict_response_with_stats(entry, &req);
+        let (timed, timed_tokens) = predict_response_with_stats_deadline(
+            entry,
+            &req,
+            Some(Instant::now() + std::time::Duration::from_secs(300)),
+        )
+        .unwrap();
+        assert_eq!(plain.to_text(), timed.to_text());
+        assert_eq!(plain_tokens, timed_tokens);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_a_stage_boundary() {
+        let registry = Registry::untrained(11);
+        let entry = registry.get("uvsd_sim").unwrap();
+        let req = parse_predict(&spec_body(7), lookup).unwrap();
+        let got = predict_response_with_stats_deadline(entry, &req, Some(Instant::now()));
+        assert!(matches!(got, Err(DeadlineExceeded)));
     }
 }

@@ -22,9 +22,14 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::api::{predict_response_with_stats, PredictRequest};
+use crate::api::{predict_response_with_stats_deadline, PredictRequest};
 use crate::metrics::Metrics;
 use crate::registry::Registry;
+
+/// Fault-injection point consulted once per batch job, inside the worker
+/// closure — any armed kind panics there, exercising the pool's unwind
+/// isolation end-to-end.
+pub const FAULT_WORKER_EXEC: &str = "worker.exec";
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +61,16 @@ pub enum SubmitError {
     Draining,
 }
 
+/// Why an *admitted* job produced no response body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's deadline passed before the chain finished (503).
+    DeadlineExceeded,
+    /// The job panicked; the panic was caught and isolated to this one
+    /// request (500) — the rest of the batch and the pool are unharmed.
+    Panicked(String),
+}
+
 /// One admitted predict job.
 ///
 /// Pins the registry snapshot it was admitted against, so a hot-swap via
@@ -67,8 +82,11 @@ struct Job {
     /// Registry index of the target model.
     entry: usize,
     request: PredictRequest,
-    /// Where the finished response body goes.
-    done: mpsc::Sender<String>,
+    /// When this job's response stops being worth computing.  Checked at
+    /// batch dispatch and at every chain-stage boundary.
+    deadline: Option<Instant>,
+    /// Where the finished response body (or its failure) goes.
+    done: mpsc::Sender<Result<String, JobError>>,
 }
 
 struct Shared {
@@ -112,13 +130,14 @@ impl Scheduler {
     }
 
     /// Admit a predict job against a registry snapshot; the returned
-    /// channel yields the response body.
+    /// channel yields the response body or the reason it never existed.
     pub fn submit(
         &self,
         registry: Arc<Registry>,
         entry: usize,
         request: PredictRequest,
-    ) -> Result<mpsc::Receiver<String>, SubmitError> {
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<Result<String, JobError>>, SubmitError> {
         if self.shared.draining.load(Ordering::Acquire) {
             return Err(SubmitError::Draining);
         }
@@ -136,6 +155,7 @@ impl Scheduler {
                 registry,
                 entry,
                 request,
+                deadline,
                 done,
             });
             self.shared
@@ -177,16 +197,44 @@ fn batcher_loop(shared: &Shared, pool: &runtime::Pool) {
             return;
         }
         shared.metrics.record_batch(batch.len());
-        let bodies = pool.par_map(&batch, |_, job| {
+        let bodies = pool.try_par_map(&batch, |_, job| {
+            // A job whose deadline already passed while queued is dropped
+            // before any chain work starts.
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(JobError::DeadlineExceeded);
+            }
+            // Chaos hook: an armed `worker.exec` fault panics inside the
+            // worker closure, whatever its kind — exactly the failure the
+            // pool's unwind isolation must contain.
+            if let Some(kind) = runtime::faults::check(FAULT_WORKER_EXEC) {
+                panic!("injected {} fault at {FAULT_WORKER_EXEC}", kind.name());
+            }
             let started = Instant::now();
-            let (body, tokens) =
-                predict_response_with_stats(job.registry.entry(job.entry), &job.request);
-            (body.to_text(), tokens, started.elapsed().as_secs_f64())
+            predict_response_with_stats_deadline(
+                job.registry.entry(job.entry),
+                &job.request,
+                job.deadline,
+            )
+            .map_err(|_| JobError::DeadlineExceeded)
+            .map(|(body, tokens)| (body.to_text(), tokens, started.elapsed().as_secs_f64()))
         });
-        for (job, (body, tokens, seconds)) in batch.iter().zip(bodies) {
-            shared.metrics.record_decode(tokens, seconds);
+        for (job, result) in batch.iter().zip(bodies) {
+            let outcome = match result {
+                Ok(Ok((body, tokens, seconds))) => {
+                    shared.metrics.record_decode(tokens, seconds);
+                    Ok(body)
+                }
+                Ok(Err(e)) => Err(e),
+                Err(panicked) => {
+                    shared.metrics.record_worker_panic();
+                    Err(JobError::Panicked(panicked.message))
+                }
+            };
+            if matches!(outcome, Err(JobError::DeadlineExceeded)) {
+                shared.metrics.record_deadline_exceeded();
+            }
             // A gone receiver means the client hung up; nothing to do.
-            let _ = job.done.send(body);
+            let _ = job.done.send(outcome);
         }
     }
 }
@@ -252,9 +300,12 @@ mod tests {
     fn batches_serve_all_jobs_with_identical_bodies_per_request() {
         let (s, r, metrics) = scheduler(BatchConfig::default());
         let receivers: Vec<_> = (0..6)
-            .map(|_| s.submit(Arc::clone(&r), 0, request(42)).unwrap())
+            .map(|_| s.submit(Arc::clone(&r), 0, request(42), None).unwrap())
             .collect();
-        let bodies: Vec<String> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        let bodies: Vec<String> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().unwrap().unwrap())
+            .collect();
         for b in &bodies {
             assert_eq!(b, &bodies[0], "same request must serialize identically");
         }
@@ -277,7 +328,7 @@ mod tests {
         let mut rejected = false;
         let mut pending = Vec::new();
         for _ in 0..200 {
-            match s.submit(Arc::clone(&r), 0, request(1)) {
+            match s.submit(Arc::clone(&r), 0, request(1), None) {
                 Ok(rx) => pending.push(rx),
                 Err(SubmitError::QueueFull) => {
                     rejected = true;
@@ -291,7 +342,7 @@ mod tests {
         s.drain();
         // Every admitted job still completes.
         for rx in pending {
-            rx.recv().unwrap();
+            rx.recv().unwrap().unwrap();
         }
     }
 
@@ -300,10 +351,33 @@ mod tests {
         let (s, r, _) = scheduler(BatchConfig::default());
         s.drain();
         assert_eq!(
-            s.submit(r, 0, request(1)).unwrap_err(),
+            s.submit(r, 0, request(1), None).unwrap_err(),
             SubmitError::Draining
         );
         s.drain();
         assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_running_the_chain() {
+        let (s, r, metrics) = scheduler(BatchConfig::default());
+        let rx = s
+            .submit(Arc::clone(&r), 0, request(1), Some(Instant::now()))
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Err(JobError::DeadlineExceeded));
+        // A generous deadline still completes normally.
+        let rx = s
+            .submit(
+                r,
+                0,
+                request(1),
+                Some(Instant::now() + Duration::from_secs(300)),
+            )
+            .unwrap();
+        assert!(rx.recv().unwrap().is_ok());
+        s.drain();
+        assert_eq!(metrics.deadline_exceeded.load(Ordering::Relaxed), 1);
+        // No decode stats were recorded for the dead job alone.
+        assert!(metrics.generated_tokens.load(Ordering::Relaxed) > 0);
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! serve [--addr 127.0.0.1:8472] [--scale smoke|full] [--seed N]
 //!       [--threads N] [--queue-cap N] [--max-batch N] [--window-ms N]
+//!       [--deadline-ms N] [--io-timeout-ms N] [--max-body-bytes N]
+//!       [--max-inflight-explain N] [--fault-plan SPEC]
 //!       [--untrained | --model-dir DIR]
 //! ```
 //!
@@ -12,6 +14,14 @@
 //! - `--model-dir DIR`: load every `*.srcr` artifact in `DIR` — zero
 //!   training at startup, and `POST /admin/reload` re-reads the directory
 //!   for hot-swaps.
+//!
+//! Robustness knobs: `--deadline-ms` bounds each predict end-to-end
+//! (503 `deadline_exceeded` past it), `--io-timeout-ms` bounds how long a
+//! request may take to arrive (408 against slow-loris peers),
+//! `--max-body-bytes` caps bodies (413), `--max-inflight-explain` sets
+//! where `/v1/explain` degrades to cached-or-429.  `--fault-plan SPEC`
+//! (or the `SRCR_FAULT_PLAN` env var) arms a deterministic chaos plan —
+//! see `runtime::faults` and `scripts/chaos_smoke.sh`.
 //!
 //! Prints the bound address and serves until a client posts
 //! `/admin/shutdown`.
@@ -31,17 +41,28 @@ struct Args {
     seed: u64,
     threads: usize,
     batch: BatchConfig,
+    deadline: Option<Duration>,
+    io_timeout: Duration,
+    max_body: usize,
+    max_inflight_explain: usize,
+    fault_plan: Option<String>,
     untrained: bool,
     model_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = ServerConfig::default();
     let mut args = Args {
         addr: "127.0.0.1:8472".into(),
         scale: Scale::Smoke,
         seed: 7,
         threads: 0,
         batch: BatchConfig::default(),
+        deadline: defaults.deadline,
+        io_timeout: defaults.io_timeout,
+        max_body: defaults.max_body,
+        max_inflight_explain: defaults.max_inflight_explain,
+        fault_plan: None,
         untrained: false,
         model_dir: None,
     };
@@ -84,6 +105,30 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--window-ms: {e}"))?,
                 )
             }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                args.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--io-timeout-ms" => {
+                args.io_timeout = Duration::from_millis(
+                    value("--io-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--io-timeout-ms: {e}"))?,
+                )
+            }
+            "--max-body-bytes" => {
+                args.max_body = value("--max-body-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-body-bytes: {e}"))?
+            }
+            "--max-inflight-explain" => {
+                args.max_inflight_explain = value("--max-inflight-explain")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight-explain: {e}"))?
+            }
+            "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
             "--untrained" => args.untrained = true,
             "--model-dir" => args.model_dir = Some(value("--model-dir")?),
             other => return Err(format!("unknown flag {other:?}")),
@@ -105,6 +150,25 @@ fn main() {
     };
     runtime::set_threads(args.threads);
 
+    // Chaos: an explicit --fault-plan wins, else SRCR_FAULT_PLAN if set.
+    let armed = match &args.fault_plan {
+        Some(spec) => runtime::faults::FaultPlan::parse(spec)
+            .map(|p| {
+                runtime::faults::arm(p);
+                true
+            })
+            .map_err(|e| format!("--fault-plan: {e}")),
+        None => runtime::faults::arm_from_env().map_err(|e| format!("SRCR_FAULT_PLAN: {e}")),
+    };
+    match armed {
+        Ok(true) => eprintln!("chaos: fault plan armed"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    }
+
     let provider: Arc<dyn ModelProvider> = if let Some(dir) = &args.model_dir {
         Arc::new(ArtifactProvider { dir: dir.into() })
     } else if args.untrained {
@@ -124,6 +188,10 @@ fn main() {
             addr: args.addr,
             batch: args.batch,
             threads: args.threads,
+            deadline: args.deadline,
+            io_timeout: args.io_timeout,
+            max_body: args.max_body,
+            max_inflight_explain: args.max_inflight_explain,
         },
     ) {
         Ok(s) => s,
@@ -148,8 +216,9 @@ fn main() {
     server.shutdown();
     let m = server.metrics();
     eprintln!(
-        "served {} requests ({} batches); bye",
+        "served {} requests ({} batches, {} faults injected); bye",
         m.served(),
-        m.batches.load(std::sync::atomic::Ordering::Relaxed)
+        m.batches.load(std::sync::atomic::Ordering::Relaxed),
+        runtime::faults::injected_total()
     );
 }

@@ -13,6 +13,12 @@
 //! short-lived connection each), which is what exposes queueing collapse
 //! and admission control under overload.
 //!
+//! Retries: `--retries N` re-issues requests that fail on transport or
+//! come back 429/503/5xx, with exponential backoff from `--backoff-ms`
+//! and deterministic seeded jitter.  A `Retry-After` header on a 429/503
+//! is honored as the wait.  The summary reports how many retries were
+//! spent and how many shed (429/503) responses were observed.
+//!
 //! Reports throughput and latency percentiles (via `evalkit`'s
 //! percentile helper — the same estimator the paper's timing tables use).
 
@@ -42,6 +48,8 @@ struct Args {
     model: String,
     seed: u64,
     frames: usize,
+    retries: u32,
+    backoff: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +63,8 @@ fn parse_args() -> Result<Args, String> {
         model: "uvsd_sim".into(),
         seed: 7,
         frames: 6,
+        retries: 0,
+        backoff: Duration::from_millis(50),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +104,18 @@ fn parse_args() -> Result<Args, String> {
                     value("--duration-s")?
                         .parse()
                         .map_err(parse_err("--duration-s"))?,
+                )
+            }
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(parse_err("--retries"))?
+            }
+            "--backoff-ms" => {
+                args.backoff = Duration::from_millis(
+                    value("--backoff-ms")?
+                        .parse()
+                        .map_err(parse_err("--backoff-ms"))?,
                 )
             }
             "--model" => args.model = value("--model")?,
@@ -138,6 +160,10 @@ struct Tally {
     /// Non-2xx responses whose body violates the unified error schema
     /// `{"error":{"code","message","retry_after"?}}`.
     schema_err: AtomicU64,
+    /// Retry attempts spent (each re-issue of a request counts once).
+    retries: AtomicU64,
+    /// Shed responses observed (429/503), whether or not a retry won.
+    shed: AtomicU64,
 }
 
 /// Whether a non-2xx body follows the unified error schema.
@@ -152,47 +178,156 @@ fn error_schema_ok(body: &str) -> bool {
         && err.get("message").and_then(Json::as_str).is_some()
 }
 
-/// Issue one request on an open connection; record latency on success.
+/// One keep-alive connection to the server.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn connect(addr: &str) -> Option<Conn> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone().ok()?);
+    Some(Conn { stream, reader })
+}
+
+/// What a single wire attempt produced.
+enum Attempt {
+    /// 200 with the latency in milliseconds.
+    Ok(f64),
+    /// A status the retry policy may act on.
+    Status {
+        status: u16,
+        retry_after: Option<u64>,
+        schema_ok: bool,
+    },
+    /// The connection failed mid-request.
+    Transport,
+}
+
+fn attempt(conn: &mut Conn, raw: &[u8], keep_alive: bool) -> Attempt {
+    let started = Instant::now();
+    if write_request(
+        &mut conn.stream,
+        "POST",
+        "/v1/predict",
+        Some(raw),
+        keep_alive,
+    )
+    .is_err()
+    {
+        return Attempt::Transport;
+    }
+    match read_response(&mut conn.reader) {
+        Ok(resp) if resp.status == 200 => Attempt::Ok(started.elapsed().as_secs_f64() * 1e3),
+        Ok(resp) => Attempt::Status {
+            status: resp.status,
+            retry_after: resp.header("retry-after").and_then(|v| v.parse().ok()),
+            schema_ok: error_schema_ok(&resp.body_text()),
+        },
+        Err(_) => Attempt::Transport,
+    }
+}
+
+/// splitmix64 — deterministic jitter source for retry backoff.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Issue request `i`, retrying per the args' policy; record the final
+/// outcome and (on success) the first-byte-to-body latency of the attempt
+/// that won.  `conn` is reused across calls while keep-alive holds and
+/// replaced after transport failures.
 fn one_request(
-    stream: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
+    args: &Args,
+    i: usize,
     raw: &[u8],
     keep_alive: bool,
+    conn: &mut Option<Conn>,
     tally: &Tally,
     latencies: &Mutex<Vec<f64>>,
 ) {
-    let started = Instant::now();
-    if write_request(stream, "POST", "/v1/predict", Some(raw), keep_alive).is_err() {
-        tally.transport_err.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    match read_response(reader) {
-        Ok(resp) => {
-            match resp.status {
-                200 => {
-                    tally.ok.fetch_add(1, Ordering::Relaxed);
-                    latencies
-                        .lock()
-                        .expect("latency lock")
-                        .push(started.elapsed().as_secs_f64() * 1e3);
+    for try_no in 0..=args.retries {
+        if try_no > 0 {
+            tally.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let outcome = match conn {
+            Some(c) => attempt(c, raw, keep_alive),
+            None => match connect(&args.addr) {
+                Some(mut c) => {
+                    let o = attempt(&mut c, raw, keep_alive);
+                    *conn = Some(c);
+                    o
                 }
-                s if (400..500).contains(&s) => {
-                    tally.client_err.fetch_add(1, Ordering::Relaxed);
-                    if !error_schema_ok(&resp.body_text()) {
-                        tally.schema_err.fetch_add(1, Ordering::Relaxed);
+                None => Attempt::Transport,
+            },
+        };
+        // A non-keep-alive exchange consumed the connection either way.
+        if !keep_alive {
+            *conn = None;
+        }
+        // `retry_after`: the server's explicit wait, if it sent one.
+        // `bucket`: where the failure lands in the tally if the retry
+        // budget runs out on this attempt.
+        let (retry_after, bucket) = match outcome {
+            Attempt::Ok(ms) => {
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+                latencies.lock().expect("latency lock").push(ms);
+                return;
+            }
+            Attempt::Status {
+                status,
+                retry_after,
+                schema_ok,
+            } => {
+                if !schema_ok {
+                    tally.schema_err.fetch_add(1, Ordering::Relaxed);
+                }
+                if status == 429 || status == 503 {
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                match status {
+                    429 | 503 => (
+                        retry_after,
+                        if status == 429 {
+                            &tally.client_err
+                        } else {
+                            &tally.server_err
+                        },
+                    ),
+                    s if s >= 500 => (None, &tally.server_err),
+                    _ => {
+                        // Deterministic client error: retrying cannot help.
+                        tally.client_err.fetch_add(1, Ordering::Relaxed);
+                        return;
                     }
                 }
-                _ => {
-                    tally.server_err.fetch_add(1, Ordering::Relaxed);
-                    if !error_schema_ok(&resp.body_text()) {
-                        tally.schema_err.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            };
+            }
+            Attempt::Transport => {
+                *conn = None;
+                (None, &tally.transport_err)
+            }
+        };
+        if try_no == args.retries {
+            // Budget exhausted: book the final failure.
+            bucket.fetch_add(1, Ordering::Relaxed);
+            return;
         }
-        Err(_) => {
-            tally.transport_err.fetch_add(1, Ordering::Relaxed);
-        }
+        // Exponential backoff with deterministic jitter; an explicit
+        // Retry-After from the server overrides the schedule.
+        let wait = match retry_after {
+            Some(secs) => Duration::from_secs(secs),
+            None => {
+                let base = args.backoff * 2u32.pow(try_no.min(16));
+                let jitter_ns = splitmix64(args.seed ^ ((i as u64) << 20) ^ try_no as u64)
+                    % (args.backoff.as_nanos().max(1) as u64);
+                base + Duration::from_nanos(jitter_ns)
+            }
+        };
+        std::thread::sleep(wait);
     }
 }
 
@@ -200,20 +335,11 @@ fn run_closed(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) {
     std::thread::scope(|scope| {
         for w in 0..args.concurrency {
             scope.spawn(move || {
-                let Ok(mut stream) = TcpStream::connect(&args.addr) else {
-                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
-                    return;
-                };
-                let _ = stream.set_nodelay(true);
-                let Ok(clone) = stream.try_clone() else {
-                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
-                    return;
-                };
-                let mut reader = BufReader::new(clone);
+                let mut conn = connect(&args.addr);
                 let mut i = w;
                 while i < args.requests {
                     let raw = body(args, i);
-                    one_request(&mut stream, &mut reader, &raw, true, tally, latencies);
+                    one_request(args, i, &raw, true, &mut conn, tally, latencies);
                     i += args.concurrency;
                 }
             });
@@ -233,18 +359,9 @@ fn run_open(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) -> usize {
             }
             let i = fired;
             scope.spawn(move || {
-                let Ok(mut stream) = TcpStream::connect(&args.addr) else {
-                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
-                    return;
-                };
-                let _ = stream.set_nodelay(true);
-                let Ok(clone) = stream.try_clone() else {
-                    tally.transport_err.fetch_add(1, Ordering::Relaxed);
-                    return;
-                };
-                let mut reader = BufReader::new(clone);
                 let raw = body(args, i);
-                one_request(&mut stream, &mut reader, &raw, false, tally, latencies);
+                let mut conn = None;
+                one_request(args, i, &raw, false, &mut conn, tally, latencies);
             });
             fired += 1;
         }
@@ -290,8 +407,10 @@ fn main() {
     let server = tally.server_err.load(Ordering::Relaxed);
     let transport = tally.transport_err.load(Ordering::Relaxed);
     let schema = tally.schema_err.load(Ordering::Relaxed);
+    let retries = tally.retries.load(Ordering::Relaxed);
+    let shed = tally.shed.load(Ordering::Relaxed);
     println!(
-        "  issued={issued} ok={ok} client_err={client} server_err={server} transport_err={transport} schema_err={schema}"
+        "  issued={issued} ok={ok} client_err={client} server_err={server} transport_err={transport} schema_err={schema} retries={retries} shed={shed}"
     );
     println!("  wall={wall:.3}s throughput={:.1} req/s", ok as f64 / wall);
     let mut ms = latencies.lock().expect("latency lock").clone();

@@ -7,8 +7,16 @@
 //! unboundedly, and distinguishes *clean* connection close (EOF before any
 //! byte of a request — the normal end of a keep-alive session) from
 //! truncation mid-request.
+//!
+//! Slow peers are bounded too: [`parse_request_limited`] takes a parse
+//! deadline, and a socket whose read timeout fires mid-request (bytes
+//! already consumed) keeps being polled only until that deadline, then
+//! fails with [`HttpError::Timeout`] (→ `408`).  Without it, a slow-loris
+//! client dribbling one byte per read-timeout window would hold a handler
+//! thread forever.
 
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Maximum request-line length in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -16,8 +24,28 @@ pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 pub const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Maximum number of headers.
 pub const MAX_HEADERS: usize = 64;
-/// Maximum request body size in bytes.
+/// Maximum request body size in bytes (the default; see [`ParseLimits`]).
 pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Tunable parse limits, threaded from `ServerConfig` into the parser.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseLimits {
+    /// Largest accepted request body; a larger declared `Content-Length`
+    /// is rejected with `413` before a single body byte is buffered.
+    pub max_body: usize,
+    /// How long one request may take to arrive in full once parsing
+    /// starts.  `None` disables the bound (tests over in-memory streams).
+    pub io_deadline: Option<Duration>,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_body: MAX_BODY,
+            io_deadline: None,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -71,6 +99,9 @@ pub enum HttpError {
     /// Read timed out (idle keep-alive connection) — caller decides
     /// whether to keep waiting or shut the connection down.
     Idle,
+    /// A request started arriving but did not complete within the parse
+    /// deadline (slow-loris peer) → 408.
+    Timeout,
     /// Underlying I/O failure.
     Io(String),
 }
@@ -84,6 +115,7 @@ impl HttpError {
             HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
             HttpError::PayloadTooLarge => Some((413, "Payload Too Large")),
             HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::Timeout => Some((408, "Request Timeout")),
             HttpError::Truncated | HttpError::Idle | HttpError::Io(_) => None,
         }
     }
@@ -97,9 +129,41 @@ fn io_error(e: io::Error) -> HttpError {
     }
 }
 
+/// How a timed-out read mid-line should be handled.
+#[derive(Clone, Copy)]
+struct ReadBudget {
+    /// Whether a timeout with *zero bytes consumed* is a benign idle wait
+    /// (true only for the request line of a keep-alive session).
+    idle_ok: bool,
+    /// Parse deadline: polling continues across read timeouts until this
+    /// instant, then the request fails with [`HttpError::Timeout`].
+    /// `None` preserves the unbounded (test/in-memory) behaviour.
+    deadline: Option<Instant>,
+}
+
+impl ReadBudget {
+    /// Map a timed-out read: keep polling (`Ok`) or give up (`Err`).
+    fn on_timeout(&self, consumed: bool) -> Result<(), HttpError> {
+        if !consumed && self.idle_ok {
+            return Err(HttpError::Idle);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(HttpError::Timeout),
+            Some(_) => Ok(()),
+            // No deadline configured: surface the timeout as Idle (the
+            // legacy behaviour — callers without a deadline decide).
+            None => Err(HttpError::Idle),
+        }
+    }
+}
+
 /// Read one CRLF- (or bare-LF-) terminated line, excluding the terminator.
 /// `limit` bounds the bytes buffered; EOF before any byte yields `None`.
-fn read_line<R: BufRead>(r: &mut R, limit: usize) -> Result<Option<String>, HttpError> {
+fn read_line<R: BufRead>(
+    r: &mut R,
+    limit: usize,
+    budget: ReadBudget,
+) -> Result<Option<String>, HttpError> {
     let mut line: Vec<u8> = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -124,17 +188,59 @@ fn read_line<R: BufRead>(r: &mut R, limit: usize) -> Result<Option<String>, Http
                 }
                 line.push(byte[0]);
             }
-            Err(e) => return Err(io_error(e)),
+            Err(e) => match io_error(e) {
+                HttpError::Idle => budget.on_timeout(!line.is_empty())?,
+                other => return Err(other),
+            },
         }
     }
 }
 
-/// Parse one request from the stream.
+/// Fill `buf` completely, polling across read timeouts until the budget's
+/// deadline.  EOF mid-fill is truncation.
+fn read_full<R: BufRead>(r: &mut R, buf: &mut [u8], budget: ReadBudget) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) => match io_error(e) {
+                // A body is always mid-request: never a benign idle.
+                HttpError::Idle => budget.on_timeout(true)?,
+                other => return Err(other),
+            },
+        }
+    }
+    Ok(())
+}
+
+/// Parse one request from the stream with default limits (no deadline).
 ///
 /// `Ok(None)` means the peer closed cleanly before sending anything — the
 /// normal end of a keep-alive session, not an error.
 pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(r, MAX_REQUEST_LINE)? else {
+    parse_request_limited(r, ParseLimits::default())
+}
+
+/// Parse one request from the stream under explicit [`ParseLimits`].
+///
+/// The deadline clock starts here: a peer that trickles bytes slower than
+/// the socket read timeout keeps the parse alive only until
+/// `limits.io_deadline` elapses, then gets [`HttpError::Timeout`].
+pub fn parse_request_limited<R: BufRead>(
+    r: &mut R,
+    limits: ParseLimits,
+) -> Result<Option<Request>, HttpError> {
+    let deadline = limits.io_deadline.map(|d| Instant::now() + d);
+    let first = ReadBudget {
+        idle_ok: true,
+        deadline,
+    };
+    let rest = ReadBudget {
+        idle_ok: false,
+        deadline,
+    };
+    let Some(request_line) = read_line(r, MAX_REQUEST_LINE, first)? else {
         return Ok(None);
     };
     let mut parts = request_line.split(' ');
@@ -159,7 +265,7 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(r, MAX_HEADER_LINE)?.ok_or(HttpError::Truncated)?;
+        let line = read_line(r, MAX_HEADER_LINE, rest)?.ok_or(HttpError::Truncated)?;
         if line.is_empty() {
             break;
         }
@@ -197,10 +303,10 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError
         ));
     }
     match content_length {
-        Some(n) if n > MAX_BODY => return Err(HttpError::PayloadTooLarge),
+        Some(n) if n > limits.max_body => return Err(HttpError::PayloadTooLarge),
         Some(n) => {
             let mut body = vec![0u8; n];
-            r.read_exact(&mut body).map_err(io_error)?;
+            read_full(r, &mut body, rest)?;
             req.body = body;
         }
         None if req.method == "POST" || req.method == "PUT" => {
@@ -302,7 +408,11 @@ impl ClientResponse {
 
 /// Read one response off the stream (client side).
 pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError> {
-    let status_line = read_line(r, MAX_REQUEST_LINE)?.ok_or(HttpError::Truncated)?;
+    let budget = ReadBudget {
+        idle_ok: true,
+        deadline: None,
+    };
+    let status_line = read_line(r, MAX_REQUEST_LINE, budget)?.ok_or(HttpError::Truncated)?;
     let mut parts = status_line.split(' ');
     match parts.next() {
         Some("HTTP/1.1") | Some("HTTP/1.0") => {}
@@ -314,7 +424,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError>
         .ok_or_else(|| HttpError::BadRequest("bad status code".into()))?;
     let mut headers = Vec::new();
     loop {
-        let line = read_line(r, MAX_HEADER_LINE)?.ok_or(HttpError::Truncated)?;
+        let line = read_line(r, MAX_HEADER_LINE, budget)?.ok_or(HttpError::Truncated)?;
         if line.is_empty() {
             break;
         }
@@ -480,6 +590,109 @@ mod tests {
         assert_eq!(parsed.header("retry-after"), Some("1"));
         assert_eq!(parsed.header("connection"), Some("keep-alive"));
         assert_eq!(parsed.body_text(), "true");
+    }
+
+    /// A reader that interleaves `WouldBlock` timeouts between real bytes,
+    /// simulating a slow-loris peer over a socket with a read timeout.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    fn dribble(raw: &str) -> io::BufReader<Dribble> {
+        // Capacity 1 so BufRead refills (and hits WouldBlock) per byte.
+        // Start ready: the first byte arrives before the first timeout, so
+        // every subsequent WouldBlock is a *mid-request* stall.
+        io::BufReader::with_capacity(
+            1,
+            Dribble {
+                data: raw.as_bytes().to_vec(),
+                pos: 0,
+                ready: true,
+            },
+        )
+    }
+
+    #[test]
+    fn slow_peer_with_budget_still_parses() {
+        let limits = ParseLimits {
+            max_body: MAX_BODY,
+            io_deadline: Some(Duration::from_secs(5)),
+        };
+        let mut r = dribble("POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd");
+        let req = parse_request_limited(&mut r, limits).unwrap().unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn expired_deadline_mid_request_is_408() {
+        let limits = ParseLimits {
+            max_body: MAX_BODY,
+            // Already expired: the first mid-request timeout gives up.
+            io_deadline: Some(Duration::from_secs(0)),
+        };
+        let mut r = dribble("POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
+        let err = parse_request_limited(&mut r, limits).unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), Some((408, "Request Timeout")));
+    }
+
+    #[test]
+    fn idle_keep_alive_wait_is_not_a_timeout() {
+        // Zero bytes consumed + timeout on the request line: benign Idle,
+        // even with an (expired) deadline armed.
+        let limits = ParseLimits {
+            max_body: MAX_BODY,
+            io_deadline: Some(Duration::from_secs(0)),
+        };
+        let mut r = io::BufReader::with_capacity(
+            1,
+            Dribble {
+                data: Vec::new(),
+                pos: 0,
+                ready: false,
+            },
+        );
+        assert_eq!(
+            parse_request_limited(&mut r, limits).unwrap_err(),
+            HttpError::Idle
+        );
+    }
+
+    #[test]
+    fn configurable_body_cap_is_enforced() {
+        let limits = ParseLimits {
+            max_body: 8,
+            io_deadline: None,
+        };
+        let raw = "POST /v1/predict HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let err =
+            parse_request_limited(&mut Cursor::new(raw.as_bytes().to_vec()), limits).unwrap_err();
+        assert_eq!(err, HttpError::PayloadTooLarge);
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+        // At the cap is fine.
+        let raw = "POST /v1/predict HTTP/1.1\r\nContent-Length: 8\r\n\r\n12345678";
+        let req = parse_request_limited(&mut Cursor::new(raw.as_bytes().to_vec()), limits)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"12345678");
     }
 
     #[test]

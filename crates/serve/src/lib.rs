@@ -24,6 +24,13 @@
 //! one.  Every non-2xx response carries the unified error schema
 //! `{"error":{"code","message","retry_after"?}}`.
 //!
+//! Failure model (DESIGN.md §"Failure model"): per-request deadlines,
+//! slow-loris and body-size bounds at the parser, explain load-shedding
+//! with a bounded response cache, a circuit-broken reload that rolls back
+//! to the last-good registry, and per-request panic isolation in the
+//! batcher.  All of it is exercised by the deterministic chaos layer in
+//! `runtime::faults` (`scripts/chaos_smoke.sh`).
+//!
 //! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /v1/models`,
 //! `GET /healthz`, `GET /readyz`, `GET /metrics`, `POST /admin/reload`,
 //! `POST /admin/shutdown`.
@@ -39,7 +46,7 @@ pub mod server;
 // One config construction path across `core`, `serve` and `bench`.
 pub use chain_reason::{ConfigError, PipelineConfig, PipelineConfigBuilder};
 
-pub use batch::{BatchConfig, Scheduler, SubmitError};
+pub use batch::{BatchConfig, JobError, Scheduler, SubmitError};
 pub use registry::{
     ArtifactProvider, ModelEntry, ModelProvider, Registry, TrainedProvider, UntrainedProvider,
 };

@@ -14,20 +14,30 @@
 //! Every non-2xx response, including HTTP parse failures, carries the one
 //! machine-readable body `{"error":{"code","message","retry_after"?}}`.
 //!
+//! Failure model (see DESIGN.md): per-request deadlines answer `503
+//! deadline_exceeded` instead of computing for a client that gave up;
+//! slow-loris peers get `408` at the parse deadline; oversized bodies
+//! `413`; overloaded explain degrades to cached-or-`429` while predict
+//! stays live; `/admin/reload` sits behind a circuit breaker and rolls
+//! back to the last-good registry if a swap fails midway.  Socket reads,
+//! socket writes and reloads are chaos points — see `runtime::faults`.
+//!
 //! Graceful drain order (see [`Server::shutdown`]): flip the shutdown
 //! flag, drain the scheduler (everything already admitted completes; new
 //! submissions answer `503`), join the accept thread, join the handlers.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use runtime::faults::{self, FaultyRead, FaultyWrite};
+
 use crate::api;
-use crate::batch::{BatchConfig, Scheduler, SubmitError};
-use crate::http::{parse_request, HttpError, Request, Response};
+use crate::batch::{BatchConfig, JobError, Scheduler, SubmitError};
+use crate::http::{parse_request_limited, HttpError, ParseLimits, Request, Response};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::registry::{ModelProvider, Registry};
@@ -35,8 +45,25 @@ use crate::registry::{ModelProvider, Registry};
 /// How long the accept loop sleeps between polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Read timeout on connection sockets — the cadence at which idle
-/// keep-alive handlers re-check the shutdown flag.
+/// keep-alive handlers re-check the shutdown flag and slow parses
+/// re-check their deadline.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Fault-injection point on every socket read.
+pub const FAULT_SOCKET_READ: &str = "socket.read";
+/// Fault-injection point on every socket write.
+pub const FAULT_SOCKET_WRITE: &str = "socket.write";
+/// Fault-injection point between registry build and swap in
+/// `POST /admin/reload` — forces the mid-swap failure the rollback path
+/// exists for.
+pub const FAULT_RELOAD_SWAP: &str = "reload.swap";
+
+/// Consecutive reload failures that open the circuit breaker.
+const RELOAD_BREAKER_THRESHOLD: u32 = 3;
+/// How long an open breaker short-circuits reload attempts.
+const RELOAD_BREAKER_COOLDOWN: Duration = Duration::from_secs(2);
+/// Bounded explain response cache used by the degraded (shedding) path.
+const EXPLAIN_CACHE_CAP: usize = 64;
 
 /// Server construction options.
 #[derive(Clone, Debug)]
@@ -47,6 +74,18 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// Worker threads for batch dispatch (0 = all cores / `SRCR_THREADS`).
     pub threads: usize,
+    /// Per-request deadline from admission to response body, checked at
+    /// admission, batch dispatch and every decode-stage boundary.
+    /// `None` disables the bound.
+    pub deadline: Option<Duration>,
+    /// How long one request may take to *arrive* in full (slow-loris
+    /// bound; `408` past it).  Also the socket write timeout.
+    pub io_timeout: Duration,
+    /// Largest accepted request body (`413` beyond it).
+    pub max_body: usize,
+    /// Explain requests running concurrently before the route degrades to
+    /// cached-or-`429`.
+    pub max_inflight_explain: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,8 +94,20 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             batch: BatchConfig::default(),
             threads: 0,
+            deadline: None,
+            io_timeout: Duration::from_secs(5),
+            max_body: crate::http::MAX_BODY,
+            max_inflight_explain: 4,
         }
     }
+}
+
+/// Reload circuit breaker: opens after consecutive failures, then
+/// short-circuits attempts until the cooldown passes (half-open retry).
+#[derive(Default)]
+struct ReloadBreaker {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
 }
 
 /// Everything a connection handler needs.
@@ -67,8 +118,19 @@ struct State {
     provider: Arc<dyn ModelProvider>,
     scheduler: Scheduler,
     metrics: Arc<Metrics>,
-    /// Serialises reloads so concurrent `/admin/reload`s can't interleave.
-    reload: Mutex<()>,
+    /// Serialises reloads so concurrent `/admin/reload`s can't interleave,
+    /// and tracks the breaker state across them.
+    reload: Mutex<ReloadBreaker>,
+    /// Explain requests currently computing (load-shedding gauge).
+    explain_inflight: AtomicUsize,
+    /// Bounded `(request fingerprint, body)` cache feeding the degraded
+    /// explain path; FIFO eviction at [`EXPLAIN_CACHE_CAP`].
+    explain_cache: Mutex<std::collections::VecDeque<(u64, String)>>,
+    /// Robustness knobs copied from [`ServerConfig`].
+    deadline: Option<Duration>,
+    io_timeout: Duration,
+    max_body: usize,
+    max_inflight_explain: usize,
     /// Set once drain starts; handlers and the accept loop wind down.
     shutdown: AtomicBool,
     /// Set by `POST /admin/shutdown`; the serve binary polls it.
@@ -126,7 +188,13 @@ impl Server {
             provider,
             scheduler,
             metrics,
-            reload: Mutex::new(()),
+            reload: Mutex::new(ReloadBreaker::default()),
+            explain_inflight: AtomicUsize::new(0),
+            explain_cache: Mutex::new(std::collections::VecDeque::new()),
+            deadline: cfg.deadline,
+            io_timeout: cfg.io_timeout,
+            max_body: cfg.max_body,
+            max_inflight_explain: cfg.max_inflight_explain.max(1),
             shutdown: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
         });
@@ -225,6 +293,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -250,14 +319,19 @@ fn error_response(status: u16, code: &str, message: &str, retry_after: Option<u6
 
 fn handle_connection(stream: TcpStream, state: &State) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(state.io_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+        Ok(w) => FaultyWrite::new(w, FAULT_SOCKET_WRITE),
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(FaultyRead::new(stream, FAULT_SOCKET_READ));
+    let limits = ParseLimits {
+        max_body: state.max_body,
+        io_deadline: Some(state.io_timeout),
+    };
     loop {
-        match parse_request(&mut reader) {
+        match parse_request_limited(&mut reader, limits) {
             Ok(Some(req)) => {
                 let keep_alive = req.keep_alive() && !state.shutdown.load(Ordering::Acquire);
                 let resp = route(&req, state);
@@ -276,6 +350,7 @@ fn handle_connection(stream: TcpStream, state: &State) {
             Err(e) => {
                 if let Some((status, reason)) = e.status() {
                     let code = match status {
+                        408 => "request_timeout",
                         411 => "length_required",
                         413 => "payload_too_large",
                         431 => "headers_too_large",
@@ -365,10 +440,37 @@ fn models(state: &State) -> Response {
 }
 
 /// `POST /admin/reload`: build a fresh registry through the boot provider
-/// and swap it in.  In-flight requests finish on the snapshot they pinned;
-/// a failed provide leaves the current registry untouched.
+/// and swap it in, behind a circuit breaker.
+///
+/// In-flight requests finish on the snapshot they pinned.  A failed
+/// provide leaves the current registry untouched; a failure *mid-swap*
+/// (the `reload.swap` chaos point) rolls the slot back to the last-good
+/// snapshot, so the server keeps answering on the registry it had.  After
+/// [`RELOAD_BREAKER_THRESHOLD`] consecutive failures the breaker opens:
+/// reload attempts short-circuit to `503` until the cooldown passes, then
+/// one half-open attempt decides whether it closes again.
 fn reload(state: &State) -> Response {
-    let _serialised = state.reload.lock().expect("reload lock");
+    let mut breaker = state.reload.lock().expect("reload lock");
+    if let Some(until) = breaker.open_until {
+        let now = Instant::now();
+        if now < until {
+            let secs = (until - now).as_secs().max(1);
+            return error_response(
+                503,
+                "reload_circuit_open",
+                "reload breaker is open after repeated failures",
+                Some(secs),
+            );
+        }
+        // Cooldown over: half-open — this attempt decides.
+        breaker.open_until = None;
+    }
+    let fail = |breaker: &mut ReloadBreaker| {
+        breaker.consecutive_failures += 1;
+        if breaker.consecutive_failures >= RELOAD_BREAKER_THRESHOLD {
+            breaker.open_until = Some(Instant::now() + RELOAD_BREAKER_COOLDOWN);
+        }
+    };
     match state.provider.provide() {
         Ok(fresh) => {
             let fresh = Arc::new(fresh);
@@ -377,7 +479,26 @@ fn reload(state: &State) -> Response {
                 .into_iter()
                 .map(|n| Json::String(n.to_owned()))
                 .collect();
-            *state.registry.write().expect("registry lock") = fresh;
+            {
+                let mut slot = state.registry.write().expect("registry lock");
+                let last_good = Arc::clone(&slot);
+                *slot = fresh;
+                // Chaos point: a failure after the swap started must not
+                // leave the new (suspect) registry serving — roll back.
+                if faults::check(FAULT_RELOAD_SWAP).is_some() {
+                    *slot = last_good;
+                    drop(slot);
+                    state.metrics.record_reload_rollback();
+                    fail(&mut breaker);
+                    return error_response(
+                        500,
+                        "reload_failed",
+                        "swap failed mid-reload; rolled back to last-good registry",
+                        None,
+                    );
+                }
+            }
+            breaker.consecutive_failures = 0;
             state.metrics.record_reload();
             Response::json(
                 200,
@@ -388,12 +509,16 @@ fn reload(state: &State) -> Response {
                 ]),
             )
         }
-        Err(e) => error_response(500, "reload_failed", &e, None),
+        Err(e) => {
+            fail(&mut breaker);
+            error_response(500, "reload_failed", &e, None)
+        }
     }
 }
 
 fn predict(req: &Request, state: &State) -> Response {
     let started = Instant::now();
+    let deadline = state.deadline.map(|d| started + d);
     let registry = state.registry();
     let parsed = api::parse_predict(&req.body, |name| {
         registry.get(name).map(|e| e.world.clone())
@@ -405,12 +530,18 @@ fn predict(req: &Request, state: &State) -> Response {
     let entry = registry
         .index_of(&request.model)
         .expect("parse_predict validated the model name");
+    // Admission-time deadline check: a request that is already out of
+    // budget (pathological configs, clock going backwards) never queues.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        state.metrics.record_deadline_exceeded();
+        return deadline_exceeded_response();
+    }
     match state
         .scheduler
-        .submit(Arc::clone(&registry), entry, request)
+        .submit(Arc::clone(&registry), entry, request, deadline)
     {
         Ok(rx) => match rx.recv() {
-            Ok(body) => {
+            Ok(Ok(body)) => {
                 state
                     .metrics
                     .record_predict(started.elapsed().as_secs_f64());
@@ -422,6 +553,10 @@ fn predict(req: &Request, state: &State) -> Response {
                     body: body.into_bytes(),
                 }
             }
+            Ok(Err(JobError::DeadlineExceeded)) => deadline_exceeded_response(),
+            // The panic was isolated to this job; everything else in the
+            // batch (and the pool) carried on.
+            Ok(Err(JobError::Panicked(msg))) => error_response(500, "worker_panicked", &msg, None),
             // The batcher is gone mid-flight — only on unclean teardown.
             Err(_) => error_response(500, "internal", "scheduler stopped", None),
         },
@@ -430,6 +565,26 @@ fn predict(req: &Request, state: &State) -> Response {
         }
         Err(SubmitError::Draining) => error_response(503, "draining", "server is draining", None),
     }
+}
+
+fn deadline_exceeded_response() -> Response {
+    error_response(
+        503,
+        "deadline_exceeded",
+        "request missed its deadline",
+        Some(1),
+    )
+}
+
+/// FNV-1a over a request body — the explain cache key.  Responses are
+/// pure functions of the body, so byte-equal bodies share one entry.
+fn body_fingerprint(body: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in body {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn explain(req: &Request, state: &State) -> Response {
@@ -442,16 +597,79 @@ fn explain(req: &Request, state: &State) -> Response {
         Ok(r) => r,
         Err(e) => return api_error(e),
     };
+    let fingerprint = body_fingerprint(&req.body);
+    // Load shedding: explain is the expensive, non-interactive route, so
+    // under pressure it degrades — answer from the response cache if this
+    // exact body was computed before, else shed with `429` — while predict
+    // keeps its full capacity.  The slot is released by drop so even a
+    // panicking compute can't leak it and wedge the route shut.
+    struct Slot<'a>(&'a AtomicUsize);
+    impl Drop for Slot<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let admitted = state.explain_inflight.fetch_add(1, Ordering::AcqRel);
+    let _slot = Slot(&state.explain_inflight);
+    if admitted >= state.max_inflight_explain {
+        let cached = state
+            .explain_cache
+            .lock()
+            .expect("explain cache lock")
+            .iter()
+            .find(|(k, _)| *k == fingerprint)
+            .map(|(_, body)| body.clone());
+        return match cached {
+            // Cached bodies are the same pure function of the request, so
+            // the degraded path stays byte-identical to the full path.
+            Some(body) => {
+                state
+                    .metrics
+                    .record_explain(started.elapsed().as_secs_f64());
+                Response {
+                    status: 200,
+                    reason: "OK",
+                    headers: Vec::new(),
+                    content_type: "application/json",
+                    body: body.into_bytes(),
+                }
+            }
+            None => {
+                state.metrics.record_shed();
+                error_response(
+                    429,
+                    "explain_shed",
+                    "explain is degraded under load; retry shortly",
+                    Some(1),
+                )
+            }
+        };
+    }
     let entry = registry
         .get(&request.predict.model)
         .expect("parse_explain validated the model name");
     // Explain runs on the handler thread: its inner mask sweep is already
     // a large deterministic computation, not worth cross-request batching.
-    let body = api::explain_response(entry, &request);
+    let body = api::explain_response(entry, &request).to_text();
+    {
+        let mut cache = state.explain_cache.lock().expect("explain cache lock");
+        if !cache.iter().any(|(k, _)| *k == fingerprint) {
+            if cache.len() >= EXPLAIN_CACHE_CAP {
+                cache.pop_front();
+            }
+            cache.push_back((fingerprint, body.clone()));
+        }
+    }
     state
         .metrics
         .record_explain(started.elapsed().as_secs_f64());
-    Response::json(200, "OK", &body)
+    Response {
+        status: 200,
+        reason: "OK",
+        headers: Vec::new(),
+        content_type: "application/json",
+        body: body.into_bytes(),
+    }
 }
 
 fn api_error(e: api::ApiError) -> Response {

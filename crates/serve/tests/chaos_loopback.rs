@@ -1,0 +1,410 @@
+//! Chaos loopback suite: a real server on an ephemeral port with a seeded
+//! [`runtime::faults`] plan armed, driven by real TCP clients.
+//!
+//! Invariants under fault injection (ISSUE: robustness tentpole):
+//! - the process never dies — injected socket errors, worker panics and
+//!   reload failures are absorbed per-request / per-connection;
+//! - every non-2xx response follows the unified error schema
+//!   `{"error":{"code","message","retry_after"?}}`;
+//! - requests the plan did NOT fault return bytes identical to a no-fault
+//!   control run, at any thread count — chaos never perturbs the
+//!   deterministic serving contract.
+//!
+//! The fault plan is process-global, so every test here takes `GUARD`
+//! (poison-tolerant: a failed test must not wedge the rest) and disarms
+//! through a drop guard even on panic.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use runtime::faults::{self, FaultKind, FaultPlan};
+use serve::http::{read_response, write_request, ClientResponse, HttpError};
+use serve::json::Json;
+use serve::{BatchConfig, Server, ServerConfig, UntrainedProvider};
+
+const SEED: u64 = 11;
+
+/// Serialise tests: the armed fault plan is process-wide state.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarms the plan when dropped, so a panicking assertion cannot leave
+/// faults armed for the next test.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        faults::disarm();
+    }
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(UntrainedProvider { seed: SEED }, config).expect("bind loopback server")
+}
+
+fn config(threads: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            queue_cap: 256,
+            max_batch: 4,
+            window: Duration::from_millis(2),
+        },
+        threads,
+        ..ServerConfig::default()
+    }
+}
+
+/// One request over a fresh connection; transport failures (injected
+/// socket faults killing the connection) surface as `Err`.
+fn try_rpc(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<ClientResponse, HttpError> {
+    let io = |e: std::io::Error| HttpError::Io(e.to_string());
+    let mut stream = TcpStream::connect(addr).map_err(io)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(io)?);
+    write_request(&mut stream, method, path, body, false).map_err(io)?;
+    read_response(&mut reader)
+}
+
+fn rpc(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> ClientResponse {
+    try_rpc(addr, method, path, body).expect("fault-free rpc")
+}
+
+/// Assert a non-2xx response follows the unified error schema; return
+/// `error.code`.
+fn assert_error_schema(resp: &ClientResponse) -> String {
+    let doc = Json::parse(&resp.body_text()).expect("error body must be JSON");
+    let err = doc.get("error").expect("body must hold \"error\"");
+    let code = err
+        .get("code")
+        .and_then(Json::as_str)
+        .expect("error.code must be a string");
+    err.get("message")
+        .and_then(Json::as_str)
+        .expect("error.message must be a string");
+    code.to_owned()
+}
+
+fn predict_body(seed: u64) -> Vec<u8> {
+    format!(
+        r#"{{"model":"uvsd_sim","seed":{seed},"input":{{"spec":{{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}}}}"#
+    )
+    .into_bytes()
+}
+
+fn explain_body(seed: u64) -> Vec<u8> {
+    format!(
+        r#"{{"model":"uvsd_sim","seed":{seed},"method":"lime","budget":8,"input":{{"spec":{{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}}}}"#
+    )
+    .into_bytes()
+}
+
+/// The headline chaos test: ≥200 requests across 4 client threads against
+/// a server with socket-error and worker-panic faults armed.  The server
+/// survives, every error is schema-conforming, and every successful
+/// response is byte-identical to the no-fault control run.
+#[test]
+fn chaos_sweep_survives_with_schema_errors_and_control_identical_successes() {
+    let _g = lock();
+    faults::disarm();
+    let _disarm = Disarm;
+
+    const PREDICT_SEEDS: u64 = 8;
+    const EXPLAIN_SEEDS: u64 = 2;
+
+    // Control run: no faults, collect reference bytes per request shape.
+    let mut server = start(config(4));
+    let addr = server.addr().to_string();
+    let control_predict: Vec<String> = (0..PREDICT_SEEDS)
+        .map(|s| {
+            let r = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(s)));
+            assert_eq!(r.status, 200, "{}", r.body_text());
+            r.body_text()
+        })
+        .collect();
+    let control_explain: Vec<String> = (0..EXPLAIN_SEEDS)
+        .map(|s| {
+            let r = rpc(&addr, "POST", "/v1/explain", Some(&explain_body(s)));
+            assert_eq!(r.status, 200, "{}", r.body_text());
+            r.body_text()
+        })
+        .collect();
+    server.shutdown();
+
+    // Chaos run: same workload shape against an armed server.
+    faults::arm(
+        FaultPlan::new(7)
+            .with("socket.read", FaultKind::Error, 0.02)
+            .with("socket.write", FaultKind::Error, 0.02)
+            .with("worker.exec", FaultKind::Panic, 0.02),
+    );
+    let mut server = start(config(4));
+    let addr = server.addr().to_string();
+
+    let (ok, non2xx, transport) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let addr = &addr;
+                let control_predict = &control_predict;
+                let control_explain = &control_explain;
+                scope.spawn(move || {
+                    let (mut ok, mut non2xx, mut transport) = (0u32, 0u32, 0u32);
+                    for i in 0..52u64 {
+                        let n = t * 52 + i;
+                        // Mixed workload: mostly predicts, some explains.
+                        let (path, body, control) = if n % 13 == 0 {
+                            let s = n % EXPLAIN_SEEDS;
+                            ("/v1/explain", explain_body(s), &control_explain[s as usize])
+                        } else {
+                            let s = n % PREDICT_SEEDS;
+                            ("/v1/predict", predict_body(s), &control_predict[s as usize])
+                        };
+                        match try_rpc(addr, "POST", path, Some(&body)) {
+                            Err(_) => transport += 1, // injected socket fault
+                            Ok(resp) if resp.status == 200 => {
+                                assert_eq!(
+                                    &resp.body_text(),
+                                    control,
+                                    "fault-free response diverged from control (request {n})"
+                                );
+                                ok += 1;
+                            }
+                            Ok(resp) => {
+                                assert_error_schema(&resp);
+                                non2xx += 1;
+                            }
+                        }
+                    }
+                    (ok, non2xx, transport)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u32, 0u32, 0u32), |(a, b, c), (x, y, z)| {
+                (a + x, b + y, c + z)
+            })
+    });
+
+    assert_eq!(ok + non2xx + transport, 208);
+    assert!(
+        ok >= 104,
+        "most requests must survive p=0.02 faults: ok={ok}"
+    );
+    assert!(
+        faults::injected_total() > 0,
+        "the plan must actually have fired"
+    );
+
+    // The process is still healthy once the plan is disarmed.
+    faults::disarm();
+    assert_eq!(rpc(&addr, "GET", "/healthz", None).status, 200);
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(metrics.contains("serve_faults_injected_total"), "{metrics}");
+    assert!(metrics.contains("serve_worker_panics_total"), "{metrics}");
+    server.shutdown();
+}
+
+/// A worker panic mid-batch fails only the faulted request: its 500 is
+/// schema-conforming, every sibling in the batch still gets bytes
+/// identical to the fault-free control.
+#[test]
+fn worker_panic_mid_batch_fails_only_that_request() {
+    let _g = lock();
+    faults::disarm();
+    let _disarm = Disarm;
+
+    // A wide batching window herds the concurrent requests into one batch.
+    let mut server = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            queue_cap: 64,
+            max_batch: 4,
+            window: Duration::from_millis(50),
+        },
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let control = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(5)));
+    assert_eq!(control.status, 200);
+    let control = control.body_text();
+
+    // Exactly one worker.exec consult panics; all requests share a seed,
+    // so every survivor must be byte-identical to control.
+    faults::arm(FaultPlan::new(3).with_capped("worker.exec", FaultKind::Panic, 1.0, 1));
+    let responses: Vec<ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = &addr;
+                scope.spawn(move || rpc(addr, "POST", "/v1/predict", Some(&predict_body(5))))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let panicked: Vec<_> = responses.iter().filter(|r| r.status == 500).collect();
+    assert_eq!(panicked.len(), 1, "exactly one request absorbs the panic");
+    assert_eq!(assert_error_schema(panicked[0]), "worker_panicked");
+    for r in responses.iter().filter(|r| r.status != 500) {
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body_text(), control, "sibling request diverged");
+    }
+
+    // The pool survives the unwind: later requests are untouched.
+    faults::disarm();
+    let after = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(5)));
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body_text(), control);
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(metrics.contains("serve_worker_panics_total 1"), "{metrics}");
+    server.shutdown();
+}
+
+/// A fault at the `reload.swap` point mid-swap rolls back to the last-good
+/// registry: the reload reports 500, the rollback is counted, and the
+/// server keeps serving byte-identical responses.
+#[test]
+fn reload_swap_fault_rolls_back_to_last_good_registry() {
+    let _g = lock();
+    faults::disarm();
+    let _disarm = Disarm;
+
+    let mut server = start(config(2));
+    let addr = server.addr().to_string();
+    let before = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(before.status, 200);
+
+    faults::arm(FaultPlan::new(9).with_capped("reload.swap", FaultKind::Error, 1.0, 1));
+    let reload = rpc(&addr, "POST", "/admin/reload", Some(b"{}"));
+    assert_eq!(reload.status, 500, "{}", reload.body_text());
+    assert_eq!(assert_error_schema(&reload), "reload_failed");
+
+    let after = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(after.status, 200);
+    assert_eq!(
+        before.body_text(),
+        after.body_text(),
+        "rollback must be invisible"
+    );
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(
+        metrics.contains("serve_reload_rollbacks_total 1"),
+        "{metrics}"
+    );
+
+    // The cap is spent: the next reload goes through cleanly.
+    let retry = rpc(&addr, "POST", "/admin/reload", Some(b"{}"));
+    assert_eq!(retry.status, 200, "{}", retry.body_text());
+    let still = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(before.body_text(), still.body_text());
+    server.shutdown();
+}
+
+/// With a deadline configured, requests that cannot finish in time answer
+/// 503 `deadline_exceeded` with a retry hint instead of hanging.
+#[test]
+fn expired_deadline_answers_503_with_retry_hint() {
+    let _g = lock();
+    faults::disarm();
+    let _disarm = Disarm;
+
+    let mut server = start(ServerConfig {
+        deadline: Some(Duration::ZERO),
+        ..config(2)
+    });
+    let addr = server.addr().to_string();
+
+    let resp = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(1)));
+    assert_eq!(resp.status, 503, "{}", resp.body_text());
+    assert_eq!(assert_error_schema(&resp), "deadline_exceeded");
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(
+        metrics.contains("serve_deadline_exceeded_total 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+/// Over the explain in-flight cap, `/v1/explain` degrades to
+/// cached-or-429 while `/v1/predict` keeps answering normally.
+#[test]
+fn explain_sheds_under_pressure_while_predict_stays_live() {
+    let _g = lock();
+    faults::disarm();
+    let _disarm = Disarm;
+
+    let mut server = start(ServerConfig {
+        max_inflight_explain: 1,
+        ..config(8)
+    });
+    let addr = server.addr().to_string();
+
+    // Warm the response cache with one body, then storm the endpoint with
+    // that body plus distinct uncached ones.
+    let warm = rpc(&addr, "POST", "/v1/explain", Some(&explain_body(999)));
+    assert_eq!(warm.status, 200, "{}", warm.body_text());
+    let warm = warm.body_text();
+
+    let (cached_ok, shed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12u64)
+            .map(|i| {
+                let addr = &addr;
+                let warm = &warm;
+                scope.spawn(move || {
+                    // Even slots replay the cached body, odd slots are new.
+                    let seed = if i % 2 == 0 { 999 } else { 1000 + i };
+                    let r = rpc(addr, "POST", "/v1/explain", Some(&explain_body(seed)));
+                    match r.status {
+                        200 => {
+                            if seed == 999 {
+                                // Cached or computed, the bytes must match.
+                                assert_eq!(&r.body_text(), warm, "cached explain diverged");
+                                (1u32, 0u32)
+                            } else {
+                                (0, 0)
+                            }
+                        }
+                        429 => {
+                            assert_eq!(assert_error_schema(&r), "explain_shed");
+                            assert_eq!(r.header("retry-after"), Some("1"));
+                            (0, 1)
+                        }
+                        other => panic!("explain answered {other}: {}", r.body_text()),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u32, 0u32), |(a, b), (x, y)| (a + x, b + y))
+    });
+    assert!(
+        cached_ok >= 1,
+        "cached-body explains must keep answering 200"
+    );
+
+    // Predict was never degraded.
+    let p = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(7)));
+    assert_eq!(p.status, 200, "{}", p.body_text());
+
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(metrics.contains("serve_requests_shed_total"), "{metrics}");
+    if shed > 0 {
+        assert!(
+            !metrics.contains("serve_requests_shed_total 0"),
+            "{metrics}"
+        );
+    }
+    server.shutdown();
+}

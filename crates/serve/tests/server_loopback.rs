@@ -27,6 +27,7 @@ fn start(queue_cap: usize, max_batch: usize, window: Duration, threads: usize) -
                 window,
             },
             threads,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback server")
@@ -332,6 +333,7 @@ fn artifact_boot_serves_identical_bytes_with_zero_training() {
             addr: "127.0.0.1:0".into(),
             batch: BatchConfig::default(),
             threads: 2,
+            ..ServerConfig::default()
         },
     )
     .expect("boot from artifacts");
@@ -376,5 +378,89 @@ fn artifact_boot_serves_identical_bytes_with_zero_training() {
 
     trained_like.shutdown();
     from_disk.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_reload_keeps_prior_registry_serving_identical_bytes() {
+    use serve::{ArtifactProvider, Registry};
+
+    // Boot from a good artifact directory...
+    let dir = std::env::temp_dir().join("srcr_loopback_reload_fail");
+    std::fs::create_dir_all(&dir).unwrap();
+    for f in std::fs::read_dir(&dir).unwrap().flatten() {
+        std::fs::remove_file(f.path()).ok();
+    }
+    let source = Registry::untrained(SEED);
+    for entry in source.entries() {
+        let meta = chain_reason::ArtifactMeta {
+            name: entry.name.clone(),
+            version: 1,
+            scale: 0.0,
+            variant: "untrained".to_string(),
+            seed: SEED,
+            git: "test".to_string(),
+        };
+        chain_reason::save_pipeline(
+            &dir.join(format!("{}.srcr", entry.name)),
+            &entry.pipeline,
+            &entry.world,
+            &meta,
+        )
+        .unwrap();
+    }
+    let mut server = Server::start(
+        ArtifactProvider { dir: dir.clone() },
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("boot from artifacts");
+    let addr = server.addr().to_string();
+
+    let before = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(before.status, 200);
+
+    // ...then corrupt every artifact on disk and ask for a reload.
+    for f in std::fs::read_dir(&dir).unwrap().flatten() {
+        let mut bytes = std::fs::read(f.path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(f.path(), bytes).unwrap();
+    }
+    let reload = rpc(&addr, "POST", "/admin/reload", Some(b"{}"));
+    assert_eq!(reload.status, 500, "{}", reload.body_text());
+    assert_eq!(assert_error_schema(&reload), "reload_failed");
+
+    // The prior registry keeps serving, byte-identical to before.
+    let after = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(after.status, 200);
+    assert_eq!(before.body_text(), after.body_text());
+
+    // No successful reload was recorded.
+    let metrics = rpc(&addr, "GET", "/metrics", None).body_text();
+    assert!(metrics.contains("serve_reloads_total 0"), "{metrics}");
+
+    // Repeated failures open the circuit breaker: reloads short-circuit
+    // with 503 + Retry-After while predict stays untouched.
+    let mut breaker_opened = false;
+    for _ in 0..4 {
+        let r = rpc(&addr, "POST", "/admin/reload", Some(b"{}"));
+        if r.status == 503 {
+            assert_eq!(assert_error_schema(&r), "reload_circuit_open");
+            assert!(r.header("retry-after").is_some());
+            breaker_opened = true;
+            break;
+        }
+        assert_eq!(r.status, 500);
+    }
+    assert!(breaker_opened, "breaker must open after repeated failures");
+    let still = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
+    assert_eq!(still.status, 200);
+    assert_eq!(before.body_text(), still.body_text());
+
+    server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

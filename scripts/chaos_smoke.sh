@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Chaos smoke: boot `serve` with a seeded fault plan armed
+# (runtime::faults) and drive a closed-loop workload through servebench's
+# retry policy. Asserts:
+#
+#  - the server survives the whole run — injected socket errors and worker
+#    panics are absorbed per-request, never crashing the process;
+#  - servebench finishes a clean sweep (every request eventually 200 via
+#    retry-with-backoff) and every non-2xx body it saw along the way
+#    followed the unified error schema `{"error":{"code","message"}}`;
+#  - /metrics reports the injected-fault and resilience counters;
+#  - a reload hit by the `reload.swap` fault rolls back to the last-good
+#    registry and the server keeps serving identical responses;
+#  - /admin/shutdown still drains cleanly with the plan armed.
+#
+# Usage: chaos_smoke.sh [--smoke]   (--smoke: fewer requests, CI-friendly)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+requests=400
+concurrency=8
+if [ "${1:-}" = "--smoke" ]; then
+  requests=120
+  concurrency=4
+fi
+
+cargo build --offline -q -p serve --bin serve --bin servebench
+
+out="$(mktemp -d)"
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$out"' EXIT
+
+# Low per-consult rates: most requests sail through, but over hundreds of
+# consults the plan reliably fires. reload.swap is capped at one firing so
+# the rollback path runs exactly once, on the first reload.
+plan="seed=42;socket.read:error:0.02;socket.write:error:0.02;worker.exec:panic:0.02;reload.swap:error:1x1"
+
+predict='{"model":"uvsd_sim","seed":7,"input":{"spec":{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}'
+
+echo "chaos_smoke: fault plan: $plan"
+target/debug/serve --untrained --addr 127.0.0.1:0 --fault-plan "$plan" \
+  >"$out/stdout" 2>"$out/stderr" &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#^listening on http://##p' "$out/stdout" | head -n 1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "chaos_smoke: server never reported its address"; cat "$out/stderr"; exit 1; }
+grep -q 'chaos: fault plan armed' "$out/stderr" \
+  || { echo "chaos_smoke: server did not arm the plan"; cat "$out/stderr"; exit 1; }
+echo "chaos_smoke: armed server at $addr"
+
+# A curl that rides out injected socket faults: retry transport failures.
+req() { # req <output-file> <curl args...>
+  local dst="$1"; shift
+  local code=""
+  for _ in $(seq 1 20); do
+    code="$(curl -s -o "$dst" -w '%{http_code}' --max-time 10 "$@")" && [ "$code" != 000 ] && break
+    sleep 0.1
+  done
+  echo "$code"
+}
+
+# The sweep: closed loop, every request must eventually succeed through
+# retry-with-backoff; schema violations fail servebench outright.
+target/debug/servebench --addr "$addr" --mode closed \
+  --requests "$requests" --concurrency "$concurrency" \
+  --retries 8 --backoff-ms 25 --seed 7 | tee "$out/bench.out" \
+  || { echo "chaos_smoke: servebench sweep failed under faults"; cat "$out/stderr"; exit 1; }
+
+# The server must have actually been hit: faults fired, none fatal.
+code="$(req "$out/metrics" "http://$addr/metrics")"
+[ "$code" = 200 ] || { echo "chaos_smoke: metrics returned $code"; exit 1; }
+injected="$(awk '/^serve_faults_injected_total/ {print $2}' "$out/metrics")"
+[ "${injected:-0}" -ge 1 ] || { echo "chaos_smoke: no faults injected (plan dead?)"; cat "$out/metrics"; exit 1; }
+echo "chaos_smoke: survived with $injected faults injected" \
+  "($(awk '/^serve_worker_panics_total/ {print $2}' "$out/metrics") worker panics isolated)"
+
+# Reload rollback: the capped reload.swap fault fails the first reload,
+# which must roll back to the last-good registry and keep serving.
+code="$(req "$out/before.json" -X POST "http://$addr/v1/predict" -d "$predict")"
+[ "$code" = 200 ] || { echo "chaos_smoke: pre-reload predict returned $code"; exit 1; }
+code="$(req "$out/reload.json" -X POST "http://$addr/admin/reload" -d '{}')"
+[ "$code" = 500 ] || { echo "chaos_smoke: faulted reload returned $code (want 500)"; cat "$out/reload.json"; exit 1; }
+jq -e '.error.code == "reload_failed"' "$out/reload.json" >/dev/null \
+  || { echo "chaos_smoke: reload error schema violated"; cat "$out/reload.json"; exit 1; }
+code="$(req "$out/after.json" -X POST "http://$addr/v1/predict" -d "$predict")"
+[ "$code" = 200 ] || { echo "chaos_smoke: post-rollback predict returned $code"; exit 1; }
+cmp -s "$out/before.json" "$out/after.json" \
+  || { echo "chaos_smoke: responses diverged after rollback"; exit 1; }
+code="$(req "$out/metrics" "http://$addr/metrics")"
+rollbacks="$(awk '/^serve_reload_rollbacks_total/ {print $2}' "$out/metrics")"
+[ "${rollbacks:-0}" -ge 1 ] || { echo "chaos_smoke: rollback not counted"; cat "$out/metrics"; exit 1; }
+echo "chaos_smoke: reload rollback ok (byte-identical serving preserved)"
+
+# Clean drain with the plan still armed.
+for _ in $(seq 1 20); do
+  req /dev/null -X POST "http://$addr/admin/shutdown" -d '{}' >/dev/null
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "chaos_smoke: server did not exit after /admin/shutdown"
+  exit 1
+fi
+wait "$pid" 2>/dev/null || true
+pid=""
+grep -q 'faults injected' "$out/stderr" \
+  || { echo "chaos_smoke: exit summary missing the fault count"; cat "$out/stderr"; exit 1; }
+echo "chaos_smoke: $(grep 'served' "$out/stderr" | tail -n 1)"
+grep -E 'issued=|latency ms' "$out/bench.out" | sed 's/^/chaos_smoke: sweep /'
+echo "chaos_smoke: PASS"

@@ -23,4 +23,7 @@ bash scripts/serve_smoke.sh
 echo "==> scripts/bench_decode.sh --smoke (cached-decode equivalence + win)"
 bash scripts/bench_decode.sh --smoke
 
+echo "==> scripts/chaos_smoke.sh --smoke (fault-injected sweep + reload rollback)"
+bash scripts/chaos_smoke.sh --smoke
+
 echo "CI green."
