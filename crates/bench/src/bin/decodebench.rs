@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! decodebench [--scale tiny|small] [--seed N] [--steps 8,32,64] \
-//!             [--pad N] [--threads N] [--out PATH]
+//!             [--pad N] [--threads N] [--kernel-tier exact|fast] [--out PATH]
 //! ```
 //!
 //! Both paths decode the *same* forced (non-eos) token sequence after the
@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use facs::au::AuVector;
 use lfm::{InferSession, Lfm, ModelConfig, Prompt, Special, TokenId};
+use tinynn::kernels::KernelTier;
 use videosynth::render::render_face;
 
 struct Args {
@@ -29,6 +30,7 @@ struct Args {
     steps: Vec<usize>,
     pad: usize,
     threads: usize,
+    tier: KernelTier,
     out: Option<String>,
 }
 
@@ -39,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         steps: vec![8, 32, 64],
         pad: 24,
         threads: 0,
+        tier: KernelTier::Exact,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -70,6 +73,15 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--pad" => args.pad = value("--pad")?.parse().map_err(|e| format!("--pad: {e}"))?,
+            "--kernel-tier" => {
+                args.tier = KernelTier::parse(&value("--kernel-tier")?)?;
+                if args.tier == KernelTier::FastQ8 {
+                    // Quantization is lossy; the naive-vs-cached bitwise
+                    // gate below would always fail.  Measure q8 raw
+                    // throughput with kernelbench instead.
+                    return Err("decodebench supports exact|fast (fast-q8 is lossy)".into());
+                }
+            }
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -192,10 +204,11 @@ fn json(args: &Args, prompt_len: usize, runs: &[Run]) -> String {
         })
         .collect();
     format!(
-        "{{\"bench\":\"decode\",\"scale\":\"{}\",\"seed\":{},\"threads\":{},\"prompt_len\":{},\"runs\":[{}]}}\n",
+        "{{\"bench\":\"decode\",\"scale\":\"{}\",\"seed\":{},\"threads\":{},\"kernel_tier\":\"{}\",\"prompt_len\":{},\"runs\":[{}]}}\n",
         args.scale,
         args.seed,
         runtime::threads(),
+        args.tier,
         prompt_len,
         rows.join(",")
     )
@@ -212,6 +225,11 @@ fn main() {
     if args.threads > 0 {
         runtime::set_threads(args.threads);
     }
+    // Both paths run under the selected tier: the naive oracle through the
+    // tape's dispatching matmuls, the session by construction-time pinning.
+    // The bitwise gate in measure() still holds — exact and fast are
+    // bit-identical on finite data.
+    tinynn::kernels::set_kernel_tier(args.tier);
     let cfg = match args.scale.as_str() {
         "tiny" => ModelConfig::tiny(),
         _ => ModelConfig::small(),
@@ -221,9 +239,10 @@ fn main() {
     let p = prompt(&m, args.pad);
     let prompt_len = p.seq_len(&m.cfg);
     println!(
-        "decodebench: scale={} prompt_len={prompt_len} threads={}",
+        "decodebench: scale={} prompt_len={prompt_len} threads={} kernel_tier={}",
         args.scale,
-        runtime::threads()
+        runtime::threads(),
+        args.tier,
     );
 
     // Warm up allocators and the thread pool before timing anything.

@@ -1,0 +1,375 @@
+//! kernelbench — raw matmul throughput of the kernel tiers (GFLOP/s) on
+//! shapes drawn from the real model configs.
+//!
+//! ```text
+//! kernelbench [--smoke] [--threads 1,2,4] [--out PATH]
+//! ```
+//!
+//! For every model scale this sweeps two shape families:
+//!
+//! * **decode** — the `r == 1` single-row products of KV-cached decoding
+//!   (q/k/v/o projections, the two FF layers, the vocab head): the
+//!   hottest serve shapes, measured at 1 thread (row parallelism cannot
+//!   apply to one row);
+//! * **tape** — the same `k × c` weights applied to a full
+//!   `max_seq`-row activation block (training / naive-decode shape),
+//!   measured at each requested thread count.
+//!
+//! Before any timing, each (shape, tier) pair is *verified*: the fast
+//! tier must be bit-identical to the exact oracle (finite inputs — see
+//! the kernels module docs), and the q8 tier must be within the
+//! documented per-column error bound.  A benchmark run is also an
+//! equivalence check, in the same spirit as `decodebench`.
+//!
+//! Writes one JSON document (for `scripts/bench_kernels.sh` →
+//! `BENCH_kernels.json`).  Exits non-zero if the fast tier fails to beat
+//! the oracle on every large tape shape at 1 thread — the regression
+//! gate `scripts/ci.sh` relies on in `--smoke` mode.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lfm::{ModelConfig, Vocab};
+use tinynn::kernels::{self, KernelTier, PackedWeights, Q8Weights};
+
+struct Args {
+    smoke: bool,
+    threads: Vec<usize>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        threads: vec![1, 2, 4],
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--threads: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.threads.is_empty() || args.threads.contains(&0) {
+                    return Err("--threads needs positive counts".into());
+                }
+            }
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One benchmarked shape: `r` activation rows through a `[k, c]` weight.
+struct Shape {
+    config: &'static str,
+    family: &'static str,
+    name: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+}
+
+/// The linear layers of one model scale, as (name, k, c).
+fn layers(cfg: &ModelConfig, vocab: usize) -> Vec<(&'static str, usize, usize)> {
+    vec![
+        ("qkv_proj", cfg.d_model, cfg.d_model),
+        ("ff1", cfg.d_model, cfg.ff),
+        ("ff2", cfg.ff, cfg.d_model),
+        ("head", cfg.d_model, vocab),
+    ]
+}
+
+fn shapes() -> Vec<Shape> {
+    let vocab = Vocab::build().len();
+    let mut out = Vec::new();
+    for (config, cfg) in [
+        ("tiny", ModelConfig::tiny()),
+        ("small", ModelConfig::small()),
+    ] {
+        for (name, k, c) in layers(&cfg, vocab) {
+            out.push(Shape {
+                config,
+                family: "decode",
+                name,
+                r: 1,
+                k,
+                c,
+            });
+            out.push(Shape {
+                config,
+                family: "tape",
+                name,
+                r: cfg.max_seq,
+                k,
+                c,
+            });
+        }
+    }
+    out
+}
+
+/// Deterministic irregular data with exact zeros sprinkled in, matching
+/// the distributions the kernel unit tests use.
+fn filled(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(seed);
+            if i % 7 == 0 {
+                0.0
+            } else {
+                ((h >> 8) as f32 / 1e6).sin()
+            }
+        })
+        .collect()
+}
+
+/// Time `reps` calls of `f` three times and keep the best trial (the one
+/// least disturbed by scheduler noise), returning GFLOP/s for the shape.
+fn gflops<F: FnMut()>(r: usize, k: usize, c: usize, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let started = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (2.0 * (r * k * c) as f64 * reps as f64) / best / 1e9
+}
+
+struct Row {
+    config: String,
+    family: String,
+    name: String,
+    r: usize,
+    k: usize,
+    c: usize,
+    tier: String,
+    threads: usize,
+    gflops: f64,
+    speedup_vs_exact: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"config\":\"{}\",\"family\":\"{}\",\"layer\":\"{}\",",
+                "\"r\":{},\"k\":{},\"c\":{},\"tier\":\"{}\",\"threads\":{},",
+                "\"gflops\":{:.3},\"speedup_vs_exact\":{:.2}}}"
+            ),
+            self.config,
+            self.family,
+            self.name,
+            self.r,
+            self.k,
+            self.c,
+            self.tier,
+            self.threads,
+            self.gflops,
+            self.speedup_vs_exact,
+        )
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("kernelbench: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Target multiply-adds per timed measurement: enough to swamp timer
+    // noise in full mode, an order less in smoke mode.
+    let target_flops: f64 = if args.smoke { 2e7 } else { 2e8 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for s in shapes() {
+        let a = filled(s.r * s.k, 0xA);
+        let b = filled(s.k * s.c, 0xB);
+        let bias = vec![0.0f32; s.c];
+        let qw = Q8Weights::quantize(&b, s.k, s.c);
+        let pw = PackedWeights::pack(&b, s.k, s.c);
+
+        // Verify before timing: fast must match the oracle bitwise
+        // (including through the packed-weights layout a Fast serve
+        // session uses), q8 must sit inside its documented error bound.
+        runtime::set_threads(1);
+        let oracle = kernels::matmul_with(KernelTier::Exact, &a, &b, s.r, s.k, s.c);
+        let fast = kernels::matmul_with(KernelTier::Fast, &a, &b, s.r, s.k, s.c);
+        assert_eq!(
+            oracle, fast,
+            "fast tier diverged from oracle on {}/{}",
+            s.config, s.name
+        );
+        if s.r == 1 {
+            let mut packed = vec![0.0f32; s.c];
+            kernels::linear_row_packed(&mut packed, &a, &pw, &bias);
+            assert_eq!(
+                oracle, packed,
+                "packed fast tier diverged from oracle on {}/{}",
+                s.config, s.name
+            );
+            let mut q8 = vec![0.0f32; s.c];
+            kernels::linear_row_q8(&mut q8, &a, &qw, &bias);
+            for j in 0..s.c {
+                let bound = qw.row_error_bound(&a, j) * 1.001 + 1e-6;
+                assert!(
+                    (q8[j] - oracle[j]).abs() <= bound,
+                    "q8 outside bound on {}/{} col {j}",
+                    s.config,
+                    s.name
+                );
+            }
+        }
+
+        let flops = (2 * s.r * s.k * s.c) as f64;
+        let reps = ((target_flops / flops).ceil() as usize).max(4);
+        let thread_counts: &[usize] = if s.r == 1 { &[1] } else { &args.threads };
+        for &t in thread_counts {
+            runtime::set_threads(t);
+            // Decode shapes go through the fused row kernels the serve
+            // path actually calls (caller-owned output, no allocation in
+            // either tier; the fast tier reads session-packed weights,
+            // exactly as a `Fast` InferSession does); tape shapes go
+            // through the tape's matmul entry point.
+            let (exact, fast) = if s.r == 1 {
+                let mut out = vec![0.0f32; s.c];
+                let exact = gflops(s.r, s.k, s.c, reps, || {
+                    kernels::linear_row_with(KernelTier::Exact, &mut out, &a, &b, &bias);
+                    black_box(&mut out);
+                });
+                let fast = gflops(s.r, s.k, s.c, reps, || {
+                    kernels::linear_row_packed(&mut out, &a, &pw, &bias);
+                    black_box(&mut out);
+                });
+                (exact, fast)
+            } else {
+                let run = |tier: KernelTier| {
+                    gflops(s.r, s.k, s.c, reps, || {
+                        black_box(kernels::matmul_with(tier, &a, &b, s.r, s.k, s.c));
+                    })
+                };
+                (run(KernelTier::Exact), run(KernelTier::Fast))
+            };
+            println!(
+                "  {:>5} {:>6} {:>8}  r={:<3} k={:<3} c={:<3} t={}  exact {:>6.2}  fast {:>6.2}  ({:.2}x)",
+                s.config,
+                s.family,
+                s.name,
+                s.r,
+                s.k,
+                s.c,
+                t,
+                exact,
+                fast,
+                fast / exact
+            );
+            for (tier, g) in [("exact", exact), ("fast", fast)] {
+                rows.push(Row {
+                    config: s.config.into(),
+                    family: s.family.into(),
+                    name: s.name.into(),
+                    r: s.r,
+                    k: s.k,
+                    c: s.c,
+                    tier: tier.into(),
+                    threads: t,
+                    gflops: g,
+                    speedup_vs_exact: g / exact,
+                });
+            }
+            if s.r == 1 {
+                // q8 timed through the fused row kernel it serves.
+                let mut out = vec![0.0f32; s.c];
+                let started = Instant::now();
+                for _ in 0..reps {
+                    kernels::linear_row_q8(&mut out, &a, &qw, &bias);
+                    black_box(&out);
+                }
+                let secs = started.elapsed().as_secs_f64();
+                let g = (flops * reps as f64) / secs / 1e9;
+                rows.push(Row {
+                    config: s.config.into(),
+                    family: s.family.into(),
+                    name: s.name.into(),
+                    r: s.r,
+                    k: s.k,
+                    c: s.c,
+                    tier: "fast-q8".into(),
+                    threads: t,
+                    gflops: g,
+                    speedup_vs_exact: g / exact,
+                });
+            }
+        }
+    }
+    runtime::set_threads(0);
+
+    let doc = format!(
+        "{{\"bench\":\"kernels\",\"smoke\":{},\"rows\":[{}]}}\n",
+        args.smoke,
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",")
+    );
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("kernelbench: write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  wrote {path}");
+    } else {
+        print!("{doc}");
+    }
+
+    // Regression gates, all at 1 thread.  Sub-microsecond micro shapes
+    // (tiny qkv at 512 flops/call) are excluded — they time dispatch
+    // overhead, not the kernel.
+    let fast1 = |pred: &dyn Fn(&Row) -> bool| -> (usize, f64) {
+        let mut n = 0usize;
+        let mut worst = f64::MAX;
+        for r in rows.iter().filter(|r| r.tier == "fast" && r.threads == 1) {
+            if pred(r) {
+                n += 1;
+                worst = worst.min(r.speedup_vs_exact);
+            }
+        }
+        (n, worst)
+    };
+    // Every large tape shape must beat the oracle outright.
+    let (n_tape, worst_tape) = fast1(&|r| r.family == "tape" && r.r * r.k * r.c >= 1 << 16);
+    // Every non-micro decode shape must at least not regress.
+    let (n_dec, worst_dec) = fast1(&|r| r.family == "decode" && r.k * r.c >= 1024);
+    // Headline criterion: >= 2x on the large decode shapes (hard-asserted
+    // in full runs, reported in smoke runs to keep CI free of
+    // timing-flake failures).
+    let (n_big, worst_big) = fast1(&|r| r.family == "decode" && r.k * r.c >= 2048);
+    assert!(
+        n_tape > 0 && n_dec > 0 && n_big > 0,
+        "gates matched no shapes"
+    );
+    if worst_tape < 1.0 || worst_dec < 1.0 {
+        eprintln!(
+            "kernelbench: fast tier slower than oracle (tape worst {worst_tape:.2}x over {n_tape}, decode worst {worst_dec:.2}x over {n_dec})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  gate ok: fast >= exact on {n_tape} large tape shapes (worst {worst_tape:.2}x) and {n_dec} decode shapes (worst {worst_dec:.2}x)"
+    );
+    println!("  large-decode criterion: worst {worst_big:.2}x over {n_big} shapes (target >= 2x)");
+    if !args.smoke && worst_big < 2.0 {
+        eprintln!("kernelbench: fast tier under 2x on a large decode shape ({worst_big:.2}x)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Classification invariance across kernel tiers: the fast
+//! register-blocked kernels must not change a single decision anywhere in
+//! the `Describe → Assess → Highlight` chain.  For every video in a smoke
+//! corpus, an `Exact`-tier session and a `Fast`-tier session must produce
+//! the same assess label, the same highlighted rationale regions, and the
+//! same grammar-constrained description token choices (the description
+//! *is* the sequence of constrained choices, so AuSet equality is choice
+//! equality).  This holds exactly — not within a tolerance — because the
+//! fast tier is bit-identical to the exact oracle on finite inputs (see
+//! the tinynn kernels module docs).
+
+use chain_reason::{PipelineConfig, StressPipeline};
+use lfm::{InferSession, Lfm, ModelConfig};
+use tinynn::kernels::KernelTier;
+use videosynth::dataset::{Dataset, DatasetProfile, Scale};
+
+fn pipeline(seed: u64) -> StressPipeline {
+    StressPipeline::new(Lfm::new(ModelConfig::tiny(), seed), PipelineConfig::smoke())
+}
+
+#[test]
+fn chain_decisions_identical_across_exact_and_fast_tiers() {
+    for seed in [3u64, 11] {
+        let p = pipeline(seed);
+        let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), seed);
+        assert!(!ds.samples.is_empty());
+        for (vi, video) in ds.samples.iter().enumerate() {
+            let mut exact = InferSession::with_tier(&p.model, KernelTier::Exact);
+            let mut fast = InferSession::with_tier(&p.model, KernelTier::Fast);
+            let out_exact = p.predict_with_session(&mut exact, video, seed);
+            let out_fast = p.predict_with_session(&mut fast, video, seed);
+            // ChainOutput equality covers all three invariance claims:
+            // description (grammar-constrained token choices), assessment
+            // (assess label), rationale (highlight regions).
+            assert_eq!(out_exact, out_fast, "seed={seed} video={vi}");
+        }
+    }
+}
+
+#[test]
+fn stress_scores_identical_across_exact_and_fast_tiers() {
+    let seed = 7u64;
+    let p = pipeline(seed);
+    let ds = Dataset::generate(DatasetProfile::uvsd(Scale::Smoke), seed);
+    for video in ds.samples.iter().take(4) {
+        let mut exact = InferSession::with_tier(&p.model, KernelTier::Exact);
+        let mut fast = InferSession::with_tier(&p.model, KernelTier::Fast);
+        let (out_e, score_e) = p.predict_scored_with_session(&mut exact, video, seed);
+        let (out_f, score_f) = p.predict_scored_with_session(&mut fast, video, seed);
+        assert_eq!(out_e, out_f);
+        // Scores are f32 computed from bit-identical logits: exactly equal.
+        assert_eq!(score_e.to_bits(), score_f.to_bits());
+    }
+}

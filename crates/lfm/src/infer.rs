@@ -19,10 +19,87 @@
 //! lengths and runtime thread counts.
 
 use tinynn::infer::{attend_row, KvCache};
-use tinynn::kernels;
+use tinynn::kernels::{self, KernelTier, PackedWeights, Q8Weights};
 
 use crate::model::{Lfm, Prompt, Segment};
 use crate::vocab::TokenId;
+
+/// Session-side copies of one block's weight matrices (biases stay f32),
+/// generic over the representation: [`Q8Weights`] for the `FastQ8` tier,
+/// [`PackedWeights`] (aligned padded-stride f32) for the `Fast` tier.
+#[derive(Clone, Debug)]
+struct BlockWeights<W> {
+    wq: W,
+    wk: W,
+    wv: W,
+    wo: W,
+    ff1: W,
+    ff2: W,
+}
+
+/// Session-owned re-encoded weights for every per-token linear layer of
+/// the decode hot path (q/k/v/o, both FF layers, the LM head).  The
+/// visual projection stays plain f32 — it runs once per image row, not
+/// once per decoded token, and keeping it exact keeps image embeddings
+/// tier-independent.
+#[derive(Clone, Debug)]
+struct SessionWeights<W> {
+    blocks: Vec<BlockWeights<W>>,
+    head: W,
+}
+
+/// Quantized weights for [`KernelTier::FastQ8`] (lossy, documented bound).
+type SessionQuant = SessionWeights<Q8Weights>;
+
+/// Packed weights for [`KernelTier::Fast`]: bit-identical results, but the
+/// padded 64-byte-aligned stride keeps the fast kernel's vector loads off
+/// cache-line splits (the unpadded 69-column vocab head is the worst
+/// offender).
+type SessionPacked = SessionWeights<PackedWeights>;
+
+impl<W> SessionWeights<W> {
+    fn build(model: &Lfm, enc: impl Fn(&[f32], usize, usize) -> W) -> Self {
+        let cfg = &model.cfg;
+        let (d, ff) = (cfg.d_model, cfg.ff);
+        let store = &model.store;
+        let q = |p, k, c| enc(&store.value(p).data, k, c);
+        SessionWeights {
+            blocks: model
+                .params
+                .blocks
+                .iter()
+                .map(|bp| BlockWeights {
+                    wq: q(bp.wq, d, d),
+                    wk: q(bp.wk, d, d),
+                    wv: q(bp.wv, d, d),
+                    wo: q(bp.wo, d, d),
+                    ff1: q(bp.ff1_w, d, ff),
+                    ff2: q(bp.ff2_w, ff, d),
+                })
+                .collect(),
+            head: q(model.params.head_w, d, model.vocab.len()),
+        }
+    }
+}
+
+/// One linear-row step under a session tier: q8 weights when the session
+/// holds them for this matrix, packed f32 when it holds those (Fast tier,
+/// bit-identical to plain f32), the tier's f32 kernel otherwise.
+fn lin(
+    tier: KernelTier,
+    out: &mut [f32],
+    x: &[f32],
+    w: &[f32],
+    pw: Option<&PackedWeights>,
+    qw: Option<&Q8Weights>,
+    b: &[f32],
+) {
+    match (qw, pw) {
+        (Some(q), _) => kernels::linear_row_q8(out, x, q, b),
+        (None, Some(p)) => kernels::linear_row_packed(out, x, p, b),
+        (None, None) => kernels::linear_row_with(tier, out, x, w, b),
+    }
+}
 
 /// One embedded position of the mixed visual/text stream: the unit of
 /// longest-common-prefix comparison.
@@ -61,6 +138,15 @@ pub struct InferSession {
     prefill_positions: u64,
     /// Rows appended by `push_token` since construction (decode work).
     decoded_tokens: u64,
+    /// Kernel tier every row of this session runs under (pinned at
+    /// construction so ambient tier changes cannot split a context across
+    /// tiers mid-sequence).
+    tier: KernelTier,
+    /// Quantized weights, present only in the [`KernelTier::FastQ8`] tier.
+    quant: Option<SessionQuant>,
+    /// Packed (aligned padded-stride) f32 weights, present only in the
+    /// [`KernelTier::Fast`] tier.  Layout-only: results stay bit-identical.
+    packed: Option<SessionPacked>,
     // ----- scratch (reused every row; no per-step allocation) -----
     x: Vec<f32>,
     n: Vec<f32>,
@@ -74,8 +160,20 @@ pub struct InferSession {
 }
 
 impl InferSession {
-    /// Fresh session with caches pre-reserved for `cfg.max_seq` rows.
+    /// Fresh session under the process-global kernel tier
+    /// ([`kernels::kernel_tier`], i.e. `--kernel-tier`/`SRCR_KERNEL_TIER`
+    /// in the serving binaries, `Exact` by default).
     pub fn new(model: &Lfm) -> Self {
+        Self::with_tier(model, kernels::kernel_tier())
+    }
+
+    /// Fresh session pinned to an explicit kernel tier, with caches
+    /// pre-reserved for `cfg.max_seq` rows.  `Exact` and `Fast` sessions
+    /// produce bit-identical logits (finite weights/activations — see the
+    /// tinynn kernels module docs); `FastQ8` quantizes the per-token
+    /// weight matrices once here and is lossy within the documented
+    /// per-column bound.
+    pub fn with_tier(model: &Lfm, tier: KernelTier) -> Self {
         let cfg = &model.cfg;
         let d = cfg.d_model;
         InferSession {
@@ -87,6 +185,11 @@ impl InferSession {
             logits: vec![0.0; model.vocab.len()],
             prefill_positions: 0,
             decoded_tokens: 0,
+            tier,
+            quant: (tier == KernelTier::FastQ8)
+                .then(|| SessionWeights::build(model, Q8Weights::quantize)),
+            packed: (tier == KernelTier::Fast)
+                .then(|| SessionWeights::build(model, PackedWeights::pack)),
             x: vec![0.0; d],
             n: vec![0.0; d],
             q: vec![0.0; d],
@@ -117,6 +220,11 @@ impl InferSession {
     /// Rows appended via [`InferSession::push_token`] so far.
     pub fn decoded_tokens(&self) -> u64 {
         self.decoded_tokens
+    }
+
+    /// The kernel tier this session was pinned to at construction.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Logits of the last embedded position (panics on an empty session).
@@ -201,7 +309,10 @@ impl InferSession {
                     .copy_from_slice(&emb[*t as usize * d..(*t as usize + 1) * d]);
             }
             Item::Vis(feats) => {
-                kernels::linear_row(
+                // Always f32 (never quantized); tier-explicit so the
+                // session, not ambient state, decides the codegen.
+                kernels::linear_row_with(
+                    self.tier,
                     &mut self.x,
                     feats,
                     &store.value(p.vis_w).data,
@@ -216,7 +327,10 @@ impl InferSession {
 
         let dh = d / cfg.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        for (bp, cache) in p.blocks.iter().zip(&mut self.caches) {
+        let tier = self.tier;
+        for (bi, (bp, cache)) in p.blocks.iter().zip(&mut self.caches).enumerate() {
+            let qb = self.quant.as_ref().map(|q| &q.blocks[bi]);
+            let pb = self.packed.as_ref().map(|p| &p.blocks[bi]);
             // Pre-norm attention.
             kernels::layer_norm_row(
                 &mut self.n,
@@ -225,22 +339,31 @@ impl InferSession {
                 &store.value(bp.ln1_b).data,
                 1e-5,
             );
-            kernels::linear_row(
+            lin(
+                tier,
                 &mut self.q,
                 &self.n,
                 &store.value(bp.wq).data,
+                pb.map(|p| &p.wq),
+                qb.map(|q| &q.wq),
                 &store.value(bp.bq).data,
             );
-            kernels::linear_row(
+            lin(
+                tier,
                 &mut self.k,
                 &self.n,
                 &store.value(bp.wk).data,
+                pb.map(|p| &p.wk),
+                qb.map(|q| &q.wk),
                 &store.value(bp.bk).data,
             );
-            kernels::linear_row(
+            lin(
+                tier,
                 &mut self.v,
                 &self.n,
                 &store.value(bp.wv).data,
+                pb.map(|p| &p.wv),
+                qb.map(|q| &q.wv),
                 &store.value(bp.bv).data,
             );
             cache.append(&self.k, &self.v);
@@ -252,10 +375,13 @@ impl InferSession {
                 scale,
                 &mut self.scores,
             );
-            kernels::linear_row(
+            lin(
+                tier,
                 &mut self.proj,
                 &self.attn,
                 &store.value(bp.wo).data,
+                pb.map(|p| &p.wo),
+                qb.map(|q| &q.wo),
                 &store.value(bp.bo).data,
             );
             for (xi, ai) in self.x.iter_mut().zip(&self.proj) {
@@ -270,16 +396,25 @@ impl InferSession {
                 &store.value(bp.ln2_b).data,
                 1e-5,
             );
-            kernels::linear_row_gelu(
+            lin(
+                tier,
                 &mut self.ff,
                 &self.n,
                 &store.value(bp.ff1_w).data,
+                pb.map(|p| &p.ff1),
+                qb.map(|q| &q.ff1),
                 &store.value(bp.ff1_b).data,
             );
-            kernels::linear_row(
+            for f in self.ff.iter_mut() {
+                *f = kernels::gelu_fwd(*f);
+            }
+            lin(
+                tier,
                 &mut self.proj,
                 &self.ff,
                 &store.value(bp.ff2_w).data,
+                pb.map(|p| &p.ff2),
+                qb.map(|q| &q.ff2),
                 &store.value(bp.ff2_b).data,
             );
             for (xi, hi) in self.x.iter_mut().zip(&self.proj) {
@@ -305,10 +440,13 @@ impl InferSession {
             &store.value(p.ln_f_b).data,
             1e-5,
         );
-        kernels::linear_row(
+        lin(
+            self.tier,
             &mut self.logits,
             &self.n,
             &store.value(p.head_w).data,
+            self.packed.as_ref().map(|p| &p.head),
+            self.quant.as_ref().map(|q| &q.head),
             &store.value(p.head_b).data,
         );
     }

@@ -148,3 +148,61 @@ fn grammar_session_decode_matches_plain_entry_point() {
     );
     assert_eq!(plain, again);
 }
+
+/// The fast kernel tier must not change a single logit bit: an `Exact`
+/// session and a `Fast` session walk the same context to the same bits,
+/// across prefill, LCP-reusing re-contexting and incremental decode.
+#[test]
+fn fast_tier_session_is_bit_identical_to_exact_tier() {
+    use tinynn::kernels::KernelTier;
+    let m = model();
+    for pad in [0usize, 5, 17] {
+        let p = prompt_with_pad(&m, pad);
+        let mut exact = InferSession::with_tier(&m, KernelTier::Exact);
+        let mut fast = InferSession::with_tier(&m, KernelTier::Fast);
+        assert_eq!(exact.tier(), KernelTier::Exact);
+        assert_eq!(fast.tier(), KernelTier::Fast);
+        let le = exact.set_context(&m, &p, &[]).to_vec();
+        let lf = fast.set_context(&m, &p, &[]).to_vec();
+        assert_eq!(le, lf, "prefill logits, pad={pad}");
+        let tok = m.vocab.special(Special::Sep);
+        for step in 0..6 {
+            let le = exact.push_token(&m, tok).to_vec();
+            let lf = fast.push_token(&m, tok).to_vec();
+            assert_eq!(le, lf, "decode step {step}, pad={pad}");
+        }
+    }
+}
+
+/// Greedy generation under the fast tier equals the full-recompute graph
+/// oracle token-for-token (transitively: fast session == exact session ==
+/// tape), including sampled (non-greedy) temperatures.
+#[test]
+fn fast_tier_generation_matches_graph_oracle() {
+    use tinynn::kernels::KernelTier;
+    let m = model();
+    let p = prompt_with_pad(&m, 7);
+    for &(temperature, seed) in &[(0.0f32, 0u64), (0.9, 5)] {
+        let mut fast = InferSession::with_tier(&m, KernelTier::Fast);
+        let got = m.generate_with_session(&mut fast, &p, 12, temperature, seed);
+        let oracle = m.generate_full(&p, 12, temperature, seed);
+        assert_eq!(got, oracle, "temperature={temperature} seed={seed}");
+    }
+}
+
+/// A `FastQ8` session is lossy by contract but must stay well-formed:
+/// finite logits of the right arity, and a probability distribution that
+/// sums to one.
+#[test]
+fn q8_tier_session_produces_finite_distributions() {
+    use tinynn::kernels::KernelTier;
+    let m = model();
+    let p = prompt_with_pad(&m, 3);
+    let mut s = InferSession::with_tier(&m, KernelTier::FastQ8);
+    let logits = s.set_context(&m, &p, &[]).to_vec();
+    assert_eq!(logits.len(), m.vocab.len());
+    assert!(logits.iter().all(|v| v.is_finite()));
+    let dist = m.next_token_distribution_with_session(&mut s, &p);
+    assert!((dist.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    assert!(dist.iter().all(|&p| (0.0..=1.0).contains(&p)));
+}

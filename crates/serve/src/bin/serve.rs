@@ -5,6 +5,7 @@
 //!       [--threads N] [--queue-cap N] [--max-batch N] [--window-ms N]
 //!       [--deadline-ms N] [--io-timeout-ms N] [--max-body-bytes N]
 //!       [--max-inflight-explain N] [--fault-plan SPEC]
+//!       [--kernel-tier exact|fast|fast-q8]
 //!       [--untrained | --model-dir DIR]
 //! ```
 //!
@@ -46,6 +47,7 @@ struct Args {
     max_body: usize,
     max_inflight_explain: usize,
     fault_plan: Option<String>,
+    kernel_tier: Option<tinynn::kernels::KernelTier>,
     untrained: bool,
     model_dir: Option<String>,
 }
@@ -63,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         max_body: defaults.max_body,
         max_inflight_explain: defaults.max_inflight_explain,
         fault_plan: None,
+        kernel_tier: None,
         untrained: false,
         model_dir: None,
     };
@@ -129,6 +132,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-inflight-explain: {e}"))?
             }
             "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
+            "--kernel-tier" => {
+                args.kernel_tier = Some(tinynn::kernels::KernelTier::parse(&value(
+                    "--kernel-tier",
+                )?)?)
+            }
             "--untrained" => args.untrained = true,
             "--model-dir" => args.model_dir = Some(value("--model-dir")?),
             other => return Err(format!("unknown flag {other:?}")),
@@ -149,6 +157,13 @@ fn main() {
         }
     };
     runtime::set_threads(args.threads);
+
+    // Kernel tier: an explicit --kernel-tier wins; otherwise the lazy
+    // SRCR_KERNEL_TIER env default inside tinynn applies (Exact).
+    if let Some(tier) = args.kernel_tier {
+        tinynn::kernels::set_kernel_tier(tier);
+    }
+    eprintln!("kernel tier: {}", tinynn::kernels::kernel_tier());
 
     // Chaos: an explicit --fault-plan wins, else SRCR_FAULT_PLAN if set.
     let armed = match &args.fault_plan {

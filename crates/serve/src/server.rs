@@ -436,7 +436,17 @@ fn models(state: &State) -> Response {
             ])
         })
         .collect();
-    Response::json(200, "OK", &obj(vec![("models", Json::Array(entries))]))
+    Response::json(
+        200,
+        "OK",
+        &obj(vec![
+            ("models", Json::Array(entries)),
+            (
+                "kernel_tier",
+                Json::String(tinynn::kernels::kernel_tier().name().to_string()),
+            ),
+        ]),
+    )
 }
 
 /// `POST /admin/reload`: build a fresh registry through the boot provider

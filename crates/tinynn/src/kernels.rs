@@ -1,24 +1,65 @@
 //! Shared compute kernels for the autodiff tape and the grad-free infer
-//! path.
+//! path, organised as two selectable tiers (see [`KernelTier`]).
 //!
-//! Every kernel preserves the *reference accumulation order* — each output
-//! element accumulates its `k` products in increasing-`k` order into a
-//! single scalar accumulator seeded with `+0.0`, skipping terms whose left
-//! operand is exactly `0.0` (matching the sparse-friendly reference loop).
-//! Row/column blocking and transpose-packing only change *which* output
-//! element is computed when, never the order of adds within one element, so
-//! results are bit-identical to the naive triple loop.  Large products are
-//! additionally parallelised over output rows via [`runtime::Pool`]; each
-//! row is a pure function of the inputs and `par_map` is order-preserving,
-//! so the result is bit-identical at any thread count (the workspace-wide
-//! determinism invariant).
+//! # The exact tier (default)
+//!
+//! Every exact-tier kernel preserves the *reference accumulation order* —
+//! each output element accumulates its `k` products in increasing-`k`
+//! order into a single scalar accumulator seeded with `+0.0`, skipping
+//! terms whose left operand is exactly `0.0` (the sparse-friendly
+//! reference loop; since this PR the skip is the uniform scalar contract,
+//! [`dot`] included).  Row/column blocking and transpose-packing only
+//! change *which* output element is computed when, never the order of adds
+//! within one element, so results are bit-identical to the naive triple
+//! loop.  Large products are additionally parallelised over output rows
+//! via [`runtime::Pool`]; each row is a pure function of the inputs and
+//! `par_map` is order-preserving, so the result is bit-identical at any
+//! thread count (the workspace-wide determinism invariant).
+//!
+//! # Exactness of the zero skip
 //!
 //! Skipping zero left-operands is itself exact for finite inputs: an
 //! accumulator that starts at `+0.0` can never become `-0.0` under
-//! round-to-nearest (`+0.0 + -0.0 == +0.0`), and adding `±0.0` to any value
-//! is the identity — so the skip changes nothing but speed.
+//! round-to-nearest (`+0.0 + -0.0 == +0.0`), and adding `±0.0` to any
+//! value is the identity — so the skip changes nothing but speed.  For
+//! *non-finite* inputs the skip is observable (`0.0 × NaN = NaN` would
+//! otherwise propagate), which is why it is applied uniformly: every
+//! scalar kernel drops a term whose left operand is exactly `0.0`, no
+//! matter what the right operand holds, so a NaN payload can never make
+//! two kernels disagree depending on which one a shape dispatched to
+//! (proptested in `tests/proptests.rs`).
+//!
+//! # The fast tier (`KernelTier::Fast`, opt-in)
+//!
+//! The per-element `if ai != 0.0` branch of the exact loops defeats the
+//! autovectorizer, so a second tier provides *branch-free,
+//! register-blocked* f32 microkernels: fixed-size `MR × NR` panels whose
+//! accumulators live in registers across the whole `k` loop, with the
+//! vector lanes spread over output columns.  Each output element still
+//! accumulates its products in increasing-`k` order into its own single
+//! accumulator — the blocking changes only which elements are in flight
+//! together — so for **finite inputs the fast tier is bit-identical to
+//! the exact tier** (the zero skip is the identity, see above) at any
+//! blocking, shape or thread count.  The documented tolerance contract of
+//! the fast f32 tier is therefore *zero* on finite data; non-finite
+//! inputs are outside its contract (debug builds assert finiteness at
+//! fast-kernel entry).  That it actually lowers to SIMD is verified by a
+//! throughput benchmark (`kernelbench`, `scripts/bench_kernels.sh`), not
+//! by reading assembly.
+//!
+//! # The int8 path (`KernelTier::FastQ8`, opt-in)
+//!
+//! For the serve hot path an optional weight-quantized matmul stores a
+//! weight matrix as per-column-scaled `i8` ([`Q8Weights`]) and
+//! dequantizes inside the register-blocked inner loop.  This tier is
+//! *lossy*: with per-column scale `s_j = max_k |w[k][j]| / 127`, each
+//! quantized weight is within `s_j / 2` of the original, so
+//! `|out[j] − exact[j]| ≤ (s_j / 2) · Σ_k |x[k]|` — the documented,
+//! testable error bound ([`Q8Weights::row_error_bound`]).  Activations
+//! stay f32; only weights are quantized.
 
 use runtime::Pool;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Below this many multiply-adds the packed/blocked path is not worth the
 /// `Bᵀ` packing traffic; use the streaming reference loop.
@@ -35,23 +76,135 @@ const ROW_BLOCK: usize = 16;
 /// reused across a whole row block.
 const COL_BLOCK: usize = 64;
 
-/// Plain dot product, increasing-index accumulation (no zero skip) — the
-/// reference kernel for `A × Bᵀ` scores.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
-    }
-    acc
+// ---------------------------------------------------------------------------
+// Kernel tier selection
+// ---------------------------------------------------------------------------
+
+/// Which kernel implementation the dispatching entry points use.
+///
+/// The tier is process-global (like [`runtime::set_threads`]): serving
+/// binaries set it once at boot from `--kernel-tier` or the
+/// `SRCR_KERNEL_TIER` environment variable (flag wins).  Code that must
+/// not depend on ambient state — tests, benchmarks, a pinned
+/// `InferSession` — uses the `*_with` entry points and passes a tier
+/// explicitly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Reference scalar kernels: bit-identical to the naive loops, the
+    /// oracle every other tier is tested against.
+    #[default]
+    Exact,
+    /// Branch-free register-blocked f32 microkernels.  Bit-identical to
+    /// `Exact` on finite inputs (see module docs), substantially faster.
+    Fast,
+    /// `Fast`, plus int8 weight-quantized linear layers where the caller
+    /// holds [`Q8Weights`] (lossy; see the documented error bound).
+    FastQ8,
 }
 
-/// Dot product that skips terms whose `a` element is exactly `0.0` —
-/// bit-identical to [`dot`] for finite data (see module docs) and the
-/// per-element form of the reference matmul loop.
+impl KernelTier {
+    /// Parse a tier name as accepted by `--kernel-tier` /
+    /// `SRCR_KERNEL_TIER`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "exact" => Ok(KernelTier::Exact),
+            "fast" => Ok(KernelTier::Fast),
+            "fast-q8" => Ok(KernelTier::FastQ8),
+            other => Err(format!(
+                "unknown kernel tier {other:?} (exact|fast|fast-q8)"
+            )),
+        }
+    }
+
+    /// Canonical name (round-trips through [`KernelTier::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Exact => "exact",
+            KernelTier::Fast => "fast",
+            KernelTier::FastQ8 => "fast-q8",
+        }
+    }
+
+    /// Whether the f32 fast microkernels are active in this tier.
+    fn fast_f32(self) -> bool {
+        !matches!(self, KernelTier::Exact)
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Global tier encoding: 0/1/2 = the variants, `TIER_UNSET` = consult the
+/// environment on first read.
+const TIER_UNSET: u8 = u8::MAX;
+static TIER: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+fn tier_to_u8(t: KernelTier) -> u8 {
+    match t {
+        KernelTier::Exact => 0,
+        KernelTier::Fast => 1,
+        KernelTier::FastQ8 => 2,
+    }
+}
+
+fn tier_from_u8(v: u8) -> KernelTier {
+    match v {
+        1 => KernelTier::Fast,
+        2 => KernelTier::FastQ8,
+        _ => KernelTier::Exact,
+    }
+}
+
+/// Set the process-global kernel tier (overrides `SRCR_KERNEL_TIER`).
+pub fn set_kernel_tier(t: KernelTier) {
+    TIER.store(tier_to_u8(t), Ordering::Relaxed);
+}
+
+/// The process-global kernel tier.  When never set explicitly, the
+/// `SRCR_KERNEL_TIER` environment variable is consulted once (an invalid
+/// value falls back to `Exact`, matching `SRCR_THREADS`'s lenience).
+pub fn kernel_tier() -> KernelTier {
+    let v = TIER.load(Ordering::Relaxed);
+    if v != TIER_UNSET {
+        return tier_from_u8(v);
+    }
+    let resolved = std::env::var("SRCR_KERNEL_TIER")
+        .ok()
+        .and_then(|s| KernelTier::parse(&s).ok())
+        .unwrap_or(KernelTier::Exact);
+    // Racing first reads resolve the same value; last store wins benignly.
+    TIER.store(tier_to_u8(resolved), Ordering::Relaxed);
+    resolved
+}
+
+/// Fast-tier inputs must be finite (the branch-free kernels do not skip
+/// zero left operands, so `0.0 × NaN` would diverge from the exact tier).
 #[inline]
-fn dot_skip(a: &[f32], b: &[f32]) -> f32 {
+fn debug_assert_finite(name: &str, xs: &[f32]) {
+    debug_assert!(
+        xs.iter().all(|v| v.is_finite()),
+        "fast-tier kernel input {name:?} contains a non-finite value"
+    );
+    let _ = (name, xs);
+}
+
+// ---------------------------------------------------------------------------
+// Exact scalar kernels (the oracle tier)
+// ---------------------------------------------------------------------------
+
+/// Dot product, increasing-index accumulation with the exact-zero skip —
+/// the per-element form of every exact kernel (`A × Bᵀ` scores included).
+///
+/// The skip is the *uniform* scalar contract: a term whose `a` element is
+/// exactly `0.0` contributes nothing even when `b[i]` is non-finite, so
+/// all exact kernels agree bit-for-bit on NaN/Inf payloads instead of
+/// diverging by dispatch shape (previously this kernel did not skip and
+/// `0.0 × NaN` propagated here but not in the matmul loops).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0.0f32;
     for i in 0..a.len() {
@@ -82,8 +235,8 @@ fn matmul_ref_into(out: &mut [f32], a: &[f32], b: &[f32], r: usize, k: usize, c:
 }
 
 /// Blocked kernel over packed `Bᵀ`: computes rows `i0..i1` of the output.
-/// Per element this is `dot_skip(a_row, bt_row)` — the same adds in the
-/// same order as [`matmul_ref_into`].
+/// Per element this is `dot(a_row, bt_row)` — the same adds in the same
+/// order as [`matmul_ref_into`].
 fn matmul_packed_rows(
     out: &mut [f32],
     a: &[f32],
@@ -99,20 +252,317 @@ fn matmul_packed_rows(
             let ar = &a[i * k..(i + 1) * k];
             let orow = &mut out[(i - i0) * c..(i - i0 + 1) * c];
             for j in j0..j1 {
-                orow[j] = dot_skip(ar, &bt[j * k..(j + 1) * k]);
+                orow[j] = dot(ar, &bt[j * k..(j + 1) * k]);
             }
         }
     }
 }
 
-/// `[r, k] × [k, c]` matrix product, bit-identical to the reference loop at
-/// any blocking or thread count.
+// ---------------------------------------------------------------------------
+// Fast register-blocked microkernels
+// ---------------------------------------------------------------------------
+
+/// `MR × NR` register panel: `MR` rows of `A` against `NR` consecutive
+/// output columns, all `MR·NR` accumulators held across the whole `k`
+/// loop.  Each accumulator receives its products in increasing-`k` order,
+/// so per output element this computes the very same float sum as the
+/// exact kernels (minus the unobservable-on-finite-data zero skip) — the
+/// panel shape changes *throughput*, never *bits*.  The inner loop is
+/// branch-free with the vector lanes along `n`, which the autovectorizer
+/// lowers to SIMD (verified by `kernelbench`).
+/// `w` is the number of columns actually copied to `out` (`== NR` except
+/// for a clipped tail panel over padded weights, where the lanes past `w`
+/// compute sums of zero-padding that are simply discarded).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal microkernel plumbing
+fn fast_panel<const MR: usize, const NR: usize>(
+    out: &mut [f32],
+    orow0: usize,
+    a: &[f32],
+    arow0: usize,
+    b: &[f32],
+    j0: usize,
+    k: usize,
+    c: usize,
+    bs: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    // k unrolled by 4 to amortise index math and bounds checks; the four
+    // updates to one accumulator stay *sequential* in ascending-k order,
+    // so the per-element float sum (and hence the bits) is unchanged.
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let b0 = &b[kk * bs + j0..kk * bs + j0 + NR];
+        let b1 = &b[(kk + 1) * bs + j0..(kk + 1) * bs + j0 + NR];
+        let b2 = &b[(kk + 2) * bs + j0..(kk + 2) * bs + j0 + NR];
+        let b3 = &b[(kk + 3) * bs + j0..(kk + 3) * bs + j0 + NR];
+        for (m, accm) in acc.iter_mut().enumerate() {
+            let arow = &a[(arow0 + m) * k + kk..(arow0 + m) * k + kk + 4];
+            for n in 0..NR {
+                let mut s = accm[n];
+                s += arow[0] * b0[n];
+                s += arow[1] * b1[n];
+                s += arow[2] * b2[n];
+                s += arow[3] * b3[n];
+                accm[n] = s;
+            }
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let brow = &b[kk * bs + j0..kk * bs + j0 + NR];
+        for (m, accm) in acc.iter_mut().enumerate() {
+            let av = a[(arow0 + m) * k + kk];
+            for (s, &bv) in accm.iter_mut().zip(brow) {
+                *s += av * bv;
+            }
+        }
+        kk += 1;
+    }
+    for (m, accm) in acc.iter().enumerate() {
+        let o = (orow0 + m) * c + j0;
+        out[o..o + w].copy_from_slice(&accm[..w]);
+    }
+}
+
+/// One strip of `MR` rows: a cascade of narrowing panels
+/// (`NR → 16 → 8 → 4`), then a scalar column tail (still
+/// single-accumulator increasing-`k` per element).  `bs` is the `B` row
+/// stride (`== c` for plain row-major, `> c` for padded packed weights).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal microkernel plumbing
+fn fast_row_strip<const MR: usize, const NR: usize>(
+    out: &mut [f32],
+    orow0: usize,
+    a: &[f32],
+    arow0: usize,
+    b: &[f32],
+    k: usize,
+    c: usize,
+    bs: usize,
+) {
+    let mut j = 0;
+    while j + NR <= c {
+        fast_panel::<MR, NR>(out, orow0, a, arow0, b, j, k, c, bs, NR);
+        j += NR;
+    }
+    if NR > 32 {
+        while j + 32 <= c {
+            fast_panel::<MR, 32>(out, orow0, a, arow0, b, j, k, c, bs, 32);
+            j += 32;
+        }
+    }
+    if NR > 16 {
+        while j + 16 <= c {
+            fast_panel::<MR, 16>(out, orow0, a, arow0, b, j, k, c, bs, 16);
+            j += 16;
+        }
+    }
+    // Padded stride (packed weights): finish the remaining (< 16) columns
+    // with one clipped 16-wide panel.  The lanes past `c` read the
+    // zero-filled padding — in-bounds because the stride is a multiple of
+    // 16 — and their (discarded) sums of zeros cost nothing extra.
+    if j < c && bs >= j + 16 {
+        fast_panel::<MR, 16>(out, orow0, a, arow0, b, j, k, c, bs, c - j);
+        return;
+    }
+    if NR > 8 {
+        while j + 8 <= c {
+            fast_panel::<MR, 8>(out, orow0, a, arow0, b, j, k, c, bs, 8);
+            j += 8;
+        }
+    }
+    if NR > 4 {
+        while j + 4 <= c {
+            fast_panel::<MR, 4>(out, orow0, a, arow0, b, j, k, c, bs, 4);
+            j += 4;
+        }
+    }
+    // Remaining (< 4) columns in ONE pass over the k loop, one register
+    // accumulator per column — not one strided k-sweep per column.
+    let rem = c - j;
+    if rem > 0 {
+        for m in 0..MR {
+            let ar = &a[(arow0 + m) * k..(arow0 + m + 1) * k];
+            let mut acc = [0.0f32; 3];
+            for (kk, &av) in ar.iter().enumerate() {
+                for (n, s) in acc[..rem].iter_mut().enumerate() {
+                    *s += av * b[kk * bs + j + n];
+                }
+            }
+            out[(orow0 + m) * c + j..(orow0 + m) * c + c].copy_from_slice(&acc[..rem]);
+        }
+    }
+}
+
+/// Branch-free blocked kernel for rows `i0..i1` of `A × B` (`B` row-major,
+/// no packing: each `k` step reads one contiguous `B`-row segment).
+/// `out` holds rows rebased to `i0`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal microkernel plumbing
+fn matmul_fast_rows_impl(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    c: usize,
+    bs: usize,
+) {
+    let mut i = i0;
+    // 4×8 panels: 8 vector accumulators stay resident in registers.
+    while i + 4 <= i1 {
+        fast_row_strip::<4, 8>(out, i - i0, a, i, b, k, c, bs);
+        i += 4;
+    }
+    // Leftover rows one at a time with a wide column panel (a single row
+    // offers no cross-row ILP, so the independent accumulator chains must
+    // all come from columns) — this is also the whole kernel for the
+    // single-row decode case.  The 64-wide panel only pays when `B` rows
+    // stay cache-line aligned (stride a multiple of 16 floats); at odd
+    // strides its wide loads all split cache lines and the 32-wide strip
+    // is faster.  Packed weights always take the aligned branch.
+    while i < i1 {
+        if bs.is_multiple_of(16) {
+            fast_row_strip::<1, 64>(out, i - i0, a, i, b, k, c, bs);
+        } else {
+            fast_row_strip::<1, 32>(out, i - i0, a, i, b, k, c, bs);
+        }
+        i += 1;
+    }
+}
+
+/// AVX2 instantiation of the very same safe microkernel body.  The
+/// attribute only widens instruction selection (256-bit lanes); the IEEE
+/// operations performed per element — one multiply then one add, in
+/// increasing-`k` order — are unchanged (crucially, `fma` is *not*
+/// enabled, so no contraction can alter results), hence still
+/// bit-identical to the exact tier on finite inputs.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // internal microkernel plumbing
+unsafe fn matmul_fast_rows_avx2(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    c: usize,
+    bs: usize,
+) {
+    matmul_fast_rows_impl(out, a, b, i0, i1, k, c, bs)
+}
+
+/// AVX-512 instantiation (same codegen-only caveats as the AVX2 one).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)] // internal microkernel plumbing
+unsafe fn matmul_fast_rows_avx512(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    c: usize,
+    bs: usize,
+) {
+    matmul_fast_rows_impl(out, a, b, i0, i1, k, c, bs)
+}
+
+/// Run the fast kernel with the widest instruction set the host offers
+/// (detection is cached by the standard library).  `bs` is the `B` row
+/// stride (`== c` unless the weights are packed with a padded stride).
+#[allow(clippy::too_many_arguments)] // internal microkernel plumbing
+fn matmul_fast_rows(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    c: usize,
+    bs: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY (both arms): the feature was just detected; the function
+        // bodies are ordinary safe code compiled with wider codegen.
+        //
+        // The 512-bit build only pays when `B` rows keep cache-line
+        // alignment (stride a multiple of 16 floats): at odd strides
+        // nearly every 64-byte load splits a cache line and the 256-bit
+        // build is measurably faster (half its loads split, each split
+        // costing the same extra line fetch).
+        if bs.is_multiple_of(16) && std::arch::is_x86_feature_detected!("avx512f") {
+            unsafe { matmul_fast_rows_avx512(out, a, b, i0, i1, k, c, bs) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            unsafe { matmul_fast_rows_avx2(out, a, b, i0, i1, k, c, bs) };
+            return;
+        }
+    }
+    matmul_fast_rows_impl(out, a, b, i0, i1, k, c, bs)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching matmul entry points
+// ---------------------------------------------------------------------------
+
+/// `[r, k] × [k, c]` matrix product under the process-global tier.
+/// Exact tier: bit-identical to the reference loop at any blocking or
+/// thread count.  Fast tiers: bit-identical to the exact tier for finite
+/// inputs (see module docs).
 pub fn matmul(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
+    matmul_with(kernel_tier(), a, b, r, k, c)
+}
+
+/// [`matmul`] with an explicit tier (for oracles, tests and benchmarks).
+pub fn matmul_with(
+    tier: KernelTier,
+    a: &[f32],
+    b: &[f32],
+    r: usize,
+    k: usize,
+    c: usize,
+) -> Vec<f32> {
     debug_assert_eq!(a.len(), r * k);
     debug_assert_eq!(b.len(), k * c);
     let mut out = vec![0.0f32; r * c];
     let flops = r * k * c;
+
+    if tier.fast_f32() {
+        debug_assert_finite("a", a);
+        debug_assert_finite("b", b);
+        let pool = Pool::global();
+        if flops >= PAR_MIN_FLOPS && r >= 2 * ROW_BLOCK && pool.threads() > 1 {
+            let blocks: Vec<(usize, usize)> = (0..r)
+                .step_by(ROW_BLOCK)
+                .map(|i0| (i0, (i0 + ROW_BLOCK).min(r)))
+                .collect();
+            let parts = pool.par_map(&blocks, |_, &(i0, i1)| {
+                let mut part = vec![0.0f32; (i1 - i0) * c];
+                matmul_fast_rows(&mut part, a, b, i0, i1, k, c, c);
+                part
+            });
+            for (&(i0, _), part) in blocks.iter().zip(parts) {
+                out[i0 * c..i0 * c + part.len()].copy_from_slice(&part);
+            }
+        } else {
+            matmul_fast_rows(&mut out, a, b, 0, r, k, c, c);
+        }
+        return out;
+    }
+
     if flops < PACK_MIN_FLOPS || r == 1 {
+        // Streaming reference loop: for a single row the `Bᵀ` pack costs
+        // as much as the whole product, so the exact tier never packs it
+        // (the fast tier above covers `r == 1` with its register-blocked
+        // kernel instead).
         matmul_ref_into(&mut out, a, b, r, k, c);
         return out;
     }
@@ -148,12 +598,39 @@ pub fn matmul(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
     out
 }
 
-/// `A × Bᵀ` for `A: [r, k]`, `B: [c, k]` — both operands already have the
-/// contraction axis contiguous, so no packing is needed.  Plain [`dot`] per
-/// element (the reference kernel for attention scores).
+/// `A × Bᵀ` for `A: [r, k]`, `B: [c, k]` under the process-global tier —
+/// both operands already have the contraction axis contiguous.  Per
+/// element this is [`dot`] (the reference kernel for attention scores).
 pub fn matmul_tb(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32> {
+    matmul_tb_with(kernel_tier(), a, b, r, k, c)
+}
+
+/// [`matmul_tb`] with an explicit tier.
+pub fn matmul_tb_with(
+    tier: KernelTier,
+    a: &[f32],
+    b: &[f32],
+    r: usize,
+    k: usize,
+    c: usize,
+) -> Vec<f32> {
     debug_assert_eq!(a.len(), r * k);
     debug_assert_eq!(b.len(), c * k);
+    let flops = r * k * c;
+    if tier.fast_f32() && r >= 4 && flops >= PACK_MIN_FLOPS {
+        // Un-transpose B into row-major [k, c] once, then reuse the
+        // register-blocked kernel; the pack traffic (k·c) amortises over
+        // r ≥ 4 rows.  Below that the scalar dot loop wins.
+        debug_assert_finite("a", a);
+        debug_assert_finite("b", b);
+        let mut bt = vec![0.0f32; k * c];
+        for j in 0..c {
+            for kk in 0..k {
+                bt[kk * c + j] = b[j * k + kk];
+            }
+        }
+        return matmul_with(tier, a, &bt, r, k, c);
+    }
     let mut out = vec![0.0f32; r * c];
     let row = |orow: &mut [f32], i: usize| {
         let ar = &a[i * k..(i + 1) * k];
@@ -161,7 +638,6 @@ pub fn matmul_tb(a: &[f32], b: &[f32], r: usize, k: usize, c: usize) -> Vec<f32>
             orow[j] = dot(ar, &b[j * k..(j + 1) * k]);
         }
     };
-    let flops = r * k * c;
     let pool = Pool::global();
     if flops >= PAR_MIN_FLOPS && r >= 2 * ROW_BLOCK && pool.threads() > 1 {
         let blocks: Vec<(usize, usize)> = (0..r)
@@ -197,21 +673,34 @@ pub fn add_bias_rows(x: &mut [f32], bias: &[f32]) {
     }
 }
 
-/// Fused single-row linear layer: `out = x × W + bias` for `W: [k, c]`.
-/// The bias is added *after* the full `k` accumulation, matching the
-/// separate matmul → add-bias tape ops bit-for-bit.
+/// Fused single-row linear layer: `out = x × W + bias` for `W: [k, c]`,
+/// under the process-global tier.  The bias is added *after* the full `k`
+/// accumulation, matching the separate matmul → add-bias tape ops
+/// bit-for-bit.
 pub fn linear_row(out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
+    linear_row_with(kernel_tier(), out, x, w, bias);
+}
+
+/// [`linear_row`] with an explicit tier (how a pinned `InferSession`
+/// calls it).
+pub fn linear_row_with(tier: KernelTier, out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
     let k = x.len();
     let c = out.len();
     debug_assert_eq!(w.len(), k * c);
     debug_assert_eq!(bias.len(), c);
-    out.fill(0.0);
-    for kk in 0..k {
-        let xv = x[kk];
-        if xv != 0.0 {
-            let wrow = &w[kk * c..(kk + 1) * c];
-            for j in 0..c {
-                out[j] += xv * wrow[j];
+    if tier.fast_f32() {
+        debug_assert_finite("x", x);
+        debug_assert_finite("w", w);
+        matmul_fast_rows(out, x, w, 0, 1, k, c, c);
+    } else {
+        out.fill(0.0);
+        for kk in 0..k {
+            let xv = x[kk];
+            if xv != 0.0 {
+                let wrow = &w[kk * c..(kk + 1) * c];
+                for j in 0..c {
+                    out[j] += xv * wrow[j];
+                }
             }
         }
     }
@@ -223,11 +712,314 @@ pub fn linear_row(out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
 /// Fused single-row linear + GELU: bias after accumulation, then the
 /// activation elementwise — identical to matmul → add-bias → gelu.
 pub fn linear_row_gelu(out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
-    linear_row(out, x, w, bias);
+    linear_row_gelu_with(kernel_tier(), out, x, w, bias);
+}
+
+/// [`linear_row_gelu`] with an explicit tier.
+pub fn linear_row_gelu_with(tier: KernelTier, out: &mut [f32], x: &[f32], w: &[f32], bias: &[f32]) {
+    linear_row_with(tier, out, x, w, bias);
     for o in out.iter_mut() {
         *o = gelu_fwd(*o);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Packed (aligned, padded-stride) weights for the fast single-row path
+// ---------------------------------------------------------------------------
+
+/// A `[k, c]` weight matrix repacked once so the fast single-row kernel
+/// streams it with cache-line-aligned vector loads: rows are copied to a
+/// stride rounded up to 16 floats (64 bytes) and the base is aligned to a
+/// 64-byte boundary, with the padding columns zero-filled (they are never
+/// read past `c`, the zeros just keep the buffer fully initialised).
+///
+/// Packing changes *layout only*: the kernel still accumulates each
+/// output element's products in increasing-`k` order into one
+/// accumulator, so [`linear_row_packed`] is **bit-identical** to
+/// [`linear_row_with`] on finite inputs — same contract as the rest of
+/// the fast tier.  The win is mechanical: at odd `c` (e.g. the vocab head
+/// of 69 columns, a 276-byte row stride) nearly every wide load in the
+/// unpacked kernel splits a cache line; the padded stride restores full
+/// load throughput.  Decode reuses the same weights every step, so the
+/// one-time copy amortises to nothing.
+#[derive(Clone, Debug)]
+pub struct PackedWeights {
+    k: usize,
+    c: usize,
+    /// Row stride in floats: `c` rounded up to a multiple of 16.
+    stride: usize,
+    /// Backing buffer; the packed rows start at `off` (64-byte aligned
+    /// when the allocator permits, which it does in practice).
+    buf: Vec<f32>,
+    off: usize,
+}
+
+impl PackedWeights {
+    /// Repack a row-major `[k, c]` weight matrix.
+    pub fn pack(w: &[f32], k: usize, c: usize) -> Self {
+        assert_eq!(w.len(), k * c, "PackedWeights::pack: shape mismatch");
+        let stride = c.div_ceil(16) * 16;
+        let mut buf = vec![0.0f32; k * stride + 15];
+        // `align_offset` is in elements; 64 bytes is 16 floats, and the
+        // buffer carries 15 spare elements to absorb it.  A pathological
+        // allocator may report `usize::MAX` (cannot align); fall back to
+        // offset 0 — still padded-stride, merely unaligned.
+        let off = match buf.as_ptr().align_offset(64) {
+            o if o <= 15 => o,
+            _ => 0,
+        };
+        for kk in 0..k {
+            buf[off + kk * stride..off + kk * stride + c].copy_from_slice(&w[kk * c..(kk + 1) * c]);
+        }
+        PackedWeights {
+            k,
+            c,
+            stride,
+            buf,
+            off,
+        }
+    }
+
+    /// `(k, c)` of the source matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.c)
+    }
+
+    /// Heap footprint in bytes (padding included).
+    pub fn bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<f32>()
+    }
+
+    fn rows(&self) -> &[f32] {
+        &self.buf[self.off..]
+    }
+}
+
+/// Single packed row: panels tile the full *stride* (a multiple of 16),
+/// so the whole row is covered in a minimum number of single-k-pass
+/// panels — e.g. the 69-column head (stride 80) is ONE clipped 80-wide
+/// panel (5 vector accumulators, one pass over `k`) instead of a 64-pass
+/// plus a latency-bound 16-wide pass.  Lanes past `c` sum zero padding
+/// and are discarded by the clip width.
+#[inline(always)]
+fn packed_row_impl(out: &mut [f32], a: &[f32], b: &[f32], k: usize, c: usize, bs: usize) {
+    let mut j = 0;
+    // Full-width 64-panels until one final panel of 16..=80 remains.
+    // Every non-final panel copies its full width: the stride rounds `c`
+    // up by less than 16, so `c > j + 64` whenever `bs - j > 80`.
+    while bs - j > 80 {
+        fast_panel::<1, 64>(out, 0, a, 0, b, j, k, c, bs, 64);
+        j += 64;
+    }
+    match bs - j {
+        80 => fast_panel::<1, 80>(out, 0, a, 0, b, j, k, c, bs, c - j),
+        64 => fast_panel::<1, 64>(out, 0, a, 0, b, j, k, c, bs, c - j),
+        48 => fast_panel::<1, 48>(out, 0, a, 0, b, j, k, c, bs, c - j),
+        32 => fast_panel::<1, 32>(out, 0, a, 0, b, j, k, c, bs, c - j),
+        16 => fast_panel::<1, 16>(out, 0, a, 0, b, j, k, c, bs, c - j),
+        _ => {} // bs == 0, i.e. c == 0: nothing to compute
+    }
+}
+
+/// AVX2 / AVX-512 instantiations of [`packed_row_impl`] — codegen-only,
+/// exactly as for [`matmul_fast_rows_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn packed_row_avx2(out: &mut [f32], a: &[f32], b: &[f32], k: usize, c: usize, bs: usize) {
+    packed_row_impl(out, a, b, k, c, bs)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn packed_row_avx512(out: &mut [f32], a: &[f32], b: &[f32], k: usize, c: usize, bs: usize) {
+    packed_row_impl(out, a, b, k, c, bs)
+}
+
+fn packed_row(out: &mut [f32], a: &[f32], b: &[f32], k: usize, c: usize, bs: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY (both arms): feature just detected; safe bodies.
+        // Packed strides are always cache-line multiples, so the 512-bit
+        // build never hits the split-load cliff.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            unsafe { packed_row_avx512(out, a, b, k, c, bs) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            unsafe { packed_row_avx2(out, a, b, k, c, bs) };
+            return;
+        }
+    }
+    packed_row_impl(out, a, b, k, c, bs)
+}
+
+/// Fused single-row linear layer over pre-packed weights:
+/// `out = x × W + bias`, always on the fast tier (packing exists only to
+/// feed it).  Bit-identical to `linear_row_with(Fast, ..)` — and hence to
+/// the exact tier — on finite inputs; see [`PackedWeights`].
+pub fn linear_row_packed(out: &mut [f32], x: &[f32], w: &PackedWeights, bias: &[f32]) {
+    let k = x.len();
+    let c = out.len();
+    debug_assert_eq!((k, c), (w.k, w.c));
+    debug_assert_eq!(bias.len(), c);
+    debug_assert_finite("x", x);
+    packed_row(out, x, w.rows(), k, c, w.stride);
+    for (o, b) in out.iter_mut().zip(bias) {
+        *o += b;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 weight-quantized linear kernels
+// ---------------------------------------------------------------------------
+
+/// A `[k, c]` weight matrix quantized to `i8` with one scale per output
+/// column: `w[kk][j] ≈ q[kk][j] · scale[j]`, `q ∈ [-127, 127]`.
+///
+/// Quantization is symmetric round-to-nearest with
+/// `scale[j] = max_kk |w[kk][j]| / 127` (an all-zero column gets scale 0
+/// and dequantizes to exact zeros), so every quantized weight is within
+/// `scale[j] / 2` of the original.
+#[derive(Clone, Debug)]
+pub struct Q8Weights {
+    k: usize,
+    c: usize,
+    /// Quantized weights, `[k, c]` row-major (same layout as the source).
+    q: Vec<i8>,
+    /// Per-column dequantization scale, `[c]`.
+    scale: Vec<f32>,
+}
+
+impl Q8Weights {
+    /// Quantize a `[k, c]` row-major f32 weight matrix.
+    pub fn quantize(w: &[f32], k: usize, c: usize) -> Self {
+        assert_eq!(w.len(), k * c, "weight length must be k*c");
+        let mut scale = vec![0.0f32; c];
+        for row in w.chunks_exact(c) {
+            for (s, &v) in scale.iter_mut().zip(row) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in scale.iter_mut() {
+            *s /= 127.0;
+        }
+        let mut q = vec![0i8; k * c];
+        for (qrow, wrow) in q.chunks_exact_mut(c).zip(w.chunks_exact(c)) {
+            for j in 0..c {
+                qrow[j] = if scale[j] > 0.0 {
+                    (wrow[j] / scale[j]).round().clamp(-127.0, 127.0) as i8
+                } else {
+                    0
+                };
+            }
+        }
+        Q8Weights { k, c, q, scale }
+    }
+
+    /// `(k, c)` of the source matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.c)
+    }
+
+    /// Bytes held by the quantized representation (weights + scales).
+    pub fn bytes(&self) -> usize {
+        self.q.len() + self.scale.len() * 4
+    }
+
+    /// The documented per-element error bound of [`linear_row_q8`] against
+    /// the exact f32 kernel for activation row `x`:
+    /// `|out[j] − exact[j]| ≤ (scale[j] / 2) · Σ_k |x[k]|` (plus f32
+    /// rounding slop of the two accumulations themselves).
+    pub fn row_error_bound(&self, x: &[f32], j: usize) -> f32 {
+        let l1: f32 = x.iter().map(|v| v.abs()).sum();
+        0.5 * self.scale[j] * l1
+    }
+}
+
+/// Register-blocked `1 × NR` panel over int8 weights: accumulate
+/// `x[kk] · q[kk][j]` (the quantized integers, exactly representable in
+/// f32) with one accumulator per column in increasing-`k` order, then
+/// apply the column scale once.
+#[inline(always)]
+fn q8_panel<const NR: usize>(out: &mut [f32], x: &[f32], w: &Q8Weights, j0: usize) {
+    let c = w.c;
+    let mut acc = [0.0f32; NR];
+    for (kk, &xv) in x.iter().enumerate() {
+        let qrow = &w.q[kk * c + j0..kk * c + j0 + NR];
+        for (s, &qv) in acc.iter_mut().zip(qrow) {
+            *s += xv * qv as f32;
+        }
+    }
+    for (n, &s) in acc.iter().enumerate() {
+        out[j0 + n] = s * w.scale[j0 + n];
+    }
+}
+
+/// The q8 row kernel body, shared between instruction-set instantiations.
+#[inline(always)]
+fn linear_row_q8_impl(out: &mut [f32], x: &[f32], w: &Q8Weights) {
+    let c = w.c;
+    let mut j = 0;
+    while j + 32 <= c {
+        q8_panel::<32>(out, x, w, j);
+        j += 32;
+    }
+    while j + 4 <= c {
+        q8_panel::<4>(out, x, w, j);
+        j += 4;
+    }
+    for (jj, o) in out.iter_mut().enumerate().take(c).skip(j) {
+        let mut s = 0.0f32;
+        for (kk, &xv) in x.iter().enumerate() {
+            s += xv * w.q[kk * c + jj] as f32;
+        }
+        *o = s * w.scale[jj];
+    }
+}
+
+/// AVX2 instantiation of the q8 row kernel (see
+/// [`matmul_fast_rows_avx2`] for why this is codegen-only).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn linear_row_q8_avx2(out: &mut [f32], x: &[f32], w: &Q8Weights) {
+    linear_row_q8_impl(out, x, w)
+}
+
+/// Fused single-row linear layer over int8-quantized weights:
+/// `out = x × dequant(W) + bias`, bias after the full accumulation.
+/// Error vs the exact f32 kernel is bounded by
+/// [`Q8Weights::row_error_bound`].
+pub fn linear_row_q8(out: &mut [f32], x: &[f32], w: &Q8Weights, bias: &[f32]) {
+    debug_assert_eq!(x.len(), w.k);
+    debug_assert_eq!(out.len(), w.c);
+    debug_assert_eq!(bias.len(), w.c);
+    debug_assert_finite("x", x);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature detected; safe body, wider codegen only.
+        unsafe { linear_row_q8_avx2(out, x, w) };
+        for (o, b) in out.iter_mut().zip(bias) {
+            *o += b;
+        }
+        return;
+    }
+    linear_row_q8_impl(out, x, w);
+    for (o, b) in out.iter_mut().zip(bias) {
+        *o += b;
+    }
+}
+
+/// [`linear_row_q8`] followed by GELU, mirroring [`linear_row_gelu`].
+pub fn linear_row_gelu_q8(out: &mut [f32], x: &[f32], w: &Q8Weights, bias: &[f32]) {
+    linear_row_q8(out, x, w, bias);
+    for o in out.iter_mut() {
+        *o = gelu_fwd(*o);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-wise activation kernels (tier-independent)
+// ---------------------------------------------------------------------------
 
 /// One layer-norm row with affine parameters; returns `(mean, rstd)` for
 /// backward caching.  This is *the* layer-norm forward — the tape and the
@@ -357,6 +1149,29 @@ mod tests {
     }
 
     #[test]
+    fn fast_matmul_is_bit_identical_to_exact_on_finite_data() {
+        for &(r, k, c) in &[
+            (1, 16, 16),
+            (1, 64, 70),
+            (1, 3, 1),
+            (2, 5, 3),
+            (3, 5, 7),
+            (5, 0, 4),
+            (17, 33, 9),
+            (40, 32, 64),
+            (64, 64, 64),
+        ] {
+            let a = filled(r * k, 1);
+            let b = filled(k * c, 2);
+            assert_eq!(
+                matmul_with(KernelTier::Fast, &a, &b, r, k, c),
+                matmul_naive(&a, &b, r, k, c),
+                "shape ({r},{k},{c})"
+            );
+        }
+    }
+
+    #[test]
     fn parallel_matmul_is_thread_count_invariant() {
         // Big enough to cross PAR_MIN_FLOPS with r ≥ 2·ROW_BLOCK.
         let (r, k, c) = (96, 64, 64);
@@ -366,6 +1181,11 @@ mod tests {
         for threads in [1, 2, 4] {
             runtime::set_threads(threads);
             assert_eq!(matmul(&a, &b, r, k, c), expect, "threads = {threads}");
+            assert_eq!(
+                matmul_with(KernelTier::Fast, &a, &b, r, k, c),
+                expect,
+                "fast, threads = {threads}"
+            );
         }
         runtime::set_threads(0);
     }
@@ -376,10 +1196,12 @@ mod tests {
         let a = filled(r * k, 5);
         let b = filled(c * k, 6);
         let got = matmul_tb(&a, &b, r, k, c);
+        let fast = matmul_tb_with(KernelTier::Fast, &a, &b, r, k, c);
         for i in 0..r {
             for j in 0..c {
                 let expect = dot(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
                 assert_eq!(got[i * c + j], expect);
+                assert_eq!(fast[i * c + j], expect);
             }
         }
     }
@@ -390,11 +1212,113 @@ mod tests {
         let x = filled(k, 7);
         let w = filled(k * c, 8);
         let bias = filled(c, 9);
-        let mut fused = vec![0.0f32; c];
-        linear_row(&mut fused, &x, &w, &bias);
         let mut split = matmul_naive(&x, &w, 1, k, c);
         add_bias_rows(&mut split, &bias);
-        assert_eq!(fused, split);
+        for tier in [KernelTier::Exact, KernelTier::Fast] {
+            let mut fused = vec![0.0f32; c];
+            linear_row_with(tier, &mut fused, &x, &w, &bias);
+            assert_eq!(fused, split, "tier {tier}");
+        }
+    }
+
+    #[test]
+    fn packed_linear_row_is_bit_identical_to_both_tiers() {
+        // Odd c (like the 69-column vocab head) exercises the padded
+        // stride; multiples of 16 exercise the stride == c degenerate
+        // case; k == 0 exercises an empty accumulation.
+        for (k, c) in [(16usize, 69usize), (32, 69), (32, 64), (7, 3), (0, 5)] {
+            let x = filled(k, 21);
+            let w = filled(k * c, 22);
+            let bias = filled(c, 23);
+            let packed = PackedWeights::pack(&w, k, c);
+            assert_eq!(packed.shape(), (k, c));
+            assert!(packed.bytes() >= k * c * 4);
+            let mut exact = vec![0.0f32; c];
+            linear_row_with(KernelTier::Exact, &mut exact, &x, &w, &bias);
+            let mut fast = vec![0.0f32; c];
+            linear_row_packed(&mut fast, &x, &packed, &bias);
+            let eb: Vec<u32> = exact.iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(eb, fb, "k={k} c={c}");
+        }
+    }
+
+    #[test]
+    fn zero_left_operands_drop_nan_payloads_in_every_exact_kernel() {
+        // a holds exact zeros exactly where b holds NaN/Inf: the uniform
+        // zero-skip contract says every exact kernel ignores those terms.
+        let (k, c) = (6, 5);
+        let a = vec![0.0f32, 1.5, 0.0, -2.0, 0.0, 0.5];
+        let mut b = filled(k * c, 11);
+        for j in 0..c {
+            b[j] = f32::NAN; // row 0 (a[0] == 0)
+            b[2 * c + j] = f32::INFINITY; // row 2 (a[2] == 0)
+            b[4 * c + j] = f32::NEG_INFINITY; // row 4 (a[4] == 0)
+        }
+        let want = matmul_naive(&a, &b, 1, k, c);
+        assert!(want.iter().all(|v| v.is_finite()), "skip must drop NaNs");
+        assert_eq!(matmul(&a, &b, 1, k, c), want);
+        let mut lin = vec![0.0f32; c];
+        linear_row_with(KernelTier::Exact, &mut lin, &a, &b, &vec![0.0; c]);
+        assert_eq!(lin, want);
+        // dot over the transposed layout agrees too (matmul_tb's element).
+        let mut bt = vec![0.0f32; c * k];
+        for kk in 0..k {
+            for j in 0..c {
+                bt[j * k + kk] = b[kk * c + j];
+            }
+        }
+        for j in 0..c {
+            assert_eq!(dot(&a, &bt[j * k..(j + 1) * k]), want[j]);
+        }
+    }
+
+    #[test]
+    fn q8_linear_row_is_within_the_documented_bound() {
+        let (k, c) = (48, 37);
+        let x = filled(k, 21);
+        let w = filled(k * c, 22);
+        let bias = filled(c, 23);
+        let qw = Q8Weights::quantize(&w, k, c);
+        assert_eq!(qw.shape(), (k, c));
+        assert!(qw.bytes() < 4 * k * c, "quantization must shrink weights");
+        let mut exact = vec![0.0f32; c];
+        linear_row_with(KernelTier::Exact, &mut exact, &x, &w, &bias);
+        let mut q8 = vec![0.0f32; c];
+        linear_row_q8(&mut q8, &x, &qw, &bias);
+        for j in 0..c {
+            let bound = qw.row_error_bound(&x, j) * 1.001 + 1e-6;
+            assert!(
+                (q8[j] - exact[j]).abs() <= bound,
+                "col {j}: |{} - {}| > {bound}",
+                q8[j],
+                exact[j]
+            );
+        }
+    }
+
+    #[test]
+    fn q8_quantization_handles_degenerate_columns() {
+        // An all-zero column must dequantize to exact zeros, not NaN.
+        let (k, c) = (4, 3);
+        let mut w = filled(k * c, 31);
+        for kk in 0..k {
+            w[kk * c + 1] = 0.0;
+        }
+        let qw = Q8Weights::quantize(&w, k, c);
+        let x = filled(k, 32);
+        let mut out = vec![0.0f32; c];
+        linear_row_q8(&mut out, &x, &qw, &vec![0.0; c]);
+        assert_eq!(out[1], 0.0);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tier_parse_round_trips() {
+        for t in [KernelTier::Exact, KernelTier::Fast, KernelTier::FastQ8] {
+            assert_eq!(KernelTier::parse(t.name()), Ok(t));
+        }
+        assert!(KernelTier::parse("turbo").is_err());
     }
 
     #[test]

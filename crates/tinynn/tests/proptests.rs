@@ -161,4 +161,173 @@ proptest! {
         }
         prop_assert_eq!(tinynn::kernels::matmul(&a, &b, r, k, c), want);
     }
+
+    /// The fast register-blocked tier is bit-identical to the exact tier
+    /// on finite data for *adversarial* shapes: r/k/c deliberately not
+    /// multiples of the micro-panel sizes (MR=4, NR=32/16/8/4), k=0,
+    /// c=1, single rows — and at 1/2/4 threads the fast tier returns the
+    /// same bits regardless of thread count.
+    #[test]
+    fn fast_tier_bit_identical_across_shapes_and_threads(
+        r in 1usize..70,
+        k in 0usize..70,    // k == 0 is a valid (all-zero) product
+        c in 1usize..70,
+        seed in 0u32..u32::MAX,
+        zero_every in 2usize..9,
+    ) {
+        use tinynn::kernels::{matmul_with, KernelTier};
+        let gen = |n: usize, salt: u32| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    if i % zero_every == 0 {
+                        0.0
+                    } else {
+                        let h = (i as u32)
+                            .wrapping_mul(2_654_435_761)
+                            .wrapping_add(seed ^ salt);
+                        ((h >> 8) as f32 / 1e6).sin()
+                    }
+                })
+                .collect()
+        };
+        let a = gen(r * k, 0xA);
+        let b = gen(k * c, 0xB);
+        let oracle = matmul_with(KernelTier::Exact, &a, &b, r, k, c);
+        let mut per_thread = Vec::new();
+        for threads in [1usize, 2, 4] {
+            runtime::set_threads(threads);
+            per_thread.push(matmul_with(KernelTier::Fast, &a, &b, r, k, c));
+        }
+        runtime::set_threads(0);
+        for (i, fast) in per_thread.iter().enumerate() {
+            prop_assert_eq!(fast, &oracle, "threads index {}", i);
+        }
+    }
+
+    /// All exact-tier scalar kernels share one zero-skip contract: a term
+    /// whose left operand is exactly 0.0 is dropped even when the right
+    /// operand is NaN or ±Inf, so `dot`, `matmul` (both dispatch arms)
+    /// and `linear_row` agree bit-for-bit on non-finite payloads instead
+    /// of diverging by dispatch shape.
+    #[test]
+    fn exact_kernels_agree_on_nonfinite_payloads(
+        r in 1usize..6,
+        k in 1usize..24,
+        c in 1usize..24,
+        seed in 0u32..u32::MAX,
+        zero_every in 2usize..5,
+        poison_every in 2usize..5,
+    ) {
+        use tinynn::kernels::{dot, linear_row_with, matmul_with, KernelTier};
+        // a: exact zeros sprinkled in; b: NaN/Inf poison sprinkled in.
+        let a: Vec<f32> = (0..r * k)
+            .map(|i| {
+                if i % zero_every == 0 {
+                    0.0
+                } else {
+                    let h = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(seed);
+                    ((h >> 8) as f32 / 1e6).sin()
+                }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * c)
+            .map(|i| {
+                if i % poison_every == 0 {
+                    match i % 3 {
+                        0 => f32::NAN,
+                        1 => f32::INFINITY,
+                        _ => f32::NEG_INFINITY,
+                    }
+                } else {
+                    let h = (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(seed);
+                    ((h >> 8) as f32 / 1e6).cos()
+                }
+            })
+            .collect();
+        // Reference with the uniform skip contract.
+        let mut want = vec![0.0f32; r * c];
+        for i in 0..r {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik != 0.0 {
+                    for cc in 0..c {
+                        want[i * c + cc] += aik * b[kk * c + cc];
+                    }
+                }
+            }
+        }
+        let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        // matmul (covers both the streaming and packed dispatch arms
+        // depending on shape).
+        let mm = matmul_with(KernelTier::Exact, &a, &b, r, k, c);
+        prop_assert_eq!(to_bits(&mm), to_bits(&want));
+        // linear_row over the first activation row.
+        let zeros = vec![0.0f32; c];
+        let mut lr = vec![0.0f32; c];
+        linear_row_with(KernelTier::Exact, &mut lr, &a[..k], &b, &zeros);
+        prop_assert_eq!(to_bits(&lr), to_bits(&want[..c]));
+        // dot over the transposed layout (matmul_tb's per-element kernel).
+        let mut bt = vec![0.0f32; c * k];
+        for kk in 0..k {
+            for j in 0..c {
+                bt[j * k + kk] = b[kk * c + j];
+            }
+        }
+        for (i, row) in want.chunks_exact(c).enumerate() {
+            for j in 0..c {
+                let d = dot(&a[i * k..(i + 1) * k], &bt[j * k..(j + 1) * k]);
+                prop_assert_eq!(d.to_bits(), row[j].to_bits(), "element ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// The packed-weights row kernel (padded aligned stride, the layout
+    /// Fast-tier serve sessions pre-build) is bit-identical to the exact
+    /// kernel at every shape, including strides that round `c` up.
+    #[test]
+    fn packed_linear_row_bit_identical_at_any_shape(
+        k in 0usize..48,
+        c in 1usize..100,
+        x in proptest::collection::vec(-3.0f32..3.0, 48),
+        w in proptest::collection::vec(-3.0f32..3.0, 48 * 100),
+    ) {
+        use tinynn::kernels::{linear_row_packed, linear_row_with, KernelTier, PackedWeights};
+        let x = &x[..k];
+        let w = &w[..k * c];
+        let pw = PackedWeights::pack(w, k, c);
+        let zeros = vec![0.0f32; c];
+        let mut exact = vec![0.0f32; c];
+        linear_row_with(KernelTier::Exact, &mut exact, x, w, &zeros);
+        let mut packed = vec![0.0f32; c];
+        linear_row_packed(&mut packed, x, &pw, &zeros);
+        let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        prop_assert_eq!(to_bits(&exact), to_bits(&packed));
+    }
+
+    /// The q8 weight-quantized row kernel stays within its documented
+    /// analytic error bound against the exact kernel, for any data.
+    #[test]
+    fn q8_linear_row_within_documented_bound(
+        k in 1usize..48,
+        c in 1usize..48,
+        x in proptest::collection::vec(-3.0f32..3.0, 48),
+        w in proptest::collection::vec(-3.0f32..3.0, 48 * 48),
+    ) {
+        use tinynn::kernels::{linear_row_with, linear_row_q8, KernelTier, Q8Weights};
+        let x = &x[..k];
+        let w = &w[..k * c];
+        let qw = Q8Weights::quantize(w, k, c);
+        let zeros = vec![0.0f32; c];
+        let mut exact = vec![0.0f32; c];
+        linear_row_with(KernelTier::Exact, &mut exact, x, w, &zeros);
+        let mut q8 = vec![0.0f32; c];
+        linear_row_q8(&mut q8, x, &qw, &zeros);
+        for j in 0..c {
+            let bound = qw.row_error_bound(x, j) * 1.001 + 1e-5;
+            prop_assert!(
+                (q8[j] - exact[j]).abs() <= bound,
+                "col {}: |{} - {}| > {}", j, q8[j], exact[j], bound
+            );
+        }
+    }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Measure raw kernel-tier throughput (GFLOP/s): the branch-free
+# register-blocked fast tier against the exact scalar oracle, on matmul
+# shapes drawn from the real model configs.  Writes the JSON record to
+# BENCH_kernels.json at the repository root.
+#
+#   scripts/bench_kernels.sh           # full run → BENCH_kernels.json
+#   scripts/bench_kernels.sh --smoke   # shorter reps, for CI →
+#                                      # target/BENCH_kernels.smoke.json
+#
+# kernelbench itself verifies, before timing anything, that the fast tier
+# is bit-identical to the oracle and the q8 tier is inside its documented
+# error bound — and it exits non-zero if the fast tier fails to beat the
+# oracle on the gated (large tape + non-micro decode) shapes.  Full runs
+# additionally assert the >= 2x criterion on the large decode shapes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q -p bench-suite --bin kernelbench
+
+if [ "${1:-}" = "--smoke" ]; then
+  exec target/release/kernelbench --smoke --out target/BENCH_kernels.smoke.json
+fi
+
+exec target/release/kernelbench --out BENCH_kernels.json

@@ -20,6 +20,9 @@ cargo test -p serve --offline -q
 echo "==> scripts/serve_smoke.sh (untrained boot + SRCR1 artifact cycle)"
 bash scripts/serve_smoke.sh
 
+echo "==> scripts/bench_kernels.sh --smoke (fast-tier equivalence + GFLOP/s gate)"
+bash scripts/bench_kernels.sh --smoke
+
 echo "==> scripts/bench_decode.sh --smoke (cached-decode equivalence + win)"
 bash scripts/bench_decode.sh --smoke
 
