@@ -30,6 +30,7 @@ pub mod config;
 pub mod localize;
 pub mod pipeline;
 pub mod refine;
+pub mod stepper;
 pub mod test_time;
 pub mod trainer;
 
@@ -37,4 +38,5 @@ pub use ablation::Variant;
 pub use artifact::{load_pipeline, save_pipeline, ArtifactError, ArtifactMeta, LoadedArtifact};
 pub use config::{ConfigError, PipelineConfig, PipelineConfigBuilder};
 pub use pipeline::{ChainOutput, StressPipeline};
+pub use stepper::{ChainStepper, StepOutcome};
 pub use trainer::{train_pipeline, TrainReport};

@@ -1,0 +1,294 @@
+//! The SRCR chain as a resumable token-level state machine — the unit of
+//! work the continuous-batching scheduler interleaves across requests.
+//!
+//! [`StressPipeline::predict_scored_with_session`] runs
+//! Describe→Assess→Highlight→Score to completion on one session.
+//! [`ChainStepper`] performs the *same* computation one token (or one
+//! forced-choice/scoring prompt) at a time: each [`ChainStepper::step`]
+//! call advances the chain by exactly one unit and reports whether the
+//! request is still decoding, crossed a stage boundary, or finished.  A
+//! stepper driven to completion produces bit-identical results to the
+//! monolithic path — same prompts, same rng streams, same session reuse —
+//! which `tests` in this module assert directly.
+//!
+//! `repeats` re-runs the describe→assess→highlight chain that many times on
+//! the same session before scoring once — the serving work-size knob
+//! (`chain_repeats` in the predict API) that makes mixed short/long loads
+//! expressible.  Every repeat uses the same per-request chain seed, so
+//! repeats only add decode work, never change the final answer.
+//!
+//! Failure contract: a step that returns [`PagesExhausted`] may have
+//! consumed rng state already.  Never resume a failed stepper — the
+//! scheduler drops it (freeing its pages) and restarts the request from
+//! scratch; determinism makes the replay identical.
+
+use facs::au::AuSet;
+use lfm::grammar::{DescriptionSampler, SamplerStep};
+use lfm::instructions::{assess_prompt, describe_prompt, highlight_prompt, label_tokens};
+use lfm::{InferSession, PagesExhausted};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use videosynth::video::{StressLabel, VideoSample};
+
+use crate::pipeline::{ChainOutput, StressPipeline};
+
+/// What one [`ChainStepper::step`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One decode token was emitted; the stage continues.
+    Token,
+    /// A stage completed (describe/assess/highlight); the next step starts
+    /// the following stage.  Deadline checks at these points reproduce the
+    /// monolithic path's abort boundaries.
+    StageBoundary,
+    /// The chain is complete; [`ChainStepper::finish`] yields the result.
+    Finished,
+}
+
+enum Stage {
+    Describe(DescriptionSampler),
+    Assess,
+    Highlight(DescriptionSampler),
+    Score,
+    Done,
+}
+
+/// A single predict request advancing through the SRCR chain one token at
+/// a time on its own [`InferSession`].
+pub struct ChainStepper {
+    video: VideoSample,
+    chain_seed: u64,
+    /// Total describe→assess→highlight passes to run (≥ 1).
+    repeats: u32,
+    /// Completed passes.
+    repeat: u32,
+    stage: Stage,
+    session: InferSession,
+    description: AuSet,
+    assessment: StressLabel,
+    rationale: AuSet,
+    score: f32,
+}
+
+impl ChainStepper {
+    /// A stepper over `session` (typically scheduler-built via
+    /// [`InferSession::with_parts`] on the model's shared slab + prefix
+    /// cache).  `chain_seed` is the per-request stream seed the serving
+    /// layer derives; `repeats` ≥ 1 chain passes run before scoring.
+    pub fn new(
+        pipeline: &StressPipeline,
+        session: InferSession,
+        video: VideoSample,
+        chain_seed: u64,
+        repeats: u32,
+    ) -> Self {
+        assert!(repeats >= 1, "at least one chain pass");
+        let sampler = DescriptionSampler::new(
+            &pipeline.model,
+            describe_prompt(&pipeline.model, &video),
+            AuSet::FULL,
+            0.0,
+            chain_seed,
+        );
+        ChainStepper {
+            video,
+            chain_seed,
+            repeats,
+            repeat: 0,
+            stage: Stage::Describe(sampler),
+            session,
+            description: AuSet::EMPTY,
+            assessment: StressLabel::Unstressed,
+            rationale: AuSet::EMPTY,
+            score: 0.5,
+        }
+    }
+
+    /// Whether the next step will prefill a prompt (`set_context`) rather
+    /// than decode one token.  The scheduler serializes priming steps so a
+    /// shared prefix is published before identical co-tenants re-embed it.
+    pub fn will_prime(&self) -> bool {
+        match &self.stage {
+            Stage::Describe(s) | Stage::Highlight(s) => s.will_prime(),
+            Stage::Assess | Stage::Score => true,
+            Stage::Done => false,
+        }
+    }
+
+    /// The session, for decode/prefill statistics.
+    pub fn session(&self) -> &InferSession {
+        &self.session
+    }
+
+    /// Advance the chain by one unit.  On [`PagesExhausted`] the stepper
+    /// must be discarded (see module docs).
+    pub fn step(&mut self, pipeline: &StressPipeline) -> Result<StepOutcome, PagesExhausted> {
+        let model = &pipeline.model;
+        match &mut self.stage {
+            Stage::Describe(sampler) => match sampler.step(model, &mut self.session)? {
+                SamplerStep::Emitted => Ok(StepOutcome::Token),
+                SamplerStep::Done(set) => {
+                    self.description = set;
+                    self.stage = Stage::Assess;
+                    Ok(StepOutcome::StageBoundary)
+                }
+            },
+            Stage::Assess => {
+                // Exactly `forced_label_with_session`: fresh rng from the
+                // chain seed, forced choice over the two label tokens.
+                let p = assess_prompt(model, &self.video, self.description);
+                let [st, un] = label_tokens(&model.vocab);
+                let mut rng = StdRng::seed_from_u64(self.chain_seed);
+                let c = model.try_choose_with_session(
+                    &mut self.session,
+                    &p,
+                    &[st, un],
+                    0.0,
+                    &mut rng,
+                )?;
+                self.assessment = if c == st {
+                    StressLabel::Stressed
+                } else {
+                    StressLabel::Unstressed
+                };
+                self.stage = Stage::Highlight(DescriptionSampler::new(
+                    model,
+                    highlight_prompt(model, &self.video, self.description, self.assessment),
+                    self.description,
+                    0.0,
+                    self.chain_seed,
+                ));
+                Ok(StepOutcome::StageBoundary)
+            }
+            Stage::Highlight(sampler) => match sampler.step(model, &mut self.session)? {
+                SamplerStep::Emitted => Ok(StepOutcome::Token),
+                SamplerStep::Done(set) => {
+                    self.rationale = set;
+                    self.repeat += 1;
+                    self.stage = if self.repeat < self.repeats {
+                        Stage::Describe(DescriptionSampler::new(
+                            model,
+                            describe_prompt(model, &self.video),
+                            AuSet::FULL,
+                            0.0,
+                            self.chain_seed,
+                        ))
+                    } else {
+                        Stage::Score
+                    };
+                    Ok(StepOutcome::StageBoundary)
+                }
+            },
+            Stage::Score => {
+                // Exactly `stress_score_with_session`.
+                let p = assess_prompt(model, &self.video, self.description);
+                let dist = model.try_next_token_distribution_with_session(&mut self.session, &p)?;
+                let [st, un] = label_tokens(&model.vocab);
+                let (ps, pu) = (dist[st as usize], dist[un as usize]);
+                self.score = if ps + pu > 0.0 { ps / (ps + pu) } else { 0.5 };
+                self.stage = Stage::Done;
+                Ok(StepOutcome::Finished)
+            }
+            Stage::Done => Ok(StepOutcome::Finished),
+        }
+    }
+
+    /// The completed chain output and assess confidence.  Panics if called
+    /// before a step returned [`StepOutcome::Finished`].
+    pub fn finish(&self) -> (ChainOutput, f32) {
+        assert!(
+            matches!(self.stage, Stage::Done),
+            "chain has not finished yet"
+        );
+        (
+            ChainOutput {
+                description: self.description,
+                assessment: self.assessment,
+                rationale: self.rationale,
+            },
+            self.score,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use lfm::{Lfm, ModelConfig};
+    use videosynth::world::{sample_video, Subject, WorldConfig};
+
+    fn pipeline() -> StressPipeline {
+        StressPipeline::new(Lfm::new(ModelConfig::tiny(), 3), PipelineConfig::smoke())
+    }
+
+    fn video(id: usize, label: StressLabel) -> VideoSample {
+        let mut rng = StdRng::seed_from_u64(id as u64);
+        let s = Subject::generate(0, 0.3, &mut rng);
+        sample_video(&WorldConfig::uvsd_like(), &s, label, id, 5)
+    }
+
+    fn run_to_completion(p: &StressPipeline, stepper: &mut ChainStepper) -> (ChainOutput, f32) {
+        let mut steps = 0usize;
+        loop {
+            match stepper.step(p).expect("unbounded slab") {
+                StepOutcome::Finished => return stepper.finish(),
+                _ => {
+                    steps += 1;
+                    assert!(steps < 100_000, "chain must terminate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_matches_monolithic_chain_bitwise() {
+        let p = pipeline();
+        for (id, label, seed) in [
+            (1, StressLabel::Stressed, 0u64),
+            (2, StressLabel::Unstressed, 7),
+            (5, StressLabel::Stressed, 123),
+        ] {
+            let v = video(id, label);
+            let want = p.predict_scored_with_session(&mut p.session(), &v, seed);
+            let mut stepper = ChainStepper::new(&p, p.session(), v, seed, 1);
+            let got = run_to_completion(&p, &mut stepper);
+            assert_eq!(got, want, "id={id} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn repeats_only_add_work_never_change_the_answer() {
+        let p = pipeline();
+        let v = video(3, StressLabel::Stressed);
+        let want = p.predict_scored_with_session(&mut p.session(), &v, 9);
+        let mut one = ChainStepper::new(&p, p.session(), v.clone(), 9, 1);
+        let r1 = run_to_completion(&p, &mut one);
+        let mut three = ChainStepper::new(&p, p.session(), v, 9, 3);
+        let r3 = run_to_completion(&p, &mut three);
+        assert_eq!(r1, want);
+        assert_eq!(r3, want, "repeats must not change the output");
+        assert!(
+            three.session().decoded_tokens() > one.session().decoded_tokens(),
+            "repeats must add decode work"
+        );
+    }
+
+    #[test]
+    fn boundary_count_matches_stage_structure() {
+        let p = pipeline();
+        let v = video(4, StressLabel::Unstressed);
+        let repeats = 2u32;
+        let mut stepper = ChainStepper::new(&p, p.session(), v, 0, repeats);
+        let mut boundaries = 0;
+        loop {
+            match stepper.step(&p).expect("unbounded slab") {
+                StepOutcome::StageBoundary => boundaries += 1,
+                StepOutcome::Finished => break,
+                StepOutcome::Token => {}
+            }
+        }
+        // describe/assess/highlight per repeat; Score ends with Finished.
+        assert_eq!(boundaries, 3 * repeats);
+    }
+}

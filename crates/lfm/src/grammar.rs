@@ -409,46 +409,128 @@ pub fn generate_description_within_session(
     temperature: f32,
     seed: u64,
 ) -> AuSet {
-    let dfa = DescriptionDfa::with_allowed(&model.vocab, allowed);
-    let mut state = dfa.start();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let budget = model
-        .cfg
-        .max_seq
-        .saturating_sub(prompt.seq_len(&model.cfg) + 1);
-    // Prefill lazily: a zero budget must not touch the model at all.
-    let mut primed = false;
+    let mut sampler = DescriptionSampler::new(model, prompt.clone(), allowed, temperature, seed);
+    loop {
+        // Standalone sessions draw from an unbounded slab: never exhausts.
+        match sampler
+            .step(model, session)
+            .expect("kv page slab exhausted")
+        {
+            SamplerStep::Emitted => {}
+            SamplerStep::Done(set) => return set,
+        }
+    }
+}
 
-    // `emitted_tokens` counts the tokens pushed so far: every earlier
-    // iteration pushed exactly one (the non-pushing exits all return).
-    for emitted_tokens in 0..budget {
-        let mut allowed = dfa.allowed(&state);
-        if let Some(set) = dfa.accepting(&state) {
-            if !allowed.contains(&dfa.eos) {
-                allowed.push(dfa.eos);
+/// Outcome of one [`DescriptionSampler::step`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SamplerStep {
+    /// One token was appended to the session; call `step` again.
+    Emitted,
+    /// Generation finished (Eos, budget, or forced stop): the AU set the
+    /// model described.
+    Done(AuSet),
+}
+
+/// [`generate_description_within_session`] broken into resumable
+/// single-token steps — the unit the continuous-batching scheduler
+/// interleaves across requests.
+///
+/// Each [`DescriptionSampler::step`] call performs exactly one iteration of
+/// the original sampling loop (same DFA walk, same rng consumption order,
+/// same lazy prefill, same budget accounting), so driving a sampler to
+/// completion is bit-identical to the one-shot function — which is now
+/// implemented as exactly that loop.
+///
+/// A step that returns [`PagesExhausted`](crate::PagesExhausted) may have
+/// consumed rng state before failing; the sampler must not be resumed.
+/// Restart the whole request on a fresh sampler+session (determinism makes
+/// the replay identical).
+#[derive(Clone, Debug)]
+pub struct DescriptionSampler {
+    dfa: DescriptionDfa,
+    state: State,
+    rng: StdRng,
+    temperature: f32,
+    prompt: Prompt,
+    /// Max tokens this generation may push (`max_seq` minus prompt, minus
+    /// one row of headroom).
+    budget: usize,
+    /// Tokens pushed so far: every earlier `Emitted` pushed exactly one.
+    emitted: usize,
+    /// Prefill lazily: a zero budget must not touch the model at all.
+    primed: bool,
+}
+
+impl DescriptionSampler {
+    /// A sampler for one grammar-constrained generation over `prompt`.
+    pub fn new(model: &Lfm, prompt: Prompt, allowed: AuSet, temperature: f32, seed: u64) -> Self {
+        let dfa = DescriptionDfa::with_allowed(&model.vocab, allowed);
+        let state = dfa.start();
+        let budget = model
+            .cfg
+            .max_seq
+            .saturating_sub(prompt.seq_len(&model.cfg) + 1);
+        DescriptionSampler {
+            dfa,
+            state,
+            rng: StdRng::seed_from_u64(seed),
+            temperature,
+            prompt,
+            budget,
+            emitted: 0,
+            primed: false,
+        }
+    }
+
+    /// Whether the next `step` will prefill the prompt (the scheduler
+    /// serializes those steps so shared prefixes are published before
+    /// identical co-tenants would redo the work).
+    pub fn will_prime(&self) -> bool {
+        !self.primed
+    }
+
+    /// Run one sampling-loop iteration against `session`.
+    pub fn step(
+        &mut self,
+        model: &Lfm,
+        session: &mut InferSession,
+    ) -> Result<SamplerStep, crate::PagesExhausted> {
+        if self.emitted >= self.budget {
+            // Budget exhausted: return whatever is emitted so far.
+            return Ok(SamplerStep::Done(
+                self.dfa.accepting(&self.state).unwrap_or(AuSet::EMPTY),
+            ));
+        }
+        let mut allowed = self.dfa.allowed(&self.state);
+        if let Some(set) = self.dfa.accepting(&self.state) {
+            if !allowed.contains(&self.dfa.eos) {
+                allowed.push(self.dfa.eos);
             }
             // Out of budget safety: if the next step would overflow, stop.
-            if emitted_tokens + 1 >= budget {
-                return set;
+            if self.emitted + 1 >= self.budget {
+                return Ok(SamplerStep::Done(set));
             }
         }
-        if !primed {
-            session.set_context(model, prompt, &[]);
-            primed = true;
+        if !self.primed {
+            session.try_set_context(model, &self.prompt, &[])?;
+            self.primed = true;
         }
         let last = session.last_logits();
         let sub: Vec<f32> = allowed.iter().map(|&t| last[t as usize]).collect();
-        let pick = allowed[tinynn::rngutil::sample_logits(&mut rng, &sub, temperature)];
-        if pick == dfa.eos {
-            return dfa
-                .accepting(&state)
-                .expect("Eos only offered at accepting states");
+        let pick = allowed[tinynn::rngutil::sample_logits(&mut self.rng, &sub, self.temperature)];
+        if pick == self.dfa.eos {
+            return Ok(SamplerStep::Done(
+                self.dfa
+                    .accepting(&self.state)
+                    .expect("Eos only offered at accepting states"),
+            ));
         }
-        state = dfa.advance(state, pick);
-        session.push_token(model, pick);
+        self.state = self.dfa.advance(self.state.clone(), pick);
+        session.try_push_token(model, pick)?;
+        self.emitted += 1;
+        Ok(SamplerStep::Emitted)
     }
-    // Budget exhausted: return whatever is emitted so far.
-    dfa.accepting(&state).unwrap_or(AuSet::EMPTY)
 }
 
 #[cfg(test)]

@@ -17,12 +17,32 @@
 //! spelled out in DESIGN.md §infer; the token-for-token equality is
 //! asserted in this crate's tests across seeds, temperatures, prompt
 //! lengths and runtime thread counts.
+//!
+//! Storage is paged ([`tinynn::infer::paged`]): each block's cache is a
+//! [`PagedKv`] page table over a [`PageSlab`].  Standalone sessions own a
+//! private unbounded slab and behave exactly like the old flat caches; the
+//! serving scheduler instead passes one bounded slab *per model* plus a
+//! [`PrefixCache`] — a cross-request radix tree of published prefill
+//! snapshots — via [`InferSession::with_parts`], so concurrent requests
+//! sharing a chain preamble adopt each other's pages (refcounted,
+//! copy-on-write at the divergence page) instead of re-prefilling.  Since
+//! K/V rows for a position are pure functions of the item prefix under
+//! fixed weights and tier, adopted pages are bit-identical to the rows
+//! recomputation would produce.  Under a bounded slab the `try_*` methods
+//! surface [`PagesExhausted`] and leave the session consistent so the
+//! scheduler can preempt and retry.
 
-use tinynn::infer::{attend_row, KvCache};
+use std::sync::{Arc, Mutex};
+
+use tinynn::infer::{attend_paged, PageSlab, PagedKv, PagesExhausted};
 use tinynn::kernels::{self, KernelTier, PackedWeights, Q8Weights};
 
 use crate::model::{Lfm, Prompt, Segment};
+use crate::prefix::RadixTree;
 use crate::vocab::TokenId;
+
+/// Page granularity for sessions that manage their own slab.
+pub const DEFAULT_PAGE_ROWS: usize = 32;
 
 /// Session-side copies of one block's weight matrices (biases stay f32),
 /// generic over the representation: [`Q8Weights`] for the `FastQ8` tier,
@@ -113,6 +133,93 @@ enum Item {
     Vis(Vec<f32>),
 }
 
+/// A published prefill: the per-block page tables and block-stack outputs
+/// for one item sequence.  Pages are refcount-shared with whoever published
+/// them and with every adopter; nothing here is deep-copied row data.
+#[derive(Debug)]
+struct PrefixSnapshot {
+    caches: Vec<PagedKv>,
+    hidden: Vec<f32>,
+}
+
+/// Cross-request prefix index: a radix tree from item sequences to
+/// published prefill snapshots, shared by every session of one model.
+///
+/// On `set_context`, a session asks the tree for the longest prefix of its
+/// target any published snapshot covers; if that beats the session's own
+/// LCP it *adopts* the snapshot (cloning page tables — refcounts, not rows
+/// — truncated to the match) and only embeds the tail.  After prefilling it
+/// *publishes* its own context so later requests can adopt from it.  Rows
+/// are pure functions of the item prefix under fixed weights and tier, so
+/// adoption is bit-identical to recomputation; the determinism contract is
+/// unaffected by who published first.
+///
+/// The tree is LRU-bounded; evicted snapshots drop their page refcounts,
+/// returning unshared pages to the slab.  [`PrefixCache::clear`] does so
+/// for everything at once — the scheduler's response to slab exhaustion and
+/// to drain.
+#[derive(Debug)]
+pub struct PrefixCache {
+    inner: Mutex<RadixTree<Item, PrefixSnapshot>>,
+}
+
+impl PrefixCache {
+    /// An empty cache holding at most `cap` snapshots (`0` = unbounded).
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(PrefixCache {
+            inner: Mutex::new(RadixTree::new(cap)),
+        })
+    }
+
+    /// Published snapshot count.
+    pub fn entries(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Drop every snapshot, releasing their page refcounts.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// The deepest published coverage of `target` beyond `min_len` rows, as
+    /// (covered length, page tables truncated to it, hidden rows to it).
+    fn adopt(
+        &self,
+        target: &[Item],
+        min_len: usize,
+        d: usize,
+    ) -> Option<(usize, Vec<PagedKv>, Vec<f32>)> {
+        let mut g = self.inner.lock().unwrap();
+        let (m, snap) = g.longest_match(target)?;
+        if m <= min_len {
+            return None;
+        }
+        let mut caches = snap.caches.clone();
+        for c in &mut caches {
+            c.truncate(m);
+        }
+        Some((m, caches, snap.hidden[..m * d].to_vec()))
+    }
+
+    /// Record a finished prefill unless an existing snapshot already covers
+    /// the whole sequence (which the lookup also LRU-touches).
+    fn publish(&self, items: &[Item], caches: &[PagedKv], hidden: &[f32]) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((m, _)) = g.longest_match(items) {
+            if m == items.len() {
+                return;
+            }
+        }
+        g.insert(
+            items,
+            PrefixSnapshot {
+                caches: caches.to_vec(),
+                hidden: hidden.to_vec(),
+            },
+        );
+    }
+}
+
 /// A reusable incremental-decoding session bound to one model's shapes.
 ///
 /// The session owns all caches and scratch buffers; methods borrow the
@@ -128,14 +235,22 @@ enum Item {
 pub struct InferSession {
     /// Embedded positions, one item each (prefix-comparison key).
     items: Vec<Item>,
-    /// Per-block KV caches over all embedded positions.
-    caches: Vec<KvCache>,
+    /// Per-block paged KV caches over all embedded positions.
+    caches: Vec<PagedKv>,
+    /// The slab every cache draws pages from (shared across sessions of
+    /// one model in serving; private and unbounded otherwise).
+    slab: Arc<PageSlab>,
+    /// Cross-request prefix index to adopt from / publish to, if serving.
+    shared: Option<Arc<PrefixCache>>,
     /// Block-stack output (pre-`ln_f`) per position, row-major `[len, d]`.
     hidden: Vec<f32>,
     /// Logits of the last position.
     logits: Vec<f32>,
     /// Rows embedded by `set_context` since construction (prefill work).
     prefill_positions: u64,
+    /// Rows adopted from the shared prefix cache instead of embedded —
+    /// prefill work someone else already did.
+    prefix_hit_tokens: u64,
     /// Rows appended by `push_token` since construction (decode work).
     decoded_tokens: u64,
     /// Kernel tier every row of this session runs under (pinned at
@@ -167,23 +282,41 @@ impl InferSession {
         Self::with_tier(model, kernels::kernel_tier())
     }
 
-    /// Fresh session pinned to an explicit kernel tier, with caches
-    /// pre-reserved for `cfg.max_seq` rows.  `Exact` and `Fast` sessions
-    /// produce bit-identical logits (finite weights/activations — see the
-    /// tinynn kernels module docs); `FastQ8` quantizes the per-token
-    /// weight matrices once here and is lossy within the documented
-    /// per-column bound.
+    /// Fresh session pinned to an explicit kernel tier, drawing pages from
+    /// a private unbounded slab.  `Exact` and `Fast` sessions produce
+    /// bit-identical logits (finite weights/activations — see the tinynn
+    /// kernels module docs); `FastQ8` quantizes the per-token weight
+    /// matrices once here and is lossy within the documented per-column
+    /// bound.
     pub fn with_tier(model: &Lfm, tier: KernelTier) -> Self {
+        let slab = PageSlab::new(model.cfg.d_model, DEFAULT_PAGE_ROWS, 0);
+        Self::with_parts(model, tier, slab, None)
+    }
+
+    /// Fresh session over an explicit page slab and (optionally) a shared
+    /// cross-request prefix cache — the serving scheduler's constructor.
+    /// The slab's row width must match the model, and every session
+    /// attached to one `shared` must draw from the same slab.
+    pub fn with_parts(
+        model: &Lfm,
+        tier: KernelTier,
+        slab: Arc<PageSlab>,
+        shared: Option<Arc<PrefixCache>>,
+    ) -> Self {
         let cfg = &model.cfg;
         let d = cfg.d_model;
+        assert_eq!(slab.dim(), d, "slab row width must match d_model");
         InferSession {
             items: Vec::with_capacity(cfg.max_seq),
             caches: (0..cfg.layers)
-                .map(|_| KvCache::new(d, cfg.max_seq))
+                .map(|_| PagedKv::new(Arc::clone(&slab)))
                 .collect(),
+            slab,
+            shared,
             hidden: Vec::with_capacity(cfg.max_seq * d),
             logits: vec![0.0; model.vocab.len()],
             prefill_positions: 0,
+            prefix_hit_tokens: 0,
             decoded_tokens: 0,
             tier,
             quant: (tier == KernelTier::FastQ8)
@@ -222,6 +355,16 @@ impl InferSession {
         self.decoded_tokens
     }
 
+    /// Rows adopted from the shared prefix cache instead of re-embedded.
+    pub fn prefix_hit_tokens(&self) -> u64 {
+        self.prefix_hit_tokens
+    }
+
+    /// The page slab this session draws from.
+    pub fn slab(&self) -> &Arc<PageSlab> {
+        &self.slab
+    }
+
     /// The kernel tier this session was pinned to at construction.
     pub fn tier(&self) -> KernelTier {
         self.tier
@@ -235,8 +378,25 @@ impl InferSession {
 
     /// Make the session's context exactly `prompt ⧺ extra`, reusing the
     /// longest common prefix with the current context, and return the last
-    /// position's logits.
+    /// position's logits.  Panics on slab exhaustion — only possible under
+    /// an explicitly bounded [`PageSlab`], where callers should use
+    /// [`InferSession::try_set_context`] instead.
     pub fn set_context(&mut self, model: &Lfm, prompt: &Prompt, extra: &[TokenId]) -> &[f32] {
+        self.try_set_context(model, prompt, extra)
+            .expect("kv page slab exhausted");
+        &self.logits
+    }
+
+    /// Fallible [`InferSession::set_context`].  On [`PagesExhausted`] the
+    /// session is left internally consistent (a valid shorter context) but
+    /// the target context was NOT reached; callers must not keep decoding —
+    /// drop or reset the session and retry from a request boundary.
+    pub fn try_set_context(
+        &mut self,
+        model: &Lfm,
+        prompt: &Prompt,
+        extra: &[TokenId],
+    ) -> Result<(), PagesExhausted> {
         let cfg = &model.cfg;
         let per = cfg.vis_feat_per_token();
         let mut target: Vec<Item> = Vec::with_capacity(prompt.seq_len(cfg) + extra.len());
@@ -264,36 +424,68 @@ impl InferSession {
             .zip(&target)
             .take_while(|(a, b)| a == b)
             .count();
-        self.items.truncate(lcp);
-        self.hidden.truncate(lcp * cfg.d_model);
-        for c in &mut self.caches {
-            c.truncate(lcp);
+        // A published snapshot may cover more of the target than our own
+        // context does — adopt its pages and hidden rows for the covered
+        // prefix.  Rows are pure functions of the item prefix, so adopted
+        // state is bitwise what we would have computed.
+        let mut base = lcp;
+        if let Some(shared) = self.shared.clone() {
+            if let Some((m, caches, hidden)) = shared.adopt(&target, lcp, cfg.d_model) {
+                self.items.clear();
+                self.items.extend_from_slice(&target[..m]);
+                self.caches = caches;
+                self.hidden = hidden;
+                self.prefix_hit_tokens += (m - lcp) as u64;
+                base = m;
+            }
         }
-        for item in target.into_iter().skip(lcp) {
-            self.process_row(model, item);
+        if base == lcp {
+            self.items.truncate(lcp);
+            self.hidden.truncate(lcp * cfg.d_model);
+            for c in &mut self.caches {
+                c.truncate(lcp);
+            }
+        }
+        for item in target.into_iter().skip(base) {
+            self.try_process_row(model, item)?;
             self.prefill_positions += 1;
         }
+        if let Some(shared) = &self.shared {
+            shared.publish(&self.items, &self.caches, &self.hidden);
+        }
         self.refresh_logits(model);
-        &self.logits
+        Ok(())
     }
 
     /// Append one text token to the context and return the new logits.
+    /// Panics on slab exhaustion — see [`InferSession::try_push_token`].
     pub fn push_token(&mut self, model: &Lfm, tok: TokenId) -> &[f32] {
+        self.try_push_token(model, tok)
+            .expect("kv page slab exhausted");
+        &self.logits
+    }
+
+    /// Fallible [`InferSession::push_token`]: on [`PagesExhausted`] the
+    /// token was NOT appended and the session still holds its previous
+    /// (valid) context.
+    pub fn try_push_token(&mut self, model: &Lfm, tok: TokenId) -> Result<(), PagesExhausted> {
         let l = self.items.len() + 1;
         assert!(
             l <= model.cfg.max_seq,
             "sequence length {l} exceeds max_seq {}",
             model.cfg.max_seq
         );
-        self.process_row(model, Item::Tok(tok));
+        self.try_process_row(model, Item::Tok(tok))?;
         self.decoded_tokens += 1;
         self.refresh_logits(model);
-        &self.logits
+        Ok(())
     }
 
     /// Embed and run one position through every block, appending to the
     /// caches and `hidden`.  Mirrors the tape ops row-wise, in tape order.
-    fn process_row(&mut self, model: &Lfm, item: Item) {
+    /// On [`PagesExhausted`] every cache is rolled back to the pre-row
+    /// length and the item is not recorded — the session stays consistent.
+    fn try_process_row(&mut self, model: &Lfm, item: Item) -> Result<(), PagesExhausted> {
         let cfg = &model.cfg;
         let d = cfg.d_model;
         let pos = self.items.len();
@@ -328,6 +520,7 @@ impl InferSession {
         let dh = d / cfg.heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let tier = self.tier;
+        let mut exhausted = false;
         for (bi, (bp, cache)) in p.blocks.iter().zip(&mut self.caches).enumerate() {
             let qb = self.quant.as_ref().map(|q| &q.blocks[bi]);
             let pb = self.packed.as_ref().map(|p| &p.blocks[bi]);
@@ -366,8 +559,11 @@ impl InferSession {
                 qb.map(|q| &q.wv),
                 &store.value(bp.bv).data,
             );
-            cache.append(&self.k, &self.v);
-            attend_row(
+            if cache.append(&self.k, &self.v).is_err() {
+                exhausted = true;
+                break;
+            }
+            attend_paged(
                 &mut self.attn,
                 &self.q,
                 cache,
@@ -421,8 +617,17 @@ impl InferSession {
                 *xi += hi;
             }
         }
+        if exhausted {
+            // Roll caches of earlier blocks back to the pre-row length so
+            // the whole session still describes `items` exactly.
+            for c in &mut self.caches {
+                c.truncate(pos);
+            }
+            return Err(PagesExhausted);
+        }
         self.hidden.extend_from_slice(&self.x);
         self.items.push(item);
+        Ok(())
     }
 
     /// Recompute the last position's logits from its cached block-stack

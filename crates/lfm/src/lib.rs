@@ -21,13 +21,16 @@ pub mod grammar;
 pub mod infer;
 pub mod instructions;
 pub mod model;
+pub mod prefix;
 pub mod pretrain;
 pub mod train;
 pub mod vocab;
 
 pub use grammar::generate_description;
-pub use infer::InferSession;
+pub use infer::{InferSession, PrefixCache};
 pub use model::{Lfm, ModelConfig, Prompt, Segment};
+pub use prefix::RadixTree;
 pub use pretrain::CapabilityProfile;
+pub use tinynn::infer::{PageSlab, PagesExhausted};
 pub use train::{dpo, sft, DpoPair, SftExample, TrainConfig};
 pub use vocab::{Special, TokenId, Vocab};

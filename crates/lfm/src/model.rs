@@ -702,9 +702,21 @@ impl Lfm {
         session: &mut InferSession,
         prompt: &Prompt,
     ) -> Vec<f32> {
-        let mut probs = session.set_context(self, prompt, &[]).to_vec();
+        self.try_next_token_distribution_with_session(session, prompt)
+            .expect("kv page slab exhausted")
+    }
+
+    /// Fallible [`Lfm::next_token_distribution_with_session`] for sessions
+    /// on a bounded page slab.
+    pub fn try_next_token_distribution_with_session(
+        &self,
+        session: &mut InferSession,
+        prompt: &Prompt,
+    ) -> Result<Vec<f32>, tinynn::infer::PagesExhausted> {
+        session.try_set_context(self, prompt, &[])?;
+        let mut probs = session.last_logits().to_vec();
         tinynn::kernels::softmax_row(&mut probs);
-        probs
+        Ok(probs)
     }
 
     /// Restricted argmax / sample over a small set of candidate tokens
@@ -729,11 +741,27 @@ impl Lfm {
         temperature: f32,
         rng: &mut R,
     ) -> TokenId {
+        self.try_choose_with_session(session, prompt, candidates, temperature, rng)
+            .expect("kv page slab exhausted")
+    }
+
+    /// Fallible [`Lfm::choose_with_session`] for sessions on a bounded page
+    /// slab.  On exhaustion the rng is untouched (the context never
+    /// reached the point of sampling).
+    pub fn try_choose_with_session<R: Rng>(
+        &self,
+        session: &mut InferSession,
+        prompt: &Prompt,
+        candidates: &[TokenId],
+        temperature: f32,
+        rng: &mut R,
+    ) -> Result<TokenId, tinynn::infer::PagesExhausted> {
         assert!(!candidates.is_empty());
-        let last = session.set_context(self, prompt, &[]);
+        session.try_set_context(self, prompt, &[])?;
+        let last = session.last_logits();
         let sub: Vec<f32> = candidates.iter().map(|&c| last[c as usize]).collect();
         let idx = tinynn::rngutil::sample_logits(rng, &sub, temperature);
-        candidates[idx]
+        Ok(candidates[idx])
     }
 }
 

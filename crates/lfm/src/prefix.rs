@@ -1,0 +1,327 @@
+//! Compressed radix tree keyed by generic item sequences — the index behind
+//! cross-request KV prefix sharing.
+//!
+//! [`super::InferSession`] already reuses the longest common prefix between
+//! *consecutive* prompts of one session.  To share work *across* concurrent
+//! requests, the serving scheduler needs, for an incoming prompt, the
+//! longest prefix any cached sequence shares with it.  [`RadixTree`] answers
+//! that in one edge-compressed walk: [`RadixTree::longest_match`] returns
+//! the brute-force maximum `lcp(stored key, query)` over every stored entry
+//! (property-tested against exactly that in `tests/prefix_tree.rs`),
+//! together with a stored value whose key realizes the maximum.
+//!
+//! Values are opaque to the tree (in serving: paged-KV snapshots whose pages
+//! are refcount-shared with the sessions that published them).  Eviction is
+//! LRU over entries — both `insert` and a successful `longest_match` count
+//! as a touch — so a bounded tree keeps hot prefixes pinned and releases
+//! cold pages back to the slab.
+
+/// Edge-compressed radix tree over `K` sequences with LRU-bounded entries.
+#[derive(Debug)]
+pub struct RadixTree<K, V> {
+    root: Node<K, V>,
+    /// Max stored entries (`0` = unbounded); past it, LRU entries go.
+    cap: usize,
+    len: usize,
+    /// Monotonic touch clock for LRU.
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Node<K, V> {
+    /// Edge label from the parent (empty only at the root).
+    label: Vec<K>,
+    value: Option<Entry<V>>,
+    children: Vec<Node<K, V>>,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    tick: u64,
+}
+
+fn lcp_len<K: PartialEq>(a: &[K], b: &[K]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl<K: Clone + PartialEq, V> RadixTree<K, V> {
+    /// Empty tree holding at most `cap` entries (`0` = unbounded).
+    pub fn new(cap: usize) -> Self {
+        RadixTree {
+            root: Node {
+                label: Vec::new(),
+                value: None,
+                children: Vec::new(),
+            },
+            cap,
+            len: 0,
+            tick: 0,
+        }
+    }
+
+    /// Stored entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.root.value = None;
+        self.root.children.clear();
+        self.len = 0;
+    }
+
+    /// Store `value` under `key`, replacing any previous value for exactly
+    /// `key`.  May evict the least-recently-touched entry past the cap.
+    pub fn insert(&mut self, key: &[K], value: V) {
+        self.tick += 1;
+        let tick = self.tick;
+        if Self::insert_into(&mut self.root, key, value, tick) {
+            self.len += 1;
+        }
+        if self.cap > 0 {
+            while self.len > self.cap {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// Returns true if a brand-new entry was created.
+    fn insert_into(node: &mut Node<K, V>, key: &[K], value: V, tick: u64) -> bool {
+        if key.is_empty() {
+            let fresh = node.value.is_none();
+            node.value = Some(Entry { value, tick });
+            return fresh;
+        }
+        for child in &mut node.children {
+            let common = lcp_len(&child.label, key);
+            if common == 0 {
+                continue;
+            }
+            if common < child.label.len() {
+                // Split the edge: `child` keeps the common prefix, the old
+                // tail (with its value and children) becomes a grandchild.
+                let tail = Node {
+                    label: child.label.split_off(common),
+                    value: child.value.take(),
+                    children: std::mem::take(&mut child.children),
+                };
+                child.children.push(tail);
+            }
+            return Self::insert_into(child, &key[common..], value, tick);
+        }
+        // Radix invariant: children have pairwise-distinct first elements,
+        // so no child shares anything with `key` — make a new leaf.
+        node.children.push(Node {
+            label: key.to_vec(),
+            value: Some(Entry { value, tick }),
+            children: Vec::new(),
+        });
+        true
+    }
+
+    /// The longest common prefix between `query` and any stored key, as
+    /// `(match_len, value)` where `value` is stored under a key realizing
+    /// that maximum.  `None` only when the tree is empty.  Counts as an LRU
+    /// touch on the returned entry.
+    pub fn longest_match(&mut self, query: &[K]) -> Option<(usize, &V)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let (depth, entry) = Self::match_in(&mut self.root, query);
+        let entry = entry.expect("non-empty tree holds an entry");
+        entry.tick = tick;
+        Some((depth, &entry.value))
+    }
+
+    /// Walk as deep as edge labels match `rest`; return the matched length
+    /// below this node plus an entry realizing it.
+    fn match_in<'a>(node: &'a mut Node<K, V>, rest: &[K]) -> (usize, Option<&'a mut Entry<V>>) {
+        let pick = node
+            .children
+            .iter()
+            .position(|c| !rest.is_empty() && c.label[0] == rest[0]);
+        if let Some(i) = pick {
+            let child = &mut node.children[i];
+            let common = lcp_len(&child.label, rest);
+            if common == child.label.len() {
+                let (m, e) = Self::match_in(child, &rest[common..]);
+                return (m + common, e);
+            }
+            // The match dies mid-edge: every entry in `child`'s subtree
+            // extends the common prefix by the same `common` items, so any
+            // of them realizes the max.
+            return (common, Self::any_entry_mut(child));
+        }
+        // No child extends the match: the deepest entry at or below `node`
+        // shares exactly the depth walked so far.
+        (0, Self::entry_here_or_below(node))
+    }
+
+    /// Prefer the entry at `node` itself (its key IS the matched prefix),
+    /// else any entry below.
+    fn entry_here_or_below(node: &mut Node<K, V>) -> Option<&mut Entry<V>> {
+        // Split borrow: checking `value` first keeps the borrow checker
+        // happy without polonius.
+        if node.value.is_some() {
+            return node.value.as_mut();
+        }
+        Self::any_entry_mut(node)
+    }
+
+    fn any_entry_mut(node: &mut Node<K, V>) -> Option<&mut Entry<V>> {
+        if node.value.is_some() {
+            return node.value.as_mut();
+        }
+        for child in &mut node.children {
+            if let Some(e) = Self::any_entry_mut(child) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Remove the value stored under exactly `key`, merging now-redundant
+    /// edges on the way out.
+    pub fn remove(&mut self, key: &[K]) -> Option<V> {
+        let got = Self::remove_from(&mut self.root, key);
+        if got.is_some() {
+            self.len -= 1;
+        }
+        got
+    }
+
+    fn remove_from(node: &mut Node<K, V>, key: &[K]) -> Option<V> {
+        if key.is_empty() {
+            return node.value.take().map(|e| e.value);
+        }
+        let idx = node.children.iter().position(|c| {
+            let common = lcp_len(&c.label, key);
+            common == c.label.len() && common > 0
+        })?;
+        let consumed = node.children[idx].label.len();
+        let got = Self::remove_from(&mut node.children[idx], &key[consumed..]);
+        if got.is_some() {
+            Self::prune_child(&mut node.children, idx);
+        }
+        got
+    }
+
+    /// After an unset at/below `children[idx]`: drop the child if it holds
+    /// nothing, or splice out a valueless single-child link.
+    fn prune_child(children: &mut Vec<Node<K, V>>, idx: usize) {
+        let child = &mut children[idx];
+        if child.value.is_none() && child.children.is_empty() {
+            children.swap_remove(idx);
+        } else if child.value.is_none() && child.children.len() == 1 {
+            let mut only = child.children.pop().expect("len checked");
+            child.label.append(&mut only.label);
+            child.value = only.value.take();
+            child.children = std::mem::take(&mut only.children);
+        }
+    }
+
+    /// Evict the least-recently-touched entry.
+    fn evict_lru(&mut self) {
+        fn min_tick<K, V>(node: &Node<K, V>) -> Option<u64> {
+            let mut best = node.value.as_ref().map(|e| e.tick);
+            for c in &node.children {
+                best = match (best, min_tick(c)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            best
+        }
+        fn remove_tick<K: Clone + PartialEq, V>(node: &mut Node<K, V>, tick: u64) -> bool {
+            if node.value.as_ref().is_some_and(|e| e.tick == tick) {
+                node.value = None;
+                return true;
+            }
+            for i in 0..node.children.len() {
+                if remove_tick(&mut node.children[i], tick) {
+                    RadixTree::prune_child(&mut node.children, i);
+                    return true;
+                }
+            }
+            false
+        }
+        if let Some(t) = min_tick(&self.root) {
+            if remove_tick(&mut self.root, t) {
+                self.len -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_match_remove_roundtrip() {
+        let mut t: RadixTree<u8, &str> = RadixTree::new(0);
+        assert!(t.longest_match(&[1, 2]).is_none());
+        t.insert(&[1, 2, 3], "abc");
+        t.insert(&[1, 2, 9], "ab9");
+        t.insert(&[7], "seven");
+        assert_eq!(t.len(), 3);
+
+        let (m, v) = t.longest_match(&[1, 2, 3, 4]).unwrap();
+        assert_eq!((m, *v), (3, "abc"));
+        let (m, _) = t.longest_match(&[1, 2]).unwrap();
+        assert_eq!(m, 2); // dies mid-structure: both entries share [1,2]
+        let (m, v) = t.longest_match(&[7, 7]).unwrap();
+        assert_eq!((m, *v), (1, "seven"));
+        let (m, _) = t.longest_match(&[5]).unwrap();
+        assert_eq!(m, 0); // nothing shared, but the tree is non-empty
+
+        assert_eq!(t.remove(&[1, 2, 3]), Some("abc"));
+        assert_eq!(t.remove(&[1, 2, 3]), None);
+        assert_eq!(t.len(), 2);
+        let (m, v) = t.longest_match(&[1, 2, 3, 4]).unwrap();
+        assert_eq!((m, *v), (2, "ab9"));
+    }
+
+    #[test]
+    fn exact_key_preferred_over_extensions() {
+        let mut t: RadixTree<u8, u32> = RadixTree::new(0);
+        t.insert(&[1, 2], 20);
+        t.insert(&[1, 2, 3, 4], 40);
+        // Query == a stored key: the match length is the full query, and
+        // the entry AT that depth must win over the longer extension.
+        let (m, v) = t.longest_match(&[1, 2]).unwrap();
+        assert_eq!((m, *v), (2, 20));
+    }
+
+    #[test]
+    fn lru_cap_evicts_coldest() {
+        let mut t: RadixTree<u8, u32> = RadixTree::new(2);
+        t.insert(&[1], 1);
+        t.insert(&[2], 2);
+        t.longest_match(&[1]); // touch [1] — [2] is now coldest
+        t.insert(&[3], 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.longest_match(&[2]).unwrap().0, 0, "[2] was evicted");
+        assert_eq!(t.longest_match(&[1]).unwrap().0, 1);
+        assert_eq!(t.longest_match(&[3]).unwrap().0, 1);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut t: RadixTree<u8, u32> = RadixTree::new(0);
+        t.insert(&[1, 2], 1);
+        t.insert(&[1, 3], 2);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.longest_match(&[1, 2]).is_none());
+    }
+}

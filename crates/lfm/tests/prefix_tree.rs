@@ -1,0 +1,98 @@
+//! Property tests for `lfm::prefix::RadixTree`: insert/match/remove must
+//! agree with brute-force longest-common-prefix over plain token lists.
+
+use lfm::RadixTree;
+use proptest::prelude::*;
+
+fn lcp(a: &[u16], b: &[u16]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Short sequences over a tiny alphabet so shared prefixes, edge splits and
+/// mid-edge matches all happen constantly.
+fn key_strategy() -> impl Strategy<Value = Vec<u16>> {
+    proptest::collection::vec(0u16..4, 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `longest_match` equals the brute-force maximum `lcp(key, query)`
+    /// over all live entries, and the returned value belongs to an entry
+    /// realizing that maximum.
+    #[test]
+    fn matches_brute_force_lcp(
+        keys in proptest::collection::vec(key_strategy(), 1..12),
+        queries in proptest::collection::vec(key_strategy(), 1..8),
+    ) {
+        let mut tree: RadixTree<u16, usize> = RadixTree::new(0);
+        // Later inserts win on duplicate keys — mirror that.
+        let mut live: Vec<(Vec<u16>, usize)> = Vec::new();
+        for (id, key) in keys.iter().enumerate() {
+            tree.insert(key, id);
+            live.retain(|(k, _)| k != key);
+            live.push((key.clone(), id));
+        }
+        prop_assert_eq!(tree.len(), live.len());
+        for q in &queries {
+            let want = live.iter().map(|(k, _)| lcp(k, q)).max().unwrap();
+            let (got, &id) = tree.longest_match(q).expect("tree is non-empty");
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(lcp(&keys[id], q), want, "returned value must realize the max");
+        }
+    }
+
+    /// Removing a subset of keys leaves the tree equivalent to brute force
+    /// over the survivors; removing everything empties it.
+    #[test]
+    fn remove_detaches_exactly(
+        keys in proptest::collection::vec(key_strategy(), 1..10),
+        drop_mask in proptest::collection::vec(0u8..2, 10),
+        query in key_strategy(),
+    ) {
+        let mut tree: RadixTree<u16, usize> = RadixTree::new(0);
+        let mut live: Vec<(Vec<u16>, usize)> = Vec::new();
+        for (id, key) in keys.iter().enumerate() {
+            tree.insert(key, id);
+            live.retain(|(k, _)| k != key);
+            live.push((key.clone(), id));
+        }
+        for (i, key) in keys.iter().enumerate() {
+            if drop_mask[i % drop_mask.len()] == 1 {
+                let expect = live.iter().position(|(k, _)| k == key);
+                let got = tree.remove(key);
+                prop_assert_eq!(got.is_some(), expect.is_some());
+                if let Some(p) = expect {
+                    live.remove(p);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), live.len());
+        match tree.longest_match(&query) {
+            None => prop_assert!(live.is_empty()),
+            Some((got, _)) => {
+                let want = live.iter().map(|(k, _)| lcp(k, &query)).max().unwrap();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// An LRU-capped tree never exceeds its cap and still answers
+    /// consistently with brute force over whichever entries survive.
+    #[test]
+    fn capped_tree_stays_consistent(
+        cap in 1usize..4,
+        keys in proptest::collection::vec(key_strategy(), 1..12),
+        query in key_strategy(),
+    ) {
+        let mut tree: RadixTree<u16, usize> = RadixTree::new(cap);
+        for (id, key) in keys.iter().enumerate() {
+            tree.insert(key, id);
+            prop_assert!(tree.len() <= cap);
+        }
+        if let Some((got, &id)) = tree.longest_match(&query) {
+            // Whatever survived, the answer must be self-consistent.
+            prop_assert_eq!(lcp(&keys[id], &query), got);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-session prefix sharing: sessions attached to one `PrefixCache`
+//! over a shared `PageSlab` must adopt each other's prefills bit-exactly,
+//! never re-embed a published prefix, and degrade cleanly (consistent
+//! state, typed error) when the bounded slab runs dry.
+
+use std::sync::Arc;
+
+use facs::au::AuVector;
+use lfm::{InferSession, Lfm, ModelConfig, PageSlab, PagesExhausted, PrefixCache, Prompt, Special};
+use tinynn::kernels::KernelTier;
+use videosynth::render::render_face;
+
+fn model() -> Lfm {
+    Lfm::new(ModelConfig::tiny(), 42)
+}
+
+fn prompt_with_pad(m: &Lfm, pad: usize) -> Prompt {
+    let mut p = Prompt::new();
+    p.push_special(&m.vocab, Special::Describe);
+    p.push_image(&m.cfg, &render_face(&AuVector::zeros(), 0.01, 1));
+    p.push_tokens(&vec![m.vocab.special(Special::Sep); pad]);
+    p.push_special(&m.vocab, Special::Bos);
+    p
+}
+
+fn shared_session(m: &Lfm, slab: &Arc<PageSlab>, tree: &Arc<PrefixCache>) -> InferSession {
+    InferSession::with_parts(
+        m,
+        KernelTier::Exact,
+        Arc::clone(slab),
+        Some(Arc::clone(tree)),
+    )
+}
+
+#[test]
+fn adoption_is_bitwise_and_skips_prefill() {
+    let m = model();
+    let p = prompt_with_pad(&m, 3);
+    let slab = PageSlab::new(m.cfg.d_model, 8, 0);
+    let tree = PrefixCache::new(0);
+
+    let mut a = shared_session(&m, &slab, &tree);
+    let want = a.set_context(&m, &p, &[]).to_vec();
+    let prompt_rows = a.len() as u64;
+    assert_eq!(a.prefill_positions(), prompt_rows);
+    assert_eq!(a.prefix_hit_tokens(), 0);
+    assert_eq!(tree.entries(), 1);
+
+    // B adopts A's published prefill: zero rows embedded, logits bitwise.
+    let mut b = shared_session(&m, &slab, &tree);
+    let got = b.set_context(&m, &p, &[]).to_vec();
+    assert_eq!(got, want);
+    assert_eq!(b.prefill_positions(), 0, "whole prompt adopted");
+    assert_eq!(b.prefix_hit_tokens(), prompt_rows);
+
+    // Adoption also matches a fully independent recompute.
+    let mut solo = InferSession::new(&m);
+    assert_eq!(solo.set_context(&m, &p, &[]).to_vec(), want);
+
+    // Divergence after the shared prefix: B decodes without disturbing A.
+    let tok = m.vocab.special(Special::Sep);
+    let b_next = b.push_token(&m, tok).to_vec();
+    let solo_next = solo.push_token(&m, tok).to_vec();
+    assert_eq!(b_next, solo_next, "decode after adoption is bitwise");
+    assert_eq!(a.last_logits(), &want[..], "co-tenant state untouched");
+}
+
+#[test]
+fn partial_overlap_adopts_only_the_common_prefix() {
+    let m = model();
+    let slab = PageSlab::new(m.cfg.d_model, 4, 0);
+    let tree = PrefixCache::new(0);
+
+    let mut a = shared_session(&m, &slab, &tree);
+    a.set_context(&m, &prompt_with_pad(&m, 6), &[]);
+
+    // Same instruction+image preamble, different tail.
+    let mut b = shared_session(&m, &slab, &tree);
+    let p2 = prompt_with_pad(&m, 2);
+    let want = InferSession::new(&m).set_context(&m, &p2, &[]).to_vec();
+    let got = b.set_context(&m, &p2, &[]).to_vec();
+    assert_eq!(got, want);
+    assert!(b.prefix_hit_tokens() > 0, "preamble must be adopted");
+    assert!(
+        (b.prefill_positions() + b.prefix_hit_tokens()) as usize == b.len(),
+        "adopted + embedded covers the context exactly"
+    );
+}
+
+#[test]
+fn bounded_slab_fails_typed_and_recovers_after_clear() {
+    let m = model();
+    // Far too small for one prompt (7 rows need 2 pages of 4).
+    let slab = PageSlab::new(m.cfg.d_model, 4, 1);
+    let tree = PrefixCache::new(0);
+    let p = prompt_with_pad(&m, 3);
+
+    let mut s = shared_session(&m, &slab, &tree);
+    assert_eq!(s.try_set_context(&m, &p, &[]), Err(PagesExhausted));
+    drop(s);
+    tree.clear();
+    assert_eq!(slab.pages_in_use(), 0, "failure must strand no pages");
+
+    // A big-enough slab succeeds, and dropping session + tree frees all.
+    let slab = PageSlab::new(m.cfg.d_model, 4, 4096);
+    let mut s = shared_session(&m, &slab, &tree);
+    s.set_context(&m, &p, &[]);
+    assert!(slab.pages_in_use() > 0);
+    drop(s);
+    assert!(slab.pages_in_use() > 0, "published snapshot pins pages");
+    tree.clear();
+    assert_eq!(slab.pages_in_use(), 0, "clear releases the snapshot pages");
+}

@@ -1,7 +1,8 @@
 //! Deterministic fault injection for chaos testing.
 //!
 //! A [`FaultPlan`] names *injection points* — stable string labels such as
-//! `socket.read`, `worker.exec`, `artifact.read`, `reload.swap` — and for
+//! `socket.read`, `worker.exec`, `sched.step`, `artifact.read`,
+//! `reload.swap` — and for
 //! each point a [`FaultKind`], an injection rate, and an optional cap on
 //! how many times the fault may fire.  Production code consults a point
 //! with [`check`]; the armed plan decides **deterministically** whether

@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use chain_reason::{ChainOutput, ChainStepper, StepOutcome};
 use facs::au::{ActionUnit, AuSet, AuVector, NUM_AUS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +27,9 @@ use crate::registry::ModelEntry;
 
 /// Hard cap on frames accepted in either input form.
 pub const MAX_FRAMES: usize = 256;
+
+/// Hard cap on `chain_repeats` — the per-request work-size knob.
+pub const MAX_REPEATS: u32 = 8;
 
 /// The one machine-readable error body every non-2xx response carries:
 /// `{"error":{"code":…,"message":…,"retry_after"?:…}}`.
@@ -75,6 +79,10 @@ pub struct PredictRequest {
     pub seed: u64,
     /// The clip to classify.
     pub video: VideoSample,
+    /// Describe→assess→highlight passes to run before scoring (≥ 1).
+    /// Extra passes add decode work without changing the answer — the
+    /// knob mixed short/long serving loads are expressed with.
+    pub repeats: u32,
 }
 
 /// A parsed explain request.
@@ -239,8 +247,22 @@ pub fn parse_predict(
     let seed = require(&doc, "seed")?
         .as_u64()
         .ok_or_else(|| ApiError::bad("seed must be a non-negative integer"))?;
+    let repeats = doc
+        .get("chain_repeats")
+        .map(|v| {
+            v.as_u64()
+                .filter(|&r| (1..=MAX_REPEATS as u64).contains(&r))
+                .ok_or_else(|| ApiError::bad(format!("chain_repeats must be in 1..={MAX_REPEATS}")))
+        })
+        .transpose()?
+        .unwrap_or(1) as u32;
     let video = parse_input(require(&doc, "input")?, &world)?;
-    Ok(PredictRequest { model, seed, video })
+    Ok(PredictRequest {
+        model,
+        seed,
+        video,
+        repeats,
+    })
 }
 
 /// Parse a `/v1/explain` body against the registry.
@@ -326,9 +348,12 @@ pub struct DeadlineExceeded;
 /// budget stops consuming compute at the next boundary instead of running
 /// the chain to completion for a client that already gave up.
 ///
-/// The stage sequence, temperatures and seed stream are exactly those of
+/// Runs the chain through [`ChainStepper`] — the same resumable state
+/// machine the continuous-batching scheduler interleaves — driven to
+/// completion on a private session.  The stepper is bit-identical to
 /// `predict_scored_with_session`, so a run that finishes under the
-/// deadline produces bytes identical to the deadline-free path.
+/// deadline produces bytes identical to the deadline-free path (and to the
+/// scheduler's, whatever its co-tenants).
 pub fn predict_response_with_stats_deadline(
     entry: &ModelEntry,
     req: &PredictRequest,
@@ -343,37 +368,50 @@ pub fn predict_response_with_stats_deadline(
     };
     let chain_seed = runtime::stream_seed(req.seed, 0);
     let pipeline = &entry.pipeline;
-    let mut session = pipeline.session();
-    check()?;
-    let description = pipeline.describe_with_session(&mut session, &req.video, 0.0, chain_seed);
-    check()?;
-    let assessment =
-        pipeline.assess_with_session(&mut session, &req.video, description, 0.0, chain_seed);
-    check()?;
-    let rationale = pipeline.highlight_with_session(
-        &mut session,
-        &req.video,
-        description,
-        assessment,
-        0.0,
+    let mut stepper = ChainStepper::new(
+        pipeline,
+        pipeline.session(),
+        req.video.clone(),
         chain_seed,
+        req.repeats.max(1),
     );
     check()?;
-    let score = pipeline.stress_score_with_session(&mut session, &req.video, description);
+    loop {
+        // A private session sits on an unbounded slab: never exhausted.
+        match stepper.step(pipeline).expect("unbounded kv slab") {
+            StepOutcome::Token => {}
+            StepOutcome::StageBoundary => check()?,
+            StepOutcome::Finished => break,
+        }
+    }
+    let (output, score) = stepper.finish();
+    let body = predict_body(entry, req, &output, score);
+    Ok((body, stepper.session().decoded_tokens()))
+}
+
+/// Serialize a finished chain into the predict response body — the pure
+/// function of `(entry, request, output, score)` both the inline path and
+/// the continuous-batching scheduler answer with.
+pub(crate) fn predict_body(
+    entry: &ModelEntry,
+    req: &PredictRequest,
+    output: &ChainOutput,
+    score: f32,
+) -> Json {
     let mut regions: Vec<&'static str> = Vec::new();
-    for au in rationale.iter() {
+    for au in output.rationale.iter() {
         let r = au.region().name();
         if !regions.contains(&r) {
             regions.push(r);
         }
     }
-    let body = obj(vec![
+    obj(vec![
         ("model", Json::String(entry.name.clone())),
         ("seed", Json::Number(req.seed as f64)),
-        ("assessment", Json::String(assessment.to_string())),
+        ("assessment", Json::String(output.assessment.to_string())),
         ("score", Json::Number(score as f64)),
-        ("description", au_set_json(description)),
-        ("rationale", au_set_json(rationale)),
+        ("description", au_set_json(output.description)),
+        ("rationale", au_set_json(output.rationale)),
         (
             "highlighted_regions",
             Json::Array(
@@ -383,8 +421,7 @@ pub fn predict_response_with_stats_deadline(
                     .collect(),
             ),
         ),
-    ]);
-    Ok((body, session.decoded_tokens()))
+    ])
 }
 
 /// Run a perturbation explainer and build the explain response body.
@@ -476,6 +513,41 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.video.num_frames(), 4);
         assert_eq!(a.video.au_at(2).0, b.video.au_at(2).0);
+    }
+
+    #[test]
+    fn chain_repeats_parses_defaults_and_rejects() {
+        let req = parse_predict(&spec_body(7), lookup).unwrap();
+        assert_eq!(req.repeats, 1, "absent chain_repeats defaults to 1");
+        let body = br#"{"model":"uvsd_sim","seed":1,"chain_repeats":4,"input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#;
+        assert_eq!(parse_predict(body, lookup).unwrap().repeats, 4);
+        for bad in [
+            &br#"{"model":"uvsd_sim","seed":1,"chain_repeats":0,"input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#[..],
+            br#"{"model":"uvsd_sim","seed":1,"chain_repeats":9,"input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#,
+            br#"{"model":"uvsd_sim","seed":1,"chain_repeats":"two","input":{"spec":{"subject_seed":1,"condition":"stressed"}}}"#,
+        ] {
+            let err = parse_predict(bad, lookup).unwrap_err();
+            assert_eq!(err.status, 400, "{:?}", err.message);
+        }
+    }
+
+    #[test]
+    fn repeats_change_work_but_not_the_answer_fields() {
+        let registry = Registry::untrained(11);
+        let entry = registry.get("uvsd_sim").unwrap();
+        let mut req = parse_predict(&spec_body(7), lookup).unwrap();
+        let (one, one_tokens) = predict_response_with_stats(entry, &req);
+        req.repeats = 3;
+        let (three, three_tokens) = predict_response_with_stats(entry, &req);
+        assert_eq!(
+            one.get("assessment").unwrap().to_text(),
+            three.get("assessment").unwrap().to_text()
+        );
+        assert_eq!(
+            one.get("score").unwrap().to_text(),
+            three.get("score").unwrap().to_text()
+        );
+        assert!(three_tokens > one_tokens, "repeats must add decode work");
     }
 
     #[test]

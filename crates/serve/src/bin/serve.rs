@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:8472] [--scale smoke|full] [--seed N]
-//!       [--threads N] [--queue-cap N] [--max-batch N] [--window-ms N]
+//!       [--threads N] [--queue-cap N] [--max-running N]
+//!       [--kv-pages N] [--page-rows N] [--sched continuous|window]
 //!       [--deadline-ms N] [--io-timeout-ms N] [--max-body-bytes N]
 //!       [--max-inflight-explain N] [--fault-plan SPEC]
 //!       [--kernel-tier exact|fast|fast-q8]
@@ -15,6 +16,12 @@
 //! - `--model-dir DIR`: load every `*.srcr` artifact in `DIR` — zero
 //!   training at startup, and `POST /admin/reload` re-reads the directory
 //!   for hot-swaps.
+//!
+//! Scheduler knobs: `--max-running` caps the running batch, `--kv-pages`
+//! bounds the per-model KV page slab (0 = unbounded; exhaustion preempts
+//! and eventually answers 503 `kv_exhausted`), `--page-rows` sets the KV
+//! page granularity, and `--sched window` reverts to the classic
+//! drain-then-admit micro-batcher for comparison.
 //!
 //! Robustness knobs: `--deadline-ms` bounds each predict end-to-end
 //! (503 `deadline_exceeded` past it), `--io-timeout-ms` bounds how long a
@@ -31,8 +38,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serve::{
-    ArtifactProvider, BatchConfig, ModelProvider, Server, ServerConfig, TrainedProvider,
-    UntrainedProvider,
+    ArtifactProvider, ModelProvider, SchedConfig, SchedPolicy, Server, ServerConfig,
+    TrainedProvider, UntrainedProvider,
 };
 use videosynth::dataset::Scale;
 
@@ -41,7 +48,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     threads: usize,
-    batch: BatchConfig,
+    sched: SchedConfig,
     deadline: Option<Duration>,
     io_timeout: Duration,
     max_body: usize,
@@ -59,7 +66,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Smoke,
         seed: 7,
         threads: 0,
-        batch: BatchConfig::default(),
+        sched: SchedConfig::default(),
         deadline: defaults.deadline,
         io_timeout: defaults.io_timeout,
         max_body: defaults.max_body,
@@ -92,21 +99,31 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--queue-cap" => {
-                args.batch.queue_cap = value("--queue-cap")?
+                args.sched.queue_cap = value("--queue-cap")?
                     .parse()
                     .map_err(|e| format!("--queue-cap: {e}"))?
             }
-            "--max-batch" => {
-                args.batch.max_batch = value("--max-batch")?
+            "--max-running" => {
+                args.sched.max_running = value("--max-running")?
                     .parse()
-                    .map_err(|e| format!("--max-batch: {e}"))?
+                    .map_err(|e| format!("--max-running: {e}"))?
             }
-            "--window-ms" => {
-                args.batch.window = Duration::from_millis(
-                    value("--window-ms")?
-                        .parse()
-                        .map_err(|e| format!("--window-ms: {e}"))?,
-                )
+            "--kv-pages" => {
+                args.sched.kv_pages = value("--kv-pages")?
+                    .parse()
+                    .map_err(|e| format!("--kv-pages: {e}"))?
+            }
+            "--page-rows" => {
+                args.sched.page_rows = value("--page-rows")?
+                    .parse()
+                    .map_err(|e| format!("--page-rows: {e}"))?
+            }
+            "--sched" => {
+                args.sched.policy = match value("--sched")?.as_str() {
+                    "continuous" => SchedPolicy::Continuous,
+                    "window" => SchedPolicy::Window,
+                    other => return Err(format!("unknown policy {other:?} (continuous|window)")),
+                }
             }
             "--deadline-ms" => {
                 let ms: u64 = value("--deadline-ms")?
@@ -201,7 +218,7 @@ fn main() {
         provider,
         ServerConfig {
             addr: args.addr,
-            batch: args.batch,
+            sched: args.sched,
             threads: args.threads,
             deadline: args.deadline,
             io_timeout: args.io_timeout,
@@ -231,9 +248,11 @@ fn main() {
     server.shutdown();
     let m = server.metrics();
     eprintln!(
-        "served {} requests ({} batches, {} faults injected); bye",
+        "served {} requests ({} sched rounds, {} prefix-hit tokens, {} faults injected); bye",
         m.served(),
-        m.batches.load(std::sync::atomic::Ordering::Relaxed),
+        m.sched_rounds.load(std::sync::atomic::Ordering::Relaxed),
+        m.prefix_hit_tokens
+            .load(std::sync::atomic::Ordering::Relaxed),
         runtime::faults::injected_total()
     );
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! servebench --addr 127.0.0.1:8472 --mode closed --requests 200 \
 //!            [--concurrency 4] [--model uvsd_sim] [--seed 7] [--frames 6]
-//! servebench --addr 127.0.0.1:8472 --mode open --rate 50 --duration-s 5
+//! servebench --addr 127.0.0.1:8472 --mode open --rate 50 --duration-s 5 \
+//!            [--mix 3:1] [--long-repeats 6] [--out RECORD.json] [--label name]
 //! ```
 //!
 //! Closed loop: `--concurrency` workers each hold one keep-alive
@@ -12,6 +13,16 @@
 //! schedule at `--rate` per second regardless of completions (one
 //! short-lived connection each), which is what exposes queueing collapse
 //! and admission control under overload.
+//!
+//! `--mix S:L` switches the workload to a deterministic short/long blend:
+//! each cycle of `S+L` requests issues `S` short chains (one repeat) and
+//! `L` long ones (`chain_repeats` from `--long-repeats`), drawn from a
+//! fixed pool of four request shapes.  Because responses are pure
+//! functions of `(model, request)` and repeats never change the answer,
+//! every request in a pool class must return byte-identical bodies — the
+//! run doubles as a determinism canary and fails on any divergence.
+//! `--out` writes the run record as JSON (see `scripts/bench_serve.sh`);
+//! `--label` names the record.
 //!
 //! Retries: `--retries N` re-issues requests that fail on transport or
 //! come back 429/503/5xx, with exponential backoff from `--backoff-ms`
@@ -29,8 +40,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use evalkit::timing::p50_p95_p99;
+use serve::api::MAX_REPEATS;
 use serve::http::{read_response, write_request};
-use serve::json::Json;
+use serve::json::{obj, Json};
+
+/// Number of distinct request shapes a `--mix` run cycles through; small
+/// on purpose so the scheduler's prefix cache sees repeats.
+const POOL: usize = 4;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -50,6 +66,11 @@ struct Args {
     frames: usize,
     retries: u32,
     backoff: Duration,
+    /// `--mix S:L` — shorts and longs per cycle (None = legacy spread).
+    mix: Option<(usize, usize)>,
+    long_repeats: u32,
+    out: Option<String>,
+    label: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +86,10 @@ fn parse_args() -> Result<Args, String> {
         frames: 6,
         retries: 0,
         backoff: Duration::from_millis(50),
+        mix: None,
+        long_repeats: 6,
+        out: None,
+        label: "run".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -118,6 +143,26 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(parse_err("--backoff-ms"))?,
                 )
             }
+            "--mix" => {
+                let spec = value("--mix")?;
+                let (s, l) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--mix wants SHORT:LONG, got {spec:?}"))?;
+                let s: usize = s.parse().map_err(|e| format!("--mix short: {e}"))?;
+                let l: usize = l.parse().map_err(|e| format!("--mix long: {e}"))?;
+                if s + l == 0 {
+                    return Err("--mix needs at least one request per cycle".into());
+                }
+                args.mix = Some((s, l));
+            }
+            "--long-repeats" => {
+                args.long_repeats = value("--long-repeats")?
+                    .parse::<u32>()
+                    .map_err(parse_err("--long-repeats"))?
+                    .clamp(1, MAX_REPEATS)
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--label" => args.label = value("--label")?,
             "--model" => args.model = value("--model")?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(parse_err("--seed"))?,
             "--frames" => {
@@ -134,7 +179,33 @@ fn parse_args() -> Result<Args, String> {
 
 /// The i-th request body: a deterministic spread over subjects, samples
 /// and conditions, so a run exercises varied inputs reproducibly.
+///
+/// With `--mix` armed the body is instead drawn from a pool of [`POOL`]
+/// fixed shapes (class `i % POOL`), decorated with `chain_repeats` per
+/// the short/long cycle — same class ⇒ same answer bytes, which is what
+/// the canary checks.
 fn body(args: &Args, i: usize) -> Vec<u8> {
+    if let Some((shorts, longs)) = args.mix {
+        let class = i % POOL;
+        let condition = if class.is_multiple_of(2) {
+            "stressed"
+        } else {
+            "unstressed"
+        };
+        let repeats = if i % (shorts + longs) < shorts {
+            1
+        } else {
+            args.long_repeats
+        };
+        return format!(
+            r#"{{"model":"{}","seed":{},"chain_repeats":{repeats},"input":{{"spec":{{"subject_seed":{},"condition":"{condition}","sample_id":{class},"num_frames":{}}}}}}}"#,
+            args.model,
+            args.seed.wrapping_add(class as u64),
+            args.seed.wrapping_add(class as u64),
+            args.frames,
+        )
+        .into_bytes();
+    }
     let condition = if i.is_multiple_of(2) {
         "stressed"
     } else {
@@ -164,7 +235,13 @@ struct Tally {
     retries: AtomicU64,
     /// Shed responses observed (429/503), whether or not a retry won.
     shed: AtomicU64,
+    /// `--mix` canary violations: 200 bodies that diverged from the first
+    /// response seen for the same pool class.
+    canary_err: AtomicU64,
 }
+
+/// First 200 body seen per `--mix` pool class; later bodies must match.
+type Canary = Mutex<[Option<String>; POOL]>;
 
 /// Whether a non-2xx body follows the unified error schema.
 fn error_schema_ok(body: &str) -> bool {
@@ -193,8 +270,8 @@ fn connect(addr: &str) -> Option<Conn> {
 
 /// What a single wire attempt produced.
 enum Attempt {
-    /// 200 with the latency in milliseconds.
-    Ok(f64),
+    /// 200 with the latency in milliseconds and the response body.
+    Ok(f64, String),
     /// A status the retry policy may act on.
     Status {
         status: u16,
@@ -219,7 +296,9 @@ fn attempt(conn: &mut Conn, raw: &[u8], keep_alive: bool) -> Attempt {
         return Attempt::Transport;
     }
     match read_response(&mut conn.reader) {
-        Ok(resp) if resp.status == 200 => Attempt::Ok(started.elapsed().as_secs_f64() * 1e3),
+        Ok(resp) if resp.status == 200 => {
+            Attempt::Ok(started.elapsed().as_secs_f64() * 1e3, resp.body_text())
+        }
         Ok(resp) => Attempt::Status {
             status: resp.status,
             retry_after: resp.header("retry-after").and_then(|v| v.parse().ok()),
@@ -244,12 +323,14 @@ fn splitmix64(mut x: u64) -> u64 {
 fn one_request(
     args: &Args,
     i: usize,
-    raw: &[u8],
     keep_alive: bool,
     conn: &mut Option<Conn>,
     tally: &Tally,
     latencies: &Mutex<Vec<f64>>,
+    canary: Option<&Canary>,
 ) {
+    let raw = body(args, i);
+    let raw = raw.as_slice();
     for try_no in 0..=args.retries {
         if try_no > 0 {
             tally.retries.fetch_add(1, Ordering::Relaxed);
@@ -273,7 +354,17 @@ fn one_request(
         // `bucket`: where the failure lands in the tally if the retry
         // budget runs out on this attempt.
         let (retry_after, bucket) = match outcome {
-            Attempt::Ok(ms) => {
+            Attempt::Ok(ms, body) => {
+                if let Some(canary) = canary {
+                    let mut slots = canary.lock().expect("canary lock");
+                    match &slots[i % POOL] {
+                        Some(first) if *first != body => {
+                            tally.canary_err.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(_) => {}
+                        None => slots[i % POOL] = Some(body),
+                    }
+                }
                 tally.ok.fetch_add(1, Ordering::Relaxed);
                 latencies.lock().expect("latency lock").push(ms);
                 return;
@@ -331,15 +422,14 @@ fn one_request(
     }
 }
 
-fn run_closed(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) {
+fn run_closed(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>, canary: Option<&Canary>) {
     std::thread::scope(|scope| {
         for w in 0..args.concurrency {
             scope.spawn(move || {
                 let mut conn = connect(&args.addr);
                 let mut i = w;
                 while i < args.requests {
-                    let raw = body(args, i);
-                    one_request(args, i, &raw, true, &mut conn, tally, latencies);
+                    one_request(args, i, true, &mut conn, tally, latencies, canary);
                     i += args.concurrency;
                 }
             });
@@ -347,7 +437,12 @@ fn run_closed(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) {
     });
 }
 
-fn run_open(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) -> usize {
+fn run_open(
+    args: &Args,
+    tally: &Tally,
+    latencies: &Mutex<Vec<f64>>,
+    canary: Option<&Canary>,
+) -> usize {
     let interval = Duration::from_secs_f64(1.0 / args.rate);
     let start = Instant::now();
     let mut fired = 0usize;
@@ -359,9 +454,8 @@ fn run_open(args: &Args, tally: &Tally, latencies: &Mutex<Vec<f64>>) -> usize {
             }
             let i = fired;
             scope.spawn(move || {
-                let raw = body(args, i);
                 let mut conn = None;
-                one_request(args, i, &raw, false, &mut conn, tally, latencies);
+                one_request(args, i, false, &mut conn, tally, latencies, canary);
             });
             fired += 1;
         }
@@ -380,24 +474,29 @@ fn main() {
 
     let tally = Arc::new(Tally::default());
     let latencies = Arc::new(Mutex::new(Vec::new()));
+    let canary: Option<Canary> = args.mix.map(|_| Mutex::new(std::array::from_fn(|_| None)));
+    let mix_tag = match args.mix {
+        Some((s, l)) => format!(" mix={s}:{l}(x{})", args.long_repeats),
+        None => String::new(),
+    };
     let started = Instant::now();
     let issued = match args.mode {
         Mode::Closed => {
             println!(
-                "servebench: mode=closed requests={} concurrency={} model={}",
+                "servebench: mode=closed requests={} concurrency={} model={}{mix_tag}",
                 args.requests, args.concurrency, args.model
             );
-            run_closed(&args, &tally, &latencies);
+            run_closed(&args, &tally, &latencies, canary.as_ref());
             args.requests
         }
         Mode::Open => {
             println!(
-                "servebench: mode=open rate={}/s duration={}s model={}",
+                "servebench: mode=open rate={}/s duration={}s model={}{mix_tag}",
                 args.rate,
                 args.duration.as_secs(),
                 args.model
             );
-            run_open(&args, &tally, &latencies)
+            run_open(&args, &tally, &latencies, canary.as_ref())
         }
     };
     let wall = started.elapsed().as_secs_f64();
@@ -409,13 +508,26 @@ fn main() {
     let schema = tally.schema_err.load(Ordering::Relaxed);
     let retries = tally.retries.load(Ordering::Relaxed);
     let shed = tally.shed.load(Ordering::Relaxed);
+    let canary_err = tally.canary_err.load(Ordering::Relaxed);
     println!(
         "  issued={issued} ok={ok} client_err={client} server_err={server} transport_err={transport} schema_err={schema} retries={retries} shed={shed}"
     );
-    println!("  wall={wall:.3}s throughput={:.1} req/s", ok as f64 / wall);
+    if args.mix.is_some() {
+        println!(
+            "  canary: {}",
+            if canary_err == 0 {
+                "all pool classes byte-identical".into()
+            } else {
+                format!("{canary_err} DIVERGENT bodies")
+            }
+        );
+    }
+    let throughput = ok as f64 / wall;
+    println!("  wall={wall:.3}s throughput={throughput:.1} req/s");
     let mut ms = latencies.lock().expect("latency lock").clone();
-    if ms.is_empty() {
+    let stats = if ms.is_empty() {
         println!("  latency: no successful requests");
+        None
     } else {
         let mean = ms.iter().sum::<f64>() / ms.len() as f64;
         let max = ms.iter().cloned().fold(f64::MIN, f64::max);
@@ -423,12 +535,65 @@ fn main() {
         println!(
             "  latency ms: p50={p50:.2} p95={p95:.2} p99={p99:.2} mean={mean:.2} max={max:.2}"
         );
+        Some([p50, p95, p99, mean, max])
+    };
+
+    if let Some(path) = &args.out {
+        let [p50, p95, p99, mean, max] = stats.unwrap_or([f64::NAN; 5]);
+        let record = obj(vec![
+            ("label", Json::String(args.label.clone())),
+            (
+                "mode",
+                Json::String(
+                    match args.mode {
+                        Mode::Closed => "closed",
+                        Mode::Open => "open",
+                    }
+                    .into(),
+                ),
+            ),
+            ("rate", Json::Number(args.rate)),
+            ("duration_s", Json::Number(args.duration.as_secs_f64())),
+            (
+                "mix",
+                match args.mix {
+                    Some((s, l)) => Json::String(format!("{s}:{l}")),
+                    None => Json::Null,
+                },
+            ),
+            ("long_repeats", Json::Number(args.long_repeats as f64)),
+            ("issued", Json::Number(issued as f64)),
+            ("ok", Json::Number(ok as f64)),
+            ("shed", Json::Number(shed as f64)),
+            ("server_err", Json::Number(server as f64)),
+            ("transport_err", Json::Number(transport as f64)),
+            ("canary_err", Json::Number(canary_err as f64)),
+            ("ok_throughput_rps", Json::Number(throughput)),
+            (
+                "latency_ms",
+                obj(vec![
+                    ("p50", Json::Number(p50)),
+                    ("p95", Json::Number(p95)),
+                    ("p99", Json::Number(p99)),
+                    ("mean", Json::Number(mean)),
+                    ("max", Json::Number(max)),
+                ]),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(path, record.to_text() + "\n") {
+            eprintln!("servebench: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  record written to {path}");
     }
 
     // Closed-loop runs demand a clean sweep; open-loop runs tolerate
     // admission-control rejections (that is what they are for).  Either
-    // way, every non-2xx body must follow the unified error schema.
+    // way, every non-2xx body must follow the unified error schema, and a
+    // `--mix` canary divergence is always fatal — it means the scheduler
+    // broke the determinism contract.
     let failed = schema > 0
+        || canary_err > 0
         || match args.mode {
             Mode::Closed => ok as usize != issued,
             Mode::Open => server + transport > 0,

@@ -362,20 +362,29 @@ impl Response {
     }
 
     /// Serialize to the wire, stamping the connection disposition.
+    ///
+    /// The whole response is assembled into one buffer and sent with a
+    /// single write: one syscall instead of one per header line, and a
+    /// write failure (real or injected at `socket.write`) severs the
+    /// response before any bytes leave rather than mid-headers — a peer
+    /// can never mistake a truncated header block for a complete
+    /// empty-bodied response.
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
-        write!(w, "Content-Type: {}\r\n", self.content_type)?;
-        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        let mut buf = Vec::with_capacity(self.body.len() + 256);
+        write!(buf, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        write!(buf, "Content-Type: {}\r\n", self.content_type)?;
+        write!(buf, "Content-Length: {}\r\n", self.body.len())?;
         write!(
-            w,
+            buf,
             "Connection: {}\r\n",
             if keep_alive { "keep-alive" } else { "close" }
         )?;
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            write!(buf, "{name}: {value}\r\n")?;
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+        w.write_all(&buf)?;
         w.flush()
     }
 }

@@ -6,14 +6,15 @@
 //! method.  Everything is hand-rolled over `std` (see DESIGN.md §2: the
 //! workspace builds without registry access).
 //!
-//! The serving core is a micro-batching scheduler: requests admitted
-//! through a bounded queue are grouped into small batches and dispatched
-//! through the deterministic [`runtime::Pool`], trading a bounded batching
-//! window of latency for parallel throughput.  Responses are pure
-//! functions of `(model, request)`, so a request with a fixed seed is
-//! byte-identical no matter how it was batched or how many worker threads
-//! ran it — the serving layer inherits the workspace's reproducibility
-//! guarantee instead of breaking it.
+//! The serving core is a continuous-batching scheduler ([`sched`]):
+//! requests admitted through a bounded queue join the running batch at
+//! token boundaries and leave the moment they finish, over paged KV
+//! allocation and a cross-request prefix cache so identical prompt
+//! preambles are prefilled once and shared by reference.  Responses are
+//! pure functions of `(model, request)`, so a request with a fixed seed is
+//! byte-identical no matter its co-tenants, scheduling order, page size or
+//! worker count — the serving layer inherits the workspace's
+//! reproducibility guarantee instead of breaking it.
 //!
 //! Models come from a [`ModelProvider`]: trained at boot
 //! ([`TrainedProvider`]), instant untrained tiny models
@@ -36,18 +37,18 @@
 //! `POST /admin/shutdown`.
 
 pub mod api;
-pub mod batch;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod sched;
 pub mod server;
 
 // One config construction path across `core`, `serve` and `bench`.
 pub use chain_reason::{ConfigError, PipelineConfig, PipelineConfigBuilder};
 
-pub use batch::{BatchConfig, JobError, Scheduler, SubmitError};
 pub use registry::{
     ArtifactProvider, ModelEntry, ModelProvider, Registry, TrainedProvider, UntrainedProvider,
 };
+pub use sched::{JobError, SchedConfig, SchedPolicy, Scheduler, SubmitError};
 pub use server::{Server, ServerConfig};

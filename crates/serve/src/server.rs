@@ -19,8 +19,10 @@
 //! slow-loris peers get `408` at the parse deadline; oversized bodies
 //! `413`; overloaded explain degrades to cached-or-`429` while predict
 //! stays live; `/admin/reload` sits behind a circuit breaker and rolls
-//! back to the last-good registry if a swap fails midway.  Socket reads,
-//! socket writes and reloads are chaos points — see `runtime::faults`.
+//! back to the last-good registry if a swap fails midway; KV page-slab
+//! exhaustion preempts and retries before answering `503 kv_exhausted`.
+//! Socket reads, socket writes, reloads, worker execution and scheduler
+//! rounds are chaos points — see `runtime::faults`.
 //!
 //! Graceful drain order (see [`Server::shutdown`]): flip the shutdown
 //! flag, drain the scheduler (everything already admitted completes; new
@@ -36,11 +38,11 @@ use std::time::{Duration, Instant};
 use runtime::faults::{self, FaultyRead, FaultyWrite};
 
 use crate::api;
-use crate::batch::{BatchConfig, JobError, Scheduler, SubmitError};
 use crate::http::{parse_request_limited, HttpError, ParseLimits, Request, Response};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::registry::{ModelProvider, Registry};
+use crate::sched::{JobError, SchedConfig, Scheduler, SubmitError};
 
 /// How long the accept loop sleeps between polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -70,12 +72,13 @@ const EXPLAIN_CACHE_CAP: usize = 64;
 pub struct ServerConfig {
     /// Bind address ("127.0.0.1:0" picks an ephemeral port).
     pub addr: String,
-    /// Micro-batching knobs.
-    pub batch: BatchConfig,
-    /// Worker threads for batch dispatch (0 = all cores / `SRCR_THREADS`).
+    /// Continuous-batching scheduler knobs.
+    pub sched: SchedConfig,
+    /// Worker threads for scheduler dispatch (0 = all cores /
+    /// `SRCR_THREADS`).
     pub threads: usize,
     /// Per-request deadline from admission to response body, checked at
-    /// admission, batch dispatch and every decode-stage boundary.
+    /// admission, first step and every decode-stage boundary.
     /// `None` disables the bound.
     pub deadline: Option<Duration>,
     /// How long one request may take to *arrive* in full (slow-loris
@@ -92,7 +95,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
-            batch: BatchConfig::default(),
+            sched: SchedConfig::default(),
             threads: 0,
             deadline: None,
             io_timeout: Duration::from_secs(5),
@@ -182,7 +185,7 @@ impl Server {
 
         let metrics = Arc::new(Metrics::new());
         let pool = Arc::new(runtime::Pool::new(cfg.threads));
-        let scheduler = Scheduler::start(pool, Arc::clone(&metrics), cfg.batch);
+        let scheduler = Scheduler::start(pool, Arc::clone(&metrics), cfg.sched);
         let state = Arc::new(State {
             registry: RwLock::new(registry),
             provider,
@@ -567,7 +570,15 @@ fn predict(req: &Request, state: &State) -> Response {
             // The panic was isolated to this job; everything else in the
             // batch (and the pool) carried on.
             Ok(Err(JobError::Panicked(msg))) => error_response(500, "worker_panicked", &msg, None),
-            // The batcher is gone mid-flight — only on unclean teardown.
+            // The KV page slab is too small for the offered load; the
+            // request was preempted past its retry budget.
+            Ok(Err(JobError::ResourcesExhausted)) => error_response(
+                503,
+                "kv_exhausted",
+                "kv page slab exhausted; retry later or raise --kv-pages",
+                Some(1),
+            ),
+            // The scheduler is gone mid-flight — only on unclean teardown.
             Err(_) => error_response(500, "internal", "scheduler stopped", None),
         },
         Err(SubmitError::QueueFull) => {

@@ -22,7 +22,7 @@ use std::time::Duration;
 use runtime::faults::{self, FaultKind, FaultPlan};
 use serve::http::{read_response, write_request, ClientResponse, HttpError};
 use serve::json::Json;
-use serve::{BatchConfig, Server, ServerConfig, UntrainedProvider};
+use serve::{SchedConfig, Server, ServerConfig, UntrainedProvider};
 
 const SEED: u64 = 11;
 
@@ -48,10 +48,10 @@ fn start(config: ServerConfig) -> Server {
 fn config(threads: usize) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".into(),
-        batch: BatchConfig {
+        sched: SchedConfig {
             queue_cap: 256,
-            max_batch: 4,
-            window: Duration::from_millis(2),
+            max_running: 4,
+            ..SchedConfig::default()
         },
         threads,
         ..ServerConfig::default()
@@ -213,22 +213,22 @@ fn chaos_sweep_survives_with_schema_errors_and_control_identical_successes() {
     server.shutdown();
 }
 
-/// A worker panic mid-batch fails only the faulted request: its 500 is
-/// schema-conforming, every sibling in the batch still gets bytes
-/// identical to the fault-free control.
+/// A worker panic mid-round fails only the faulted request: its 500 is
+/// schema-conforming, every co-tenant in the running batch still gets
+/// bytes identical to the fault-free control.
 #[test]
-fn worker_panic_mid_batch_fails_only_that_request() {
+fn worker_panic_mid_round_fails_only_that_request() {
     let _g = lock();
     faults::disarm();
     let _disarm = Disarm;
 
-    // A wide batching window herds the concurrent requests into one batch.
+    // max_running 4 lets the concurrent requests share scheduler rounds.
     let mut server = start(ServerConfig {
         addr: "127.0.0.1:0".into(),
-        batch: BatchConfig {
+        sched: SchedConfig {
             queue_cap: 64,
-            max_batch: 4,
-            window: Duration::from_millis(50),
+            max_running: 4,
+            ..SchedConfig::default()
         },
         threads: 2,
         ..ServerConfig::default()

@@ -1,0 +1,198 @@
+//! The continuous-batching determinism contract, end-to-end over real TCP:
+//!
+//! - a request with a fixed seed returns byte-identical responses no
+//!   matter the scheduler policy, running-batch cap, KV page size, worker
+//!   thread count, or which co-tenants share its rounds;
+//! - a chain preamble shared by concurrent requests is prefilled once and
+//!   adopted by every co-tenant (`serve_prefix_hit_tokens_total` vs
+//!   `serve_prefill_tokens_total`);
+//! - every KV page returns to the slab once the scheduler drains.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+use serve::http::{read_response, write_request, ClientResponse};
+use serve::{SchedConfig, SchedPolicy, Server, ServerConfig, UntrainedProvider};
+
+const SEED: u64 = 11;
+
+fn start(sched: SchedConfig, threads: usize) -> Server {
+    Server::start(
+        UntrainedProvider { seed: SEED },
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            sched,
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+}
+
+/// One request over a fresh connection.
+fn rpc(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> ClientResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    write_request(&mut stream, method, path, body, false).expect("write request");
+    read_response(&mut reader).expect("read response")
+}
+
+/// The i-th workload request: a small pool of shapes (so co-tenants share
+/// chain preambles) crossed with short/long `chain_repeats`.
+fn predict_body(i: usize) -> Vec<u8> {
+    let sample = i % 3;
+    let repeats = if i % 4 == 3 { 4 } else { 1 };
+    format!(
+        r#"{{"model":"uvsd_sim","seed":{},"chain_repeats":{repeats},"input":{{"spec":{{"subject_seed":3,"condition":"stressed","sample_id":{sample},"num_frames":4}}}}}}"#,
+        SEED + sample as u64,
+    )
+    .into_bytes()
+}
+
+/// Fire `n` requests concurrently and collect the bodies in request order.
+fn concurrent_predicts(addr: &str, n: usize) -> Vec<String> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let resp = rpc(addr, "POST", "/v1/predict", Some(&predict_body(i)));
+                    assert_eq!(resp.status, 200, "{}", resp.body_text());
+                    resp.body_text()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// The tentpole invariant: the same workload yields the same bytes per
+/// request across every scheduler shape — policy, running-batch cap, page
+/// granularity and thread count all included.  The reference shape is the
+/// degenerate one (one request at a time, tiny pages, one worker), so any
+/// co-tenancy effect in the wider shapes would show up as a diff.
+#[test]
+fn bytes_identical_across_policy_page_size_and_thread_shapes() {
+    const N: usize = 8;
+    let reference = {
+        let mut server = start(
+            SchedConfig {
+                max_running: 1,
+                page_rows: 4,
+                ..SchedConfig::default()
+            },
+            1,
+        );
+        let bodies = concurrent_predicts(&server.addr().to_string(), N);
+        server.shutdown();
+        bodies
+    };
+
+    let shapes = [
+        (SchedPolicy::Continuous, 2, 16, 1),
+        (SchedPolicy::Continuous, 4, 64, 4),
+        (SchedPolicy::Continuous, 4, 4, 4),
+        (SchedPolicy::Window, 4, 16, 4),
+    ];
+    for (policy, max_running, page_rows, threads) in shapes {
+        let mut server = start(
+            SchedConfig {
+                max_running,
+                page_rows,
+                policy,
+                ..SchedConfig::default()
+            },
+            threads,
+        );
+        let bodies = concurrent_predicts(&server.addr().to_string(), N);
+        server.shutdown();
+        for (i, (got, want)) in bodies.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got, want,
+                "request {i} diverged under policy={policy:?} \
+                 max_running={max_running} page_rows={page_rows} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Four co-tenants sharing one request shape must prefill the chain
+/// preamble once: the co-tenant run embeds barely more rows than a single
+/// request does alone, and the rest arrive as prefix-cache adoptions.
+#[test]
+fn shared_preamble_prefills_once_across_co_tenants() {
+    let body = predict_body(0);
+    let solo_prefill = {
+        let mut server = start(SchedConfig::default(), 2);
+        let resp = rpc(
+            &server.addr().to_string(),
+            "POST",
+            "/v1/predict",
+            Some(&body),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let prefill = server.metrics().prefill_tokens.load(Ordering::Relaxed);
+        server.shutdown();
+        prefill
+    };
+    assert!(solo_prefill > 0, "a lone request must prefill its context");
+
+    let mut server = start(SchedConfig::default(), 4);
+    let addr = server.addr().to_string();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (addr, body) = (&addr, &body);
+                scope.spawn(move || {
+                    let resp = rpc(addr, "POST", "/v1/predict", Some(body));
+                    assert_eq!(resp.status, 200, "{}", resp.body_text());
+                    resp.body_text()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "identical requests must answer identically");
+    }
+    let metrics = server.metrics();
+    let co_prefill = metrics.prefill_tokens.load(Ordering::Relaxed);
+    let adopted = metrics.prefix_hit_tokens.load(Ordering::Relaxed);
+    server.shutdown();
+    assert!(
+        adopted > 0,
+        "co-tenants must adopt the shared preamble from the prefix cache"
+    );
+    assert!(
+        co_prefill < solo_prefill + solo_prefill / 2,
+        "4 co-tenants embedded {co_prefill} rows, a lone request {solo_prefill}: \
+         the shared preamble was prefilled more than once"
+    );
+}
+
+/// Drain leak-check over a bounded slab: after the scheduler drains, every
+/// KV page is back in the free list — sessions, prefix-cache snapshots and
+/// CoW copies all account for their pages.
+#[test]
+fn all_pages_return_to_the_slab_after_drain() {
+    let mut server = start(
+        SchedConfig {
+            max_running: 4,
+            kv_pages: 512,
+            page_rows: 8,
+            ..SchedConfig::default()
+        },
+        2,
+    );
+    let bodies = concurrent_predicts(&server.addr().to_string(), 8);
+    assert_eq!(bodies.len(), 8);
+    let metrics = server.metrics();
+    server.shutdown();
+    assert_eq!(
+        metrics.kv_pages_in_use.load(Ordering::Relaxed),
+        0,
+        "pages leaked past drain"
+    );
+    assert!(metrics.kv_pages_total.load(Ordering::Relaxed) > 0);
+}

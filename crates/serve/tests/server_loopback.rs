@@ -1,30 +1,29 @@
 //! Loopback integration tests: a real server on an ephemeral port, real
 //! TCP clients, full lifecycle (predict → metrics → drain) plus the
-//! serving layer's determinism guarantee across batch/thread shapes.
+//! serving layer's determinism guarantee across scheduler/thread shapes.
 //!
 //! Uses untrained tiny models (`Registry::untrained`): the serving paths
-//! under test — routing, batching, admission control, reproducibility —
+//! under test — routing, scheduling, admission control, reproducibility —
 //! are identical to production, without paying for training in debug.
 
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::time::Duration;
 
 use serve::http::{read_response, write_request, ClientResponse};
 use serve::json::Json;
-use serve::{BatchConfig, Server, ServerConfig, UntrainedProvider};
+use serve::{SchedConfig, Server, ServerConfig, UntrainedProvider};
 
 const SEED: u64 = 11;
 
-fn start(queue_cap: usize, max_batch: usize, window: Duration, threads: usize) -> Server {
+fn start(queue_cap: usize, max_running: usize, threads: usize) -> Server {
     Server::start(
         UntrainedProvider { seed: SEED },
         ServerConfig {
             addr: "127.0.0.1:0".into(),
-            batch: BatchConfig {
+            sched: SchedConfig {
                 queue_cap,
-                max_batch,
-                window,
+                max_running,
+                ..SchedConfig::default()
             },
             threads,
             ..ServerConfig::default()
@@ -65,7 +64,7 @@ fn predict_body(seed: u64) -> Vec<u8> {
 
 #[test]
 fn predict_metrics_drain_lifecycle() {
-    let mut server = start(64, 4, Duration::from_millis(2), 2);
+    let mut server = start(64, 4, 2);
     let addr = server.addr().to_string();
 
     assert_eq!(rpc(&addr, "GET", "/healthz", None).status, 200);
@@ -167,17 +166,24 @@ fn predict_metrics_drain_lifecycle() {
 
 #[test]
 fn overload_answers_429_with_retry_after() {
-    // One-slot queue and a long batching window: while the batcher holds
-    // the first job waiting for stragglers, the queue stays full and
+    // One running slot, one queue slot, and max-length chains: while the
+    // first request decodes its 8 chain repeats, the queue stays full and
     // admission control must kick in.
-    let mut server = start(1, 4, Duration::from_millis(300), 1);
+    let mut server = start(1, 1, 1);
     let addr = server.addr().to_string();
 
+    let long_body = |seed: u64| {
+        format!(
+            r#"{{"model":"uvsd_sim","seed":{seed},"chain_repeats":8,"input":{{"spec":{{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}}}}"#
+        )
+        .into_bytes()
+    };
     let responses: Vec<ClientResponse> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..6)
             .map(|i| {
                 let addr = &addr;
-                scope.spawn(move || rpc(addr, "POST", "/v1/predict", Some(&predict_body(i))))
+                let body = long_body(i);
+                scope.spawn(move || rpc(addr, "POST", "/v1/predict", Some(&body)))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -213,12 +219,13 @@ fn overload_answers_429_with_retry_after() {
 #[test]
 fn responses_are_byte_identical_across_batch_and_thread_shapes() {
     let mut reference: Option<String> = None;
-    for (max_batch, threads) in [(1, 1), (4, 1), (1, 4), (4, 4)] {
-        let mut server = start(64, max_batch, Duration::from_millis(5), threads);
+    for (max_running, threads) in [(1, 1), (4, 1), (1, 4), (4, 4)] {
+        let mut server = start(64, max_running, threads);
         let addr = server.addr().to_string();
 
-        // Decoy traffic with different seeds keeps the batcher busy so the
-        // target request lands in differently-composed batches per shape.
+        // Decoy traffic with different seeds keeps the scheduler busy so
+        // the target request runs with differently-composed co-tenants per
+        // shape.
         let target: String = std::thread::scope(|scope| {
             for d in 0..3u64 {
                 let addr = &addr;
@@ -256,7 +263,7 @@ fn responses_are_byte_identical_across_batch_and_thread_shapes() {
             None => reference = Some(target),
             Some(r) => assert_eq!(
                 &target, r,
-                "response bytes changed at max_batch={max_batch} threads={threads}"
+                "response bytes changed at max_running={max_running} threads={threads}"
             ),
         }
         server.shutdown();
@@ -265,7 +272,7 @@ fn responses_are_byte_identical_across_batch_and_thread_shapes() {
 
 #[test]
 fn reload_hot_swaps_without_changing_deterministic_responses() {
-    let mut server = start(64, 4, Duration::from_millis(2), 2);
+    let mut server = start(64, 4, 2);
     let addr = server.addr().to_string();
 
     let before = rpc(&addr, "POST", "/v1/predict", Some(&predict_body(42)));
@@ -318,7 +325,7 @@ fn artifact_boot_serves_identical_bytes_with_zero_training() {
     }
 
     // ...and boot two servers: one from memory, one from the artifacts.
-    let mut trained_like = start(64, 4, Duration::from_millis(2), 2);
+    let mut trained_like = start(64, 4, 2);
     let provider = ArtifactProvider { dir: dir.clone() };
     let expected_hashes: Vec<u32> = provider
         .provide()
@@ -331,7 +338,6 @@ fn artifact_boot_serves_identical_bytes_with_zero_training() {
         provider,
         ServerConfig {
             addr: "127.0.0.1:0".into(),
-            batch: BatchConfig::default(),
             threads: 2,
             ..ServerConfig::default()
         },

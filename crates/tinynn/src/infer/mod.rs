@@ -14,8 +14,37 @@
 //! Nothing here allocates per step once the caches are warm: callers own
 //! reusable scratch buffers and the caches grow within pre-reserved
 //! capacity.
+//!
+//! [`paged`] provides the second cache representation: fixed-size pages
+//! drawn from a shared [`paged::PageSlab`] with per-sequence page tables,
+//! refcount sharing and copy-on-write — the storage behind cross-request
+//! prefix reuse in serving.  Both representations implement [`KvRows`], and
+//! [`attend_row`] / [`paged::attend_paged`] share one generic body, so paged
+//! attention is bit-identical to the flat cache by construction.
+
+pub mod paged;
+
+pub use paged::{attend_paged, PageSlab, PagedKv, PagesExhausted};
 
 use crate::kernels;
+
+/// Read access to `len` cached K/V rows of width `dim` — the interface
+/// [`attend_rows`] needs.  Implemented by the flat [`KvCache`] (the oracle)
+/// and the paged [`PagedKv`].
+pub trait KvRows {
+    /// Row width.
+    fn dim(&self) -> usize;
+    /// Cached row count.
+    fn len(&self) -> usize;
+    /// Whether no rows are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Key row `i`.
+    fn k_row(&self, i: usize) -> &[f32];
+    /// Value row `i`.
+    fn v_row(&self, i: usize) -> &[f32];
+}
 
 /// Per-layer key/value cache: `len` rows of width `d`, stored row-major in
 /// two flat buffers.  Rows are append-only at the back and truncatable from
@@ -78,6 +107,21 @@ impl KvCache {
     }
 }
 
+impl KvRows for KvCache {
+    fn dim(&self) -> usize {
+        KvCache::dim(self)
+    }
+    fn len(&self) -> usize {
+        KvCache::len(self)
+    }
+    fn k_row(&self, i: usize) -> &[f32] {
+        KvCache::k_row(self, i)
+    }
+    fn v_row(&self, i: usize) -> &[f32] {
+        KvCache::v_row(self, i)
+    }
+}
+
 /// Multi-head causal attention for a single query row against a cache that
 /// already contains the query's own position.
 ///
@@ -90,6 +134,21 @@ pub fn attend_row(
     out: &mut [f32],
     q: &[f32],
     cache: &KvCache,
+    heads: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+) {
+    attend_rows(out, q, cache, heads, scale, scores);
+}
+
+/// [`attend_row`] generalized over the cache representation.  The loop body
+/// visits rows `0..len` in increasing order for both the score pass and the
+/// value accumulation, so any two [`KvRows`] holding bitwise-equal rows
+/// produce bitwise-equal outputs.
+pub fn attend_rows<C: KvRows>(
+    out: &mut [f32],
+    q: &[f32],
+    cache: &C,
     heads: usize,
     scale: f32,
     scores: &mut Vec<f32>,

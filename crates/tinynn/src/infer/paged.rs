@@ -1,0 +1,460 @@
+//! Paged KV storage: fixed-size pages from a shared slab allocator, with
+//! per-sequence page tables, refcount sharing and copy-on-write.
+//!
+//! The flat [`super::KvCache`] owns its rows: capacity freed by `truncate`
+//! stays stranded in that session's `Vec`s and identical prefixes across
+//! concurrent requests are stored (and prefilled) once *per request*.  This
+//! module replaces the storage layer:
+//!
+//! - [`PageSlab`] hands out fixed-size pages (`page_rows` K rows + V rows of
+//!   width `d` in one buffer) from a free list, bounded by `max_pages`
+//!   (0 = unbounded).  Freed pages go back on the list — nothing strands.
+//! - [`PagedKv`] is a sequence's page table: `Vec<Arc<Page>>` plus a row
+//!   count.  `Clone` is cheap and *shares* the pages by refcount; a write to
+//!   a shared page copies it first (copy-on-write), so clones never observe
+//!   each other's appends.
+//! - [`attend_paged`] runs the exact attention loop from
+//!   [`super::attend_rows`] over a page table.  Pages preserve row order and
+//!   values bit-for-bit, and the loop visits rows `0..len` in the same
+//!   order, so paged attention is bitwise-identical to the flat cache.
+//!
+//! Bit-exactness of sharing: K/V rows for position `p` are pure functions of
+//! the item prefix `[0..=p]` given fixed model weights and kernel tier.
+//! Adopting another sequence's pages for a common prefix therefore yields
+//! exactly the rows recomputation would have produced.  Copy-on-write copies
+//! whole page buffers; rows at or past a sequence's `len` are never read and
+//! are overwritten before the length grows to cover them.
+//!
+//! Page buffers stay *owned by the slab's free list* between uses, so a
+//! drained server holds zero in-use pages — the leak check in the scheduler
+//! asserts exactly that.
+
+use std::sync::{Arc, Mutex};
+
+/// The shared slab has no free page left: every one of `max_pages` is held
+/// by a live sequence (or pinned by the prefix tree).  Callers unwind to a
+/// request boundary and retry or shed; sessions stay internally consistent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagesExhausted;
+
+impl std::fmt::Display for PagesExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kv page slab exhausted")
+    }
+}
+
+impl std::error::Error for PagesExhausted {}
+
+struct SlabInner {
+    /// Recycled page buffers, ready for reuse.
+    free: Vec<Box<[f32]>>,
+    /// Pages currently held by live `Page`s.
+    in_use: usize,
+    /// High-water mark of `in_use`.
+    peak: usize,
+    /// Total pages ever materialized (`in_use + free.len()`).
+    allocated: usize,
+}
+
+/// Fixed-size page allocator shared by every sequence of one model.
+///
+/// A page stores `page_rows` K rows followed by `page_rows` V rows, each of
+/// width `d`, in one `2 * page_rows * d` float buffer.  `max_pages` bounds
+/// how many pages may be live at once (`0` = unbounded, the default for
+/// standalone sessions); at the bound, [`PagedKv::append`] returns
+/// [`PagesExhausted`] instead of allocating.
+pub struct PageSlab {
+    d: usize,
+    page_rows: usize,
+    max_pages: usize,
+    inner: Mutex<SlabInner>,
+}
+
+impl std::fmt::Debug for PageSlab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageSlab")
+            .field("d", &self.d)
+            .field("page_rows", &self.page_rows)
+            .field("max_pages", &self.max_pages)
+            .field("in_use", &self.pages_in_use())
+            .finish()
+    }
+}
+
+impl PageSlab {
+    /// A slab for rows of width `d`, `page_rows` rows per page, at most
+    /// `max_pages` live pages (`0` = unbounded).
+    pub fn new(d: usize, page_rows: usize, max_pages: usize) -> Arc<Self> {
+        assert!(d > 0, "page row width must be positive");
+        assert!(page_rows > 0, "page_rows must be positive");
+        Arc::new(PageSlab {
+            d,
+            page_rows,
+            max_pages,
+            inner: Mutex::new(SlabInner {
+                free: Vec::new(),
+                in_use: 0,
+                peak: 0,
+                allocated: 0,
+            }),
+        })
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Rows per page.
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Live-page bound (`0` = unbounded).
+    pub fn max_pages(&self) -> usize {
+        self.max_pages
+    }
+
+    /// Pages currently held by live sequences.
+    pub fn pages_in_use(&self) -> usize {
+        self.inner.lock().unwrap().in_use
+    }
+
+    /// Capacity in pages: the bound if one was set, else the number of
+    /// pages materialized so far.
+    pub fn pages_total(&self) -> usize {
+        if self.max_pages > 0 {
+            self.max_pages
+        } else {
+            self.inner.lock().unwrap().allocated
+        }
+    }
+
+    /// High-water mark of concurrently live pages.
+    pub fn peak_pages(&self) -> usize {
+        self.inner.lock().unwrap().peak
+    }
+
+    fn alloc(self: &Arc<Self>) -> Result<Page, PagesExhausted> {
+        let mut g = self.inner.lock().unwrap();
+        let buf = match g.free.pop() {
+            Some(buf) => buf,
+            None => {
+                if self.max_pages > 0 && g.in_use >= self.max_pages {
+                    return Err(PagesExhausted);
+                }
+                g.allocated += 1;
+                vec![0.0f32; 2 * self.page_rows * self.d].into_boxed_slice()
+            }
+        };
+        g.in_use += 1;
+        g.peak = g.peak.max(g.in_use);
+        Ok(Page {
+            buf,
+            slab: Arc::clone(self),
+        })
+    }
+
+    fn release(&self, buf: Box<[f32]>) {
+        let mut g = self.inner.lock().unwrap();
+        debug_assert!(g.in_use > 0, "page released twice");
+        g.in_use -= 1;
+        g.free.push(buf);
+    }
+}
+
+/// One slab page: `page_rows` K rows then `page_rows` V rows, each `d` wide.
+/// Dropping the page returns its buffer to the slab's free list — this is
+/// what un-strands capacity freed by truncation or session teardown.
+pub struct Page {
+    buf: Box<[f32]>,
+    slab: Arc<PageSlab>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("floats", &self.buf.len())
+            .finish()
+    }
+}
+
+impl Page {
+    fn k_row(&self, r: usize) -> &[f32] {
+        let d = self.slab.d;
+        &self.buf[r * d..(r + 1) * d]
+    }
+
+    fn v_row(&self, r: usize) -> &[f32] {
+        let d = self.slab.d;
+        let base = self.slab.page_rows * d;
+        &self.buf[base + r * d..base + (r + 1) * d]
+    }
+
+    fn k_row_mut(&mut self, r: usize) -> &mut [f32] {
+        let d = self.slab.d;
+        &mut self.buf[r * d..(r + 1) * d]
+    }
+
+    fn v_row_mut(&mut self, r: usize) -> &mut [f32] {
+        let d = self.slab.d;
+        let base = self.slab.page_rows * d;
+        &mut self.buf[base + r * d..base + (r + 1) * d]
+    }
+}
+
+impl Drop for Page {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.slab.release(buf);
+    }
+}
+
+/// A sequence's view of paged KV storage: a page table (`Vec<Arc<Page>>`)
+/// plus the row count.  Mirrors the [`super::KvCache`] API with fallible
+/// appends.
+///
+/// `Clone` shares every page by refcount — O(pages), no row copies.  The
+/// first append into a shared page copies that one page (copy-on-write), so
+/// the clone and the original diverge safely from the shared prefix.
+#[derive(Clone, Debug)]
+pub struct PagedKv {
+    slab: Arc<PageSlab>,
+    pages: Vec<Arc<Page>>,
+    len: usize,
+}
+
+impl PagedKv {
+    /// Empty sequence drawing pages from `slab`.
+    pub fn new(slab: Arc<PageSlab>) -> Self {
+        PagedKv {
+            slab,
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Cached row count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.slab.d
+    }
+
+    /// The slab this sequence draws from.
+    pub fn slab(&self) -> &Arc<PageSlab> {
+        &self.slab
+    }
+
+    /// Drop all rows past the first `rows` (no-op if already shorter).
+    /// Whole pages past the new end go back to the slab immediately (unless
+    /// still shared by another sequence); rows past `len` inside the last
+    /// kept page are dead and get overwritten before `len` covers them
+    /// again.
+    pub fn truncate(&mut self, rows: usize) {
+        if rows >= self.len {
+            return;
+        }
+        self.len = rows;
+        let keep = rows.div_ceil(self.slab.page_rows);
+        self.pages.truncate(keep);
+    }
+
+    /// Append one key row and one value row, drawing a fresh page from the
+    /// slab at page boundaries and copying a shared page before the first
+    /// write into it.
+    pub fn append(&mut self, krow: &[f32], vrow: &[f32]) -> Result<(), PagesExhausted> {
+        debug_assert_eq!(krow.len(), self.slab.d);
+        debug_assert_eq!(vrow.len(), self.slab.d);
+        let pr = self.slab.page_rows;
+        let (pi, off) = (self.len / pr, self.len % pr);
+        if pi == self.pages.len() {
+            self.pages.push(Arc::new(self.slab.alloc()?));
+        }
+        let page = &mut self.pages[pi];
+        if Arc::get_mut(page).is_none() {
+            // Copy-on-write: the page is shared with another sequence (or
+            // pinned by the prefix tree).  Copy the whole buffer — rows at
+            // or past our `len` are never read, so this is bit-exact.
+            let mut fresh = self.slab.alloc()?;
+            fresh.buf.copy_from_slice(&page.buf);
+            *page = Arc::new(fresh);
+        }
+        let p = Arc::get_mut(page).expect("page was just made exclusive");
+        p.k_row_mut(off).copy_from_slice(krow);
+        p.v_row_mut(off).copy_from_slice(vrow);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Key row `i`.
+    pub fn k_row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.len);
+        let pr = self.slab.page_rows;
+        self.pages[i / pr].k_row(i % pr)
+    }
+
+    /// Value row `i`.
+    pub fn v_row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.len);
+        let pr = self.slab.page_rows;
+        self.pages[i / pr].v_row(i % pr)
+    }
+}
+
+impl super::KvRows for PagedKv {
+    fn dim(&self) -> usize {
+        PagedKv::dim(self)
+    }
+    fn len(&self) -> usize {
+        PagedKv::len(self)
+    }
+    fn k_row(&self, i: usize) -> &[f32] {
+        PagedKv::k_row(self, i)
+    }
+    fn v_row(&self, i: usize) -> &[f32] {
+        PagedKv::v_row(self, i)
+    }
+}
+
+/// [`super::attend_row`] over a page table — the same generic loop body, so
+/// bitwise-identical to the flat cache for equal rows.
+pub fn attend_paged(
+    out: &mut [f32],
+    q: &[f32],
+    cache: &PagedKv,
+    heads: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+) {
+    super::attend_rows(out, q, cache, heads, scale, scores);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{attend_row, KvCache};
+    use super::*;
+
+    fn row(tag: usize, d: usize, phase: f32) -> Vec<f32> {
+        (0..d)
+            .map(|i| ((tag * d + i) as f32 * phase).sin())
+            .collect()
+    }
+
+    #[test]
+    fn slab_accounting_and_reuse() {
+        let slab = PageSlab::new(4, 2, 0);
+        let mut kv = PagedKv::new(Arc::clone(&slab));
+        for p in 0..5 {
+            kv.append(&row(p, 4, 0.3), &row(p, 4, 0.7)).unwrap();
+        }
+        // 5 rows at 2 rows/page = 3 pages.
+        assert_eq!(slab.pages_in_use(), 3);
+        assert_eq!(slab.pages_total(), 3);
+        kv.truncate(2); // exactly one full page kept
+        assert_eq!(slab.pages_in_use(), 1);
+        kv.truncate(1); // partial page still pins its page
+        assert_eq!(slab.pages_in_use(), 1);
+        // Freed buffers are recycled, not re-allocated.
+        for p in 0..5 {
+            kv.append(&row(p + 9, 4, 0.3), &row(p + 9, 4, 0.7)).unwrap();
+        }
+        assert_eq!(slab.pages_in_use(), 3);
+        assert_eq!(slab.pages_total(), 3, "free list must be reused");
+        drop(kv);
+        assert_eq!(slab.pages_in_use(), 0);
+        assert_eq!(slab.peak_pages(), 3);
+    }
+
+    #[test]
+    fn bounded_slab_rejects_then_recovers() {
+        let slab = PageSlab::new(2, 1, 2);
+        let mut a = PagedKv::new(Arc::clone(&slab));
+        let mut b = PagedKv::new(Arc::clone(&slab));
+        a.append(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        b.append(&[5.0, 6.0], &[7.0, 8.0]).unwrap();
+        assert_eq!(a.append(&[0.0; 2], &[0.0; 2]), Err(PagesExhausted));
+        // Failure leaves the sequence consistent.
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.k_row(0), &[1.0, 2.0]);
+        drop(b);
+        a.append(&[9.0, 10.0], &[11.0, 12.0]).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(slab.pages_in_use(), 2);
+    }
+
+    #[test]
+    fn clone_shares_then_copy_on_write_diverges() {
+        let d = 3;
+        let slab = PageSlab::new(d, 2, 0);
+        let mut a = PagedKv::new(Arc::clone(&slab));
+        for p in 0..3 {
+            a.append(&row(p, d, 0.3), &row(p, d, 0.7)).unwrap();
+        }
+        let mut b = a.clone();
+        assert_eq!(slab.pages_in_use(), 2, "clone shares pages");
+        // Diverge inside the shared half-full page.
+        b.append(&row(77, d, 0.3), &row(77, d, 0.7)).unwrap();
+        a.append(&row(88, d, 0.3), &row(88, d, 0.7)).unwrap();
+        assert_eq!(slab.pages_in_use(), 3, "one page copied on write");
+        // The shared prefix is untouched and the tails differ.
+        for i in 0..3 {
+            assert_eq!(a.k_row(i), b.k_row(i));
+            assert_eq!(a.v_row(i), b.v_row(i));
+        }
+        assert_eq!(b.k_row(3), &row(77, d, 0.3)[..]);
+        assert_eq!(a.k_row(3), &row(88, d, 0.3)[..]);
+    }
+
+    #[test]
+    fn attend_paged_matches_flat_for_any_page_size() {
+        let (d, heads) = (6, 2);
+        let scale = 1.0 / ((d / heads) as f32).sqrt();
+        let rows = 13;
+        let mut flat = KvCache::new(d, rows);
+        for p in 0..rows {
+            flat.append(&row(p, d, 0.37), &row(p, d, 0.71));
+        }
+        let q = row(99, d, 0.13);
+        let mut want = vec![0.0f32; d];
+        let mut scratch = Vec::new();
+        attend_row(&mut want, &q, &flat, heads, scale, &mut scratch);
+
+        for page_rows in [1, 2, 3, 8, 64] {
+            let slab = PageSlab::new(d, page_rows, 0);
+            let mut kv = PagedKv::new(slab);
+            for p in 0..rows {
+                kv.append(&row(p, d, 0.37), &row(p, d, 0.71)).unwrap();
+            }
+            let mut got = vec![0.0f32; d];
+            attend_paged(&mut got, &q, &kv, heads, scale, &mut scratch);
+            assert_eq!(got, want, "page_rows={page_rows}");
+        }
+    }
+
+    #[test]
+    fn truncate_then_append_overwrites_dead_rows() {
+        let d = 2;
+        let slab = PageSlab::new(d, 4, 0);
+        let mut kv = PagedKv::new(slab);
+        for p in 0..6 {
+            kv.append(&row(p, d, 0.3), &row(p, d, 0.7)).unwrap();
+        }
+        let snapshot = kv.clone(); // pins pages, forcing CoW on the original
+        kv.truncate(3);
+        kv.append(&row(42, d, 0.3), &row(42, d, 0.7)).unwrap();
+        assert_eq!(kv.len(), 4);
+        assert_eq!(kv.k_row(3), &row(42, d, 0.3)[..]);
+        // The snapshot still sees the original rows.
+        assert_eq!(snapshot.k_row(3), &row(3, d, 0.3)[..]);
+        assert_eq!(snapshot.len(), 6);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the paged KV slab: the page table must mirror the
+//! flat `KvCache` bit-for-bit under arbitrary append/truncate/clone
+//! interleavings, and the slab must neither leak nor double-free pages.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tinynn::infer::{attend_paged, attend_row, KvCache, PageSlab, PagedKv, PagesExhausted};
+
+fn row(tag: usize, d: usize, phase: f32) -> Vec<f32> {
+    (0..d)
+        .map(|i| ((tag * d + i) as f32 * phase).sin())
+        .collect()
+}
+
+/// One scripted step against the paged cache and its flat mirror.
+/// `arg` parameterizes the step (truncation point, etc.).
+fn op_strategy() -> impl Strategy<Value = (u8, usize)> {
+    (0u8..4, 0usize..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Append/truncate/snapshot/restore on `PagedKv` matches a flat
+    /// `KvCache` mirror row-for-row at any page size, and every page goes
+    /// back to the slab when the sequences drop.
+    #[test]
+    fn paged_mirrors_flat_and_never_leaks(
+        page_rows in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let d = 3;
+        let slab = PageSlab::new(d, page_rows, 0);
+        let mut kv = PagedKv::new(Arc::clone(&slab));
+        let mut flat = KvCache::new(d, 64);
+        // (paged, flat) snapshots — clones share pages with the live pair.
+        let mut stack: Vec<(PagedKv, KvCache)> = Vec::new();
+        let mut tag = 0usize;
+        for (kind, arg) in ops {
+            match kind {
+                0 => {
+                    let (k, v) = (row(tag, d, 0.37), (row(tag, d, 0.71)));
+                    kv.append(&k, &v).unwrap();
+                    flat.append(&k, &v);
+                    tag += 1;
+                }
+                1 => {
+                    let to = arg % (kv.len() + 1);
+                    kv.truncate(to);
+                    flat.truncate(to);
+                }
+                2 => stack.push((kv.clone(), flat.clone())),
+                _ => {
+                    if let Some((pk, fl)) = stack.pop() {
+                        kv = pk;
+                        flat = fl;
+                    }
+                }
+            }
+            prop_assert_eq!(kv.len(), flat.len());
+        }
+        stack.push((kv, flat));
+        for (pk, fl) in &stack {
+            prop_assert_eq!(pk.len(), fl.len());
+            for i in 0..pk.len() {
+                prop_assert_eq!(pk.k_row(i), fl.k_row(i));
+                prop_assert_eq!(pk.v_row(i), fl.v_row(i));
+            }
+        }
+        let peak = slab.peak_pages();
+        prop_assert!(slab.pages_in_use() <= peak);
+        drop(stack);
+        // No leak: every page is back on the free list...
+        prop_assert_eq!(slab.pages_in_use(), 0);
+        // ...and no double-free: the free list cannot exceed what was made.
+        prop_assert_eq!(slab.pages_total(), peak);
+    }
+
+    /// Paged attention equals flat attention bitwise, for any page size and
+    /// cache length.
+    #[test]
+    fn attend_paged_is_bitwise_flat(
+        page_rows in 1usize..6,
+        rows in 1usize..20,
+        qtag in 100usize..200,
+    ) {
+        let (d, heads) = (6, 2);
+        let scale = 1.0 / ((d / heads) as f32).sqrt();
+        let mut flat = KvCache::new(d, rows);
+        let slab = PageSlab::new(d, page_rows, 0);
+        let mut kv = PagedKv::new(slab);
+        for p in 0..rows {
+            let (k, v) = (row(p, d, 0.37), row(p, d, 0.71));
+            flat.append(&k, &v);
+            kv.append(&k, &v).unwrap();
+        }
+        let q = row(qtag, d, 0.13);
+        let (mut want, mut got) = (vec![0.0f32; d], vec![0.0f32; d]);
+        let mut scratch = Vec::new();
+        attend_row(&mut want, &q, &flat, heads, scale, &mut scratch);
+        attend_paged(&mut got, &q, &kv, heads, scale, &mut scratch);
+        prop_assert_eq!(got, want);
+    }
+
+    /// A bounded slab never exceeds its bound, fails appends cleanly
+    /// (sequence state unchanged), and recovers once pages free up.
+    #[test]
+    fn bounded_slab_upholds_its_bound(
+        page_rows in 1usize..4,
+        max_pages in 1usize..5,
+        appends in 1usize..24,
+    ) {
+        let d = 2;
+        let slab = PageSlab::new(d, page_rows, max_pages);
+        let mut kv = PagedKv::new(Arc::clone(&slab));
+        let mut accepted = 0usize;
+        for p in 0..appends {
+            let (k, v) = (row(p, d, 0.3), row(p, d, 0.7));
+            match kv.append(&k, &v) {
+                Ok(()) => accepted += 1,
+                Err(PagesExhausted) => {
+                    prop_assert_eq!(kv.len(), accepted);
+                    break;
+                }
+            }
+            prop_assert!(slab.pages_in_use() <= max_pages);
+        }
+        prop_assert_eq!(kv.len(), accepted);
+        prop_assert_eq!(accepted, appends.min(max_pages * page_rows));
+        kv.truncate(0);
+        prop_assert_eq!(slab.pages_in_use(), 0);
+        // Recovery: the freed pages are allocatable again.
+        kv.append(&row(99, d, 0.3), &row(99, d, 0.7)).unwrap();
+        prop_assert_eq!(slab.pages_in_use(), 1);
+    }
+}

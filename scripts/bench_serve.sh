@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Serving-latency benchmark: the same open-loop short/long request mix
+# against the classic window micro-batcher and the continuous-batching
+# scheduler, at equal offered load.  Writes the combined JSON record to
+# BENCH_serve.json at the repository root.
+#
+#   scripts/bench_serve.sh           # full sweep → BENCH_serve.json
+#   scripts/bench_serve.sh --smoke   # short run for CI →
+#                                    # target/BENCH_serve.smoke.json
+#
+# servebench's --mix mode doubles as a determinism canary: every request
+# in a pool class must return byte-identical bodies, so both runs also
+# gate the scheduler's reproducibility contract.  The full run addition-
+# ally asserts the headline claim — continuous p95 ≤ window p95.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q -p serve --bin serve --bin servebench
+
+if [ "${1:-}" = "--smoke" ]; then
+  rate=30; duration=2; long_repeats=6; out=target/BENCH_serve.smoke.json; gate_p95=0
+else
+  # Past the window batcher's saturation point (drain-then-admit stalls
+  # behind long requests) but well inside the continuous scheduler's.
+  rate=150; duration=10; long_repeats=8; out=BENCH_serve.json; gate_p95=1
+fi
+mix=3:1
+
+tmp="$(mktemp -d)"
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+# Boot a server under the given scheduler policy, drive the mix through
+# it, record the run, and shut it down.
+run_policy() {
+  policy="$1"
+  target/release/serve --untrained --addr 127.0.0.1:0 \
+    --sched "$policy" --max-running 8 \
+    >"$tmp/$policy.out" 2>"$tmp/$policy.err" &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's#^listening on http://##p' "$tmp/$policy.out" | head -n 1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "bench_serve: $policy server never reported its address"; cat "$tmp/$policy.err"; exit 1; }
+  echo "== policy: $policy (rate=$rate/s duration=${duration}s mix=$mix x$long_repeats) =="
+  target/release/servebench --addr "$addr" --mode open \
+    --rate "$rate" --duration-s "$duration" \
+    --mix "$mix" --long-repeats "$long_repeats" --retries 2 \
+    --label "$policy" --out "$tmp/$policy.json"
+  curl -s -X POST "http://$addr/admin/shutdown" -d '{}' >/dev/null
+  for _ in $(seq 1 100); do kill -0 "$pid" 2>/dev/null || break; sleep 0.1; done
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  pid=""
+}
+
+run_policy window
+run_policy continuous
+
+mkdir -p "$(dirname "$out")"
+printf '{"bench":"serve","mode":"open","rate":%s,"duration_s":%s,"mix":"%s","long_repeats":%s,"window":%s,"continuous":%s}\n' \
+  "$rate" "$duration" "$mix" "$long_repeats" \
+  "$(cat "$tmp/window.json")" "$(cat "$tmp/continuous.json")" >"$out"
+echo "bench_serve: wrote $out"
+echo "bench_serve: p95 window=$(jq .window.latency_ms.p95 "$out")ms continuous=$(jq .continuous.latency_ms.p95 "$out")ms"
+
+if [ "$gate_p95" = 1 ]; then
+  jq -e '.continuous.latency_ms.p95 <= .window.latency_ms.p95' "$out" >/dev/null \
+    || { echo "bench_serve: FAIL — continuous p95 regressed vs window"; exit 1; }
+  echo "bench_serve: continuous p95 beats window at equal offered load. PASS"
+fi

@@ -33,8 +33,10 @@ trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$out"' EXIT
 
 # Low per-consult rates: most requests sail through, but over hundreds of
 # consults the plan reliably fires. reload.swap is capped at one firing so
-# the rollback path runs exactly once, on the first reload.
-plan="seed=42;socket.read:error:0.02;socket.write:error:0.02;worker.exec:panic:0.02;reload.swap:error:1x1"
+# the rollback path runs exactly once, on the first reload.  sched.step
+# preempts a running request mid-chain — determinism makes the restart
+# byte-identical, so the sweep still demands a clean result.
+plan="seed=42;socket.read:error:0.02;socket.write:error:0.02;worker.exec:panic:0.02;sched.step:error:0.02;reload.swap:error:1x1"
 
 predict='{"model":"uvsd_sim","seed":7,"input":{"spec":{"subject_seed":3,"condition":"stressed","sample_id":1,"num_frames":4}}}'
 
@@ -53,12 +55,16 @@ grep -q 'chaos: fault plan armed' "$out/stderr" \
   || { echo "chaos_smoke: server did not arm the plan"; cat "$out/stderr"; exit 1; }
 echo "chaos_smoke: armed server at $addr"
 
-# A curl that rides out injected socket faults: retry transport failures.
+# A curl that rides out injected socket faults: retry transport failures
+# and severed responses (every endpoint probed here has a non-empty body,
+# so an empty file means the response died on the wire).
 req() { # req <output-file> <curl args...>
   local dst="$1"; shift
   local code=""
   for _ in $(seq 1 20); do
-    code="$(curl -s -o "$dst" -w '%{http_code}' --max-time 10 "$@")" && [ "$code" != 000 ] && break
+    if code="$(curl -s -o "$dst" -w '%{http_code}' --max-time 10 "$@")" && [ "$code" != 000 ]; then
+      [ "$dst" = /dev/null ] || [ -s "$dst" ] && break
+    fi
     sleep 0.1
   done
   echo "$code"
@@ -78,6 +84,12 @@ injected="$(awk '/^serve_faults_injected_total/ {print $2}' "$out/metrics")"
 [ "${injected:-0}" -ge 1 ] || { echo "chaos_smoke: no faults injected (plan dead?)"; cat "$out/metrics"; exit 1; }
 echo "chaos_smoke: survived with $injected faults injected" \
   "($(awk '/^serve_worker_panics_total/ {print $2}' "$out/metrics") worker panics isolated)"
+
+# The sched.step fault must have preempted at least one running request —
+# and the clean sweep above already proved preemption never changed bytes.
+preempted="$(awk '/^serve_sched_preemptions_total/ {print $2}' "$out/metrics")"
+[ "${preempted:-0}" -ge 1 ] || { echo "chaos_smoke: sched.step never preempted"; cat "$out/metrics"; exit 1; }
+echo "chaos_smoke: $preempted scheduler preemptions absorbed"
 
 # Reload rollback: the capped reload.swap fault fails the first reload,
 # which must roll back to the last-good registry and keep serving.

@@ -26,6 +26,9 @@ bash scripts/bench_kernels.sh --smoke
 echo "==> scripts/bench_decode.sh --smoke (cached-decode equivalence + win)"
 bash scripts/bench_decode.sh --smoke
 
+echo "==> scripts/bench_serve.sh --smoke (window vs continuous + determinism canary)"
+bash scripts/bench_serve.sh --smoke
+
 echo "==> scripts/chaos_smoke.sh --smoke (fault-injected sweep + reload rollback)"
 bash scripts/chaos_smoke.sh --smoke
 
